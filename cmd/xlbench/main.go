@@ -1,0 +1,256 @@
+// Command xlbench regenerates every table and figure of the XenLoop
+// paper's evaluation (§4) against the simulated testbed.
+//
+// Usage:
+//
+//	xlbench -exp table2            # one experiment
+//	xlbench -exp all               # everything (default)
+//	xlbench -exp fig4 -duration 2s # steadier numbers
+//	xlbench -exp table3 -profile off
+//
+// Experiments: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// fig11 counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1..3, fig4..11, counters, all)")
+	duration := flag.Duration("duration", 400*time.Millisecond, "per-measurement duration")
+	iters := flag.Int("iters", 60, "iterations per message size in sweeps")
+	fifo := flag.Int("fifo", 0, "XenLoop FIFO size in bytes (0 = paper's 64 KiB)")
+	profile := flag.String("profile", "calibrated", "cost profile: calibrated or off")
+	flag.Parse()
+
+	var model *costmodel.Model
+	switch *profile {
+	case "calibrated":
+		model = costmodel.Calibrated()
+	case "off":
+		model = costmodel.Off()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	opts := bench.ExpOptions{
+		Model:         model,
+		Duration:      *duration,
+		Iters:         *iters,
+		FIFOSizeBytes: *fifo,
+	}
+
+	known := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "counters"}
+	var run []string
+	if *exp == "all" {
+		run = known
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			run = append(run, strings.TrimSpace(e))
+		}
+	}
+	for _, e := range run {
+		if err := runExperiment(e, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "xlbench %s: %v\n", e, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fmtVal(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func scenarioColumns() []string {
+	cols := []string{"workload"}
+	for _, s := range testbed.Scenarios {
+		cols = append(cols, s.String())
+	}
+	return cols
+}
+
+func runExperiment(name string, opts bench.ExpOptions) error {
+	switch name {
+	case "table1":
+		// Table 1 is the motivating snapshot: ping + netperf rows for the
+		// three scenarios the introduction compares.
+		o := opts
+		o.Scenarios = []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop}
+		lat, err := bench.Table3(o)
+		if err != nil {
+			return err
+		}
+		bw, err := bench.Table2(o)
+		if err != nil {
+			return err
+		}
+		t := stats.Table{Title: "Table 1: Latency and bandwidth comparison",
+			Columns: []string{"workload", "Inter Machine", "Netfront/Netback", "XenLoop"}}
+		for _, r := range lat.Rows {
+			if strings.HasPrefix(r.Name, "netpipe") || strings.HasPrefix(r.Name, "lmbench") {
+				continue
+			}
+			addRow(&t, r)
+		}
+		for _, r := range bw.Rows {
+			if strings.HasPrefix(r.Name, "netpipe") {
+				continue
+			}
+			addRow(&t, r)
+		}
+		fmt.Println(t.String())
+
+	case "table2":
+		bw, err := bench.Table2(opts)
+		if err != nil {
+			return err
+		}
+		t := stats.Table{Title: "Table 2: Average bandwidth comparison (Mbps)", Columns: scenarioColumns()}
+		for _, r := range bw.Rows {
+			addRow(&t, r)
+		}
+		fmt.Println(t.String())
+
+	case "table3":
+		lat, err := bench.Table3(opts)
+		if err != nil {
+			return err
+		}
+		t := stats.Table{Title: "Table 3: Average latency comparison", Columns: scenarioColumns()}
+		for _, r := range lat.Rows {
+			addRow(&t, r)
+		}
+		fmt.Println(t.String())
+
+	case "fig4":
+		series, err := bench.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatSeries("Fig 4: Throughput versus UDP message size (netperf)",
+			"message size (bytes)", "throughput (Mbps)", series))
+
+	case "fig5":
+		series, err := bench.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatSeries("Fig 5: Throughput versus FIFO size (netperf UDP)",
+			"FIFO size (bytes)", "throughput (Mbps)", []stats.Series{series}))
+
+	case "fig6", "fig7":
+		bw, lat, err := bench.Fig6and7(opts)
+		if err != nil {
+			return err
+		}
+		if name == "fig6" {
+			fmt.Println(stats.FormatSeries("Fig 6: Throughput versus message size (netpipe-mpich)",
+				"message size (bytes)", "throughput (Mbps)", bw))
+		} else {
+			fmt.Println(stats.FormatSeries("Fig 7: Latency versus message size (netpipe-mpich)",
+				"message size (bytes)", "one-way latency (us)", lat))
+		}
+
+	case "fig8":
+		series, err := bench.Fig8to10(opts, bench.OSUUni)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatSeries("Fig 8: OSU MPI uni-directional bandwidth",
+			"message size (bytes)", "throughput (Mbps)", series))
+
+	case "fig9":
+		series, err := bench.Fig8to10(opts, bench.OSUBi)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatSeries("Fig 9: OSU MPI bi-directional bandwidth",
+			"message size (bytes)", "throughput (Mbps)", series))
+
+	case "fig10":
+		series, err := bench.Fig8to10(opts, bench.OSULat)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatSeries("Fig 10: OSU MPI latency",
+			"message size (bytes)", "one-way latency (us)", series))
+
+	case "fig11":
+		res, err := bench.Fig11(opts, 5, 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig 11: TCP_RR transactions/sec during migration")
+		fmt.Println("# VM migrates together after sample", res.TogetherAt, "and apart after sample", res.ApartAt)
+		for i, pt := range res.Points {
+			marker := ""
+			if i == res.TogetherAt {
+				marker = "  <- co-resident (XenLoop engages)"
+			}
+			if i == res.ApartAt {
+				marker = "  <- separated (standard path)"
+			}
+			fmt.Printf("t=%6.2fs  %10.0f trans/s%s\n", pt.X, pt.Y, marker)
+		}
+		if res.Errors > 0 {
+			fmt.Printf("# %d request-response errors during migration\n", res.Errors)
+		}
+		fmt.Println()
+
+	case "counters":
+		// Mechanism counters for one ping on each path: a diagnostic view
+		// of what each data path costs in hypervisor operations.
+		for _, s := range []testbed.Scenario{testbed.NetfrontNetback, testbed.XenLoop} {
+			p, err := testbed.BuildPair(s, testbed.Options{Model: opts.Model, DiscoveryPeriod: 200 * time.Millisecond})
+			if err != nil {
+				return err
+			}
+			if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+				p.Close()
+				return err
+			}
+			hv := p.A.VM.Machine.HV
+			before := hv.Counters().Snapshot()
+			if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+				p.Close()
+				return err
+			}
+			diff := hv.Counters().Snapshot().Sub(before)
+			fmt.Printf("%-18s one ping round trip: %s\n", s.String(), diff)
+			p.Close()
+		}
+		fmt.Println()
+
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func addRow(t *stats.Table, r bench.BandwidthRow) {
+	cells := []string{r.Name}
+	for i := 1; i < len(t.Columns); i++ {
+		want := t.Columns[i]
+		v := "-"
+		for _, res := range r.Results {
+			if res.Scenario.String() == want {
+				v = fmtVal(res.Value)
+			}
+		}
+		cells = append(cells, v)
+	}
+	t.AddRow(cells...)
+}

@@ -1,0 +1,81 @@
+// Command xlping is a flood-ping utility for the simulated testbed: it
+// builds one of the four communication scenarios and reports per-ping and
+// summary round-trip times, like `ping -f` in the paper's Table 1/3.
+//
+// Usage:
+//
+//	xlping -scenario xenloop -count 100 -size 56
+//	xlping -scenario netfront -profile off
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+func main() {
+	scenario := flag.String("scenario", "xenloop", "inter-machine | netfront | xenloop | loopback")
+	count := flag.Int("count", 100, "number of pings")
+	size := flag.Int("size", 56, "ICMP payload bytes")
+	profile := flag.String("profile", "calibrated", "cost profile: calibrated or off")
+	verbose := flag.Bool("v", false, "print each ping")
+	flag.Parse()
+
+	var s testbed.Scenario
+	switch strings.ToLower(*scenario) {
+	case "inter-machine", "inter":
+		s = testbed.InterMachine
+	case "netfront", "netfront-netback":
+		s = testbed.NetfrontNetback
+	case "xenloop":
+		s = testbed.XenLoop
+	case "loopback", "native":
+		s = testbed.NativeLoopback
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	model := costmodel.Calibrated()
+	if *profile == "off" {
+		model = costmodel.Off()
+	}
+
+	p, err := testbed.BuildPair(s, testbed.Options{Model: model, DiscoveryPeriod: 200 * time.Millisecond})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xlping: %v\n", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+
+	fmt.Printf("PING %s (%s scenario), %d bytes of data\n", p.B.IP, s, *size)
+	// Warm up ARP and channels.
+	if _, err := p.A.Stack.Ping(p.B.IP, *size, 2*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "xlping: %v\n", err)
+		os.Exit(1)
+	}
+	samples := make([]time.Duration, 0, *count)
+	for i := 0; i < *count; i++ {
+		rtt, err := p.A.Stack.Ping(p.B.IP, *size, 2*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xlping: seq %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		samples = append(samples, rtt)
+		if *verbose {
+			fmt.Printf("%d bytes from %s: icmp_seq=%d time=%.1f us\n",
+				*size, p.B.IP, i, stats.Micros(rtt))
+		}
+	}
+	sum := stats.Summarize(samples)
+	fmt.Printf("--- %s ping statistics ---\n", p.B.IP)
+	fmt.Printf("%d packets transmitted, %d received\n", sum.Count, sum.Count)
+	fmt.Printf("rtt min/avg/p95/max = %.1f/%.1f/%.1f/%.1f us\n",
+		stats.Micros(sum.Min), stats.Micros(sum.Mean), stats.Micros(sum.P95), stats.Micros(sum.Max))
+}

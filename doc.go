@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "XenLoop: A
+// Transparent High Performance Inter-VM Network Loopback" (Wang, Wright,
+// Gopalan; HPDC 2008 / Cluster Computing 12(2), 2009).
+//
+// Because XenLoop is an in-kernel Xen module, the reproduction builds the
+// entire surrounding system in user-space Go: a hypervisor model with
+// grant tables and event channels (internal/hypervisor), XenStore
+// (internal/xenstore), a full IPv4/TCP/UDP/ICMP network stack with
+// netfilter-style hooks (internal/netstack), the netfront/netback split
+// driver over shared-memory rings (internal/ring, internal/splitdriver),
+// the Dom0 software bridge (internal/bridge), a physical switch model
+// (internal/phynet), and — on top — XenLoop itself (internal/core) with
+// its lockless FIFO channels (internal/fifo), soft-state discovery and
+// transparent migration handling.
+//
+// The benchmarks in bench_test.go and the cmd/xlbench tool regenerate
+// every table and figure of the paper's evaluation; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+package repro

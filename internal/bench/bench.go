@@ -1,0 +1,53 @@
+// Package bench re-implements the measurement loops of the benchmarks the
+// paper evaluates with — flood ping, netperf (TCP_RR, UDP_RR, TCP_STREAM,
+// UDP_STREAM), lmbench (bw_tcp, lat_tcp), NetPIPE-MPICH and the OSU MPI
+// suite — plus the migration timeline experiment, all running against the
+// simulated testbed's socket API.
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// portSeq hands out distinct server ports so workloads never collide.
+var portSeq atomic.Uint32
+
+func nextPort() uint16 {
+	return uint16(20000 + portSeq.Add(1)%20000)
+}
+
+// LatencyResult reports a request-response workload.
+type LatencyResult struct {
+	Transactions int
+	Elapsed      time.Duration
+	// AvgRTT is the mean round-trip time per transaction.
+	AvgRTT time.Duration
+	// TransPerSec is the netperf-style transaction rate.
+	TransPerSec float64
+}
+
+func latencyResult(transactions int, elapsed time.Duration) LatencyResult {
+	r := LatencyResult{Transactions: transactions, Elapsed: elapsed}
+	if transactions > 0 && elapsed > 0 {
+		r.AvgRTT = elapsed / time.Duration(transactions)
+		r.TransPerSec = float64(transactions) / elapsed.Seconds()
+	}
+	return r
+}
+
+// BandwidthResult reports a streaming workload.
+type BandwidthResult struct {
+	Bytes   int64
+	Elapsed time.Duration
+	Mbps    float64
+	// MsgsSent / MsgsReceived expose loss for datagram streams.
+	MsgsSent     int64
+	MsgsReceived int64
+}
+
+// Endpoints extracts the two stacks of a pair in (client, server) order:
+// A drives the workload against a server on B.
+func endpoints(p *testbed.Pair) (a, b testbed.Endpoint) { return p.A, p.B }

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/testbed"
+)
+
+// off builds quick functional options (no injected costs).
+func off() ExpOptions {
+	return ExpOptions{Model: costmodel.Off(), Duration: 80 * time.Millisecond, Iters: 10}
+}
+
+func offPair(t *testing.T, s testbed.Scenario) *testbed.Pair {
+	t.Helper()
+	p, err := off().pair(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestFloodPing(t *testing.T) {
+	p := offPair(t, testbed.NetfrontNetback)
+	s, err := FloodPing(p, 20, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 20 || s.Mean <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestTCPRRCountsTransactions(t *testing.T) {
+	p := offPair(t, testbed.NativeLoopback)
+	r, err := TCPRR(p, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transactions < 10 || r.TransPerSec <= 0 || r.AvgRTT <= 0 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+func TestUDPRRCountsTransactions(t *testing.T) {
+	p := offPair(t, testbed.XenLoop)
+	r, err := UDPRR(p, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transactions < 10 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+func TestTCPStreamDeliversBytes(t *testing.T) {
+	p := offPair(t, testbed.XenLoop)
+	r, err := TCPStream(p, 16384, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes < 16384 || r.Mbps <= 0 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+func TestUDPStreamReportsGoodput(t *testing.T) {
+	p := offPair(t, testbed.NetfrontNetback)
+	r, err := UDPStream(p, 8000, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MsgsSent == 0 || r.MsgsReceived == 0 {
+		t.Fatalf("result %+v", r)
+	}
+	if r.MsgsReceived > r.MsgsSent {
+		t.Fatalf("received more than sent: %+v", r)
+	}
+}
+
+func TestNetpipeSweep(t *testing.T) {
+	p := offPair(t, testbed.NativeLoopback)
+	pts, err := Netpipe(p, []int{1, 64, 4096}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %v", pts)
+	}
+	for _, pt := range pts {
+		if pt.LatencyUs <= 0 {
+			t.Fatalf("bad point %+v", pt)
+		}
+	}
+	// Bandwidth should grow with message size on a healthy path.
+	if pts[2].Mbps <= pts[0].Mbps {
+		t.Fatalf("bandwidth not increasing: %+v", pts)
+	}
+}
+
+func TestOSUUniAndLatency(t *testing.T) {
+	p := offPair(t, testbed.XenLoop)
+	bw, err := OSUUniBandwidth(p, []int{64, 8192}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bw) != 2 || bw[1].Mbps <= bw[0].Mbps {
+		t.Fatalf("uni bandwidth %+v", bw)
+	}
+	lat, err := OSULatency(p, []int{1, 1024}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 2 || lat[0].LatencyUs <= 0 {
+		t.Fatalf("latency %+v", lat)
+	}
+}
+
+func TestOSUBi(t *testing.T) {
+	p := offPair(t, testbed.NativeLoopback)
+	bw, err := OSUBiBandwidth(p, []int{1024}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bw) != 1 || bw[0].Mbps <= 0 {
+		t.Fatalf("bi bandwidth %+v", bw)
+	}
+}
+
+func TestTable2And3Structure(t *testing.T) {
+	o := off()
+	o.Scenarios = []testbed.Scenario{testbed.NativeLoopback} // keep it quick
+	bw, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bw.Rows) != 4 {
+		t.Fatalf("table2 rows %d", len(bw.Rows))
+	}
+	for _, r := range bw.Rows {
+		if r.Get(testbed.NativeLoopback) <= 0 {
+			t.Fatalf("row %s empty", r.Name)
+		}
+	}
+	lat, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat.Rows) != 5 {
+		t.Fatalf("table3 rows %d", len(lat.Rows))
+	}
+}
+
+func TestFig5SweepsFIFOSizes(t *testing.T) {
+	// Restrict to two FIFO sizes for speed by running UDPStream directly.
+	for _, fifoSize := range []int{4 << 10, 64 << 10} {
+		o := off()
+		o.FIFOSizeBytes = fifoSize
+		p, err := o.pair(testbed.XenLoop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.A.VM.XL.Stats(); got == nil {
+			t.Fatal("stats missing")
+		}
+		r, err := UDPStream(p, 1400, 50*time.Millisecond)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MsgsReceived == 0 {
+			t.Fatalf("fifo %d delivered nothing", fifoSize)
+		}
+	}
+}
+
+func TestMigrationTimelineShape(t *testing.T) {
+	// With the calibrated model the co-resident phase must run visibly
+	// faster than the separated phases.
+	res, err := MigrationTimeline(testbed.Options{
+		Model:           costmodel.Calibrated(),
+		DiscoveryPeriod: 200 * time.Millisecond,
+	}, 3, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	phaseMean := func(from, to int) float64 {
+		sum := 0.0
+		for _, pt := range res.Points[from:to] {
+			sum += pt.Y
+		}
+		return sum / float64(to-from)
+	}
+	apart1 := phaseMean(0, 3)
+	together := phaseMean(4, 6) // skip the sample spanning the migration
+	apart2 := phaseMean(7, 9)
+	if together < 2*apart1 {
+		t.Fatalf("co-resident rate %.0f not >> separated %.0f", together, apart1)
+	}
+	if apart2 > together/2*1.2 {
+		// After migrating apart the rate must fall back.
+		if apart2 > together {
+			t.Fatalf("rate did not fall after separating: %.0f vs %.0f", apart2, together)
+		}
+	}
+	if res.Errors != 0 {
+		t.Fatalf("request-response errors during migration: %d", res.Errors)
+	}
+	_ = apart2
+}

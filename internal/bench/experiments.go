@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// ExpOptions scale the experiment harness. The zero value selects the
+// calibrated cost model and "quick" durations suitable for go test; the
+// cmd/xlbench tool passes longer durations for stabler numbers.
+type ExpOptions struct {
+	// Model is the cost model (nil = costmodel.Calibrated()).
+	Model *costmodel.Model
+	// Duration per streaming/RR measurement (0 = 400ms).
+	Duration time.Duration
+	// Iters per message size for the sweep benchmarks (0 = 60).
+	Iters int
+	// FIFOSizeBytes for XenLoop channels (0 = paper's 64 KiB).
+	FIFOSizeBytes int
+	// Scenarios restricts which scenarios run (nil = all four).
+	Scenarios []testbed.Scenario
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.Model == nil {
+		o.Model = costmodel.Calibrated()
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Iters == 0 {
+		o.Iters = 60
+	}
+	if o.Scenarios == nil {
+		o.Scenarios = testbed.Scenarios
+	}
+	return o
+}
+
+func (o ExpOptions) pair(s testbed.Scenario) (*testbed.Pair, error) {
+	return testbed.BuildPair(s, testbed.Options{
+		Model:           o.Model,
+		DiscoveryPeriod: 200 * time.Millisecond,
+		Core:            core.Config{FIFOSizeBytes: o.FIFOSizeBytes},
+	})
+}
+
+// Workload message sizes used across the tables.
+const (
+	netperfTCPMsg = 16 * 1024 // netperf TCP_STREAM default send size
+	netperfUDPMsg = 65000     // maximum datagram that fits the 64 KiB FIFO
+	floodPingSize = 56        // ping default payload
+)
+
+// Fig4Sizes is the UDP message-size sweep of Fig. 4.
+var Fig4Sizes = []int{64, 256, 1024, 4096, 8192, 16384, 32768, 65000}
+
+// Fig5FIFOSizes is the FIFO-size sweep of Fig. 5.
+var Fig5FIFOSizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+
+// ScenarioResult pairs a scenario with one measured value.
+type ScenarioResult struct {
+	Scenario testbed.Scenario
+	Value    float64
+}
+
+// runPerScenario builds each scenario pair and applies fn.
+func (o ExpOptions) runPerScenario(fn func(p *testbed.Pair) (float64, error)) ([]ScenarioResult, error) {
+	var out []ScenarioResult
+	for _, s := range o.Scenarios {
+		p, err := o.pair(s)
+		if err != nil {
+			return nil, fmt.Errorf("build %v: %w", s, err)
+		}
+		v, err := fn(p)
+		p.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", s, err)
+		}
+		out = append(out, ScenarioResult{Scenario: s, Value: v})
+	}
+	return out, nil
+}
+
+// BandwidthTable holds Table 2: rows are workloads, columns scenarios.
+type BandwidthTable struct {
+	Rows []BandwidthRow
+}
+
+// BandwidthRow is one workload's bandwidth across scenarios (Mbps).
+type BandwidthRow struct {
+	Name    string
+	Results []ScenarioResult
+}
+
+// Get returns the row's value for a scenario.
+func (r BandwidthRow) Get(s testbed.Scenario) float64 {
+	for _, res := range r.Results {
+		if res.Scenario == s {
+			return res.Value
+		}
+	}
+	return 0
+}
+
+// Table2 reproduces "Table 2: Average bandwidth comparison" (of which
+// Table 1's bandwidth rows are a subset).
+func Table2(o ExpOptions) (BandwidthTable, error) {
+	o = o.withDefaults()
+	var t BandwidthTable
+	type row struct {
+		name string
+		fn   func(p *testbed.Pair) (float64, error)
+	}
+	rows := []row{
+		{"lmbench (tcp) Mbps", func(p *testbed.Pair) (float64, error) {
+			r, err := LmbenchBWTCP(p, o.Duration)
+			return r.Mbps, err
+		}},
+		{"netperf (tcp) Mbps", func(p *testbed.Pair) (float64, error) {
+			r, err := TCPStream(p, netperfTCPMsg, o.Duration)
+			return r.Mbps, err
+		}},
+		{"netperf (udp) Mbps", func(p *testbed.Pair) (float64, error) {
+			r, err := UDPStream(p, netperfUDPMsg, o.Duration)
+			return r.Mbps, err
+		}},
+		{"netpipe-mpich Mbps", func(p *testbed.Pair) (float64, error) {
+			pts, err := Netpipe(p, []int{16384, 32768, 65536}, o.Iters)
+			if err != nil {
+				return 0, err
+			}
+			best := 0.0
+			for _, pt := range pts {
+				if pt.Mbps > best {
+					best = pt.Mbps
+				}
+			}
+			return best, nil
+		}},
+	}
+	for _, r := range rows {
+		res, err := o.runPerScenario(r.fn)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", r.name, err)
+		}
+		t.Rows = append(t.Rows, BandwidthRow{Name: r.name, Results: res})
+	}
+	return t, nil
+}
+
+// LatencyTable holds Table 3: rows are workloads, columns scenarios. The
+// value unit varies by row (µs or transactions/sec), as in the paper.
+type LatencyTable struct {
+	Rows []BandwidthRow // same shape; values per row's unit
+}
+
+// Table3 reproduces "Table 3: Average latency comparison" (Table 1's
+// latency rows are a subset).
+func Table3(o ExpOptions) (LatencyTable, error) {
+	o = o.withDefaults()
+	var t LatencyTable
+	type row struct {
+		name string
+		fn   func(p *testbed.Pair) (float64, error)
+	}
+	rows := []row{
+		{"Flood Ping RTT (us)", func(p *testbed.Pair) (float64, error) {
+			s, err := FloodPing(p, 200, floodPingSize)
+			return stats.Micros(s.Mean), err
+		}},
+		{"lmbench lat_tcp (us)", func(p *testbed.Pair) (float64, error) {
+			r, err := LmbenchLatTCP(p, o.Duration)
+			return stats.Micros(r.AvgRTT), err
+		}},
+		{"netperf TCP_RR (trans/s)", func(p *testbed.Pair) (float64, error) {
+			r, err := TCPRR(p, o.Duration)
+			return r.TransPerSec, err
+		}},
+		{"netperf UDP_RR (trans/s)", func(p *testbed.Pair) (float64, error) {
+			r, err := UDPRR(p, o.Duration)
+			return r.TransPerSec, err
+		}},
+		{"netpipe-mpich (us)", func(p *testbed.Pair) (float64, error) {
+			pts, err := Netpipe(p, []int{1}, o.Iters*4)
+			if err != nil || len(pts) == 0 {
+				return 0, err
+			}
+			return pts[0].LatencyUs, nil
+		}},
+	}
+	for _, r := range rows {
+		res, err := o.runPerScenario(r.fn)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", r.name, err)
+		}
+		t.Rows = append(t.Rows, BandwidthRow{Name: r.name, Results: res})
+	}
+	return t, nil
+}
+
+// Fig4 reproduces "Throughput versus UDP message size": one series per
+// scenario.
+func Fig4(o ExpOptions) ([]stats.Series, error) {
+	o = o.withDefaults()
+	var out []stats.Series
+	for _, s := range o.Scenarios {
+		p, err := o.pair(s)
+		if err != nil {
+			return nil, err
+		}
+		series := stats.Series{Name: s.String()}
+		for _, size := range Fig4Sizes {
+			r, err := UDPStream(p, size, o.Duration)
+			if err != nil {
+				p.Close()
+				return nil, fmt.Errorf("%v size %d: %w", s, size, err)
+			}
+			series.Points = append(series.Points, stats.Point{X: float64(size), Y: r.Mbps})
+		}
+		p.Close()
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig5 reproduces "Throughput versus FIFO size" on the XenLoop scenario.
+func Fig5(o ExpOptions) (stats.Series, error) {
+	o = o.withDefaults()
+	series := stats.Series{Name: "XenLoop"}
+	for _, fifoSize := range Fig5FIFOSizes {
+		opts := o
+		opts.FIFOSizeBytes = fifoSize
+		p, err := opts.pair(testbed.XenLoop)
+		if err != nil {
+			return series, err
+		}
+		// 3000-byte messages: one packet fits even the 4 KiB FIFO, and
+		// larger FIFOs admit progressively deeper pipelines.
+		r, err := UDPStream(p, 3000, o.Duration)
+		p.Close()
+		if err != nil {
+			return series, fmt.Errorf("fifo %d: %w", fifoSize, err)
+		}
+		series.Points = append(series.Points, stats.Point{X: float64(fifoSize), Y: r.Mbps})
+	}
+	return series, nil
+}
+
+// Fig6and7 reproduces the netpipe-mpich sweep: throughput (Fig. 6) and
+// latency (Fig. 7) series per scenario.
+func Fig6and7(o ExpOptions) (bw []stats.Series, lat []stats.Series, err error) {
+	o = o.withDefaults()
+	for _, s := range o.Scenarios {
+		p, err := o.pair(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts, err := Netpipe(p, NetpipeSizes, o.Iters)
+		p.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%v: %w", s, err)
+		}
+		bws := stats.Series{Name: s.String()}
+		lats := stats.Series{Name: s.String()}
+		for _, pt := range pts {
+			bws.Points = append(bws.Points, stats.Point{X: float64(pt.Size), Y: pt.Mbps})
+			lats.Points = append(lats.Points, stats.Point{X: float64(pt.Size), Y: pt.LatencyUs})
+		}
+		bw = append(bw, bws)
+		lat = append(lat, lats)
+	}
+	return bw, lat, nil
+}
+
+// osuKind selects an OSU benchmark for Fig8to10.
+type osuKind int
+
+// OSU benchmark kinds.
+const (
+	OSUUni osuKind = iota
+	OSUBi
+	OSULat
+)
+
+// Fig8to10 reproduces the OSU MPI benchmarks: uni-directional bandwidth
+// (Fig. 8), bi-directional bandwidth (Fig. 9) or latency (Fig. 10).
+func Fig8to10(o ExpOptions, kind osuKind) ([]stats.Series, error) {
+	o = o.withDefaults()
+	var out []stats.Series
+	for _, s := range o.Scenarios {
+		p, err := o.pair(s)
+		if err != nil {
+			return nil, err
+		}
+		var pts []OSUPoint
+		switch kind {
+		case OSUUni:
+			pts, err = OSUUniBandwidth(p, OSUSizes, o.Iters/4+1)
+		case OSUBi:
+			pts, err = OSUBiBandwidth(p, OSUSizes, o.Iters/4+1)
+		case OSULat:
+			pts, err = OSULatency(p, OSUSizes, o.Iters)
+		}
+		p.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", s, err)
+		}
+		series := stats.Series{Name: s.String()}
+		for _, pt := range pts {
+			y := pt.Mbps
+			if kind == OSULat {
+				y = pt.LatencyUs
+			}
+			series.Points = append(series.Points, stats.Point{X: float64(pt.Size), Y: y})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig11 reproduces the migration timeline.
+func Fig11(o ExpOptions, samplesPerPhase int, interval time.Duration) (TimelineResult, error) {
+	o = o.withDefaults()
+	return MigrationTimeline(testbed.Options{
+		Model:           o.Model,
+		DiscoveryPeriod: 500 * time.Millisecond,
+		Core:            core.Config{FIFOSizeBytes: o.FIFOSizeBytes},
+	}, samplesPerPhase, interval)
+}

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// lmbenchMsgSize is bw_tcp's transfer chunk (64 KiB).
+const lmbenchMsgSize = 64 * 1024
+
+// LmbenchBWTCP reproduces lmbench's bw_tcp: a TCP stream of 64 KiB
+// writes, reporting receiver bandwidth (the paper's "lmbench TCP" rows).
+func LmbenchBWTCP(p *testbed.Pair, duration time.Duration) (BandwidthResult, error) {
+	return TCPStream(p, lmbenchMsgSize, duration)
+}
+
+// LmbenchLatTCP reproduces lmbench's lat_tcp: 1-byte TCP round trips,
+// reporting the average RTT in the paper's Table 3 "lmbench (µs)" row.
+func LmbenchLatTCP(p *testbed.Pair, duration time.Duration) (LatencyResult, error) {
+	return TCPRR(p, duration)
+}
+
+// LmbenchLatUDP measures 1-byte UDP round trips (lat_udp), an extra
+// latency datapoint beyond the paper's table.
+func LmbenchLatUDP(p *testbed.Pair, duration time.Duration) (LatencyResult, error) {
+	return UDPRR(p, duration)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// TimelineResult is the Fig. 11 experiment output: transaction-rate
+// samples across the migrate-together / migrate-apart sequence.
+type TimelineResult struct {
+	// Points plot elapsed seconds against transactions/sec.
+	Points []stats.Point
+	// TogetherAt and ApartAt are the sample indices right after each
+	// migration completed.
+	TogetherAt, ApartAt int
+	// Errors counts request-response failures (expected: zero; TCP rides
+	// through the migrations).
+	Errors int
+}
+
+// MigrationTimeline reproduces Fig. 11: two VMs begin on separate
+// machines running a continuous netperf-style TCP_RR workload; one VM
+// migrates to become co-resident (the rate jumps as XenLoop engages) and
+// later migrates away again (the rate returns to the inter-machine
+// level). samplesPerPhase samples of length interval are taken in each of
+// the three phases.
+func MigrationTimeline(opts testbed.Options, samplesPerPhase int, interval time.Duration) (TimelineResult, error) {
+	tb := testbed.New(opts)
+	defer tb.Close()
+	m1 := tb.AddMachine("m1")
+	m2 := tb.AddMachine("m2")
+	vm1, err := tb.AddVM(m1, "vm1")
+	if err != nil {
+		return TimelineResult{}, err
+	}
+	vm2, err := tb.AddVM(m2, "vm2")
+	if err != nil {
+		return TimelineResult{}, err
+	}
+	if err := tb.EnableXenLoop(vm1); err != nil {
+		return TimelineResult{}, err
+	}
+	if err := tb.EnableXenLoop(vm2); err != nil {
+		return TimelineResult{}, err
+	}
+
+	// Server on vm2.
+	port := nextPort()
+	ln, err := vm2.Stack.ListenTCP(port)
+	if err != nil {
+		return TimelineResult{}, err
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.ReadFull(buf); err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := vm1.Stack.DialTCP(vm2.IP, port)
+	if err != nil {
+		return TimelineResult{}, err
+	}
+	defer conn.Close()
+
+	var count atomic.Uint64
+	var rrErrs atomic.Uint64
+	stop := make(chan struct{})
+	go func() {
+		req := []byte{0x42}
+		resp := make([]byte, 1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := conn.Write(req); err != nil {
+				rrErrs.Add(1)
+				return
+			}
+			if _, err := conn.ReadFull(resp); err != nil {
+				rrErrs.Add(1)
+				return
+			}
+			count.Add(1)
+		}
+	}()
+
+	var res TimelineResult
+	start := time.Now()
+	sample := func() {
+		before := count.Load()
+		time.Sleep(interval)
+		delta := count.Load() - before
+		res.Points = append(res.Points, stats.Point{
+			X: time.Since(start).Seconds(),
+			Y: float64(delta) / interval.Seconds(),
+		})
+	}
+
+	for i := 0; i < samplesPerPhase; i++ {
+		sample()
+	}
+	if err := tb.Migrate(vm1, m2); err != nil {
+		close(stop)
+		return res, err
+	}
+	res.TogetherAt = len(res.Points)
+	for i := 0; i < samplesPerPhase; i++ {
+		sample()
+	}
+	if err := tb.Migrate(vm1, m1); err != nil {
+		close(stop)
+		return res, err
+	}
+	res.ApartAt = len(res.Points)
+	for i := 0; i < samplesPerPhase; i++ {
+		sample()
+	}
+	close(stop)
+	res.Errors = int(rrErrs.Load())
+	return res, nil
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// TCPRRN runs exactly n TCP_RR transactions (for testing.B iteration).
+func TCPRRN(p *testbed.Pair, n int) (LatencyResult, error) {
+	return tcpRR(p, 0, n)
+}
+
+// TCPRR reproduces netperf TCP_RR: 1-byte request, 1-byte response over a
+// persistent connection, reporting transactions per second.
+func TCPRR(p *testbed.Pair, duration time.Duration) (LatencyResult, error) {
+	return tcpRR(p, duration, 0)
+}
+
+func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	ln, err := b.Stack.ListenTCP(port)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.ReadFull(buf); err != nil {
+				srvErr <- nil
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				srvErr <- err
+				return
+			}
+		}
+	}()
+
+	conn, err := a.Stack.DialTCP(b.IP, port)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	req := []byte{0x42}
+	resp := make([]byte, 1)
+	// Warm-up transaction.
+	if _, err := conn.Write(req); err != nil {
+		return LatencyResult{}, err
+	}
+	if _, err := conn.ReadFull(resp); err != nil {
+		return LatencyResult{}, err
+	}
+
+	transactions := 0
+	start := time.Now()
+	deadline := start.Add(duration)
+	for more(transactions, n, deadline) {
+		if _, err := conn.Write(req); err != nil {
+			return LatencyResult{}, err
+		}
+		if _, err := conn.ReadFull(resp); err != nil {
+			return LatencyResult{}, err
+		}
+		transactions++
+	}
+	elapsed := time.Since(start)
+	conn.Close()
+	return latencyResult(transactions, elapsed), nil
+}
+
+// more continues a measurement loop either to a transaction count (n > 0)
+// or to a deadline.
+func more(done, n int, deadline time.Time) bool {
+	if n > 0 {
+		return done < n
+	}
+	return time.Now().Before(deadline)
+}
+
+// UDPRRN runs exactly n UDP_RR transactions (for testing.B iteration).
+func UDPRRN(p *testbed.Pair, n int) (LatencyResult, error) {
+	return udpRR(p, 0, n)
+}
+
+// UDPRR reproduces netperf UDP_RR: 1-byte request/response datagrams.
+func UDPRR(p *testbed.Pair, duration time.Duration) (LatencyResult, error) {
+	return udpRR(p, duration, 0)
+}
+
+func udpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	srv, err := b.Stack.ListenUDP(port)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	defer srv.Close()
+	go func() {
+		for {
+			data, src, srcPort, err := srv.ReadFrom(0)
+			if err != nil {
+				return
+			}
+			if err := srv.WriteTo(data, src, srcPort); err != nil {
+				return
+			}
+		}
+	}()
+
+	cli, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	defer cli.Close()
+	req := []byte{0x42}
+	// Warm-up (also resolves ARP).
+	if err := cli.WriteTo(req, b.IP, port); err != nil {
+		return LatencyResult{}, err
+	}
+	if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+		return LatencyResult{}, err
+	}
+
+	transactions := 0
+	start := time.Now()
+	deadline := start.Add(duration)
+	for more(transactions, n, deadline) {
+		if err := cli.WriteTo(req, b.IP, port); err != nil {
+			return LatencyResult{}, err
+		}
+		if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+			return LatencyResult{}, fmt.Errorf("udp_rr response lost: %w", err)
+		}
+		transactions++
+	}
+	elapsed := time.Since(start)
+	return latencyResult(transactions, elapsed), nil
+}
+
+// TCPStreamBytes moves exactly totalBytes through a TCP stream (for
+// testing.B iteration) and reports receiver bandwidth.
+func TCPStreamBytes(p *testbed.Pair, msgSize int, totalBytes int64) (BandwidthResult, error) {
+	return tcpStream(p, msgSize, 0, totalBytes)
+}
+
+// TCPStream reproduces netperf TCP_STREAM: the sender writes msgSize
+// chunks for the given duration; bandwidth is measured at the receiver.
+func TCPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthResult, error) {
+	return tcpStream(p, msgSize, duration, 0)
+}
+
+func tcpStream(p *testbed.Pair, msgSize int, duration time.Duration, totalBytes int64) (BandwidthResult, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	ln, err := b.Stack.ListenTCP(port)
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	defer ln.Close()
+
+	type recvResult struct {
+		bytes   int64
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- recvResult{err: err}
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 256<<10)
+		var total int64
+		start := time.Now()
+		for {
+			n, err := conn.Read(buf)
+			total += int64(n)
+			if err != nil {
+				break
+			}
+		}
+		done <- recvResult{bytes: total, elapsed: time.Since(start)}
+	}()
+
+	conn, err := a.Stack.DialTCP(b.IP, port)
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	msg := make([]byte, msgSize)
+	deadline := time.Now().Add(duration)
+	var sent int64
+	for {
+		if totalBytes > 0 {
+			if sent >= totalBytes {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		if _, err := conn.Write(msg); err != nil {
+			return BandwidthResult{}, err
+		}
+		sent += int64(msgSize)
+	}
+	conn.Close()
+	r := <-done
+	if r.err != nil {
+		return BandwidthResult{}, r.err
+	}
+	return BandwidthResult{
+		Bytes:   r.bytes,
+		Elapsed: r.elapsed,
+		Mbps:    stats.Mbps(r.bytes, r.elapsed),
+	}, nil
+}
+
+// udpEndMarker terminates a UDP stream measurement; udpPrimeMarker warms
+// the ARP path without counting toward goodput.
+var (
+	udpEndMarker   = []byte{0xE0, 0xFD, 0x00, 0x99}
+	udpPrimeMarker = []byte{0xE0, 0xFD, 0x00, 0x98}
+)
+
+// UDPStream reproduces netperf UDP_STREAM: the sender blasts datagrams of
+// msgSize for the duration; the receiver reports goodput (delivered
+// bytes over elapsed time) — drops reduce the result, exactly as netperf
+// reports the receive-side rate.
+func UDPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthResult, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	srv, err := b.Stack.ListenUDP(port)
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	defer srv.Close()
+
+	type recvResult struct {
+		bytes   int64
+		msgs    int64
+		elapsed time.Duration
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		var total, msgs int64
+		var start time.Time
+		for {
+			data, _, _, err := srv.ReadFrom(2 * time.Second)
+			if err != nil {
+				break // idle: sender finished and marker was lost
+			}
+			if len(data) == len(udpEndMarker) && string(data) == string(udpEndMarker) {
+				break
+			}
+			if len(data) == len(udpPrimeMarker) && string(data) == string(udpPrimeMarker) {
+				continue
+			}
+			if start.IsZero() {
+				start = time.Now()
+			}
+			total += int64(len(data))
+			msgs++
+		}
+		elapsed := time.Duration(0)
+		if !start.IsZero() {
+			elapsed = time.Since(start)
+		}
+		done <- recvResult{bytes: total, msgs: msgs, elapsed: elapsed}
+	}()
+
+	cli, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	defer cli.Close()
+	// Resolve ARP before the timed run.
+	if err := cli.WriteTo(udpPrimeMarker, b.IP, port); err != nil {
+		return BandwidthResult{}, err
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	msg := make([]byte, msgSize)
+	var sent int64
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		if err := cli.WriteTo(msg, b.IP, port); err != nil {
+			return BandwidthResult{}, err
+		}
+		sent++
+	}
+	// Give in-flight datagrams a moment, then end the measurement.
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		_ = cli.WriteTo(udpEndMarker, b.IP, port)
+		time.Sleep(2 * time.Millisecond)
+	}
+	r := <-done
+	return BandwidthResult{
+		Bytes:        r.bytes,
+		Elapsed:      r.elapsed,
+		Mbps:         stats.Mbps(r.bytes, r.elapsed),
+		MsgsSent:     sent,
+		MsgsReceived: r.msgs,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// NetpipePoint is one message size of a NetPIPE sweep.
+type NetpipePoint struct {
+	Size      int
+	Mbps      float64
+	LatencyUs float64 // one-way latency (RTT/2), NetPIPE's convention
+}
+
+// NetpipeSizes is the default message-size sweep for Figs. 6-7 (powers of
+// two from 1 byte to 64 KiB, plus the odd sizes NetPIPE perturbs with).
+var NetpipeSizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+	1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Netpipe reproduces netpipe-mpich: request-response ping-pong of
+// increasing message sizes over the MPI-style layer, reporting both the
+// throughput and latency series (paper Figs. 6 and 7).
+func Netpipe(p *testbed.Pair, sizes []int, perSize int) ([]NetpipePoint, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	ln, err := mpi.Listen(b.Stack, port)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1<<20)
+		for {
+			n, err := conn.RecvInto(buf)
+			if err != nil {
+				srvDone <- nil
+				return
+			}
+			if err := conn.Send(buf[:n]); err != nil {
+				srvDone <- err
+				return
+			}
+		}
+	}()
+
+	conn, err := mpi.Dial(a.Stack, b.IP, port)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	buf := make([]byte, 1<<20)
+	points := make([]NetpipePoint, 0, len(sizes))
+	for _, size := range sizes {
+		msg := make([]byte, size)
+		// Warm up this size once.
+		if err := conn.Send(msg); err != nil {
+			return nil, err
+		}
+		if _, err := conn.RecvInto(buf); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < perSize; i++ {
+			if err := conn.Send(msg); err != nil {
+				return nil, err
+			}
+			if _, err := conn.RecvInto(buf); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		rtt := elapsed / time.Duration(perSize)
+		points = append(points, NetpipePoint{
+			Size: size,
+			// NetPIPE throughput: bits moved one way over half the RTT.
+			Mbps:      stats.Mbps(int64(size), rtt/2),
+			LatencyUs: stats.Micros(rtt / 2),
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// OSUPoint is one message size of an OSU benchmark sweep.
+type OSUPoint struct {
+	Size      int
+	Mbps      float64
+	LatencyUs float64
+}
+
+// OSUSizes is the message-size sweep for Figs. 8-10.
+var OSUSizes = []int{1, 16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536}
+
+// osuWindow is the number of back-to-back messages per ack, matching the
+// OSU bandwidth test's default window of 64.
+const osuWindow = 64
+
+// OSUUniBandwidth reproduces the OSU uni-directional bandwidth test
+// (Fig. 8): the sender pushes a window of back-to-back messages, the
+// receiver acknowledges the window, repeated iters times per size.
+func OSUUniBandwidth(p *testbed.Pair, sizes []int, iters int) ([]OSUPoint, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	ln, err := mpi.Listen(b.Stack, port)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1<<20)
+		ack := []byte{1}
+		for {
+			for i := 0; i < osuWindow; i++ {
+				if _, err := conn.RecvInto(buf); err != nil {
+					return
+				}
+			}
+			if err := conn.Send(ack); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := mpi.Dial(a.Stack, b.IP, port)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	ackBuf := make([]byte, 16)
+	points := make([]OSUPoint, 0, len(sizes))
+	for _, size := range sizes {
+		msg := make([]byte, size)
+		// One warm-up window.
+		if err := sendWindow(conn, msg, ackBuf); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			if err := sendWindow(conn, msg, ackBuf); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		bytes := int64(size) * int64(osuWindow) * int64(iters)
+		points = append(points, OSUPoint{Size: size, Mbps: stats.Mbps(bytes, elapsed)})
+	}
+	return points, nil
+}
+
+func sendWindow(conn *mpi.Conn, msg, ackBuf []byte) error {
+	for i := 0; i < osuWindow; i++ {
+		if err := conn.Send(msg); err != nil {
+			return err
+		}
+	}
+	if _, err := conn.RecvInto(ackBuf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OSUBiBandwidth reproduces the OSU bi-directional bandwidth test
+// (Fig. 9): both sides send windows simultaneously and wait for the
+// peer's ack; reported bandwidth counts both directions.
+func OSUBiBandwidth(p *testbed.Pair, sizes []int, iters int) ([]OSUPoint, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	ln, err := mpi.Listen(b.Stack, port)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	srvReady := make(chan *mpi.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvReady <- nil
+			return
+		}
+		srvReady <- conn
+	}()
+	cli, err := mpi.Dial(a.Stack, b.IP, port)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	srv := <-srvReady
+	if srv == nil {
+		return nil, fmt.Errorf("bench: bi-bandwidth server accept failed")
+	}
+	defer srv.Close()
+
+	// Each side sends its window and drains the peer's concurrently (the
+	// OSU test posts non-blocking MPI_Isend/Irecv), so neither side can
+	// deadlock on transport buffering however large the window is.
+	runSide := func(conn *mpi.Conn, size, iters int, errOut *error, wg *sync.WaitGroup) {
+		defer wg.Done()
+		msg := make([]byte, size)
+		buf := make([]byte, size+16)
+		for it := 0; it < iters; it++ {
+			sendErr := make(chan error, 1)
+			go func() {
+				for i := 0; i < osuWindow; i++ {
+					if err := conn.Send(msg); err != nil {
+						sendErr <- err
+						return
+					}
+				}
+				sendErr <- nil
+			}()
+			for i := 0; i < osuWindow; i++ {
+				if _, err := conn.RecvInto(buf); err != nil {
+					*errOut = err
+					<-sendErr
+					return
+				}
+			}
+			if err := <-sendErr; err != nil {
+				*errOut = err
+				return
+			}
+		}
+	}
+
+	points := make([]OSUPoint, 0, len(sizes))
+	for _, size := range sizes {
+		var wg sync.WaitGroup
+		var errA, errB error
+		// Warm-up iteration.
+		wg.Add(2)
+		go runSide(cli, size, 1, &errA, &wg)
+		go runSide(srv, size, 1, &errB, &wg)
+		wg.Wait()
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("bench: bi-bandwidth warmup: %v / %v", errA, errB)
+		}
+		start := time.Now()
+		wg.Add(2)
+		go runSide(cli, size, iters, &errA, &wg)
+		go runSide(srv, size, iters, &errB, &wg)
+		wg.Wait()
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("bench: bi-bandwidth: %v / %v", errA, errB)
+		}
+		elapsed := time.Since(start)
+		bytes := 2 * int64(size) * int64(osuWindow) * int64(iters)
+		points = append(points, OSUPoint{Size: size, Mbps: stats.Mbps(bytes, elapsed)})
+	}
+	return points, nil
+}
+
+// OSULatency reproduces the OSU latency test (Fig. 10): ping-pong per
+// message size, reporting one-way latency (RTT/2, the OSU convention).
+func OSULatency(p *testbed.Pair, sizes []int, iters int) ([]OSUPoint, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	ln, err := mpi.Listen(b.Stack, port)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1<<20)
+		for {
+			n, err := conn.RecvInto(buf)
+			if err != nil {
+				return
+			}
+			if err := conn.Send(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := mpi.Dial(a.Stack, b.IP, port)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	buf := make([]byte, 1<<20)
+	points := make([]OSUPoint, 0, len(sizes))
+	for _, size := range sizes {
+		msg := make([]byte, size)
+		if err := conn.Send(msg); err != nil { // warm-up
+			return nil, err
+		}
+		if _, err := conn.RecvInto(buf); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			if err := conn.Send(msg); err != nil {
+				return nil, err
+			}
+			if _, err := conn.RecvInto(buf); err != nil {
+				return nil, err
+			}
+		}
+		rtt := time.Since(start) / time.Duration(iters)
+		points = append(points, OSUPoint{Size: size, LatencyUs: stats.Micros(rtt / 2)})
+	}
+	return points, nil
+}

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// FloodPing reproduces the paper's "Flood Ping RTT" row: count
+// back-to-back ICMP ECHO request/reply exchanges of the given payload
+// size (ping's default 56 bytes), reporting the average RTT.
+func FloodPing(p *testbed.Pair, count, size int) (stats.Summary, error) {
+	a, b := endpoints(p)
+	// Warm the ARP path so the measurement covers the steady state.
+	if _, err := a.Stack.Ping(b.IP, size, 2*time.Second); err != nil {
+		return stats.Summary{}, err
+	}
+	samples := make([]time.Duration, 0, count)
+	for i := 0; i < count; i++ {
+		rtt, err := a.Stack.Ping(b.IP, size, 2*time.Second)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		samples = append(samples, rtt)
+	}
+	return stats.Summarize(samples), nil
+}

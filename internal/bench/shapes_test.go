@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/testbed"
+)
+
+// These regression tests pin the *shape* of the paper's results — the
+// orderings, ratios and crossovers listed in DESIGN.md §5 — under the
+// calibrated cost model. They are the reproduction's acceptance suite:
+// if a refactor breaks the XenLoop advantage or the scenario ordering,
+// these fail even though all functional tests still pass.
+
+func calOpts() ExpOptions {
+	return ExpOptions{Model: costmodel.Calibrated(), Duration: 250 * time.Millisecond, Iters: 30}
+}
+
+func calPair(t *testing.T, s testbed.Scenario) *testbed.Pair {
+	t.Helper()
+	p, err := calOpts().pair(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// Shape 1 (Table 3): latency ordering — native loopback < XenLoop <
+// inter-machine < netfront/netback, with XenLoop about 5x better than
+// netfront.
+func TestShapeLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated shape test")
+	}
+	rtt := map[testbed.Scenario]time.Duration{}
+	for _, s := range testbed.Scenarios {
+		p := calPair(t, s)
+		sum, err := FloodPing(p, 60, 56)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtt[s] = sum.Mean
+	}
+	t.Logf("ping RTT: lo=%v xl=%v inter=%v nfb=%v",
+		rtt[testbed.NativeLoopback], rtt[testbed.XenLoop],
+		rtt[testbed.InterMachine], rtt[testbed.NetfrontNetback])
+	if !(rtt[testbed.NativeLoopback] < rtt[testbed.XenLoop]) {
+		t.Error("loopback not faster than XenLoop")
+	}
+	if !(rtt[testbed.XenLoop] < rtt[testbed.InterMachine]) {
+		t.Error("XenLoop not faster than inter-machine")
+	}
+	if !(rtt[testbed.InterMachine] < rtt[testbed.NetfrontNetback]) {
+		t.Error("inter-machine not faster than netfront")
+	}
+	// "XenLoop can reduce the inter-VM round trip latency by up to a
+	// factor of 5" — require at least 3.5x against netfront.
+	if ratio := float64(rtt[testbed.NetfrontNetback]) / float64(rtt[testbed.XenLoop]); ratio < 3.5 {
+		t.Errorf("XenLoop latency advantage only %.1fx, want >= 3.5x", ratio)
+	}
+}
+
+// Shape 2 (Table 2): TCP bandwidth ordering — XenLoop > netfront >
+// inter-machine, with inter-machine capped by the 1 Gbps wire.
+func TestShapeTCPBandwidthOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated shape test")
+	}
+	mbps := map[testbed.Scenario]float64{}
+	for _, s := range []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop} {
+		p := calPair(t, s)
+		r, err := TCPStream(p, 16*1024, 400*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbps[s] = r.Mbps
+	}
+	t.Logf("tcp stream: inter=%.0f nfb=%.0f xl=%.0f",
+		mbps[testbed.InterMachine], mbps[testbed.NetfrontNetback], mbps[testbed.XenLoop])
+	if mbps[testbed.InterMachine] > 1000 {
+		t.Errorf("inter-machine %.0f Mbps exceeds the 1 Gbps wire", mbps[testbed.InterMachine])
+	}
+	if !(mbps[testbed.NetfrontNetback] > mbps[testbed.InterMachine]) {
+		t.Error("netfront not faster than inter-machine for TCP")
+	}
+	if !(mbps[testbed.XenLoop] > 1.2*mbps[testbed.NetfrontNetback]) {
+		t.Errorf("XenLoop (%.0f) not clearly faster than netfront (%.0f)",
+			mbps[testbed.XenLoop], mbps[testbed.NetfrontNetback])
+	}
+}
+
+// Shape 3 (Table 2): UDP — netfront gains nothing over inter-machine
+// (the paper's 707 vs 710), while XenLoop is many times faster.
+func TestShapeUDPBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated shape test")
+	}
+	mbps := map[testbed.Scenario]float64{}
+	for _, s := range []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop} {
+		p := calPair(t, s)
+		r, err := UDPStream(p, 65000, 400*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbps[s] = r.Mbps
+	}
+	t.Logf("udp stream: inter=%.0f nfb=%.0f xl=%.0f",
+		mbps[testbed.InterMachine], mbps[testbed.NetfrontNetback], mbps[testbed.XenLoop])
+	if mbps[testbed.NetfrontNetback] > 1.2*mbps[testbed.InterMachine] {
+		t.Error("netfront UDP should not beat inter-machine (virtualization overhead eats the benefit)")
+	}
+	// "increase bandwidth by up to a factor of 6" — require >= 4x.
+	if ratio := mbps[testbed.XenLoop] / mbps[testbed.NetfrontNetback]; ratio < 4 {
+		t.Errorf("XenLoop UDP advantage only %.1fx, want >= 4x", ratio)
+	}
+}
+
+// Shape 4 (Fig 4): throughput grows with UDP message size, and XenLoop's
+// advantage over netfront widens with size.
+func TestShapeFig4Growth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated shape test")
+	}
+	measure := func(s testbed.Scenario, size int) float64 {
+		p := calPair(t, s)
+		r, err := UDPStream(p, size, 250*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Mbps
+	}
+	xlSmall := measure(testbed.XenLoop, 1024)
+	xlLarge := measure(testbed.XenLoop, 65000)
+	nfSmall := measure(testbed.NetfrontNetback, 1024)
+	nfLarge := measure(testbed.NetfrontNetback, 65000)
+	t.Logf("fig4: xl 1K=%.0f 64K=%.0f | nfb 1K=%.0f 64K=%.0f", xlSmall, xlLarge, nfSmall, nfLarge)
+	if xlLarge < 2*xlSmall {
+		t.Error("XenLoop throughput does not grow with message size")
+	}
+	if xlLarge/nfLarge < xlSmall/nfSmall {
+		t.Error("XenLoop advantage should widen with message size")
+	}
+}
+
+// Shape 5 (Fig 5): a larger FIFO helps up to saturation — the 64 KiB
+// default must clearly beat a 4 KiB FIFO.
+func TestShapeFig5FIFOSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated shape test")
+	}
+	measure := func(fifoSize int) float64 {
+		o := calOpts()
+		o.FIFOSizeBytes = fifoSize
+		p, err := o.pair(testbed.XenLoop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		r, err := UDPStream(p, 3000, 300*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Mbps
+	}
+	small := measure(4 << 10)
+	big := measure(64 << 10)
+	t.Logf("fig5: 4KiB=%.0f 64KiB=%.0f", small, big)
+	if big < 1.3*small {
+		t.Errorf("64 KiB FIFO (%.0f) not clearly better than 4 KiB (%.0f)", big, small)
+	}
+}

@@ -1,0 +1,121 @@
+// Package bridge implements the driver domain's software bridge — the
+// component every inter-VM packet must traverse on the standard
+// netfront/netback path (paper Fig. 1), and precisely the hop XenLoop's
+// direct channel bypasses.
+//
+// It is a learning Ethernet bridge: source addresses populate the
+// forwarding database, known destinations are forwarded to one port,
+// unknown and broadcast destinations flood. XenLoop-type control frames
+// never leave through the external (physical NIC) port, keeping the
+// discovery and bootstrap protocols on-host.
+package bridge
+
+import (
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/pkt"
+)
+
+// Port is one bridge attachment (a guest vif via netback, or the physical
+// NIC).
+type Port struct {
+	br       *Bridge
+	deliver  func(frame []byte)
+	external bool
+	name     string
+}
+
+// Name returns the port's label.
+func (p *Port) Name() string { return p.name }
+
+// Input hands a frame received on this port to the bridge for forwarding.
+func (p *Port) Input(frame []byte) { p.br.input(p, frame) }
+
+// Bridge is a Dom0 software bridge instance.
+type Bridge struct {
+	model *costmodel.Model
+	count *costmodel.Counters
+
+	mu    sync.Mutex
+	ports []*Port
+	fdb   map[pkt.MAC]*Port
+}
+
+// New creates a bridge charging per-frame costs to model (nil = free).
+func New(model *costmodel.Model, counters *costmodel.Counters) *Bridge {
+	if model == nil {
+		model = costmodel.Off()
+	}
+	if counters == nil {
+		counters = &costmodel.Counters{}
+	}
+	return &Bridge{model: model, count: counters, fdb: map[pkt.MAC]*Port{}}
+}
+
+// AddPort attaches a delivery function as a new port. external marks the
+// port leading off-host (the physical NIC).
+func (b *Bridge) AddPort(name string, deliver func(frame []byte), external bool) *Port {
+	p := &Port{br: b, deliver: deliver, external: external, name: name}
+	b.mu.Lock()
+	b.ports = append(b.ports, p)
+	b.mu.Unlock()
+	return p
+}
+
+// RemovePort detaches a port and forgets its learned addresses.
+func (b *Bridge) RemovePort(p *Port) {
+	b.mu.Lock()
+	for i, q := range b.ports {
+		if q == p {
+			b.ports = append(b.ports[:i], b.ports[i+1:]...)
+			break
+		}
+	}
+	for mac, q := range b.fdb {
+		if q == p {
+			delete(b.fdb, mac)
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (b *Bridge) input(from *Port, frame []byte) {
+	eth, _, err := pkt.ParseEth(frame)
+	if err != nil {
+		return
+	}
+	b.model.Charge(b.model.BridgePerFrame)
+	b.count.FramesBridged.Add(1)
+
+	b.mu.Lock()
+	if !eth.Src.IsBroadcast() && !eth.Src.IsZero() {
+		b.fdb[eth.Src] = from
+	}
+	var targets []*Port
+	if dst, ok := b.fdb[eth.Dst]; ok && !eth.Dst.IsBroadcast() {
+		if dst != from {
+			targets = []*Port{dst}
+		}
+	} else {
+		for _, q := range b.ports {
+			if q == from {
+				continue
+			}
+			// XenLoop control traffic stays on the local machine.
+			if q.external && eth.EtherType == pkt.EtherTypeXenLoop {
+				continue
+			}
+			targets = append(targets, q)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, q := range targets {
+		f := frame
+		if len(targets) > 1 {
+			f = append([]byte(nil), frame...)
+		}
+		q.deliver(f)
+	}
+}

@@ -1,0 +1,105 @@
+package bridge
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+type capture struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (c *capture) deliver(f []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, f)
+	c.mu.Unlock()
+}
+
+func (c *capture) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func TestLearningAndForwarding(t *testing.T) {
+	b := New(nil, nil)
+	var c1, c2, c3 capture
+	p1 := b.AddPort("p1", c1.deliver, false)
+	p2 := b.AddPort("p2", c2.deliver, false)
+	b.AddPort("p3", c3.deliver, false)
+
+	macA := pkt.XenMAC(0, 1, 0)
+	macB := pkt.XenMAC(0, 2, 0)
+
+	// Unknown destination: flood to everyone but the ingress port.
+	f1 := pkt.BuildFrame(macB, macA, pkt.EtherTypeIPv4, []byte("x"))
+	p1.Input(f1)
+	if c1.count() != 0 || c2.count() != 1 || c3.count() != 1 {
+		t.Fatalf("flood counts %d %d %d", c1.count(), c2.count(), c3.count())
+	}
+	// Reply teaches the bridge where A lives; now unicast only to p1.
+	f2 := pkt.BuildFrame(macA, macB, pkt.EtherTypeIPv4, []byte("y"))
+	p2.Input(f2)
+	if c1.count() != 1 || c3.count() != 1 {
+		t.Fatalf("unicast counts %d %d %d", c1.count(), c2.count(), c3.count())
+	}
+	// And B is known too.
+	p1.Input(f1)
+	if c2.count() != 2 || c3.count() != 1 {
+		t.Fatalf("learned-unicast counts %d %d %d", c1.count(), c2.count(), c3.count())
+	}
+}
+
+func TestXenLoopFramesStayOnHost(t *testing.T) {
+	b := New(nil, nil)
+	var guest, nic capture
+	p := b.AddPort("guest", guest.deliver, false)
+	b.AddPort("pnic", nic.deliver, true)
+	var other capture
+	b.AddPort("guest2", other.deliver, false)
+
+	// A XenLoop-type broadcast must reach other guests but never the
+	// external NIC port.
+	f := pkt.BuildFrame(pkt.BroadcastMAC, pkt.XenMAC(0, 1, 0), pkt.EtherTypeXenLoop, []byte{1, 1})
+	p.Input(f)
+	if other.count() != 1 {
+		t.Fatal("xenloop frame did not reach the co-resident guest")
+	}
+	if nic.count() != 0 {
+		t.Fatal("xenloop frame leaked to the physical network")
+	}
+	// Ordinary traffic does flood to the NIC.
+	f2 := pkt.BuildFrame(pkt.BroadcastMAC, pkt.XenMAC(0, 1, 0), pkt.EtherTypeIPv4, []byte{2})
+	p.Input(f2)
+	if nic.count() != 1 {
+		t.Fatal("ordinary broadcast did not reach the NIC")
+	}
+}
+
+func TestRemovePortForgetsAddresses(t *testing.T) {
+	b := New(nil, nil)
+	var c1, c2 capture
+	p1 := b.AddPort("p1", c1.deliver, false)
+	p2 := b.AddPort("p2", c2.deliver, false)
+	macA := pkt.XenMAC(0, 1, 0)
+	p1.Input(pkt.BuildFrame(pkt.XenMAC(0, 9, 9), macA, pkt.EtherTypeIPv4, []byte("l")))
+	b.RemovePort(p1)
+	// Frames to A now flood (p1 is gone) — and must not crash.
+	p2.Input(pkt.BuildFrame(macA, pkt.XenMAC(0, 2, 0), pkt.EtherTypeIPv4, []byte("m")))
+	if c1.count() != 0 {
+		t.Fatal("removed port still receives")
+	}
+}
+
+func TestMalformedFrameIgnored(t *testing.T) {
+	b := New(nil, nil)
+	var c capture
+	p := b.AddPort("p", c.deliver, false)
+	p.Input([]byte{1, 2, 3}) // shorter than an Ethernet header
+	if c.count() != 0 {
+		t.Fatal("malformed frame was forwarded")
+	}
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fifo"
+	"repro/internal/hypervisor"
+	"repro/internal/netstack"
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+// Channel states.
+const (
+	chanBootstrapping int32 = iota
+	chanConnected
+	chanInactive
+)
+
+// Channel is one bidirectional inter-VM channel: two FIFOs (one per
+// direction) plus one bidirectional event channel (paper §3.3). The
+// listener/connector distinction exists only during bootstrap; data
+// transfer is fully symmetric.
+type Channel struct {
+	mod   *Module
+	peer  Identity
+	state atomic.Int32
+
+	// Channel endpoint resources. For the listener, out/in are the
+	// descriptors it allocated and granted; for the connector they are
+	// the mapped foreign descriptors.
+	out  *fifo.FIFO // we produce
+	in   *fifo.FIFO // we consume
+	port hypervisor.Port
+
+	listener   bool
+	outRef     hypervisor.GrantRef // grants made (listener) or mapped (connector)
+	inRef      hypervisor.GrantRef
+	generation uint32
+
+	sendMu  sync.Mutex
+	waiting [][]byte // packets awaiting FIFO space, in order
+
+	signal chan struct{}
+	quit   chan struct{}
+	once   sync.Once
+}
+
+// Connected reports whether the channel carries data traffic.
+func (ch *Channel) Connected() bool { return ch.state.Load() == chanConnected }
+
+// Peer returns the channel's remote identity.
+func (ch *Channel) Peer() Identity { return ch.peer }
+
+// WaitingLen reports the current waiting-list length.
+func (ch *Channel) WaitingLen() int {
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	return len(ch.waiting)
+}
+
+// FIFOSizeBytes reports the per-direction capacity (0 before bootstrap).
+func (ch *Channel) FIFOSizeBytes() int {
+	if ch.out == nil {
+		return 0
+	}
+	return ch.out.SizeBytes()
+}
+
+// send shepherds one datagram into the outgoing FIFO. Verdicts: Stolen if
+// the packet now travels (or waits) on the XenLoop channel, Accept if it
+// must use the standard path (too large, channel going down, waiting list
+// overflow).
+func (ch *Channel) send(datagram []byte) netstack.Verdict {
+	m := ch.mod
+	if len(datagram) > ch.out.MaxPacket() {
+		m.stats.PktsTooLarge.Add(1)
+		return netstack.VerdictAccept
+	}
+	ch.sendMu.Lock()
+	if len(ch.waiting) > 0 {
+		// Preserve ordering: drain the waiting list first.
+		if len(ch.waiting) >= m.cfg.MaxWaitingPackets {
+			ch.sendMu.Unlock()
+			m.stats.PktsStandard.Add(1)
+			return netstack.VerdictAccept
+		}
+		ch.waiting = append(ch.waiting, datagram)
+		ch.out.SetProducerWaiting()
+		ch.sendMu.Unlock()
+		m.stats.PktsWaiting.Add(1)
+		return netstack.VerdictStolen
+	}
+	pushed, err := ch.out.Push(datagram)
+	if err != nil {
+		ch.sendMu.Unlock()
+		return netstack.VerdictAccept // inactive: teardown under way
+	}
+	if !pushed {
+		ch.waiting = append(ch.waiting, datagram)
+		ch.out.SetProducerWaiting()
+		ch.sendMu.Unlock()
+		m.stats.PktsWaiting.Add(1)
+		return netstack.VerdictStolen
+	}
+	m.model.ChargeCopy(len(datagram)) // sender-side copy onto the FIFO
+	kick := m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer()
+	ch.sendMu.Unlock()
+
+	m.stats.PktsChannel.Add(1)
+	m.stats.BytesChannel.Add(uint64(len(datagram)))
+	if kick {
+		_ = m.dom.NotifyPort(ch.port)
+	}
+	return netstack.VerdictStolen
+}
+
+// event is the channel's event-channel upcall: it wakes the worker. The
+// upcall itself stays tiny so the domain's event dispatcher is never
+// blocked by protocol processing.
+func (ch *Channel) event() {
+	select {
+	case ch.signal <- struct{}{}:
+	default:
+	}
+}
+
+// worker is the channel's receive/waiting-list goroutine.
+func (ch *Channel) worker() {
+	for {
+		got := ch.drainIncoming()
+		ch.drainWaiting()
+		if ch.out.Descriptor().Inactive.Load() || ch.in.Descriptor().Inactive.Load() {
+			ch.mod.peerDisengaged(ch)
+			return
+		}
+		if got {
+			continue
+		}
+		if !ch.in.ParkConsumer() {
+			continue // more packets arrived while parking
+		}
+		select {
+		case <-ch.signal:
+		case <-ch.quit:
+			return
+		}
+	}
+}
+
+// drainIncoming pops every pending packet, charges the receiver-side copy
+// and injects the packet into layer-3 receive. After freeing space it
+// notifies a producer that reported a full FIFO.
+func (ch *Channel) drainIncoming() bool {
+	m := ch.mod
+	if ch.in == nil {
+		return false // torn down mid-bootstrap
+	}
+	n := 0
+	if m.cfg.ZeroCopyReceive {
+		for ch.in.PopZeroCopy(func(p []byte) {
+			// No receive copy: the stack processes the packet in place
+			// while it still occupies FIFO space (§3.3's rejected
+			// alternative).
+			m.stack.InjectIP(p)
+		}) {
+			n++
+			m.stats.PktsReceived.Add(1)
+		}
+	} else {
+		for {
+			p, ok := ch.in.Pop()
+			if !ok {
+				break
+			}
+			m.model.ChargeCopy(len(p)) // receiver-side copy off the FIFO
+			m.stats.PktsReceived.Add(1)
+			m.stack.InjectIP(p)
+			n++
+		}
+	}
+	if n > 0 && ch.in.ConsumeProducerWaiting() {
+		_ = m.dom.NotifyPort(ch.port) // space freed: wake the peer's sender
+	}
+	return n > 0
+}
+
+// drainWaiting moves waiting-list packets into the FIFO as space allows.
+func (ch *Channel) drainWaiting() {
+	m := ch.mod
+	if ch.out == nil {
+		return // torn down mid-bootstrap
+	}
+	ch.sendMu.Lock()
+	pushed := 0
+	for len(ch.waiting) > 0 {
+		ok, err := ch.out.Push(ch.waiting[0])
+		if err != nil || !ok {
+			break
+		}
+		m.model.ChargeCopy(len(ch.waiting[0]))
+		m.stats.PktsChannel.Add(1)
+		m.stats.BytesChannel.Add(uint64(len(ch.waiting[0])))
+		ch.waiting[0] = nil
+		ch.waiting = ch.waiting[1:]
+		pushed++
+	}
+	if len(ch.waiting) > 0 {
+		ch.out.SetProducerWaiting()
+	}
+	kick := pushed > 0 && (m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer())
+	ch.sendMu.Unlock()
+	if kick {
+		_ = m.dom.NotifyPort(ch.port)
+	}
+}
+
+// takeWaiting removes and returns the waiting list (for migration save).
+func (ch *Channel) takeWaiting() [][]byte {
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	w := ch.waiting
+	ch.waiting = nil
+	return w
+}
+
+// stop terminates the worker.
+func (ch *Channel) stop() {
+	ch.once.Do(func() { close(ch.quit) })
+}
+
+// --- bootstrap ---
+
+// startBootstrapLocked creates the channel object and kicks off the
+// handshake. The guest with the smaller ID acts as listener (it creates
+// the FIFOs and the event channel); the larger-ID guest is the connector.
+// When the connector side observes traffic first, it asks the listener to
+// begin via a channel-request message. m.mu must be held.
+func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Channel {
+	ch := &Channel{
+		mod:    m,
+		peer:   Identity{Dom: peerDom, MAC: mac},
+		signal: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	ch.state.Store(chanBootstrapping)
+	m.channels[mac] = ch
+	if m.self.Dom < peerDom {
+		ch.listener = true
+		go m.listenerBootstrap(ch)
+	} else {
+		go m.requestChannel(ch)
+	}
+	return ch
+}
+
+// listenerBootstrap allocates the shared FIFOs and event channel, then
+// sends create-channel with up to cfg.BootstrapRetries retransmissions.
+func (m *Module) listenerBootstrap(ch *Channel) {
+	outDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
+	inDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
+	ch.out = fifo.Attach(outDesc)
+	ch.in = fifo.Attach(inDesc)
+	ch.outRef = m.dom.GrantAccess(ch.peer.Dom, outDesc)
+	ch.inRef = m.dom.GrantAccess(ch.peer.Dom, inDesc)
+	port, err := m.dom.AllocUnboundPort(ch.peer.Dom)
+	if err != nil {
+		m.abortBootstrap(ch)
+		return
+	}
+	ch.port = port
+	_ = m.dom.SetEventHandler(port, ch.event)
+	ch.generation = uint32(time.Now().UnixNano())
+
+	msg := (&createChannelMsg{
+		Listener:   m.Self(),
+		OutRef:     ch.outRef,
+		InRef:      ch.inRef,
+		Port:       port,
+		Generation: ch.generation,
+	}).marshal()
+
+	for attempt := 0; attempt < m.cfg.BootstrapRetries; attempt++ {
+		if ch.Connected() {
+			return
+		}
+		m.sendControl(ch.peer.MAC, msg)
+		deadline := time.After(m.cfg.BootstrapTimeout)
+	waitAck:
+		for {
+			select {
+			case <-deadline:
+				break waitAck
+			case <-ch.quit:
+				return
+			case <-time.After(10 * time.Millisecond):
+				if ch.Connected() {
+					return
+				}
+			}
+		}
+	}
+	if !ch.Connected() {
+		m.abortBootstrap(ch)
+	}
+}
+
+// requestChannel (connector-initiated bootstrap): ask the smaller-ID peer
+// to act as listener.
+func (m *Module) requestChannel(ch *Channel) {
+	msg := (&simpleMsg{Kind: msgChannelReq, Sender: m.Self()}).marshal()
+	for attempt := 0; attempt < m.cfg.BootstrapRetries; attempt++ {
+		if ch.Connected() {
+			return
+		}
+		m.sendControl(ch.peer.MAC, msg)
+		select {
+		case <-time.After(m.cfg.BootstrapTimeout):
+		case <-ch.quit:
+			return
+		}
+	}
+	if !ch.Connected() {
+		m.abortBootstrap(ch)
+	}
+}
+
+// handleCreateChannel is the connector side of the handshake: map the two
+// descriptor grants, bind the event channel, and ack.
+func (m *Module) handleCreateChannel(msg *createChannelMsg) {
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return
+	}
+	if _, known := m.peers[msg.Listener.MAC]; !known {
+		// Announcement may not have reached us yet; trust the handshake.
+		m.peers[msg.Listener.MAC] = msg.Listener.Dom
+	}
+	ch := m.channels[msg.Listener.MAC]
+	if ch != nil && ch.Connected() {
+		m.mu.Unlock()
+		if ch.generation == msg.Generation {
+			// Duplicate create (our ack was lost): re-ack.
+			m.sendControl(msg.Listener.MAC, (&simpleMsg{Kind: msgChannelAck, Sender: m.Self(), Generation: msg.Generation}).marshal())
+		}
+		return
+	}
+	if ch == nil {
+		ch = &Channel{
+			mod:    m,
+			peer:   msg.Listener,
+			signal: make(chan struct{}, 1),
+			quit:   make(chan struct{}),
+		}
+		ch.state.Store(chanBootstrapping)
+		m.channels[msg.Listener.MAC] = ch
+	}
+	m.mu.Unlock()
+
+	if ch.listener {
+		return // both sides listener: impossible by ID ordering
+	}
+
+	// Map the descriptor grants: our IN is the listener's OUT.
+	inObj, err := m.dom.MapGrant(msg.Listener.Dom, msg.OutRef)
+	if err != nil {
+		return
+	}
+	outObj, err := m.dom.MapGrant(msg.Listener.Dom, msg.InRef)
+	if err != nil {
+		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.OutRef)
+		return
+	}
+	inDesc, ok1 := inObj.(*fifo.Descriptor)
+	outDesc, ok2 := outObj.(*fifo.Descriptor)
+	if !ok1 || !ok2 {
+		return
+	}
+	port, err := m.dom.BindInterdomain(msg.Listener.Dom, msg.Port)
+	if err != nil {
+		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.OutRef)
+		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.InRef)
+		return
+	}
+	ch.in = fifo.Attach(inDesc)
+	ch.out = fifo.Attach(outDesc)
+	ch.inRef = msg.OutRef // remember foreign refs for unmap at teardown
+	ch.outRef = msg.InRef
+	ch.port = port
+	ch.generation = msg.Generation
+	_ = m.dom.SetEventHandler(port, ch.event)
+
+	if ch.state.CompareAndSwap(chanBootstrapping, chanConnected) {
+		m.stats.ChannelsOpened.Add(1)
+		trace.Record(trace.KindChannelUp, m.actor(), "connected to dom%d %s (connector side, fifo %dB)", ch.peer.Dom, ch.peer.MAC, ch.out.SizeBytes())
+		go ch.worker()
+	}
+	m.sendControl(msg.Listener.MAC, (&simpleMsg{Kind: msgChannelAck, Sender: m.Self(), Generation: msg.Generation}).marshal())
+}
+
+// handleChannelAck completes the listener side.
+func (m *Module) handleChannelAck(msg *simpleMsg) {
+	m.mu.Lock()
+	ch := m.channels[msg.Sender.MAC]
+	m.mu.Unlock()
+	if ch == nil || !ch.listener || ch.generation != msg.Generation {
+		return
+	}
+	if ch.state.CompareAndSwap(chanBootstrapping, chanConnected) {
+		m.stats.ChannelsOpened.Add(1)
+		trace.Record(trace.KindChannelUp, m.actor(), "connected to dom%d %s (listener side)", ch.peer.Dom, ch.peer.MAC)
+		go ch.worker()
+	}
+}
+
+// handleChannelReq makes the smaller-ID guest start listening when the
+// connector saw traffic first.
+func (m *Module) handleChannelReq(msg *simpleMsg) {
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return
+	}
+	if _, known := m.peers[msg.Sender.MAC]; !known {
+		m.peers[msg.Sender.MAC] = msg.Sender.Dom
+	}
+	if m.self.Dom >= msg.Sender.Dom {
+		m.mu.Unlock()
+		return // requester got the ordering wrong; ignore
+	}
+	if ch := m.channels[msg.Sender.MAC]; ch != nil {
+		m.mu.Unlock()
+		return // bootstrap already in progress (or connected)
+	}
+	m.startBootstrapLocked(msg.Sender.MAC, msg.Sender.Dom)
+	m.mu.Unlock()
+}
+
+// abortBootstrap gives up on a handshake ("before giving up", §3.3).
+func (m *Module) abortBootstrap(ch *Channel) {
+	m.mu.Lock()
+	if m.channels[ch.peer.MAC] == ch {
+		delete(m.channels, ch.peer.MAC)
+	}
+	m.mu.Unlock()
+	m.releaseChannel(ch, false)
+}
+
+// releaseChannel disengages this endpoint: mark the shared descriptors
+// inactive, notify the peer so it disengages too, stop the worker, and
+// release grants/mappings and the event channel. The disengagement steps
+// are slightly asymmetric between listener and connector (§3.3).
+func (m *Module) releaseChannel(ch *Channel, notifyPeer bool) {
+	wasConnected := ch.state.Swap(chanInactive) == chanConnected
+	if wasConnected {
+		trace.Record(trace.KindChannelDn, m.actor(), "disengaging channel to dom%d %s", ch.peer.Dom, ch.peer.MAC)
+	}
+	if ch.out != nil {
+		ch.out.Descriptor().Inactive.Store(true)
+	}
+	if ch.in != nil {
+		ch.in.Descriptor().Inactive.Store(true)
+	}
+	if wasConnected && notifyPeer && ch.port != 0 {
+		_ = m.dom.NotifyPort(ch.port)
+	}
+	ch.stop()
+	if ch.port != 0 {
+		_ = m.dom.ClosePort(ch.port)
+	}
+	if ch.listener {
+		if ch.outRef != 0 {
+			_ = m.dom.EndAccess(ch.outRef)
+		}
+		if ch.inRef != 0 {
+			_ = m.dom.EndAccess(ch.inRef)
+		}
+	} else if ch.out != nil {
+		_ = m.dom.UnmapGrant(ch.peer.Dom, ch.outRef)
+		_ = m.dom.UnmapGrant(ch.peer.Dom, ch.inRef)
+	}
+	if wasConnected {
+		m.stats.ChannelsClosed.Add(1)
+	}
+}
+
+// peerDisengaged runs on the worker when the peer marked the channel
+// inactive: drain whatever is left, then release our side.
+func (m *Module) peerDisengaged(ch *Channel) {
+	ch.drainIncoming()
+	m.mu.Lock()
+	if m.channels[ch.peer.MAC] == ch {
+		delete(m.channels, ch.peer.MAC)
+	}
+	m.mu.Unlock()
+	m.releaseChannel(ch, false)
+}

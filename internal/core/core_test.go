@@ -1,0 +1,398 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// buildXenLoopPair builds two co-resident VMs with an established channel.
+func buildXenLoopPair(t *testing.T) *testbed.Pair {
+	t.Helper()
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{
+		DiscoveryPeriod: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestChannelEstablishes(t *testing.T) {
+	p := buildXenLoopPair(t)
+	vm1, vm2 := p.A.VM, p.B.VM
+	if !vm1.XL.HasChannelTo(vm2.MAC) || !vm2.XL.HasChannelTo(vm1.MAC) {
+		t.Fatal("channel not established on both sides")
+	}
+	if vm1.XL.ChannelCount() != 1 || vm2.XL.ChannelCount() != 1 {
+		t.Fatalf("channel counts %d/%d", vm1.XL.ChannelCount(), vm2.XL.ChannelCount())
+	}
+}
+
+func TestMappingTablePopulated(t *testing.T) {
+	p := buildXenLoopPair(t)
+	peers := p.A.VM.XL.Peers()
+	if len(peers) != 1 {
+		t.Fatalf("mapping table has %d entries", len(peers))
+	}
+	if peers[0].MAC != p.B.VM.MAC || peers[0].Dom != p.B.VM.Dom.ID() {
+		t.Fatalf("mapping table entry %+v", peers[0])
+	}
+}
+
+func TestTrafficBypassesBridge(t *testing.T) {
+	p := buildXenLoopPair(t)
+	vm1 := p.A.VM
+	hv := vm1.Machine.HV
+
+	chBefore := vm1.XL.Stats().PktsChannel.Load()
+	brBefore := hv.Counters().Snapshot().FramesBridged
+
+	for i := 0; i < 50; i++ {
+		if _, err := vm1.Stack.Ping(p.B.IP, 56, time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+
+	chAfter := vm1.XL.Stats().PktsChannel.Load()
+	brAfter := hv.Counters().Snapshot().FramesBridged
+	if chAfter-chBefore < 50 {
+		t.Fatalf("only %d packets took the channel", chAfter-chBefore)
+	}
+	// Discovery announcements still cross the bridge, but the 100 data
+	// packets (50 echo requests + replies) must not.
+	if brAfter-brBefore >= 100 {
+		t.Fatalf("bridge saw %d frames during channel traffic", brAfter-brBefore)
+	}
+}
+
+func TestUDPOverChannelIntegrity(t *testing.T) {
+	p := buildXenLoopPair(t)
+	srv, err := p.B.Stack.ListenUDP(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := p.A.Stack.ListenUDP(0)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		msg := make([]byte, 1+r.Intn(8000))
+		r.Read(msg)
+		if err := cli.WriteTo(msg, p.B.IP, 4000); err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := srv.ReadFrom(2 * time.Second)
+		if err != nil {
+			t.Fatalf("datagram %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("datagram %d corrupted (%d vs %d bytes)", i, len(got), len(msg))
+		}
+	}
+}
+
+func TestLargeDatagramTravelsWholeOverChannel(t *testing.T) {
+	p := buildXenLoopPair(t)
+	srv, _ := p.B.Stack.ListenUDP(4001)
+	cli, _ := p.A.Stack.ListenUDP(0)
+	// 60000 bytes: far beyond the 1500-byte MTU, but within the 64 KiB
+	// FIFO — XenLoop intercepts beneath the network layer, before
+	// fragmentation, and ships the whole datagram.
+	msg := make([]byte, 60000)
+	rand.New(rand.NewSource(2)).Read(msg)
+	before := p.A.VM.XL.Stats().PktsChannel.Load()
+	if err := cli.WriteTo(msg, p.B.IP, 4001); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := srv.ReadFrom(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("large datagram corrupted over channel")
+	}
+	if p.A.VM.XL.Stats().PktsChannel.Load()-before != 1 {
+		t.Fatal("large datagram was fragmented instead of shipped whole")
+	}
+}
+
+func TestOversizeFallsBackToStandardPath(t *testing.T) {
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{
+		DiscoveryPeriod: 100 * time.Millisecond,
+		Core:            core.Config{FIFOSizeBytes: 16 * 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	srv, _ := p.B.Stack.ListenUDP(4002)
+	cli, _ := p.A.Stack.ListenUDP(0)
+	msg := make([]byte, 30000) // exceeds the 16 KiB FIFO entirely
+	rand.New(rand.NewSource(4)).Read(msg)
+	tooLargeBefore := p.A.VM.XL.Stats().PktsTooLarge.Load()
+	if err := cli.WriteTo(msg, p.B.IP, 4002); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := srv.ReadFrom(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("oversize datagram corrupted on fallback path")
+	}
+	if p.A.VM.XL.Stats().PktsTooLarge.Load() == tooLargeBefore {
+		t.Fatal("oversize datagram did not take the fallback branch")
+	}
+}
+
+func TestTCPBulkOverChannel(t *testing.T) {
+	p := buildXenLoopPair(t)
+	ln, err := p.B.Stack.ListenTCP(4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 4 << 20
+	src := make([]byte, total)
+	rand.New(rand.NewSource(17)).Read(src)
+	done := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		var all []byte
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := conn.Read(buf)
+			all = append(all, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- all
+	}()
+	conn, err := p.A.Stack.DialTCP(p.B.IP, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case all := <-done:
+		if !bytes.Equal(all, src) {
+			t.Fatalf("TCP bulk over channel corrupted (%d vs %d bytes)", len(all), len(src))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer timed out")
+	}
+	if p.A.VM.XL.Stats().BytesChannel.Load() < total {
+		t.Fatal("TCP stream did not travel via the channel")
+	}
+}
+
+func TestWaitingListDrains(t *testing.T) {
+	// A tiny FIFO forces the waiting list into action under a burst.
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{
+		DiscoveryPeriod: 100 * time.Millisecond,
+		Core:            core.Config{FIFOSizeBytes: 4 * 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	srv, _ := p.B.Stack.ListenUDP(4003)
+	cli, _ := p.A.Stack.ListenUDP(0)
+	const n = 400
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = cli.WriteTo(bytes.Repeat([]byte{byte(i)}, 512), p.B.IP, 4003)
+		}
+	}()
+	received := 0
+	for received < n {
+		if _, _, _, err := srv.ReadFrom(2 * time.Second); err != nil {
+			break
+		}
+		received++
+	}
+	if received < n {
+		t.Fatalf("received %d/%d datagrams through tiny FIFO", received, n)
+	}
+	if p.A.VM.XL.Stats().PktsWaiting.Load() == 0 {
+		t.Fatal("waiting list never engaged despite tiny FIFO")
+	}
+}
+
+func TestDetachTearsDownBothSides(t *testing.T) {
+	p := buildXenLoopPair(t)
+	vm1, vm2 := p.A.VM, p.B.VM
+	vm1.XL.Detach()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !vm2.XL.HasChannelTo(vm1.MAC) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if vm2.XL.HasChannelTo(vm1.MAC) {
+		t.Fatal("peer did not disengage after detach")
+	}
+	// Traffic still flows via the standard path.
+	if _, err := vm2.Stack.Ping(vm1.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("standard path broken after detach: %v", err)
+	}
+}
+
+func TestSoftStateRemovesVanishedPeer(t *testing.T) {
+	p := buildXenLoopPair(t)
+	vm1, vm2 := p.A.VM, p.B.VM
+	// Simulate the peer stopping its advertisement (module unload): the
+	// next announcement omits it and vm1 must drop the channel.
+	_ = vm2.Dom.StoreRemove(vm2.Dom.StorePath() + "/xenloop")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		vm1.Machine.Discovery.Scan()
+		if !vm1.XL.HasChannelTo(vm2.MAC) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("channel survived peer's disappearance from announcements")
+}
+
+func TestPingLatencyOrderingWithCosts(t *testing.T) {
+	// Even the functional test should show the headline effect when the
+	// calibrated model is active: XenLoop ping beats netfront ping.
+	if testing.Short() {
+		t.Skip("calibrated-cost test skipped in -short")
+	}
+	opts := testbed.Options{DiscoveryPeriod: 100 * time.Millisecond}
+	measure := func(s testbed.Scenario) time.Duration {
+		o := opts
+		o.Model = calibrated()
+		p, err := testbed.BuildPair(s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		// Warm up ARP and channels.
+		if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		best := time.Hour
+		for i := 0; i < 20; i++ {
+			rtt, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rtt < best {
+				best = rtt
+			}
+		}
+		return best
+	}
+	xen := measure(testbed.XenLoop)
+	nfb := measure(testbed.NetfrontNetback)
+	if xen >= nfb {
+		t.Fatalf("XenLoop ping %v not faster than netfront %v", xen, nfb)
+	}
+	t.Logf("ping RTT: xenloop=%v netfront=%v (paper: 28us vs 140us)", xen, nfb)
+}
+
+func TestMigrationApartAndBack(t *testing.T) {
+	tb := testbed.New(testbed.Options{DiscoveryPeriod: 100 * time.Millisecond})
+	defer tb.Close()
+	m1 := tb.AddMachine("m1")
+	m2 := tb.AddMachine("m2")
+	vm1, err := tb.AddVM(m1, "vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := tb.AddVM(m1, "vm2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableXenLoop(vm1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableXenLoop(vm2); err != nil {
+		t.Fatal(err)
+	}
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep a TCP connection alive across the whole journey.
+	ln, err := vm2.Stack.ListenTCP(7700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if n > 0 {
+				if _, werr := conn.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := vm1.Stack.DialTCP(vm2.IP, 7700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := func(tag string) {
+		msg := []byte("echo-" + tag)
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatalf("%s write: %v", tag, err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := conn.ReadFull(got); err != nil {
+			t.Fatalf("%s read: %v", tag, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%s corrupted", tag)
+		}
+	}
+	echo("co-resident")
+
+	// Migrate vm1 away: channel must disappear, traffic must keep going.
+	if err := tb.Migrate(vm1, m2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && vm2.XL.HasChannelTo(vm1.MAC) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if vm2.XL.HasChannelTo(vm1.MAC) {
+		t.Fatal("vm2 kept its channel after vm1 migrated away")
+	}
+	echo("separated")
+
+	// Migrate back: channel must re-form.
+	if err := tb.Migrate(vm1, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatal("channel did not re-form after migration back")
+	}
+	echo("reunited")
+	conn.Close()
+}

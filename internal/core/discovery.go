@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/hypervisor"
+	"repro/internal/pkt"
+	"repro/internal/trace"
+	"repro/internal/xenstore"
+)
+
+// DefaultAnnouncePeriod is the paper's discovery interval ("periodically
+// (every 5 seconds) scans all guests in XenStore").
+const DefaultAnnouncePeriod = 5 * time.Second
+
+// discoveryMAC is the source address of Dom0 announcement frames.
+var discoveryMAC = pkt.MAC{0x00, 0x16, 0x3e, 0xff, 0xff, 0xfe}
+
+// Discovery is the Domain Discovery module running in Dom0: it scans
+// XenStore for guests advertising a "xenloop" entry, collates their
+// [guest-ID, MAC] identities, and transmits announcement messages to each
+// willing guest. Dom0 must do this because unprivileged guests cannot
+// read each other's XenStore subtrees.
+type Discovery struct {
+	hv     *hypervisor.Hypervisor
+	br     *bridge.Bridge
+	port   *bridge.Port
+	period time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	quit    chan struct{}
+	rounds  uint64
+}
+
+// StartDiscovery launches the Dom0 discovery module on a machine. period
+// <= 0 selects the paper's 5-second interval.
+func StartDiscovery(hv *hypervisor.Hypervisor, br *bridge.Bridge, period time.Duration) *Discovery {
+	if period <= 0 {
+		period = DefaultAnnouncePeriod
+	}
+	d := &Discovery{
+		hv:     hv,
+		br:     br,
+		period: period,
+		quit:   make(chan struct{}),
+	}
+	// The discovery module's own attachment to the software bridge, used
+	// to unicast announcements to each guest's vif.
+	d.port = br.AddPort("xenloop-discovery", func([]byte) {}, false)
+	go d.loop()
+	return d
+}
+
+func (d *Discovery) loop() {
+	// Announce immediately, then on every tick.
+	d.Scan()
+	ticker := time.NewTicker(d.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			d.Scan()
+		case <-d.quit:
+			return
+		}
+	}
+}
+
+// Scan performs one discovery round: collate willing guests and announce.
+// Exported so tests and the migration orchestration can force a round
+// instead of waiting out the period.
+func (d *Discovery) Scan() {
+	store := d.hv.Store()
+	ids, err := store.ListDomains(0)
+	if err != nil {
+		return
+	}
+	var guests []Identity
+	for _, idStr := range ids {
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil || id == 0 {
+			continue
+		}
+		macStr, err := store.Read(0, xenstore.DomainPath(uint32(id))+"/xenloop")
+		if err != nil {
+			continue // no advertisement: guest is unwilling or has no module
+		}
+		mac, err := pkt.ParseMAC(macStr)
+		if err != nil {
+			continue
+		}
+		guests = append(guests, Identity{Dom: hypervisor.DomID(id), MAC: mac})
+	}
+	d.mu.Lock()
+	d.rounds++
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped || len(guests) == 0 {
+		return
+	}
+	trace.Record(trace.KindDiscovery, d.hv.Machine+"/discovery", "announcing %d willing guests", len(guests))
+	payload := (&announceMsg{Guests: guests}).marshal()
+	for _, g := range guests {
+		frame := pkt.BuildFrame(g.MAC, discoveryMAC, pkt.EtherTypeXenLoop, payload)
+		d.port.Input(frame)
+	}
+}
+
+// Rounds reports completed discovery rounds.
+func (d *Discovery) Rounds() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rounds
+}
+
+// Stop halts the discovery module and detaches it from the bridge.
+func (d *Discovery) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	close(d.quit)
+	d.br.RemovePort(d.port)
+}

@@ -1,0 +1,6 @@
+package core_test
+
+import "repro/internal/costmodel"
+
+// calibrated returns the benchmark cost model for the ordering test.
+func calibrated() *costmodel.Model { return costmodel.Calibrated() }

@@ -1,0 +1,356 @@
+// Package core implements XenLoop itself — the paper's contribution: a
+// self-contained guest module that inserts a software bridge between the
+// network layer and the link layer, discovers co-resident guests through a
+// Dom0 soft-state discovery module, sets up bidirectional shared-memory
+// FIFO channels on the fly, shepherds packets destined to co-resident VMs
+// through those channels (bypassing Dom0 entirely), and transparently
+// tears everything down around migration, save/restore and shutdown.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fifo"
+	"repro/internal/hypervisor"
+	"repro/internal/netstack"
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a guest's XenLoop module.
+type Config struct {
+	// FIFOSizeBytes is the per-direction FIFO capacity (default 64 KiB,
+	// the paper's setting; Fig. 5 sweeps it).
+	FIFOSizeBytes int
+
+	// ZeroCopyReceive enables the rejected design alternative of §3.3:
+	// the receiver processes packets in place and frees FIFO space only
+	// after protocol processing, back-pressuring the sender. Kept for
+	// the ablation benchmarks; off by default (two-copy).
+	ZeroCopyReceive bool
+
+	// NotifyEveryPush disables event-suppression batching, notifying the
+	// peer on every push (ablation).
+	NotifyEveryPush bool
+
+	// BootstrapRetries and BootstrapTimeout govern the create-channel
+	// handshake ("resends the create channel message 3 times before
+	// giving up").
+	BootstrapRetries int
+	BootstrapTimeout time.Duration
+
+	// MaxWaitingPackets bounds the waiting list used when the FIFO is
+	// full; beyond it packets fall back to the standard path.
+	MaxWaitingPackets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FIFOSizeBytes <= 0 {
+		c.FIFOSizeBytes = fifo.DefaultSizeBytes
+	}
+	if c.BootstrapRetries <= 0 {
+		c.BootstrapRetries = 3
+	}
+	if c.BootstrapTimeout <= 0 {
+		c.BootstrapTimeout = time.Second
+	}
+	if c.MaxWaitingPackets <= 0 {
+		c.MaxWaitingPackets = 4096
+	}
+	return c
+}
+
+// Stats are the module's always-on counters.
+type Stats struct {
+	PktsChannel    atomic.Uint64 // sent through a XenLoop channel
+	BytesChannel   atomic.Uint64
+	PktsStandard   atomic.Uint64 // to a co-resident peer but via netfront
+	PktsWaiting    atomic.Uint64 // queued on a waiting list
+	PktsTooLarge   atomic.Uint64 // exceeded FIFO capacity
+	PktsReceived   atomic.Uint64 // popped from channels and injected
+	ChannelsOpened atomic.Uint64
+	ChannelsClosed atomic.Uint64
+	SavedResent    atomic.Uint64 // packets resent after migration
+}
+
+// Module is the XenLoop kernel module of one guest VM.
+type Module struct {
+	dom   *hypervisor.Domain
+	stack *netstack.Stack
+	ifc   *netstack.Iface
+	model *costmodel.Model
+	cfg   Config
+
+	mu       sync.Mutex
+	self     Identity
+	peers    map[pkt.MAC]hypervisor.DomID // the [guest-ID, MAC] mapping table
+	channels map[pkt.MAC]*Channel
+	saved    [][]byte // outgoing packets saved across migration
+	detached bool
+
+	stats Stats
+}
+
+// Attach loads the XenLoop module into a guest: it hooks the stack's
+// output path beneath the network layer, registers the XenLoop-type
+// protocol handler, advertises willingness in XenStore ("xenloop" entry
+// under the guest's subtree) and arms the pre-migration callback.
+func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, cfg Config) (*Module, error) {
+	m := &Module{
+		dom:      dom,
+		stack:    stack,
+		ifc:      ifc,
+		model:    stack.Model(),
+		cfg:      cfg.withDefaults(),
+		self:     Identity{Dom: dom.ID(), MAC: ifc.MAC()},
+		peers:    map[pkt.MAC]hypervisor.DomID{},
+		channels: map[pkt.MAC]*Channel{},
+	}
+	if err := m.advertise(); err != nil {
+		return nil, err
+	}
+	stack.RegisterOutHook(m.outHook)
+	stack.RegisterEtherHandler(pkt.EtherTypeXenLoop, m.controlInput)
+	dom.OnPreMigrate(m.PreMigrate)
+	dom.OnPreStop(m.Detach)
+	trace.Record(trace.KindBootstrap, m.actor(), "module attached, advertised %s", m.self.MAC)
+	return m, nil
+}
+
+// advertise writes the XenStore entry the Dom0 discovery module scans for.
+func (m *Module) advertise() error {
+	return m.dom.StoreWrite(m.dom.StorePath()+"/xenloop", m.self.MAC.String())
+}
+
+// Stats returns the module's counters.
+func (m *Module) Stats() *Stats { return &m.stats }
+
+// actor names this module in trace events.
+func (m *Module) actor() string {
+	return fmt.Sprintf("dom%d/xenloop", m.dom.ID())
+}
+
+// Self returns the module's current identity.
+func (m *Module) Self() Identity {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self
+}
+
+// Peers returns a snapshot of the mapping table.
+func (m *Module) Peers() []Identity {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Identity, 0, len(m.peers))
+	for mac, dom := range m.peers {
+		out = append(out, Identity{Dom: dom, MAC: mac})
+	}
+	return out
+}
+
+// ChannelCount returns the number of connected channels.
+func (m *Module) ChannelCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ch := range m.channels {
+		if ch.Connected() {
+			n++
+		}
+	}
+	return n
+}
+
+// HasChannelTo reports whether a connected channel to mac exists.
+func (m *Module) HasChannelTo(mac pkt.MAC) bool {
+	m.mu.Lock()
+	ch := m.channels[mac]
+	m.mu.Unlock()
+	return ch != nil && ch.Connected()
+}
+
+// outHook is the guest-specific software bridge: inspect each outgoing
+// datagram's next hop, consult the neighbor cache and the mapping table,
+// and shepherd co-resident traffic into the FIFO channel.
+func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
+	mac, ok := m.stack.NeighborMAC(op.NextHop)
+	if !ok {
+		return netstack.VerdictAccept // unresolved neighbor: standard path ARPs
+	}
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return netstack.VerdictAccept
+	}
+	peerDom, isPeer := m.peers[mac]
+	if !isPeer {
+		m.mu.Unlock()
+		return netstack.VerdictAccept
+	}
+	ch := m.channels[mac]
+	if ch == nil {
+		// First traffic toward this co-resident guest: bootstrap a
+		// channel on the fly; meanwhile traffic keeps flowing via
+		// netfront-netback.
+		ch = m.startBootstrapLocked(mac, peerDom)
+	}
+	m.mu.Unlock()
+
+	if ch == nil || !ch.Connected() {
+		m.stats.PktsStandard.Add(1)
+		return netstack.VerdictAccept
+	}
+	return ch.send(op.Datagram)
+}
+
+// controlInput handles XenLoop-type frames: discovery announcements from
+// Dom0 and the guest-to-guest bootstrap handshake.
+func (m *Module) controlInput(_ *netstack.Iface, eth pkt.EthHeader, payload []byte) {
+	kind, err := msgKind(payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case msgAnnounce:
+		if ann, err := parseAnnounce(payload); err == nil {
+			m.handleAnnounce(ann)
+		}
+	case msgCreateChannel:
+		if msg, err := parseCreateChannel(payload); err == nil {
+			m.handleCreateChannel(msg)
+		}
+	case msgChannelAck:
+		if msg, err := parseSimple(payload); err == nil {
+			m.handleChannelAck(msg)
+		}
+	case msgChannelReq:
+		if msg, err := parseSimple(payload); err == nil {
+			m.handleChannelReq(msg)
+		}
+	}
+	_ = eth
+}
+
+// handleAnnounce refreshes the mapping table from a Dom0 announcement.
+// Guests absent from the announcement lose their channels — the
+// soft-state property that makes teardown automatic when a VM dies or
+// migrates away.
+func (m *Module) handleAnnounce(ann *announceMsg) {
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return
+	}
+	fresh := map[pkt.MAC]hypervisor.DomID{}
+	for _, g := range ann.Guests {
+		if g.MAC == m.self.MAC {
+			continue // ourselves
+		}
+		fresh[g.MAC] = g.Dom
+	}
+	var stale []*Channel
+	for mac, ch := range m.channels {
+		if _, ok := fresh[mac]; !ok {
+			stale = append(stale, ch)
+			delete(m.channels, mac)
+		}
+	}
+	m.peers = fresh
+	m.mu.Unlock()
+
+	for _, ch := range stale {
+		m.releaseChannel(ch, true)
+	}
+}
+
+// sendControl emits an out-of-band XenLoop-type message via the standard
+// netfront path.
+func (m *Module) sendControl(dst pkt.MAC, payload []byte) {
+	_ = m.stack.SendEther(m.ifc, dst, pkt.EtherTypeXenLoop, payload)
+}
+
+// Detach unloads the module: forestall new connections by removing the
+// XenStore advertisement, then tear all channels down cleanly (§3.3).
+func (m *Module) Detach() {
+	m.teardownAll(false)
+}
+
+// PreMigrate is the pre-migration callback (§3.4): delete the
+// advertisement, gracefully receive pending incoming packets, save unsent
+// outgoing packets for retransmission, and disengage from all channels.
+func (m *Module) PreMigrate() {
+	m.teardownAll(true)
+}
+
+func (m *Module) teardownAll(saving bool) {
+	trace.Record(trace.KindChannelDn, m.actor(), "teardown all channels (saving=%v)", saving)
+	_ = m.dom.StoreRemove(m.dom.StorePath() + "/xenloop")
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return
+	}
+	m.detached = true
+	chans := make([]*Channel, 0, len(m.channels))
+	for _, ch := range m.channels {
+		chans = append(chans, ch)
+	}
+	m.channels = map[pkt.MAC]*Channel{}
+	m.peers = map[pkt.MAC]hypervisor.DomID{}
+	m.mu.Unlock()
+
+	for _, ch := range chans {
+		// Receive anything already delivered to us.
+		ch.drainIncoming()
+		if saving {
+			m.mu.Lock()
+			m.saved = append(m.saved, ch.takeWaiting()...)
+			m.mu.Unlock()
+		}
+		m.releaseChannel(ch, true)
+	}
+}
+
+// CompleteMigration re-arms the module on the (new) machine after the
+// orchestrator has reattached the vif: refresh the identity (the domain
+// ID changed), re-advertise, and resend the packets saved by PreMigrate
+// through the standard path. Channels to co-resident peers re-form when
+// the new machine's discovery module announces.
+func (m *Module) CompleteMigration() error {
+	m.mu.Lock()
+	m.detached = false
+	m.self = Identity{Dom: m.dom.ID(), MAC: m.ifc.MAC()}
+	saved := m.saved
+	m.saved = nil
+	m.mu.Unlock()
+
+	if err := m.advertise(); err != nil {
+		return err
+	}
+	trace.Record(trace.KindMigration, m.actor(), "re-advertised after migration, resending %d saved packets", len(saved))
+	for _, p := range saved {
+		if err := m.stack.ResendDatagram(p); err == nil {
+			m.stats.SavedResent.Add(1)
+		}
+	}
+	return nil
+}
+
+// SavedCount reports packets currently saved for post-migration resend.
+func (m *Module) SavedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.saved)
+}
+
+// String summarizes the module state.
+func (m *Module) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("xenloop[dom%d %s peers=%d channels=%d]",
+		m.self.Dom, m.self.MAC, len(m.peers), len(m.channels))
+}

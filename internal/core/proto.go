@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/pkt"
+)
+
+// Out-of-band XenLoop-type message kinds, carried in Ethernet frames with
+// pkt.EtherTypeXenLoop as the "special XenLoop-type layer-3 protocol ID"
+// of the paper. Announcements travel Dom0 -> guest; the bootstrap
+// handshake travels guest -> guest via the standard netfront-netback path.
+const (
+	msgAnnounce      = 1 // Dom0 discovery: list of [guest-ID, MAC] pairs
+	msgCreateChannel = 2 // listener -> connector: FIFO grant refs + event port
+	msgChannelAck    = 3 // connector -> listener: channel established
+	msgChannelReq    = 4 // larger-ID guest asks the smaller-ID peer to listen
+)
+
+const protoVersion = 1
+
+// ErrBadMessage reports a malformed control message.
+var ErrBadMessage = errors.New("core: malformed xenloop control message")
+
+// Identity is one [guest-ID, MAC address] pair — the unit of the
+// discovery protocol and of the guest's mapping table.
+type Identity struct {
+	Dom hypervisor.DomID
+	MAC pkt.MAC
+}
+
+// announceMsg is the Domain Discovery module's announcement: the collated
+// identities of every willing guest on the machine.
+type announceMsg struct {
+	Guests []Identity
+}
+
+func (m *announceMsg) marshal() []byte {
+	b := make([]byte, 0, 4+len(m.Guests)*10)
+	b = append(b, protoVersion, msgAnnounce)
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(m.Guests)))
+	b = append(b, n[:]...)
+	for _, g := range m.Guests {
+		var id [4]byte
+		binary.BigEndian.PutUint32(id[:], uint32(g.Dom))
+		b = append(b, id[:]...)
+		b = append(b, g.MAC[:]...)
+	}
+	return b
+}
+
+func parseAnnounce(b []byte) (*announceMsg, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: announce %d bytes", ErrBadMessage, len(b))
+	}
+	count := int(binary.BigEndian.Uint16(b[2:4]))
+	if len(b) < 4+count*10 {
+		return nil, fmt.Errorf("%w: announce truncated", ErrBadMessage)
+	}
+	m := &announceMsg{Guests: make([]Identity, 0, count)}
+	off := 4
+	for i := 0; i < count; i++ {
+		var g Identity
+		g.Dom = hypervisor.DomID(binary.BigEndian.Uint32(b[off : off+4]))
+		copy(g.MAC[:], b[off+4:off+10])
+		m.Guests = append(m.Guests, g)
+		off += 10
+	}
+	return m, nil
+}
+
+// createChannelMsg carries "three pieces of information — two grant
+// references, one each for a shared descriptor page for each of the two
+// FIFOs, and the event channel port number to bind to" (paper §3.3), plus
+// the listener's identity so the connector can address the reply.
+type createChannelMsg struct {
+	Listener    Identity
+	OutRef      hypervisor.GrantRef // listener->connector FIFO (connector's in)
+	InRef       hypervisor.GrantRef // connector->listener FIFO (connector's out)
+	Port        hypervisor.Port
+	Generation  uint32 // retransmission disambiguation
+	FIFOSizeLog uint8  // informational
+}
+
+func (m *createChannelMsg) marshal() []byte {
+	b := make([]byte, 2+4+6+4+4+4+4+1)
+	b[0], b[1] = protoVersion, msgCreateChannel
+	binary.BigEndian.PutUint32(b[2:6], uint32(m.Listener.Dom))
+	copy(b[6:12], m.Listener.MAC[:])
+	binary.BigEndian.PutUint32(b[12:16], uint32(m.OutRef))
+	binary.BigEndian.PutUint32(b[16:20], uint32(m.InRef))
+	binary.BigEndian.PutUint32(b[20:24], uint32(m.Port))
+	binary.BigEndian.PutUint32(b[24:28], m.Generation)
+	b[28] = m.FIFOSizeLog
+	return b
+}
+
+func parseCreateChannel(b []byte) (*createChannelMsg, error) {
+	if len(b) < 29 {
+		return nil, fmt.Errorf("%w: create-channel %d bytes", ErrBadMessage, len(b))
+	}
+	m := &createChannelMsg{}
+	m.Listener.Dom = hypervisor.DomID(binary.BigEndian.Uint32(b[2:6]))
+	copy(m.Listener.MAC[:], b[6:12])
+	m.OutRef = hypervisor.GrantRef(binary.BigEndian.Uint32(b[12:16]))
+	m.InRef = hypervisor.GrantRef(binary.BigEndian.Uint32(b[16:20]))
+	m.Port = hypervisor.Port(binary.BigEndian.Uint32(b[20:24]))
+	m.Generation = binary.BigEndian.Uint32(b[24:28])
+	m.FIFOSizeLog = b[28]
+	return m, nil
+}
+
+// simpleMsg covers channel ack and channel request: just the sender's
+// identity (and the generation being acknowledged).
+type simpleMsg struct {
+	Kind       byte
+	Sender     Identity
+	Generation uint32
+}
+
+func (m *simpleMsg) marshal() []byte {
+	b := make([]byte, 2+4+6+4)
+	b[0], b[1] = protoVersion, m.Kind
+	binary.BigEndian.PutUint32(b[2:6], uint32(m.Sender.Dom))
+	copy(b[6:12], m.Sender.MAC[:])
+	binary.BigEndian.PutUint32(b[12:16], m.Generation)
+	return b
+}
+
+func parseSimple(b []byte) (*simpleMsg, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("%w: control %d bytes", ErrBadMessage, len(b))
+	}
+	m := &simpleMsg{Kind: b[1]}
+	m.Sender.Dom = hypervisor.DomID(binary.BigEndian.Uint32(b[2:6]))
+	copy(m.Sender.MAC[:], b[6:12])
+	m.Generation = binary.BigEndian.Uint32(b[12:16])
+	return m, nil
+}
+
+// msgKind extracts the message type, validating the version.
+func msgKind(b []byte) (byte, error) {
+	if len(b) < 2 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(b))
+	}
+	if b[0] != protoVersion {
+		return 0, fmt.Errorf("%w: version %d", ErrBadMessage, b[0])
+	}
+	return b[1], nil
+}

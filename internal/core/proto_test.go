@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypervisor"
+	"repro/internal/pkt"
+)
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	in := &announceMsg{Guests: []Identity{
+		{Dom: 1, MAC: pkt.XenMAC(0, 1, 0)},
+		{Dom: 7, MAC: pkt.XenMAC(0, 7, 0)},
+		{Dom: 300, MAC: pkt.XenMAC(1, 44, 0)},
+	}}
+	b := in.marshal()
+	kind, err := msgKind(b)
+	if err != nil || kind != msgAnnounce {
+		t.Fatalf("kind %d err %v", kind, err)
+	}
+	out, err := parseAnnounce(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Guests) != 3 {
+		t.Fatalf("guests %v", out.Guests)
+	}
+	for i := range in.Guests {
+		if out.Guests[i] != in.Guests[i] {
+			t.Fatalf("guest %d: %+v != %+v", i, out.Guests[i], in.Guests[i])
+		}
+	}
+}
+
+func TestCreateChannelRoundTrip(t *testing.T) {
+	in := &createChannelMsg{
+		Listener:    Identity{Dom: 4, MAC: pkt.XenMAC(2, 4, 0)},
+		OutRef:      hypervisor.GrantRef(101),
+		InRef:       hypervisor.GrantRef(102),
+		Port:        hypervisor.Port(9),
+		Generation:  0xDEADBEEF,
+		FIFOSizeLog: 13,
+	}
+	out, err := parseCreateChannel(in.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("%+v != %+v", out, in)
+	}
+}
+
+func TestSimpleMsgRoundTrip(t *testing.T) {
+	for _, kind := range []byte{msgChannelAck, msgChannelReq} {
+		in := &simpleMsg{Kind: kind, Sender: Identity{Dom: 2, MAC: pkt.XenMAC(0, 2, 0)}, Generation: 42}
+		out, err := parseSimple(in.marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *out != *in {
+			t.Fatalf("%+v != %+v", out, in)
+		}
+		k, err := msgKind(in.marshal())
+		if err != nil || k != kind {
+			t.Fatalf("kind %d err %v", k, err)
+		}
+	}
+}
+
+// Property: arbitrary bytes never panic the parsers and bad versions are
+// rejected.
+func TestParsersRobustAgainstGarbage(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = parseAnnounce(b)
+		_, _ = parseCreateChannel(b)
+		_, _ = parseSimple(b)
+		kind, err := msgKind(b)
+		if err == nil && len(b) >= 2 && b[0] != protoVersion {
+			return false // wrong version must error
+		}
+		_ = kind
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnounceTruncationDetected(t *testing.T) {
+	in := &announceMsg{Guests: []Identity{{Dom: 1, MAC: pkt.XenMAC(0, 1, 0)}}}
+	b := in.marshal()
+	if _, err := parseAnnounce(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated announce accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package costmodel provides the calibrated timing model that gives the
+// user-space Xen simulation its performance envelope.
+//
+// Every virtualization mechanism that XenLoop's evaluation depends on —
+// hypercalls, domain switches, grant operations, event-channel dispatch,
+// memory copies, wire transit — has a per-operation cost. Components charge
+// those costs through a Model, which injects precise busy-wait delays so
+// that wall-clock measurements made by the benchmark harness reproduce the
+// relative performance the paper reports (who wins, by what factor, where
+// crossovers fall).
+//
+// Unit and property tests use the Off profile (all costs zero), so they run
+// at full speed and assert only functional behaviour. Benchmarks and the
+// cmd/xlbench harness use the Calibrated profile.
+package costmodel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Model holds the per-operation costs of the simulated platform. A zero
+// Model charges nothing and is safe to use (it is the Off profile).
+//
+// All duration fields are the cost of one operation; per-byte costs are
+// expressed in nanoseconds per byte because realistic values fall well
+// below one nanosecond per byte.
+type Model struct {
+	// Hypercall is the guest-to-hypervisor crossing cost, charged on
+	// every hypercall (grant-table ops, event-channel ops, ...).
+	Hypercall time.Duration
+
+	// DomainSwitch is charged when the simulated CPU switches from one
+	// domain to another (e.g. guest -> driver domain on the split-driver
+	// path), covering context switch plus TLB/cache disturbance.
+	DomainSwitch time.Duration
+
+	// EventDispatch is the cost of delivering an event-channel upcall to
+	// the bound domain (virtual interrupt plus softirq-style dispatch).
+	EventDispatch time.Duration
+
+	// GrantMap and GrantUnmap are charged when a domain maps/unmaps a
+	// page granted by another domain.
+	GrantMap   time.Duration
+	GrantUnmap time.Duration
+
+	// GrantCopyFixed is the fixed portion of a grant-copy operation
+	// (the per-byte portion is CopyPerByteNS like any other copy).
+	GrantCopyFixed time.Duration
+
+	// GrantTransferFixed is the fixed cost of a page transfer, and
+	// PageZero the cost of zeroing a page before sharing/transfer
+	// (the paper notes this is expensive in the Xen community).
+	GrantTransferFixed time.Duration
+	PageZero           time.Duration
+
+	// CopyPerByteNS is the memory-copy cost in ns/byte, charged (along
+	// with CopyFixed) for every modeled data copy: sender-to-FIFO,
+	// FIFO-to-receiver, netback grant copies, socket buffer copies.
+	CopyPerByteNS float64
+	CopyFixed     time.Duration
+
+	// Syscall is the user/kernel crossing for one socket operation.
+	Syscall time.Duration
+
+	// StackPerPacket is the network-layer processing cost for one packet
+	// (route lookup, header build/parse, checksum handling).
+	StackPerPacket time.Duration
+
+	// SoftIRQ is the cost of waking the receive path for a delivered
+	// packet inside one OS instance (loopback and device receive).
+	SoftIRQ time.Duration
+
+	// LocalWakeup is the process context-switch cost paid when a reader
+	// that blocked on a socket is woken by a writer on the same OS
+	// instance (the native-loopback scenario); cross-VM wakeups are
+	// already covered by EventDispatch.
+	LocalWakeup time.Duration
+
+	// BridgePerFrame is the Dom0 software-bridge forwarding cost.
+	BridgePerFrame time.Duration
+
+	// NetfrontPerPacket and NetbackPerPacket are the split driver's
+	// per-packet driver costs (slot management, descriptor handling) on
+	// the guest and driver-domain sides respectively.
+	NetfrontPerPacket time.Duration
+	NetbackPerPacket  time.Duration
+
+	// GrantCopyPerByteNS is the per-byte cost of a hypervisor grant copy
+	// in ns/byte. It exceeds CopyPerByteNS: the hypervisor validates the
+	// grant and the copy crosses address spaces cache-cold.
+	GrantCopyPerByteNS float64
+
+	// NICPerFrame is the driver cost of handing one frame to/from real
+	// hardware (DMA setup, interrupt handling amortized).
+	NICPerFrame time.Duration
+
+	// WireLatency is the one-way propagation + switch latency between
+	// two physical machines.
+	WireLatency time.Duration
+
+	// WireBandwidthBps is the physical link rate in bits per second; 0
+	// means unlimited.
+	WireBandwidthBps float64
+}
+
+// Off returns the zero-cost profile used by unit and property tests.
+func Off() *Model { return &Model{} }
+
+// Calibrated returns the cost profile tuned so that the four communication
+// scenarios of the paper (inter-machine across a 1 Gbps switch,
+// netfront/netback, XenLoop, native loopback) reproduce the relative
+// latencies and bandwidths of Tables 1-3 on the paper's dual-core
+// Pentium-D testbed. See EXPERIMENTS.md for the paper-vs-measured record.
+func Calibrated() *Model {
+	return &Model{
+		Hypercall:          900 * time.Nanosecond,
+		DomainSwitch:       18 * time.Microsecond,
+		EventDispatch:      8 * time.Microsecond,
+		GrantMap:           1100 * time.Nanosecond,
+		GrantUnmap:         900 * time.Nanosecond,
+		GrantCopyFixed:     650 * time.Nanosecond,
+		GrantTransferFixed: 1800 * time.Nanosecond,
+		PageZero:           2600 * time.Nanosecond,
+		CopyPerByteNS:      0.35,
+		CopyFixed:          120 * time.Nanosecond,
+		Syscall:            550 * time.Nanosecond,
+		StackPerPacket:     1000 * time.Nanosecond,
+		SoftIRQ:            600 * time.Nanosecond,
+		LocalWakeup:        8 * time.Microsecond,
+		BridgePerFrame:     800 * time.Nanosecond,
+		NetfrontPerPacket:  1000 * time.Nanosecond,
+		NetbackPerPacket:   1200 * time.Nanosecond,
+		GrantCopyPerByteNS: 0.4,
+		NICPerFrame:        2200 * time.Nanosecond,
+		WireLatency:        40 * time.Microsecond,
+		WireBandwidthBps:   1e9,
+	}
+}
+
+// enabled reports whether the model charges any time at all; a nil model
+// charges nothing.
+func (m *Model) enabled() bool { return m != nil }
+
+// Charge blocks the calling goroutine for d of simulated work. Durations
+// under one microsecond or so are below time.Sleep's practical resolution,
+// so Charge spins on the monotonic clock for short delays and sleeps the
+// bulk of longer ones.
+func (m *Model) Charge(d time.Duration) {
+	if !m.enabled() || d <= 0 {
+		return
+	}
+	spinWait(d)
+}
+
+// ChargeCopy charges the cost of copying n bytes of packet data.
+func (m *Model) ChargeCopy(n int) {
+	if !m.enabled() {
+		return
+	}
+	m.Charge(m.CopyFixed + time.Duration(float64(n)*m.CopyPerByteNS))
+}
+
+// ChargeGrantCopy charges a grant-copy of n bytes (fixed grant validation
+// plus the hypervisor's per-byte copy cost).
+func (m *Model) ChargeGrantCopy(n int) {
+	if !m.enabled() {
+		return
+	}
+	m.Charge(m.GrantCopyFixed + time.Duration(float64(n)*m.GrantCopyPerByteNS))
+}
+
+// WireDelay returns the serialization time of an n-byte frame on the
+// physical link (zero when bandwidth is unlimited).
+func (m *Model) WireDelay(n int) time.Duration {
+	if !m.enabled() || m.WireBandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * 8 / m.WireBandwidthBps * float64(time.Second))
+}
+
+// SleepPrecise blocks for d with sub-microsecond precision, spinning for
+// the tail that time.Sleep cannot resolve. Components that schedule
+// deliveries on the simulated timeline (e.g. wire propagation) use it.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	spinWait(d)
+}
+
+// spinThresh is the longest delay served entirely by spinning; longer
+// delays sleep for all but this margin and spin the remainder.
+const spinThresh = 80 * time.Microsecond
+
+func spinWait(d time.Duration) {
+	start := time.Now()
+	if d > spinThresh {
+		time.Sleep(d - spinThresh)
+	}
+	for time.Since(start) < d {
+		// Busy-wait: the simulated operation is consuming CPU, just as
+		// the real hypercall / copy / context switch would. Yield on
+		// every pass so concurrently-charged goroutines interleave the
+		// way independent CPUs would — otherwise a charging producer
+		// can starve its consumer for a whole preemption quantum and
+		// collapse every bounded queue between them.
+		runtime.Gosched()
+	}
+}
+
+// Counters accumulates how often each mechanism fired. They feed the
+// ablation benches and cmd/xlbench's verbose output, and are cheap enough
+// to keep always-on.
+type Counters struct {
+	Hypercalls     atomic.Uint64
+	DomainSwitches atomic.Uint64
+	Events         atomic.Uint64
+	GrantMaps      atomic.Uint64
+	GrantCopies    atomic.Uint64
+	GrantTransfers atomic.Uint64
+	BytesCopied    atomic.Uint64
+	FramesBridged  atomic.Uint64
+	FramesOnWire   atomic.Uint64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Hypercalls:     c.Hypercalls.Load(),
+		DomainSwitches: c.DomainSwitches.Load(),
+		Events:         c.Events.Load(),
+		GrantMaps:      c.GrantMaps.Load(),
+		GrantCopies:    c.GrantCopies.Load(),
+		GrantTransfers: c.GrantTransfers.Load(),
+		BytesCopied:    c.BytesCopied.Load(),
+		FramesBridged:  c.FramesBridged.Load(),
+		FramesOnWire:   c.FramesOnWire.Load(),
+	}
+}
+
+// CounterSnapshot is a point-in-time copy of Counters.
+type CounterSnapshot struct {
+	Hypercalls     uint64
+	DomainSwitches uint64
+	Events         uint64
+	GrantMaps      uint64
+	GrantCopies    uint64
+	GrantTransfers uint64
+	BytesCopied    uint64
+	FramesBridged  uint64
+	FramesOnWire   uint64
+}
+
+// Sub returns the per-field difference s - prev.
+func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		Hypercalls:     s.Hypercalls - prev.Hypercalls,
+		DomainSwitches: s.DomainSwitches - prev.DomainSwitches,
+		Events:         s.Events - prev.Events,
+		GrantMaps:      s.GrantMaps - prev.GrantMaps,
+		GrantCopies:    s.GrantCopies - prev.GrantCopies,
+		GrantTransfers: s.GrantTransfers - prev.GrantTransfers,
+		BytesCopied:    s.BytesCopied - prev.BytesCopied,
+		FramesBridged:  s.FramesBridged - prev.FramesBridged,
+		FramesOnWire:   s.FramesOnWire - prev.FramesOnWire,
+	}
+}
+
+// String formats the snapshot for human consumption.
+func (s CounterSnapshot) String() string {
+	return fmt.Sprintf("hypercalls=%d switches=%d events=%d grantMaps=%d grantCopies=%d transfers=%d bytesCopied=%d bridged=%d wire=%d",
+		s.Hypercalls, s.DomainSwitches, s.Events, s.GrantMaps, s.GrantCopies,
+		s.GrantTransfers, s.BytesCopied, s.FramesBridged, s.FramesOnWire)
+}

@@ -1,0 +1,112 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOffChargesNothingQuickly(t *testing.T) {
+	// The Off profile's fields are all zero, so the charge calls the
+	// components actually make complete immediately.
+	m := Off()
+	start := time.Now()
+	for i := 0; i < 100000; i++ {
+		m.Charge(m.Hypercall)
+		m.Charge(m.DomainSwitch)
+		m.ChargeCopy(1 << 20)
+		m.ChargeGrantCopy(1 << 20)
+	}
+	if got := time.Since(start); got > time.Second {
+		t.Fatalf("off profile charged real time: %v", got)
+	}
+}
+
+func TestNilAndZeroSafe(t *testing.T) {
+	var m *Model
+	m.Charge(time.Millisecond) // nil model must not spin or crash
+	m.ChargeCopy(1 << 20)
+	m.ChargeGrantCopy(1 << 20)
+	if m.WireDelay(1500) != 0 {
+		t.Fatal("nil model charged wire delay")
+	}
+	z := Off()
+	z.Charge(0)
+	z.ChargeCopy(12345) // zero per-byte costs: immediate
+}
+
+func TestChargePrecision(t *testing.T) {
+	m := Calibrated()
+	for _, d := range []time.Duration{5 * time.Microsecond, 40 * time.Microsecond, 200 * time.Microsecond} {
+		start := time.Now()
+		m.Charge(d)
+		got := time.Since(start)
+		if got < d {
+			t.Fatalf("charge %v returned after %v", d, got)
+		}
+		if got > d+2*time.Millisecond {
+			t.Fatalf("charge %v took %v (too imprecise)", d, got)
+		}
+	}
+}
+
+func TestWireDelay(t *testing.T) {
+	m := &Model{WireBandwidthBps: 1e9}
+	d := m.WireDelay(1500)
+	if d < 11*time.Microsecond || d > 13*time.Microsecond {
+		t.Fatalf("1500B at 1Gbps = %v, want ~12us", d)
+	}
+	if (&Model{}).WireDelay(1500) != 0 {
+		t.Fatal("unlimited bandwidth should cost nothing")
+	}
+}
+
+func TestChargeCopyScalesWithSize(t *testing.T) {
+	m := &Model{CopyPerByteNS: 10} // exaggerated for measurability
+	start := time.Now()
+	m.ChargeCopy(100_000) // 1ms
+	if got := time.Since(start); got < time.Millisecond {
+		t.Fatalf("copy charge %v, want >= 1ms", got)
+	}
+}
+
+func TestCountersSnapshotAndSub(t *testing.T) {
+	var c Counters
+	c.Hypercalls.Add(5)
+	c.GrantCopies.Add(2)
+	s1 := c.Snapshot()
+	c.Hypercalls.Add(3)
+	c.Events.Add(1)
+	diff := c.Snapshot().Sub(s1)
+	if diff.Hypercalls != 3 || diff.Events != 1 || diff.GrantCopies != 0 {
+		t.Fatalf("diff %+v", diff)
+	}
+	if diff.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestCalibratedProfileSane(t *testing.T) {
+	m := Calibrated()
+	if m.Hypercall <= 0 || m.DomainSwitch <= 0 || m.EventDispatch <= 0 ||
+		m.CopyPerByteNS <= 0 || m.GrantCopyPerByteNS <= m.CopyPerByteNS ||
+		m.WireBandwidthBps != 1e9 {
+		t.Fatalf("calibrated profile inconsistent: %+v", m)
+	}
+	// The hierarchy the evaluation depends on: a domain switch costs far
+	// more than a hypercall; grant copies cost more per byte than plain
+	// copies.
+	if m.DomainSwitch < 10*m.Hypercall {
+		t.Fatal("domain switch should dominate hypercall cost")
+	}
+}
+
+func TestSleepPrecise(t *testing.T) {
+	start := time.Now()
+	SleepPrecise(50 * time.Microsecond)
+	got := time.Since(start)
+	if got < 50*time.Microsecond || got > 2*time.Millisecond {
+		t.Fatalf("SleepPrecise(50us) took %v", got)
+	}
+	SleepPrecise(0)
+	SleepPrecise(-time.Second)
+}

@@ -1,0 +1,166 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/xenstore"
+)
+
+// DomainState is a domain lifecycle state.
+type DomainState int32
+
+// Domain lifecycle states.
+const (
+	DomainRunning DomainState = iota
+	DomainMigrating
+	DomainSuspended
+	DomainDead
+)
+
+// String renders the state.
+func (s DomainState) String() string {
+	switch s {
+	case DomainRunning:
+		return "running"
+	case DomainMigrating:
+		return "migrating"
+	case DomainSuspended:
+		return "suspended"
+	case DomainDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("DomainState(%d)", int32(s))
+	}
+}
+
+// Domain is one virtual machine. A Domain survives migration: its ID,
+// grant table and event channels are machine-local and are replaced, but
+// the Domain value (and everything the guest OS keeps in memory — its
+// network stack, sockets, application goroutines) persists.
+type Domain struct {
+	hv     *Hypervisor
+	id     DomID
+	name   string
+	grants *grantTable
+	events *eventChannels
+	mem    *mem.Allocator
+	cpu    *vcpu
+	state  atomic.Int32
+
+	work chan func()
+	quit chan struct{}
+
+	cbMu        sync.Mutex
+	preMigrate  []func()
+	postMigrate []func()
+	preStop     []func()
+}
+
+// ID returns the domain's current machine-local ID.
+func (d *Domain) ID() DomID { return d.id }
+
+// Name returns the guest's name (stable across migration).
+func (d *Domain) Name() string { return d.name }
+
+// Hypervisor returns the machine currently hosting the domain.
+func (d *Domain) Hypervisor() *Hypervisor { return d.hv }
+
+// Memory returns the domain's page allocator.
+func (d *Domain) Memory() *mem.Allocator { return d.mem }
+
+// State returns the lifecycle state.
+func (d *Domain) State() DomainState { return DomainState(d.state.Load()) }
+
+func (d *Domain) setState(s DomainState) { d.state.Store(int32(s)) }
+
+// StorePath returns the domain's XenStore subtree root on the current
+// machine.
+func (d *Domain) StorePath() string { return xenstore.DomainPath(uint32(d.id)) }
+
+// StoreWrite writes under the machine's XenStore with this domain's
+// credentials.
+func (d *Domain) StoreWrite(path, value string) error {
+	return d.hv.store.Write(uint32(d.id), path, value)
+}
+
+// StoreRead reads from the machine's XenStore with this domain's
+// credentials.
+func (d *Domain) StoreRead(path string) (string, error) {
+	return d.hv.store.Read(uint32(d.id), path)
+}
+
+// StoreRemove removes a node with this domain's credentials.
+func (d *Domain) StoreRemove(path string) error {
+	return d.hv.store.Remove(uint32(d.id), path)
+}
+
+// OnPreMigrate registers a callback invoked on the guest before its memory
+// leaves the machine. XenLoop uses it to remove its advertisement and
+// disengage channels (paper §3.4).
+func (d *Domain) OnPreMigrate(fn func()) {
+	d.cbMu.Lock()
+	d.preMigrate = append(d.preMigrate, fn)
+	d.cbMu.Unlock()
+}
+
+// OnPostMigrate registers a callback invoked on the guest after it resumes
+// on the target machine.
+func (d *Domain) OnPostMigrate(fn func()) {
+	d.cbMu.Lock()
+	d.postMigrate = append(d.postMigrate, fn)
+	d.cbMu.Unlock()
+}
+
+// OnPreStop registers a callback invoked before shutdown/destroy.
+func (d *Domain) OnPreStop(fn func()) {
+	d.cbMu.Lock()
+	d.preStop = append(d.preStop, fn)
+	d.cbMu.Unlock()
+}
+
+func (d *Domain) runPreMigrate()  { d.runCallbacks(&d.preMigrate) }
+func (d *Domain) runPostMigrate() { d.runCallbacks(&d.postMigrate) }
+func (d *Domain) runPreStop()     { d.runCallbacks(&d.preStop) }
+
+func (d *Domain) runCallbacks(list *[]func()) {
+	d.cbMu.Lock()
+	cbs := make([]func(), len(*list))
+	copy(cbs, *list)
+	d.cbMu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// dispatch is the domain's event-delivery goroutine: the virtual CPU
+// running interrupt handlers. Every queued upcall charges event dispatch
+// and (when the CPU last ran another domain) a domain switch.
+func (d *Domain) dispatch() {
+	for {
+		select {
+		case fn := <-d.work:
+			fn()
+		case <-d.quit:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case fn := <-d.work:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// exec queues fn to run in the domain's event context.
+func (d *Domain) exec(fn func()) {
+	select {
+	case d.work <- fn:
+	case <-d.quit:
+	}
+}

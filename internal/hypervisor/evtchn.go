@@ -1,0 +1,197 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Port identifies an event channel endpoint within one domain.
+type Port uint32
+
+type portState int
+
+const (
+	portUnbound portState = iota
+	portInterdomain
+	portClosed
+)
+
+// evtPort is one endpoint of an event channel. The pending bit implements
+// the 1-bit notification semantics of Xen event channels: multiple
+// notifications while an upcall is outstanding coalesce into one, which is
+// what lets the data path batch naturally under load.
+type evtPort struct {
+	state      portState
+	remoteDom  DomID
+	remotePort Port
+	allowedDom DomID // for unbound ports: who may bind
+	handler    func()
+	pending    atomic.Bool
+}
+
+type eventChannels struct {
+	mu    sync.Mutex
+	owner *Domain
+	ports map[Port]*evtPort
+	next  Port
+}
+
+func newEventChannels(d *Domain) *eventChannels {
+	return &eventChannels{owner: d, ports: map[Port]*evtPort{}}
+}
+
+func (ec *eventChannels) closeAll() {
+	ec.mu.Lock()
+	for _, p := range ec.ports {
+		p.state = portClosed
+	}
+	ec.mu.Unlock()
+}
+
+// AllocUnboundPort allocates an event channel port that domain remote may
+// later bind to (EVTCHNOP_alloc_unbound). Hypercall.
+func (d *Domain) AllocUnboundPort(remote DomID) (Port, error) {
+	d.hv.hypercall()
+	ec := d.events
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ec.next++
+	port := ec.next
+	ec.ports[port] = &evtPort{state: portUnbound, allowedDom: remote}
+	return port, nil
+}
+
+// BindInterdomain connects a local port to (remoteDom, remotePort), which
+// must have been allocated unbound for this domain
+// (EVTCHNOP_bind_interdomain). Hypercall.
+func (d *Domain) BindInterdomain(remoteDom DomID, remotePort Port) (Port, error) {
+	hv := d.hv
+	hv.hypercall()
+	hv.mu.Lock()
+	rd, ok := hv.domains[remoteDom]
+	hv.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoDomain, remoteDom)
+	}
+	rd.events.mu.Lock()
+	rp, ok := rd.events.ports[remotePort]
+	if !ok || rp.state != portUnbound || rp.allowedDom != d.id {
+		rd.events.mu.Unlock()
+		return 0, fmt.Errorf("%w: remote %d port %d not bindable by %d", ErrBadPort, remoteDom, remotePort, d.id)
+	}
+	ec := d.events
+	ec.mu.Lock()
+	ec.next++
+	local := ec.next
+	ec.ports[local] = &evtPort{state: portInterdomain, remoteDom: remoteDom, remotePort: remotePort}
+	ec.mu.Unlock()
+	rp.state = portInterdomain
+	rp.remoteDom = d.id
+	rp.remotePort = local
+	rd.events.mu.Unlock()
+	return local, nil
+}
+
+// SetEventHandler installs the upcall for a local port. The handler runs
+// in the domain's event-dispatch context.
+func (d *Domain) SetEventHandler(port Port, handler func()) error {
+	ec := d.events
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	p, ok := ec.ports[port]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadPort, port)
+	}
+	p.handler = handler
+	return nil
+}
+
+// NotifyPort signals the remote end of an interdomain channel
+// (EVTCHNOP_send). Hypercall at the sender; event dispatch plus possible
+// domain switch at the receiver. Notifications coalesce while one is
+// pending.
+func (d *Domain) NotifyPort(port Port) error {
+	hv := d.hv
+	hv.hypercall()
+	ec := d.events
+	ec.mu.Lock()
+	p, ok := ec.ports[port]
+	if !ok || p.state != portInterdomain {
+		ec.mu.Unlock()
+		return fmt.Errorf("%w: %d not connected", ErrBadPort, port)
+	}
+	remoteDom, remotePort := p.remoteDom, p.remotePort
+	ec.mu.Unlock()
+
+	hv.mu.Lock()
+	rd, ok := hv.domains[remoteDom]
+	hv.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoDomain, remoteDom)
+	}
+	rd.events.mu.Lock()
+	rp, ok := rd.events.ports[remotePort]
+	var handler func()
+	if ok {
+		handler = rp.handler
+	}
+	rd.events.mu.Unlock()
+	if !ok || handler == nil {
+		return nil // port vanished or no handler yet; event is lost (1-bit semantics)
+	}
+	if rp.pending.Swap(true) {
+		return nil // already pending: coalesce
+	}
+	hv.counters.Events.Add(1)
+	rd.exec(func() {
+		rp.pending.Store(false)
+		rdhv := rd.hv
+		rdhv.schedule(rd)
+		rdhv.model.Charge(rdhv.model.EventDispatch)
+		handler()
+	})
+	return nil
+}
+
+// ClosePort closes a local port and disconnects the remote end
+// (EVTCHNOP_close). Hypercall.
+func (d *Domain) ClosePort(port Port) error {
+	hv := d.hv
+	hv.hypercall()
+	ec := d.events
+	ec.mu.Lock()
+	p, ok := ec.ports[port]
+	if !ok {
+		ec.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBadPort, port)
+	}
+	wasConnected := p.state == portInterdomain
+	remoteDom, remotePort := p.remoteDom, p.remotePort
+	p.state = portClosed
+	delete(ec.ports, port)
+	ec.mu.Unlock()
+
+	if wasConnected {
+		hv.mu.Lock()
+		rd, ok := hv.domains[remoteDom]
+		hv.mu.Unlock()
+		if ok {
+			rd.events.mu.Lock()
+			if rp, ok := rd.events.ports[remotePort]; ok && rp.remoteDom == d.id {
+				rp.state = portClosed
+			}
+			rd.events.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// PortConnected reports whether a local port is connected end to end.
+func (d *Domain) PortConnected(port Port) bool {
+	ec := d.events
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	p, ok := ec.ports[port]
+	return ok && p.state == portInterdomain
+}

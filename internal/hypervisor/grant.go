@@ -1,0 +1,227 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// GrantRef identifies one entry in a domain's grant table.
+type GrantRef uint32
+
+// grantEntry is one row of a grant table. Obj is the shared object — a
+// *mem.Page for ordinary pages, or a typed descriptor such as the XenLoop
+// FIFO descriptor — handed by reference to the mapper so both domains
+// observe the same memory, as on real hardware.
+type grantEntry struct {
+	to       DomID
+	obj      any
+	mapped   int
+	transfer bool
+	done     bool
+}
+
+// grantTable is a domain's grant table. Per the paper (§3.3), the table is
+// mapped into the granter's own address space, so granting and revoking
+// access are plain memory operations that need no hypercall; mapping,
+// unmapping, copying and transferring by the peer go through hypercalls.
+type grantTable struct {
+	mu      sync.Mutex
+	owner   *Domain
+	entries map[GrantRef]*grantEntry
+	next    GrantRef
+}
+
+func newGrantTable(d *Domain) *grantTable {
+	return &grantTable{owner: d, entries: map[GrantRef]*grantEntry{}}
+}
+
+func (t *grantTable) revokeAll() {
+	t.mu.Lock()
+	t.entries = map[GrantRef]*grantEntry{}
+	t.mu.Unlock()
+}
+
+// GrantAccess makes obj mappable by domain `to` and returns the grant
+// reference to communicate out of band (gnttab_grant_foreign_access).
+func (d *Domain) GrantAccess(to DomID, obj any) GrantRef {
+	t := d.grants
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	ref := t.next
+	t.entries[ref] = &grantEntry{to: to, obj: obj}
+	return ref
+}
+
+// GrantTransferable marks a page as offered for transfer to domain `to`
+// (gnttab_grant_foreign_transfer). The page is zeroed first to avoid
+// leaking data, a cost the paper calls out as a reason to prefer copying.
+func (d *Domain) GrantTransferable(to DomID, page *mem.Page) GrantRef {
+	page.Zero(d.hv.model)
+	t := d.grants
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	ref := t.next
+	t.entries[ref] = &grantEntry{to: to, obj: page, transfer: true}
+	return ref
+}
+
+// EndAccess revokes a grant (gnttab_end_foreign_access). It fails while
+// the peer still has the object mapped.
+func (d *Domain) EndAccess(ref GrantRef) error {
+	t := d.grants
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[ref]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadGrant, ref)
+	}
+	if e.mapped > 0 {
+		return fmt.Errorf("%w: ref %d has %d mappings", ErrGrantInUse, ref, e.mapped)
+	}
+	delete(t.entries, ref)
+	return nil
+}
+
+// lookupGrant validates that caller may use (granter, ref).
+func (hv *Hypervisor) lookupGrant(caller DomID, granter DomID, ref GrantRef) (*grantEntry, *grantTable, error) {
+	hv.mu.Lock()
+	gd, ok := hv.domains[granter]
+	hv.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: granter %d", ErrNoDomain, granter)
+	}
+	t := gd.grants
+	t.mu.Lock()
+	e, ok := t.entries[ref]
+	if !ok || e.done {
+		t.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: granter %d ref %d", ErrBadGrant, granter, ref)
+	}
+	if e.to != caller {
+		t.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: ref %d granted to %d, not %d", ErrBadGrant, ref, e.to, caller)
+	}
+	return e, t, nil // t.mu still held; caller of lookupGrant must unlock
+}
+
+// MapGrant maps the object behind (granter, ref) into this domain's
+// address space. Hypercall + map cost.
+func (d *Domain) MapGrant(granter DomID, ref GrantRef) (any, error) {
+	hv := d.hv
+	hv.hypercall()
+	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	if err != nil {
+		return nil, err
+	}
+	e.mapped++
+	t.mu.Unlock()
+	hv.counters.GrantMaps.Add(1)
+	hv.model.Charge(hv.model.GrantMap)
+	return e.obj, nil
+}
+
+// UnmapGrant releases a prior MapGrant. Hypercall + unmap cost.
+func (d *Domain) UnmapGrant(granter DomID, ref GrantRef) error {
+	hv := d.hv
+	hv.hypercall()
+	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	if err != nil {
+		return err
+	}
+	if e.mapped > 0 {
+		e.mapped--
+	}
+	t.mu.Unlock()
+	hv.model.Charge(hv.model.GrantUnmap)
+	return nil
+}
+
+// byteBacked is satisfied by grantable objects exposing raw bytes
+// (mem.Page, ring slot buffers); grant copies operate on them.
+type byteBacked interface{ Bytes() []byte }
+
+func grantBytes(e *grantEntry) ([]byte, bool) {
+	switch obj := e.obj.(type) {
+	case *mem.Page:
+		return obj.Data, true
+	case byteBacked:
+		return obj.Bytes(), true
+	default:
+		return nil, false
+	}
+}
+
+// GrantCopyIn copies from the granted object into dst (GNTTABOP_copy,
+// granted->local direction). Returns the number of bytes copied.
+func (d *Domain) GrantCopyIn(granter DomID, ref GrantRef, dst []byte, offset int) (int, error) {
+	hv := d.hv
+	hv.hypercall()
+	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	if err != nil {
+		return 0, err
+	}
+	data, ok := grantBytes(e)
+	if !ok || offset > len(data) {
+		t.mu.Unlock()
+		return 0, fmt.Errorf("%w: ref %d is not byte-backed at offset %d", ErrBadGrant, ref, offset)
+	}
+	n := copy(dst, data[offset:])
+	t.mu.Unlock()
+	hv.counters.GrantCopies.Add(1)
+	hv.counters.BytesCopied.Add(uint64(n))
+	hv.model.ChargeGrantCopy(n)
+	return n, nil
+}
+
+// GrantCopyOut copies src into the granted object (GNTTABOP_copy,
+// local->granted direction). Returns the number of bytes copied.
+func (d *Domain) GrantCopyOut(granter DomID, ref GrantRef, src []byte, offset int) (int, error) {
+	hv := d.hv
+	hv.hypercall()
+	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	if err != nil {
+		return 0, err
+	}
+	data, ok := grantBytes(e)
+	if !ok || offset > len(data) {
+		t.mu.Unlock()
+		return 0, fmt.Errorf("%w: ref %d is not byte-backed at offset %d", ErrBadGrant, ref, offset)
+	}
+	n := copy(data[offset:], src)
+	t.mu.Unlock()
+	hv.counters.GrantCopies.Add(1)
+	hv.counters.BytesCopied.Add(uint64(n))
+	hv.model.ChargeGrantCopy(n)
+	return n, nil
+}
+
+// TransferGrant accepts a page offered with GrantTransferable, moving its
+// ownership to this domain. The caller must give a page back to the
+// hypervisor in exchange (modeled by zeroing and freeing returnPage), per
+// the protocol the paper describes in §2.
+func (d *Domain) TransferGrant(granter DomID, ref GrantRef, returnPage *mem.Page) (*mem.Page, error) {
+	hv := d.hv
+	hv.hypercall()
+	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	if err != nil {
+		return nil, err
+	}
+	if !e.transfer {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: ref %d not offered for transfer", ErrBadGrant, ref)
+	}
+	page := e.obj.(*mem.Page)
+	e.done = true
+	t.mu.Unlock()
+	if returnPage != nil {
+		returnPage.Zero(hv.model)
+	}
+	page.SetOwner(int32(d.id))
+	hv.counters.GrantTransfers.Add(1)
+	hv.model.Charge(hv.model.GrantTransferFixed)
+	return page, nil
+}

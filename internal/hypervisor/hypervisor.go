@@ -1,0 +1,302 @@
+// Package hypervisor models the Xen hypervisor mechanisms that XenLoop and
+// the split network driver are built on: domains with lifecycle and
+// migration, grant tables for inter-domain memory sharing/transfer, event
+// channels for 1-bit cross-domain notification, and hypercall cost
+// accounting.
+//
+// One Hypervisor instance is one physical machine. Domain 0 is created
+// implicitly and plays its usual privileged role (driver domain, XenStore
+// owner, discovery module host).
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/xenstore"
+)
+
+// DomID identifies a domain within one machine. Domain 0 is privileged.
+type DomID uint32
+
+// Errors returned by hypervisor operations.
+var (
+	ErrNoDomain    = errors.New("hypervisor: no such domain")
+	ErrBadGrant    = errors.New("hypervisor: bad grant reference")
+	ErrGrantInUse  = errors.New("hypervisor: grant still mapped")
+	ErrBadPort     = errors.New("hypervisor: bad event channel port")
+	ErrDomainState = errors.New("hypervisor: invalid domain state")
+)
+
+// Hypervisor is one physical machine's hypervisor instance.
+type Hypervisor struct {
+	// Machine names the physical host (for diagnostics and XenStore).
+	Machine string
+
+	model    *costmodel.Model
+	counters *costmodel.Counters
+	store    *xenstore.Store
+	ncpu     int
+
+	mu      sync.Mutex
+	domains map[DomID]*Domain
+	nextID  DomID
+	cpus    []*vcpu
+	nextCPU int
+}
+
+// vcpu tracks which domain last ran on a simulated CPU so that dispatching
+// work for a different domain charges a context switch (TLB and cache
+// disturbance included), as the paper's §2 discusses.
+type vcpu struct {
+	mu      sync.Mutex
+	current DomID
+	valid   bool
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	// Machine is the host name.
+	Machine string
+	// Model is the cost model; nil means costmodel.Off().
+	Model *costmodel.Model
+	// NCPU is the number of simulated CPU cores (the paper's testbed is a
+	// dual-core Pentium D). Minimum 1; default 2.
+	NCPU int
+}
+
+// New creates a machine with its privileged Domain 0.
+func New(cfg Config) *Hypervisor {
+	if cfg.Model == nil {
+		cfg.Model = costmodel.Off()
+	}
+	if cfg.NCPU <= 0 {
+		cfg.NCPU = 2
+	}
+	hv := &Hypervisor{
+		Machine:  cfg.Machine,
+		model:    cfg.Model,
+		counters: &costmodel.Counters{},
+		store:    xenstore.New(),
+		ncpu:     cfg.NCPU,
+		domains:  map[DomID]*Domain{},
+	}
+	hv.cpus = make([]*vcpu, cfg.NCPU)
+	for i := range hv.cpus {
+		hv.cpus[i] = &vcpu{}
+	}
+	// Domain 0 exists from boot.
+	hv.mu.Lock()
+	dom0 := hv.newDomainLocked("Domain-0", 0)
+	hv.mu.Unlock()
+	_ = dom0
+	return hv
+}
+
+// Model returns the machine's cost model.
+func (hv *Hypervisor) Model() *costmodel.Model { return hv.model }
+
+// Counters returns the machine's mechanism counters.
+func (hv *Hypervisor) Counters() *costmodel.Counters { return hv.counters }
+
+// Store returns the machine's XenStore.
+func (hv *Hypervisor) Store() *xenstore.Store { return hv.store }
+
+// Dom0 returns the privileged domain.
+func (hv *Hypervisor) Dom0() *Domain {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	return hv.domains[0]
+}
+
+// Domain returns the domain with the given ID, if it exists.
+func (hv *Hypervisor) Domain(id DomID) (*Domain, bool) {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	d, ok := hv.domains[id]
+	return d, ok
+}
+
+// Domains returns a snapshot of all live domains.
+func (hv *Hypervisor) Domains() []*Domain {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	out := make([]*Domain, 0, len(hv.domains))
+	for _, d := range hv.domains {
+		out = append(out, d)
+	}
+	return out
+}
+
+// CreateDomain creates an unprivileged guest with a memory budget of
+// memPages pages (0 = unbounded) and registers its XenStore subtree.
+func (hv *Hypervisor) CreateDomain(name string, memPages int) *Domain {
+	hv.mu.Lock()
+	d := hv.newDomainLocked(name, memPages)
+	hv.mu.Unlock()
+	return d
+}
+
+func (hv *Hypervisor) newDomainLocked(name string, memPages int) *Domain {
+	id := hv.nextID
+	hv.nextID++
+	d := &Domain{
+		hv:   hv,
+		id:   id,
+		name: name,
+		mem:  mem.NewAllocator(int32(id), memPages),
+		work: make(chan func(), 1024),
+		quit: make(chan struct{}),
+	}
+	d.setState(DomainRunning)
+	d.grants = newGrantTable(d)
+	d.events = newEventChannels(d)
+	d.cpu = hv.cpus[hv.nextCPU%hv.ncpu]
+	hv.nextCPU++
+	hv.domains[id] = d
+	base := xenstore.DomainPath(uint32(id))
+	_ = hv.store.Write(0, base+"/name", name)
+	_ = hv.store.Write(0, base+"/state", "running")
+	go d.dispatch()
+	return d
+}
+
+// destroyLocked tears a domain out of the machine: ports closed, grants
+// revoked, XenStore subtree removed.
+func (hv *Hypervisor) destroyLocked(d *Domain) {
+	d.events.closeAll()
+	d.grants.revokeAll()
+	delete(hv.domains, d.id)
+	_ = hv.store.Remove(0, xenstore.DomainPath(uint32(d.id)))
+}
+
+// DestroyDomain shuts a guest down: pre-shutdown callbacks run first (the
+// paper's XenLoop module uses this to tear channels down cleanly), then the
+// domain disappears from the machine.
+func (hv *Hypervisor) DestroyDomain(d *Domain) error {
+	if d.id == 0 {
+		return fmt.Errorf("%w: cannot destroy Domain-0", ErrDomainState)
+	}
+	d.runPreStop()
+	hv.mu.Lock()
+	hv.destroyLocked(d)
+	hv.mu.Unlock()
+	d.setState(DomainDead)
+	close(d.quit)
+	return nil
+}
+
+// Migrate moves a guest to another machine, modeling Xen live migration
+// from the guest modules' point of view: the guest receives a callback
+// before migration (and disengages from shared state), its identity on the
+// source machine is destroyed, it reappears on the target with a new
+// domain ID, and post-migration callbacks run there.
+func (hv *Hypervisor) Migrate(d *Domain, target *Hypervisor) error {
+	if d.id == 0 {
+		return fmt.Errorf("%w: cannot migrate Domain-0", ErrDomainState)
+	}
+	if d.State() != DomainRunning {
+		return fmt.Errorf("%w: domain %d is %v", ErrDomainState, d.id, d.State())
+	}
+	d.setState(DomainMigrating)
+	trace.Record(trace.KindMigration, hv.Machine, "migrating %s (dom%d) to %s", d.name, d.id, target.Machine)
+	d.runPreMigrate()
+
+	hv.mu.Lock()
+	hv.destroyLocked(d)
+	hv.mu.Unlock()
+
+	// Transit: the memory image moves across; charge a nominal cost via
+	// the wire model (the evaluation's migration figure measures the
+	// application-visible effect, not total migration time).
+	target.mu.Lock()
+	newID := target.nextID
+	target.nextID++
+	d.hv = target
+	d.id = newID
+	d.grants = newGrantTable(d)
+	d.events = newEventChannels(d)
+	d.cpu = target.cpus[target.nextCPU%target.ncpu]
+	target.nextCPU++
+	target.domains[newID] = d
+	base := xenstore.DomainPath(uint32(newID))
+	_ = target.store.Write(0, base+"/name", d.name)
+	_ = target.store.Write(0, base+"/state", "running")
+	target.mu.Unlock()
+
+	d.setState(DomainRunning)
+	d.runPostMigrate()
+	return nil
+}
+
+// Suspend checkpoints a guest (xm save): guest modules receive the same
+// pre-migration callback they get for live migration — XenLoop uses it to
+// disengage channels — and the domain's machine-local identity (grants,
+// event channels, XenStore subtree, domain ID) is destroyed. The Domain
+// object itself, holding the guest's memory image, stays valid for Resume.
+func (hv *Hypervisor) Suspend(d *Domain) error {
+	if d.id == 0 {
+		return fmt.Errorf("%w: cannot suspend Domain-0", ErrDomainState)
+	}
+	if d.State() != DomainRunning {
+		return fmt.Errorf("%w: domain %d is %v", ErrDomainState, d.id, d.State())
+	}
+	trace.Record(trace.KindSuspension, hv.Machine, "suspending %s (dom%d)", d.name, d.id)
+	d.runPreMigrate()
+	hv.mu.Lock()
+	hv.destroyLocked(d)
+	hv.mu.Unlock()
+	d.setState(DomainSuspended)
+	return nil
+}
+
+// Resume restores a suspended guest (xm restore) on this machine under a
+// fresh domain ID, then runs post-migration callbacks so guest modules
+// re-advertise.
+func (hv *Hypervisor) Resume(d *Domain) error {
+	if d.State() != DomainSuspended {
+		return fmt.Errorf("%w: domain %q is %v", ErrDomainState, d.name, d.State())
+	}
+	hv.mu.Lock()
+	newID := hv.nextID
+	hv.nextID++
+	d.hv = hv
+	d.id = newID
+	d.grants = newGrantTable(d)
+	d.events = newEventChannels(d)
+	d.cpu = hv.cpus[hv.nextCPU%hv.ncpu]
+	hv.nextCPU++
+	hv.domains[newID] = d
+	base := xenstore.DomainPath(uint32(newID))
+	_ = hv.store.Write(0, base+"/name", d.name)
+	_ = hv.store.Write(0, base+"/state", "running")
+	hv.mu.Unlock()
+	d.setState(DomainRunning)
+	d.runPostMigrate()
+	return nil
+}
+
+// hypercall charges one guest->hypervisor crossing.
+func (hv *Hypervisor) hypercall() {
+	hv.counters.Hypercalls.Add(1)
+	hv.model.Charge(hv.model.Hypercall)
+}
+
+// schedule accounts for domain d running on its CPU, charging a domain
+// switch when the CPU last ran someone else.
+func (hv *Hypervisor) schedule(d *Domain) {
+	c := d.cpu
+	c.mu.Lock()
+	switched := !c.valid || c.current != d.id
+	c.current = d.id
+	c.valid = true
+	c.mu.Unlock()
+	if switched {
+		hv.counters.DomainSwitches.Add(1)
+		hv.model.Charge(hv.model.DomainSwitch)
+	}
+}

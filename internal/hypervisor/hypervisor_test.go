@@ -1,0 +1,316 @@
+package hypervisor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+func newTestMachine(t *testing.T) *Hypervisor {
+	t.Helper()
+	return New(Config{Machine: "m"})
+}
+
+func TestDom0ExistsAndIsPrivileged(t *testing.T) {
+	hv := newTestMachine(t)
+	d0 := hv.Dom0()
+	if d0 == nil || d0.ID() != 0 {
+		t.Fatalf("dom0 missing or wrong id: %+v", d0)
+	}
+	if d0.Name() != "Domain-0" {
+		t.Fatalf("dom0 name %q", d0.Name())
+	}
+}
+
+func TestCreateAndDestroyDomain(t *testing.T) {
+	hv := newTestMachine(t)
+	d := hv.CreateDomain("guest1", 0)
+	if d.ID() == 0 {
+		t.Fatal("guest got dom0's id")
+	}
+	if _, ok := hv.Domain(d.ID()); !ok {
+		t.Fatal("domain not registered")
+	}
+	if v, err := hv.Store().Read(0, d.StorePath()+"/name"); err != nil || v != "guest1" {
+		t.Fatalf("xenstore name: %q %v", v, err)
+	}
+	stopped := false
+	d.OnPreStop(func() { stopped = true })
+	if err := hv.DestroyDomain(d); err != nil {
+		t.Fatal(err)
+	}
+	if !stopped {
+		t.Fatal("pre-stop callback did not run")
+	}
+	if _, ok := hv.Domain(d.ID()); ok {
+		t.Fatal("domain still registered after destroy")
+	}
+	if hv.Store().Exists(0, d.StorePath()) {
+		t.Fatal("xenstore subtree survived destroy")
+	}
+}
+
+func TestDestroyDom0Fails(t *testing.T) {
+	hv := newTestMachine(t)
+	if err := hv.DestroyDomain(hv.Dom0()); err == nil {
+		t.Fatal("destroying dom0 should fail")
+	}
+}
+
+func TestGrantMapSharesSamePage(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	page, err := a.Memory().Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := a.GrantAccess(b.ID(), page)
+	obj, err := b.MapGrant(a.ID(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := obj.(*mem.Page)
+	// Writes through the mapping must be visible to the granter: it is
+	// the same physical page.
+	mapped.Data[0] = 0x5a
+	if page.Data[0] != 0x5a {
+		t.Fatal("mapped page is not shared memory")
+	}
+	if err := a.EndAccess(ref); !errors.Is(err, ErrGrantInUse) {
+		t.Fatalf("EndAccess while mapped: %v", err)
+	}
+	if err := b.UnmapGrant(a.ID(), ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EndAccess(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MapGrant(a.ID(), ref); err == nil {
+		t.Fatal("map after revoke should fail")
+	}
+}
+
+func TestGrantPermissionEnforced(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	c := hv.CreateDomain("c", 0)
+	page, _ := a.Memory().Alloc()
+	ref := a.GrantAccess(b.ID(), page)
+	if _, err := c.MapGrant(a.ID(), ref); err == nil {
+		t.Fatal("third domain mapped a grant not made to it")
+	}
+}
+
+func TestGrantCopyInOut(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	page, _ := a.Memory().Alloc()
+	copy(page.Data, []byte("grant copy payload"))
+	ref := a.GrantAccess(b.ID(), page)
+
+	dst := make([]byte, 18)
+	n, err := b.GrantCopyIn(a.ID(), ref, dst, 0)
+	if err != nil || n != 18 || string(dst) != "grant copy payload" {
+		t.Fatalf("GrantCopyIn: n=%d err=%v data=%q", n, err, dst)
+	}
+	if _, err := b.GrantCopyOut(a.ID(), ref, []byte("XY"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(page.Data[:2]) != "XY" {
+		t.Fatal("GrantCopyOut did not reach the page")
+	}
+}
+
+func TestPageTransferMovesOwnership(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	page, _ := a.Memory().Alloc()
+	page.Data[0] = 0xff
+	ref := a.GrantTransferable(b.ID(), page)
+	// Transfer zeroes the page first (no data leakage).
+	if page.Data[0] != 0 {
+		t.Fatal("transferable page was not zeroed")
+	}
+	ret, _ := b.Memory().Alloc()
+	got, err := b.TransferGrant(a.ID(), ref, ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner() != int32(b.ID()) {
+		t.Fatalf("ownership not moved: %d", got.Owner())
+	}
+	if _, err := b.TransferGrant(a.ID(), ref, ret); err == nil {
+		t.Fatal("double transfer should fail")
+	}
+}
+
+func TestEventChannelHandshakeAndNotify(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+
+	unbound, err := a.AllocUnboundPort(b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 16)
+	if err := a.SetEventHandler(unbound, func() { fired <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	bport, err := b.BindInterdomain(a.ID(), unbound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.PortConnected(bport) || !a.PortConnected(unbound) {
+		t.Fatal("ports not connected after bind")
+	}
+	if err := b.NotifyPort(bport); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("event never delivered")
+	}
+}
+
+func TestEventChannelWrongDomainCannotBind(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	c := hv.CreateDomain("c", 0)
+	unbound, _ := a.AllocUnboundPort(b.ID())
+	if _, err := c.BindInterdomain(a.ID(), unbound); err == nil {
+		t.Fatal("third domain bound a port reserved for another")
+	}
+}
+
+func TestEventCoalescing(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	unbound, _ := a.AllocUnboundPort(b.ID())
+
+	var mu sync.Mutex
+	count := 0
+	block := make(chan struct{})
+	_ = a.SetEventHandler(unbound, func() {
+		mu.Lock()
+		count++
+		first := count == 1
+		mu.Unlock()
+		if first {
+			<-block // hold the dispatcher so later notifies coalesce
+		}
+	})
+	bport, _ := b.BindInterdomain(a.ID(), unbound)
+	for i := 0; i < 50; i++ {
+		if err := b.NotifyPort(bport); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	got := count
+	mu.Unlock()
+	// 50 notifications while the first upcall is blocked must collapse
+	// into far fewer dispatches (1 in flight + at most 1 pending).
+	if got > 3 {
+		t.Fatalf("events did not coalesce: %d dispatches", got)
+	}
+	if got < 1 {
+		t.Fatal("no dispatch at all")
+	}
+}
+
+func TestClosePortDisconnectsPeer(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	unbound, _ := a.AllocUnboundPort(b.ID())
+	_ = a.SetEventHandler(unbound, func() {})
+	bport, _ := b.BindInterdomain(a.ID(), unbound)
+	if err := a.ClosePort(unbound); err != nil {
+		t.Fatal(err)
+	}
+	if b.PortConnected(bport) {
+		t.Fatal("peer port still connected after close")
+	}
+	if err := b.NotifyPort(bport); err == nil {
+		t.Fatal("notify on closed channel should fail")
+	}
+}
+
+func TestMigrationMovesDomainAndRunsCallbacks(t *testing.T) {
+	src := New(Config{Machine: "src"})
+	dst := New(Config{Machine: "dst"})
+	d := src.CreateDomain("wanderer", 0)
+	oldID := d.ID()
+
+	var order []string
+	var mu sync.Mutex
+	d.OnPreMigrate(func() { mu.Lock(); order = append(order, "pre"); mu.Unlock() })
+	d.OnPostMigrate(func() { mu.Lock(); order = append(order, "post"); mu.Unlock() })
+
+	if err := src.Migrate(d, dst); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "pre" || order[1] != "post" {
+		t.Fatalf("callback order %v", order)
+	}
+	if d.Hypervisor() != dst {
+		t.Fatal("domain not rehomed")
+	}
+	if _, ok := src.Domain(oldID); ok {
+		t.Fatal("domain still on source")
+	}
+	if _, ok := dst.Domain(d.ID()); !ok {
+		t.Fatal("domain not on target")
+	}
+	if src.Store().Exists(0, "/local/domain/"+itoa(oldID)+"/name") {
+		t.Fatal("source xenstore entry survived")
+	}
+	if v, err := dst.Store().Read(0, d.StorePath()+"/name"); err != nil || v != "wanderer" {
+		t.Fatalf("target xenstore entry: %q %v", v, err)
+	}
+}
+
+func itoa(id DomID) string {
+	if id == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for id > 0 {
+		i--
+		b[i] = byte('0' + id%10)
+		id /= 10
+	}
+	return string(b[i:])
+}
+
+func TestMemoryBudgetEnforced(t *testing.T) {
+	hv := newTestMachine(t)
+	d := hv.CreateDomain("small", 4)
+	pages, err := d.Memory().AllocN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Memory().Alloc(); err == nil {
+		t.Fatal("allocation beyond budget succeeded")
+	}
+	d.Memory().FreeAll(pages)
+	if _, err := d.Memory().Alloc(); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}

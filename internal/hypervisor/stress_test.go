@@ -1,0 +1,175 @@
+package hypervisor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// TestConcurrentGrantOperations hammers one grant table from many
+// goroutines: grants, maps, copies and revocations must never corrupt the
+// table or panic.
+func TestConcurrentGrantOperations(t *testing.T) {
+	hv := New(Config{Machine: "stress"})
+	granter := hv.CreateDomain("granter", 0)
+	mapper := hv.CreateDomain("mapper", 0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				page, err := granter.Memory().Alloc()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ref := granter.GrantAccess(mapper.ID(), page)
+				if _, err := mapper.MapGrant(granter.ID(), ref); err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 64)
+				if _, err := mapper.GrantCopyIn(granter.ID(), ref, buf, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := mapper.UnmapGrant(granter.ID(), ref); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := granter.EndAccess(ref); err != nil {
+					t.Error(err)
+					return
+				}
+				granter.Memory().Free(page)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentEventStorm fires notifications from several domains into
+// one handler while the port is being used; every burst must deliver at
+// least one upcall and never deadlock.
+func TestConcurrentEventStorm(t *testing.T) {
+	hv := New(Config{Machine: "storm"})
+	receiver := hv.CreateDomain("receiver", 0)
+	var delivered sync.WaitGroup
+
+	senders := make([]*Domain, 4)
+	ports := make([]Port, 4)
+	for i := range senders {
+		senders[i] = hv.CreateDomain("sender", 0)
+		unbound, err := receiver.AllocUnboundPort(senders[i].ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(chan struct{}, 1)
+		_ = receiver.SetEventHandler(unbound, func() {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		})
+		port, err := senders[i].BindInterdomain(receiver.ID(), unbound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = port
+		delivered.Add(1)
+		go func(ch chan struct{}) {
+			defer delivered.Done()
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				t.Error("no event delivered for one sender")
+			}
+		}(got)
+	}
+	var wg sync.WaitGroup
+	for i := range senders {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				if err := senders[i].NotifyPort(ports[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	delivered.Wait()
+}
+
+// TestMigrationUnderGrantLoad migrates a domain while another goroutine
+// keeps exercising its (old) grants; operations must fail cleanly, never
+// corrupt state.
+func TestMigrationUnderGrantLoad(t *testing.T) {
+	src := New(Config{Machine: "src"})
+	dst := New(Config{Machine: "dst"})
+	d := src.CreateDomain("mover", 0)
+	peer := src.CreateDomain("peer", 0)
+	page, _ := d.Memory().Alloc()
+	ref := d.GrantAccess(peer.ID(), page)
+
+	stop := make(chan struct{})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// May succeed before migration, must fail cleanly after.
+			_, _ = peer.GrantCopyIn(d.ID(), ref, buf, 0)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := src.Migrate(d, dst); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	// The old grant is gone with the old machine identity.
+	if _, err := peer.GrantCopyIn(d.ID(), ref, make([]byte, 4), 0); err == nil {
+		t.Fatal("grant survived migration")
+	}
+	_ = mem.PageSize
+}
+
+// TestSuspendResumeCycle runs several suspend/resume cycles; the domain
+// must get a fresh identity each time and stay functional.
+func TestSuspendResumeCycle(t *testing.T) {
+	hv := New(Config{Machine: "m"})
+	d := hv.CreateDomain("yoyo", 0)
+	for i := 0; i < 5; i++ {
+		prev := d.ID()
+		if err := hv.Suspend(d); err != nil {
+			t.Fatalf("cycle %d suspend: %v", i, err)
+		}
+		if d.State() != DomainSuspended {
+			t.Fatalf("cycle %d: state %v", i, d.State())
+		}
+		if err := hv.Resume(d); err != nil {
+			t.Fatalf("cycle %d resume: %v", i, err)
+		}
+		if d.ID() == prev {
+			t.Fatalf("cycle %d: domain ID not refreshed", i)
+		}
+		if _, ok := hv.Domain(d.ID()); !ok {
+			t.Fatalf("cycle %d: domain not registered", i)
+		}
+	}
+	// Suspending a suspended domain fails cleanly.
+	_ = hv.Suspend(d)
+	if err := hv.Suspend(d); err == nil {
+		t.Fatal("double suspend accepted")
+	}
+	_ = hv.Resume(d)
+}

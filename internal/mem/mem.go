@@ -1,0 +1,125 @@
+// Package mem models guest machine memory as fixed-size pages, the unit of
+// sharing and transfer in the Xen grant-table mechanism. Pages are real Go
+// byte slices: when a page is granted and mapped by another domain, both
+// domains hold the same backing array, so writes are genuinely visible
+// across the "isolation barrier" exactly as on real hardware.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/costmodel"
+)
+
+// PageSize is the architectural page size of the simulated machine.
+const PageSize = 4096
+
+// ErrOutOfMemory is returned when an allocator's page budget is exhausted.
+var ErrOutOfMemory = errors.New("mem: out of memory")
+
+// Page is one machine page. The Data slice always has length PageSize.
+type Page struct {
+	// ID is the simulated machine frame number, unique per allocator.
+	ID uint64
+	// Data is the page contents, shared by reference across domains
+	// when the page is granted and mapped.
+	Data []byte
+
+	owner atomic.Int32 // current owning domain, updated on transfer
+}
+
+// Bytes exposes the page contents (the grant-copy byte-backed contract).
+func (p *Page) Bytes() []byte { return p.Data }
+
+// Owner returns the ID of the domain currently owning the page.
+func (p *Page) Owner() int32 { return p.owner.Load() }
+
+// SetOwner records a change of ownership (page transfer).
+func (p *Page) SetOwner(dom int32) { p.owner.Store(dom) }
+
+// Zero clears the page, charging the model's PageZero cost. Domains zero
+// pages before sharing or returning them to avoid leaking data, which the
+// paper highlights as a hidden cost of the page-transfer mechanism.
+func (p *Page) Zero(model *costmodel.Model) {
+	if model != nil {
+		model.Charge(model.PageZero)
+	}
+	clear(p.Data)
+}
+
+// Allocator hands out pages from a bounded budget, modeling the memory
+// reservation of one domain (e.g. the 512 MB guests in the paper's
+// evaluation).
+type Allocator struct {
+	mu     sync.Mutex
+	budget int
+	used   int
+	nextID uint64
+	domain int32
+}
+
+// NewAllocator returns an allocator for a domain with capacity totalPages;
+// totalPages <= 0 means unbounded.
+func NewAllocator(domain int32, totalPages int) *Allocator {
+	return &Allocator{budget: totalPages, domain: domain}
+}
+
+// Alloc returns a zeroed page or ErrOutOfMemory.
+func (a *Allocator) Alloc() (*Page, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget > 0 && a.used >= a.budget {
+		return nil, fmt.Errorf("%w: domain %d exceeded %d pages", ErrOutOfMemory, a.domain, a.budget)
+	}
+	a.used++
+	a.nextID++
+	p := &Page{ID: a.nextID, Data: make([]byte, PageSize)}
+	p.owner.Store(a.domain)
+	return p, nil
+}
+
+// AllocN allocates n pages, releasing any partial allocation on failure.
+func (a *Allocator) AllocN(n int) ([]*Page, error) {
+	pages := make([]*Page, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := a.Alloc()
+		if err != nil {
+			a.FreeAll(pages)
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// Free returns a page to the allocator.
+func (a *Allocator) Free(p *Page) {
+	if p == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used > 0 {
+		a.used--
+	}
+}
+
+// FreeAll frees every page in pages.
+func (a *Allocator) FreeAll(pages []*Page) {
+	for _, p := range pages {
+		a.Free(p)
+	}
+}
+
+// Used reports how many pages are currently allocated.
+func (a *Allocator) Used() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Budget reports the allocator's capacity (0 = unbounded).
+func (a *Allocator) Budget() int { return a.budget }

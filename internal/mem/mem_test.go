@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllocZeroedAndOwned(t *testing.T) {
+	a := NewAllocator(7, 0)
+	p, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != PageSize {
+		t.Fatalf("page size %d", len(p.Data))
+	}
+	for _, b := range p.Data {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	if p.Owner() != 7 {
+		t.Fatalf("owner %d", p.Owner())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	a := NewAllocator(1, 3)
+	pages, err := a.AllocN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 3 {
+		t.Fatalf("used %d", a.Used())
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected out of memory, got %v", err)
+	}
+	a.Free(pages[0])
+	if _, err := a.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestAllocNRollsBackOnFailure(t *testing.T) {
+	a := NewAllocator(1, 2)
+	if _, err := a.AllocN(5); err == nil {
+		t.Fatal("expected failure")
+	}
+	if a.Used() != 0 {
+		t.Fatalf("partial allocation leaked: used %d", a.Used())
+	}
+}
+
+func TestZeroClearsAndTransfersOwner(t *testing.T) {
+	a := NewAllocator(2, 0)
+	p, _ := a.Alloc()
+	p.Data[100] = 0xAB
+	p.Zero(nil)
+	if p.Data[100] != 0 {
+		t.Fatal("zero did not clear")
+	}
+	p.SetOwner(9)
+	if p.Owner() != 9 {
+		t.Fatal("ownership change lost")
+	}
+}
+
+func TestUniquePageIDs(t *testing.T) {
+	a := NewAllocator(1, 0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p, _ := a.Alloc()
+		if seen[p.ID] {
+			t.Fatalf("duplicate page id %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}

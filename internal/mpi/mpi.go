@@ -1,0 +1,123 @@
+// Package mpi is a minimal MPI-style point-to-point message layer over the
+// simulated TCP stack — the substrate for the netpipe-mpich and OSU MPI
+// benchmarks of the paper's evaluation (§4.3, §4.4). Messages are
+// length-prefixed byte slices with blocking Send/Recv, mirroring
+// MPI_Send/MPI_Recv over MPICH's TCP channel device.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/netstack"
+	"repro/internal/pkt"
+)
+
+// MaxMessage bounds a single message (16 MiB is far beyond any benchmark
+// size and guards against corrupted length prefixes).
+const MaxMessage = 16 << 20
+
+// Conn is a point-to-point MPI-style connection.
+type Conn struct {
+	tcp *netstack.TCPConn
+	hdr [4]byte
+}
+
+// Listener accepts MPI connections on a rank.
+type Listener struct {
+	ln *netstack.TCPListener
+}
+
+// Listen binds an MPI endpoint to a TCP port.
+func Listen(stack *netstack.Stack, port uint16) (*Listener, error) {
+	ln, err := stack.ListenTCP(port)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Accept blocks for a peer connection.
+func (l *Listener) Accept() (*Conn, error) {
+	tcp, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{tcp: tcp}, nil
+}
+
+// Close stops accepting.
+func (l *Listener) Close() { l.ln.Close() }
+
+// Dial connects to a listening MPI endpoint.
+func Dial(stack *netstack.Stack, ip pkt.IPv4, port uint16) (*Conn, error) {
+	tcp, err := stack.DialTCP(ip, port)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{tcp: tcp}, nil
+}
+
+// Send transmits one message (blocking until buffered by the transport).
+// Header and payload go down in a single write so small messages cost one
+// segment, as MPICH's channel device does.
+func (c *Conn) Send(msg []byte) error {
+	if len(msg) > MaxMessage {
+		return fmt.Errorf("mpi: message %d bytes exceeds maximum", len(msg))
+	}
+	buf := make([]byte, 4+len(msg))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(msg)))
+	copy(buf[4:], msg)
+	_, err := c.tcp.Write(buf)
+	return err
+}
+
+// Recv blocks for the next message, allocating its buffer.
+func (c *Conn) Recv() ([]byte, error) {
+	n, err := c.recvHeader()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if n == 0 {
+		return buf, nil
+	}
+	if _, err := c.tcp.ReadFull(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// RecvInto blocks for the next message and copies it into buf, which must
+// be large enough; it returns the message length. Benchmarks use it to
+// avoid per-iteration allocation.
+func (c *Conn) RecvInto(buf []byte) (int, error) {
+	n, err := c.recvHeader()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(buf) {
+		return 0, fmt.Errorf("mpi: message %d bytes exceeds buffer %d", n, len(buf))
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if _, err := c.tcp.ReadFull(buf[:n]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (c *Conn) recvHeader() (int, error) {
+	if _, err := c.tcp.ReadFull(c.hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int(binary.BigEndian.Uint32(c.hdr[:]))
+	if n > MaxMessage {
+		return 0, fmt.Errorf("mpi: message length %d corrupt", n)
+	}
+	return n, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() { c.tcp.Close() }

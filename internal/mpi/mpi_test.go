@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netstack"
+	"repro/internal/pkt"
+)
+
+// newPair returns two connected MPI endpoints over one stack's loopback.
+func newPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	s := netstack.New("mpi-test", nil)
+	t.Cleanup(s.Close)
+	ln, err := Listen(s, 9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make(chan *Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			acc <- nil
+			return
+		}
+		acc <- c
+	}()
+	cli, err := Dial(s, pkt.IP(127, 0, 0, 1), 9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	return cli, srv
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	cli, srv := newPair(t)
+	msg := []byte("mpi message")
+	if err := cli.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv()
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("recv %q err %v", got, err)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	cli, srv := newPair(t)
+	if err := cli.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty recv %v err %v", got, err)
+	}
+}
+
+func TestMessageBoundariesPreserved(t *testing.T) {
+	cli, srv := newPair(t)
+	r := rand.New(rand.NewSource(6))
+	var sent [][]byte
+	for i := 0; i < 50; i++ {
+		m := make([]byte, 1+r.Intn(5000))
+		r.Read(m)
+		sent = append(sent, m)
+	}
+	go func() {
+		for _, m := range sent {
+			if err := cli.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 8192)
+	for i, want := range sent {
+		n, err := srv.RecvInto(buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !bytes.Equal(buf[:n], want) {
+			t.Fatalf("message %d corrupted (%d vs %d bytes)", i, n, len(want))
+		}
+	}
+}
+
+func TestRecvIntoTooSmall(t *testing.T) {
+	cli, srv := newPair(t)
+	if err := cli.Send(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RecvInto(make([]byte, 10)); err == nil {
+		t.Fatal("expected buffer-too-small error")
+	}
+}
+
+func TestOversizeSendRejected(t *testing.T) {
+	cli, _ := newPair(t)
+	if err := cli.Send(make([]byte, MaxMessage+1)); err == nil {
+		t.Fatal("oversize message accepted")
+	}
+}
+
+func TestRecvAfterPeerClose(t *testing.T) {
+	cli, srv := newPair(t)
+	cli.Close()
+	if _, err := srv.Recv(); err == nil {
+		t.Fatal("expected error after peer close")
+	}
+}

@@ -1,0 +1,151 @@
+package netstack
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// arpEntry is one neighbor-cache entry. Unresolved entries queue frames
+// awaiting the reply.
+type arpEntry struct {
+	mac      pkt.MAC
+	resolved bool
+	expires  time.Time
+	lastReq  time.Time
+	pending  []pendingFrame
+}
+
+type pendingFrame struct {
+	ifc      *Iface
+	datagram []byte
+}
+
+const (
+	arpEntryTTL    = 10 * time.Minute
+	arpRetryPeriod = 500 * time.Millisecond
+	arpMaxPending  = 128
+)
+
+// arpTable is the per-stack IPv4 neighbor cache.
+type arpTable struct {
+	stack   *Stack
+	mu      sync.Mutex
+	entries map[pkt.IPv4]*arpEntry
+}
+
+func newARPTable(s *Stack) *arpTable {
+	return &arpTable{stack: s, entries: map[pkt.IPv4]*arpEntry{}}
+}
+
+// lookup returns the cached MAC for ip, if resolved and fresh.
+func (t *arpTable) lookup(ip pkt.IPv4) (pkt.MAC, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[ip]
+	if !ok || !e.resolved || time.Now().After(e.expires) {
+		return pkt.MAC{}, false
+	}
+	return e.mac, true
+}
+
+// insert learns (ip, mac), flushing any frames queued on the entry.
+func (t *arpTable) insert(ip pkt.IPv4, mac pkt.MAC) {
+	t.mu.Lock()
+	e, ok := t.entries[ip]
+	if !ok {
+		e = &arpEntry{}
+		t.entries[ip] = e
+	}
+	e.mac = mac
+	e.resolved = true
+	e.expires = time.Now().Add(arpEntryTTL)
+	pending := e.pending
+	e.pending = nil
+	t.mu.Unlock()
+
+	for _, pf := range pending {
+		t.stack.transmitIPResolved(pf.ifc, mac, pf.datagram)
+	}
+}
+
+// resolveAndSend transmits datagram to nextHop via ifc, resolving the MAC
+// first if necessary. Unresolved packets are queued on the ARP entry (as
+// Linux queues on the neighbour) and flushed by the reply.
+func (t *arpTable) resolveAndSend(ifc *Iface, nextHop pkt.IPv4, datagram []byte) {
+	if mac, ok := t.lookup(nextHop); ok {
+		t.stack.transmitIPResolved(ifc, mac, datagram)
+		return
+	}
+	t.mu.Lock()
+	e, ok := t.entries[nextHop]
+	if !ok {
+		e = &arpEntry{}
+		t.entries[nextHop] = e
+	}
+	if len(e.pending) < arpMaxPending {
+		e.pending = append(e.pending, pendingFrame{ifc: ifc, datagram: datagram})
+	}
+	needReq := time.Since(e.lastReq) > arpRetryPeriod
+	if needReq {
+		e.lastReq = time.Now()
+	}
+	t.mu.Unlock()
+
+	if needReq {
+		req := pkt.ARPPacket{
+			Op:        pkt.ARPRequest,
+			SenderMAC: ifc.MAC(),
+			SenderIP:  ifc.ip,
+			TargetIP:  nextHop,
+		}
+		frame := pkt.BuildFrame(pkt.BroadcastMAC, ifc.MAC(), pkt.EtherTypeARP, req.Marshal())
+		_ = ifc.dev.Transmit(frame)
+	}
+}
+
+// input processes a received ARP packet: learn the sender, answer
+// requests for our address.
+func (t *arpTable) input(ifc *Iface, payload []byte) {
+	a, err := pkt.ParseARP(payload)
+	if err != nil {
+		return
+	}
+	// Opportunistic learning (also covers gratuitous ARP after VM
+	// migration re-pointing the switch at the new machine).
+	if !a.SenderIP.IsZero() {
+		t.insert(a.SenderIP, a.SenderMAC)
+	}
+	if a.Op == pkt.ARPRequest && a.TargetIP == ifc.ip {
+		reply := pkt.ARPPacket{
+			Op:        pkt.ARPReply,
+			SenderMAC: ifc.MAC(),
+			SenderIP:  ifc.ip,
+			TargetMAC: a.SenderMAC,
+			TargetIP:  a.SenderIP,
+		}
+		frame := pkt.BuildFrame(a.SenderMAC, ifc.MAC(), pkt.EtherTypeARP, reply.Marshal())
+		_ = ifc.dev.Transmit(frame)
+	}
+}
+
+// GratuitousARP announces ifc's (IP, MAC) binding to the segment; sent
+// after migration so switches and neighbor caches re-learn the path.
+func (s *Stack) GratuitousARP(ifc *Iface) {
+	ann := pkt.ARPPacket{
+		Op:        pkt.ARPRequest,
+		SenderMAC: ifc.MAC(),
+		SenderIP:  ifc.ip,
+		TargetIP:  ifc.ip,
+	}
+	frame := pkt.BuildFrame(pkt.BroadcastMAC, ifc.MAC(), pkt.EtherTypeARP, ann.Marshal())
+	_ = ifc.dev.Transmit(frame)
+}
+
+// FlushNeighbor drops the neighbor-cache entry for ip.
+func (s *Stack) FlushNeighbor(ip pkt.IPv4) {
+	s.arp.mu.Lock()
+	delete(s.arp.entries, ip)
+	s.arp.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+package netstack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// icmpLayer answers echo requests and matches echo replies to outstanding
+// Ping calls.
+type icmpLayer struct {
+	stack   *Stack
+	mu      sync.Mutex
+	waiters map[uint32]chan struct{} // id<<16|seq -> reply signal
+}
+
+func newICMPLayer(s *Stack) *icmpLayer {
+	return &icmpLayer{stack: s, waiters: map[uint32]chan struct{}{}}
+}
+
+func (l *icmpLayer) input(h pkt.IPv4Header, payload []byte) {
+	if len(payload) > 0 && payload[0] == pkt.ICMPDestUnreachable {
+		code, original, err := pkt.ParseICMPDestUnreachable(payload)
+		if err != nil {
+			return
+		}
+		l.stack.handleUnreachable(code, original)
+		return
+	}
+	echo, data, err := pkt.ParseICMPEcho(payload)
+	if err != nil {
+		return
+	}
+	switch echo.Type {
+	case pkt.ICMPEchoRequest:
+		reply := pkt.BuildICMPEcho(&pkt.ICMPEcho{Type: pkt.ICMPEchoReply, ID: echo.ID, Seq: echo.Seq}, data)
+		_ = l.stack.ipOutput(pkt.ProtoICMP, h.Dst, h.Src, reply)
+	case pkt.ICMPEchoReply:
+		key := uint32(echo.ID)<<16 | uint32(echo.Seq)
+		l.mu.Lock()
+		ch, ok := l.waiters[key]
+		if ok {
+			delete(l.waiters, key)
+		}
+		l.mu.Unlock()
+		if ok {
+			close(ch)
+		}
+	}
+}
+
+// Ping sends one ICMP echo request with a payload of size bytes and waits
+// for the reply, returning the round-trip time. It is the measurement
+// primitive behind the paper's flood-ping rows.
+func (s *Stack) Ping(dst pkt.IPv4, size int, timeout time.Duration) (time.Duration, error) {
+	id := uint16(rand.Uint32())
+	seq := uint16(rand.Uint32())
+	key := uint32(id)<<16 | uint32(seq)
+	ch := make(chan struct{})
+	l := s.icmp
+	l.mu.Lock()
+	l.waiters[key] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.waiters, key)
+		l.mu.Unlock()
+	}()
+
+	payload := make([]byte, size)
+	req := pkt.BuildICMPEcho(&pkt.ICMPEcho{Type: pkt.ICMPEchoRequest, ID: id, Seq: seq}, payload)
+	s.model.Charge(s.model.Syscall)
+	start := time.Now()
+	if err := s.ipOutput(pkt.ProtoICMP, pkt.IPv4{}, dst, req); err != nil {
+		return 0, err
+	}
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("%w: ping %s", ErrTimeout, dst)
+	}
+}

@@ -1,0 +1,241 @@
+package netstack
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+const defaultTTL = 64
+
+// ipOutput routes and emits one IP payload. The complete datagram is
+// offered to output hooks before fragmentation — the interception point
+// XenLoop uses — and fragmented to the device MTU afterwards. TCP payloads
+// on GSO-capable devices skip fragmentation (segmentation offload: the
+// virtual path carries the large segment end to end).
+func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
+	ifc, nextHop, err := s.route(dst)
+	if err != nil {
+		return err
+	}
+	if src.IsZero() {
+		src = ifc.ip
+		if ifc.loopback && dst != pkt.IP(127, 0, 0, 1) {
+			src = dst // local-to-local over a concrete address
+		}
+	}
+	s.model.Charge(s.model.StackPerPacket)
+	hdr := pkt.IPv4Header{
+		ID:    uint16(s.ipID.Add(1)),
+		TTL:   defaultTTL,
+		Proto: proto,
+		Src:   src,
+		Dst:   dst,
+	}
+	datagram := pkt.BuildIPv4(&hdr, payload)
+
+	if ifc.loopback {
+		frame := pkt.BuildFrame(pkt.MAC{}, pkt.MAC{}, pkt.EtherTypeIPv4, datagram)
+		return ifc.dev.Transmit(frame)
+	}
+
+	// Netfilter output hooks see the whole, unfragmented datagram.
+	s.mu.Lock()
+	hooks := s.outHooks
+	s.mu.Unlock()
+	if len(hooks) > 0 {
+		op := &OutPacket{Iface: ifc, Header: hdr, Datagram: datagram, NextHop: nextHop}
+		op.Header.TotalLen = len(datagram)
+		for _, h := range hooks {
+			if h(op) == VerdictStolen {
+				return nil
+			}
+		}
+	}
+
+	maxPayload := ifc.dev.MTU() - pkt.IPv4HeaderLen
+	if proto == pkt.ProtoTCP && ifc.dev.GSOMaxSize() > 0 && ifc.dev.GSOMaxSize() > maxPayload {
+		maxPayload = ifc.dev.GSOMaxSize()
+	}
+	if len(payload) <= maxPayload {
+		s.arp.resolveAndSend(ifc, nextHop, datagram)
+		return nil
+	}
+
+	// Fragment: offsets must be multiples of 8.
+	chunk := maxPayload &^ 7
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		flags := uint16(pkt.IPFlagMoreFragments)
+		if end >= len(payload) {
+			end = len(payload)
+			flags = 0
+		}
+		fh := hdr
+		fh.Flags = flags
+		fh.FragOff = off
+		frag := pkt.BuildIPv4(&fh, payload[off:end])
+		s.arp.resolveAndSend(ifc, nextHop, frag)
+	}
+	return nil
+}
+
+// ResendDatagram re-routes and transmits an already-built IP datagram.
+// XenLoop uses it to resend packets it saved from its channels before a
+// migration, "once the migration completes" (paper §3.4). The datagram
+// goes through the full output path again (hooks, fragmentation).
+func (s *Stack) ResendDatagram(datagram []byte) error {
+	h, payload, err := pkt.ParseIPv4(datagram)
+	if err != nil {
+		return err
+	}
+	return s.ipOutput(h.Proto, h.Src, h.Dst, payload)
+}
+
+// transmitIPResolved builds the final frame once the next-hop MAC is known.
+func (s *Stack) transmitIPResolved(ifc *Iface, dstMAC pkt.MAC, datagram []byte) {
+	frame := pkt.BuildFrame(dstMAC, ifc.MAC(), pkt.EtherTypeIPv4, datagram)
+	_ = ifc.dev.Transmit(frame)
+}
+
+// ipInput is layer-3 receive: validate, reassemble fragments, dispatch to
+// the transport. injected marks packets arriving via InjectIP (XenLoop).
+func (s *Stack) ipInput(ifc *Iface, data []byte, injected bool) {
+	h, payload, err := pkt.ParseIPv4(data)
+	if err != nil {
+		return
+	}
+	if !s.isLocalIP(h.Dst) && !h.Dst.IsBroadcast() {
+		return // we do not forward
+	}
+	s.model.Charge(s.model.StackPerPacket)
+	if h.IsFragment() {
+		full, hdr, ok := s.reasm.add(h, payload)
+		if !ok {
+			return
+		}
+		h = hdr
+		payload = full
+	}
+	switch h.Proto {
+	case pkt.ProtoICMP:
+		s.icmp.input(h, payload)
+	case pkt.ProtoUDP:
+		s.udp.input(h, payload)
+	case pkt.ProtoTCP:
+		s.tcp.input(h, payload)
+	}
+}
+
+// --- fragment reassembly ---
+
+type reasmKey struct {
+	src, dst pkt.IPv4
+	id       uint16
+	proto    uint8
+}
+
+type reasmBuf struct {
+	created  time.Time
+	frags    map[int][]byte // offset -> data
+	totalLen int            // set when the final fragment arrives; -1 unknown
+}
+
+const (
+	reasmTimeout    = 3 * time.Second
+	reasmMaxBuffers = 256
+)
+
+// reassembler implements IPv4 fragment reassembly with hole detection and
+// timeout-based garbage collection. A datagram missing any fragment is
+// never delivered — which is exactly how fragment loss collapses UDP
+// goodput on the netfront/netback path.
+type reassembler struct {
+	mu   sync.Mutex
+	bufs map[reasmKey]*reasmBuf
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{bufs: map[reasmKey]*reasmBuf{}}
+}
+
+func (r *reassembler) add(h pkt.IPv4Header, payload []byte) ([]byte, pkt.IPv4Header, bool) {
+	key := reasmKey{src: h.Src, dst: h.Dst, id: h.ID, proto: h.Proto}
+	now := time.Now()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gcLocked(now)
+
+	b, ok := r.bufs[key]
+	if !ok {
+		if len(r.bufs) >= reasmMaxBuffers {
+			// Under pressure, evict the oldest partial datagram — its
+			// missing fragment is almost certainly lost. Refusing new
+			// datagrams instead would blackhole all fragmented traffic
+			// until the stale partials time out.
+			r.evictOldestLocked()
+		}
+		b = &reasmBuf{created: now, frags: map[int][]byte{}, totalLen: -1}
+		r.bufs[key] = b
+	}
+	b.frags[h.FragOff] = payload
+	if !h.MoreFragments() {
+		b.totalLen = h.FragOff + len(payload)
+	}
+	if b.totalLen < 0 {
+		return nil, h, false
+	}
+	// Check contiguity from 0 to totalLen.
+	offs := make([]int, 0, len(b.frags))
+	for off := range b.frags {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	next := 0
+	for _, off := range offs {
+		if off > next {
+			return nil, h, false // hole
+		}
+		if end := off + len(b.frags[off]); end > next {
+			next = end
+		}
+	}
+	if next < b.totalLen {
+		return nil, h, false
+	}
+	full := make([]byte, b.totalLen)
+	for off, frag := range b.frags {
+		copy(full[off:], frag)
+	}
+	delete(r.bufs, key)
+	h.Flags = 0
+	h.FragOff = 0
+	return full, h, true
+}
+
+func (r *reassembler) evictOldestLocked() {
+	var oldestKey reasmKey
+	var oldest time.Time
+	first := true
+	for key, b := range r.bufs {
+		if first || b.created.Before(oldest) {
+			oldest = b.created
+			oldestKey = key
+			first = false
+		}
+	}
+	if !first {
+		delete(r.bufs, oldestKey)
+	}
+}
+
+func (r *reassembler) gcLocked(now time.Time) {
+	for key, b := range r.bufs {
+		if now.Sub(b.created) > reasmTimeout {
+			delete(r.bufs, key)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package netstack
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+func newTestStack(t *testing.T) *Stack {
+	t.Helper()
+	s := New("test", nil)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestLoopbackPing(t *testing.T) {
+	s := newTestStack(t)
+	rtt, err := s.Ping(pkt.IP(127, 0, 0, 1), 56, time.Second)
+	if err != nil {
+		t.Fatalf("ping loopback: %v", err)
+	}
+	if rtt <= 0 {
+		t.Fatalf("non-positive RTT %v", rtt)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	s := newTestStack(t)
+	// 10.9.9.9 has no route; expect an error, not a hang.
+	if _, err := s.Ping(pkt.IP(10, 9, 9, 9), 56, 100*time.Millisecond); err == nil {
+		t.Fatal("expected error pinging unroutable host")
+	}
+}
+
+func TestUDPLoopbackRoundTrip(t *testing.T) {
+	s := newTestStack(t)
+	srv, err := s.ListenUDP(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello over loopback")
+	if err := cli.WriteTo(msg, pkt.IP(127, 0, 0, 1), 7000); err != nil {
+		t.Fatal(err)
+	}
+	data, src, srcPort, err := srv.ReadFrom(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, msg) {
+		t.Fatalf("got %q want %q", data, msg)
+	}
+	if src != pkt.IP(127, 0, 0, 1) || srcPort != cli.LocalPort() {
+		t.Fatalf("wrong source %s:%d", src, srcPort)
+	}
+	// Reply.
+	if err := srv.WriteTo([]byte("pong"), src, srcPort); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _, err = cli.ReadFrom(time.Second)
+	if err != nil || string(data) != "pong" {
+		t.Fatalf("reply: %q err %v", data, err)
+	}
+}
+
+func TestUDPLargeDatagramFragmentsOnLoopback(t *testing.T) {
+	s := newTestStack(t)
+	srv, _ := s.ListenUDP(7001)
+	cli, _ := s.ListenUDP(0)
+	msg := make([]byte, 60000) // > loopback MTU, must fragment+reassemble
+	rand.New(rand.NewSource(1)).Read(msg)
+	if err := cli.WriteTo(msg, pkt.IP(127, 0, 0, 1), 7001); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _, err := srv.ReadFrom(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, msg) {
+		t.Fatalf("reassembled datagram differs: %d vs %d bytes", len(data), len(msg))
+	}
+}
+
+func TestUDPOversizeRejected(t *testing.T) {
+	s := newTestStack(t)
+	cli, _ := s.ListenUDP(0)
+	if err := cli.WriteTo(make([]byte, maxUDPPayload+1), pkt.IP(127, 0, 0, 1), 9); err == nil {
+		t.Fatal("expected oversize datagram to be rejected")
+	}
+}
+
+func TestUDPReadTimeout(t *testing.T) {
+	s := newTestStack(t)
+	srv, _ := s.ListenUDP(7002)
+	start := time.Now()
+	_, _, _, err := srv.ReadFrom(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestUDPPortConflict(t *testing.T) {
+	s := newTestStack(t)
+	if _, err := s.ListenUDP(7100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ListenUDP(7100); err == nil {
+		t.Fatal("expected port-in-use error")
+	}
+}
+
+func TestTCPLoopbackEcho(t *testing.T) {
+	s := newTestStack(t)
+	ln, err := s.ListenTCP(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if n > 0 {
+				if _, werr := conn.Write(buf[:n]); werr != nil {
+					done <- werr
+					return
+				}
+			}
+			if err != nil {
+				conn.Close()
+				done <- nil
+				return
+			}
+		}
+	}()
+
+	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := conn.ReadFull(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPBulkTransferIntegrity(t *testing.T) {
+	s := newTestStack(t)
+	ln, err := s.ListenTCP(8001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 4 << 20 // 4 MiB through a 256 KiB send buffer
+	src := make([]byte, total)
+	rand.New(rand.NewSource(42)).Read(src)
+
+	recvDone := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			recvDone <- nil
+			return
+		}
+		var got []byte
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := conn.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		recvDone <- got
+	}()
+
+	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case got := <-recvDone:
+		if !bytes.Equal(got, src) {
+			t.Fatalf("bulk transfer corrupted: got %d bytes want %d", len(got), len(src))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("bulk transfer timed out")
+	}
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	s := newTestStack(t)
+	if _, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9999); err == nil {
+		t.Fatal("expected connection refused")
+	}
+}
+
+func TestTCPManyConnections(t *testing.T) {
+	s := newTestStack(t)
+	ln, err := s.ListenTCP(8002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 128)
+				n, _ := conn.Read(buf)
+				_, _ = conn.Write(buf[:n])
+				conn.Close()
+			}()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8002)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := []byte{byte(i), byte(i + 1), byte(i + 2)}
+			if _, err := conn.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			got := make([]byte, len(msg))
+			if _, err := conn.ReadFull(got); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- ErrReset
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPEOFAfterPeerClose(t *testing.T) {
+	s := newTestStack(t)
+	ln, _ := s.ListenTCP(8003)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = conn.Write([]byte("bye"))
+		conn.Close()
+	}()
+	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if _, err := conn.ReadFull(got); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := conn.Read(got); n != 0 || err == nil {
+		t.Fatalf("expected EOF, got n=%d err=%v", n, err)
+	}
+	conn.Close()
+}
+
+func TestChecksumProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		b := make([]byte, 1+r.Intn(2048))
+		r.Read(b)
+		cs := pkt.Checksum(b)
+		// Appending the checksum makes the total verify to zero.
+		withCS := append(append([]byte{}, b...), byte(cs>>8), byte(cs))
+		if len(b)%2 == 1 {
+			// Odd-length bodies pad differently; just verify determinism.
+			if pkt.Checksum(b) != cs {
+				t.Fatal("checksum not deterministic")
+			}
+			continue
+		}
+		if got := pkt.Checksum(withCS); got != 0 {
+			t.Fatalf("checksum of data+cs = %#x, want 0", got)
+		}
+	}
+}
+
+func TestRouteSelection(t *testing.T) {
+	s := newTestStack(t)
+	ifc, nh, err := s.route(pkt.IP(127, 0, 0, 1))
+	if err != nil || !ifc.loopback || nh != pkt.IP(127, 0, 0, 1) {
+		t.Fatalf("loopback route: %v %v %v", ifc, nh, err)
+	}
+	if _, _, err := s.route(pkt.IP(10, 0, 0, 5)); err == nil {
+		t.Fatal("expected no route without interfaces")
+	}
+}
+
+func TestUDPPortUnreachable(t *testing.T) {
+	s := newTestStack(t)
+	cli, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing listens on port 4444: the stack answers with ICMP port
+	// unreachable and the socket surfaces ErrRefused instead of hanging
+	// until timeout.
+	if err := cli.WriteTo([]byte("anyone there?"), pkt.IP(127, 0, 0, 1), 4444); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = cli.ReadFrom(2 * time.Second)
+	if err != ErrRefused {
+		t.Fatalf("expected ErrRefused, got %v", err)
+	}
+	// The error is delivered once; the socket keeps working afterwards.
+	srv, _ := s.ListenUDP(4445)
+	if err := cli.WriteTo([]byte("ok"), pkt.IP(127, 0, 0, 1), 4445); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := srv.ReadFrom(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICMPDestUnreachableRoundTrip(t *testing.T) {
+	orig := pkt.BuildIPv4(&pkt.IPv4Header{TTL: 64, Proto: pkt.ProtoUDP,
+		Src: pkt.IP(1, 1, 1, 1), Dst: pkt.IP(2, 2, 2, 2)},
+		[]byte{0x12, 0x34, 0x56, 0x78, 0, 20, 0, 0, 1, 2, 3, 4})
+	msg := pkt.BuildICMPDestUnreachable(pkt.ICMPCodePortUnreachable, orig)
+	code, quoted, err := pkt.ParseICMPDestUnreachable(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != pkt.ICMPCodePortUnreachable {
+		t.Fatalf("code %d", code)
+	}
+	// RFC 792: header + 8 bytes quoted.
+	if len(quoted) != pkt.IPv4HeaderLen+8 {
+		t.Fatalf("quote %d bytes", len(quoted))
+	}
+}

@@ -1,0 +1,1039 @@
+package netstack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// tcpState is a TCP connection state (simplified RFC 793 machine; the
+// states after ESTABLISHED are tracked with shutdown flags).
+type tcpState int
+
+const (
+	tcpSynSent tcpState = iota
+	tcpSynRcvd
+	tcpEstablished
+	tcpClosed
+)
+
+func (s tcpState) String() string {
+	switch s {
+	case tcpSynSent:
+		return "SYN_SENT"
+	case tcpSynRcvd:
+		return "SYN_RCVD"
+	case tcpEstablished:
+		return "ESTABLISHED"
+	case tcpClosed:
+		return "CLOSED"
+	default:
+		return fmt.Sprintf("tcpState(%d)", int(s))
+	}
+}
+
+const (
+	tcpSndBufLimit  = 512 * 1024
+	tcpRcvBufLimit  = 63 * 1024  // advertisable unscaled in 16 bits
+	tcpRcvBufScaled = 252 * 1024 // receive buffer once window scaling is on
+	tcpWScaleShift  = 2          // RFC 1323 shift we offer (x4)
+	tcpInitialRTO   = 200 * time.Millisecond
+	tcpMinRTO       = 30 * time.Millisecond
+	tcpMaxRTO       = 3 * time.Second
+	tcpMaxRetries   = 12
+	tcpSynRetries   = 6
+	tcpLingerPeriod = 200 * time.Millisecond
+	tcpMaxOOO       = 256
+)
+
+// Sequence-number comparisons (mod 2^32).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+type fourTuple struct {
+	localIP    pkt.IPv4
+	remoteIP   pkt.IPv4
+	localPort  uint16
+	remotePort uint16
+}
+
+func (t fourTuple) String() string {
+	return fmt.Sprintf("%s:%d-%s:%d", t.localIP, t.localPort, t.remoteIP, t.remotePort)
+}
+
+// tcpLayer demultiplexes segments to connections and listeners.
+type tcpLayer struct {
+	stack     *Stack
+	mu        sync.Mutex
+	conns     map[fourTuple]*TCPConn
+	listeners map[uint16]*TCPListener
+}
+
+func newTCPLayer(s *Stack) *tcpLayer {
+	return &tcpLayer{
+		stack:     s,
+		conns:     map[fourTuple]*TCPConn{},
+		listeners: map[uint16]*TCPListener{},
+	}
+}
+
+func (l *tcpLayer) closeAll() {
+	l.mu.Lock()
+	conns := make([]*TCPConn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	listeners := make([]*TCPListener, 0, len(l.listeners))
+	for _, ln := range l.listeners {
+		listeners = append(listeners, ln)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Abort()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+}
+
+// TCPListener accepts inbound connections on a port.
+type TCPListener struct {
+	stack *Stack
+	port  uint16
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*TCPConn
+	closed  bool
+}
+
+// ListenTCP binds a listener to port (0 = ephemeral).
+func (s *Stack) ListenTCP(port uint16) (*TCPListener, error) {
+	l := s.tcp
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if port == 0 {
+		for {
+			port = s.allocPort()
+			if _, ok := l.listeners[port]; !ok {
+				break
+			}
+		}
+	} else if _, ok := l.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: tcp/%d", ErrPortInUse, port)
+	}
+	ln := &TCPListener{stack: s, port: port}
+	ln.cond = sync.NewCond(&ln.mu)
+	l.listeners[port] = ln
+	return ln, nil
+}
+
+// Port returns the listening port.
+func (ln *TCPListener) Port() uint16 { return ln.port }
+
+// Accept blocks for the next established connection.
+func (ln *TCPListener) Accept() (*TCPConn, error) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	for len(ln.backlog) == 0 && !ln.closed {
+		ln.cond.Wait()
+	}
+	if len(ln.backlog) == 0 {
+		return nil, ErrClosed
+	}
+	c := ln.backlog[0]
+	ln.backlog = ln.backlog[1:]
+	return c, nil
+}
+
+// Close stops the listener.
+func (ln *TCPListener) Close() {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		return
+	}
+	ln.closed = true
+	ln.cond.Broadcast()
+	ln.mu.Unlock()
+	l := ln.stack.tcp
+	l.mu.Lock()
+	if l.listeners[ln.port] == ln {
+		delete(l.listeners, ln.port)
+	}
+	l.mu.Unlock()
+}
+
+func (ln *TCPListener) deliver(c *TCPConn) {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		c.Abort()
+		return
+	}
+	ln.backlog = append(ln.backlog, c)
+	ln.cond.Signal()
+	ln.mu.Unlock()
+}
+
+// TCPConn is a blocking, reliable, in-order byte-stream socket.
+type TCPConn struct {
+	stack *Stack
+	tuple fourTuple
+
+	mu    sync.Mutex
+	rcond *sync.Cond // readers
+	wcond *sync.Cond // writers and state waiters
+
+	state tcpState
+	mss   int
+
+	// Window scaling (RFC 1323), negotiated on SYN.
+	sndScale uint8 // shift applied to windows the peer advertises
+	rcvScale uint8 // shift applied to windows we advertise
+	rcvLimit int   // receive buffer bound (grows when scaling is on)
+
+	// Congestion control (Reno-style): slow start below ssthresh,
+	// additive increase above, fast retransmit on three duplicate ACKs,
+	// multiplicative decrease on loss.
+	cwnd     int
+	ssthresh int
+	dupAcks  int
+	retrans  uint64 // retransmitted segments (diagnostics)
+
+	// Send side. sndBuf holds unacknowledged plus unsent data; the
+	// sequence number of sndBuf[0] is sndUna.
+	iss       uint32
+	sndUna    uint32
+	sndNxt    uint32
+	sndWnd    int
+	sndBuf    []byte
+	sndClosed bool // Close called: emit FIN once drained
+	finSent   bool
+	finAcked  bool
+
+	// Receive side.
+	rcvNxt  uint32
+	rcvBuf  []byte
+	rcvdFin bool
+	lastAdv int
+	ooo     map[uint32][]byte
+
+	// Delayed-ACK state: pure ACKs are deferred briefly so a prompt
+	// application response can carry them (vital for request-response
+	// workloads over high-latency virtual paths).
+	ackPending  int
+	delackTimer *time.Timer
+
+	// Outbound segments are built under the connection lock but
+	// transmitted by a dedicated sender goroutine, so ACK processing
+	// never waits behind wire serialization (and vice versa).
+	txq     [][]byte
+	txCond  *sync.Cond
+	txDead  bool
+	txEmpty bool // all queued segments handed to the device
+
+	// Timers and lifecycle. RTO follows RFC 6298 from live RTT samples
+	// (Karn's rule: no samples across retransmissions).
+	rto       time.Duration
+	srtt      time.Duration
+	rttvar    time.Duration
+	measSeq   uint32
+	measTime  time.Time
+	measValid bool
+	rtoTimer  *time.Timer
+	retries   int
+	connErr   error
+	removed   bool
+
+	listener *TCPListener // SYN_RCVD only
+	estOnce  sync.Once
+	estCh    chan struct{}
+}
+
+func newTCPConn(s *Stack, tuple fourTuple, state tcpState) *TCPConn {
+	c := &TCPConn{
+		stack: s,
+		tuple: tuple,
+		state: state,
+		mss:   536,
+		iss:   rand.Uint32(),
+		rto:   tcpInitialRTO,
+		ooo:   map[uint32][]byte{},
+		estCh: make(chan struct{}),
+	}
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.rcvLimit = tcpRcvBufLimit
+	c.lastAdv = c.rcvLimit
+	c.ssthresh = tcpSndBufLimit
+	c.rcond = sync.NewCond(&c.mu)
+	c.wcond = sync.NewCond(&c.mu)
+	c.txCond = sync.NewCond(&c.mu)
+	c.txEmpty = true
+	go c.sender()
+	return c
+}
+
+// sender drains the outbound segment queue onto the IP layer. It is the
+// only goroutine that transmits for this connection, preserving segment
+// order while keeping the connection lock free during (possibly slow)
+// link-layer transmission.
+func (c *TCPConn) sender() {
+	for {
+		c.mu.Lock()
+		for len(c.txq) == 0 && !c.txDead {
+			c.txEmpty = true
+			c.txCond.Wait()
+		}
+		if c.txDead && len(c.txq) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		seg := c.txq[0]
+		c.txq = c.txq[1:]
+		c.mu.Unlock()
+		_ = c.stack.ipOutput(pkt.ProtoTCP, c.tuple.localIP, c.tuple.remoteIP, seg)
+	}
+}
+
+// stopSender terminates the sender goroutine once the queue drains.
+func (c *TCPConn) stopSenderLocked() {
+	c.txDead = true
+	c.txCond.Broadcast()
+}
+
+// deviceMSS derives the MSS this side offers for a connection leaving via
+// ifc: large when the device does segmentation offload (the virtual paths
+// between co-resident VMs), MTU-derived otherwise.
+func deviceMSS(ifc *Iface) int {
+	if gso := ifc.dev.GSOMaxSize(); gso > 0 {
+		return gso - pkt.TCPHeaderLen
+	}
+	return ifc.dev.MTU() - pkt.IPv4HeaderLen - pkt.TCPHeaderLen
+}
+
+// DialTCP opens a connection to (dst, port), blocking until established.
+func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
+	ifc, _, err := s.route(dst)
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.localIPFor(dst)
+	if err != nil {
+		return nil, err
+	}
+	l := s.tcp
+	l.mu.Lock()
+	var tuple fourTuple
+	for {
+		tuple = fourTuple{localIP: src, remoteIP: dst, localPort: s.allocPort(), remotePort: port}
+		if _, ok := l.conns[tuple]; !ok {
+			break
+		}
+	}
+	c := newTCPConn(s, tuple, tcpSynSent)
+	c.mss = deviceMSS(ifc)
+	l.conns[tuple] = c
+	l.mu.Unlock()
+
+	c.mu.Lock()
+	c.sendSegmentLocked(pkt.TCPSyn, nil, uint16(c.mss))
+	c.sndNxt = c.iss + 1
+	c.armRTOLocked()
+	c.mu.Unlock()
+
+	select {
+	case <-c.estCh:
+	case <-time.After(10 * time.Second):
+		c.Abort()
+		return nil, fmt.Errorf("%w: dial %s:%d", ErrTimeout, dst, port)
+	}
+	c.mu.Lock()
+	err = c.connErr
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LocalAddr returns the local (IP, port).
+func (c *TCPConn) LocalAddr() (pkt.IPv4, uint16) { return c.tuple.localIP, c.tuple.localPort }
+
+// RemoteAddr returns the remote (IP, port).
+func (c *TCPConn) RemoteAddr() (pkt.IPv4, uint16) { return c.tuple.remoteIP, c.tuple.remotePort }
+
+// MSS returns the negotiated maximum segment size.
+func (c *TCPConn) MSS() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mss
+}
+
+// Write queues b on the send buffer, blocking while it is full, and
+// returns once all of b is accepted (len(b), nil) or an error occurs.
+func (c *TCPConn) Write(b []byte) (int, error) {
+	s := c.stack
+	s.model.Charge(s.model.Syscall)
+	s.model.ChargeCopy(len(b)) // user -> kernel
+	written := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for written < len(b) {
+		if c.connErr != nil {
+			return written, c.connErr
+		}
+		if c.sndClosed || c.state == tcpClosed {
+			return written, ErrClosed
+		}
+		space := tcpSndBufLimit - len(c.sndBuf)
+		if space <= 0 {
+			c.wcond.Wait()
+			continue
+		}
+		n := min(space, len(b)-written)
+		c.sndBuf = append(c.sndBuf, b[written:written+n]...)
+		written += n
+		c.trySendLocked()
+	}
+	return written, nil
+}
+
+// Read copies received stream data into b, blocking until at least one
+// byte (or EOF/error) is available. EOF is reported as (0, ErrClosed)
+// after the peer's FIN has been consumed.
+func (c *TCPConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	waited := false
+	for len(c.rcvBuf) == 0 && !c.rcvdFin && c.connErr == nil && c.state != tcpClosed {
+		waited = true
+		c.rcond.Wait()
+	}
+	if len(c.rcvBuf) == 0 {
+		err := c.connErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed // clean EOF
+		}
+		return 0, err
+	}
+	n := copy(b, c.rcvBuf)
+	c.rcvBuf = c.rcvBuf[n:]
+	// Window update: if our advertised window had collapsed, reopen it.
+	if c.lastAdv < c.mss && c.advertiseLocked() >= c.mss {
+		c.sendSegmentLocked(pkt.TCPAck, nil, 0)
+	}
+	c.mu.Unlock()
+
+	s := c.stack
+	if waited && s.isLocalIP(c.tuple.remoteIP) {
+		// Writer and blocked reader share this OS instance: the wake is
+		// a process context switch (native loopback).
+		s.model.Charge(s.model.LocalWakeup)
+	}
+	s.model.Charge(s.model.Syscall)
+	s.model.ChargeCopy(n) // kernel -> user
+	return n, nil
+}
+
+// ReadFull reads exactly len(b) bytes or fails.
+func (c *TCPConn) ReadFull(b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := c.Read(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Close half-closes the send direction: buffered data is still delivered,
+// then a FIN. Read continues to work until the peer closes.
+func (c *TCPConn) Close() {
+	c.mu.Lock()
+	if !c.sndClosed && c.state != tcpClosed {
+		c.sndClosed = true
+		c.trySendLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Abort resets the connection immediately.
+func (c *TCPConn) Abort() {
+	c.mu.Lock()
+	if c.state == tcpClosed {
+		c.mu.Unlock()
+		return
+	}
+	if c.state == tcpEstablished || c.state == tcpSynRcvd {
+		c.sendSegmentLocked(pkt.TCPRst|pkt.TCPAck, nil, 0)
+	}
+	c.failLocked(ErrReset)
+	c.mu.Unlock()
+}
+
+// advertiseLocked computes the receive window to advertise.
+func (c *TCPConn) advertiseLocked() int {
+	w := c.rcvLimit - len(c.rcvBuf)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// tcpDelAckDelay is the delayed-ACK timeout (Linux uses up to 40 ms; the
+// simulated stack keeps it short relative to benchmark durations).
+const tcpDelAckDelay = time.Millisecond
+
+// sendSegmentLocked emits one segment with the current ack/window state.
+// Every outgoing segment acknowledges, so pending delayed ACKs clear.
+func (c *TCPConn) sendSegmentLocked(flags uint8, payload []byte, mssOpt uint16) {
+	if flags&pkt.TCPAck != 0 {
+		c.ackPending = 0
+		if c.delackTimer != nil {
+			c.delackTimer.Stop()
+		}
+	}
+	c.lastAdv = c.advertiseLocked()
+	wnd := c.lastAdv >> c.rcvScale
+	if wnd > 65535 {
+		wnd = 65535
+	}
+	hdr := pkt.TCPHeader{
+		SrcPort: c.tuple.localPort,
+		DstPort: c.tuple.remotePort,
+		Seq:     c.sndNxt,
+		Window:  uint16(wnd),
+		Flags:   flags,
+		MSS:     mssOpt,
+	}
+	if flags&pkt.TCPSyn != 0 {
+		hdr.WScale = tcpWScaleShift + 1
+	}
+	if flags&pkt.TCPAck != 0 {
+		hdr.Ack = c.rcvNxt
+	}
+	if flags&pkt.TCPSyn != 0 {
+		hdr.Seq = c.iss
+	}
+	seg := pkt.BuildTCP(c.tuple.localIP, c.tuple.remoteIP, &hdr, payload)
+	c.txq = append(c.txq, seg)
+	c.txEmpty = false
+	c.txCond.Signal()
+}
+
+// trySendLocked transmits as much of the send buffer as the peer window
+// allows, then the FIN if the stream is closed and drained.
+func (c *TCPConn) trySendLocked() {
+	if c.state != tcpEstablished {
+		return
+	}
+	for {
+		inFlight := int(c.sndNxt - c.sndUna)
+		if c.finSent {
+			inFlight-- // FIN occupies one sequence number
+		}
+		avail := len(c.sndBuf) - inFlight
+		wndLeft := min(c.sndWnd, c.cwnd) - inFlight
+		if avail <= 0 || c.finSent {
+			break
+		}
+		if wndLeft <= 0 {
+			// Zero-window: keep the probe timer running so a lost
+			// window update cannot wedge the connection.
+			c.armRTOLocked()
+			break
+		}
+		n := min(avail, c.mss, wndLeft)
+		if n <= 0 {
+			break
+		}
+		flags := pkt.TCPAck
+		if inFlight+n == len(c.sndBuf) {
+			flags |= pkt.TCPPsh
+		}
+		payload := c.sndBuf[inFlight : inFlight+n]
+		c.sendSegmentLocked(flags, payload, 0)
+		c.sndNxt += uint32(n)
+		if !c.measValid {
+			c.measSeq = c.sndNxt
+			c.measTime = time.Now()
+			c.measValid = true
+		}
+	}
+	if c.sndClosed && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sndBuf) {
+		c.sendSegmentLocked(pkt.TCPFin|pkt.TCPAck, nil, 0)
+		c.sndNxt++
+		c.finSent = true
+	}
+	if c.sndNxt != c.sndUna {
+		c.armRTOLocked()
+	} else {
+		c.disarmRTOLocked()
+		c.maybeFinishLocked()
+	}
+}
+
+func (c *TCPConn) armDelayedAckLocked() {
+	if c.delackTimer == nil {
+		c.delackTimer = time.AfterFunc(tcpDelAckDelay, c.delackFire)
+		return
+	}
+	c.delackTimer.Reset(tcpDelAckDelay)
+}
+
+// delackFire flushes a still-pending delayed ACK.
+func (c *TCPConn) delackFire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ackPending > 0 && c.state == tcpEstablished {
+		c.sendSegmentLocked(pkt.TCPAck, nil, 0)
+	}
+}
+
+func (c *TCPConn) armRTOLocked() {
+	if c.rtoTimer == nil {
+		c.rtoTimer = time.AfterFunc(c.rto, c.rtoFire)
+		return
+	}
+	c.rtoTimer.Reset(c.rto)
+}
+
+func (c *TCPConn) disarmRTOLocked() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	c.retries = 0
+	c.rto = tcpInitialRTO
+}
+
+// rtoFire is the retransmission timeout: go-back-N from sndUna with
+// exponential backoff.
+func (c *TCPConn) rtoFire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == tcpClosed || c.connErr != nil {
+		return
+	}
+	switch c.state {
+	case tcpSynSent:
+		if c.retries >= tcpSynRetries {
+			c.failLocked(ErrTimeout)
+			return
+		}
+		c.retries++
+		c.sendSegmentLocked(pkt.TCPSyn, nil, uint16(c.mss))
+	case tcpSynRcvd:
+		if c.retries >= tcpSynRetries {
+			c.failLocked(ErrTimeout)
+			return
+		}
+		c.retries++
+		c.sendSegmentLocked(pkt.TCPSyn|pkt.TCPAck, nil, uint16(c.mss))
+	case tcpEstablished:
+		if c.sndNxt == c.sndUna && !c.finSent {
+			return // nothing outstanding after all
+		}
+		if c.retries >= tcpMaxRetries {
+			c.failLocked(ErrTimeout)
+			return
+		}
+		c.retries++
+		// Loss detected by timeout: collapse the congestion window.
+		inFlight := int(c.sndNxt - c.sndUna)
+		c.ssthresh = max(inFlight/2, 2*c.mss)
+		c.cwnd = c.mss
+		c.retrans++
+		c.measValid = false
+		c.sndNxt = c.sndUna
+		c.finSent = false
+		if c.sndWnd == 0 && len(c.sndBuf) > 0 {
+			// Window probe: force one byte through a closed window.
+			c.sendSegmentLocked(pkt.TCPAck|pkt.TCPPsh, c.sndBuf[:1], 0)
+			c.sndNxt++
+		} else {
+			c.trySendLocked()
+		}
+	}
+	c.rto = min(c.rto*2, tcpMaxRTO)
+	c.armRTOLocked()
+}
+
+// failLocked terminates the connection with err and wakes everyone.
+func (c *TCPConn) failLocked(err error) {
+	if c.connErr == nil {
+		c.connErr = err
+	}
+	c.state = tcpClosed
+	c.disarmRTOLocked()
+	c.stopSenderLocked()
+	c.rcond.Broadcast()
+	c.wcond.Broadcast()
+	c.estOnce.Do(func() { close(c.estCh) })
+	c.removeLocked()
+}
+
+// maybeFinishLocked removes a gracefully finished connection after a short
+// linger (so retransmitted FINs still find the state to ack).
+func (c *TCPConn) maybeFinishLocked() {
+	if c.finSent && c.finAcked && c.rcvdFin && !c.removed {
+		c.removed = true
+		conn := c
+		time.AfterFunc(tcpLingerPeriod, func() {
+			conn.mu.Lock()
+			conn.state = tcpClosed
+			conn.stopSenderLocked()
+			conn.rcond.Broadcast()
+			conn.wcond.Broadcast()
+			conn.mu.Unlock()
+			l := conn.stack.tcp
+			l.mu.Lock()
+			if l.conns[conn.tuple] == conn {
+				delete(l.conns, conn.tuple)
+			}
+			l.mu.Unlock()
+		})
+	}
+}
+
+func (c *TCPConn) removeLocked() {
+	if c.removed {
+		return
+	}
+	c.removed = true
+	l := c.stack.tcp
+	go func() {
+		l.mu.Lock()
+		if l.conns[c.tuple] == c {
+			delete(l.conns, c.tuple)
+		}
+		l.mu.Unlock()
+	}()
+}
+
+// input demultiplexes one TCP segment.
+func (l *tcpLayer) input(h pkt.IPv4Header, payload []byte) {
+	th, data, err := pkt.ParseTCP(h.Src, h.Dst, payload)
+	if err != nil {
+		return
+	}
+	tuple := fourTuple{localIP: h.Dst, remoteIP: h.Src, localPort: th.DstPort, remotePort: th.SrcPort}
+	l.mu.Lock()
+	c := l.conns[tuple]
+	var ln *TCPListener
+	if c == nil {
+		ln = l.listeners[th.DstPort]
+	}
+	l.mu.Unlock()
+
+	switch {
+	case c != nil:
+		c.segArrives(&th, data)
+	case ln != nil && th.HasFlag(pkt.TCPSyn) && !th.HasFlag(pkt.TCPAck):
+		l.handleSyn(ln, tuple, &th)
+	case !th.HasFlag(pkt.TCPRst):
+		l.sendRst(tuple, &th, len(data))
+	}
+}
+
+// handleSyn creates the passive-open connection and answers SYN|ACK.
+func (l *tcpLayer) handleSyn(ln *TCPListener, tuple fourTuple, th *pkt.TCPHeader) {
+	s := l.stack
+	ifc, _, err := s.route(tuple.remoteIP)
+	if err != nil {
+		return
+	}
+	c := newTCPConn(s, tuple, tcpSynRcvd)
+	c.listener = ln
+	c.mss = deviceMSS(ifc)
+	if th.MSS != 0 {
+		c.mss = min(c.mss, int(th.MSS))
+	}
+	l.mu.Lock()
+	if existing := l.conns[tuple]; existing != nil {
+		l.mu.Unlock()
+		return // duplicate SYN; existing state answers retransmissions
+	}
+	l.conns[tuple] = c
+	l.mu.Unlock()
+
+	c.mu.Lock()
+	c.rcvNxt = th.Seq + 1
+	c.sndWnd = int(th.Window)
+	if th.WScale != 0 {
+		c.sndScale = th.WScale - 1
+		c.rcvScale = tcpWScaleShift
+		c.rcvLimit = tcpRcvBufScaled
+	}
+	c.sendSegmentLocked(pkt.TCPSyn|pkt.TCPAck, nil, uint16(deviceMSS(ifc)))
+	c.sndNxt = c.iss + 1
+	c.armRTOLocked()
+	c.mu.Unlock()
+}
+
+// sendRst answers a stray segment with a reset.
+func (l *tcpLayer) sendRst(tuple fourTuple, th *pkt.TCPHeader, dataLen int) {
+	hdr := pkt.TCPHeader{
+		SrcPort: tuple.localPort,
+		DstPort: tuple.remotePort,
+		Flags:   pkt.TCPRst | pkt.TCPAck,
+	}
+	if th.HasFlag(pkt.TCPAck) {
+		hdr.Seq = th.Ack
+	}
+	ackLen := uint32(dataLen)
+	if th.HasFlag(pkt.TCPSyn) || th.HasFlag(pkt.TCPFin) {
+		ackLen++
+	}
+	hdr.Ack = th.Seq + ackLen
+	seg := pkt.BuildTCP(tuple.localIP, tuple.remoteIP, &hdr, nil)
+	_ = l.stack.ipOutput(pkt.ProtoTCP, tuple.localIP, tuple.remoteIP, seg)
+}
+
+// segArrives is the per-connection segment processor.
+func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == tcpClosed {
+		return
+	}
+	if th.HasFlag(pkt.TCPRst) {
+		err := ErrReset
+		if c.state == tcpSynSent {
+			err = ErrRefused
+		}
+		c.failLocked(err)
+		return
+	}
+
+	switch c.state {
+	case tcpSynSent:
+		if !th.HasFlag(pkt.TCPSyn) || !th.HasFlag(pkt.TCPAck) || th.Ack != c.iss+1 {
+			return
+		}
+		c.rcvNxt = th.Seq + 1
+		c.sndUna = th.Ack
+		c.sndWnd = int(th.Window) // unscaled on SYN per RFC 1323
+		if th.MSS != 0 {
+			c.mss = min(c.mss, int(th.MSS))
+		}
+		if th.WScale != 0 {
+			c.sndScale = th.WScale - 1
+			c.rcvScale = tcpWScaleShift
+			c.rcvLimit = tcpRcvBufScaled
+		}
+		c.state = tcpEstablished
+		c.cwnd = tcpInitialCwndSegs * c.mss
+		c.disarmRTOLocked()
+		c.sendSegmentLocked(pkt.TCPAck, nil, 0)
+		c.estOnce.Do(func() { close(c.estCh) })
+		c.trySendLocked()
+		return
+
+	case tcpSynRcvd:
+		if !th.HasFlag(pkt.TCPAck) || th.Ack != c.iss+1 {
+			return
+		}
+		c.sndUna = th.Ack
+		c.sndWnd = int(th.Window)
+		c.state = tcpEstablished
+		c.cwnd = tcpInitialCwndSegs * c.mss
+		c.disarmRTOLocked()
+		c.estOnce.Do(func() { close(c.estCh) })
+		if ln := c.listener; ln != nil {
+			c.listener = nil
+			// Deliver outside the lock to avoid lock-order issues.
+			go ln.deliver(c)
+		}
+		// Fall through to normal processing for any piggybacked data.
+	}
+
+	// ACK processing.
+	if th.HasFlag(pkt.TCPAck) {
+		ack := th.Ack
+		if seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndNxt) {
+			acked := int(ack - c.sndUna)
+			dataAcked := min(acked, len(c.sndBuf))
+			c.sndBuf = c.sndBuf[dataAcked:]
+			c.sndUna = ack
+			if c.finSent && ack == c.sndNxt {
+				c.finAcked = true
+			}
+			c.retries = 0
+			if c.measValid && seqLEQ(c.measSeq, ack) {
+				c.measValid = false
+				c.sampleRTTLocked(time.Since(c.measTime))
+			}
+			c.dupAcks = 0
+			c.growCwndLocked(acked)
+			c.wcond.Broadcast()
+		} else if ack == c.sndUna && len(data) == 0 && !th.HasFlag(pkt.TCPSyn) &&
+			!th.HasFlag(pkt.TCPFin) && c.sndNxt != c.sndUna {
+			// Duplicate ACK for outstanding data.
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				c.fastRetransmitLocked()
+			}
+		}
+		if seqLEQ(ack, c.sndNxt) {
+			c.sndWnd = int(th.Window) << c.sndScale
+		}
+	}
+
+	ackNeeded := false
+	outOfOrder := false
+
+	// In-order and out-of-order data.
+	if len(data) > 0 {
+		outOfOrder = th.Seq != c.rcvNxt
+		c.acceptDataLocked(th.Seq, data)
+		ackNeeded = true
+	}
+
+	// FIN processing (only once all preceding data has arrived).
+	finSeq := th.Seq + uint32(len(data))
+	if th.HasFlag(pkt.TCPFin) {
+		if finSeq == c.rcvNxt && !c.rcvdFin {
+			c.rcvNxt++
+			c.rcvdFin = true
+			c.rcond.Broadcast()
+		}
+		ackNeeded = true
+	}
+
+	if ackNeeded {
+		c.ackPending++
+		urgent := th.HasFlag(pkt.TCPFin) || c.ackPending >= 2 || outOfOrder || len(c.ooo) > 0
+		// Piggyback the ACK on pending data when possible.
+		before := c.sndNxt
+		c.trySendLocked()
+		switch {
+		case c.sndNxt != before:
+			// A data segment went out carrying the ACK.
+		case urgent:
+			c.sendSegmentLocked(pkt.TCPAck, nil, 0)
+		default:
+			c.armDelayedAckLocked()
+		}
+	} else {
+		c.trySendLocked()
+	}
+	c.maybeFinishLocked()
+}
+
+// acceptDataLocked merges segment data at seq into the receive stream.
+func (c *TCPConn) acceptDataLocked(seq uint32, data []byte) {
+	if seqLT(c.rcvNxt, seq) {
+		// Future segment: stash for later (bounded).
+		if len(c.ooo) < tcpMaxOOO {
+			if _, ok := c.ooo[seq]; !ok {
+				buf := make([]byte, len(data))
+				copy(buf, data)
+				c.ooo[seq] = buf
+			}
+		}
+		return
+	}
+	// Trim the already-received prefix.
+	skip := int(c.rcvNxt - seq)
+	if skip >= len(data) {
+		return // entirely duplicate
+	}
+	data = data[skip:]
+	// Respect the receive buffer bound (peer honors our window, so
+	// overflow indicates duplicates in flight; truncate defensively).
+	space := 2*c.rcvLimit - len(c.rcvBuf)
+	if space <= 0 {
+		return
+	}
+	if len(data) > space {
+		data = data[:space]
+	}
+	c.rcvBuf = append(c.rcvBuf, data...)
+	c.rcvNxt += uint32(len(data))
+	c.rcond.Broadcast()
+	// Drain any out-of-order segments that are now in order.
+	for {
+		next, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.rcvBuf = append(c.rcvBuf, next...)
+		c.rcvNxt += uint32(len(next))
+	}
+}
+
+// tcpInitialCwndSegs is the initial congestion window in segments.
+const tcpInitialCwndSegs = 10
+
+// growCwndLocked opens the congestion window for acked bytes: exponential
+// below ssthresh (slow start), roughly one MSS per RTT above it.
+func (c *TCPConn) growCwndLocked(acked int) {
+	if c.cwnd == 0 {
+		c.cwnd = tcpInitialCwndSegs * c.mss
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += min(acked, c.mss)
+	} else {
+		c.cwnd += max(1, c.mss*c.mss/c.cwnd)
+	}
+	if c.cwnd > tcpSndBufLimit {
+		c.cwnd = tcpSndBufLimit
+	}
+}
+
+// fastRetransmitLocked resends the oldest unacknowledged segment after
+// three duplicate ACKs and halves the congestion window (Reno).
+func (c *TCPConn) fastRetransmitLocked() {
+	if c.state != tcpEstablished || len(c.sndBuf) == 0 {
+		return
+	}
+	inFlight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = max(inFlight/2, 2*c.mss)
+	c.cwnd = c.ssthresh + 3*c.mss
+	c.retrans++
+	c.measValid = false
+	n := min(c.mss, len(c.sndBuf))
+	// Rebuild the first outstanding segment without disturbing sndNxt.
+	savedNxt := c.sndNxt
+	c.sndNxt = c.sndUna
+	c.sendSegmentLocked(pkt.TCPAck|pkt.TCPPsh, c.sndBuf[:n], 0)
+	c.sndNxt = savedNxt
+	c.armRTOLocked()
+}
+
+// Retransmissions reports how many loss-recovery events the connection
+// has performed (fast retransmits plus timeouts).
+func (c *TCPConn) Retransmissions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retrans
+}
+
+// sampleRTTLocked folds one RTT sample into the smoothed estimators and
+// recomputes the retransmission timeout (RFC 6298).
+func (c *TCPConn) sampleRTTLocked(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	c.rto = min(max(rto, tcpMinRTO), tcpMaxRTO)
+}

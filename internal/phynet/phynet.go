@@ -1,0 +1,264 @@
+// Package phynet models the physical network of the paper's testbed: NICs
+// attached to a store-and-forward Gigabit Ethernet switch. Frame
+// serialization time is charged at the sending NIC (token-bucket style:
+// the sender blocks for len*8/bandwidth) and one-way propagation latency
+// is applied in a pipelined fashion, so back-to-back frames overlap on the
+// wire exactly as on a real link.
+package phynet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/pkt"
+)
+
+// ErrPortClosed is returned when transmitting on a detached port.
+var ErrPortClosed = errors.New("phynet: port closed")
+
+// Switch is a learning Ethernet switch.
+type Switch struct {
+	model *costmodel.Model
+	count *costmodel.Counters
+
+	mu    sync.Mutex
+	ports []*Port
+	fdb   map[pkt.MAC]*Port
+}
+
+// maxWireLead bounds how far a sender may run ahead of the wire before it
+// blocks (its NIC transmit queue depth, in time units). Pacing this way —
+// instead of blocking for every frame's serialization time — keeps the
+// simulated line rate exact while letting light traffic pass without any
+// sender-side stall.
+const maxWireLead = 500 * time.Microsecond
+
+// NewSwitch creates a switch with the given cost model (nil = free).
+func NewSwitch(model *costmodel.Model) *Switch {
+	if model == nil {
+		model = costmodel.Off()
+	}
+	return &Switch{
+		model: model,
+		count: &costmodel.Counters{},
+		fdb:   map[pkt.MAC]*Port{},
+	}
+}
+
+// Counters exposes the switch's frame counters.
+func (s *Switch) Counters() *costmodel.Counters { return s.count }
+
+type timedFrame struct {
+	deliverAt time.Time
+	frame     []byte
+}
+
+// Port is one switch port. Frames delivered to the port are queued and
+// handed to the attached receiver after the wire's propagation latency,
+// preserving order and pipelining.
+type Port struct {
+	sw     *Switch
+	mu     sync.Mutex
+	recv   func(frame []byte)
+	queue  chan timedFrame
+	closed bool
+	// busyUntil tracks when this port's transmit line frees up.
+	busyUntil time.Time
+}
+
+// AttachPort creates a port delivering inbound frames to recv.
+func (s *Switch) AttachPort() *Port {
+	p := &Port{sw: s, queue: make(chan timedFrame, 1024)}
+	go p.deliverLoop()
+	s.mu.Lock()
+	s.ports = append(s.ports, p)
+	s.mu.Unlock()
+	return p
+}
+
+// SetReceiver installs the inbound frame handler.
+func (p *Port) SetReceiver(recv func(frame []byte)) {
+	p.mu.Lock()
+	p.recv = recv
+	p.mu.Unlock()
+}
+
+// Close detaches the port.
+func (p *Port) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	s := p.sw
+	s.mu.Lock()
+	for i, q := range s.ports {
+		if q == p {
+			s.ports = append(s.ports[:i], s.ports[i+1:]...)
+			break
+		}
+	}
+	for mac, q := range s.fdb {
+		if q == p {
+			delete(s.fdb, mac)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// deliverSlack is the wait below which deliverLoop hands frames over
+// immediately: under bulk load inter-frame waits are tiny and line rate
+// is already enforced by sender-side pacing, so burning the CPU on them
+// would only starve the endpoints; latency-relevant waits (propagation
+// delay on an idle link) far exceed the slack and are honored precisely.
+const deliverSlack = 20 * time.Microsecond
+
+func (p *Port) deliverLoop() {
+	for tf := range p.queue {
+		if wait := time.Until(tf.deliverAt); wait > deliverSlack {
+			costmodel.SleepPrecise(wait)
+		}
+		p.mu.Lock()
+		recv := p.recv
+		p.mu.Unlock()
+		if recv != nil {
+			recv(tf.frame)
+		}
+	}
+}
+
+// Send puts a frame on the wire from this port. Serialization time is
+// modeled by line pacing: each frame occupies the transmit line for
+// len*8/bandwidth, delivery happens after the line frees plus propagation
+// latency, and the sender blocks only once it runs a full transmit queue
+// (maxWireLead) ahead of the line. The switch learns the source address
+// and forwards to the learned destination port, flooding unknown and
+// broadcast destinations.
+func (p *Port) Send(frame []byte) error {
+	s := p.sw
+	ser := s.model.WireDelay(len(frame))
+	now := time.Now()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPortClosed
+	}
+	if p.busyUntil.Before(now) {
+		p.busyUntil = now
+	}
+	p.busyUntil = p.busyUntil.Add(ser)
+	lead := p.busyUntil.Sub(now)
+	deliverAt := p.busyUntil.Add(s.model.WireLatency)
+	p.mu.Unlock()
+	if lead > maxWireLead {
+		costmodel.SleepPrecise(lead - maxWireLead)
+	}
+	s.count.FramesOnWire.Add(1)
+
+	eth, _, err := pkt.ParseEth(frame)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if !eth.Src.IsBroadcast() && !eth.Src.IsZero() {
+		s.fdb[eth.Src] = p
+	}
+	var targets []*Port
+	if dst, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsBroadcast() {
+		if dst != p {
+			targets = []*Port{dst}
+		}
+	} else {
+		for _, q := range s.ports {
+			if q != p {
+				targets = append(targets, q)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	for _, q := range targets {
+		f := frame
+		if len(targets) > 1 {
+			f = append([]byte(nil), frame...)
+		}
+		select {
+		case q.queue <- timedFrame{deliverAt: deliverAt, frame: f}:
+		default:
+			// Output queue overrun: the switch drops the frame, as a
+			// real store-and-forward switch under congestion would.
+		}
+	}
+	return nil
+}
+
+// NIC is a physical network interface: it implements the netstack Device
+// contract on one side and connects to a switch port on the other.
+type NIC struct {
+	name  string
+	mac   pkt.MAC
+	mtu   int
+	model *costmodel.Model
+	port  *Port
+
+	mu   sync.Mutex
+	recv func(frame []byte)
+}
+
+// NewNIC attaches a new interface to the switch.
+func NewNIC(name string, mac pkt.MAC, sw *Switch, model *costmodel.Model) *NIC {
+	if model == nil {
+		model = costmodel.Off()
+	}
+	n := &NIC{name: name, mac: mac, mtu: 1500, model: model}
+	n.port = sw.AttachPort()
+	n.port.SetReceiver(n.receiveFromWire)
+	return n
+}
+
+// Name returns the interface name.
+func (n *NIC) Name() string { return n.name }
+
+// MAC returns the hardware address.
+func (n *NIC) MAC() pkt.MAC { return n.mac }
+
+// MTU returns the link MTU.
+func (n *NIC) MTU() int { return n.mtu }
+
+// GSOMaxSize reports no segmentation offload: frames on the physical wire
+// are bounded by the 1500-byte MTU.
+func (n *NIC) GSOMaxSize() int { return 0 }
+
+// Transmit sends a frame onto the wire, charging the driver's per-frame
+// cost (DMA setup, doorbell).
+func (n *NIC) Transmit(frame []byte) error {
+	n.model.Charge(n.model.NICPerFrame)
+	return n.port.Send(frame)
+}
+
+// Attach installs the inbound frame handler (the host's receive path).
+func (n *NIC) Attach(recv func(frame []byte)) {
+	n.mu.Lock()
+	n.recv = recv
+	n.mu.Unlock()
+}
+
+// Close detaches the NIC from the switch.
+func (n *NIC) Close() { n.port.Close() }
+
+func (n *NIC) receiveFromWire(frame []byte) {
+	// Interrupt + driver receive cost.
+	n.model.Charge(n.model.NICPerFrame)
+	n.mu.Lock()
+	recv := n.recv
+	n.mu.Unlock()
+	if recv != nil {
+		recv(frame)
+	}
+}

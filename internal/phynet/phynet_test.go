@@ -1,0 +1,141 @@
+package phynet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/pkt"
+)
+
+func TestSwitchLearnsAndForwards(t *testing.T) {
+	sw := NewSwitch(nil)
+	macA := pkt.XenMAC(1, 0, 0)
+	macB := pkt.XenMAC(2, 0, 0)
+	nicA := NewNIC("ethA", macA, sw, nil)
+	nicB := NewNIC("ethB", macB, sw, nil)
+	defer nicA.Close()
+	defer nicB.Close()
+
+	var mu sync.Mutex
+	var gotB, gotA [][]byte
+	nicA.Attach(func(f []byte) { mu.Lock(); gotA = append(gotA, f); mu.Unlock() })
+	nicB.Attach(func(f []byte) { mu.Lock(); gotB = append(gotB, f); mu.Unlock() })
+
+	// First frame floods (destination unknown), but B receives it.
+	f1 := pkt.BuildFrame(macB, macA, pkt.EtherTypeIPv4, []byte("one"))
+	if err := nicA.Transmit(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Reply lets the switch learn both sides.
+	f2 := pkt.BuildFrame(macA, macB, pkt.EtherTypeIPv4, []byte("two"))
+	if err := nicB.Transmit(f2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		mu.Lock()
+		okB, okA := len(gotB) >= 1, len(gotA) >= 1
+		mu.Unlock()
+		if okB && okA {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frames not delivered: A=%d B=%d", len(gotA), len(gotB))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBroadcastFloodsAllPorts(t *testing.T) {
+	sw := NewSwitch(nil)
+	nics := make([]*NIC, 3)
+	counts := make([]int, 3)
+	var mu sync.Mutex
+	for i := range nics {
+		i := i
+		nics[i] = NewNIC("eth", pkt.XenMAC(byte(i), 0, 0), sw, nil)
+		nics[i].Attach(func(f []byte) { mu.Lock(); counts[i]++; mu.Unlock() })
+		defer nics[i].Close()
+	}
+	frame := pkt.BuildFrame(pkt.BroadcastMAC, nics[0].MAC(), pkt.EtherTypeARP, make([]byte, 28))
+	if err := nics[0].Transmit(frame); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[0] != 0 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("broadcast delivery counts %v", counts)
+	}
+}
+
+func TestWireLatencyApplied(t *testing.T) {
+	model := costmodel.Off()
+	model.WireLatency = 20 * time.Millisecond
+	sw := NewSwitch(model)
+	a := NewNIC("a", pkt.XenMAC(1, 0, 0), sw, nil)
+	b := NewNIC("b", pkt.XenMAC(2, 0, 0), sw, nil)
+	defer a.Close()
+	defer b.Close()
+
+	got := make(chan time.Time, 1)
+	b.Attach(func(f []byte) { got <- time.Now() })
+	start := time.Now()
+	frame := pkt.BuildFrame(b.MAC(), a.MAC(), pkt.EtherTypeIPv4, []byte("x"))
+	if err := a.Transmit(frame); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-got:
+		if elapsed := at.Sub(start); elapsed < 15*time.Millisecond {
+			t.Fatalf("frame arrived after %v, want >= ~20ms", elapsed)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame never arrived")
+	}
+}
+
+func TestWireBandwidthSerialization(t *testing.T) {
+	model := costmodel.Off()
+	model.WireBandwidthBps = 8e6 // 1 byte/us: a 10 KB frame takes ~10ms to serialize
+	sw := NewSwitch(model)
+	a := NewNIC("a", pkt.XenMAC(1, 0, 0), sw, nil)
+	defer a.Close()
+	frame := pkt.BuildFrame(pkt.XenMAC(2, 0, 0), a.MAC(), pkt.EtherTypeIPv4, make([]byte, 10000))
+	start := time.Now()
+	if err := a.Transmit(frame); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("transmit returned after %v, serialization not charged", elapsed)
+	}
+}
+
+func TestClosedPortRejectsSend(t *testing.T) {
+	sw := NewSwitch(nil)
+	a := NewNIC("a", pkt.XenMAC(1, 0, 0), sw, nil)
+	a.Close()
+	frame := pkt.BuildFrame(pkt.XenMAC(2, 0, 0), a.MAC(), pkt.EtherTypeIPv4, []byte("x"))
+	if err := a.Transmit(frame); err == nil {
+		t.Fatal("transmit on closed port succeeded")
+	}
+}
+
+func TestMACTableForgetsClosedPort(t *testing.T) {
+	sw := NewSwitch(nil)
+	a := NewNIC("a", pkt.XenMAC(1, 0, 0), sw, nil)
+	b := NewNIC("b", pkt.XenMAC(2, 0, 0), sw, nil)
+	defer b.Close()
+	// Let the switch learn A.
+	frame := pkt.BuildFrame(b.MAC(), a.MAC(), pkt.EtherTypeIPv4, []byte("x"))
+	_ = a.Transmit(frame)
+	a.Close()
+	sw.mu.Lock()
+	_, stillThere := sw.fdb[a.MAC()]
+	sw.mu.Unlock()
+	if stillThere {
+		t.Fatal("closed port still in forwarding database")
+	}
+}

@@ -1,0 +1,93 @@
+// Package pkt implements the wire formats the simulated network speaks:
+// Ethernet framing, ARP, IPv4 (including fragmentation metadata and header
+// checksums), ICMP, UDP and TCP. It is the sk_buff-level vocabulary shared
+// by the guest network stack, the split drivers, the bridge and XenLoop.
+//
+// All marshaling is explicit and allocation-conscious: headers encode into
+// caller-provided buffers in network byte order via encoding/binary.
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// XenMAC derives the conventional Xen virtual interface MAC
+// (00:16:3e:mm:dd:ii) for interface ii of domain dd on machine mm.
+func XenMAC(machine, domain, iface byte) MAC {
+	return MAC{0x00, 0x16, 0x3e, machine, domain, iface}
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsZero reports whether m is the unset address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// String renders the address in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// ParseMAC parses the colon-hex form produced by String.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	var b [6]int
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3], &b[4], &b[5])
+	if err != nil || n != 6 {
+		return MAC{}, fmt.Errorf("pkt: bad MAC %q", s)
+	}
+	for i, v := range b {
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// IPv4 is a 32-bit IPv4 address in network byte order.
+type IPv4 [4]byte
+
+// IP constructs an IPv4 address from its four octets.
+func IP(a, b, c, d byte) IPv4 { return IPv4{a, b, c, d} }
+
+// Uint32 returns the address as a host-order integer (for masking).
+func (ip IPv4) Uint32() uint32 { return binary.BigEndian.Uint32(ip[:]) }
+
+// IPFromUint32 converts a host-order integer back to an address.
+func IPFromUint32(v uint32) IPv4 {
+	var ip IPv4
+	binary.BigEndian.PutUint32(ip[:], v)
+	return ip
+}
+
+// IsZero reports whether ip is the unset address 0.0.0.0.
+func (ip IPv4) IsZero() bool { return ip == IPv4{} }
+
+// IsBroadcast reports whether ip is the limited broadcast address.
+func (ip IPv4) IsBroadcast() bool { return ip == IPv4{255, 255, 255, 255} }
+
+// InSubnet reports whether ip lies within network/mask.
+func (ip IPv4) InSubnet(network IPv4, mask IPv4) bool {
+	return ip.Uint32()&mask.Uint32() == network.Uint32()&mask.Uint32()
+}
+
+// String renders the address in dotted-quad form.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Mask returns a netmask with the top bits set.
+func Mask(bits int) IPv4 {
+	if bits <= 0 {
+		return IPv4{}
+	}
+	if bits >= 32 {
+		return IPv4{255, 255, 255, 255}
+	}
+	return IPFromUint32(^uint32(0) << (32 - bits))
+}

@@ -1,0 +1,59 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP opcodes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPLen is the length of an Ethernet/IPv4 ARP packet.
+const ARPLen = 28
+
+// ARPPacket is an Ethernet/IPv4 ARP payload.
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IPv4
+	TargetMAC MAC
+	TargetIP  IPv4
+}
+
+// Marshal encodes the packet into a fresh buffer.
+func (a *ARPPacket) Marshal() []byte {
+	b := make([]byte, ARPLen)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // hardware type: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // protocol type: IPv4
+	b[4] = 6                                   // hardware address length
+	b[5] = 4                                   // protocol address length
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	copy(b[14:18], a.SenderIP[:])
+	copy(b[18:24], a.TargetMAC[:])
+	copy(b[24:28], a.TargetIP[:])
+	return b
+}
+
+// ParseARP decodes an ARP payload.
+func ParseARP(b []byte) (ARPPacket, error) {
+	if len(b) < ARPLen {
+		return ARPPacket{}, fmt.Errorf("%w: arp packet %d bytes", ErrTruncated, len(b))
+	}
+	if ht := binary.BigEndian.Uint16(b[0:2]); ht != 1 {
+		return ARPPacket{}, fmt.Errorf("pkt: unsupported ARP hardware type %d", ht)
+	}
+	if pt := binary.BigEndian.Uint16(b[2:4]); pt != 0x0800 {
+		return ARPPacket{}, fmt.Errorf("pkt: unsupported ARP protocol type %#x", pt)
+	}
+	var a ARPPacket
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}

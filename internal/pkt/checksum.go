@@ -1,0 +1,57 @@
+package pkt
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	return finishChecksum(sumBytes(0, b))
+}
+
+// sumBytes accumulates b into the running one's-complement sum, striding
+// eight bytes at a time (the checksum is hot on every segment).
+func sumBytes(sum uint32, b []byte) uint32 {
+	s := uint64(sum)
+	for len(b) >= 8 {
+		v := binary.BigEndian.Uint64(b)
+		s += v>>48 + v>>32&0xffff + v>>16&0xffff + v&0xffff
+		b = b[8:]
+	}
+	for len(b) >= 2 {
+		s += uint64(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		s += uint64(b[0]) << 8
+	}
+	for s>>16 != 0 {
+		s = s&0xffff + s>>16
+	}
+	return uint32(s)
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the IPv4 pseudo-header contribution used by the
+// TCP and UDP checksums.
+func pseudoHeaderSum(src, dst IPv4, proto uint8, length int) uint32 {
+	var sum uint32
+	sum = sumBytes(sum, src[:])
+	sum = sumBytes(sum, dst[:])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes the TCP/UDP checksum over the pseudo header,
+// the transport header and the payload. The checksum field inside header
+// must be zero when computing, or left in place when verifying (result 0).
+func TransportChecksum(src, dst IPv4, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	sum = sumBytes(sum, segment)
+	return finishChecksum(sum)
+}

@@ -1,0 +1,68 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherType values understood by the simulated network.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	// EtherTypeXenLoop is the special XenLoop-type layer-3 protocol ID the
+	// paper uses for out-of-band control traffic: Dom0 discovery
+	// announcements and the channel bootstrap handshake. It is a private
+	// ethertype that the Dom0 software bridge never forwards to the
+	// physical NIC, keeping XenLoop control traffic on-host.
+	EtherTypeXenLoop uint16 = 0x58C0
+)
+
+// EthHeaderLen is the length of an Ethernet II header.
+const EthHeaderLen = 14
+
+// MaxFrameLen bounds a frame on the simulated wire: standard 1500-byte MTU
+// plus header. Virtual paths (XenLoop, loopback) are not limited by it.
+const MaxFrameLen = EthHeaderLen + 1500
+
+// ErrTruncated is returned when a buffer is too short for the header being
+// parsed.
+var ErrTruncated = errors.New("pkt: truncated packet")
+
+// EthHeader is an Ethernet II frame header.
+type EthHeader struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// Marshal encodes the header into b, which must have room for EthHeaderLen
+// bytes, and returns the number of bytes written.
+func (h *EthHeader) Marshal(b []byte) int {
+	_ = b[EthHeaderLen-1]
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.EtherType)
+	return EthHeaderLen
+}
+
+// ParseEth decodes an Ethernet header and returns it with the payload.
+func ParseEth(frame []byte) (EthHeader, []byte, error) {
+	if len(frame) < EthHeaderLen {
+		return EthHeader{}, nil, fmt.Errorf("%w: ethernet frame %d bytes", ErrTruncated, len(frame))
+	}
+	var h EthHeader
+	copy(h.Dst[:], frame[0:6])
+	copy(h.Src[:], frame[6:12])
+	h.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	return h, frame[EthHeaderLen:], nil
+}
+
+// BuildFrame assembles a complete Ethernet frame around payload.
+func BuildFrame(dst, src MAC, etherType uint16, payload []byte) []byte {
+	frame := make([]byte, EthHeaderLen+len(payload))
+	h := EthHeader{Dst: dst, Src: src, EtherType: etherType}
+	h.Marshal(frame)
+	copy(frame[EthHeaderLen:], payload)
+	return frame
+}

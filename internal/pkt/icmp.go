@@ -1,0 +1,88 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the simulated stack.
+const (
+	ICMPEchoReply       uint8 = 0
+	ICMPDestUnreachable uint8 = 3
+	ICMPEchoRequest     uint8 = 8
+)
+
+// ICMP destination-unreachable codes.
+const (
+	ICMPCodePortUnreachable uint8 = 3
+)
+
+// BuildICMPDestUnreachable assembles a type-3 message quoting the
+// offending datagram's IP header plus its first eight payload bytes, as
+// RFC 792 requires (enough for the sender to identify the socket).
+func BuildICMPDestUnreachable(code uint8, original []byte) []byte {
+	quote := original
+	if len(quote) > IPv4HeaderLen+8 {
+		quote = quote[:IPv4HeaderLen+8]
+	}
+	b := make([]byte, ICMPHeaderLen+len(quote))
+	b[0] = ICMPDestUnreachable
+	b[1] = code
+	copy(b[ICMPHeaderLen:], quote)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// ParseICMPDestUnreachable decodes a type-3 message, returning the code
+// and the quoted original datagram bytes.
+func ParseICMPDestUnreachable(b []byte) (code uint8, original []byte, err error) {
+	if len(b) < ICMPHeaderLen {
+		return 0, nil, fmt.Errorf("%w: icmp message %d bytes", ErrTruncated, len(b))
+	}
+	if Checksum(b) != 0 {
+		return 0, nil, fmt.Errorf("pkt: icmp checksum mismatch")
+	}
+	if b[0] != ICMPDestUnreachable {
+		return 0, nil, fmt.Errorf("pkt: not a destination-unreachable message (type %d)", b[0])
+	}
+	return b[1], b[ICMPHeaderLen:], nil
+}
+
+// ICMPHeaderLen is the length of an ICMP echo header.
+const ICMPHeaderLen = 8
+
+// ICMPEcho is an ICMP echo request/reply message.
+type ICMPEcho struct {
+	Type uint8
+	ID   uint16
+	Seq  uint16
+}
+
+// BuildICMPEcho assembles an echo message with payload and checksum.
+func BuildICMPEcho(h *ICMPEcho, payload []byte) []byte {
+	b := make([]byte, ICMPHeaderLen+len(payload))
+	b[0] = h.Type
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], h.Seq)
+	copy(b[ICMPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// ParseICMPEcho decodes an echo message and verifies its checksum.
+func ParseICMPEcho(b []byte) (ICMPEcho, []byte, error) {
+	if len(b) < ICMPHeaderLen {
+		return ICMPEcho{}, nil, fmt.Errorf("%w: icmp message %d bytes", ErrTruncated, len(b))
+	}
+	if Checksum(b) != 0 {
+		return ICMPEcho{}, nil, fmt.Errorf("pkt: icmp checksum mismatch")
+	}
+	var h ICMPEcho
+	h.Type = b[0]
+	if h.Type != ICMPEchoRequest && h.Type != ICMPEchoReply {
+		return ICMPEcho{}, nil, fmt.Errorf("pkt: unsupported icmp type %d", h.Type)
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.Seq = binary.BigEndian.Uint16(b[6:8])
+	return h, b[ICMPHeaderLen:], nil
+}

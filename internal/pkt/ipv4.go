@@ -1,0 +1,104 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options (we never
+// emit options).
+const IPv4HeaderLen = 20
+
+// IPv4 header flag bits (in the Flags/FragOff word).
+const (
+	IPFlagDontFragment  = 0x4000
+	IPFlagMoreFragments = 0x2000
+	ipFragOffMask       = 0x1fff
+)
+
+// IPv4Header is a parsed IPv4 header.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen int
+	ID       uint16
+	Flags    uint16 // DF/MF bits in IPFlag* positions
+	FragOff  int    // fragment offset in bytes (already ×8)
+	TTL      uint8
+	Proto    uint8
+	Src      IPv4
+	Dst      IPv4
+}
+
+// MoreFragments reports whether the MF bit is set.
+func (h *IPv4Header) MoreFragments() bool { return h.Flags&IPFlagMoreFragments != 0 }
+
+// IsFragment reports whether the packet is one fragment of a larger
+// datagram (MF set or nonzero offset).
+func (h *IPv4Header) IsFragment() bool { return h.MoreFragments() || h.FragOff != 0 }
+
+// Marshal encodes the header, computing TotalLen from payloadLen and
+// filling in the header checksum, and returns the header bytes.
+func (h *IPv4Header) Marshal(payloadLen int) []byte {
+	b := make([]byte, IPv4HeaderLen)
+	h.TotalLen = IPv4HeaderLen + payloadLen
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(h.TotalLen))
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], h.Flags|uint16(h.FragOff/8)&ipFragOffMask)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b))
+	return b
+}
+
+// BuildIPv4 assembles a complete IPv4 packet (header + payload).
+func BuildIPv4(h *IPv4Header, payload []byte) []byte {
+	hdr := h.Marshal(len(payload))
+	packet := make([]byte, 0, len(hdr)+len(payload))
+	packet = append(packet, hdr...)
+	packet = append(packet, payload...)
+	return packet
+}
+
+// ParseIPv4 decodes an IPv4 packet, verifying the version, length fields
+// and header checksum, and returns the header plus payload.
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, fmt.Errorf("%w: ipv4 packet %d bytes", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("pkt: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return IPv4Header{}, nil, fmt.Errorf("pkt: bad IHL %d", ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return IPv4Header{}, nil, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+	}
+	var h IPv4Header
+	h.TOS = b[1]
+	h.TotalLen = int(binary.BigEndian.Uint16(b[2:4]))
+	if h.TotalLen < ihl || h.TotalLen > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("%w: ipv4 total length %d of %d", ErrTruncated, h.TotalLen, len(b))
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	fw := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = fw &^ ipFragOffMask
+	h.FragOff = int(fw&ipFragOffMask) * 8
+	h.TTL = b[8]
+	h.Proto = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, b[ihl:h.TotalLen], nil
+}

@@ -1,0 +1,147 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// TCPHeader is a parsed TCP header. The options the simulated stack uses
+// are MSS and window scale (RFC 1323), both on SYN segments only.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	MSS     uint16 // nonzero only on SYN segments carrying the option
+	// WScale is the window-scale shift plus one (0 = option absent), so
+	// a present option with shift 0 is distinguishable.
+	WScale uint8
+}
+
+// HasFlag reports whether flag f is set.
+func (h *TCPHeader) HasFlag(f uint8) bool { return h.Flags&f != 0 }
+
+// FlagString renders the flags for diagnostics, e.g. "SYN|ACK".
+func (h *TCPHeader) FlagString() string {
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if h.HasFlag(TCPSyn) {
+		add("SYN")
+	}
+	if h.HasFlag(TCPAck) {
+		add("ACK")
+	}
+	if h.HasFlag(TCPFin) {
+		add("FIN")
+	}
+	if h.HasFlag(TCPRst) {
+		add("RST")
+	}
+	if h.HasFlag(TCPPsh) {
+		add("PSH")
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// BuildTCP assembles a TCP segment (header [+MSS option on SYN] + payload)
+// with a valid checksum over the IPv4 pseudo header.
+func BuildTCP(src, dst IPv4, h *TCPHeader, payload []byte) []byte {
+	hdrLen := TCPHeaderLen
+	if h.MSS != 0 {
+		hdrLen += 4
+	}
+	if h.WScale != 0 {
+		hdrLen += 4 // NOP + 3-byte window scale keeps 4-byte alignment
+	}
+	seg := make([]byte, hdrLen+len(payload))
+	binary.BigEndian.PutUint16(seg[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(seg[4:8], h.Seq)
+	binary.BigEndian.PutUint32(seg[8:12], h.Ack)
+	seg[12] = uint8(hdrLen/4) << 4
+	seg[13] = h.Flags
+	binary.BigEndian.PutUint16(seg[14:16], h.Window)
+	opt := TCPHeaderLen
+	if h.MSS != 0 {
+		seg[opt] = 2 // MSS option kind
+		seg[opt+1] = 4
+		binary.BigEndian.PutUint16(seg[opt+2:opt+4], h.MSS)
+		opt += 4
+	}
+	if h.WScale != 0 {
+		seg[opt] = 1 // NOP pad
+		seg[opt+1] = 3
+		seg[opt+2] = 3 // window-scale option kind
+		seg[opt+3] = h.WScale - 1
+		opt += 4
+	}
+	copy(seg[hdrLen:], payload)
+	binary.BigEndian.PutUint16(seg[16:18], TransportChecksum(src, dst, ProtoTCP, seg))
+	return seg
+}
+
+// ParseTCP decodes a TCP segment and verifies its checksum.
+func ParseTCP(src, dst IPv4, seg []byte) (TCPHeader, []byte, error) {
+	if len(seg) < TCPHeaderLen {
+		return TCPHeader{}, nil, fmt.Errorf("%w: tcp segment %d bytes", ErrTruncated, len(seg))
+	}
+	dataOff := int(seg[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(seg) {
+		return TCPHeader{}, nil, fmt.Errorf("pkt: bad tcp data offset %d", dataOff)
+	}
+	if TransportChecksum(src, dst, ProtoTCP, seg) != 0 {
+		return TCPHeader{}, nil, fmt.Errorf("pkt: tcp checksum mismatch")
+	}
+	var h TCPHeader
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Seq = binary.BigEndian.Uint32(seg[4:8])
+	h.Ack = binary.BigEndian.Uint32(seg[8:12])
+	h.Flags = seg[13]
+	h.Window = binary.BigEndian.Uint16(seg[14:16])
+	// Scan options for MSS.
+	opts := seg[TCPHeaderLen:dataOff]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // no-op
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+				opts = nil
+				break
+			}
+			if opts[0] == 2 && opts[1] == 4 {
+				h.MSS = binary.BigEndian.Uint16(opts[2:4])
+			}
+			if opts[0] == 3 && opts[1] == 3 {
+				h.WScale = opts[2] + 1
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	return h, seg[dataOff:], nil
+}

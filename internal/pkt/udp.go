@@ -1,0 +1,54 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDPHeader is a parsed UDP header.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  int // header + payload
+}
+
+// BuildUDP assembles a UDP datagram (header + payload) with a valid
+// checksum over the IPv4 pseudo header.
+func BuildUDP(src, dst IPv4, h *UDPHeader, payload []byte) []byte {
+	h.Length = UDPHeaderLen + len(payload)
+	seg := make([]byte, h.Length)
+	binary.BigEndian.PutUint16(seg[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(seg[4:6], uint16(h.Length))
+	copy(seg[UDPHeaderLen:], payload)
+	cs := TransportChecksum(src, dst, ProtoUDP, seg)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted as all-ones when computed zero
+	}
+	binary.BigEndian.PutUint16(seg[6:8], cs)
+	return seg
+}
+
+// ParseUDP decodes a UDP datagram and verifies its checksum against the
+// pseudo header for src/dst.
+func ParseUDP(src, dst IPv4, seg []byte) (UDPHeader, []byte, error) {
+	if len(seg) < UDPHeaderLen {
+		return UDPHeader{}, nil, fmt.Errorf("%w: udp segment %d bytes", ErrTruncated, len(seg))
+	}
+	var h UDPHeader
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Length = int(binary.BigEndian.Uint16(seg[4:6]))
+	if h.Length < UDPHeaderLen || h.Length > len(seg) {
+		return UDPHeader{}, nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, h.Length, len(seg))
+	}
+	if cs := binary.BigEndian.Uint16(seg[6:8]); cs != 0 {
+		if TransportChecksum(src, dst, ProtoUDP, seg[:h.Length]) != 0 {
+			return UDPHeader{}, nil, fmt.Errorf("pkt: udp checksum mismatch")
+		}
+	}
+	return h, seg[UDPHeaderLen:h.Length], nil
+}

@@ -1,0 +1,122 @@
+// Package ring implements the lockless producer-consumer rings that
+// netfront and netback communicate through — "a standard lockless shared
+// memory data structure built on top of two primitives — grant tables and
+// event channels" (paper §2). One Ring carries fixed-size descriptors in a
+// single direction; the split driver composes four of them (TX/RX ×
+// request/response).
+//
+// The ring also implements Xen's notification-suppression protocol: the
+// consumer parks before sleeping and the producer kicks (sends an event)
+// only when the consumer is parked, so a busy ring batches naturally and a
+// quiet ring wakes promptly.
+package ring
+
+import (
+	"sync/atomic"
+)
+
+// DefaultSize is the conventional netif ring size in slots.
+const DefaultSize = 256
+
+// SlotBytes is each slot's data buffer capacity: enough for a TSO-sized
+// frame (32 KiB payload plus headers).
+const SlotBytes = 33280
+
+// Desc is one ring descriptor. For requests, ID names the slot buffer and
+// Len the valid bytes; for responses, Status reports completion.
+type Desc struct {
+	ID     uint16
+	Len    uint32
+	Status int16
+}
+
+// SlotBuffer is the granted per-slot data area shared between the two
+// domains (the object a grant reference resolves to).
+type SlotBuffer struct {
+	Data []byte
+}
+
+// NewSlotBuffer allocates a slot buffer.
+func NewSlotBuffer() *SlotBuffer { return &SlotBuffer{Data: make([]byte, SlotBytes)} }
+
+// Bytes exposes the buffer for grant-copy operations.
+func (b *SlotBuffer) Bytes() []byte { return b.Data }
+
+// Ring is a single-producer single-consumer descriptor ring. Producer and
+// consumer indices are free-running and wrap modulo the (power-of-two)
+// size, exactly like the netif shared ring indices.
+type Ring struct {
+	size   uint32
+	mask   uint32
+	prod   atomic.Uint32
+	cons   atomic.Uint32
+	parked atomic.Bool
+	slots  []Desc
+}
+
+// New creates a ring with the given power-of-two size (0 = DefaultSize).
+func New(size int) *Ring {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	if size&(size-1) != 0 {
+		panic("ring: size must be a power of two")
+	}
+	r := &Ring{size: uint32(size), mask: uint32(size - 1), slots: make([]Desc, size)}
+	// A fresh ring's consumer has nothing to drain and is asleep: the
+	// very first push must generate a kick.
+	r.parked.Store(true)
+	return r
+}
+
+// Size returns the ring capacity in descriptors.
+func (r *Ring) Size() int { return int(r.size) }
+
+// Push appends one descriptor; it fails (false) when the ring is full.
+// Only one producer goroutine may call Push at a time.
+func (r *Ring) Push(d Desc) bool {
+	prod := r.prod.Load()
+	if prod-r.cons.Load() >= r.size {
+		return false
+	}
+	r.slots[prod&r.mask] = d
+	r.prod.Store(prod + 1) // publish after the slot write
+	return true
+}
+
+// Pop removes the next descriptor; ok is false when the ring is empty.
+// Only one consumer goroutine may call Pop at a time.
+func (r *Ring) Pop() (Desc, bool) {
+	cons := r.cons.Load()
+	if cons == r.prod.Load() {
+		return Desc{}, false
+	}
+	d := r.slots[cons&r.mask]
+	r.cons.Store(cons + 1)
+	return d, true
+}
+
+// Pending returns the number of descriptors waiting.
+func (r *Ring) Pending() int { return int(r.prod.Load() - r.cons.Load()) }
+
+// Free returns the number of free slots.
+func (r *Ring) Free() int { return int(r.size - (r.prod.Load() - r.cons.Load())) }
+
+// Park marks the consumer as about to sleep. It returns false — and
+// cancels the park — if descriptors arrived in the meantime, in which case
+// the consumer must drain again instead of sleeping.
+func (r *Ring) Park() bool {
+	r.parked.Store(true)
+	if r.Pending() != 0 {
+		r.parked.Store(false)
+		return false
+	}
+	return true
+}
+
+// NeedKick reports (and consumes) whether the consumer is parked and must
+// be notified. The producer calls this after Push; a true result requires
+// exactly one event-channel notification.
+func (r *Ring) NeedKick() bool {
+	return r.parked.Swap(false)
+}

@@ -1,0 +1,160 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 8; i++ {
+		if !r.Push(Desc{ID: uint16(i), Len: uint32(i * 10)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(Desc{ID: 99}) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		d, ok := r.Pop()
+		if !ok || d.ID != uint16(i) || d.Len != uint32(i*10) {
+			t.Fatalf("pop %d: %+v ok=%v", i, d, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	r := New(4)
+	// Push/pop far more than the size to exercise index wrapping.
+	for i := 0; i < 1000; i++ {
+		if !r.Push(Desc{ID: uint16(i % 65536), Len: uint32(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+		d, ok := r.Pop()
+		if !ok || d.Len != uint32(i) {
+			t.Fatalf("pop %d: %+v", i, d)
+		}
+	}
+}
+
+func TestPendingAndFree(t *testing.T) {
+	r := New(16)
+	if r.Pending() != 0 || r.Free() != 16 {
+		t.Fatal("fresh ring counts wrong")
+	}
+	for i := 0; i < 5; i++ {
+		r.Push(Desc{})
+	}
+	if r.Pending() != 5 || r.Free() != 11 {
+		t.Fatalf("counts after 5 pushes: pending=%d free=%d", r.Pending(), r.Free())
+	}
+}
+
+func TestParkKickProtocol(t *testing.T) {
+	r := New(8)
+	// Consumer parks on an empty ring; the next push must ask for a kick.
+	if !r.Park() {
+		t.Fatal("park on empty ring refused")
+	}
+	r.Push(Desc{ID: 1})
+	if !r.NeedKick() {
+		t.Fatal("push onto parked ring did not request kick")
+	}
+	// Not parked anymore: further pushes need no kick.
+	r.Push(Desc{ID: 2})
+	if r.NeedKick() {
+		t.Fatal("kick requested while consumer awake")
+	}
+	// Parking with pending data must refuse (consumer should drain).
+	if r.Park() {
+		t.Fatal("park succeeded with descriptors pending")
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	r := New(64)
+	const n = 50000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.Push(Desc{Len: uint32(i)}) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var sum uint64
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if d, ok := r.Pop(); ok {
+				if d.Len != uint32(i) {
+					t.Errorf("out of order: got %d want %d", d.Len, i)
+					return
+				}
+				sum += uint64(d.Len)
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	want := uint64(n) * uint64(n-1) / 2
+	if sum != want {
+		t.Fatalf("sum %d want %d", sum, want)
+	}
+}
+
+// Property: a random interleaving of pushes and pops behaves like a queue.
+func TestQueueSemanticsProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := New(16)
+		var model []uint32
+		next := uint32(0)
+		for _, push := range ops {
+			if push {
+				ok := r.Push(Desc{Len: next})
+				if ok != (len(model) < 16) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			} else {
+				d, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if d.Len != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return r.Pending() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two size")
+		}
+	}()
+	New(10)
+}

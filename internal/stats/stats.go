@@ -1,0 +1,166 @@
+// Package stats provides the measurement arithmetic and formatting used
+// by the benchmark harness: latency summaries, bandwidth computation, and
+// table/series rendering that mirrors the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary describes a sample of durations.
+type Summary struct {
+	Count          int
+	Mean, Min, Max time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Summarize computes a Summary (zero value for empty input).
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, s := range sorted {
+		total += s
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  total / time.Duration(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+	}
+}
+
+// Mbps converts a byte count over a duration to megabits per second.
+func Mbps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / elapsed.Seconds() / 1e6
+}
+
+// Micros renders a duration in microseconds with two decimals.
+func Micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// Point is one sample of a figure series.
+type Point struct {
+	X float64 // message size in bytes, FIFO size, or elapsed seconds
+	Y float64 // Mbps, microseconds, or transactions/sec
+}
+
+// Series is a named line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table renders rows with a header, columns right-aligned, in the plain
+// style the paper's tables use.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// FormatSeries renders figure series as aligned columns: the X column
+// followed by one Y column per series — directly plottable.
+func FormatSeries(title, xLabel, yLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "# x = %s, y = %s\n", xLabel, yLabel)
+	fmt.Fprintf(&b, "%-12s", "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	// Collect the union of X values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.0f", x)
+		for _, s := range series {
+			y, ok := lookup(s.Points, x)
+			if ok {
+				fmt.Fprintf(&b, "  %16.2f", y)
+			} else {
+				fmt.Fprintf(&b, "  %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(points []Point, x float64) (float64, bool) {
+	for _, p := range points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

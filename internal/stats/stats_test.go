@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	samples := []time.Duration{
+		5 * time.Microsecond, 1 * time.Microsecond, 3 * time.Microsecond,
+		2 * time.Microsecond, 4 * time.Microsecond,
+	}
+	s := Summarize(samples)
+	if s.Count != 5 || s.Min != time.Microsecond || s.Max != 5*time.Microsecond {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean != 3*time.Microsecond || s.P50 != 3*time.Microsecond {
+		t.Fatalf("mean/p50 %+v", s)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{3, 1, 2}
+	Summarize(samples)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatal("input reordered")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	// 125 MB over one second = 1000 Mbps.
+	if got := Mbps(125_000_000, time.Second); got < 999 || got > 1001 {
+		t.Fatalf("Mbps = %v", got)
+	}
+	if Mbps(1000, 0) != 0 {
+		t.Fatal("zero elapsed should yield zero")
+	}
+}
+
+func TestMicros(t *testing.T) {
+	if Micros(1500*time.Nanosecond) != 1.5 {
+		t.Fatalf("Micros = %v", Micros(1500*time.Nanosecond))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "T", Columns: []string{"workload", "A", "B"}}
+	tab.AddRow("ping", "101", "28")
+	tab.AddRow("long-workload-name", "1", "2")
+	out := tab.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "ping") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatSeriesAlignsByX(t *testing.T) {
+	series := []Series{
+		{Name: "a", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}},
+		{Name: "b", Points: []Point{{X: 2, Y: 200}}},
+	}
+	out := FormatSeries("fig", "size", "mbps", series)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("series rendering:\n%s", out)
+	}
+	// X=1 has no value for series b: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-value marker absent:\n%s", out)
+	}
+}

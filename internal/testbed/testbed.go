@@ -1,0 +1,363 @@
+// Package testbed assembles the paper's experimental setups: physical
+// machines on a Gigabit switch, para-virtualized guests behind
+// netfront/netback and a Dom0 bridge, XenLoop modules with Dom0
+// discovery, and native (non-virtualized) hosts — plus live migration
+// orchestration between machines.
+//
+// The four communication scenarios of the evaluation (§4) are built by
+// BuildPair: InterMachine, NetfrontNetback, XenLoop and NativeLoopback.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/hypervisor"
+	"repro/internal/netstack"
+	"repro/internal/phynet"
+	"repro/internal/pkt"
+	"repro/internal/splitdriver"
+)
+
+// Scenario selects one of the paper's four communication scenarios.
+type Scenario int
+
+// The four scenarios of §4.
+const (
+	// InterMachine: native machine-to-machine across the Gigabit switch.
+	InterMachine Scenario = iota
+	// NetfrontNetback: guest-to-guest via the standard split-driver path.
+	NetfrontNetback
+	// XenLoop: guest-to-guest via the XenLoop channel.
+	XenLoop
+	// NativeLoopback: two processes in one non-virtualized OS over lo.
+	NativeLoopback
+)
+
+// String names the scenario as the paper's tables do.
+func (s Scenario) String() string {
+	switch s {
+	case InterMachine:
+		return "Inter Machine"
+	case NetfrontNetback:
+		return "Netfront/Netback"
+	case XenLoop:
+		return "XenLoop"
+	case NativeLoopback:
+		return "Native Loopback"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Scenarios lists all four in table order.
+var Scenarios = []Scenario{InterMachine, NetfrontNetback, XenLoop, NativeLoopback}
+
+// Options parameterize a testbed.
+type Options struct {
+	// Model is the cost model; nil selects costmodel.Off() (functional
+	// tests). Benchmarks pass costmodel.Calibrated().
+	Model *costmodel.Model
+	// DiscoveryPeriod overrides the Dom0 discovery interval (0 = paper's
+	// 5 s).
+	DiscoveryPeriod time.Duration
+	// Core configures guests' XenLoop modules (FIFO size, ablations).
+	Core core.Config
+}
+
+// Testbed owns a switch, machines, native hosts and VMs.
+type Testbed struct {
+	Switch   *phynet.Switch
+	Model    *costmodel.Model
+	Machines []*Machine
+	Hosts    []*Host
+	VMs      []*VM
+	opts     Options
+
+	nextMachine byte
+	nextIP      byte
+}
+
+// Machine is one virtualized physical host.
+type Machine struct {
+	Name      string
+	HV        *hypervisor.Hypervisor
+	Bridge    *bridge.Bridge
+	NIC       *phynet.NIC
+	Discovery *core.Discovery
+	nicPort   *bridge.Port
+	id        byte
+	tb        *Testbed
+}
+
+// Host is a native, non-virtualized machine.
+type Host struct {
+	Name  string
+	Stack *netstack.Stack
+	NIC   *phynet.NIC
+	IP    pkt.IPv4
+}
+
+// VM is one guest with its stack, vif and (optionally) XenLoop module.
+type VM struct {
+	Name    string
+	Machine *Machine
+	Dom     *hypervisor.Domain
+	Stack   *netstack.Stack
+	Iface   *netstack.Iface
+	NF      *splitdriver.Netfront
+	XL      *core.Module
+	IP      pkt.IPv4
+	MAC     pkt.MAC
+}
+
+// New creates an empty testbed around one switch.
+func New(opts Options) *Testbed {
+	if opts.Model == nil {
+		opts.Model = costmodel.Off()
+	}
+	return &Testbed{
+		Switch: phynet.NewSwitch(opts.Model),
+		Model:  opts.Model,
+		opts:   opts,
+	}
+}
+
+// AddMachine boots a virtualized machine: hypervisor with Dom0, software
+// bridge, physical NIC bridged to the switch, and the Dom0 XenLoop
+// discovery module.
+func (tb *Testbed) AddMachine(name string) *Machine {
+	tb.nextMachine++
+	m := &Machine{
+		Name: name,
+		HV:   hypervisor.New(hypervisor.Config{Machine: name, Model: tb.Model}),
+		id:   tb.nextMachine,
+		tb:   tb,
+	}
+	m.Bridge = bridge.New(tb.Model, m.HV.Counters())
+	m.NIC = phynet.NewNIC(name+"-nic", pkt.XenMAC(m.id, 0, 1), tb.Switch, tb.Model)
+	// Dom0 bridged networking: the physical NIC is a bridge port.
+	m.nicPort = m.Bridge.AddPort(name+"-pnic", func(frame []byte) { _ = m.NIC.Transmit(frame) }, true)
+	m.NIC.Attach(func(frame []byte) { m.nicPort.Input(frame) })
+	m.Discovery = core.StartDiscovery(m.HV, m.Bridge, tb.opts.DiscoveryPeriod)
+	tb.Machines = append(tb.Machines, m)
+	return m
+}
+
+// AddHost boots a native machine: a stack bound directly to a NIC.
+func (tb *Testbed) AddHost(name string) *Host {
+	tb.nextIP++
+	h := &Host{
+		Name: name,
+		IP:   pkt.IP(10, 0, 0, tb.nextIP),
+	}
+	h.Stack = netstack.New(name, tb.Model)
+	h.NIC = phynet.NewNIC(name+"-nic", pkt.XenMAC(0xee, tb.nextIP, 0), tb.Switch, tb.Model)
+	h.Stack.AddIface(h.NIC, h.IP, 24)
+	tb.Hosts = append(tb.Hosts, h)
+	return h
+}
+
+// AddVM creates a guest on machine m with a vif on the shared 10.0.0.0/24
+// segment.
+func (tb *Testbed) AddVM(m *Machine, name string) (*VM, error) {
+	tb.nextIP++
+	dom := m.HV.CreateDomain(name, 0)
+	mac := pkt.XenMAC(m.id, byte(dom.ID()), 0)
+	nf, err := splitdriver.Connect(dom, m.Bridge, mac)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{
+		Name:    name,
+		Machine: m,
+		Dom:     dom,
+		Stack:   netstack.New(name, tb.Model),
+		NF:      nf,
+		IP:      pkt.IP(10, 0, 0, tb.nextIP),
+		MAC:     mac,
+	}
+	vm.Iface = vm.Stack.AddIface(nf, vm.IP, 24)
+	tb.VMs = append(tb.VMs, vm)
+	return vm, nil
+}
+
+// EnableXenLoop loads the XenLoop module into a guest.
+func (tb *Testbed) EnableXenLoop(vm *VM) error {
+	cfg := tb.opts.Core
+	mod, err := core.Attach(vm.Dom, vm.Stack, vm.Iface, cfg)
+	if err != nil {
+		return err
+	}
+	vm.XL = mod
+	return nil
+}
+
+// Migrate live-migrates a VM to another machine, performing the full
+// sequence the paper describes in §3.4: the XenLoop module's
+// pre-migration callback tears channels down and saves pending packets;
+// the vif detaches, the domain moves, the vif reattaches on the target
+// bridge; a gratuitous ARP re-points the physical switch; the module
+// re-advertises and resends saved packets; and both machines' discovery
+// modules announce the new co-residency so channels re-form.
+func (tb *Testbed) Migrate(vm *VM, target *Machine) error {
+	source := vm.Machine
+	vm.NF.Disconnect()
+	// hypervisor.Migrate fires the guest's pre-migration callbacks,
+	// including the XenLoop module's teardown.
+	if err := source.HV.Migrate(vm.Dom, target.HV); err != nil {
+		return err
+	}
+	if err := vm.NF.Reattach(target.Bridge); err != nil {
+		return err
+	}
+	vm.Machine = target
+	vm.Stack.GratuitousARP(vm.Iface)
+	if vm.XL != nil {
+		if err := vm.XL.CompleteMigration(); err != nil {
+			return err
+		}
+	}
+	// Prompt both discovery modules rather than waiting out the period.
+	source.Discovery.Scan()
+	target.Discovery.Scan()
+	return nil
+}
+
+// SuspendResume checkpoints and immediately restores a VM on its current
+// machine (xm save / xm restore), exercising the same disengage/re-engage
+// sequence as migration.
+func (tb *Testbed) SuspendResume(vm *VM) error {
+	m := vm.Machine
+	vm.NF.Disconnect()
+	if err := m.HV.Suspend(vm.Dom); err != nil {
+		return err
+	}
+	if err := m.HV.Resume(vm.Dom); err != nil {
+		return err
+	}
+	if err := vm.NF.Reattach(m.Bridge); err != nil {
+		return err
+	}
+	vm.Stack.GratuitousARP(vm.Iface)
+	if vm.XL != nil {
+		if err := vm.XL.CompleteMigration(); err != nil {
+			return err
+		}
+	}
+	m.Discovery.Scan()
+	return nil
+}
+
+// Close tears the whole testbed down.
+func (tb *Testbed) Close() {
+	for _, vm := range tb.VMs {
+		if vm.XL != nil {
+			vm.XL.Detach()
+		}
+		vm.Stack.Close()
+		vm.NF.Shutdown()
+	}
+	for _, h := range tb.Hosts {
+		h.Stack.Close()
+		h.NIC.Close()
+	}
+	for _, m := range tb.Machines {
+		m.Discovery.Stop()
+		m.NIC.Close()
+	}
+}
+
+// Endpoint is one side of a communication pair.
+type Endpoint struct {
+	Stack *netstack.Stack
+	IP    pkt.IPv4 // the address the peer dials
+	VM    *VM      // nil for native endpoints
+}
+
+// Pair is a built scenario: run the workload A <-> B, then Close.
+type Pair struct {
+	Scenario Scenario
+	A, B     Endpoint
+	TB       *Testbed
+}
+
+// Close releases the underlying testbed.
+func (p *Pair) Close() { p.TB.Close() }
+
+// BuildPair constructs one of the paper's four scenarios and returns the
+// two endpoints, ready to carry traffic. For the XenLoop scenario the
+// inter-VM channel is already established when BuildPair returns.
+func BuildPair(s Scenario, opts Options) (*Pair, error) {
+	tb := New(opts)
+	p := &Pair{Scenario: s, TB: tb}
+	switch s {
+	case InterMachine:
+		a := tb.AddHost("hostA")
+		b := tb.AddHost("hostB")
+		p.A = Endpoint{Stack: a.Stack, IP: a.IP}
+		p.B = Endpoint{Stack: b.Stack, IP: b.IP}
+
+	case NetfrontNetback, XenLoop:
+		m := tb.AddMachine("machine1")
+		vm1, err := tb.AddVM(m, "guest1")
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		vm2, err := tb.AddVM(m, "guest2")
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		p.A = Endpoint{Stack: vm1.Stack, IP: vm1.IP, VM: vm1}
+		p.B = Endpoint{Stack: vm2.Stack, IP: vm2.IP, VM: vm2}
+		if s == XenLoop {
+			if err := tb.EnableXenLoop(vm1); err != nil {
+				tb.Close()
+				return nil, err
+			}
+			if err := tb.EnableXenLoop(vm2); err != nil {
+				tb.Close()
+				return nil, err
+			}
+			if err := EstablishChannel(vm1, vm2); err != nil {
+				tb.Close()
+				return nil, err
+			}
+		}
+
+	case NativeLoopback:
+		h := tb.AddHost("host")
+		p.A = Endpoint{Stack: h.Stack, IP: h.IP}
+		p.B = Endpoint{Stack: h.Stack, IP: pkt.IP(127, 0, 0, 1)}
+
+	default:
+		tb.Close()
+		return nil, fmt.Errorf("testbed: unknown scenario %v", s)
+	}
+	return p, nil
+}
+
+// EstablishChannel drives discovery and bootstrap until the two
+// co-resident VMs have a connected XenLoop channel (or times out).
+func EstablishChannel(vm1, vm2 *VM) error {
+	if vm1.XL == nil || vm2.XL == nil {
+		return fmt.Errorf("testbed: XenLoop not enabled on both VMs")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		vm1.Machine.Discovery.Scan()
+		// Traffic triggers bootstrap ("when one of the guest VMs detects
+		// the first network traffic destined to a co-resident VM").
+		_, _ = vm1.Stack.Ping(vm2.IP, 8, 500*time.Millisecond)
+		if vm1.XL.HasChannelTo(vm2.MAC) && vm2.XL.HasChannelTo(vm1.MAC) {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("testbed: XenLoop channel did not establish")
+}

@@ -1,0 +1,140 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+func TestScenarioNames(t *testing.T) {
+	names := map[Scenario]string{
+		InterMachine:    "Inter Machine",
+		NetfrontNetback: "Netfront/Netback",
+		XenLoop:         "XenLoop",
+		NativeLoopback:  "Native Loopback",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d -> %q", s, s.String())
+		}
+	}
+	if len(Scenarios) != 4 {
+		t.Fatalf("scenario list %v", Scenarios)
+	}
+}
+
+func TestInterMachinePair(t *testing.T) {
+	p, err := BuildPair(InterMachine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.A.Stack == p.B.Stack {
+		t.Fatal("inter-machine endpoints share a stack")
+	}
+	if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("ping across switch: %v", err)
+	}
+}
+
+func TestNetfrontPair(t *testing.T) {
+	p, err := BuildPair(NetfrontNetback, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.A.VM == nil || p.B.VM == nil {
+		t.Fatal("VM endpoints missing")
+	}
+	if p.A.VM.XL != nil {
+		t.Fatal("netfront scenario must not load XenLoop")
+	}
+	if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("ping via split driver: %v", err)
+	}
+}
+
+func TestXenLoopPairEstablishes(t *testing.T) {
+	p, err := BuildPair(XenLoop, Options{DiscoveryPeriod: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.A.VM.XL.HasChannelTo(p.B.VM.MAC) {
+		t.Fatal("channel not ready after BuildPair")
+	}
+}
+
+func TestNativeLoopbackPair(t *testing.T) {
+	p, err := BuildPair(NativeLoopback, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.A.Stack != p.B.Stack {
+		t.Fatal("loopback endpoints should share one stack")
+	}
+	if p.B.IP != pkt.IP(127, 0, 0, 1) {
+		t.Fatalf("loopback peer IP %s", p.B.IP)
+	}
+	if _, err := p.A.Stack.Ping(p.B.IP, 56, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVMsGetDistinctAddresses(t *testing.T) {
+	tb := New(Options{})
+	defer tb.Close()
+	m := tb.AddMachine("m")
+	vm1, err := tb.AddVM(m, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := tb.AddVM(m, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm1.IP == vm2.IP || vm1.MAC == vm2.MAC {
+		t.Fatalf("address collision: %s/%s %s/%s", vm1.IP, vm2.IP, vm1.MAC, vm2.MAC)
+	}
+}
+
+func TestCrossMachineVMTraffic(t *testing.T) {
+	tb := New(Options{})
+	defer tb.Close()
+	m1 := tb.AddMachine("m1")
+	m2 := tb.AddMachine("m2")
+	vm1, _ := tb.AddVM(m1, "vm1")
+	vm2, _ := tb.AddVM(m2, "vm2")
+	// Guest on machine 1 reaches guest on machine 2 through bridge, NIC,
+	// switch, NIC, bridge.
+	if _, err := vm1.Stack.Ping(vm2.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("cross-machine guest ping: %v", err)
+	}
+}
+
+func TestMigrationKeepsConnectivity(t *testing.T) {
+	tb := New(Options{DiscoveryPeriod: 100 * time.Millisecond})
+	defer tb.Close()
+	m1 := tb.AddMachine("m1")
+	m2 := tb.AddMachine("m2")
+	vm1, _ := tb.AddVM(m1, "vm1")
+	vm2, _ := tb.AddVM(m2, "vm2")
+	if _, err := vm1.Stack.Ping(vm2.IP, 56, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Migrate(vm1, m2); err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Machine != m2 {
+		t.Fatal("VM record not rehomed")
+	}
+	if _, err := vm1.Stack.Ping(vm2.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("ping after migration: %v", err)
+	}
+	// The guest's address identity survives migration.
+	if vm1.Iface.MAC() != vm1.MAC {
+		t.Fatal("MAC changed across migration")
+	}
+}

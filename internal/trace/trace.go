@@ -1,0 +1,157 @@
+// Package trace is a lightweight structured event log for the simulated
+// platform: channel lifecycle, discovery rounds, migrations and data-path
+// milestones record themselves here, and tools (cmd/xltop) or tests read
+// them back. Events live in a fixed-size ring so tracing is always-on
+// without unbounded growth.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds recorded by the XenLoop subsystems.
+const (
+	KindDiscovery  Kind = "discovery"  // Dom0 announcement round
+	KindBootstrap  Kind = "bootstrap"  // channel handshake step
+	KindChannelUp  Kind = "channel-up" // channel connected
+	KindChannelDn  Kind = "channel-dn" // channel torn down
+	KindMigration  Kind = "migration"  // domain migration step
+	KindFallback   Kind = "fallback"   // packet took the standard path
+	KindSuspension Kind = "suspend"    // save/restore step
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq    uint64
+	At     time.Time
+	Kind   Kind
+	Actor  string // which component recorded it ("dom3/xenloop", "m1/discovery")
+	Detail string
+}
+
+// String renders the event for display.
+func (e Event) String() string {
+	return fmt.Sprintf("[%s] #%d %-11s %-18s %s",
+		e.At.Format("15:04:05.000000"), e.Seq, e.Kind, e.Actor, e.Detail)
+}
+
+// Buffer is a bounded, concurrency-safe event ring.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+	seq    uint64
+	counts map[Kind]uint64
+}
+
+// NewBuffer creates a ring holding up to capacity events (min 16).
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Buffer{
+		events: make([]Event, capacity),
+		counts: map[Kind]uint64{},
+	}
+}
+
+// Record appends an event.
+func (b *Buffer) Record(kind Kind, actor, format string, args ...any) {
+	b.mu.Lock()
+	b.seq++
+	b.counts[kind]++
+	b.events[b.next] = Event{
+		Seq:    b.seq,
+		At:     time.Now(),
+		Kind:   kind,
+		Actor:  actor,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	b.next++
+	if b.next == len(b.events) {
+		b.next = 0
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first.
+func (b *Buffer) Snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Event
+	if b.full {
+		out = append(out, b.events[b.next:]...)
+	}
+	out = append(out, b.events[:b.next]...)
+	// Trim zero entries (ring not yet full).
+	res := make([]Event, 0, len(out))
+	for _, e := range out {
+		if e.Seq != 0 {
+			res = append(res, e)
+		}
+	}
+	return res
+}
+
+// Count reports how many events of a kind were ever recorded (including
+// ones that have rotated out of the ring).
+func (b *Buffer) Count(kind Kind) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts[kind]
+}
+
+// Total reports all events ever recorded.
+func (b *Buffer) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Global is the default buffer the simulation records into; replaceable
+// for test isolation via Swap.
+var (
+	globalMu sync.RWMutex
+	global   = NewBuffer(4096)
+)
+
+// Record appends to the global buffer.
+func Record(kind Kind, actor, format string, args ...any) {
+	globalMu.RLock()
+	b := global
+	globalMu.RUnlock()
+	b.Record(kind, actor, format, args...)
+}
+
+// Snapshot reads the global buffer.
+func Snapshot() []Event {
+	globalMu.RLock()
+	b := global
+	globalMu.RUnlock()
+	return b.Snapshot()
+}
+
+// Count reads a global per-kind counter.
+func Count(kind Kind) uint64 {
+	globalMu.RLock()
+	b := global
+	globalMu.RUnlock()
+	return b.Count(kind)
+}
+
+// Swap replaces the global buffer, returning the previous one (tests use
+// this for isolation).
+func Swap(b *Buffer) *Buffer {
+	globalMu.Lock()
+	old := global
+	global = b
+	globalMu.Unlock()
+	return old
+}

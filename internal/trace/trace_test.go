@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	b := NewBuffer(64)
+	b.Record(KindChannelUp, "dom1/xenloop", "connected to dom%d", 2)
+	b.Record(KindChannelDn, "dom1/xenloop", "teardown")
+	events := b.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("events %d", len(events))
+	}
+	if events[0].Kind != KindChannelUp || events[0].Seq != 1 {
+		t.Fatalf("first event %+v", events[0])
+	}
+	if !strings.Contains(events[0].Detail, "connected to dom2") {
+		t.Fatalf("detail %q", events[0].Detail)
+	}
+	if !strings.Contains(events[0].String(), "dom1/xenloop") {
+		t.Fatalf("string %q", events[0].String())
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	b := NewBuffer(16)
+	for i := 0; i < 100; i++ {
+		b.Record(KindDiscovery, "m1", "round %d", i)
+	}
+	events := b.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("retained %d, want 16", len(events))
+	}
+	// Oldest retained must be #85 (100-16+1), newest #100, in order.
+	if events[0].Seq != 85 || events[15].Seq != 100 {
+		t.Fatalf("range %d..%d", events[0].Seq, events[15].Seq)
+	}
+	if b.Total() != 100 || b.Count(KindDiscovery) != 100 {
+		t.Fatalf("counters %d %d", b.Total(), b.Count(KindDiscovery))
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	b := NewBuffer(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Record(KindFallback, "actor", "g%d i%d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Total() != 4000 {
+		t.Fatalf("total %d", b.Total())
+	}
+	events := b.Snapshot()
+	if len(events) != 128 {
+		t.Fatalf("retained %d", len(events))
+	}
+	// Sequence numbers must be strictly increasing in the snapshot.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("non-monotonic seq at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestGlobalSwap(t *testing.T) {
+	old := Swap(NewBuffer(32))
+	defer Swap(old)
+	Record(KindMigration, "test", "event")
+	if Count(KindMigration) != 1 {
+		t.Fatal("global record lost")
+	}
+	if len(Snapshot()) != 1 {
+		t.Fatal("global snapshot wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package xenstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDomainsWriteOwnSubtrees models many guests updating their
+// advertisements while Dom0 scans — the discovery workload — under the
+// race detector.
+func TestConcurrentDomainsWriteOwnSubtrees(t *testing.T) {
+	s := New()
+	const domains = 8
+	var wg sync.WaitGroup
+	for d := 1; d <= domains; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/local/domain/%d/xenloop", d)
+			for i := 0; i < 200; i++ {
+				if err := s.Write(uint32(d), path, fmt.Sprintf("mac-%d-%d", d, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Read(uint32(d), path); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					_ = s.Remove(uint32(d), path)
+				}
+			}
+			_ = s.Write(uint32(d), path, "final")
+		}(d)
+	}
+	// Dom0 scans concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			ids, err := s.ListDomains(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, id := range ids {
+				_, _ = s.Read(0, "/local/domain/"+id+"/xenloop")
+			}
+		}
+	}()
+	wg.Wait()
+	ids, err := s.ListDomains(0)
+	if err != nil || len(ids) != domains {
+		t.Fatalf("final domain count %d err %v", len(ids), err)
+	}
+}
+
+// TestWatchersUnderConcurrentChanges registers watchers while writers
+// mutate the tree; every watcher must observe at least one event for its
+// subtree and none for foreign subtrees.
+func TestWatchersUnderConcurrentChanges(t *testing.T) {
+	s := New()
+	w1, _ := s.Watch(0, "/local/domain/1")
+	w2, _ := s.Watch(0, "/local/domain/2")
+	defer w1.Cancel()
+	defer w2.Cancel()
+
+	var wg sync.WaitGroup
+	for d := 1; d <= 2; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = s.Write(0, fmt.Sprintf("/local/domain/%d/key%d", d, i), "v")
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	count1, count2 := 0, 0
+	for len(w1.C) > 0 {
+		ev := <-w1.C
+		if ev.Path[:16] != "/local/domain/1/" {
+			t.Fatalf("w1 saw foreign event %q", ev.Path)
+		}
+		count1++
+	}
+	for len(w2.C) > 0 {
+		ev := <-w2.C
+		if ev.Path[:16] != "/local/domain/2/" {
+			t.Fatalf("w2 saw foreign event %q", ev.Path)
+		}
+		count2++
+	}
+	if count1 == 0 || count2 == 0 {
+		t.Fatalf("watchers starved: %d %d", count1, count2)
+	}
+}

@@ -1,0 +1,290 @@
+// Package xenstore models XenStore, the hierarchical key-value store that
+// Dom0's xenstored maintains for system configuration state. XenLoop's
+// soft-state domain discovery works entirely through it: each willing guest
+// writes a "xenloop" advertisement under its own /local/domain/<id> subtree
+// and the Dom0 discovery module — the only party allowed to read every
+// guest's subtree — collates them.
+//
+// Permissions follow the paper's description: an unprivileged guest can
+// read and modify its own XenStore information but not other guests'; the
+// privileged domain (ID 0) can access everything.
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNotFound   = errors.New("xenstore: path not found")
+	ErrPermission = errors.New("xenstore: permission denied")
+	ErrBadPath    = errors.New("xenstore: malformed path")
+)
+
+// EventType distinguishes watch notifications.
+type EventType int
+
+// Watch event types.
+const (
+	EventWrite EventType = iota
+	EventRemove
+)
+
+// Event is delivered on a Watch channel when a watched subtree changes.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Watch is a registration for change notifications on a subtree.
+type Watch struct {
+	// C delivers events; it is buffered and events are dropped (never
+	// blocking the store) if the watcher falls behind, matching
+	// XenStore's at-least-once, coalescing semantics.
+	C      chan Event
+	id     int
+	prefix string
+	store  *Store
+}
+
+// Cancel removes the watch.
+func (w *Watch) Cancel() {
+	w.store.mu.Lock()
+	delete(w.store.watches, w.id)
+	w.store.mu.Unlock()
+}
+
+type node struct {
+	value    string
+	children map[string]*node
+}
+
+// Store is one machine's XenStore instance.
+type Store struct {
+	mu        sync.Mutex
+	root      *node
+	watches   map[int]*Watch
+	nextWatch int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		root:    &node{children: map[string]*node{}},
+		watches: map[int]*Watch{},
+	}
+}
+
+// split validates and tokenizes an absolute path like /local/domain/3/xenloop.
+func split(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("%w: %q is not absolute", ErrBadPath, path)
+	}
+	trimmed := strings.Trim(path, "/")
+	if trimmed == "" {
+		return nil, nil
+	}
+	parts := strings.Split(trimmed, "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q has empty component", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// DomainPath returns the conventional per-domain subtree root.
+func DomainPath(domID uint32) string { return fmt.Sprintf("/local/domain/%d", domID) }
+
+// checkAccess enforces the visibility rule: everything under
+// /local/domain/<id> belongs to domain id; only that domain and Dom0 may
+// touch it. Paths outside per-domain subtrees are world-readable and
+// Dom0-writable.
+func checkAccess(caller uint32, parts []string, write bool) error {
+	if caller == 0 {
+		return nil
+	}
+	if len(parts) >= 3 && parts[0] == "local" && parts[1] == "domain" {
+		if parts[2] == fmt.Sprint(caller) {
+			return nil
+		}
+		return fmt.Errorf("%w: domain %d cannot access /%s", ErrPermission, caller, strings.Join(parts[:3], "/"))
+	}
+	if write {
+		return fmt.Errorf("%w: domain %d cannot write outside its subtree", ErrPermission, caller)
+	}
+	return nil
+}
+
+// Write sets path to value, creating intermediate nodes, and fires watches.
+func (s *Store) Write(caller uint32, path, value string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if err := checkAccess(caller, parts, true); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			child = &node{children: map[string]*node{}}
+			n.children[p] = child
+		}
+		n = child
+	}
+	n.value = value
+	s.fireLocked(Event{Type: EventWrite, Path: path})
+	s.mu.Unlock()
+	return nil
+}
+
+// Read returns the value at path.
+func (s *Store) Read(caller uint32, path string) (string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return "", err
+	}
+	if err := checkAccess(caller, parts, false); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.lookupLocked(parts)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return n.value, nil
+}
+
+// Exists reports whether path exists and is visible to caller.
+func (s *Store) Exists(caller uint32, path string) bool {
+	_, err := s.Read(caller, path)
+	if err == nil {
+		return true
+	}
+	// A directory node with empty value still exists.
+	parts, perr := split(path)
+	if perr != nil || checkAccess(caller, parts, false) != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.lookupLocked(parts)
+	return ok
+}
+
+// List returns the sorted child names of path.
+func (s *Store) List(caller uint32, path string) ([]string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAccess(caller, parts, false); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.lookupLocked(parts)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ListDomains returns the numeric children of /local/domain visible to
+// Dom0, i.e. every active domain ID subtree. Caller must be Dom0.
+func (s *Store) ListDomains(caller uint32) ([]string, error) {
+	if caller != 0 {
+		return nil, fmt.Errorf("%w: only Dom0 can enumerate domains", ErrPermission)
+	}
+	names, err := s.List(0, "/local/domain")
+	if errors.Is(err, ErrNotFound) {
+		return nil, nil
+	}
+	return names, err
+}
+
+// Remove deletes path and its subtree.
+func (s *Store) Remove(caller uint32, path string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot remove root", ErrBadPath)
+	}
+	if err := checkAccess(caller, parts, true); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, ok := s.lookupLocked(parts[:len(parts)-1])
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	name := parts[len(parts)-1]
+	if _, ok := parent.children[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(parent.children, name)
+	s.fireLocked(Event{Type: EventRemove, Path: path})
+	return nil
+}
+
+// Watch registers for events on path and its descendants. Permission is
+// checked once at registration, as xenstored does.
+func (s *Store) Watch(caller uint32, path string) (*Watch, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAccess(caller, parts, false); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextWatch++
+	w := &Watch{
+		C:      make(chan Event, 64),
+		id:     s.nextWatch,
+		prefix: "/" + strings.Join(parts, "/"),
+		store:  s,
+	}
+	s.watches[w.id] = w
+	return w, nil
+}
+
+func (s *Store) lookupLocked(parts []string) (*node, bool) {
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, false
+		}
+		n = child
+	}
+	return n, true
+}
+
+func (s *Store) fireLocked(ev Event) {
+	for _, w := range s.watches {
+		if ev.Path == w.prefix || strings.HasPrefix(ev.Path, w.prefix+"/") || w.prefix == "/" {
+			select {
+			case w.C <- ev:
+			default: // coalesce: watcher is behind, drop
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package xenstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRemove(t *testing.T) {
+	s := New()
+	if err := s.Write(0, "/local/domain/1/xenloop", "00:16:3e:00:01:00"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(0, "/local/domain/1/xenloop")
+	if err != nil || v != "00:16:3e:00:01:00" {
+		t.Fatalf("read: %q %v", v, err)
+	}
+	if err := s.Remove(0, "/local/domain/1/xenloop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0, "/local/domain/1/xenloop"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected not-found, got %v", err)
+	}
+}
+
+func TestGuestCanOnlyTouchOwnSubtree(t *testing.T) {
+	s := New()
+	// Guest 1 writes its own advertisement: allowed.
+	if err := s.Write(1, "/local/domain/1/xenloop", "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Guest 2 cannot read or write guest 1's subtree.
+	if _, err := s.Read(2, "/local/domain/1/xenloop"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("cross-domain read: %v", err)
+	}
+	if err := s.Write(2, "/local/domain/1/evil", "y"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("cross-domain write: %v", err)
+	}
+	// Guest 2 cannot write outside per-domain subtrees.
+	if err := s.Write(2, "/vm/global", "z"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("global write by guest: %v", err)
+	}
+	// Dom0 can do all of it.
+	if _, err := s.Read(0, "/local/domain/1/xenloop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, "/vm/global", "ok"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListAndListDomains(t *testing.T) {
+	s := New()
+	_ = s.Write(0, "/local/domain/3/name", "a")
+	_ = s.Write(0, "/local/domain/1/name", "b")
+	_ = s.Write(0, "/local/domain/2/name", "c")
+	doms, err := s.ListDomains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doms) != 3 || doms[0] != "1" || doms[1] != "2" || doms[2] != "3" {
+		t.Fatalf("domains %v", doms)
+	}
+	if _, err := s.ListDomains(5); !errors.Is(err, ErrPermission) {
+		t.Fatalf("guest enumerated domains: %v", err)
+	}
+	kids, err := s.List(0, "/local/domain/3")
+	if err != nil || len(kids) != 1 || kids[0] != "name" {
+		t.Fatalf("list children: %v %v", kids, err)
+	}
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	s := New()
+	_ = s.Write(0, "/local/domain/7/a/b/c", "deep")
+	if err := s.Remove(0, "/local/domain/7"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(0, "/local/domain/7/a/b/c") {
+		t.Fatal("descendant survived subtree removal")
+	}
+}
+
+func TestWatchFiresOnWriteAndRemove(t *testing.T) {
+	s := New()
+	w, err := s.Watch(0, "/local/domain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+	_ = s.Write(0, "/local/domain/9/xenloop", "adv")
+
+	select {
+	case ev := <-w.C:
+		if ev.Type != EventWrite || ev.Path != "/local/domain/9/xenloop" {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("write event not delivered")
+	}
+
+	_ = s.Remove(0, "/local/domain/9")
+	select {
+	case ev := <-w.C:
+		if ev.Type != EventRemove {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("remove event not delivered")
+	}
+}
+
+func TestWatchDoesNotFireOutsideSubtree(t *testing.T) {
+	s := New()
+	w, _ := s.Watch(0, "/local/domain/1")
+	defer w.Cancel()
+	_ = s.Write(0, "/local/domain/10/name", "x") // sibling prefix, not descendant
+	select {
+	case ev := <-w.C:
+		t.Fatalf("unexpected event %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := New()
+	if err := s.Write(0, "relative/path", "v"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("relative path accepted: %v", err)
+	}
+	if err := s.Write(0, "/a//b", "v"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("empty component accepted: %v", err)
+	}
+	if err := s.Remove(0, "/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("root removal accepted: %v", err)
+	}
+}
+
+func TestDomainPathHelper(t *testing.T) {
+	if DomainPath(12) != "/local/domain/12" {
+		t.Fatalf("DomainPath: %q", DomainPath(12))
+	}
+}
