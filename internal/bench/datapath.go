@@ -1,0 +1,106 @@
+// Datapath microbenchmarks: how fast the refactored buffer/FIFO machinery
+// itself runs, independent of the paper's workloads. cmd/xlbench emits the
+// result as BENCH_datapath.json so regressions in the batched datapath are
+// visible across commits.
+package bench
+
+import (
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/fifo"
+	"repro/internal/testbed"
+)
+
+// DatapathResult aggregates the datapath microbenchmarks.
+type DatapathResult struct {
+	// FIFO producer/consumer cycle, 1500-byte packets.
+	FIFOSingleNsPerPkt float64 `json:"fifo_single_ns_per_pkt"` // Push + Pop (fresh buffer)
+	FIFOBatchNsPerPkt  float64 `json:"fifo_batch_ns_per_pkt"`  // PushBatch + DrainInto, batch of 32
+	FIFOBatchSpeedup   float64 `json:"fifo_batch_speedup"`
+
+	// XenLoop channel end to end (UDP_RR and UDP stream on a pair).
+	ChannelRTTMicros  float64 `json:"channel_rtt_us"`
+	ChannelStreamMbps float64 `json:"channel_stream_mbps"`
+
+	// Shared buffer pool traffic during the run.
+	PoolGets     uint64 `json:"pool_gets"`
+	PoolPuts     uint64 `json:"pool_puts"`
+	PoolOversize uint64 `json:"pool_oversize"`
+}
+
+const (
+	datapathPktSize = 1500
+	datapathBatch   = 32
+)
+
+// fifoSingleNs times the per-packet Push/Pop cycle.
+func fifoSingleNs(iters int) float64 {
+	f := fifo.Attach(fifo.NewDescriptor(fifo.DefaultSizeBytes))
+	p := make([]byte, datapathPktSize)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f.Push(p)
+		f.Pop()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// fifoBatchNs times the batched PushBatch/DrainInto cycle, per packet.
+func fifoBatchNs(iters int) float64 {
+	f := fifo.Attach(fifo.NewDescriptor(fifo.DefaultSizeBytes))
+	p := make([]byte, datapathPktSize)
+	batch := make([][]byte, datapathBatch)
+	for i := range batch {
+		batch[i] = p
+	}
+	rounds := iters / datapathBatch
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		f.PushBatch(batch)
+		f.DrainInto(func([]byte) bool { return true })
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds*datapathBatch)
+}
+
+// Datapath runs the microbenchmarks. The FIFO cycles run in-process; the
+// channel numbers come from a XenLoop pair under o's cost model.
+func Datapath(o ExpOptions) (DatapathResult, error) {
+	o = o.withDefaults()
+	var r DatapathResult
+
+	const fifoIters = 200_000
+	// Warm the pools so the measurements see steady state.
+	fifoSingleNs(fifoIters / 10)
+	fifoBatchNs(fifoIters / 10)
+	r.FIFOSingleNsPerPkt = fifoSingleNs(fifoIters)
+	r.FIFOBatchNsPerPkt = fifoBatchNs(fifoIters)
+	if r.FIFOBatchNsPerPkt > 0 {
+		r.FIFOBatchSpeedup = r.FIFOSingleNsPerPkt / r.FIFOBatchNsPerPkt
+	}
+
+	gets0, puts0, over0 := buf.PoolStats()
+	p, err := o.pair(testbed.XenLoop)
+	if err != nil {
+		return r, err
+	}
+	rr, err := UDPRR(p, o.Duration)
+	if err != nil {
+		p.Close()
+		return r, err
+	}
+	r.ChannelRTTMicros = float64(rr.AvgRTT.Nanoseconds()) / 1e3
+	st, err := UDPStream(p, netperfUDPMsg, o.Duration)
+	if err != nil {
+		p.Close()
+		return r, err
+	}
+	r.ChannelStreamMbps = st.Mbps
+	p.Close()
+
+	gets1, puts1, over1 := buf.PoolStats()
+	r.PoolGets = gets1 - gets0
+	r.PoolPuts = puts1 - puts0
+	r.PoolOversize = over1 - over0
+	return r, nil
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// BenchmarkChannelRoundTrip measures one UDP request/response round trip
+// across a XenLoop channel pair (the core.Channel send → FIFO → batched
+// drain → InjectIP path in both directions).
+func BenchmarkChannelRoundTrip(b *testing.B) {
+	o := ExpOptions{}.withDefaults()
+	p, err := o.pair(testbed.XenLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	// One warm-up transaction so channel setup is outside the timer.
+	if _, err := UDPRRN(p, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := UDPRRN(p, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

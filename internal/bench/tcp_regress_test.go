@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/testbed"
+)
+
+// TestTCPNetfrontBulkStreamCompletes is the end-to-end regression for the
+// go-back-N wedge (see TestTCPAckAcceptedAfterGoBackNRewind in
+// internal/netstack): a bulk TCP stream through the netfront/netback path
+// must finish within a generous deadline instead of dying of
+// retransmission retries while the in-flight ACK is discarded.
+func TestTCPNetfrontBulkStreamCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated bulk-transfer test")
+	}
+	o := ExpOptions{Model: costmodel.Calibrated(), Duration: 250 * time.Millisecond, Iters: 30}
+	p, err := o.pair(testbed.NetfrontNetback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	type res struct {
+		r   BandwidthResult
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		r, err := TCPStreamBytes(p, 16<<10, 8<<20)
+		done <- res{r, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("bulk stream failed: %v", out.err)
+		}
+		if out.r.Bytes < 8<<20 {
+			t.Fatalf("receiver saw %d bytes, want >= %d", out.r.Bytes, 8<<20)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("bulk TCP stream through netfront wedged")
+	}
+}

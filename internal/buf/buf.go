@@ -1,0 +1,150 @@
+// Package buf provides the reference-counted, pooled packet buffers the
+// datapath is built on. Every layer that used to allocate a fresh []byte
+// per packet — the netstack output path, the FIFO receive drain, the split
+// driver's rings — now leases a Buffer from a shared size-classed pool and
+// releases it when its copy of the packet is no longer referenced.
+//
+// The lease protocol (documented in DESIGN.md "Datapath and buffer
+// lifecycle"):
+//
+//   - Get/FromBytes return a Buffer with one reference owned by the caller.
+//   - Passing a Buffer to another layer transfers that reference unless the
+//     API says otherwise; the receiver must eventually Release it.
+//   - A layer that stores the Buffer beyond the call (waiting lists,
+//     receive queues) calls Retain first if it does not own the reference.
+//   - Release returns the buffer to its pool when the count reaches zero;
+//     using a Buffer after its last Release is a bug, and the refcount
+//     panics on double-release to surface it early.
+//
+// Buffers are size-classed so a pooled buffer is found for every packet the
+// system carries (control frames through TSO-sized segments and maximum
+// IPv4 datagrams); oversized requests fall back to plain allocation but
+// still honor the lease API.
+package buf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes, chosen for the packet populations the datapath carries:
+// control/ACK frames, MTU-sized frames, TSO segments (ring.SlotBytes is
+// 33280), and maximum IPv4 datagrams plus link headers.
+var classSizes = [...]int{512, 2048, 9216, 33536, 66048}
+
+// pools holds one sync.Pool per size class.
+var pools [len(classSizes)]sync.Pool
+
+func init() {
+	for i := range pools {
+		size := classSizes[i]
+		class := int8(i)
+		pools[i].New = func() any {
+			return &Buffer{backing: make([]byte, size), class: class}
+		}
+	}
+}
+
+// poolStats counts pool traffic for tests and the bench harness.
+var poolStats struct {
+	gets     atomic.Uint64
+	puts     atomic.Uint64
+	oversize atomic.Uint64
+}
+
+// PoolStats reports (gets, puts, oversize allocations) since process start.
+func PoolStats() (gets, puts, oversize uint64) {
+	return poolStats.gets.Load(), poolStats.puts.Load(), poolStats.oversize.Load()
+}
+
+// Buffer is one leased packet buffer. The zero value is not usable; obtain
+// Buffers from Get or FromBytes.
+type Buffer struct {
+	backing []byte
+	n       int
+	class   int8 // pool index, or -1 for an oversized plain allocation
+	refs    atomic.Int32
+}
+
+// classFor returns the smallest size class holding n bytes, or -1.
+func classFor(n int) int8 {
+	for i, s := range classSizes {
+		if n <= s {
+			return int8(i)
+		}
+	}
+	return -1
+}
+
+// Get leases a buffer with exactly n valid bytes (contents undefined) and
+// one reference owned by the caller.
+func Get(n int) *Buffer {
+	poolStats.gets.Add(1)
+	class := classFor(n)
+	var b *Buffer
+	if class < 0 {
+		poolStats.oversize.Add(1)
+		b = &Buffer{backing: make([]byte, n), class: -1}
+	} else {
+		b = pools[class].Get().(*Buffer)
+	}
+	b.n = n
+	b.refs.Store(1)
+	return b
+}
+
+// FromBytes leases a buffer holding a copy of p.
+func FromBytes(p []byte) *Buffer {
+	b := Get(len(p))
+	copy(b.backing, p)
+	return b
+}
+
+// Bytes returns the valid portion of the buffer. The slice is only valid
+// while the caller holds a reference.
+func (b *Buffer) Bytes() []byte { return b.backing[:b.n] }
+
+// Len returns the number of valid bytes.
+func (b *Buffer) Len() int { return b.n }
+
+// Cap returns the buffer capacity (the size class).
+func (b *Buffer) Cap() int { return len(b.backing) }
+
+// Resize changes the valid length without reallocating; n must not exceed
+// Cap. It returns the buffer for chaining.
+func (b *Buffer) Resize(n int) *Buffer {
+	if n < 0 || n > len(b.backing) {
+		panic(fmt.Sprintf("buf: Resize(%d) outside capacity %d", n, len(b.backing)))
+	}
+	b.n = n
+	return b
+}
+
+// Retain adds a reference and returns the buffer for chaining. Each Retain
+// obliges one further Release.
+func (b *Buffer) Retain() *Buffer {
+	if b.refs.Add(1) <= 1 {
+		panic("buf: Retain on a released buffer")
+	}
+	return b
+}
+
+// Release drops one reference; the last release returns the buffer to its
+// pool. Releasing more often than retained panics — a loud failure beats a
+// silently recycled packet.
+func (b *Buffer) Release() {
+	switch refs := b.refs.Add(-1); {
+	case refs > 0:
+		return
+	case refs < 0:
+		panic("buf: Release of an already-released buffer")
+	}
+	if b.class >= 0 {
+		poolStats.puts.Add(1)
+		pools[b.class].Put(b)
+	}
+}
+
+// Refs reports the current reference count (diagnostics and tests).
+func (b *Buffer) Refs() int32 { return b.refs.Load() }

@@ -1,0 +1,139 @@
+package buf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetReleaseRoundTrip(t *testing.T) {
+	b := Get(100)
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("Refs = %d, want 1", b.Refs())
+	}
+	copy(b.Bytes(), "hello")
+	b.Release()
+}
+
+func TestFromBytesCopies(t *testing.T) {
+	src := []byte("packet data")
+	b := FromBytes(src)
+	defer b.Release()
+	src[0] = 'X'
+	if string(b.Bytes()) != "packet data" {
+		t.Fatalf("FromBytes aliased the source: %q", b.Bytes())
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 512, 513, 2048, 9216, 33280, 65535, 66048} {
+		b := Get(n)
+		if b.Len() != n {
+			t.Fatalf("Get(%d).Len() = %d", n, b.Len())
+		}
+		if b.Cap() < n {
+			t.Fatalf("Get(%d).Cap() = %d", n, b.Cap())
+		}
+		b.Release()
+	}
+}
+
+func TestOversizedAllocation(t *testing.T) {
+	_, _, before := PoolStats()
+	b := Get(1 << 20)
+	if b.Len() != 1<<20 {
+		t.Fatalf("oversize Len = %d", b.Len())
+	}
+	_, _, after := PoolStats()
+	if after != before+1 {
+		t.Fatalf("oversize counter did not advance: %d -> %d", before, after)
+	}
+	b.Release() // must not panic even though it cannot be pooled
+}
+
+func TestRetainKeepsBufferAlive(t *testing.T) {
+	b := Get(64)
+	b.Retain()
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("Refs after retain+release = %d, want 1", b.Refs())
+	}
+	b.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Get(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	b := Get(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after final Release did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestResizeBounds(t *testing.T) {
+	b := Get(100)
+	defer b.Release()
+	b.Resize(50)
+	if b.Len() != 50 {
+		t.Fatalf("Len after Resize = %d", b.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resize beyond capacity did not panic")
+		}
+	}()
+	b.Resize(b.Cap() + 1)
+}
+
+func TestConcurrentLeases(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := Get(1500)
+				b.Bytes()[0] = seed
+				b.Retain()
+				if b.Bytes()[0] != seed {
+					panic("buffer contents raced")
+				}
+				b.Release()
+				b.Release()
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(1500)
+		buf.Release()
+	}
+}
+
+func BenchmarkMakeBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		sink = make([]byte, 1500)
+	}
+	_ = sink
+}

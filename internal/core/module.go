@@ -66,15 +66,16 @@ func (c Config) withDefaults() Config {
 
 // Stats are the module's always-on counters.
 type Stats struct {
-	PktsChannel    atomic.Uint64 // sent through a XenLoop channel
-	BytesChannel   atomic.Uint64
-	PktsStandard   atomic.Uint64 // to a co-resident peer but via netfront
-	PktsWaiting    atomic.Uint64 // queued on a waiting list
-	PktsTooLarge   atomic.Uint64 // exceeded FIFO capacity
-	PktsReceived   atomic.Uint64 // popped from channels and injected
-	ChannelsOpened atomic.Uint64
-	ChannelsClosed atomic.Uint64
-	SavedResent    atomic.Uint64 // packets resent after migration
+	PktsChannel     atomic.Uint64 // sent through a XenLoop channel
+	BytesChannel    atomic.Uint64
+	PktsStandard    atomic.Uint64 // to a co-resident peer but via netfront
+	PktsWaiting     atomic.Uint64 // queued on a waiting list
+	WaitingDepthMax atomic.Uint64 // high-water mark of any channel's waiting list
+	PktsTooLarge    atomic.Uint64 // exceeded FIFO capacity
+	PktsReceived    atomic.Uint64 // popped from channels and injected
+	ChannelsOpened  atomic.Uint64
+	ChannelsClosed  atomic.Uint64
+	SavedResent     atomic.Uint64 // packets resent after migration
 }
 
 // Module is the XenLoop kernel module of one guest VM.
@@ -204,7 +205,7 @@ func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
 		m.stats.PktsStandard.Add(1)
 		return netstack.VerdictAccept
 	}
-	return ch.send(op.Datagram)
+	return ch.send(op)
 }
 
 // controlInput handles XenLoop-type frames: discovery announcements from

@@ -155,6 +155,26 @@ func (m *Model) Charge(d time.Duration) {
 	spinWait(d)
 }
 
+// ChargeExclusive blocks the calling goroutine for d of simulated work
+// without yielding the processor. Hypervisor-context operations —
+// hypercalls, event-channel upcalls, domain switches — execute with the
+// CPU held: no guest work runs on that core until they finish. Charge's
+// cooperative spin would let other goroutines absorb the delay (fine for
+// preemptible kernel/user work, wrong here), so these ops burn the
+// scheduler slot for the full duration instead. Callers must not hold
+// locks a spinning peer could need, and durations must stay far below the
+// Go runtime's preemption quantum; the calibrated values are all under
+// 20µs.
+func (m *Model) ChargeExclusive(d time.Duration) {
+	if !m.enabled() || d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		// Hot spin: consume the CPU the way hypervisor code would.
+	}
+}
+
 // ChargeCopy charges the cost of copying n bytes of packet data.
 func (m *Model) ChargeCopy(n int) {
 	if !m.enabled() {

@@ -1,0 +1,182 @@
+package fifo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPushBatchDrainIntoRoundTrip(t *testing.T) {
+	f := Attach(NewDescriptor(8192))
+	var pkts [][]byte
+	for i := 0; i < 20; i++ {
+		p := make([]byte, 1+rand.Intn(200))
+		rand.Read(p)
+		pkts = append(pkts, p)
+	}
+	n, err := f.PushBatch(pkts)
+	if err != nil || n != len(pkts) {
+		t.Fatalf("PushBatch: n=%d err=%v", n, err)
+	}
+	i := 0
+	got := f.DrainInto(func(view []byte) bool {
+		if !bytes.Equal(view, pkts[i]) {
+			t.Fatalf("packet %d mismatch: %d bytes vs %d", i, len(view), len(pkts[i]))
+		}
+		i++
+		return true
+	})
+	if got != len(pkts) {
+		t.Fatalf("drained %d, want %d", got, len(pkts))
+	}
+	if !f.Empty() {
+		t.Fatal("fifo not empty after drain")
+	}
+}
+
+func TestPushBatchPartialOnFull(t *testing.T) {
+	f := Attach(NewDescriptor(64 * WordBytes)) // minimum: 64 words
+	// Each 56-byte packet costs 1+7=8 words; 8 fit at most, 7 with the
+	// one-word slack the full/empty distinction requires.
+	p := make([]byte, 56)
+	pkts := make([][]byte, 12)
+	for i := range pkts {
+		pkts[i] = p
+	}
+	n, err := f.PushBatch(pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n >= len(pkts) {
+		t.Fatalf("expected a partial batch, pushed %d of %d", n, len(pkts))
+	}
+	drained := f.DrainInto(func([]byte) bool { return true })
+	if drained != n {
+		t.Fatalf("drained %d, want %d", drained, n)
+	}
+	// With space freed the remainder fits.
+	m, err := f.PushBatch(pkts[n:])
+	if err != nil || m != len(pkts)-n {
+		t.Fatalf("second batch: m=%d err=%v", m, err)
+	}
+}
+
+func TestPushBatchTooLargeStopsBatch(t *testing.T) {
+	f := Attach(NewDescriptor(1024))
+	huge := make([]byte, f.MaxPacket()+1)
+	n, err := f.PushBatch([][]byte{{1}, {2}, huge, {3}})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err=%v, want ErrTooLarge", err)
+	}
+	if n != 2 {
+		t.Fatalf("pushed %d before the oversized packet, want 2", n)
+	}
+}
+
+func TestPushBatchInactive(t *testing.T) {
+	f := Attach(NewDescriptor(1024))
+	f.Descriptor().Inactive.Store(true)
+	if _, err := f.PushBatch([][]byte{{1}}); !errors.Is(err, ErrInactive) {
+		t.Fatalf("err=%v, want ErrInactive", err)
+	}
+}
+
+func TestDrainIntoEarlyStop(t *testing.T) {
+	f := Attach(NewDescriptor(4096))
+	for i := 0; i < 5; i++ {
+		if ok, err := f.Push([]byte{byte(i)}); !ok || err != nil {
+			t.Fatal("push failed")
+		}
+	}
+	n := f.DrainInto(func(view []byte) bool { return view[0] < 2 })
+	if n != 3 {
+		t.Fatalf("drained %d, want 3 (stop packet is still consumed)", n)
+	}
+	rest := f.DrainInto(func([]byte) bool { return true })
+	if rest != 2 {
+		t.Fatalf("remainder %d, want 2", rest)
+	}
+}
+
+func TestDrainIntoWrappedPacket(t *testing.T) {
+	f := Attach(NewDescriptor(64 * WordBytes))
+	// Walk the indices around the ring so packets land on the wrap edge.
+	big := make([]byte, 200)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for round := 0; round < 50; round++ {
+		if ok, err := f.Push(big); !ok || err != nil {
+			t.Fatalf("round %d: push %v %v", round, ok, err)
+		}
+		n := f.DrainInto(func(view []byte) bool {
+			if !bytes.Equal(view, big) {
+				t.Fatalf("round %d: wrapped packet corrupted", round)
+			}
+			return true
+		})
+		if n != 1 {
+			t.Fatalf("round %d: drained %d", round, n)
+		}
+	}
+}
+
+func TestCanFit(t *testing.T) {
+	f := Attach(NewDescriptor(64 * WordBytes))
+	if !f.CanFit(100) {
+		t.Fatal("empty fifo cannot fit a packet")
+	}
+	if f.CanFit(f.MaxPacket() + 1) {
+		t.Fatal("oversized packet reported as fitting")
+	}
+	fill := make([]byte, f.MaxPacket())
+	if ok, _ := f.Push(fill); !ok {
+		t.Fatal("fill push failed")
+	}
+	if f.CanFit(64) {
+		t.Fatal("full fifo reported space")
+	}
+}
+
+// TestBatchConcurrent drives a producer using PushBatch against a consumer
+// using DrainInto and checks ordered, lossless delivery.
+func TestBatchConcurrent(t *testing.T) {
+	f := Attach(NewDescriptor(2048))
+	const total = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := 0
+		for seq < total {
+			batch := make([][]byte, 0, 16)
+			for i := 0; i < 16 && seq+i < total; i++ {
+				batch = append(batch, []byte(fmt.Sprintf("pkt-%06d", seq+i)))
+			}
+			n, err := f.PushBatch(batch)
+			if err != nil {
+				t.Errorf("push: %v", err)
+				return
+			}
+			seq += n
+		}
+	}()
+	got := 0
+	for got < total {
+		if f.DrainInto(func(view []byte) bool {
+			want := fmt.Sprintf("pkt-%06d", got)
+			if string(view) != want {
+				t.Fatalf("got %q, want %q", view, want)
+			}
+			got++
+			return true
+		}) == 0 {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}

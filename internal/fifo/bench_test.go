@@ -1,0 +1,74 @@
+package fifo
+
+import "testing"
+
+// The batched benchmarks quantify what the datapath refactor buys: one
+// lock round and one index publish per batch instead of per packet, and
+// in-place drain views instead of a fresh allocation per Pop.
+
+const benchPktSize = 1500
+const benchBatch = 32
+
+func benchPayload() []byte {
+	p := make([]byte, benchPktSize)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return p
+}
+
+// BenchmarkSinglePushPop is the old per-packet datapath: Push one packet,
+// Pop it into a fresh buffer.
+func BenchmarkSinglePushPop(b *testing.B) {
+	f := Attach(NewDescriptor(DefaultSizeBytes))
+	p := benchPayload()
+	b.SetBytes(benchPktSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := f.Push(p); !ok || err != nil {
+			b.Fatalf("push: %v %v", ok, err)
+		}
+		if _, ok := f.Pop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+// BenchmarkBatchPushDrain is the refactored datapath: PushBatch a batch,
+// DrainInto with in-place views. Reported per packet for comparability.
+func BenchmarkBatchPushDrain(b *testing.B) {
+	f := Attach(NewDescriptor(DefaultSizeBytes))
+	p := benchPayload()
+	batch := make([][]byte, benchBatch)
+	for i := range batch {
+		batch[i] = p
+	}
+	b.SetBytes(benchPktSize * benchBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := f.PushBatch(batch)
+		if err != nil || n != benchBatch {
+			b.Fatalf("push batch: n=%d err=%v", n, err)
+		}
+		if got := f.DrainInto(func([]byte) bool { return true }); got != benchBatch {
+			b.Fatalf("drained %d", got)
+		}
+	}
+}
+
+// BenchmarkSinglePushDrain isolates the consumer side: per-packet Push
+// with batched drain.
+func BenchmarkSinglePushDrain(b *testing.B) {
+	f := Attach(NewDescriptor(DefaultSizeBytes))
+	p := benchPayload()
+	b.SetBytes(benchPktSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := f.Push(p); !ok || err != nil {
+			b.Fatalf("push: %v %v", ok, err)
+		}
+		if got := f.DrainInto(func([]byte) bool { return true }); got != 1 {
+			b.Fatalf("drained %d", got)
+		}
+	}
+}

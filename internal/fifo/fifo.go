@@ -16,6 +16,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/buf"
 )
 
 // WordBytes is the FIFO entry granularity.
@@ -109,6 +111,11 @@ func wordsFor(n int) uint32 { return 1 + uint32((n+WordBytes-1)/WordBytes) }
 // ErrTooLarge if the packet can never fit, and (nil, false) — no error,
 // not pushed — when the FIFO currently lacks space (caller queues on its
 // waiting list).
+//
+// Ownership contract: Push copies p into the FIFO (the sender-side copy of
+// the paper's two-copy data path) and never retains p; the caller keeps
+// ownership and may reuse or release the backing buffer as soon as Push
+// returns, whatever the result.
 func (f *FIFO) Push(p []byte) (bool, error) {
 	d := f.desc
 	if d.Inactive.Load() {
@@ -125,15 +132,67 @@ func (f *FIFO) Push(p []byte) (bool, error) {
 	if need > free {
 		return false, nil
 	}
+	f.writeEntry(back, p)
+	// Publish: the store to back makes the entry visible to the consumer.
+	d.back.Store(back + need)
+	return true, nil
+}
+
+// PushBatch appends packets in order until the FIFO runs out of space,
+// returning how many were pushed. The front index is read once and the
+// back index published once for the whole batch, amortizing the shared
+// atomics that Push pays per packet. Like Push it copies every packet and
+// retains none of them. A packet that can never fit stops the batch with
+// ErrTooLarge (pkts[n] is the offender); ErrInactive reports teardown.
+func (f *FIFO) PushBatch(pkts [][]byte) (int, error) {
+	d := f.desc
+	if d.Inactive.Load() {
+		return 0, ErrInactive
+	}
+	f.prodMu.Lock()
+	defer f.prodMu.Unlock()
+	back := d.back.Load()
+	free := d.sizeWords - (back - d.front.Load())
+	n := 0
+	var err error
+	for _, p := range pkts {
+		need := wordsFor(len(p))
+		if need > d.sizeWords {
+			err = ErrTooLarge
+			break
+		}
+		if need > free {
+			break
+		}
+		f.writeEntry(back, p)
+		back += need
+		free -= need
+		n++
+	}
+	if n > 0 {
+		d.back.Store(back)
+	}
+	return n, err
+}
+
+// writeEntry stores one metadata word plus payload at back. Caller holds
+// prodMu and has verified space.
+func (f *FIFO) writeEntry(back uint32, p []byte) {
 	// Metadata word: magic | length | sequence-low (diagnostics).
 	var meta [WordBytes]byte
 	binary.LittleEndian.PutUint16(meta[0:2], entryMagic)
 	binary.LittleEndian.PutUint32(meta[2:6], uint32(len(p)))
 	f.writeWords(back, meta[:])
 	f.writeWords(back+1, p)
-	// Publish: the store to back makes the entry visible to the consumer.
-	d.back.Store(back + need)
-	return true, nil
+}
+
+// CanFit reports whether an n-byte packet would fit right now. A producer
+// that queued packets and set the waiting flag re-checks with CanFit to
+// close the race where the consumer freed space (and tested the flag)
+// between the failed push and the flag store.
+func (f *FIFO) CanFit(n int) bool {
+	d := f.desc
+	return wordsFor(n) <= d.sizeWords-(d.back.Load()-d.front.Load())
 }
 
 // Pop removes the next packet into a fresh buffer (the receiver-side copy
@@ -153,6 +212,72 @@ func (f *FIFO) Pop() ([]byte, bool) {
 // back-pressures the sender. Kept for the ablation benchmarks.
 func (f *FIFO) PopZeroCopy(fn func(p []byte)) bool {
 	return f.pop(fn)
+}
+
+// drainPublishQuarter bounds how much consumed space DrainInto
+// accumulates (a quarter ring) before publishing the front index
+// mid-batch, so a long drain does not starve the producer of the space it
+// has already freed.
+const drainPublishQuarter = 4
+
+// DrainInto pops every packet currently in the FIFO, handing each to fn
+// as a view directly into the ring — no per-packet allocation, no copy
+// unless the packet wraps the ring edge (then it is staged through a
+// pooled buffer). The view is valid only for the duration of the call;
+// fn must copy anything it stashes. Every packet handed to fn is
+// consumed; fn returning false stops the drain early. The front index is
+// published once per quarter-ring of consumed space rather than per
+// packet, amortizing the shared atomics. Returns the number of packets
+// drained.
+func (f *FIFO) DrainInto(fn func(view []byte) bool) int {
+	d := f.desc
+	f.consMu.Lock()
+	defer f.consMu.Unlock()
+	front := d.front.Load()
+	lastPub := front
+	back := d.back.Load()
+	publishQuantum := d.sizeWords / drainPublishQuarter
+	n := 0
+	cont := true
+	for cont {
+		if front == back {
+			back = d.back.Load() // refresh: packets may have landed mid-drain
+			if front == back {
+				break
+			}
+		}
+		var meta [WordBytes]byte
+		f.readWords(front, meta[:])
+		if binary.LittleEndian.Uint16(meta[0:2]) != entryMagic {
+			// Corrupted entry: resynchronize by draining everything (see pop).
+			front = d.back.Load()
+			break
+		}
+		length := int(binary.LittleEndian.Uint32(meta[2:6]))
+		off := int((front+1)&d.mask) * WordBytes
+		if off+length <= len(d.data) {
+			cont = fn(d.data[off : off+length])
+		} else {
+			// Wrapped packet: stage through a pooled buffer, not a fresh
+			// allocation.
+			b := buf.Get(length)
+			s := b.Bytes()
+			c := copy(s, d.data[off:])
+			copy(s[c:], d.data)
+			cont = fn(s)
+			b.Release()
+		}
+		front += wordsFor(length)
+		n++
+		if front-lastPub >= publishQuantum {
+			d.front.Store(front)
+			lastPub = front
+		}
+	}
+	if front != lastPub {
+		d.front.Store(front)
+	}
+	return n
 }
 
 func (f *FIFO) pop(fn func(p []byte)) bool {

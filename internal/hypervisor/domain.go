@@ -36,19 +36,28 @@ func (s DomainState) String() string {
 	}
 }
 
+// machineIdentity is a domain's machine-local identity: everything that is
+// destroyed and re-created when the guest moves to another machine. The
+// tuple is immutable once published; migration swaps the whole pointer so
+// concurrent readers always observe a coherent (machine, ID, grant table,
+// event channels, CPU) set rather than a half-migrated mix.
+type machineIdentity struct {
+	hv     *Hypervisor
+	id     DomID
+	grants *grantTable
+	events *eventChannels
+	cpu    *vcpu
+}
+
 // Domain is one virtual machine. A Domain survives migration: its ID,
 // grant table and event channels are machine-local and are replaced, but
 // the Domain value (and everything the guest OS keeps in memory — its
 // network stack, sockets, application goroutines) persists.
 type Domain struct {
-	hv     *Hypervisor
-	id     DomID
-	name   string
-	grants *grantTable
-	events *eventChannels
-	mem    *mem.Allocator
-	cpu    *vcpu
-	state  atomic.Int32
+	ident atomic.Pointer[machineIdentity]
+	name  string
+	mem   *mem.Allocator
+	state atomic.Int32
 
 	work chan func()
 	quit chan struct{}
@@ -59,14 +68,17 @@ type Domain struct {
 	preStop     []func()
 }
 
+// mi returns the current machine-local identity snapshot.
+func (d *Domain) mi() *machineIdentity { return d.ident.Load() }
+
 // ID returns the domain's current machine-local ID.
-func (d *Domain) ID() DomID { return d.id }
+func (d *Domain) ID() DomID { return d.mi().id }
 
 // Name returns the guest's name (stable across migration).
 func (d *Domain) Name() string { return d.name }
 
 // Hypervisor returns the machine currently hosting the domain.
-func (d *Domain) Hypervisor() *Hypervisor { return d.hv }
+func (d *Domain) Hypervisor() *Hypervisor { return d.mi().hv }
 
 // Memory returns the domain's page allocator.
 func (d *Domain) Memory() *mem.Allocator { return d.mem }
@@ -78,23 +90,26 @@ func (d *Domain) setState(s DomainState) { d.state.Store(int32(s)) }
 
 // StorePath returns the domain's XenStore subtree root on the current
 // machine.
-func (d *Domain) StorePath() string { return xenstore.DomainPath(uint32(d.id)) }
+func (d *Domain) StorePath() string { return xenstore.DomainPath(uint32(d.mi().id)) }
 
 // StoreWrite writes under the machine's XenStore with this domain's
 // credentials.
 func (d *Domain) StoreWrite(path, value string) error {
-	return d.hv.store.Write(uint32(d.id), path, value)
+	mi := d.mi()
+	return mi.hv.store.Write(uint32(mi.id), path, value)
 }
 
 // StoreRead reads from the machine's XenStore with this domain's
 // credentials.
 func (d *Domain) StoreRead(path string) (string, error) {
-	return d.hv.store.Read(uint32(d.id), path)
+	mi := d.mi()
+	return mi.hv.store.Read(uint32(mi.id), path)
 }
 
 // StoreRemove removes a node with this domain's credentials.
 func (d *Domain) StoreRemove(path string) error {
-	return d.hv.store.Remove(uint32(d.id), path)
+	mi := d.mi()
+	return mi.hv.store.Remove(uint32(mi.id), path)
 }
 
 // OnPreMigrate registers a callback invoked on the guest before its memory

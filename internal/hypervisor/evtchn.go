@@ -52,8 +52,9 @@ func (ec *eventChannels) closeAll() {
 // AllocUnboundPort allocates an event channel port that domain remote may
 // later bind to (EVTCHNOP_alloc_unbound). Hypercall.
 func (d *Domain) AllocUnboundPort(remote DomID) (Port, error) {
-	d.hv.hypercall()
-	ec := d.events
+	mi := d.mi()
+	mi.hv.hypercall()
+	ec := mi.events
 	ec.mu.Lock()
 	defer ec.mu.Unlock()
 	ec.next++
@@ -66,7 +67,8 @@ func (d *Domain) AllocUnboundPort(remote DomID) (Port, error) {
 // must have been allocated unbound for this domain
 // (EVTCHNOP_bind_interdomain). Hypercall.
 func (d *Domain) BindInterdomain(remoteDom DomID, remotePort Port) (Port, error) {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
 	hv.mu.Lock()
 	rd, ok := hv.domains[remoteDom]
@@ -74,29 +76,30 @@ func (d *Domain) BindInterdomain(remoteDom DomID, remotePort Port) (Port, error)
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoDomain, remoteDom)
 	}
-	rd.events.mu.Lock()
-	rp, ok := rd.events.ports[remotePort]
-	if !ok || rp.state != portUnbound || rp.allowedDom != d.id {
-		rd.events.mu.Unlock()
-		return 0, fmt.Errorf("%w: remote %d port %d not bindable by %d", ErrBadPort, remoteDom, remotePort, d.id)
+	rec := rd.mi().events
+	rec.mu.Lock()
+	rp, ok := rec.ports[remotePort]
+	if !ok || rp.state != portUnbound || rp.allowedDom != mi.id {
+		rec.mu.Unlock()
+		return 0, fmt.Errorf("%w: remote %d port %d not bindable by %d", ErrBadPort, remoteDom, remotePort, mi.id)
 	}
-	ec := d.events
+	ec := mi.events
 	ec.mu.Lock()
 	ec.next++
 	local := ec.next
 	ec.ports[local] = &evtPort{state: portInterdomain, remoteDom: remoteDom, remotePort: remotePort}
 	ec.mu.Unlock()
 	rp.state = portInterdomain
-	rp.remoteDom = d.id
+	rp.remoteDom = mi.id
 	rp.remotePort = local
-	rd.events.mu.Unlock()
+	rec.mu.Unlock()
 	return local, nil
 }
 
 // SetEventHandler installs the upcall for a local port. The handler runs
 // in the domain's event-dispatch context.
 func (d *Domain) SetEventHandler(port Port, handler func()) error {
-	ec := d.events
+	ec := d.mi().events
 	ec.mu.Lock()
 	defer ec.mu.Unlock()
 	p, ok := ec.ports[port]
@@ -112,9 +115,10 @@ func (d *Domain) SetEventHandler(port Port, handler func()) error {
 // domain switch at the receiver. Notifications coalesce while one is
 // pending.
 func (d *Domain) NotifyPort(port Port) error {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	ec := d.events
+	ec := mi.events
 	ec.mu.Lock()
 	p, ok := ec.ports[port]
 	if !ok || p.state != portInterdomain {
@@ -130,13 +134,14 @@ func (d *Domain) NotifyPort(port Port) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoDomain, remoteDom)
 	}
-	rd.events.mu.Lock()
-	rp, ok := rd.events.ports[remotePort]
+	rec := rd.mi().events
+	rec.mu.Lock()
+	rp, ok := rec.ports[remotePort]
 	var handler func()
 	if ok {
 		handler = rp.handler
 	}
-	rd.events.mu.Unlock()
+	rec.mu.Unlock()
 	if !ok || handler == nil {
 		return nil // port vanished or no handler yet; event is lost (1-bit semantics)
 	}
@@ -146,9 +151,9 @@ func (d *Domain) NotifyPort(port Port) error {
 	hv.counters.Events.Add(1)
 	rd.exec(func() {
 		rp.pending.Store(false)
-		rdhv := rd.hv
+		rdhv := rd.mi().hv
 		rdhv.schedule(rd)
-		rdhv.model.Charge(rdhv.model.EventDispatch)
+		rdhv.model.ChargeExclusive(rdhv.model.EventDispatch)
 		handler()
 	})
 	return nil
@@ -157,9 +162,10 @@ func (d *Domain) NotifyPort(port Port) error {
 // ClosePort closes a local port and disconnects the remote end
 // (EVTCHNOP_close). Hypercall.
 func (d *Domain) ClosePort(port Port) error {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	ec := d.events
+	ec := mi.events
 	ec.mu.Lock()
 	p, ok := ec.ports[port]
 	if !ok {
@@ -177,11 +183,12 @@ func (d *Domain) ClosePort(port Port) error {
 		rd, ok := hv.domains[remoteDom]
 		hv.mu.Unlock()
 		if ok {
-			rd.events.mu.Lock()
-			if rp, ok := rd.events.ports[remotePort]; ok && rp.remoteDom == d.id {
+			rec := rd.mi().events
+			rec.mu.Lock()
+			if rp, ok := rec.ports[remotePort]; ok && rp.remoteDom == mi.id {
 				rp.state = portClosed
 			}
-			rd.events.mu.Unlock()
+			rec.mu.Unlock()
 		}
 	}
 	return nil
@@ -189,7 +196,7 @@ func (d *Domain) ClosePort(port Port) error {
 
 // PortConnected reports whether a local port is connected end to end.
 func (d *Domain) PortConnected(port Port) bool {
-	ec := d.events
+	ec := d.mi().events
 	ec.mu.Lock()
 	defer ec.mu.Unlock()
 	p, ok := ec.ports[port]

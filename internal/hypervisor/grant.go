@@ -46,7 +46,7 @@ func (t *grantTable) revokeAll() {
 // GrantAccess makes obj mappable by domain `to` and returns the grant
 // reference to communicate out of band (gnttab_grant_foreign_access).
 func (d *Domain) GrantAccess(to DomID, obj any) GrantRef {
-	t := d.grants
+	t := d.mi().grants
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
@@ -59,8 +59,9 @@ func (d *Domain) GrantAccess(to DomID, obj any) GrantRef {
 // (gnttab_grant_foreign_transfer). The page is zeroed first to avoid
 // leaking data, a cost the paper calls out as a reason to prefer copying.
 func (d *Domain) GrantTransferable(to DomID, page *mem.Page) GrantRef {
-	page.Zero(d.hv.model)
-	t := d.grants
+	mi := d.mi()
+	page.Zero(mi.hv.model)
+	t := mi.grants
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
@@ -72,7 +73,7 @@ func (d *Domain) GrantTransferable(to DomID, page *mem.Page) GrantRef {
 // EndAccess revokes a grant (gnttab_end_foreign_access). It fails while
 // the peer still has the object mapped.
 func (d *Domain) EndAccess(ref GrantRef) error {
-	t := d.grants
+	t := d.mi().grants
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.entries[ref]
@@ -94,7 +95,7 @@ func (hv *Hypervisor) lookupGrant(caller DomID, granter DomID, ref GrantRef) (*g
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: granter %d", ErrNoDomain, granter)
 	}
-	t := gd.grants
+	t := gd.mi().grants
 	t.mu.Lock()
 	e, ok := t.entries[ref]
 	if !ok || e.done {
@@ -111,9 +112,10 @@ func (hv *Hypervisor) lookupGrant(caller DomID, granter DomID, ref GrantRef) (*g
 // MapGrant maps the object behind (granter, ref) into this domain's
 // address space. Hypercall + map cost.
 func (d *Domain) MapGrant(granter DomID, ref GrantRef) (any, error) {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -126,9 +128,10 @@ func (d *Domain) MapGrant(granter DomID, ref GrantRef) (any, error) {
 
 // UnmapGrant releases a prior MapGrant. Hypercall + unmap cost.
 func (d *Domain) UnmapGrant(granter DomID, ref GrantRef) error {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return err
 	}
@@ -158,9 +161,10 @@ func grantBytes(e *grantEntry) ([]byte, bool) {
 // GrantCopyIn copies from the granted object into dst (GNTTABOP_copy,
 // granted->local direction). Returns the number of bytes copied.
 func (d *Domain) GrantCopyIn(granter DomID, ref GrantRef, dst []byte, offset int) (int, error) {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return 0, err
 	}
@@ -180,9 +184,10 @@ func (d *Domain) GrantCopyIn(granter DomID, ref GrantRef, dst []byte, offset int
 // GrantCopyOut copies src into the granted object (GNTTABOP_copy,
 // local->granted direction). Returns the number of bytes copied.
 func (d *Domain) GrantCopyOut(granter DomID, ref GrantRef, src []byte, offset int) (int, error) {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return 0, err
 	}
@@ -204,9 +209,10 @@ func (d *Domain) GrantCopyOut(granter DomID, ref GrantRef, src []byte, offset in
 // hypervisor in exchange (modeled by zeroing and freeing returnPage), per
 // the protocol the paper describes in §2.
 func (d *Domain) TransferGrant(granter DomID, ref GrantRef, returnPage *mem.Page) (*mem.Page, error) {
-	hv := d.hv
+	mi := d.mi()
+	hv := mi.hv
 	hv.hypercall()
-	e, t, err := hv.lookupGrant(d.id, granter, ref)
+	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +226,7 @@ func (d *Domain) TransferGrant(granter DomID, ref GrantRef, returnPage *mem.Page
 	if returnPage != nil {
 		returnPage.Zero(hv.model)
 	}
-	page.SetOwner(int32(d.id))
+	page.SetOwner(int32(mi.id))
 	hv.counters.GrantTransfers.Add(1)
 	hv.model.Charge(hv.model.GrantTransferFixed)
 	return page, nil

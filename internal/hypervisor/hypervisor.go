@@ -145,17 +145,19 @@ func (hv *Hypervisor) newDomainLocked(name string, memPages int) *Domain {
 	id := hv.nextID
 	hv.nextID++
 	d := &Domain{
-		hv:   hv,
-		id:   id,
 		name: name,
 		mem:  mem.NewAllocator(int32(id), memPages),
 		work: make(chan func(), 1024),
 		quit: make(chan struct{}),
 	}
 	d.setState(DomainRunning)
-	d.grants = newGrantTable(d)
-	d.events = newEventChannels(d)
-	d.cpu = hv.cpus[hv.nextCPU%hv.ncpu]
+	d.ident.Store(&machineIdentity{
+		hv:     hv,
+		id:     id,
+		grants: newGrantTable(d),
+		events: newEventChannels(d),
+		cpu:    hv.cpus[hv.nextCPU%hv.ncpu],
+	})
 	hv.nextCPU++
 	hv.domains[id] = d
 	base := xenstore.DomainPath(uint32(id))
@@ -168,17 +170,18 @@ func (hv *Hypervisor) newDomainLocked(name string, memPages int) *Domain {
 // destroyLocked tears a domain out of the machine: ports closed, grants
 // revoked, XenStore subtree removed.
 func (hv *Hypervisor) destroyLocked(d *Domain) {
-	d.events.closeAll()
-	d.grants.revokeAll()
-	delete(hv.domains, d.id)
-	_ = hv.store.Remove(0, xenstore.DomainPath(uint32(d.id)))
+	mi := d.mi()
+	mi.events.closeAll()
+	mi.grants.revokeAll()
+	delete(hv.domains, mi.id)
+	_ = hv.store.Remove(0, xenstore.DomainPath(uint32(mi.id)))
 }
 
 // DestroyDomain shuts a guest down: pre-shutdown callbacks run first (the
 // paper's XenLoop module uses this to tear channels down cleanly), then the
 // domain disappears from the machine.
 func (hv *Hypervisor) DestroyDomain(d *Domain) error {
-	if d.id == 0 {
+	if d.mi().id == 0 {
 		return fmt.Errorf("%w: cannot destroy Domain-0", ErrDomainState)
 	}
 	d.runPreStop()
@@ -196,14 +199,15 @@ func (hv *Hypervisor) DestroyDomain(d *Domain) error {
 // source machine is destroyed, it reappears on the target with a new
 // domain ID, and post-migration callbacks run there.
 func (hv *Hypervisor) Migrate(d *Domain, target *Hypervisor) error {
-	if d.id == 0 {
+	oldID := d.mi().id
+	if oldID == 0 {
 		return fmt.Errorf("%w: cannot migrate Domain-0", ErrDomainState)
 	}
 	if d.State() != DomainRunning {
-		return fmt.Errorf("%w: domain %d is %v", ErrDomainState, d.id, d.State())
+		return fmt.Errorf("%w: domain %d is %v", ErrDomainState, oldID, d.State())
 	}
 	d.setState(DomainMigrating)
-	trace.Record(trace.KindMigration, hv.Machine, "migrating %s (dom%d) to %s", d.name, d.id, target.Machine)
+	trace.Record(trace.KindMigration, hv.Machine, "migrating %s (dom%d) to %s", d.name, oldID, target.Machine)
 	d.runPreMigrate()
 
 	hv.mu.Lock()
@@ -216,11 +220,13 @@ func (hv *Hypervisor) Migrate(d *Domain, target *Hypervisor) error {
 	target.mu.Lock()
 	newID := target.nextID
 	target.nextID++
-	d.hv = target
-	d.id = newID
-	d.grants = newGrantTable(d)
-	d.events = newEventChannels(d)
-	d.cpu = target.cpus[target.nextCPU%target.ncpu]
+	d.ident.Store(&machineIdentity{
+		hv:     target,
+		id:     newID,
+		grants: newGrantTable(d),
+		events: newEventChannels(d),
+		cpu:    target.cpus[target.nextCPU%target.ncpu],
+	})
 	target.nextCPU++
 	target.domains[newID] = d
 	base := xenstore.DomainPath(uint32(newID))
@@ -239,13 +245,14 @@ func (hv *Hypervisor) Migrate(d *Domain, target *Hypervisor) error {
 // event channels, XenStore subtree, domain ID) is destroyed. The Domain
 // object itself, holding the guest's memory image, stays valid for Resume.
 func (hv *Hypervisor) Suspend(d *Domain) error {
-	if d.id == 0 {
+	id := d.mi().id
+	if id == 0 {
 		return fmt.Errorf("%w: cannot suspend Domain-0", ErrDomainState)
 	}
 	if d.State() != DomainRunning {
-		return fmt.Errorf("%w: domain %d is %v", ErrDomainState, d.id, d.State())
+		return fmt.Errorf("%w: domain %d is %v", ErrDomainState, id, d.State())
 	}
-	trace.Record(trace.KindSuspension, hv.Machine, "suspending %s (dom%d)", d.name, d.id)
+	trace.Record(trace.KindSuspension, hv.Machine, "suspending %s (dom%d)", d.name, id)
 	d.runPreMigrate()
 	hv.mu.Lock()
 	hv.destroyLocked(d)
@@ -264,11 +271,13 @@ func (hv *Hypervisor) Resume(d *Domain) error {
 	hv.mu.Lock()
 	newID := hv.nextID
 	hv.nextID++
-	d.hv = hv
-	d.id = newID
-	d.grants = newGrantTable(d)
-	d.events = newEventChannels(d)
-	d.cpu = hv.cpus[hv.nextCPU%hv.ncpu]
+	d.ident.Store(&machineIdentity{
+		hv:     hv,
+		id:     newID,
+		grants: newGrantTable(d),
+		events: newEventChannels(d),
+		cpu:    hv.cpus[hv.nextCPU%hv.ncpu],
+	})
 	hv.nextCPU++
 	hv.domains[newID] = d
 	base := xenstore.DomainPath(uint32(newID))
@@ -283,20 +292,21 @@ func (hv *Hypervisor) Resume(d *Domain) error {
 // hypercall charges one guest->hypervisor crossing.
 func (hv *Hypervisor) hypercall() {
 	hv.counters.Hypercalls.Add(1)
-	hv.model.Charge(hv.model.Hypercall)
+	hv.model.ChargeExclusive(hv.model.Hypercall)
 }
 
 // schedule accounts for domain d running on its CPU, charging a domain
 // switch when the CPU last ran someone else.
 func (hv *Hypervisor) schedule(d *Domain) {
-	c := d.cpu
+	mi := d.mi()
+	c := mi.cpu
 	c.mu.Lock()
-	switched := !c.valid || c.current != d.id
-	c.current = d.id
+	switched := !c.valid || c.current != mi.id
+	c.current = mi.id
 	c.valid = true
 	c.mu.Unlock()
 	if switched {
 		hv.counters.DomainSwitches.Add(1)
-		hv.model.Charge(hv.model.DomainSwitch)
+		hv.model.ChargeExclusive(hv.model.DomainSwitch)
 	}
 }

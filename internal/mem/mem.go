@@ -59,7 +59,12 @@ type Allocator struct {
 	used   int
 	nextID uint64
 	domain int32
+	free   []*Page // recycled pages, reused before fresh allocation
 }
+
+// maxFreeList bounds how many freed pages an allocator keeps for reuse
+// (1 MiB worth); beyond that, pages go back to the garbage collector.
+const maxFreeList = 256
 
 // NewAllocator returns an allocator for a domain with capacity totalPages;
 // totalPages <= 0 means unbounded.
@@ -67,7 +72,9 @@ func NewAllocator(domain int32, totalPages int) *Allocator {
 	return &Allocator{budget: totalPages, domain: domain}
 }
 
-// Alloc returns a zeroed page or ErrOutOfMemory.
+// Alloc returns a zeroed page or ErrOutOfMemory. Freed pages are recycled
+// (zeroed, like a real kernel scrubbing returned frames) before new
+// memory is claimed.
 func (a *Allocator) Alloc() (*Page, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -75,6 +82,14 @@ func (a *Allocator) Alloc() (*Page, error) {
 		return nil, fmt.Errorf("%w: domain %d exceeded %d pages", ErrOutOfMemory, a.domain, a.budget)
 	}
 	a.used++
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		clear(p.Data)
+		p.owner.Store(a.domain)
+		return p, nil
+	}
 	a.nextID++
 	p := &Page{ID: a.nextID, Data: make([]byte, PageSize)}
 	p.owner.Store(a.domain)
@@ -95,7 +110,7 @@ func (a *Allocator) AllocN(n int) ([]*Page, error) {
 	return pages, nil
 }
 
-// Free returns a page to the allocator.
+// Free returns a page to the allocator for later reuse.
 func (a *Allocator) Free(p *Page) {
 	if p == nil {
 		return
@@ -104,6 +119,9 @@ func (a *Allocator) Free(p *Page) {
 	defer a.mu.Unlock()
 	if a.used > 0 {
 		a.used--
+	}
+	if len(a.free) < maxFreeList {
+		a.free = append(a.free, p)
 	}
 }
 

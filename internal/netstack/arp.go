@@ -85,7 +85,10 @@ func (t *arpTable) resolveAndSend(ifc *Iface, nextHop pkt.IPv4, datagram []byte)
 		t.entries[nextHop] = e
 	}
 	if len(e.pending) < arpMaxPending {
-		e.pending = append(e.pending, pendingFrame{ifc: ifc, datagram: datagram})
+		// Copy-on-stash: datagram is backed by a pooled buffer the caller
+		// releases when resolveAndSend returns; the queued copy lives until
+		// the ARP reply flushes it.
+		e.pending = append(e.pending, pendingFrame{ifc: ifc, datagram: append([]byte(nil), datagram...)})
 	}
 	needReq := time.Since(e.lastReq) > arpRetryPeriod
 	if needReq {

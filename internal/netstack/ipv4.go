@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buf"
 	"repro/internal/pkt"
 )
 
@@ -34,10 +35,18 @@ func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
 		Src:   src,
 		Dst:   dst,
 	}
-	datagram := pkt.BuildIPv4(&hdr, payload)
+	// Build the datagram into a leased pool buffer instead of a fresh
+	// allocation: on the XenLoop fast path it is released right after the
+	// FIFO copy, on the standard path right after link transmission.
+	hdrBytes := hdr.Marshal(len(payload))
+	lease := buf.Get(len(hdrBytes) + len(payload))
+	datagram := lease.Bytes()
+	copy(datagram, hdrBytes)
+	copy(datagram[len(hdrBytes):], payload)
 
 	if ifc.loopback {
 		frame := pkt.BuildFrame(pkt.MAC{}, pkt.MAC{}, pkt.EtherTypeIPv4, datagram)
+		lease.Release()
 		return ifc.dev.Transmit(frame)
 	}
 
@@ -46,10 +55,13 @@ func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
 	hooks := s.outHooks
 	s.mu.Unlock()
 	if len(hooks) > 0 {
-		op := &OutPacket{Iface: ifc, Header: hdr, Datagram: datagram, NextHop: nextHop}
+		op := &OutPacket{Iface: ifc, Header: hdr, Datagram: datagram, NextHop: nextHop, lease: lease}
 		op.Header.TotalLen = len(datagram)
 		for _, h := range hooks {
 			if h(op) == VerdictStolen {
+				if op.lease != nil {
+					op.lease.Release() // the hook copied instead of taking it
+				}
 				return nil
 			}
 		}
@@ -61,8 +73,10 @@ func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
 	}
 	if len(payload) <= maxPayload {
 		s.arp.resolveAndSend(ifc, nextHop, datagram)
+		lease.Release()
 		return nil
 	}
+	lease.Release() // fragments are rebuilt below from the payload
 
 	// Fragment: offsets must be multiples of 8.
 	chunk := maxPayload &^ 7
@@ -181,7 +195,9 @@ func (r *reassembler) add(h pkt.IPv4Header, payload []byte) ([]byte, pkt.IPv4Hea
 		b = &reasmBuf{created: now, frags: map[int][]byte{}, totalLen: -1}
 		r.bufs[key] = b
 	}
-	b.frags[h.FragOff] = payload
+	// Copy-on-stash: payload may alias a FIFO view or pooled buffer that
+	// the caller recycles after ipInput returns (see InjectIP).
+	b.frags[h.FragOff] = append([]byte(nil), payload...)
 	if !h.MoreFragments() {
 		b.totalLen = h.FragOff + len(payload)
 	}

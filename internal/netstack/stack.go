@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/buf"
 	"repro/internal/costmodel"
 	"repro/internal/pkt"
 )
@@ -42,6 +43,12 @@ const (
 // OutPacket is presented to output hooks: a complete IPv4 datagram that
 // has been routed but not yet fragmented or link-transmitted — the point
 // "beneath the network layer" where the paper's XenLoop module sits.
+//
+// Datagram is backed by a pooled, reference-counted buffer leased by the
+// stack. A hook returning VerdictStolen either calls TakeLease — assuming
+// ownership of the buffer and the obligation to Release it — or copies
+// Datagram before returning; the stack releases an untaken lease as soon
+// as the hook chain ends, after which Datagram is invalid.
 type OutPacket struct {
 	// Iface is the chosen output interface.
 	Iface *Iface
@@ -51,6 +58,21 @@ type OutPacket struct {
 	Datagram []byte
 	// NextHop is the next-hop IP the link layer would resolve.
 	NextHop pkt.IPv4
+
+	lease *buf.Buffer
+}
+
+// TakeLease transfers ownership of Datagram's pooled buffer to the
+// caller, which must eventually Release it. For an OutPacket built
+// without a lease (tests, resend paths) it returns a pooled copy, so the
+// caller's obligations are identical either way.
+func (op *OutPacket) TakeLease() *buf.Buffer {
+	if op.lease == nil {
+		return buf.FromBytes(op.Datagram)
+	}
+	b := op.lease
+	op.lease = nil
+	return b
 }
 
 // OutHook intercepts outgoing datagrams (netfilter POST_ROUTING).
@@ -258,6 +280,12 @@ func (s *Stack) deliverFrame(ifc *Iface, frame []byte) {
 // InjectIP re-injects a complete IPv4 datagram into layer-3 receive
 // processing, as XenLoop's receiver does after popping packets from the
 // FIFO ("passes the packets to the network layer").
+//
+// The datagram may alias shared or pooled memory that the caller reuses
+// the moment InjectIP returns (XenLoop drains its FIFO in place), so
+// every layer-3/4 consumer that stashes payload bytes beyond the call —
+// socket receive queues, the TCP out-of-order map, fragment reassembly —
+// copies them first.
 func (s *Stack) InjectIP(datagram []byte) {
 	s.ipInput(nil, datagram, true)
 }

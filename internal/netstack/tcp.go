@@ -205,10 +205,14 @@ type TCPConn struct {
 	retrans  uint64 // retransmitted segments (diagnostics)
 
 	// Send side. sndBuf holds unacknowledged plus unsent data; the
-	// sequence number of sndBuf[0] is sndUna.
+	// sequence number of sndBuf[0] is sndUna. sndMax is the highest
+	// sequence ever transmitted: go-back-N rewinds sndNxt, so ACK
+	// acceptance must be judged against sndMax or an ACK racing a
+	// retransmission timeout looks "too new" and the connection wedges.
 	iss       uint32
 	sndUna    uint32
 	sndNxt    uint32
+	sndMax    uint32
 	sndWnd    int
 	sndBuf    []byte
 	sndClosed bool // Close called: emit FIN once drained
@@ -267,6 +271,7 @@ func newTCPConn(s *Stack, tuple fourTuple, state tcpState) *TCPConn {
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
+	c.sndMax = c.iss
 	c.rcvLimit = tcpRcvBufLimit
 	c.lastAdv = c.rcvLimit
 	c.ssthresh = tcpSndBufLimit
@@ -343,6 +348,7 @@ func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
 	c.mu.Lock()
 	c.sendSegmentLocked(pkt.TCPSyn, nil, uint16(c.mss))
 	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
 	c.armRTOLocked()
 	c.mu.Unlock()
 
@@ -528,6 +534,15 @@ func (c *TCPConn) sendSegmentLocked(flags uint8, payload []byte, mssOpt uint16) 
 	c.txCond.Signal()
 }
 
+// advanceSndNxtLocked moves sndNxt forward by n sequence numbers and keeps
+// sndMax at the high-water mark.
+func (c *TCPConn) advanceSndNxtLocked(n uint32) {
+	c.sndNxt += n
+	if seqLT(c.sndMax, c.sndNxt) {
+		c.sndMax = c.sndNxt
+	}
+}
+
 // trySendLocked transmits as much of the send buffer as the peer window
 // allows, then the FIN if the stream is closed and drained.
 func (c *TCPConn) trySendLocked() {
@@ -560,7 +575,7 @@ func (c *TCPConn) trySendLocked() {
 		}
 		payload := c.sndBuf[inFlight : inFlight+n]
 		c.sendSegmentLocked(flags, payload, 0)
-		c.sndNxt += uint32(n)
+		c.advanceSndNxtLocked(uint32(n))
 		if !c.measValid {
 			c.measSeq = c.sndNxt
 			c.measTime = time.Now()
@@ -569,7 +584,7 @@ func (c *TCPConn) trySendLocked() {
 	}
 	if c.sndClosed && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sndBuf) {
 		c.sendSegmentLocked(pkt.TCPFin|pkt.TCPAck, nil, 0)
-		c.sndNxt++
+		c.advanceSndNxtLocked(1)
 		c.finSent = true
 	}
 	if c.sndNxt != c.sndUna {
@@ -656,7 +671,7 @@ func (c *TCPConn) rtoFire() {
 		if c.sndWnd == 0 && len(c.sndBuf) > 0 {
 			// Window probe: force one byte through a closed window.
 			c.sendSegmentLocked(pkt.TCPAck|pkt.TCPPsh, c.sndBuf[:1], 0)
-			c.sndNxt++
+			c.advanceSndNxtLocked(1)
 		} else {
 			c.trySendLocked()
 		}
@@ -773,6 +788,7 @@ func (l *tcpLayer) handleSyn(ln *TCPListener, tuple fourTuple, th *pkt.TCPHeader
 	}
 	c.sendSegmentLocked(pkt.TCPSyn|pkt.TCPAck, nil, uint16(deviceMSS(ifc)))
 	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
 	c.armRTOLocked()
 	c.mu.Unlock()
 }
@@ -857,12 +873,17 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 	// ACK processing.
 	if th.HasFlag(pkt.TCPAck) {
 		ack := th.Ack
-		if seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndNxt) {
+		if seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndMax) {
+			if seqLT(c.sndNxt, ack) {
+				// Go-back-N rewound sndNxt below data the peer now
+				// acknowledges; it needs no retransmission after all.
+				c.sndNxt = ack
+			}
 			acked := int(ack - c.sndUna)
 			dataAcked := min(acked, len(c.sndBuf))
 			c.sndBuf = c.sndBuf[dataAcked:]
 			c.sndUna = ack
-			if c.finSent && ack == c.sndNxt {
+			if c.finSent && ack == c.sndMax {
 				c.finAcked = true
 			}
 			c.retries = 0
@@ -881,7 +902,7 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 				c.fastRetransmitLocked()
 			}
 		}
-		if seqLEQ(ack, c.sndNxt) {
+		if seqLEQ(ack, c.sndMax) {
 			c.sndWnd = int(th.Window) << c.sndScale
 		}
 	}
@@ -1015,6 +1036,30 @@ func (c *TCPConn) Retransmissions() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.retrans
+}
+
+// DebugString summarizes the connection state for diagnostics.
+func (c *TCPConn) DebugString() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%s %s snd[una=%d nxt=%d buf=%d wnd=%d cwnd=%d ssthresh=%d] rcv[nxt=%d buf=%d ooo=%d adv=%d] fin[snt=%v ack=%v rcvd=%v closed=%v] retrans=%d retries=%d rto=%v txq=%d err=%v",
+		c.tuple, c.state,
+		c.sndUna-c.iss, c.sndNxt-c.iss, len(c.sndBuf), c.sndWnd, c.cwnd, c.ssthresh,
+		c.rcvNxt, len(c.rcvBuf), len(c.ooo), c.lastAdv,
+		c.finSent, c.finAcked, c.rcvdFin, c.sndClosed,
+		c.retrans, c.retries, c.rto, len(c.txq), c.connErr)
+}
+
+// TCPConns snapshots the stack's live TCP connections (diagnostics).
+func (s *Stack) TCPConns() []*TCPConn {
+	l := s.tcp
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	conns := make([]*TCPConn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	return conns
 }
 
 // sampleRTTLocked folds one RTT sample into the smoothed estimators and

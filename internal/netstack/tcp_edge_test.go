@@ -419,3 +419,61 @@ func TestTCPStreamIntegrityProperty(t *testing.T) {
 		t.Fatalf("stream integrity violated: %d vs %d bytes", len(all), len(src))
 	}
 }
+
+// TestTCPAckAcceptedAfterGoBackNRewind reproduces the wedge behind the
+// TCP bandwidth shape-test timeout: an ACK already in flight when the
+// retransmission timeout fires arrives after go-back-N has rewound
+// sndNxt. The ACK covers data above the rewound sndNxt, and before
+// acceptance was judged against sndMax it was discarded as "too new" —
+// after which every retransmission was duplicate data to the peer, its
+// re-ACKs kept being discarded, and the connection died of retries.
+func TestTCPAckAcceptedAfterGoBackNRewind(t *testing.T) {
+	s := New("rewind", nil)
+	defer s.Close()
+	tuple := fourTuple{
+		localIP: pkt.IP(10, 9, 1, 1), remoteIP: pkt.IP(10, 9, 1, 2),
+		localPort: 1, remotePort: 2,
+	}
+	c := newTCPConn(s, tuple, tcpEstablished)
+	defer func() {
+		c.mu.Lock()
+		c.failLocked(ErrReset)
+		c.mu.Unlock()
+	}()
+
+	const outstanding = 5000
+	c.mu.Lock()
+	c.cwnd = 10 * c.mss
+	c.sndWnd = 1 << 20
+	c.sndBuf = make([]byte, outstanding)
+	c.advanceSndNxtLocked(outstanding) // the flight the peer is about to ack
+	ackInFlight := c.sndNxt
+	c.mu.Unlock()
+
+	c.rtoFire() // timeout: collapses cwnd and rewinds sndNxt to sndUna
+
+	c.mu.Lock()
+	if c.sndNxt == c.sndMax {
+		c.mu.Unlock()
+		t.Fatal("rtoFire did not rewind sndNxt; scenario not exercised")
+	}
+	c.mu.Unlock()
+
+	c.segArrives(&pkt.TCPHeader{
+		SrcPort: tuple.remotePort, DstPort: tuple.localPort,
+		Flags: pkt.TCPAck, Ack: ackInFlight, Window: 65535,
+	}, nil)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sndUna != ackInFlight {
+		t.Fatalf("in-flight ACK discarded after rewind: sndUna=%d want %d",
+			c.sndUna-c.iss, ackInFlight-c.iss)
+	}
+	if len(c.sndBuf) != 0 {
+		t.Fatalf("acked data not trimmed: %d bytes left", len(c.sndBuf))
+	}
+	if seqLT(c.sndNxt, c.sndUna) {
+		t.Fatal("sndNxt left behind sndUna after catching up")
+	}
+}

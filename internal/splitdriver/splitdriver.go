@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/bridge"
+	"repro/internal/buf"
 	"repro/internal/costmodel"
 	"repro/internal/hypervisor"
 	"repro/internal/pkt"
@@ -63,7 +64,7 @@ type Netfront struct {
 
 	recvMu sync.Mutex
 	recv   func(frame []byte)
-	rxq    chan []byte
+	rxq    chan *buf.Buffer
 	quit   chan struct{}
 
 	stats Stats
@@ -105,7 +106,7 @@ func Connect(guest *hypervisor.Domain, br *bridge.Bridge, mac pkt.MAC) (*Netfron
 		mac:    mac,
 		guest:  guest,
 		model:  guest.Hypervisor().Model(),
-		rxq:    make(chan []byte, 1024),
+		rxq:    make(chan *buf.Buffer, 1024),
 		quit:   make(chan struct{}),
 	}
 	nf.cond = sync.NewCond(&nf.mu)
@@ -354,12 +355,16 @@ func (nf *Netfront) rxEvent() {
 			if !ok {
 				break
 			}
-			frame := make([]byte, d.Len)
-			copy(frame, sh.rxBufs[d.ID].Data[:d.Len])
+			// Lease a pooled buffer for the frame rather than allocating:
+			// rxLoop releases it once the stack is done (every stashing
+			// consumer copies — see netstack.InjectIP).
+			frame := buf.Get(int(d.Len))
+			copy(frame.Bytes(), sh.rxBufs[d.ID].Data[:d.Len])
 			sh.rx.Push(ring.Desc{ID: d.ID}) // repost the buffer
 			select {
 			case nf.rxq <- frame:
 			default:
+				frame.Release()
 				nf.stats.mu.Lock()
 				nf.stats.RxDropped++
 				nf.stats.mu.Unlock()
@@ -381,11 +386,12 @@ func (nf *Netfront) rxLoop() {
 			nf.recvMu.Unlock()
 			nf.stats.mu.Lock()
 			nf.stats.RxPackets++
-			nf.stats.RxBytes += uint64(len(frame))
+			nf.stats.RxBytes += uint64(frame.Len())
 			nf.stats.mu.Unlock()
 			if recv != nil {
-				recv(frame)
+				recv(frame.Bytes())
 			}
+			frame.Release()
 		case <-nf.quit:
 			return
 		}
