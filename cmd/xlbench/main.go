@@ -9,8 +9,9 @@
 //	xlbench -exp table3 -profile off
 //
 // Experiments: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 counters datapath. The datapath experiment additionally writes its
-// result to BENCH_datapath.json for machine consumption.
+// fig11 counters datapath scale. The datapath experiment additionally
+// writes its result to BENCH_datapath.json, and scale to BENCH_scale.json,
+// for machine consumption. -short trims the scale sweep for CI smoke runs.
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	iters := flag.Int("iters", 60, "iterations per message size in sweeps")
 	fifo := flag.Int("fifo", 0, "XenLoop FIFO size in bytes (0 = paper's 64 KiB)")
 	profile := flag.String("profile", "calibrated", "cost profile: calibrated or off")
+	short := flag.Bool("short", false, "trim sweeps for smoke runs (scale: senders {1,8}, 100ms points)")
 	flag.Parse()
 
 	var model *costmodel.Model
@@ -52,7 +54,7 @@ func main() {
 		FIFOSizeBytes: *fifo,
 	}
 
-	known := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "counters", "datapath"}
+	known := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "counters", "datapath", "scale"}
 	var run []string
 	if *exp == "all" {
 		run = known
@@ -62,7 +64,7 @@ func main() {
 		}
 	}
 	for _, e := range run {
-		if err := runExperiment(e, opts); err != nil {
+		if err := runExperiment(e, opts, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "xlbench %s: %v\n", e, err)
 			os.Exit(1)
 		}
@@ -84,7 +86,7 @@ func scenarioColumns() []string {
 	return cols
 }
 
-func runExperiment(name string, opts bench.ExpOptions) error {
+func runExperiment(name string, opts bench.ExpOptions, short bool) error {
 	switch name {
 	case "table1":
 		// Table 1 is the motivating snapshot: ping + netperf rows for the
@@ -261,6 +263,40 @@ func runExperiment(name string, opts bench.ExpOptions) error {
 			return err
 		}
 		fmt.Println("wrote BENCH_datapath.json")
+		fmt.Println()
+
+	case "scale":
+		o := opts
+		senders := bench.DefaultScaleSenders
+		if short {
+			senders = []int{1, 8}
+			if o.Duration > 100*time.Millisecond {
+				o.Duration = 100 * time.Millisecond
+			}
+		}
+		res, err := bench.Scale(o, senders)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Multi-sender scalability (lock-free fast path):")
+		fmt.Printf("  fifo batched baseline: %8.1f ns/pkt\n", res.FIFOBatchNsPerPkt)
+		fmt.Printf("  single-sender cycle:   %8.1f ns/pkt\n", res.SingleSenderNsPerPkt)
+		for _, pt := range res.Points {
+			fmt.Printf("  %2d senders / %d pairs: %8.3f Mpkts/s  (%8.1f ns/pkt, %d delivered)\n",
+				pt.Senders, pt.Pairs, pt.AggregateMpktsPerSec, pt.NsPerPkt, pt.Delivered)
+		}
+		if res.Speedup8v1 > 0 {
+			fmt.Printf("  8-sender vs 1-sender:  %8.2fx aggregate\n", res.Speedup8v1)
+		}
+		fmt.Println()
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_scale.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_scale.json")
 		fmt.Println()
 
 	default:

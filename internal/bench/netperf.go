@@ -80,12 +80,15 @@ func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 }
 
 // more continues a measurement loop either to a transaction count (n > 0)
-// or to a deadline.
+// or to a deadline. Deadline mode always admits at least one transaction:
+// with a zero or sub-millisecond duration the deadline can already be past
+// on the first check, and a run with zero timed transactions reports 0
+// RTT / 0 Mbps — the BENCH_datapath.json zeros bug.
 func more(done, n int, deadline time.Time) bool {
 	if n > 0 {
 		return done < n
 	}
-	return time.Now().Before(deadline)
+	return done == 0 || time.Now().Before(deadline)
 }
 
 // UDPRRN runs exactly n UDP_RR transactions (for testing.B iteration).
@@ -207,8 +210,8 @@ func tcpStream(p *testbed.Pair, msgSize int, duration time.Duration, totalBytes 
 			if sent >= totalBytes {
 				break
 			}
-		} else if !time.Now().Before(deadline) {
-			break
+		} else if sent > 0 && !time.Now().Before(deadline) {
+			break // sent > 0: at least one write even if duration ~ 0
 		}
 		if _, err := conn.Write(msg); err != nil {
 			return BandwidthResult{}, err
@@ -294,7 +297,7 @@ func UDPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthR
 	msg := make([]byte, msgSize)
 	var sent int64
 	deadline := time.Now().Add(duration)
-	for time.Now().Before(deadline) {
+	for sent == 0 || time.Now().Before(deadline) {
 		if err := cli.WriteTo(msg, b.IP, port); err != nil {
 			return BandwidthResult{}, err
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// calibrated shape tests skip under race: instrumentation slows the cost
+// model's busy-waits enough to distort the measured ratios (see the CI
+// race job), while the functional and concurrency tests still run.
+const raceEnabled = true

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// TestScaleSmoke runs the scalability experiment end to end at tiny
+// duration: star construction, concurrent senders through ResendDatagram
+// and the lock-free channel push, window pacing, and result assembly. No
+// throughput ratios are asserted — that is BENCH_scale.json's job under a
+// quiet machine — so the test is stable under -race, where it doubles as
+// the race-detector workout for the multi-sender fast path.
+func TestScaleSmoke(t *testing.T) {
+	o := ExpOptions{Model: costmodel.Calibrated(), Duration: 50 * time.Millisecond}
+	r, err := Scale(o, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Profile != "calibrated" {
+		t.Errorf("profile = %q, want calibrated", r.Profile)
+	}
+	if r.PktSize != scalePktSize {
+		t.Errorf("pkt_size = %d, want %d", r.PktSize, scalePktSize)
+	}
+	if r.FIFOBatchNsPerPkt <= 0 || r.SingleSenderNsPerPkt <= 0 {
+		t.Errorf("fifo cycle baselines not measured: batch=%v single=%v",
+			r.FIFOBatchNsPerPkt, r.SingleSenderNsPerPkt)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.Delivered <= 0 {
+			t.Errorf("%d senders delivered nothing", pt.Senders)
+		}
+		if pt.AggregateMpktsPerSec <= 0 || pt.NsPerPkt <= 0 {
+			t.Errorf("%d senders: empty rates: %+v", pt.Senders, pt)
+		}
+	}
+	if r.Points[0].Pairs != 1 || r.Points[1].Pairs != 4 {
+		t.Errorf("pair spread wrong: %d, %d", r.Points[0].Pairs, r.Points[1].Pairs)
+	}
+}

@@ -14,6 +14,18 @@ import (
 // if a refactor breaks the XenLoop advantage or the scenario ordering,
 // these fail even though all functional tests still pass.
 
+// skipCalibrated skips ratio-asserting shape tests in short mode and under
+// the race detector, whose instrumentation distorts cost-model timing.
+func skipCalibrated(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("calibrated shape test")
+	}
+	if raceEnabled {
+		t.Skip("calibrated shape test: race instrumentation distorts timing ratios")
+	}
+}
+
 func calOpts() ExpOptions {
 	return ExpOptions{Model: costmodel.Calibrated(), Duration: 250 * time.Millisecond, Iters: 30}
 }
@@ -32,9 +44,7 @@ func calPair(t *testing.T, s testbed.Scenario) *testbed.Pair {
 // inter-machine < netfront/netback, with XenLoop about 5x better than
 // netfront.
 func TestShapeLatencyOrdering(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibrated shape test")
-	}
+	skipCalibrated(t)
 	rtt := map[testbed.Scenario]time.Duration{}
 	for _, s := range testbed.Scenarios {
 		p := calPair(t, s)
@@ -66,9 +76,7 @@ func TestShapeLatencyOrdering(t *testing.T) {
 // Shape 2 (Table 2): TCP bandwidth ordering — XenLoop > netfront >
 // inter-machine, with inter-machine capped by the 1 Gbps wire.
 func TestShapeTCPBandwidthOrdering(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibrated shape test")
-	}
+	skipCalibrated(t)
 	mbps := map[testbed.Scenario]float64{}
 	for _, s := range []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop} {
 		p := calPair(t, s)
@@ -95,9 +103,7 @@ func TestShapeTCPBandwidthOrdering(t *testing.T) {
 // Shape 3 (Table 2): UDP — netfront gains nothing over inter-machine
 // (the paper's 707 vs 710), while XenLoop is many times faster.
 func TestShapeUDPBandwidth(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibrated shape test")
-	}
+	skipCalibrated(t)
 	mbps := map[testbed.Scenario]float64{}
 	for _, s := range []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop} {
 		p := calPair(t, s)
@@ -121,9 +127,7 @@ func TestShapeUDPBandwidth(t *testing.T) {
 // Shape 4 (Fig 4): throughput grows with UDP message size, and XenLoop's
 // advantage over netfront widens with size.
 func TestShapeFig4Growth(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibrated shape test")
-	}
+	skipCalibrated(t)
 	measure := func(s testbed.Scenario, size int) float64 {
 		p := calPair(t, s)
 		r, err := UDPStream(p, size, 250*time.Millisecond)
@@ -148,9 +152,7 @@ func TestShapeFig4Growth(t *testing.T) {
 // Shape 5 (Fig 5): a larger FIFO helps up to saturation — the 64 KiB
 // default must clearly beat a 4 KiB FIFO.
 func TestShapeFig5FIFOSize(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibrated shape test")
-	}
+	skipCalibrated(t)
 	measure := func(fifoSize int) float64 {
 		o := calOpts()
 		o.FIFOSizeBytes = fifoSize

@@ -32,19 +32,31 @@ type Channel struct {
 
 	// Channel endpoint resources. For the listener, out/in are the
 	// descriptors it allocated and granted; for the connector they are
-	// the mapped foreign descriptors.
-	out  *fifo.FIFO // we produce
-	in   *fifo.FIFO // we consume
-	port hypervisor.Port
+	// the mapped foreign descriptors. resMu orders their assignment (in
+	// the bootstrap goroutine) against teardown (releaseChannel, possibly
+	// from an announce while the handshake is still in flight): setup
+	// checks the state under resMu and backs out if the channel was
+	// already released. The data path never takes resMu — send and the
+	// worker only run once the channel is connected, which happens
+	// strictly after assignment.
+	resMu sync.Mutex
+	out   *fifo.FIFO // we produce
+	in    *fifo.FIFO // we consume
+	port  hypervisor.Port
 
 	listener   bool
 	outRef     hypervisor.GrantRef // grants made (listener) or mapped (connector)
 	inRef      hypervisor.GrantRef
 	generation uint32
 
-	sendMu  sync.Mutex
-	waiting []*buf.Buffer // leased packets awaiting FIFO space, in order
-	scratch [][]byte      // reusable view slice for batched waiting-list pushes
+	// The waiting list is the slow path, entered only when the FIFO is
+	// full. waitMu guards it; the fast path never takes waitMu — it reads
+	// nWaiting (a mirror of len(waiting), updated under waitMu at every
+	// mutation) to decide whether ordering forces it to queue.
+	waitMu   sync.Mutex
+	nWaiting atomic.Int32
+	waiting  []*buf.Buffer // leased packets awaiting FIFO space, in order
+	scratch  [][]byte      // reusable view slice for batched waiting-list pushes
 
 	signal chan struct{}
 	quit   chan struct{}
@@ -59,9 +71,7 @@ func (ch *Channel) Peer() Identity { return ch.peer }
 
 // WaitingLen reports the current waiting-list length.
 func (ch *Channel) WaitingLen() int {
-	ch.sendMu.Lock()
-	defer ch.sendMu.Unlock()
-	return len(ch.waiting)
+	return int(ch.nWaiting.Load())
 }
 
 // FIFOSizeBytes reports the per-direction capacity (0 before bootstrap).
@@ -77,6 +87,13 @@ func (ch *Channel) FIFOSizeBytes() int {
 // must use the standard path (too large, channel going down, waiting list
 // overflow). On Stolen the channel takes over the packet's buffer lease;
 // on Accept the lease stays with the stack.
+//
+// The common case — FIFO has room, no waiters — acquires no lock: the
+// nWaiting gate is one atomic read and Push claims ring space with a CAS.
+// Concurrent senders serialize only on the ring cursor itself. Per-sender
+// packet order is preserved (a sender whose packet queued sees nWaiting>0
+// for its next packet and queues behind it); order *between* concurrent
+// senders is unspecified, as it already was when they raced for sendMu.
 func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 	m := ch.mod
 	datagram := op.Datagram
@@ -84,36 +101,63 @@ func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 		m.stats.PktsTooLarge.Add(1)
 		return netstack.VerdictAccept
 	}
-	ch.sendMu.Lock()
-	if len(ch.waiting) == 0 {
+	if ch.nWaiting.Load() == 0 {
 		pushed, err := ch.out.Push(datagram)
 		if err != nil {
-			ch.sendMu.Unlock()
 			return netstack.VerdictAccept // inactive: teardown under way
 		}
 		if pushed {
 			m.model.ChargeCopy(len(datagram)) // sender-side copy onto the FIFO
-			kick := m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer()
-			ch.sendMu.Unlock()
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(len(datagram)))
-			if kick {
+			if m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer() {
 				_ = m.dom.NotifyPort(ch.port)
 			}
 			return netstack.VerdictStolen
 		}
 	}
-	// FIFO full, or ordering requires queueing behind earlier waiters.
+	return ch.enqueueWaiting(op)
+}
+
+// enqueueWaiting is the slow path: FIFO full, or ordering requires
+// queueing behind earlier waiters. Takes waitMu.
+func (ch *Channel) enqueueWaiting(op *netstack.OutPacket) netstack.Verdict {
+	m := ch.mod
+	ch.waitMu.Lock()
+	if ch.out.Descriptor().Inactive.Load() {
+		// Teardown: releaseChannel has purged (or is about to purge) the
+		// waiting list; adding now would leak the lease.
+		ch.waitMu.Unlock()
+		return netstack.VerdictAccept
+	}
+	if len(ch.waiting) == 0 {
+		// The worker drained the list between our gate check and here:
+		// retry the direct push rather than queueing unnecessarily.
+		pushed, err := ch.out.Push(op.Datagram)
+		if err != nil {
+			ch.waitMu.Unlock()
+			return netstack.VerdictAccept
+		}
+		if pushed {
+			ch.waitMu.Unlock()
+			m.model.ChargeCopy(len(op.Datagram))
+			m.stats.PktsChannel.Add(1)
+			m.stats.BytesChannel.Add(uint64(len(op.Datagram)))
+			if m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer() {
+				_ = m.dom.NotifyPort(ch.port)
+			}
+			return netstack.VerdictStolen
+		}
+	}
 	if len(ch.waiting) >= m.cfg.MaxWaitingPackets {
-		ch.sendMu.Unlock()
+		ch.waitMu.Unlock()
 		m.stats.PktsStandard.Add(1)
 		return netstack.VerdictAccept
 	}
 	ch.waiting = append(ch.waiting, op.TakeLease())
+	ch.nWaiting.Store(int32(len(ch.waiting)))
 	m.stats.PktsWaiting.Add(1)
-	if d := uint64(len(ch.waiting)); d > m.stats.WaitingDepthMax.Load() {
-		m.stats.WaitingDepthMax.Store(d)
-	}
+	m.stats.WaitingDepthMax.Observe(uint64(len(ch.waiting)))
 	// Tell the consumer we are stalled, then re-check once: the consumer
 	// may have freed space and tested the flag between our failed push and
 	// the flag store (the lost-wakeup race), in which case we raise our own
@@ -123,7 +167,7 @@ func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 	// polling the ring from the transmit path.
 	ch.out.SetProducerWaiting()
 	selfKick := ch.out.CanFit(ch.waiting[0].Len())
-	ch.sendMu.Unlock()
+	ch.waitMu.Unlock()
 	if selfKick {
 		ch.event()
 	}
@@ -210,12 +254,12 @@ func (ch *Channel) pollHoldoff() bool {
 		if !ch.in.Empty() {
 			return true
 		}
-		ch.sendMu.Lock()
+		ch.waitMu.Lock()
 		headLen := -1
 		if len(ch.waiting) > 0 {
 			headLen = ch.waiting[0].Len()
 		}
-		ch.sendMu.Unlock()
+		ch.waitMu.Unlock()
 		if headLen >= 0 && ch.out.CanFit(headLen) {
 			return true
 		}
@@ -241,24 +285,31 @@ const drainRxBatch = 256
 // full FIFO.
 func (ch *Channel) drainIncoming() bool {
 	m := ch.mod
-	if ch.in == nil {
+	// Snapshot the endpoint resources: besides the worker (which starts
+	// strictly after assignment), teardownAll drains channels that may
+	// still be mid-bootstrap, racing the setup goroutine's assignment.
+	ch.resMu.Lock()
+	in, port := ch.in, ch.port
+	ch.resMu.Unlock()
+	if in == nil {
 		return false // torn down mid-bootstrap
 	}
 	n := 0
 	if m.cfg.ZeroCopyReceive {
-		for ch.in.PopZeroCopy(func(p []byte) {
-			// No receive copy: the stack processes the packet in place
-			// while it still occupies FIFO space (§3.3's rejected
-			// alternative).
+		// No receive copy: the stack processes each packet in place while
+		// it still occupies FIFO space (§3.3's rejected alternative). The
+		// batched drain amortizes the consumer lock and the front-index
+		// publication over the whole backlog instead of paying both per
+		// packet.
+		n = in.DrainInto(func(p []byte) bool {
 			m.stack.InjectIP(p)
-		}) {
-			n++
-		}
+			return true
+		})
 	} else {
 		batch := make([]*buf.Buffer, 0, 32)
 		for {
 			batch = batch[:0]
-			ch.in.DrainInto(func(view []byte) bool {
+			in.DrainInto(func(view []byte) bool {
 				batch = append(batch, buf.FromBytes(view))
 				return len(batch) < drainRxBatch
 			})
@@ -272,11 +323,11 @@ func (ch *Channel) drainIncoming() bool {
 				batch[i] = nil
 			}
 			n += len(batch)
-			if ch.in.ConsumeProducerWaiting() {
+			if in.ConsumeProducerWaiting() {
 				// A sender stalled on a full ring resumes only here, after
 				// the batch is processed — one notification per batch, and
 				// the ring-cycle latency a small FIFO really costs.
-				_ = m.dom.NotifyPort(ch.port)
+				_ = m.dom.NotifyPort(port)
 			}
 		}
 	}
@@ -284,8 +335,8 @@ func (ch *Channel) drainIncoming() bool {
 		return false
 	}
 	m.stats.PktsReceived.Add(uint64(n))
-	if ch.in.ConsumeProducerWaiting() {
-		_ = m.dom.NotifyPort(ch.port) // space freed: wake the peer's sender
+	if in.ConsumeProducerWaiting() {
+		_ = m.dom.NotifyPort(port) // space freed: wake the peer's sender
 	}
 	return true
 }
@@ -295,9 +346,9 @@ func (ch *Channel) drainWaiting() {
 	if ch.out == nil {
 		return // torn down mid-bootstrap
 	}
-	ch.sendMu.Lock()
+	ch.waitMu.Lock()
 	kick := ch.drainWaitingLocked()
-	ch.sendMu.Unlock()
+	ch.waitMu.Unlock()
 	if kick {
 		_ = ch.mod.dom.NotifyPort(ch.port)
 	}
@@ -308,7 +359,7 @@ func (ch *Channel) drainWaiting() {
 // and then re-checks for space: should the consumer have freed space (and
 // found the flag still clear) in the meantime, the producer sees that
 // space here and keeps draining itself instead of stalling forever — the
-// lost-wakeup race of the original one-shot flag protocol. sendMu held.
+// lost-wakeup race of the original one-shot flag protocol. waitMu held.
 func (ch *Channel) drainWaitingLocked() bool {
 	m := ch.mod
 	if ch.out == nil {
@@ -339,8 +390,10 @@ func (ch *Channel) drainWaitingLocked() bool {
 			ch.waiting[0] = nil
 			ch.waiting = ch.waiting[1:]
 			m.stats.PktsTooLarge.Add(1)
+			ch.nWaiting.Store(int32(len(ch.waiting)))
 			continue
 		}
+		ch.nWaiting.Store(int32(len(ch.waiting)))
 		if err != nil || len(ch.waiting) == 0 {
 			break
 		}
@@ -360,8 +413,8 @@ func (ch *Channel) drainWaitingLocked() bool {
 // takeWaiting removes the waiting list and returns the queued datagrams
 // as plain copies (for migration save), releasing the leases.
 func (ch *Channel) takeWaiting() [][]byte {
-	ch.sendMu.Lock()
-	defer ch.sendMu.Unlock()
+	ch.waitMu.Lock()
+	defer ch.waitMu.Unlock()
 	out := make([][]byte, 0, len(ch.waiting))
 	for i, b := range ch.waiting {
 		out = append(out, append([]byte(nil), b.Bytes()...))
@@ -369,7 +422,23 @@ func (ch *Channel) takeWaiting() [][]byte {
 		ch.waiting[i] = nil
 	}
 	ch.waiting = nil
+	ch.nWaiting.Store(0)
 	return out
+}
+
+// purgeWaiting releases every queued lease. Called during teardown after
+// the out descriptor is marked inactive, so no new packet can join the
+// list afterward (enqueueWaiting checks the flag under waitMu); without
+// this, leases queued at Detach time would never return to the pool.
+func (ch *Channel) purgeWaiting() {
+	ch.waitMu.Lock()
+	for i, b := range ch.waiting {
+		b.Release()
+		ch.waiting[i] = nil
+	}
+	ch.waiting = nil
+	ch.nWaiting.Store(0)
+	ch.waitMu.Unlock()
 }
 
 // stop terminates the worker.
@@ -393,6 +462,7 @@ func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Ch
 	}
 	ch.state.Store(chanBootstrapping)
 	m.channels[mac] = ch
+	m.publishRoutesLocked()
 	if m.self.Dom < peerDom {
 		ch.listener = true
 		go m.listenerBootstrap(ch)
@@ -407,12 +477,20 @@ func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Ch
 func (m *Module) listenerBootstrap(ch *Channel) {
 	outDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
 	inDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
+	ch.resMu.Lock()
+	if ch.state.Load() == chanInactive {
+		// Released before setup (peer vanished from an announcement):
+		// nothing durable allocated yet, just walk away.
+		ch.resMu.Unlock()
+		return
+	}
 	ch.out = fifo.Attach(outDesc)
 	ch.in = fifo.Attach(inDesc)
 	ch.outRef = m.dom.GrantAccess(ch.peer.Dom, outDesc)
 	ch.inRef = m.dom.GrantAccess(ch.peer.Dom, inDesc)
 	port, err := m.dom.AllocUnboundPort(ch.peer.Dom)
 	if err != nil {
+		ch.resMu.Unlock()
 		m.abortBootstrap(ch)
 		return
 	}
@@ -427,6 +505,7 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 		Port:       port,
 		Generation: ch.generation,
 	}).marshal()
+	ch.resMu.Unlock()
 
 	for attempt := 0; attempt < m.cfg.BootstrapRetries; attempt++ {
 		if ch.Connected() {
@@ -484,6 +563,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 	if _, known := m.peers[msg.Listener.MAC]; !known {
 		// Announcement may not have reached us yet; trust the handshake.
 		m.peers[msg.Listener.MAC] = msg.Listener.Dom
+		m.publishRoutesLocked()
 	}
 	ch := m.channels[msg.Listener.MAC]
 	if ch != nil && ch.Connected() {
@@ -503,6 +583,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 		}
 		ch.state.Store(chanBootstrapping)
 		m.channels[msg.Listener.MAC] = ch
+		m.publishRoutesLocked()
 	}
 	m.mu.Unlock()
 
@@ -531,6 +612,16 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.InRef)
 		return
 	}
+	ch.resMu.Lock()
+	if ch.state.Load() == chanInactive {
+		// Released while we were mapping (announce churn): back out the
+		// resources we just acquired; releaseChannel saw nil fields.
+		ch.resMu.Unlock()
+		_ = m.dom.ClosePort(port)
+		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.OutRef)
+		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.InRef)
+		return
+	}
 	ch.in = fifo.Attach(inDesc)
 	ch.out = fifo.Attach(outDesc)
 	ch.inRef = msg.OutRef // remember foreign refs for unmap at teardown
@@ -538,6 +629,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 	ch.port = port
 	ch.generation = msg.Generation
 	_ = m.dom.SetEventHandler(port, ch.event)
+	ch.resMu.Unlock()
 
 	if ch.state.CompareAndSwap(chanBootstrapping, chanConnected) {
 		m.stats.ChannelsOpened.Add(1)
@@ -572,6 +664,7 @@ func (m *Module) handleChannelReq(msg *simpleMsg) {
 	}
 	if _, known := m.peers[msg.Sender.MAC]; !known {
 		m.peers[msg.Sender.MAC] = msg.Sender.Dom
+		m.publishRoutesLocked()
 	}
 	if m.self.Dom >= msg.Sender.Dom {
 		m.mu.Unlock()
@@ -590,6 +683,7 @@ func (m *Module) abortBootstrap(ch *Channel) {
 	m.mu.Lock()
 	if m.channels[ch.peer.MAC] == ch {
 		delete(m.channels, ch.peer.MAC)
+		m.publishRoutesLocked()
 	}
 	m.mu.Unlock()
 	m.releaseChannel(ch, false)
@@ -600,33 +694,44 @@ func (m *Module) abortBootstrap(ch *Channel) {
 // release grants/mappings and the event channel. The disengagement steps
 // are slightly asymmetric between listener and connector (§3.3).
 func (m *Module) releaseChannel(ch *Channel, notifyPeer bool) {
+	// Swap the state first: a bootstrap goroutine that has not yet
+	// assigned resources will observe chanInactive under resMu and back
+	// out instead of setting up a channel nobody will ever tear down.
 	wasConnected := ch.state.Swap(chanInactive) == chanConnected
 	if wasConnected {
 		trace.Record(trace.KindChannelDn, m.actor(), "disengaging channel to dom%d %s", ch.peer.Dom, ch.peer.MAC)
 	}
-	if ch.out != nil {
-		ch.out.Descriptor().Inactive.Store(true)
+	ch.resMu.Lock()
+	out, in, port := ch.out, ch.in, ch.port
+	outRef, inRef := ch.outRef, ch.inRef
+	ch.resMu.Unlock()
+	if out != nil {
+		out.Descriptor().Inactive.Store(true)
 	}
-	if ch.in != nil {
-		ch.in.Descriptor().Inactive.Store(true)
+	if in != nil {
+		in.Descriptor().Inactive.Store(true)
 	}
-	if wasConnected && notifyPeer && ch.port != 0 {
-		_ = m.dom.NotifyPort(ch.port)
+	// Inactive is set, so no sender can queue a new lease; return the ones
+	// already queued to the pool (migration save takes them earlier via
+	// takeWaiting, leaving this a no-op).
+	ch.purgeWaiting()
+	if wasConnected && notifyPeer && port != 0 {
+		_ = m.dom.NotifyPort(port)
 	}
 	ch.stop()
-	if ch.port != 0 {
-		_ = m.dom.ClosePort(ch.port)
+	if port != 0 {
+		_ = m.dom.ClosePort(port)
 	}
 	if ch.listener {
-		if ch.outRef != 0 {
-			_ = m.dom.EndAccess(ch.outRef)
+		if outRef != 0 {
+			_ = m.dom.EndAccess(outRef)
 		}
-		if ch.inRef != 0 {
-			_ = m.dom.EndAccess(ch.inRef)
+		if inRef != 0 {
+			_ = m.dom.EndAccess(inRef)
 		}
-	} else if ch.out != nil {
-		_ = m.dom.UnmapGrant(ch.peer.Dom, ch.outRef)
-		_ = m.dom.UnmapGrant(ch.peer.Dom, ch.inRef)
+	} else if out != nil {
+		_ = m.dom.UnmapGrant(ch.peer.Dom, outRef)
+		_ = m.dom.UnmapGrant(ch.peer.Dom, inRef)
 	}
 	if wasConnected {
 		m.stats.ChannelsClosed.Add(1)
@@ -640,6 +745,7 @@ func (m *Module) peerDisengaged(ch *Channel) {
 	m.mu.Lock()
 	if m.channels[ch.peer.MAC] == ch {
 		delete(m.channels, ch.peer.MAC)
+		m.publishRoutesLocked()
 	}
 	m.mu.Unlock()
 	m.releaseChannel(ch, false)

@@ -1,0 +1,179 @@
+package core_test
+
+// Race-detector stress tests: concurrent fast-path senders hammering a
+// channel while the control plane churns underneath them — Detach,
+// suspend/resume (PreMigrate + CompleteMigration), and peer-table
+// turnover from discovery announcements. The properties verified:
+// no data race (run with -race), no send wedges on a torn-down channel
+// (stale snapshots fail over to the standard path), and no buffer lease
+// leaks (pool gets == puts once traffic settles).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/testbed"
+)
+
+// settleLeases waits until the global pool's outstanding-lease count
+// (gets - oversize - puts) returns to the baseline captured before the
+// test, tolerating worker goroutines that are still draining.
+func settleLeases(t *testing.T, baseline int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gets, puts, oversize := buf.PoolStats()
+		outstanding := int64(gets) - int64(oversize) - int64(puts)
+		if outstanding <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked buffer leases: %d outstanding (baseline %d)", outstanding, baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func poolBaseline() int64 {
+	gets, puts, oversize := buf.PoolStats()
+	return int64(gets) - int64(oversize) - int64(puts)
+}
+
+// blast sends datagrams as fast as possible until stop closes. Errors are
+// ignored: during churn the socket or route may legitimately go away.
+func blast(p *testbed.Pair, stop <-chan struct{}, wg *sync.WaitGroup, senders int) {
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := p.A.Stack.ListenUDP(0)
+			if err != nil {
+				return
+			}
+			defer cli.Close()
+			msg := make([]byte, 200)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = cli.WriteTo(msg, p.B.IP, 5000)
+			}
+		}()
+	}
+}
+
+func churnPair(t *testing.T) *testbed.Pair {
+	t.Helper()
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{
+		DiscoveryPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	srv, err := p.B.Stack.ListenUDP(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	go func() {
+		for {
+			if _, _, _, err := srv.ReadFrom(0); err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// TestConcurrentSendVsDetach tears the module down mid-blast. After the
+// Detach no packet may wedge (sends fall back to the standard path) and
+// every waiting-list lease must return to the pool.
+func TestConcurrentSendVsDetach(t *testing.T) {
+	baseline := poolBaseline()
+	p := churnPair(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	blast(p, stop, &wg, 4)
+	time.Sleep(30 * time.Millisecond)
+	p.A.VM.XL.Detach()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if p.A.VM.XL.ChannelCount() != 0 {
+		t.Fatal("channels survived Detach")
+	}
+	settleLeases(t, baseline)
+}
+
+// TestConcurrentSendVsSuspendResume drives the full PreMigrate /
+// CompleteMigration disengage-reengage cycle under fire, several times.
+func TestConcurrentSendVsSuspendResume(t *testing.T) {
+	baseline := poolBaseline()
+	p := churnPair(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	blast(p, stop, &wg, 4)
+	for i := 0; i < 3; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if err := p.TB.SuspendResume(p.A.VM); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("suspend/resume %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The channel must be able to re-form after the final resume.
+	deadline := time.Now().Add(3 * time.Second)
+	for !p.A.VM.XL.HasChannelTo(p.B.VM.MAC) {
+		if time.Now().After(deadline) {
+			t.Fatal("channel did not re-form after suspend/resume churn")
+		}
+		p.A.VM.Machine.Discovery.Scan()
+		if _, err := p.A.Stack.Ping(p.B.IP, 32, 200*time.Millisecond); err != nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	settleLeases(t, baseline)
+}
+
+// TestConcurrentSendVsAnnounceChurn flaps the peer's XenStore
+// advertisement so discovery announcements alternately drop and restore
+// the peer, forcing handleAnnounce to tear down and re-form the channel
+// while senders are blasting through it.
+func TestConcurrentSendVsAnnounceChurn(t *testing.T) {
+	baseline := poolBaseline()
+	p := churnPair(t)
+	domB := p.B.VM.Dom
+	xlPath := domB.StorePath() + "/xenloop"
+	mac := p.B.VM.MAC.String()
+	disc := p.A.VM.Machine.Discovery
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	blast(p, stop, &wg, 4)
+	for i := 0; i < 10; i++ {
+		if err := domB.StoreRemove(xlPath); err != nil {
+			t.Fatal(err)
+		}
+		disc.Scan() // peer absent: A tears the channel down
+		time.Sleep(5 * time.Millisecond)
+		if err := domB.StoreWrite(xlPath, mac); err != nil {
+			t.Fatal(err)
+		}
+		disc.Scan() // peer back: channel re-forms on next traffic
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	settleLeases(t, baseline)
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bridge"
@@ -30,10 +30,9 @@ type Discovery struct {
 	port   *bridge.Port
 	period time.Duration
 
-	mu      sync.Mutex
-	stopped bool
+	stopped atomic.Bool
 	quit    chan struct{}
-	rounds  uint64
+	rounds  atomic.Uint64
 }
 
 // StartDiscovery launches the Dom0 discovery module on a machine. period
@@ -95,11 +94,8 @@ func (d *Discovery) Scan() {
 		}
 		guests = append(guests, Identity{Dom: hypervisor.DomID(id), MAC: mac})
 	}
-	d.mu.Lock()
-	d.rounds++
-	stopped := d.stopped
-	d.mu.Unlock()
-	if stopped || len(guests) == 0 {
+	d.rounds.Add(1)
+	if d.stopped.Load() || len(guests) == 0 {
 		return
 	}
 	trace.Record(trace.KindDiscovery, d.hv.Machine+"/discovery", "announcing %d willing guests", len(guests))
@@ -111,21 +107,13 @@ func (d *Discovery) Scan() {
 }
 
 // Rounds reports completed discovery rounds.
-func (d *Discovery) Rounds() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.rounds
-}
+func (d *Discovery) Rounds() uint64 { return d.rounds.Load() }
 
 // Stop halts the discovery module and detaches it from the bridge.
 func (d *Discovery) Stop() {
-	d.mu.Lock()
-	if d.stopped {
-		d.mu.Unlock()
+	if !d.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	d.stopped = true
-	d.mu.Unlock()
 	close(d.quit)
 	d.br.RemovePort(d.port)
 }

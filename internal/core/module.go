@@ -18,6 +18,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/netstack"
 	"repro/internal/pkt"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -64,15 +65,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats are the module's always-on counters.
+// Stats are the module's always-on counters. Fields bumped from the
+// per-packet fast path by concurrent senders are sharded stats.Counter
+// values (cache-line padded, so senders on different cores don't ping-pong
+// one line); control-plane counters stay plain atomics. Both expose
+// Add/Load, so readers are unaffected.
 type Stats struct {
-	PktsChannel     atomic.Uint64 // sent through a XenLoop channel
-	BytesChannel    atomic.Uint64
-	PktsStandard    atomic.Uint64 // to a co-resident peer but via netfront
-	PktsWaiting     atomic.Uint64 // queued on a waiting list
-	WaitingDepthMax atomic.Uint64 // high-water mark of any channel's waiting list
-	PktsTooLarge    atomic.Uint64 // exceeded FIFO capacity
-	PktsReceived    atomic.Uint64 // popped from channels and injected
+	PktsChannel     stats.Counter  // sent through a XenLoop channel
+	BytesChannel    stats.Counter  // payload bytes through channels
+	PktsStandard    stats.Counter  // to a co-resident peer but via netfront
+	PktsWaiting     stats.Counter  // queued on a waiting list
+	WaitingDepthMax stats.MaxGauge // high-water mark of any channel's waiting list
+	PktsTooLarge    stats.Counter  // exceeded FIFO capacity
+	PktsReceived    stats.Counter  // popped from channels and injected
 	ChannelsOpened  atomic.Uint64
 	ChannelsClosed  atomic.Uint64
 	SavedResent     atomic.Uint64 // packets resent after migration
@@ -85,6 +90,11 @@ type Module struct {
 	ifc   *netstack.Iface
 	model *costmodel.Model
 	cfg   Config
+
+	// routes is the lock-free fast-path view of peers/channels: an
+	// immutable snapshot rebuilt under mu on control-plane events and
+	// published with one atomic store. outHook only ever reads this.
+	routes atomic.Pointer[routeTable]
 
 	mu       sync.Mutex
 	self     Identity
@@ -111,6 +121,7 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 		peers:    map[pkt.MAC]hypervisor.DomID{},
 		channels: map[pkt.MAC]*Channel{},
 	}
+	m.routes.Store(emptyRoutes)
 	if err := m.advertise(); err != nil {
 		return nil, err
 	}
@@ -177,29 +188,42 @@ func (m *Module) HasChannelTo(mac pkt.MAC) bool {
 // outHook is the guest-specific software bridge: inspect each outgoing
 // datagram's next hop, consult the neighbor cache and the mapping table,
 // and shepherd co-resident traffic into the FIFO channel.
+//
+// This is the per-packet fast path: one atomic load of the routing
+// snapshot, no mutex. Module.mu is taken only on the first packet toward a
+// peer with no channel yet (to start bootstrap); once the snapshot carries
+// a connected channel, sends proceed even while mu is held elsewhere.
 func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
 	mac, ok := m.stack.NeighborMAC(op.NextHop)
 	if !ok {
 		return netstack.VerdictAccept // unresolved neighbor: standard path ARPs
 	}
-	m.mu.Lock()
-	if m.detached {
-		m.mu.Unlock()
-		return netstack.VerdictAccept
-	}
-	peerDom, isPeer := m.peers[mac]
+	r, isPeer := m.routes.Load().lookup(mac)
 	if !isPeer {
-		m.mu.Unlock()
 		return netstack.VerdictAccept
 	}
-	ch := m.channels[mac]
+	ch := r.ch
 	if ch == nil {
 		// First traffic toward this co-resident guest: bootstrap a
 		// channel on the fly; meanwhile traffic keeps flowing via
-		// netfront-netback.
-		ch = m.startBootstrapLocked(mac, peerDom)
+		// netfront-netback. This is the one send-side branch that takes
+		// the control-plane lock, and it stops firing as soon as the
+		// rebuilt snapshot (published by startBootstrapLocked) lands.
+		m.mu.Lock()
+		if m.detached {
+			m.mu.Unlock()
+			return netstack.VerdictAccept
+		}
+		peerDom, stillPeer := m.peers[mac]
+		if !stillPeer {
+			m.mu.Unlock()
+			return netstack.VerdictAccept
+		}
+		if ch = m.channels[mac]; ch == nil {
+			ch = m.startBootstrapLocked(mac, peerDom)
+		}
+		m.mu.Unlock()
 	}
-	m.mu.Unlock()
 
 	if ch == nil || !ch.Connected() {
 		m.stats.PktsStandard.Add(1)
@@ -261,6 +285,7 @@ func (m *Module) handleAnnounce(ann *announceMsg) {
 		}
 	}
 	m.peers = fresh
+	m.publishRoutesLocked()
 	m.mu.Unlock()
 
 	for _, ch := range stale {
@@ -302,6 +327,7 @@ func (m *Module) teardownAll(saving bool) {
 	}
 	m.channels = map[pkt.MAC]*Channel{}
 	m.peers = map[pkt.MAC]hypervisor.DomID{}
+	m.publishRoutesLocked()
 	m.mu.Unlock()
 
 	for _, ch := range chans {
@@ -327,6 +353,7 @@ func (m *Module) CompleteMigration() error {
 	m.self = Identity{Dom: m.dom.ID(), MAC: m.ifc.MAC()}
 	saved := m.saved
 	m.saved = nil
+	m.publishRoutesLocked()
 	m.mu.Unlock()
 
 	if err := m.advertise(); err != nil {

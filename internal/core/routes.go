@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/hypervisor"
+	"repro/internal/pkt"
+)
+
+// route is one fast-path routing entry: the co-resident peer's domain ID
+// and, once bootstrap has started, its channel.
+type route struct {
+	dom hypervisor.DomID
+	ch  *Channel // nil until first traffic triggers bootstrap
+}
+
+// routeTable is the RCU-style snapshot of the [guest-ID, MAC] mapping
+// table that the per-packet outHook consults. A snapshot is immutable
+// after publication: rebuilders construct a fresh table under Module.mu
+// and publish it with one atomic store (publishRoutesLocked); readers do
+// one atomic load and then walk plain memory, taking no lock and writing
+// nothing. Readers may observe a stale snapshot for the duration of one
+// control-plane event — the safety argument for why that is harmless
+// (stale channels fail closed to the standard path) lives in DESIGN.md §7.
+type routeTable struct {
+	entries map[pkt.MAC]route
+}
+
+// emptyRoutes is the table published before attach completes and after
+// teardown: every lookup misses, so every packet takes the standard path.
+var emptyRoutes = &routeTable{entries: map[pkt.MAC]route{}}
+
+// lookup returns the route for mac. The zero route and false mean "not a
+// co-resident peer".
+func (t *routeTable) lookup(mac pkt.MAC) (route, bool) {
+	r, ok := t.entries[mac]
+	return r, ok
+}
+
+// publishRoutesLocked rebuilds the fast-path snapshot from the
+// authoritative peers/channels maps and publishes it. It must be called
+// with m.mu held, after every mutation of m.peers, m.channels or
+// m.detached, before the mutation's effect is relied upon. Publication is
+// a single atomic pointer store, so a concurrent outHook sees either the
+// old complete table or the new complete table, never a mix.
+func (m *Module) publishRoutesLocked() {
+	if m.detached {
+		m.routes.Store(emptyRoutes)
+		return
+	}
+	t := &routeTable{entries: make(map[pkt.MAC]route, len(m.peers))}
+	for mac, dom := range m.peers {
+		t.entries[mac] = route{dom: dom, ch: m.channels[mac]}
+	}
+	m.routes.Store(t)
+}

@@ -7,13 +7,18 @@
 // entries is 2^k (k ≤ 31) while the free-running front and back indices
 // are m = 32 bits wide; front is advanced only by the consumer and back
 // only by the producer, so no cross-domain locking is needed. Concurrent
-// producers (or consumers) within one domain serialize on a
-// producer-local (consumer-local) lock, exactly as the paper describes.
+// producers within one domain coordinate lock-free through a reservation
+// cursor: each producer CASes `reserve` forward to claim a region, writes
+// its entry into the claimed (disjoint) words, then publishes by advancing
+// `back` in reservation order. Concurrent consumers within one domain
+// still serialize on a consumer-local lock (the channel worker is the only
+// steady-state consumer).
 package fifo
 
 import (
 	"encoding/binary"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -44,7 +49,15 @@ var (
 // block, which preserves the protocol while keeping the simulation safe.)
 type Descriptor struct {
 	front atomic.Uint32 // consumer-owned, free-running
-	back  atomic.Uint32 // producer-owned, free-running
+	back  atomic.Uint32 // producer-owned, free-running: entries below it are published
+
+	// reserve is the producers' staging cursor (back <= reserve). A
+	// producer claims [reserve, reserve+need) with a CAS, writes the entry
+	// into those words, then publishes by advancing back over its region
+	// once all earlier reservations have published. The consumer never
+	// reads it; space accounting on the producer side uses reserve so a
+	// claimed-but-unpublished region is never handed out twice.
+	reserve atomic.Uint32
 
 	// Inactive is set during channel teardown; both sides observe it and
 	// disengage (paper §3.3, "channel teardown").
@@ -66,11 +79,11 @@ type Descriptor struct {
 // Bytes exposes the data area for the grant-copy interface.
 func (d *Descriptor) Bytes() []byte { return d.data }
 
-// FIFO is one endpoint's handle on a Descriptor, with the endpoint-local
-// producer/consumer locks.
+// FIFO is one endpoint's handle on a Descriptor. The producer side is
+// lock-free (reservation cursor in the Descriptor); the consumer side
+// keeps an endpoint-local lock.
 type FIFO struct {
 	desc   *Descriptor
-	prodMu sync.Mutex
 	consMu sync.Mutex
 }
 
@@ -112,6 +125,10 @@ func wordsFor(n int) uint32 { return 1 + uint32((n+WordBytes-1)/WordBytes) }
 // not pushed — when the FIFO currently lacks space (caller queues on its
 // waiting list).
 //
+// Push is safe for concurrent producers and acquires no lock: it claims a
+// region with one CAS on the reservation cursor, copies the packet in, and
+// publishes by advancing back in reservation order.
+//
 // Ownership contract: Push copies p into the FIFO (the sender-side copy of
 // the paper's two-copy data path) and never retains p; the caller keeps
 // ownership and may reuse or release the backing buffer as soon as Push
@@ -125,74 +142,98 @@ func (f *FIFO) Push(p []byte) (bool, error) {
 	if need > d.sizeWords {
 		return false, ErrTooLarge
 	}
-	f.prodMu.Lock()
-	defer f.prodMu.Unlock()
-	back := d.back.Load()
-	free := d.sizeWords - (back - d.front.Load())
-	if need > free {
-		return false, nil
+	for {
+		res := d.reserve.Load()
+		if need > d.sizeWords-(res-d.front.Load()) {
+			return false, nil
+		}
+		if !d.reserve.CompareAndSwap(res, res+need) {
+			continue // another producer claimed; re-read and retry
+		}
+		f.writeEntry(res, p)
+		f.publish(res, res+need)
+		return true, nil
 	}
-	f.writeEntry(back, p)
-	// Publish: the store to back makes the entry visible to the consumer.
-	d.back.Store(back + need)
-	return true, nil
 }
 
 // PushBatch appends packets in order until the FIFO runs out of space,
-// returning how many were pushed. The front index is read once and the
-// back index published once for the whole batch, amortizing the shared
-// atomics that Push pays per packet. Like Push it copies every packet and
-// retains none of them. A packet that can never fit stops the batch with
-// ErrTooLarge (pkts[n] is the offender); ErrInactive reports teardown.
+// returning how many were pushed. The whole fitting prefix is claimed with
+// one reservation CAS and published with one back advance, amortizing the
+// shared atomics that Push pays per packet. Like Push it is safe for
+// concurrent producers, copies every packet and retains none of them. A
+// packet that can never fit stops the batch with ErrTooLarge (pkts[n] is
+// the offender); ErrInactive reports teardown.
 func (f *FIFO) PushBatch(pkts [][]byte) (int, error) {
 	d := f.desc
 	if d.Inactive.Load() {
 		return 0, ErrInactive
 	}
-	f.prodMu.Lock()
-	defer f.prodMu.Unlock()
-	back := d.back.Load()
-	free := d.sizeWords - (back - d.front.Load())
-	n := 0
-	var err error
-	for _, p := range pkts {
-		need := wordsFor(len(p))
-		if need > d.sizeWords {
-			err = ErrTooLarge
-			break
+	for {
+		res := d.reserve.Load()
+		free := d.sizeWords - (res - d.front.Load())
+		n := 0
+		words := uint32(0)
+		var err error
+		for _, p := range pkts {
+			need := wordsFor(len(p))
+			if need > d.sizeWords {
+				err = ErrTooLarge
+				break
+			}
+			if need > free {
+				break
+			}
+			free -= need
+			words += need
+			n++
 		}
-		if need > free {
-			break
+		if n == 0 {
+			return 0, err
 		}
-		f.writeEntry(back, p)
-		back += need
-		free -= need
-		n++
+		if !d.reserve.CompareAndSwap(res, res+words) {
+			continue // lost the claim race; recompute against fresh cursors
+		}
+		w := res
+		for i := 0; i < n; i++ {
+			f.writeEntry(w, pkts[i])
+			w += wordsFor(len(pkts[i]))
+		}
+		f.publish(res, res+words)
+		return n, err
 	}
-	if n > 0 {
-		d.back.Store(back)
-	}
-	return n, err
 }
 
-// writeEntry stores one metadata word plus payload at back. Caller holds
-// prodMu and has verified space.
-func (f *FIFO) writeEntry(back uint32, p []byte) {
+// publish advances back over [from, to) once every earlier reservation has
+// published. back only ever equals `from` after all predecessors have
+// advanced it there, so the CAS doubles as the in-order wait; the brief
+// spin covers a predecessor mid-copy.
+func (f *FIFO) publish(from, to uint32) {
+	d := f.desc
+	for !d.back.CompareAndSwap(from, to) {
+		runtime.Gosched()
+	}
+}
+
+// writeEntry stores one metadata word plus payload at the claimed index.
+// The caller owns [idx, idx+wordsFor(len(p))) by reservation.
+func (f *FIFO) writeEntry(idx uint32, p []byte) {
 	// Metadata word: magic | length | sequence-low (diagnostics).
 	var meta [WordBytes]byte
 	binary.LittleEndian.PutUint16(meta[0:2], entryMagic)
 	binary.LittleEndian.PutUint32(meta[2:6], uint32(len(p)))
-	f.writeWords(back, meta[:])
-	f.writeWords(back+1, p)
+	f.writeWords(idx, meta[:])
+	f.writeWords(idx+1, p)
 }
 
-// CanFit reports whether an n-byte packet would fit right now. A producer
-// that queued packets and set the waiting flag re-checks with CanFit to
-// close the race where the consumer freed space (and tested the flag)
-// between the failed push and the flag store.
+// CanFit reports whether an n-byte packet would fit right now (measured
+// against the reservation cursor, so regions claimed by in-flight
+// producers count as used). A producer that queued packets and set the
+// waiting flag re-checks with CanFit to close the race where the consumer
+// freed space (and tested the flag) between the failed push and the flag
+// store.
 func (f *FIFO) CanFit(n int) bool {
 	d := f.desc
-	return wordsFor(n) <= d.sizeWords-(d.back.Load()-d.front.Load())
+	return wordsFor(n) <= d.sizeWords-(d.reserve.Load()-d.front.Load())
 }
 
 // Pop removes the next packet into a fresh buffer (the receiver-side copy

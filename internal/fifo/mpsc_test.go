@@ -1,0 +1,141 @@
+package fifo
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// TestMPSCProducers hammers the lock-free reservation protocol: several
+// producers push tagged packets concurrently while one consumer drains.
+// Every packet must arrive exactly once, uncorrupted, and packets from any
+// single producer must arrive in that producer's send order.
+func TestMPSCProducers(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 5000
+	)
+	f := Attach(NewDescriptor(16384))
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(id int) {
+			defer wg.Done()
+			msg := make([]byte, 8)
+			for i := 0; i < perProd; {
+				binary.LittleEndian.PutUint32(msg[0:4], uint32(id))
+				binary.LittleEndian.PutUint32(msg[4:8], uint32(i))
+				ok, err := f.Push(msg)
+				if err != nil {
+					t.Errorf("producer %d: %v", id, err)
+					return
+				}
+				if ok {
+					i++
+				}
+			}
+		}(p)
+	}
+
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < producers*perProd {
+			p, ok := f.Pop()
+			if !ok {
+				continue
+			}
+			if len(p) != 8 {
+				t.Errorf("corrupt entry: %d bytes", len(p))
+				return
+			}
+			id := int(binary.LittleEndian.Uint32(p[0:4]))
+			seq := int(binary.LittleEndian.Uint32(p[4:8]))
+			if id < 0 || id >= producers {
+				t.Errorf("corrupt producer id %d", id)
+				return
+			}
+			if seq <= lastSeq[id] {
+				t.Errorf("producer %d: seq %d after %d (reordered or duplicated)", id, seq, lastSeq[id])
+				return
+			}
+			lastSeq[id] = seq
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != producers*perProd {
+		t.Fatalf("received %d of %d packets", got, producers*perProd)
+	}
+	for id, last := range lastSeq {
+		if last != perProd-1 {
+			t.Errorf("producer %d: last seq %d, want %d", id, last, perProd-1)
+		}
+	}
+}
+
+// TestMPSCPushBatch interleaves batch and single pushes from multiple
+// producers; batches must stay internally ordered.
+func TestMPSCPushBatch(t *testing.T) {
+	const (
+		producers = 3
+		batches   = 800
+		batchLen  = 5
+	)
+	f := Attach(NewDescriptor(32768))
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(id int) {
+			defer wg.Done()
+			seq := 0
+			for b := 0; b < batches; b++ {
+				pkts := make([][]byte, batchLen)
+				for i := range pkts {
+					m := make([]byte, 8)
+					binary.LittleEndian.PutUint32(m[0:4], uint32(id))
+					binary.LittleEndian.PutUint32(m[4:8], uint32(seq+i))
+					pkts[i] = m
+				}
+				for len(pkts) > 0 {
+					n, err := f.PushBatch(pkts)
+					if err != nil {
+						t.Errorf("producer %d: %v", id, err)
+						return
+					}
+					seq += n
+					pkts = pkts[n:]
+				}
+			}
+		}(p)
+	}
+
+	total := producers * batches * batchLen
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	got := 0
+	for got < total {
+		f.DrainInto(func(p []byte) bool {
+			id := int(binary.LittleEndian.Uint32(p[0:4]))
+			seq := int(binary.LittleEndian.Uint32(p[4:8]))
+			if seq <= lastSeq[id] {
+				t.Errorf("producer %d: seq %d after %d", id, seq, lastSeq[id])
+				return false
+			}
+			lastSeq[id] = seq
+			got++
+			return true
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}

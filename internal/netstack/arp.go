@@ -2,6 +2,7 @@ package netstack
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pkt"
@@ -28,23 +29,52 @@ const (
 	arpMaxPending  = 128
 )
 
+// arpSnapEntry is one resolved binding in the read snapshot.
+type arpSnapEntry struct {
+	mac     pkt.MAC
+	expires time.Time
+}
+
+// arpSnap is the immutable read view of the resolved neighbor cache,
+// consulted lock-free by the per-packet transmit path (NeighborMAC runs
+// inside XenLoop's outHook on every datagram). Rebuilt under t.mu when a
+// binding is learned or flushed — rare control events next to lookups.
+type arpSnap struct {
+	entries map[pkt.IPv4]arpSnapEntry
+}
+
 // arpTable is the per-stack IPv4 neighbor cache.
 type arpTable struct {
 	stack   *Stack
+	snap    atomic.Pointer[arpSnap]
 	mu      sync.Mutex
 	entries map[pkt.IPv4]*arpEntry
 }
 
 func newARPTable(s *Stack) *arpTable {
-	return &arpTable{stack: s, entries: map[pkt.IPv4]*arpEntry{}}
+	t := &arpTable{stack: s, entries: map[pkt.IPv4]*arpEntry{}}
+	t.snap.Store(&arpSnap{entries: map[pkt.IPv4]arpSnapEntry{}})
+	return t
 }
 
-// lookup returns the cached MAC for ip, if resolved and fresh.
+// publishLocked rebuilds the lookup snapshot from the resolved entries.
+// Callers hold t.mu.
+func (t *arpTable) publishLocked() {
+	snap := &arpSnap{entries: make(map[pkt.IPv4]arpSnapEntry, len(t.entries))}
+	for ip, e := range t.entries {
+		if e.resolved {
+			snap.entries[ip] = arpSnapEntry{mac: e.mac, expires: e.expires}
+		}
+	}
+	t.snap.Store(snap)
+}
+
+// lookup returns the cached MAC for ip, if resolved and fresh. Lock-free:
+// one atomic snapshot load; expiry is checked against the snapshot's
+// recorded deadline (an expired entry simply misses, as before).
 func (t *arpTable) lookup(ip pkt.IPv4) (pkt.MAC, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.entries[ip]
-	if !ok || !e.resolved || time.Now().After(e.expires) {
+	e, ok := t.snap.Load().entries[ip]
+	if !ok || time.Now().After(e.expires) {
 		return pkt.MAC{}, false
 	}
 	return e.mac, true
@@ -63,6 +93,7 @@ func (t *arpTable) insert(ip pkt.IPv4, mac pkt.MAC) {
 	e.expires = time.Now().Add(arpEntryTTL)
 	pending := e.pending
 	e.pending = nil
+	t.publishLocked()
 	t.mu.Unlock()
 
 	for _, pf := range pending {
@@ -150,5 +181,6 @@ func (s *Stack) GratuitousARP(ifc *Iface) {
 func (s *Stack) FlushNeighbor(ip pkt.IPv4) {
 	s.arp.mu.Lock()
 	delete(s.arp.entries, ip)
+	s.arp.publishLocked()
 	s.arp.mu.Unlock()
 }

@@ -43,17 +43,26 @@ func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
 	datagram := lease.Bytes()
 	copy(datagram, hdrBytes)
 	copy(datagram[len(hdrBytes):], payload)
+	return s.transmitDatagram(ifc, nextHop, hdr, datagram, payload, lease)
+}
 
+// transmitDatagram is the shared output tail: hand the complete datagram
+// to the hook chain, then link-transmit (fragmenting to the device MTU if
+// needed). lease, when non-nil, is the pooled buffer backing datagram; it
+// is released once the datagram has been stolen or transmitted.
+func (s *Stack) transmitDatagram(ifc *Iface, nextHop pkt.IPv4, hdr pkt.IPv4Header, datagram, payload []byte, lease *buf.Buffer) error {
 	if ifc.loopback {
 		frame := pkt.BuildFrame(pkt.MAC{}, pkt.MAC{}, pkt.EtherTypeIPv4, datagram)
-		lease.Release()
+		if lease != nil {
+			lease.Release()
+		}
 		return ifc.dev.Transmit(frame)
 	}
 
-	// Netfilter output hooks see the whole, unfragmented datagram.
-	s.mu.Lock()
-	hooks := s.outHooks
-	s.mu.Unlock()
+	// Netfilter output hooks see the whole, unfragmented datagram. The
+	// hook list comes from the send snapshot already loaded per packet —
+	// no lock on the transmit path.
+	hooks := s.send.Load().hooks
 	if len(hooks) > 0 {
 		op := &OutPacket{Iface: ifc, Header: hdr, Datagram: datagram, NextHop: nextHop, lease: lease}
 		op.Header.TotalLen = len(datagram)
@@ -65,18 +74,23 @@ func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
 				return nil
 			}
 		}
+		lease = op.lease
 	}
 
 	maxPayload := ifc.dev.MTU() - pkt.IPv4HeaderLen
-	if proto == pkt.ProtoTCP && ifc.dev.GSOMaxSize() > 0 && ifc.dev.GSOMaxSize() > maxPayload {
+	if hdr.Proto == pkt.ProtoTCP && ifc.dev.GSOMaxSize() > 0 && ifc.dev.GSOMaxSize() > maxPayload {
 		maxPayload = ifc.dev.GSOMaxSize()
 	}
 	if len(payload) <= maxPayload {
 		s.arp.resolveAndSend(ifc, nextHop, datagram)
-		lease.Release()
+		if lease != nil {
+			lease.Release()
+		}
 		return nil
 	}
-	lease.Release() // fragments are rebuilt below from the payload
+	if lease != nil {
+		lease.Release() // fragments are rebuilt below from the payload
+	}
 
 	// Fragment: offsets must be multiples of 8.
 	chunk := maxPayload &^ 7
@@ -98,14 +112,36 @@ func (s *Stack) ipOutput(proto uint8, src, dst pkt.IPv4, payload []byte) error {
 
 // ResendDatagram re-routes and transmits an already-built IP datagram.
 // XenLoop uses it to resend packets it saved from its channels before a
-// migration, "once the migration completes" (paper §3.4). The datagram
-// goes through the full output path again (hooks, fragmentation).
+// migration, "once the migration completes" (paper §3.4), and the
+// benchmarks use it to drive the transmit path with prebuilt packets.
+//
+// The datagram is not reassembled into a fresh buffer: it travels the
+// output path (hooks, fragmentation) backed by the caller's bytes, with
+// its mutable IP header fields (ID, TTL, checksum) refreshed in place.
+// The caller must own the backing array; hooks that keep the packet copy
+// it (see OutPacket), so the caller may reuse the array once the call
+// returns.
 func (s *Stack) ResendDatagram(datagram []byte) error {
 	h, payload, err := pkt.ParseIPv4(datagram)
 	if err != nil {
 		return err
 	}
-	return s.ipOutput(h.Proto, h.Src, h.Dst, payload)
+	if len(datagram) > 0 && datagram[0] != 0x45 {
+		// Options present (never emitted by this stack): fall back to
+		// rebuilding rather than rewriting a long header in place.
+		return s.ipOutput(h.Proto, h.Src, h.Dst, payload)
+	}
+	ifc, nextHop, err := s.route(h.Dst)
+	if err != nil {
+		return err
+	}
+	s.model.Charge(s.model.StackPerPacket)
+	h.ID = uint16(s.ipID.Add(1))
+	h.TTL = defaultTTL
+	h.Flags = 0
+	h.FragOff = 0
+	copy(datagram, h.Marshal(len(payload)))
+	return s.transmitDatagram(ifc, nextHop, h, datagram, payload, nil)
 }
 
 // transmitIPResolved builds the final frame once the next-hop MAC is known.

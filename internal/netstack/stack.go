@@ -106,12 +106,28 @@ func (i *Iface) Device() Device { return i.dev }
 // Name returns the device name.
 func (i *Iface) Name() string { return i.dev.Name() }
 
+// sendState is the immutable snapshot of everything the per-packet
+// transmit path reads: the interface list (routing), the output hooks,
+// and the closed flag. It is rebuilt under Stack.mu whenever any of those
+// change (interface add, hook registration, close) and published with one
+// atomic store, so routing and hook dispatch on the send path cost one
+// atomic load instead of mutex round trips.
+type sendState struct {
+	ifaces  []*Iface
+	loIface *Iface
+	hooks   []OutHook
+	closed  bool
+}
+
 // Stack is one host's network stack.
 type Stack struct {
 	// Hostname labels the stack in diagnostics.
 	Hostname string
 
 	model *costmodel.Model
+
+	// send is the lock-free transmit-path view; see sendState.
+	send atomic.Pointer[sendState]
 
 	mu          sync.Mutex
 	ifaces      []*Iface
@@ -128,6 +144,18 @@ type Stack struct {
 
 	ipID      atomic.Uint32
 	ephemeral atomic.Uint32
+}
+
+// publishSendLocked rebuilds the transmit-path snapshot from the
+// authoritative fields. Callers hold s.mu.
+func (s *Stack) publishSendLocked() {
+	st := &sendState{
+		ifaces:  append([]*Iface(nil), s.ifaces...),
+		loIface: s.loIface,
+		hooks:   append([]OutHook(nil), s.outHooks...),
+		closed:  s.closed,
+	}
+	s.send.Store(st)
 }
 
 // New creates a stack with a loopback interface at 127.0.0.1.
@@ -151,6 +179,7 @@ func New(hostname string, model *costmodel.Model) *Stack {
 	s.loIface = &Iface{stack: s, dev: lo, ip: pkt.IP(127, 0, 0, 1), mask: pkt.Mask(8), loopback: true}
 	lo.Attach(func(frame []byte) { s.deliverFrame(s.loIface, frame) })
 	s.ifaces = append(s.ifaces, s.loIface)
+	s.publishSendLocked() // no concurrency yet; mu not needed
 	return s
 }
 
@@ -163,6 +192,7 @@ func (s *Stack) AddIface(dev Device, ip pkt.IPv4, maskBits int) *Iface {
 	dev.Attach(func(frame []byte) { s.deliverFrame(ifc, frame) })
 	s.mu.Lock()
 	s.ifaces = append(s.ifaces, ifc)
+	s.publishSendLocked()
 	s.mu.Unlock()
 	return ifc
 }
@@ -198,6 +228,7 @@ func (s *Stack) Close() {
 	s.closed = true
 	ifaces := make([]*Iface, len(s.ifaces))
 	copy(ifaces, s.ifaces)
+	s.publishSendLocked()
 	s.mu.Unlock()
 	s.tcp.closeAll()
 	s.udp.closeAll()
@@ -214,6 +245,7 @@ func (s *Stack) Close() {
 func (s *Stack) RegisterOutHook(h OutHook) {
 	s.mu.Lock()
 	s.outHooks = append(s.outHooks, h)
+	s.publishSendLocked()
 	s.mu.Unlock()
 }
 
@@ -221,6 +253,7 @@ func (s *Stack) RegisterOutHook(h OutHook) {
 func (s *Stack) UnregisterOutHooks() {
 	s.mu.Lock()
 	s.outHooks = nil
+	s.publishSendLocked()
 	s.mu.Unlock()
 }
 
@@ -290,23 +323,23 @@ func (s *Stack) InjectIP(datagram []byte) {
 	s.ipInput(nil, datagram, true)
 }
 
-// route selects the output interface and next hop for dst.
+// route selects the output interface and next hop for dst. It reads the
+// published send snapshot and takes no lock — this runs per packet.
 func (s *Stack) route(dst pkt.IPv4) (*Iface, pkt.IPv4, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	st := s.send.Load()
+	if st.closed {
 		return nil, pkt.IPv4{}, ErrClosed
 	}
 	// Local addresses loop back, including our own interface addresses.
 	if dst == pkt.IP(127, 0, 0, 1) {
-		return s.loIface, dst, nil
+		return st.loIface, dst, nil
 	}
-	for _, ifc := range s.ifaces {
+	for _, ifc := range st.ifaces {
 		if !ifc.loopback && ifc.ip == dst {
-			return s.loIface, dst, nil
+			return st.loIface, dst, nil
 		}
 	}
-	for _, ifc := range s.ifaces {
+	for _, ifc := range st.ifaces {
 		if ifc.loopback {
 			continue
 		}
@@ -333,14 +366,13 @@ func (s *Stack) localIPFor(dst pkt.IPv4) (pkt.IPv4, error) {
 	return ifc.ip, nil
 }
 
-// isLocalIP reports whether ip is one of ours.
+// isLocalIP reports whether ip is one of ours. Snapshot read: this runs
+// on every received packet.
 func (s *Stack) isLocalIP(ip pkt.IPv4) bool {
 	if ip == pkt.IP(127, 0, 0, 1) {
 		return true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, ifc := range s.ifaces {
+	for _, ifc := range s.send.Load().ifaces {
 		if ifc.ip == ip {
 			return true
 		}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLineBytes pads shards far enough apart that two cores bumping
+// different shards never share a line (64 B on x86-64/arm64; 128 would
+// also cover Apple M-series prefetch pairs, but 64 matches the dominant
+// deployment and keeps the struct compact).
+const cacheLineBytes = 64
+
+// counterShards is the stripe width of a Counter. Eight shards is plenty
+// for the sender counts the scale benchmark drives while keeping Load()
+// cheap; it must be a power of two so shard selection is a mask.
+const counterShards = 8
+
+type counterShard struct {
+	v atomic.Uint64
+	_ [cacheLineBytes - 8]byte
+}
+
+// Counter is a monotonically increasing event counter safe for
+// high-frequency concurrent Add from the packet fast path. Increments are
+// striped across cache-line-padded shards so concurrent senders do not
+// ping-pong one line; Load sums the stripes and is intended for the
+// control plane (snapshots, tests, xltop), not the per-packet path.
+//
+// The zero value is ready to use. Counter must not be copied after first
+// use.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Load returns the current total. The sum is not a single atomic
+// snapshot: increments racing with Load may or may not be included, which
+// is the usual (and here acceptable) contract for statistics counters.
+func (c *Counter) Load() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Store resets the counter to v (control-plane use: migration resets,
+// test setup). Concurrent Adds racing with Store land in unspecified
+// shards and survive the reset.
+func (c *Counter) Store(v uint64) {
+	c.shards[0].v.Store(v)
+	for i := 1; i < len(c.shards); i++ {
+		c.shards[i].v.Store(0)
+	}
+}
+
+// MaxGauge tracks a high-water mark updated from concurrent writers with
+// a CAS loop. The zero value is ready to use.
+type MaxGauge struct {
+	v atomic.Uint64
+}
+
+// Observe raises the gauge to v if v exceeds the current maximum.
+func (g *MaxGauge) Observe(v uint64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (g *MaxGauge) Load() uint64 { return g.v.Load() }
+
+// Store resets the gauge (control-plane use only).
+func (g *MaxGauge) Store(v uint64) { g.v.Store(v) }
+
+// shardIndex picks a stripe for the calling goroutine. Goroutine stacks
+// live in distinct allocations, so the page number of a stack local is a
+// cheap, stable-per-goroutine hash — no runtime hooks, no TLS. Collisions
+// merely share a shard (still correct, just less striped).
+func shardIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>12) & (counterShards - 1)
+}

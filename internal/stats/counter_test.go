@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("Load() = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterStore(t *testing.T) {
+	var c Counter
+	c.Add(7)
+	c.Add(3)
+	c.Store(5)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("after Store(5): Load() = %d", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Store(0): Load() = %d", got)
+	}
+}
+
+func TestMaxGauge(t *testing.T) {
+	var g MaxGauge
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(base uint64) {
+			defer wg.Done()
+			for j := uint64(0); j < 1000; j++ {
+				g.Observe(base*1000 + j)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if got := g.Load(); got != 7999 {
+		t.Fatalf("MaxGauge high-water = %d, want 7999", got)
+	}
+	g.Observe(12)
+	if got := g.Load(); got != 7999 {
+		t.Fatalf("Observe(12) lowered the gauge to %d", got)
+	}
+}
