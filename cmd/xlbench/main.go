@@ -9,9 +9,14 @@
 //	xlbench -exp table3 -profile off
 //
 // Experiments: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 counters datapath scale. The datapath experiment additionally
+// fig11 counters datapath scale chaos. The datapath experiment additionally
 // writes its result to BENCH_datapath.json, and scale to BENCH_scale.json,
 // for machine consumption. -short trims the scale sweep for CI smoke runs.
+//
+// The chaos experiment (not part of "all") soaks a 4-guest mesh under
+// seeded fault injection: -chaos.seeds sweeps seeds 1..N, -chaos.seed
+// replays one seed exactly, -chaos.duration sets per-seed soak time.
+// A violated invariant prints the failing seed and exits nonzero.
 package main
 
 import (
@@ -35,6 +40,9 @@ func main() {
 	fifo := flag.Int("fifo", 0, "XenLoop FIFO size in bytes (0 = paper's 64 KiB)")
 	profile := flag.String("profile", "calibrated", "cost profile: calibrated or off")
 	short := flag.Bool("short", false, "trim sweeps for smoke runs (scale: senders {1,8}, 100ms points)")
+	chaosSeed := flag.Int64("chaos.seed", 0, "run the chaos experiment with this single seed (0 = seed sweep)")
+	chaosSeeds := flag.Int("chaos.seeds", 20, "number of seeds (1..N) in the chaos sweep")
+	chaosDur := flag.Duration("chaos.duration", 2*time.Second, "per-seed chaos soak duration")
 	flag.Parse()
 
 	var model *costmodel.Model
@@ -54,6 +62,8 @@ func main() {
 		FIFOSizeBytes: *fifo,
 	}
 
+	// The chaos soak is deliberately not part of "all": it is a fault
+	// injection stress, not a paper figure, and it runs for seeds*duration.
 	known := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "counters", "datapath", "scale"}
 	var run []string
 	if *exp == "all" {
@@ -64,11 +74,56 @@ func main() {
 		}
 	}
 	for _, e := range run {
+		if e == "chaos" {
+			if err := runChaos(*chaosSeed, *chaosSeeds, *chaosDur); err != nil {
+				fmt.Fprintf(os.Stderr, "xlbench chaos: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		if err := runExperiment(e, opts, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "xlbench %s: %v\n", e, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runChaos drives the seeded fault-injection soak. A single seed
+// (-chaos.seed=N) reproduces a failure exactly; otherwise seeds 1..N are
+// swept and the first failing seed is reported with its repro command.
+func runChaos(seed int64, seeds int, dur time.Duration) error {
+	list := []int64{seed}
+	if seed == 0 {
+		list = list[:0]
+		for i := 1; i <= seeds; i++ {
+			list = append(list, int64(i))
+		}
+	}
+	fmt.Printf("Chaos soak: %d seed(s), %v each\n", len(list), dur)
+	failed := 0
+	for _, s := range list {
+		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: dur, Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		if len(r.Violations) == 0 {
+			fmt.Printf("  seed %-3d PASS  sent=%d delivered=%d migrations=%d suspends=%d flaps=%d faults=%d\n",
+				s, r.Sent, r.Delivered, r.Migrations, r.SuspendResumes, r.AdFlaps, r.FaultsArmed)
+			continue
+		}
+		failed++
+		for _, v := range r.Violations {
+			fmt.Printf("  seed %-3d FAIL  %s\n", s, v)
+		}
+		fmt.Printf("  reproduce: go run ./cmd/xlbench -exp chaos -chaos.seed=%d -chaos.duration=%v\n", s, dur)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d seeds violated invariants", failed, len(list))
+	}
+	fmt.Println()
+	return nil
 }
 
 func fmtVal(v float64) string {

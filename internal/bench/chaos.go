@@ -1,0 +1,494 @@
+package bench
+
+// Chaos soak harness for the connect/teardown/migration lifecycle: a
+// multi-guest mesh exchanges sequence-stamped datagrams while a seeded
+// schedule injects faults (via internal/faultinject), flaps XenStore
+// advertisements, and migrates or suspend/resumes guests. After a
+// quiesce-and-drain phase the harness asserts the invariants that make
+// XenLoop "transparent" in the paper's sense: no datagram delivered
+// twice, no delivery exceeding what was sent, every buffer lease back in
+// the pool, every grant/event-channel/foreign-mapping released, and exact
+// channel conservation (every packet pushed into a FIFO was received
+// exactly once). The whole run is reproducible per seed: the fault
+// schedule and each failpoint's decision stream derive from Seed alone.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/faultinject"
+	"repro/internal/testbed"
+)
+
+// chaosPort is the UDP port every mesh guest listens on.
+const chaosPort = 7000
+
+// chaosMagic tags harness datagrams so strays are ignored.
+const chaosMagic = 0x584C4348 // "XLCH"
+
+// chaosPayloadLen pads datagrams to a realistic small-packet size.
+const chaosPayloadLen = 64
+
+// ChaosOptions parameterize one chaos run.
+type ChaosOptions struct {
+	// Seed drives both the fault schedule and every failpoint's decision
+	// stream. Same seed, same schedule.
+	Seed int64
+	// Duration of the active (fault-injecting) phase. 0 = 1s.
+	Duration time.Duration
+	// VMs is the mesh size (0 = 4), spread round-robin over Machines.
+	VMs int
+	// Machines is the number of physical hosts (0 = 2).
+	Machines int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.VMs <= 0 {
+		o.VMs = 4
+	}
+	if o.Machines <= 0 {
+		o.Machines = 2
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// ChaosViolation is one failed invariant.
+type ChaosViolation struct {
+	Invariant string // short name: duplicate-delivery, lease-leak, ...
+	Detail    string
+}
+
+func (v ChaosViolation) String() string { return v.Invariant + ": " + v.Detail }
+
+// ChaosResult reports what one run did and which invariants (if any) it
+// violated. An empty Violations slice is the pass condition.
+type ChaosResult struct {
+	Seed       int64
+	Sent       uint64 // datagrams accepted by the senders' stacks
+	Delivered  uint64 // distinct datagrams received
+	Duplicates uint64 // datagrams received more than once
+
+	Migrations     int
+	SuspendResumes int
+	AdFlaps        int
+	FaultsArmed    int
+
+	PktsChannel  uint64 // pushed into FIFO channels, summed over modules
+	PktsReceived uint64 // drained from FIFO channels, summed over modules
+	PktsPurged   uint64 // waiting-list packets dropped at teardown
+
+	Violations []ChaosViolation
+}
+
+// chaosFault describes one failpoint the schedule may arm. Failpoints
+// whose faults the vif reattach path cannot absorb (lifecycle=false) are
+// disarmed before every migrate/suspend; maxCount>0 bounds the number of
+// hits so bounded-retry release paths (grant unmap) always converge.
+type chaosFault struct {
+	name      string
+	lifecycle bool
+	maxCount  int
+	delay     bool // delay-only failpoint (no error injected)
+}
+
+var chaosFaults = []chaosFault{
+	{name: faultinject.FPNotifyDrop, lifecycle: true},
+	{name: faultinject.FPNotifyDelay, lifecycle: true, delay: true},
+	{name: faultinject.FPCtlDrop, lifecycle: true},
+	{name: faultinject.FPWatchDrop, lifecycle: true},
+	{name: faultinject.FPBootstrapStall, lifecycle: true, delay: true},
+	{name: faultinject.FPGrantMap, maxCount: 50},
+	{name: faultinject.FPGrantUnmap, maxCount: 8},
+	{name: faultinject.FPEvtchnAlloc, maxCount: 50},
+	{name: faultinject.FPEvtchnBind, maxCount: 50},
+	{name: faultinject.FPStoreWrite, maxCount: 20},
+}
+
+// meshResources sums the machine-side resource footprint of every live
+// domain (including both Dom0s). Individual per-machine counts move as
+// guests migrate; the cross-machine sums are invariant and must return to
+// their pre-traffic baseline once all channels are torn down.
+type meshResources struct {
+	grants, ports, maps int
+}
+
+func resourcesOf(machines []*testbed.Machine) meshResources {
+	var r meshResources
+	for _, m := range machines {
+		for _, d := range m.HV.Domains() {
+			r.grants += d.GrantEntryCount()
+			r.ports += d.OpenPortCount()
+			r.maps += d.ForeignMapCount()
+		}
+	}
+	return r
+}
+
+func encodeChaos(p []byte, flow uint32, seq uint64) {
+	binary.LittleEndian.PutUint32(p[0:4], chaosMagic)
+	binary.LittleEndian.PutUint32(p[4:8], flow)
+	binary.LittleEndian.PutUint64(p[8:16], seq)
+}
+
+func decodeChaos(p []byte) (flow uint32, seq uint64, ok bool) {
+	if len(p) < 16 || binary.LittleEndian.Uint32(p[0:4]) != chaosMagic {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint32(p[4:8]), binary.LittleEndian.Uint64(p[8:16]), true
+}
+
+// flowBits is a growable bitset of seen sequence numbers for one flow
+// (senders number densely from 0, so a bitset beats a map by orders of
+// magnitude on long soaks).
+type flowBits struct {
+	bits []uint64
+}
+
+// mark records seq and reports whether it was already present.
+func (f *flowBits) mark(seq uint64) bool {
+	word := seq / 64
+	for uint64(len(f.bits)) <= word {
+		f.bits = append(f.bits, 0)
+	}
+	mask := uint64(1) << (seq % 64)
+	dup := f.bits[word]&mask != 0
+	f.bits[word] |= mask
+	return dup
+}
+
+// Chaos runs one seeded chaos soak and returns the result. A non-nil
+// error means the harness itself could not run (mesh construction
+// failed); invariant failures are reported in Result.Violations instead.
+func Chaos(o ChaosOptions) (ChaosResult, error) {
+	o = o.withDefaults()
+	res := ChaosResult{Seed: o.Seed}
+
+	// The failpoint registry is process-global: start from a clean slate,
+	// seed it for this run, and leave it clean however we exit.
+	faultinject.DisableAll()
+	faultinject.SetSeed(o.Seed)
+	defer faultinject.DisableAll()
+
+	leaseBase := buf.Outstanding()
+
+	tb := testbed.New(testbed.Options{DiscoveryPeriod: 25 * time.Millisecond})
+	defer tb.Close()
+	machines := make([]*testbed.Machine, o.Machines)
+	for i := range machines {
+		machines[i] = tb.AddMachine(fmt.Sprintf("chaos-m%d", i+1))
+	}
+	vms := make([]*testbed.VM, o.VMs)
+	for i := range vms {
+		vm, err := tb.AddVM(machines[i%len(machines)], fmt.Sprintf("chaos-g%d", i+1))
+		if err != nil {
+			return res, fmt.Errorf("chaos: add VM: %w", err)
+		}
+		if err := tb.EnableXenLoop(vm); err != nil {
+			return res, fmt.Errorf("chaos: enable xenloop: %w", err)
+		}
+		vms[i] = vm
+	}
+
+	// Resource baseline: vif plumbing only, no channels yet. Channels form
+	// lazily under traffic and must all be gone again by the end.
+	resBase := resourcesOf(machines)
+
+	violate := func(invariant, format string, args ...any) {
+		res.Violations = append(res.Violations, ChaosViolation{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	// --- receivers: one UDP server per VM, per-flow duplicate detection ---
+	n := len(vms)
+	nFlows := n * n
+	sent := make([]atomic.Uint64, nFlows)
+	recvd := make([]atomic.Uint64, nFlows)
+	var delivered, dups atomic.Uint64
+	var wgRecv sync.WaitGroup
+	recvConns := make([]func(), 0, n)
+	for _, vm := range vms {
+		conn, err := vm.Stack.ListenUDP(chaosPort)
+		if err != nil {
+			return res, fmt.Errorf("chaos: listen: %w", err)
+		}
+		recvConns = append(recvConns, conn.Close)
+		wgRecv.Add(1)
+		go func() {
+			defer wgRecv.Done()
+			flows := map[uint32]*flowBits{}
+			for {
+				data, _, _, err := conn.ReadFrom(0)
+				if err != nil {
+					return
+				}
+				flow, seq, ok := decodeChaos(data)
+				if !ok || int(flow) >= nFlows {
+					continue
+				}
+				fb := flows[flow]
+				if fb == nil {
+					fb = &flowBits{}
+					flows[flow] = fb
+				}
+				if fb.mark(seq) {
+					dups.Add(1)
+				} else {
+					delivered.Add(1)
+					recvd[flow].Add(1)
+				}
+			}
+		}()
+	}
+
+	// --- senders: one flow per ordered VM pair ---
+	stopSend := make(chan struct{})
+	var wgSend sync.WaitGroup
+	for i := range vms {
+		for j := range vms {
+			if i == j {
+				continue
+			}
+			flow := uint32(i*n + j)
+			src, dst := vms[i], vms[j]
+			wgSend.Add(1)
+			go func() {
+				defer wgSend.Done()
+				conn, err := src.Stack.ListenUDP(0)
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				payload := make([]byte, chaosPayloadLen)
+				var seq uint64
+				for {
+					select {
+					case <-stopSend:
+						return
+					default:
+					}
+					encodeChaos(payload, flow, seq)
+					// A WriteTo error means the datagram never reached the
+					// wire (no route / vif detached mid-migration): burn the
+					// sequence number and retry later. On success the stack
+					// owns the packet — it may still be dropped (that is
+					// chaos working), but never duplicated.
+					if err := conn.WriteTo(payload, dst.IP, chaosPort); err == nil {
+						sent[flow].Add(1)
+					} else {
+						time.Sleep(time.Millisecond)
+					}
+					seq++
+					if seq%8 == 0 {
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+			}()
+		}
+	}
+
+	// --- seeded chaos schedule ---
+	rng := rand.New(rand.NewSource(o.Seed))
+	armed := map[string]bool{}
+	disarmNonLifecycle := func() {
+		for _, f := range chaosFaults {
+			if !f.lifecycle && armed[f.name] {
+				faultinject.Disable(f.name)
+				delete(armed, f.name)
+			}
+		}
+	}
+	deadline := time.Now().Add(o.Duration)
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Duration(2+rng.Intn(18)) * time.Millisecond)
+		switch action := rng.Intn(100); {
+		case action < 35:
+			// Toggle a random failpoint.
+			f := chaosFaults[rng.Intn(len(chaosFaults))]
+			if armed[f.name] {
+				faultinject.Disable(f.name)
+				delete(armed, f.name)
+				break
+			}
+			spec := faultinject.Spec{Probability: 0.05 + 0.45*rng.Float64()}
+			if f.maxCount > 0 {
+				spec.Count = 1 + rng.Intn(f.maxCount)
+			}
+			if f.delay {
+				spec.Delay = time.Duration(1+rng.Intn(2)) * time.Millisecond
+			}
+			faultinject.Enable(f.name, spec)
+			armed[f.name] = true
+			res.FaultsArmed++
+		case action < 50:
+			// Advertisement flap: the peer disappears from discovery (its
+			// channels are torn down), then reappears.
+			vm := vms[rng.Intn(n)]
+			path := vm.Dom.StorePath() + "/xenloop"
+			val, err := vm.Dom.StoreRead(path)
+			if err != nil {
+				break
+			}
+			_ = vm.Dom.StoreRemove(path)
+			for _, m := range machines {
+				m.Discovery.Scan()
+			}
+			time.Sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
+			_ = vm.Dom.StoreWrite(path, val)
+			for _, m := range machines {
+				m.Discovery.Scan()
+			}
+			res.AdFlaps++
+		case action < 65:
+			// Live migration to a random other machine.
+			if len(machines) < 2 {
+				break
+			}
+			disarmNonLifecycle()
+			vm := vms[rng.Intn(n)]
+			target := machines[rng.Intn(len(machines))]
+			if target == vm.Machine {
+				break
+			}
+			if err := tb.Migrate(vm, target); err != nil {
+				violate("lifecycle", "migrate %s: %v", vm.Name, err)
+			}
+			res.Migrations++
+		case action < 75:
+			// Suspend/resume (xm save + restore) in place.
+			disarmNonLifecycle()
+			vm := vms[rng.Intn(n)]
+			if err := tb.SuspendResume(vm); err != nil {
+				violate("lifecycle", "suspend/resume %s: %v", vm.Name, err)
+			}
+			res.SuspendResumes++
+		case action < 90:
+			for _, m := range machines {
+				m.Discovery.Scan()
+			}
+		default:
+			// Idle tick: let traffic flow undisturbed.
+		}
+	}
+
+	// --- quiesce: stop injecting, restore soft state, verify recovery ---
+	faultinject.DisableAll()
+	for _, vm := range vms {
+		// Re-advertise anything a store-write fault ate (same format as
+		// Module.advertise).
+		_ = vm.Dom.StoreWrite(vm.Dom.StorePath()+"/xenloop", vm.MAC.String())
+	}
+	for _, m := range machines {
+		m.Discovery.Scan()
+	}
+
+	// Stop the load before asserting reachability: the invariant is "the
+	// mesh recovers once faults stop", not "pings win races against a
+	// saturating flood" (under -race the latter flakes on queue overflow).
+	close(stopSend)
+	wgSend.Wait()
+
+	// Wait for in-flight datagrams to settle: delivered count stable for
+	// 200ms (bounded at 5s).
+	stableDeadline := time.Now().Add(5 * time.Second)
+	last := delivered.Load()
+	lastChange := time.Now()
+	for time.Now().Before(stableDeadline) {
+		time.Sleep(20 * time.Millisecond)
+		if cur := delivered.Load(); cur != last {
+			last = cur
+			lastChange = time.Now()
+		} else if time.Since(lastChange) > 200*time.Millisecond {
+			break
+		}
+	}
+
+	// Transparency: with faults gone, every pair must be reachable again.
+	for i := range vms {
+		for j := range vms {
+			if i == j {
+				continue
+			}
+			ok := false
+			pingDeadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(pingDeadline) {
+				if _, err := vms[i].Stack.Ping(vms[j].IP, 32, 300*time.Millisecond); err == nil {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				violate("transparency", "%s cannot reach %s after quiesce", vms[i].Name, vms[j].Name)
+			}
+		}
+	}
+
+	for _, closeConn := range recvConns {
+		closeConn()
+	}
+	wgRecv.Wait()
+
+	// Tear every module down and verify nothing leaked.
+	for _, vm := range vms {
+		vm.XL.Detach()
+	}
+	settle := time.Now().Add(5 * time.Second)
+	for buf.Outstanding() > leaseBase && time.Now().Before(settle) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if out := buf.Outstanding(); out > leaseBase {
+		violate("lease-leak", "%d buffer leases outstanding (baseline %d)", out, leaseBase)
+	}
+	for resourcesOf(machines) != resBase && time.Now().Before(settle) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cur := resourcesOf(machines); cur != resBase {
+		violate("resource-leak", "grants/ports/maps %d/%d/%d, baseline %d/%d/%d",
+			cur.grants, cur.ports, cur.maps, resBase.grants, resBase.ports, resBase.maps)
+	}
+
+	// Channel conservation: every packet pushed into a FIFO must have been
+	// drained exactly once (teardown drains included).
+	for _, vm := range vms {
+		s := vm.XL.Stats()
+		res.PktsChannel += s.PktsChannel.Load()
+		res.PktsReceived += s.PktsReceived.Load()
+		res.PktsPurged += s.PktsPurged.Load()
+	}
+	if res.PktsChannel != res.PktsReceived {
+		violate("channel-conservation", "pushed %d != received %d", res.PktsChannel, res.PktsReceived)
+	}
+
+	res.Delivered = delivered.Load()
+	res.Duplicates = dups.Load()
+	if res.Duplicates > 0 {
+		violate("duplicate-delivery", "%d datagrams delivered more than once", res.Duplicates)
+	}
+	for flow := 0; flow < nFlows; flow++ {
+		s, r := sent[flow].Load(), recvd[flow].Load()
+		res.Sent += s
+		if r > s {
+			violate("phantom-delivery", "flow %d: received %d > sent %d", flow, r, s)
+		}
+	}
+
+	o.Log("chaos seed=%d: sent=%d delivered=%d dups=%d migrations=%d suspends=%d flaps=%d faults=%d channel=%d/%d purged=%d violations=%d",
+		res.Seed, res.Sent, res.Delivered, res.Duplicates, res.Migrations,
+		res.SuspendResumes, res.AdFlaps, res.FaultsArmed,
+		res.PktsChannel, res.PktsReceived, res.PktsPurged, len(res.Violations))
+	return res, nil
+}

@@ -94,6 +94,114 @@ func TestRemovePortForgetsAddresses(t *testing.T) {
 	}
 }
 
+// TestPerSourceOrderingUnderConcurrentFlows: the bridge must never
+// reorder one sender's frames, even while another port is forwarding
+// concurrently. This is the property the XenLoop fallback leans on when a
+// stream switches from a torn-down channel to the standard path.
+func TestPerSourceOrderingUnderConcurrentFlows(t *testing.T) {
+	b := New(nil, nil)
+	macDst := pkt.XenMAC(0, 9, 0)
+	var sink struct {
+		mu   sync.Mutex
+		last map[byte]byte // source tag -> last sequence seen
+		bad  int
+	}
+	sink.last = map[byte]byte{}
+	dst := b.AddPort("dst", func(f []byte) {
+		_, payload, err := pkt.ParseEth(f)
+		if err != nil || len(payload) < 2 {
+			return
+		}
+		src, seq := payload[0], payload[1]
+		sink.mu.Lock()
+		if last, ok := sink.last[src]; ok && seq != last+1 {
+			sink.bad++
+		}
+		sink.last[src] = seq
+		sink.mu.Unlock()
+	}, false)
+	// Teach the bridge where the destination lives so the senders unicast.
+	dstMACFrame := pkt.BuildFrame(pkt.XenMAC(0, 1, 0), macDst, pkt.EtherTypeIPv4, []byte{0})
+	dst.Input(dstMACFrame)
+
+	const senders, frames = 4, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		src := b.AddPort("src", func([]byte) {}, false)
+		mac := pkt.XenMAC(1, byte(s+1), 0)
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				src.Input(pkt.BuildFrame(macDst, mac, pkt.EtherTypeIPv4, []byte{tag, byte(i)}))
+			}
+		}(byte(s))
+	}
+	wg.Wait()
+	if sink.bad != 0 {
+		t.Fatalf("%d per-source ordering violations", sink.bad)
+	}
+	if len(sink.last) != senders {
+		t.Fatalf("frames from %d of %d senders arrived", len(sink.last), senders)
+	}
+}
+
+// TestRemovePortMidTraffic models a vif detaching (migration, crash)
+// while peers keep transmitting: concurrent RemovePort must not race with
+// forwarding, frames to the vanished MAC fall back to flooding, and the
+// address is re-learned when the port returns.
+func TestRemovePortMidTraffic(t *testing.T) {
+	b := New(nil, nil)
+	macA, macB := pkt.XenMAC(0, 1, 0), pkt.XenMAC(0, 2, 0)
+	var cA, cB, cC capture
+	pA := b.AddPort("pA", cA.deliver, false)
+	pB := b.AddPort("pB", cB.deliver, false)
+	b.AddPort("pC", cC.deliver, false)
+
+	// Learn both endpoints.
+	pA.Input(pkt.BuildFrame(macB, macA, pkt.EtherTypeIPv4, []byte("a")))
+	pB.Input(pkt.BuildFrame(macA, macB, pkt.EtherTypeIPv4, []byte("b")))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pA.Input(pkt.BuildFrame(macB, macA, pkt.EtherTypeIPv4, []byte("x")))
+			}
+		}
+	}()
+	b.RemovePort(pB)
+	close(stop)
+	wg.Wait()
+
+	floodBase := cC.count()
+	// With B gone its address is forgotten: traffic to it floods to the
+	// remaining ports instead of blackholing.
+	pA.Input(pkt.BuildFrame(macB, macA, pkt.EtherTypeIPv4, []byte("y")))
+	if cC.count() != floodBase+1 {
+		t.Fatalf("frame to removed port did not flood (pC %d -> %d)", floodBase, cC.count())
+	}
+	// The vif reattaches (same MAC, new port) and one transmission
+	// re-learns it: unicast resumes, flooding stops.
+	var cB2 capture
+	pB2 := b.AddPort("pB2", cB2.deliver, false)
+	pB2.Input(pkt.BuildFrame(macA, macB, pkt.EtherTypeIPv4, []byte("z")))
+	floodBase = cC.count()
+	pA.Input(pkt.BuildFrame(macB, macA, pkt.EtherTypeIPv4, []byte("w")))
+	if cB2.count() != 1 {
+		t.Fatalf("reattached port did not receive unicast (got %d)", cB2.count())
+	}
+	if cC.count() != floodBase {
+		t.Fatalf("bridge still flooding after re-learn (pC %d -> %d)", floodBase, cC.count())
+	}
+}
+
 func TestMalformedFrameIgnored(t *testing.T) {
 	b := New(nil, nil)
 	var c capture

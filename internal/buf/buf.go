@@ -48,15 +48,22 @@ func init() {
 
 // poolStats counts pool traffic for tests and the bench harness.
 var poolStats struct {
-	gets     atomic.Uint64
-	puts     atomic.Uint64
-	oversize atomic.Uint64
+	gets        atomic.Uint64
+	puts        atomic.Uint64
+	oversize    atomic.Uint64
+	outstanding atomic.Int64
 }
 
 // PoolStats reports (gets, puts, oversize allocations) since process start.
 func PoolStats() (gets, puts, oversize uint64) {
 	return poolStats.gets.Load(), poolStats.puts.Load(), poolStats.oversize.Load()
 }
+
+// Outstanding reports the number of currently leased buffers (Get calls
+// whose final Release has not happened yet). Unlike gets-puts it counts
+// oversized buffers too, so invariant checks — every lease returned after
+// a chaos run — need no approximation.
+func Outstanding() int64 { return poolStats.outstanding.Load() }
 
 // Buffer is one leased packet buffer. The zero value is not usable; obtain
 // Buffers from Get or FromBytes.
@@ -81,6 +88,7 @@ func classFor(n int) int8 {
 // one reference owned by the caller.
 func Get(n int) *Buffer {
 	poolStats.gets.Add(1)
+	poolStats.outstanding.Add(1)
 	class := classFor(n)
 	var b *Buffer
 	if class < 0 {
@@ -140,6 +148,7 @@ func (b *Buffer) Release() {
 	case refs < 0:
 		panic("buf: Release of an already-released buffer")
 	}
+	poolStats.outstanding.Add(-1)
 	if b.class >= 0 {
 		poolStats.puts.Add(1)
 		pools[b.class].Put(b)

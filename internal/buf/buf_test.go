@@ -53,6 +53,25 @@ func TestOversizedAllocation(t *testing.T) {
 	b.Release() // must not panic even though it cannot be pooled
 }
 
+func TestOutstandingBalances(t *testing.T) {
+	base := Outstanding()
+	pooled := Get(512)
+	oversize := Get(1 << 20)
+	if got := Outstanding(); got != base+2 {
+		t.Fatalf("Outstanding = %d, want %d", got, base+2)
+	}
+	pooled.Retain()
+	pooled.Release() // still one reference: lease not returned yet
+	if got := Outstanding(); got != base+2 {
+		t.Fatalf("Outstanding after partial release = %d, want %d", got, base+2)
+	}
+	pooled.Release()
+	oversize.Release() // oversize releases must balance too (no pool put)
+	if got := Outstanding(); got != base {
+		t.Fatalf("Outstanding after final releases = %d, want %d", got, base)
+	}
+}
+
 func TestRetainKeepsBufferAlive(t *testing.T) {
 	b := Get(64)
 	b.Retain()

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/buf"
+	"repro/internal/faultinject"
 	"repro/internal/fifo"
 	"repro/internal/hypervisor"
 	"repro/internal/netstack"
@@ -48,6 +50,17 @@ type Channel struct {
 	outRef     hypervisor.GrantRef // grants made (listener) or mapped (connector)
 	inRef      hypervisor.GrantRef
 	generation uint32
+
+	// released makes releaseChannel idempotent: teardown can arrive from
+	// several directions at once (worker noticing the inactive flag, an
+	// announcement dropping the peer, Detach) and the resources must be
+	// returned exactly once.
+	released atomic.Bool
+
+	// bootClaim serializes connector-side setup: only one create-channel
+	// message may be mid-mapping at a time. It is reset on failure so a
+	// retransmitted create can retry.
+	bootClaim atomic.Bool
 
 	// The waiting list is the slow path, entered only when the FIFO is
 	// full. waitMu guards it; the fast path never takes waitMu — it reads
@@ -216,13 +229,28 @@ func (ch *Channel) worker() {
 		if !ch.in.ParkConsumer() {
 			continue // more packets arrived while parking
 		}
+		t := time.NewTimer(parkWatchdog)
 		select {
 		case <-ch.signal:
 		case <-ch.quit:
+			t.Stop()
 			return
+		case <-t.C:
+			// Lost-notification insurance: event channels carry one bit and
+			// a notification can be lost outright (hypervisor under
+			// pressure, or injected via FPNotifyDrop). Data sitting in the
+			// ring — or an inactive flag set by the peer — would otherwise
+			// never wake us. Rescan unconditionally.
 		}
+		t.Stop()
 	}
 }
+
+// parkWatchdog bounds how long a parked worker trusts the event channel.
+// It only costs a timer wakeup and an empty drain pass on an idle
+// channel; the latency win when a notification is genuinely lost is the
+// difference between 2ms and forever.
+const parkWatchdog = 2 * time.Millisecond
 
 // coalescePeriod is the pacing of a polling-mode consumer. A real
 // receiving VM's softirq runs when the scheduler gets to it, not the
@@ -426,12 +454,14 @@ func (ch *Channel) takeWaiting() [][]byte {
 	return out
 }
 
-// purgeWaiting releases every queued lease. Called during teardown after
-// the out descriptor is marked inactive, so no new packet can join the
-// list afterward (enqueueWaiting checks the flag under waitMu); without
-// this, leases queued at Detach time would never return to the pool.
-func (ch *Channel) purgeWaiting() {
+// purgeWaiting releases every queued lease and returns how many packets
+// were dropped. Called during teardown after the out descriptor is marked
+// inactive, so no new packet can join the list afterward (enqueueWaiting
+// checks the flag under waitMu); without this, leases queued at Detach
+// time would never return to the pool.
+func (ch *Channel) purgeWaiting() int {
 	ch.waitMu.Lock()
+	n := len(ch.waiting)
 	for i, b := range ch.waiting {
 		b.Release()
 		ch.waiting[i] = nil
@@ -439,6 +469,7 @@ func (ch *Channel) purgeWaiting() {
 	ch.waiting = nil
 	ch.nWaiting.Store(0)
 	ch.waitMu.Unlock()
+	return n
 }
 
 // stop terminates the worker.
@@ -475,6 +506,10 @@ func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Ch
 // listenerBootstrap allocates the shared FIFOs and event channel, then
 // sends create-channel with up to cfg.BootstrapRetries retransmissions.
 func (m *Module) listenerBootstrap(ch *Channel) {
+	// Failpoint: the listener stalls before allocating anything — a
+	// descheduled or dying peer from the connector's point of view. The
+	// connector's request retries and timeout must cover the gap.
+	_ = faultinject.Fire(faultinject.FPBootstrapStall)
 	outDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
 	inDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
 	ch.resMu.Lock()
@@ -507,12 +542,13 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 	}).marshal()
 	ch.resMu.Unlock()
 
+	timeout := m.cfg.BootstrapTimeout
 	for attempt := 0; attempt < m.cfg.BootstrapRetries; attempt++ {
 		if ch.Connected() {
 			return
 		}
 		m.sendControl(ch.peer.MAC, msg)
-		deadline := time.After(m.cfg.BootstrapTimeout)
+		deadline := time.After(timeout)
 	waitAck:
 		for {
 			select {
@@ -526,6 +562,12 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 				}
 			}
 		}
+		// Back off between retransmissions (doubling, capped at 4× the
+		// configured timeout): on a lossy control path immediate retries
+		// only add to the loss, and the peer may be mid-migration.
+		if timeout < 4*m.cfg.BootstrapTimeout {
+			timeout *= 2
+		}
 	}
 	if !ch.Connected() {
 		m.abortBootstrap(ch)
@@ -536,15 +578,19 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 // to act as listener.
 func (m *Module) requestChannel(ch *Channel) {
 	msg := (&simpleMsg{Kind: msgChannelReq, Sender: m.Self()}).marshal()
+	timeout := m.cfg.BootstrapTimeout
 	for attempt := 0; attempt < m.cfg.BootstrapRetries; attempt++ {
 		if ch.Connected() {
 			return
 		}
 		m.sendControl(ch.peer.MAC, msg)
 		select {
-		case <-time.After(m.cfg.BootstrapTimeout):
+		case <-time.After(timeout):
 		case <-ch.quit:
 			return
+		}
+		if timeout < 4*m.cfg.BootstrapTimeout {
+			timeout *= 2 // same backoff as the listener's retransmissions
 		}
 	}
 	if !ch.Connected() {
@@ -590,26 +636,37 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 	if ch.listener {
 		return // both sides listener: impossible by ID ordering
 	}
+	if !ch.bootClaim.CompareAndSwap(false, true) {
+		return // another create for this channel is already mid-mapping
+	}
 
-	// Map the descriptor grants: our IN is the listener's OUT.
+	// Map the descriptor grants: our IN is the listener's OUT. Every
+	// failure path unmaps whatever was mapped and resets the claim so a
+	// retransmitted create gets a fresh attempt.
 	inObj, err := m.dom.MapGrant(msg.Listener.Dom, msg.OutRef)
 	if err != nil {
+		ch.bootClaim.Store(false)
 		return
 	}
 	outObj, err := m.dom.MapGrant(msg.Listener.Dom, msg.InRef)
 	if err != nil {
-		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.OutRef)
+		m.unmapEventually(msg.Listener.Dom, msg.OutRef)
+		ch.bootClaim.Store(false)
 		return
 	}
 	inDesc, ok1 := inObj.(*fifo.Descriptor)
 	outDesc, ok2 := outObj.(*fifo.Descriptor)
 	if !ok1 || !ok2 {
+		m.unmapEventually(msg.Listener.Dom, msg.OutRef)
+		m.unmapEventually(msg.Listener.Dom, msg.InRef)
+		ch.bootClaim.Store(false)
 		return
 	}
 	port, err := m.dom.BindInterdomain(msg.Listener.Dom, msg.Port)
 	if err != nil {
-		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.OutRef)
-		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.InRef)
+		m.unmapEventually(msg.Listener.Dom, msg.OutRef)
+		m.unmapEventually(msg.Listener.Dom, msg.InRef)
+		ch.bootClaim.Store(false)
 		return
 	}
 	ch.resMu.Lock()
@@ -618,8 +675,8 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 		// resources we just acquired; releaseChannel saw nil fields.
 		ch.resMu.Unlock()
 		_ = m.dom.ClosePort(port)
-		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.OutRef)
-		_ = m.dom.UnmapGrant(msg.Listener.Dom, msg.InRef)
+		m.unmapEventually(msg.Listener.Dom, msg.OutRef)
+		m.unmapEventually(msg.Listener.Dom, msg.InRef)
 		return
 	}
 	ch.in = fifo.Attach(inDesc)
@@ -689,17 +746,30 @@ func (m *Module) abortBootstrap(ch *Channel) {
 	m.releaseChannel(ch, false)
 }
 
+// quiesceWait bounds how long teardown waits for producers that claimed
+// FIFO space just before the inactive flag landed to finish publishing.
+const quiesceWait = 50 * time.Millisecond
+
 // releaseChannel disengages this endpoint: mark the shared descriptors
-// inactive, notify the peer so it disengages too, stop the worker, and
-// release grants/mappings and the event channel. The disengagement steps
-// are slightly asymmetric between listener and connector (§3.3).
+// inactive, deliver what is already in our incoming FIFO, notify the peer
+// so it disengages too, stop the worker, and release grants/mappings and
+// the event channel. The disengagement steps are slightly asymmetric
+// between listener and connector (§3.3). Idempotent: teardown races
+// (worker vs announce vs Detach) resolve through ch.released and the
+// resources are returned exactly once.
 func (m *Module) releaseChannel(ch *Channel, notifyPeer bool) {
 	// Swap the state first: a bootstrap goroutine that has not yet
 	// assigned resources will observe chanInactive under resMu and back
-	// out instead of setting up a channel nobody will ever tear down.
+	// out instead of setting up a channel nobody will ever tear down. The
+	// swap also elects exactly one caller to count the close, even if that
+	// caller goes on to lose the release race below.
 	wasConnected := ch.state.Swap(chanInactive) == chanConnected
 	if wasConnected {
+		m.stats.ChannelsClosed.Add(1)
 		trace.Record(trace.KindChannelDn, m.actor(), "disengaging channel to dom%d %s", ch.peer.Dom, ch.peer.MAC)
+	}
+	if !ch.released.CompareAndSwap(false, true) {
+		return // another teardown path already released the resources
 	}
 	ch.resMu.Lock()
 	out, in, port := ch.out, ch.in, ch.port
@@ -711,10 +781,21 @@ func (m *Module) releaseChannel(ch *Channel, notifyPeer bool) {
 	if in != nil {
 		in.Descriptor().Inactive.Store(true)
 	}
+	if in != nil {
+		// Wait out peer producers that claimed space before they saw the
+		// inactive flag, then deliver everything already in our FIFO.
+		// Without this final drain, packets pushed during the teardown
+		// window would silently vanish and the channel's conservation
+		// property (every packet pushed is received exactly once) breaks.
+		in.AwaitQuiesce(quiesceWait)
+		ch.drainIncoming()
+	}
 	// Inactive is set, so no sender can queue a new lease; return the ones
 	// already queued to the pool (migration save takes them earlier via
 	// takeWaiting, leaving this a no-op).
-	ch.purgeWaiting()
+	if purged := ch.purgeWaiting(); purged > 0 {
+		m.stats.PktsPurged.Add(uint64(purged))
+	}
 	if wasConnected && notifyPeer && port != 0 {
 		_ = m.dom.NotifyPort(port)
 	}
@@ -723,19 +804,85 @@ func (m *Module) releaseChannel(ch *Channel, notifyPeer bool) {
 		_ = m.dom.ClosePort(port)
 	}
 	if ch.listener {
-		if outRef != 0 {
-			_ = m.dom.EndAccess(outRef)
-		}
-		if inRef != 0 {
-			_ = m.dom.EndAccess(inRef)
-		}
+		m.endAccessEventually(outRef)
+		m.endAccessEventually(inRef)
 	} else if out != nil {
-		_ = m.dom.UnmapGrant(ch.peer.Dom, outRef)
-		_ = m.dom.UnmapGrant(ch.peer.Dom, inRef)
+		m.unmapEventually(ch.peer.Dom, outRef)
+		m.unmapEventually(ch.peer.Dom, inRef)
 	}
-	if wasConnected {
-		m.stats.ChannelsClosed.Add(1)
+}
+
+// releaseRetries/releaseBackoffCap bound the background grant-release
+// retry loops: ~0.5s of total patience, far below the leak-settle windows
+// the tests use.
+const (
+	releaseRetries    = 20
+	releaseBackoffCap = 32 * time.Millisecond
+)
+
+// endAccessEventually revokes a listener-side grant, retrying in the
+// background while the peer still holds a mapping: peer disengagement is
+// asynchronous (it may still be draining our FIFO), so the first attempt
+// racing it is normal, not an error. The loop stops when the revoke
+// succeeds, the error becomes terminal (bad ref — e.g. the whole table
+// was destroyed by migration), or the domain's machine identity changes
+// (the old table died wholesale with the old identity).
+func (m *Module) endAccessEventually(ref hypervisor.GrantRef) {
+	if ref == 0 {
+		return
 	}
+	if err := m.dom.EndAccess(ref); !errors.Is(err, hypervisor.ErrGrantInUse) {
+		return
+	}
+	hv := m.dom.Hypervisor()
+	go func() {
+		backoff := time.Millisecond
+		for i := 0; i < releaseRetries; i++ {
+			time.Sleep(backoff)
+			if backoff < releaseBackoffCap {
+				backoff *= 2
+			}
+			if m.dom.Hypervisor() != hv {
+				return // migrated away: the old grant table no longer exists
+			}
+			if err := m.dom.EndAccess(ref); !errors.Is(err, hypervisor.ErrGrantInUse) {
+				return
+			}
+		}
+	}()
+}
+
+// unmapEventually releases a connector-side mapping, retrying transient
+// failures (injected unmap faults) in the background. Terminal errors —
+// the granter is gone, the ref is bad — mean the hypervisor already tore
+// the mapping state down; retrying would touch an unrelated domain that
+// reused the ID.
+func (m *Module) unmapEventually(peer hypervisor.DomID, ref hypervisor.GrantRef) {
+	if ref == 0 {
+		return
+	}
+	terminal := func(err error) bool {
+		return err == nil || errors.Is(err, hypervisor.ErrNoDomain) || errors.Is(err, hypervisor.ErrBadGrant)
+	}
+	if terminal(m.dom.UnmapGrant(peer, ref)) {
+		return
+	}
+	hv := m.dom.Hypervisor()
+	go func() {
+		backoff := time.Millisecond
+		for i := 0; i < releaseRetries; i++ {
+			time.Sleep(backoff)
+			if backoff < releaseBackoffCap {
+				backoff *= 2
+			}
+			if m.dom.Hypervisor() != hv {
+				return // migrated away: the old mapping died with the old identity
+			}
+			if terminal(m.dom.UnmapGrant(peer, ref)) {
+				return
+			}
+		}
+	}()
 }
 
 // peerDisengaged runs on the worker when the peer marked the channel

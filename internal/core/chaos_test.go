@@ -1,0 +1,68 @@
+package core_test
+
+// Chaos soak: a 4-guest, 2-machine mesh exchanges sequence-stamped UDP
+// datagrams while a seeded schedule injects faults at every lifecycle
+// seam (grant map/unmap, event-channel alloc/bind, lost notifications,
+// lost control frames, lost watch events, store-write loss, stalled
+// bootstraps), flaps advertisements, and migrates or suspend/resumes
+// guests. Each seed is a subtest; a failing seed reproduces with
+//
+//	go run ./cmd/xlbench -exp chaos -chaos.seed=<N>
+//
+// (or XL_CHAOS_SEEDS / -run 'TestChaosSoak/seed=<N>' here). The asserted
+// invariants live in bench.Chaos: no duplicate delivery, no phantom
+// delivery, zero leaked leases/grants/ports/foreign mappings, exact
+// channel conservation, and post-quiesce reachability for every pair.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func chaosSeeds(t *testing.T) []int64 {
+	if env := os.Getenv("XL_CHAOS_SEEDS"); env != "" {
+		count, err := strconv.Atoi(env)
+		if err != nil || count <= 0 {
+			t.Fatalf("bad XL_CHAOS_SEEDS %q", env)
+		}
+		seeds := make([]int64, count)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		return seeds
+	}
+	if testing.Short() {
+		return []int64{1, 2}
+	}
+	return []int64{1, 2, 3, 4, 5, 6}
+}
+
+func TestChaosSoak(t *testing.T) {
+	dur := 600 * time.Millisecond
+	if testing.Short() {
+		dur = 300 * time.Millisecond
+	}
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r, err := bench.Chaos(bench.ChaosOptions{
+				Seed:     seed,
+				Duration: dur,
+				Log:      t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("chaos harness: %v", err)
+			}
+			for _, v := range r.Violations {
+				t.Errorf("seed %d: %s (reproduce: go run ./cmd/xlbench -exp chaos -chaos.seed=%d)", seed, v, seed)
+			}
+			if r.Delivered == 0 {
+				t.Errorf("seed %d: no datagrams delivered — mesh never carried traffic", seed)
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package core_test
+
+// Targeted fault-path tests: each one arms a single failpoint (or a
+// deliberate pair) at a specific lifecycle seam and asserts the precise
+// recovery behavior the design demands — bootstrap retries through lost
+// control frames, a failed grant map aborts cleanly and the next attempt
+// succeeds, a peer crash mid-handshake leaves no stuck channel or leaked
+// resources, and lost event-channel notifications are absorbed by the
+// consumer watchdogs without losing datagrams. The chaos soak
+// (chaos_test.go) covers the combinatorial space; these pin down each
+// seam in isolation so a regression names the failing mechanism.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/testbed"
+)
+
+// faultPair builds two co-resident XenLoop guests without establishing a
+// channel, so tests can arm failpoints before the first handshake.
+func faultPair(t *testing.T) (*testbed.Testbed, *testbed.VM, *testbed.VM) {
+	t.Helper()
+	tb := testbed.New(testbed.Options{DiscoveryPeriod: 20 * time.Millisecond})
+	m := tb.AddMachine("fault-m1")
+	vm1, err := tb.AddVM(m, "fault-g1")
+	if err != nil {
+		tb.Close()
+		t.Fatalf("AddVM: %v", err)
+	}
+	vm2, err := tb.AddVM(m, "fault-g2")
+	if err != nil {
+		tb.Close()
+		t.Fatalf("AddVM: %v", err)
+	}
+	for _, vm := range []*testbed.VM{vm1, vm2} {
+		if err := tb.EnableXenLoop(vm); err != nil {
+			tb.Close()
+			t.Fatalf("EnableXenLoop(%s): %v", vm.Name, err)
+		}
+	}
+	return tb, vm1, vm2
+}
+
+// domainFootprint is the resource count a leak check compares against.
+func domainFootprint(vm *testbed.VM) (grants, ports, maps int) {
+	return vm.Dom.GrantEntryCount(), vm.Dom.OpenPortCount(), vm.Dom.ForeignMapCount()
+}
+
+func TestBootstrapSurvivesLostControlFrames(t *testing.T) {
+	faultinject.DisableAll()
+	defer faultinject.DisableAll()
+	faultinject.SetSeed(11)
+	// Lose 30% of all XenLoop control frames (announcements, channel
+	// create/ack/disengage). Bootstrap must still converge through its
+	// retry-with-backoff path.
+	faultinject.Enable(faultinject.FPCtlDrop, faultinject.Spec{Probability: 0.3})
+
+	tb, vm1, vm2 := faultPair(t)
+	defer tb.Close()
+
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatalf("channel did not establish under 40%% control-frame loss: %v", err)
+	}
+	if hits := faultinject.Hits(faultinject.FPCtlDrop); hits == 0 {
+		t.Fatalf("failpoint never fired — test exercised nothing (evals=%d)", faultinject.Evals(faultinject.FPCtlDrop))
+	}
+	faultinject.DisableAll()
+	if _, err := vm1.Stack.Ping(vm2.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("ping after bootstrap: %v", err)
+	}
+}
+
+func TestBootstrapGrantMapFailure(t *testing.T) {
+	faultinject.DisableAll()
+	defer faultinject.DisableAll()
+	faultinject.SetSeed(12)
+	tb, vm1, vm2 := faultPair(t)
+	defer tb.Close()
+
+	// The first grant map of the handshake fails (one-shot; armed after
+	// faultPair so the vifs' own ring mappings are not the victims). That
+	// bootstrap attempt must abort without leaking the listener's grants,
+	// and the retry must connect.
+	faultinject.Enable(faultinject.FPGrantMap, faultinject.Spec{Count: 1})
+
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatalf("channel did not establish after one-shot grant-map failure: %v", err)
+	}
+	if hits := faultinject.Hits(faultinject.FPGrantMap); hits != 1 {
+		t.Fatalf("grant-map failpoint hits = %d, want 1", hits)
+	}
+	faultinject.DisableAll()
+	if _, err := vm1.Stack.Ping(vm2.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("ping after recovery: %v", err)
+	}
+}
+
+func TestPeerCrashMidHandshake(t *testing.T) {
+	faultinject.DisableAll()
+	defer faultinject.DisableAll()
+	faultinject.SetSeed(13)
+
+	tb, vm1, vm2 := faultPair(t)
+	defer tb.Close()
+
+	g0, p0, f0 := domainFootprint(vm1)
+
+	// Widen the handshake window and make the crash dirty: the dying
+	// guest's disengage frames are lost, so the survivor cannot rely on a
+	// polite goodbye.
+	faultinject.Enable(faultinject.FPBootstrapStall, faultinject.Spec{Delay: 20 * time.Millisecond})
+	faultinject.Enable(faultinject.FPCtlDrop, faultinject.Spec{Probability: 1})
+
+	// Trigger bootstrap (first traffic toward a co-resident peer), then
+	// kill the peer while the handshake is in flight.
+	vm1.Machine.Discovery.Scan()
+	go vm1.Stack.Ping(vm2.IP, 8, 200*time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if err := vm1.Machine.HV.DestroyDomain(vm2.Dom); err != nil {
+		t.Fatalf("DestroyDomain: %v", err)
+	}
+
+	// Let control traffic flow again; discovery announces the shrunken
+	// guest list and the survivor must fully disengage.
+	faultinject.DisableAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		vm1.Machine.Discovery.Scan()
+		g, p, f := domainFootprint(vm1)
+		if !vm1.XL.HasChannelTo(vm2.MAC) && g == g0 && p == p0 && f == f0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor did not clean up: channel=%v grants=%d(want %d) ports=%d(want %d) maps=%d(want %d)",
+				vm1.XL.HasChannelTo(vm2.MAC), g, g0, p, p0, f, f0)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNotifyDropRecovery(t *testing.T) {
+	faultinject.DisableAll()
+	defer faultinject.DisableAll()
+	faultinject.SetSeed(14)
+
+	tb, vm1, vm2 := faultPair(t)
+	defer tb.Close()
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatalf("EstablishChannel: %v", err)
+	}
+
+	// Every notification for the next five sends is silently dropped. The
+	// consumer-side park watchdog must still drain the FIFO: no datagram
+	// may be lost to a sleeping worker.
+	faultinject.Enable(faultinject.FPNotifyDrop, faultinject.Spec{Count: 5})
+
+	srv, err := vm2.Stack.ListenUDP(7100)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer srv.Close()
+	cli, err := vm1.Stack.ListenUDP(0)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer cli.Close()
+
+	const sends = 50
+	payload := make([]byte, 128)
+	for i := 0; i < sends; i++ {
+		if err := cli.WriteTo(payload, vm2.IP, 7100); err != nil {
+			t.Fatalf("WriteTo #%d: %v", i, err)
+		}
+		// Space the sends out so notifications are not coalesced into a
+		// handful of wakeups — the drop spec should hit real wakeups.
+		if i < 10 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		received, _ := srv.Stats()
+		if received >= sends {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d datagrams with notifications dropped", received, sends)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if hits := faultinject.Hits(faultinject.FPNotifyDrop); hits == 0 {
+		t.Fatalf("notify-drop failpoint never fired — test exercised nothing")
+	}
+}

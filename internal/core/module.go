@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/faultinject"
 	"repro/internal/fifo"
 	"repro/internal/hypervisor"
 	"repro/internal/netstack"
@@ -81,6 +82,7 @@ type Stats struct {
 	ChannelsOpened  atomic.Uint64
 	ChannelsClosed  atomic.Uint64
 	SavedResent     atomic.Uint64 // packets resent after migration
+	PktsPurged      atomic.Uint64 // waiting-list packets dropped at teardown
 }
 
 // Module is the XenLoop kernel module of one guest VM.
@@ -296,6 +298,12 @@ func (m *Module) handleAnnounce(ann *announceMsg) {
 // sendControl emits an out-of-band XenLoop-type message via the standard
 // netfront path.
 func (m *Module) sendControl(dst pkt.MAC, payload []byte) {
+	// Failpoint: the control frame is lost in flight. Every handshake
+	// message (create/ack/request) funnels through here, so arming this
+	// exercises each retry and timeout path of the bootstrap protocol.
+	if faultinject.Fire(faultinject.FPCtlDrop) != nil {
+		return
+	}
 	_ = m.stack.SendEther(m.ifc, dst, pkt.EtherTypeXenLoop, payload)
 }
 

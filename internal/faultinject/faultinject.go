@@ -1,0 +1,237 @@
+// Package faultinject is a seeded, deterministic fault-injection registry
+// in the style of the failpoint discipline used by etcd and TiKV: code
+// under test declares named failpoints (Fire calls at the places where
+// real Xen fails — grant operations, event-channel notification, XenStore
+// traffic, the XenLoop handshake) and tests arm them with probability,
+// count, one-shot or delay triggers.
+//
+// Two properties drive the design:
+//
+//   - Zero overhead when disarmed. Fire's fast path is a single atomic
+//     load of a global armed counter; production code can keep its Fire
+//     calls unconditionally and a benchmark sees no measurable cost.
+//
+//   - Determinism per seed. Every failpoint draws from its own PRNG
+//     seeded with SetSeed's value XORed with the FNV hash of the
+//     failpoint name, so a chaos run is reproduced exactly by replaying
+//     its seed regardless of how many other failpoints fired in between
+//     or in which goroutine order evaluations happen to interleave
+//     (per-failpoint sequences are independent; within one failpoint,
+//     triggering depends only on its own evaluation count for
+//     count-based specs).
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Failpoint names threaded through the layers (the catalog is documented
+// in DESIGN.md §8). Keeping the constants here gives hooks and tests a
+// single spelling to share.
+const (
+	FPGrantMap       = "hv/grant/map"           // MapGrant fails
+	FPGrantUnmap     = "hv/grant/unmap"         // UnmapGrant fails (mapping stays)
+	FPGrantTransfer  = "hv/grant/transfer"      // TransferGrant rejected
+	FPEvtchnAlloc    = "hv/evtchn/alloc"        // AllocUnboundPort fails
+	FPEvtchnBind     = "hv/evtchn/bind"         // BindInterdomain fails
+	FPNotifyDrop     = "hv/evtchn/notify-drop"  // NotifyPort silently loses the event
+	FPNotifyDelay    = "hv/evtchn/notify-delay" // NotifyPort delayed before delivery
+	FPStoreWrite     = "xs/write"               // XenStore write fails (stale/partial entry)
+	FPWatchDrop      = "xs/watch/drop"          // watch event lost before delivery
+	FPCtlDrop        = "core/ctl/drop"          // XenLoop control frame lost in flight
+	FPBootstrapStall = "core/bootstrap/stall"   // listener stalls before handshake
+)
+
+// ErrInjected is the default error returned by a triggered failpoint with
+// no explicit Err in its Spec.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Spec configures one armed failpoint.
+type Spec struct {
+	// Probability of triggering per evaluation in (0,1]; 0 means always.
+	Probability float64
+	// Count caps the number of triggers; 0 means unlimited. Count=1 is a
+	// one-shot failpoint.
+	Count int
+	// After skips the first N evaluations before the failpoint may
+	// trigger (e.g. fail the third map, not the first).
+	After int
+	// Delay is slept when the failpoint triggers, before returning.
+	Delay time.Duration
+	// Err is returned on trigger. nil with Delay>0 makes a delay-only
+	// failpoint (Fire returns nil after sleeping); nil with no Delay
+	// returns ErrInjected.
+	Err error
+}
+
+type failpoint struct {
+	mu    sync.Mutex
+	spec  Spec
+	rng   *rand.Rand
+	evals uint64
+	hits  uint64
+}
+
+var registry struct {
+	// armedCount gates Fire: zero means every Fire is a single atomic
+	// load and an immediate return.
+	armedCount atomic.Int32
+
+	mu     sync.Mutex
+	seed   int64
+	points map[string]*failpoint
+}
+
+func init() { registry.points = map[string]*failpoint{} }
+
+// fnv64 hashes a failpoint name (FNV-1a) for per-failpoint seed mixing.
+func fnv64(s string) int64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
+// SetSeed fixes the base seed for subsequently enabled failpoints. Call
+// it before Enable; already-armed failpoints keep their PRNG stream.
+func SetSeed(seed int64) {
+	registry.mu.Lock()
+	registry.seed = seed
+	registry.mu.Unlock()
+}
+
+// Enable arms a failpoint. Re-enabling an armed failpoint replaces its
+// spec and restarts its PRNG stream and counters (so a test can re-arm
+// the same point with a different trigger mid-run deterministically).
+func Enable(name string, spec Spec) {
+	registry.mu.Lock()
+	fp, ok := registry.points[name]
+	if !ok {
+		fp = &failpoint{}
+		registry.points[name] = fp
+		registry.armedCount.Add(1)
+	}
+	seed := registry.seed
+	registry.mu.Unlock()
+
+	fp.mu.Lock()
+	fp.spec = spec
+	fp.rng = rand.New(rand.NewSource(seed ^ fnv64(name)))
+	fp.evals = 0
+	fp.hits = 0
+	fp.mu.Unlock()
+}
+
+// Disable disarms one failpoint. Its hit/eval counters are discarded.
+func Disable(name string) {
+	registry.mu.Lock()
+	if _, ok := registry.points[name]; ok {
+		delete(registry.points, name)
+		registry.armedCount.Add(-1)
+	}
+	registry.mu.Unlock()
+}
+
+// DisableAll disarms every failpoint, restoring the zero-overhead state.
+func DisableAll() {
+	registry.mu.Lock()
+	n := len(registry.points)
+	registry.points = map[string]*failpoint{}
+	registry.armedCount.Add(int32(-n))
+	registry.mu.Unlock()
+}
+
+// Active returns the sorted names of armed failpoints.
+func Active() []string {
+	registry.mu.Lock()
+	names := make([]string, 0, len(registry.points))
+	for name := range registry.points {
+		names = append(names, name)
+	}
+	registry.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Hits reports how many times an armed failpoint has triggered (0 when
+// disarmed).
+func Hits(name string) uint64 {
+	registry.mu.Lock()
+	fp := registry.points[name]
+	registry.mu.Unlock()
+	if fp == nil {
+		return 0
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.hits
+}
+
+// Evals reports how many times an armed failpoint has been evaluated.
+func Evals(name string) uint64 {
+	registry.mu.Lock()
+	fp := registry.points[name]
+	registry.mu.Unlock()
+	if fp == nil {
+		return 0
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.evals
+}
+
+// Fire evaluates a failpoint. Disarmed (the common case) it is one atomic
+// load. Armed, it returns the injected error when the spec triggers, or
+// nil — after sleeping, for delay-only specs.
+func Fire(name string) error {
+	if registry.armedCount.Load() == 0 {
+		return nil
+	}
+	return fireSlow(name)
+}
+
+func fireSlow(name string) error {
+	registry.mu.Lock()
+	fp := registry.points[name]
+	registry.mu.Unlock()
+	if fp == nil {
+		return nil
+	}
+
+	fp.mu.Lock()
+	fp.evals++
+	spec := fp.spec
+	if spec.After > 0 && fp.evals <= uint64(spec.After) {
+		fp.mu.Unlock()
+		return nil
+	}
+	if spec.Count > 0 && fp.hits >= uint64(spec.Count) {
+		fp.mu.Unlock()
+		return nil
+	}
+	if spec.Probability > 0 && spec.Probability < 1 && fp.rng.Float64() >= spec.Probability {
+		fp.mu.Unlock()
+		return nil
+	}
+	fp.hits++
+	fp.mu.Unlock()
+
+	if spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+		if spec.Err == nil {
+			return nil
+		}
+	}
+	if spec.Err != nil {
+		return spec.Err
+	}
+	return ErrInjected
+}

@@ -1,0 +1,153 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func cleanup(t *testing.T) {
+	t.Helper()
+	t.Cleanup(DisableAll)
+}
+
+func TestDisarmedIsNil(t *testing.T) {
+	cleanup(t)
+	if err := Fire("never/armed"); err != nil {
+		t.Fatalf("disarmed failpoint fired: %v", err)
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("Active() = %v, want empty", got)
+	}
+}
+
+func TestAlwaysAndCount(t *testing.T) {
+	cleanup(t)
+	Enable("t/always", Spec{})
+	if err := Fire("t/always"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("always failpoint returned %v", err)
+	}
+	Enable("t/oneshot", Spec{Count: 1})
+	if err := Fire("t/oneshot"); err == nil {
+		t.Fatal("one-shot did not fire")
+	}
+	if err := Fire("t/oneshot"); err != nil {
+		t.Fatalf("one-shot fired twice: %v", err)
+	}
+	if Hits("t/oneshot") != 1 || Evals("t/oneshot") != 2 {
+		t.Fatalf("hits/evals = %d/%d, want 1/2", Hits("t/oneshot"), Evals("t/oneshot"))
+	}
+}
+
+func TestAfterSkipsEvaluations(t *testing.T) {
+	cleanup(t)
+	Enable("t/after", Spec{After: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("t/after"); err != nil {
+			t.Fatalf("fired during After window (eval %d): %v", i+1, err)
+		}
+	}
+	if err := Fire("t/after"); err == nil {
+		t.Fatal("did not fire after the After window")
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	cleanup(t)
+	want := errors.New("boom")
+	Enable("t/err", Spec{Err: want})
+	if err := Fire("t/err"); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestDelayOnly(t *testing.T) {
+	cleanup(t)
+	Enable("t/delay", Spec{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("t/delay"); err != nil {
+		t.Fatalf("delay-only failpoint returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay-only failpoint returned after %v, want >= 20ms", elapsed)
+	}
+}
+
+// TestSeedDeterminism replays the same probabilistic failpoint under the
+// same seed and expects the identical trigger pattern, and a different
+// pattern under a different seed (with overwhelming probability at 200
+// draws).
+func TestSeedDeterminism(t *testing.T) {
+	cleanup(t)
+	pattern := func(seed int64) []bool {
+		SetSeed(seed)
+		Enable("t/prob", Spec{Probability: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire("t/prob") != nil
+		}
+		Disable("t/prob")
+		return out
+	}
+	a, b, c := pattern(42), pattern(42), pattern(43)
+	if !equalBools(a, b) {
+		t.Fatal("same seed produced different trigger patterns")
+	}
+	if equalBools(a, c) {
+		t.Fatal("different seeds produced identical trigger patterns")
+	}
+}
+
+// TestPerFailpointStreams checks that two failpoints under one seed draw
+// from independent streams: arming a second failpoint must not perturb
+// the first one's pattern.
+func TestPerFailpointStreams(t *testing.T) {
+	cleanup(t)
+	solo := func() []bool {
+		SetSeed(7)
+		Enable("t/a", Spec{Probability: 0.5})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = Fire("t/a") != nil
+		}
+		DisableAll()
+		return out
+	}()
+	interleaved := func() []bool {
+		SetSeed(7)
+		Enable("t/a", Spec{Probability: 0.5})
+		Enable("t/b", Spec{Probability: 0.5})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = Fire("t/a") != nil
+			Fire("t/b")
+		}
+		DisableAll()
+		return out
+	}()
+	if !equalBools(solo, interleaved) {
+		t.Fatal("arming a second failpoint perturbed the first one's stream")
+	}
+}
+
+func BenchmarkFireDisarmed(b *testing.B) {
+	DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Fire(FPNotifyDrop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

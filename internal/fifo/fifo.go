@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buf"
 )
@@ -34,6 +35,17 @@ const DefaultSizeBytes = 64 * 1024
 
 // entryMagic marks a valid metadata word, guarding against index bugs.
 const entryMagic = 0x584C // "XL"
+
+// tombMagic marks a dead entry: a producer claimed the words, then saw
+// the channel go inactive. The claim cannot be withdrawn (the reservation
+// cursor only moves forward), so the producer publishes a tombstone to
+// keep the word accounting intact — AwaitQuiesce needs every claim to
+// resolve — and the consumer's drain skips it. The packet itself is
+// reported ErrInactive to the caller, which falls back to the standard
+// path; without the tombstone the packet would be counted as sent on the
+// channel yet never delivered whenever the claim raced teardown's final
+// drain.
+const tombMagic = 0x4458 // "XD"
 
 // Errors.
 var (
@@ -150,6 +162,14 @@ func (f *FIFO) Push(p []byte) (bool, error) {
 		if !d.reserve.CompareAndSwap(res, res+need) {
 			continue // another producer claimed; re-read and retry
 		}
+		if d.Inactive.Load() {
+			// Teardown raced our claim: the consumer may already have made
+			// its final drain decision. Resolve the claim with a tombstone
+			// and hand the packet back to the standard path.
+			f.writeTombstone(res, need)
+			f.publish(res, res+need)
+			return false, ErrInactive
+		}
 		f.writeEntry(res, p)
 		f.publish(res, res+need)
 		return true, nil
@@ -193,6 +213,13 @@ func (f *FIFO) PushBatch(pkts [][]byte) (int, error) {
 		if !d.reserve.CompareAndSwap(res, res+words) {
 			continue // lost the claim race; recompute against fresh cursors
 		}
+		if d.Inactive.Load() {
+			// Teardown raced the claim: one spanning tombstone resolves the
+			// whole region (see Push).
+			f.writeTombstone(res, words)
+			f.publish(res, res+words)
+			return 0, ErrInactive
+		}
 		w := res
 		for i := 0; i < n; i++ {
 			f.writeEntry(w, pkts[i])
@@ -212,6 +239,16 @@ func (f *FIFO) publish(from, to uint32) {
 	for !d.back.CompareAndSwap(from, to) {
 		runtime.Gosched()
 	}
+}
+
+// writeTombstone marks a claimed region of `words` words as dead: one
+// metadata word whose payload length makes the entry span exactly the
+// region, so the consumer's cursor arithmetic is unchanged.
+func (f *FIFO) writeTombstone(idx, words uint32) {
+	var meta [WordBytes]byte
+	binary.LittleEndian.PutUint16(meta[0:2], tombMagic)
+	binary.LittleEndian.PutUint32(meta[2:6], (words-1)*WordBytes)
+	f.writeWords(idx, meta[:])
 }
 
 // writeEntry stores one metadata word plus payload at the claimed index.
@@ -289,7 +326,18 @@ func (f *FIFO) DrainInto(fn func(view []byte) bool) int {
 		}
 		var meta [WordBytes]byte
 		f.readWords(front, meta[:])
-		if binary.LittleEndian.Uint16(meta[0:2]) != entryMagic {
+		magic := binary.LittleEndian.Uint16(meta[0:2])
+		if magic == tombMagic {
+			// Dead entry from a push that raced teardown: free the words,
+			// deliver nothing.
+			front += wordsFor(int(binary.LittleEndian.Uint32(meta[2:6])))
+			if front-lastPub >= publishQuantum {
+				d.front.Store(front)
+				lastPub = front
+			}
+			continue
+		}
+		if magic != entryMagic {
 			// Corrupted entry: resynchronize by draining everything (see pop).
 			front = d.back.Load()
 			break
@@ -325,23 +373,51 @@ func (f *FIFO) pop(fn func(p []byte)) bool {
 	d := f.desc
 	f.consMu.Lock()
 	defer f.consMu.Unlock()
-	front := d.front.Load()
-	if front == d.back.Load() {
-		return false
+	for {
+		front := d.front.Load()
+		if front == d.back.Load() {
+			return false
+		}
+		var meta [WordBytes]byte
+		f.readWords(front, meta[:])
+		magic := binary.LittleEndian.Uint16(meta[0:2])
+		length := int(binary.LittleEndian.Uint32(meta[2:6]))
+		if magic == tombMagic {
+			// Dead entry (push raced teardown): free the words and look at
+			// the next entry.
+			d.front.Store(front + wordsFor(length))
+			continue
+		}
+		if magic != entryMagic {
+			// Corrupted entry: resynchronize by draining everything. Should
+			// be unreachable; kept as a hard stop for index bugs.
+			d.front.Store(d.back.Load())
+			return false
+		}
+		// Read in place, then free the space.
+		f.withSlice(front+1, length, fn)
+		d.front.Store(front + wordsFor(length))
+		return true
 	}
-	var meta [WordBytes]byte
-	f.readWords(front, meta[:])
-	if binary.LittleEndian.Uint16(meta[0:2]) != entryMagic {
-		// Corrupted entry: resynchronize by draining everything. Should
-		// be unreachable; kept as a hard stop for index bugs.
-		d.front.Store(d.back.Load())
-		return false
+}
+
+// AwaitQuiesce waits until no producer reservation is outstanding
+// (reserve == back), or until maxWait elapses, and reports whether the
+// FIFO quiesced. Teardown calls it after setting Inactive: from that
+// point new pushes are refused at entry, but a producer that claimed a
+// region just before the flag landed is still copying — once reserve and
+// back agree, every such in-flight push has published and a final drain
+// observes all of them. A false return means a claimed region never
+// published (only possible if a producer died mid-copy).
+func (f *FIFO) AwaitQuiesce(maxWait time.Duration) bool {
+	d := f.desc
+	deadline := time.Now().Add(maxWait)
+	for d.reserve.Load() != d.back.Load() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		runtime.Gosched()
 	}
-	length := int(binary.LittleEndian.Uint32(meta[2:6]))
-	need := wordsFor(length)
-	// Read in place, then free the space.
-	f.withSlice(front+1, length, fn)
-	d.front.Store(front + need)
 	return true
 }
 

@@ -46,6 +46,7 @@ type machineIdentity struct {
 	id     DomID
 	grants *grantTable
 	events *eventChannels
+	maps   *foreignMaps
 	cpu    *vcpu
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Port identifies an event channel endpoint within one domain.
@@ -54,6 +56,9 @@ func (ec *eventChannels) closeAll() {
 func (d *Domain) AllocUnboundPort(remote DomID) (Port, error) {
 	mi := d.mi()
 	mi.hv.hypercall()
+	if err := faultinject.Fire(faultinject.FPEvtchnAlloc); err != nil {
+		return 0, err
+	}
 	ec := mi.events
 	ec.mu.Lock()
 	defer ec.mu.Unlock()
@@ -70,6 +75,9 @@ func (d *Domain) BindInterdomain(remoteDom DomID, remotePort Port) (Port, error)
 	mi := d.mi()
 	hv := mi.hv
 	hv.hypercall()
+	if err := faultinject.Fire(faultinject.FPEvtchnBind); err != nil {
+		return 0, err
+	}
 	hv.mu.Lock()
 	rd, ok := hv.domains[remoteDom]
 	hv.mu.Unlock()
@@ -118,6 +126,10 @@ func (d *Domain) NotifyPort(port Port) error {
 	mi := d.mi()
 	hv := mi.hv
 	hv.hypercall()
+	if err := faultinject.Fire(faultinject.FPNotifyDrop); err != nil {
+		return nil // event lost inside the hypervisor: the sender cannot tell
+	}
+	_ = faultinject.Fire(faultinject.FPNotifyDelay) // delay-only failpoint
 	ec := mi.events
 	ec.mu.Lock()
 	p, ok := ec.ports[port]
@@ -201,4 +213,41 @@ func (d *Domain) PortConnected(port Port) bool {
 	defer ec.mu.Unlock()
 	p, ok := ec.ports[port]
 	return ok && p.state == portInterdomain
+}
+
+// OpenPortCount reports the number of event-channel ports this domain
+// still holds (any state). ClosePort removes entries, so after full
+// teardown the count returns to its pre-connection baseline.
+func (d *Domain) OpenPortCount() int {
+	ec := d.mi().events
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return len(ec.ports)
+}
+
+// RaiseLocal runs a local port's handler as if an event had just been
+// delivered, modeling a poll-mode driver re-scanning its rings. It is
+// the recovery path for lost notifications: a watchdog that observes
+// stuck work re-raises the event locally without involving the peer.
+// Pending coalescing matches NotifyPort's, so a spurious raise while an
+// upcall is outstanding is free.
+func (d *Domain) RaiseLocal(port Port) {
+	ec := d.mi().events
+	ec.mu.Lock()
+	p, ok := ec.ports[port]
+	var handler func()
+	if ok {
+		handler = p.handler
+	}
+	ec.mu.Unlock()
+	if !ok || handler == nil {
+		return
+	}
+	if p.pending.Swap(true) {
+		return // an upcall is already queued; it will observe our work
+	}
+	d.exec(func() {
+		p.pending.Store(false)
+		handler()
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 )
 
@@ -41,6 +42,79 @@ func (t *grantTable) revokeAll() {
 	t.mu.Lock()
 	t.entries = map[GrantRef]*grantEntry{}
 	t.mu.Unlock()
+}
+
+// mapKey identifies one foreign mapping this domain holds: a (granter,
+// ref) pair in some other domain's grant table.
+type mapKey struct {
+	granter DomID
+	ref     GrantRef
+}
+
+// foreignMaps tracks the grant mappings a domain currently holds into
+// other domains' tables, mirroring how Xen tracks maptrack entries per
+// domain. It exists so that destroying (or migrating away) a domain
+// releases the `mapped` counts it pinned in its peers' tables — without
+// it, a granter whose peer died mid-connection could never EndAccess.
+type foreignMaps struct {
+	mu   sync.Mutex
+	held map[mapKey]int
+}
+
+func newForeignMaps() *foreignMaps {
+	return &foreignMaps{held: map[mapKey]int{}}
+}
+
+func (fm *foreignMaps) record(granter DomID, ref GrantRef) {
+	fm.mu.Lock()
+	fm.held[mapKey{granter, ref}]++
+	fm.mu.Unlock()
+}
+
+func (fm *foreignMaps) forget(granter DomID, ref GrantRef) {
+	k := mapKey{granter, ref}
+	fm.mu.Lock()
+	if n := fm.held[k]; n > 1 {
+		fm.held[k] = n - 1
+	} else {
+		delete(fm.held, k)
+	}
+	fm.mu.Unlock()
+}
+
+func (fm *foreignMaps) count() int {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	n := 0
+	for _, c := range fm.held {
+		n += c
+	}
+	return n
+}
+
+// releaseAll decrements every mapped count this domain holds in other
+// domains' tables. Called from destroyLocked with hv.mu held (domain
+// lookups read hv.domains directly).
+func (fm *foreignMaps) releaseAll(hv *Hypervisor) {
+	fm.mu.Lock()
+	held := fm.held
+	fm.held = map[mapKey]int{}
+	fm.mu.Unlock()
+	for k, n := range held {
+		gd, ok := hv.domains[k.granter]
+		if !ok {
+			continue // granter already destroyed; its table is gone
+		}
+		t := gd.mi().grants
+		t.mu.Lock()
+		if e, ok := t.entries[k.ref]; ok {
+			e.mapped -= n
+			if e.mapped < 0 {
+				e.mapped = 0
+			}
+		}
+		t.mu.Unlock()
+	}
 }
 
 // GrantAccess makes obj mappable by domain `to` and returns the grant
@@ -115,33 +189,58 @@ func (d *Domain) MapGrant(granter DomID, ref GrantRef) (any, error) {
 	mi := d.mi()
 	hv := mi.hv
 	hv.hypercall()
+	if err := faultinject.Fire(faultinject.FPGrantMap); err != nil {
+		return nil, err
+	}
 	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return nil, err
 	}
 	e.mapped++
 	t.mu.Unlock()
+	mi.maps.record(granter, ref)
 	hv.counters.GrantMaps.Add(1)
 	hv.model.Charge(hv.model.GrantMap)
 	return e.obj, nil
 }
 
-// UnmapGrant releases a prior MapGrant. Hypercall + unmap cost.
+// UnmapGrant releases a prior MapGrant. Hypercall + unmap cost. When the
+// granter is already gone (destroyed or migrated away) the local mapping
+// record is released anyway — the foreign table it pinned no longer
+// exists — and the lookup error is reported.
 func (d *Domain) UnmapGrant(granter DomID, ref GrantRef) error {
 	mi := d.mi()
 	hv := mi.hv
 	hv.hypercall()
+	if err := faultinject.Fire(faultinject.FPGrantUnmap); err != nil {
+		return err
+	}
 	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
+		mi.maps.forget(granter, ref)
 		return err
 	}
 	if e.mapped > 0 {
 		e.mapped--
 	}
 	t.mu.Unlock()
+	mi.maps.forget(granter, ref)
 	hv.model.Charge(hv.model.GrantUnmap)
 	return nil
 }
+
+// GrantEntryCount reports the number of live grant-table entries (tests
+// and invariant checks: after full teardown it must return to baseline).
+func (d *Domain) GrantEntryCount() int {
+	t := d.mi().grants
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// ForeignMapCount reports how many grant mappings this domain currently
+// holds into other domains' tables.
+func (d *Domain) ForeignMapCount() int { return d.mi().maps.count() }
 
 // byteBacked is satisfied by grantable objects exposing raw bytes
 // (mem.Page, ring slot buffers); grant copies operate on them.
@@ -212,6 +311,9 @@ func (d *Domain) TransferGrant(granter DomID, ref GrantRef, returnPage *mem.Page
 	mi := d.mi()
 	hv := mi.hv
 	hv.hypercall()
+	if err := faultinject.Fire(faultinject.FPGrantTransfer); err != nil {
+		return nil, err
+	}
 	e, t, err := hv.lookupGrant(mi.id, granter, ref)
 	if err != nil {
 		return nil, err

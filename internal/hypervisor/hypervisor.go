@@ -156,6 +156,7 @@ func (hv *Hypervisor) newDomainLocked(name string, memPages int) *Domain {
 		id:     id,
 		grants: newGrantTable(d),
 		events: newEventChannels(d),
+		maps:   newForeignMaps(),
 		cpu:    hv.cpus[hv.nextCPU%hv.ncpu],
 	})
 	hv.nextCPU++
@@ -173,6 +174,10 @@ func (hv *Hypervisor) destroyLocked(d *Domain) {
 	mi := d.mi()
 	mi.events.closeAll()
 	mi.grants.revokeAll()
+	// Release the mapped counts this domain pinned in its peers' grant
+	// tables; without this a peer whose partner died mid-connection could
+	// never EndAccess its own grants.
+	mi.maps.releaseAll(hv)
 	delete(hv.domains, mi.id)
 	_ = hv.store.Remove(0, xenstore.DomainPath(uint32(mi.id)))
 }
@@ -225,6 +230,7 @@ func (hv *Hypervisor) Migrate(d *Domain, target *Hypervisor) error {
 		id:     newID,
 		grants: newGrantTable(d),
 		events: newEventChannels(d),
+		maps:   newForeignMaps(),
 		cpu:    target.cpus[target.nextCPU%target.ncpu],
 	})
 	target.nextCPU++
@@ -276,6 +282,7 @@ func (hv *Hypervisor) Resume(d *Domain) error {
 		id:     newID,
 		grants: newGrantTable(d),
 		events: newEventChannels(d),
+		maps:   newForeignMaps(),
 		cpu:    hv.cpus[hv.nextCPU%hv.ncpu],
 	})
 	hv.nextCPU++

@@ -25,8 +25,23 @@ type Switch struct {
 
 	mu    sync.Mutex
 	ports []*Port
-	fdb   map[pkt.MAC]*Port
+	fdb   map[pkt.MAC]fdbEntry
 }
+
+// fdbEntry is one learned forwarding entry. seen refreshes on every
+// source sighting, so only silent hosts age out.
+type fdbEntry struct {
+	port *Port
+	seen time.Time
+}
+
+// fdbAgeLimit is the forwarding-table aging time. Real switches age
+// entries (typically 300 s) so a host that moved ports — e.g. a migrated
+// VM whose gratuitous ARP was lost — is eventually flooded to again and
+// its reply re-teaches the switch. The model uses a short limit scaled to
+// the testbed's compressed timescales; active hosts refresh on every
+// frame and never age.
+const fdbAgeLimit = time.Second
 
 // maxWireLead bounds how far a sender may run ahead of the wire before it
 // blocks (its NIC transmit queue depth, in time units). Pacing this way —
@@ -43,7 +58,7 @@ func NewSwitch(model *costmodel.Model) *Switch {
 	return &Switch{
 		model: model,
 		count: &costmodel.Counters{},
-		fdb:   map[pkt.MAC]*Port{},
+		fdb:   map[pkt.MAC]fdbEntry{},
 	}
 }
 
@@ -103,8 +118,8 @@ func (p *Port) Close() {
 			break
 		}
 	}
-	for mac, q := range s.fdb {
-		if q == p {
+	for mac, e := range s.fdb {
+		if e.port == p {
 			delete(s.fdb, mac)
 		}
 	}
@@ -167,12 +182,12 @@ func (p *Port) Send(frame []byte) error {
 
 	s.mu.Lock()
 	if !eth.Src.IsBroadcast() && !eth.Src.IsZero() {
-		s.fdb[eth.Src] = p
+		s.fdb[eth.Src] = fdbEntry{port: p, seen: now}
 	}
 	var targets []*Port
-	if dst, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsBroadcast() {
-		if dst != p {
-			targets = []*Port{dst}
+	if dst, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsBroadcast() && now.Sub(dst.seen) <= fdbAgeLimit {
+		if dst.port != p {
+			targets = []*Port{dst.port}
 		}
 	} else {
 		for _, q := range s.ports {

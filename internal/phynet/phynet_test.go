@@ -123,6 +123,79 @@ func TestClosedPortRejectsSend(t *testing.T) {
 	}
 }
 
+func TestFDBEntryAgesOut(t *testing.T) {
+	sw := NewSwitch(nil)
+	guest := pkt.XenMAC(9, 1, 0)
+	sender := NewNIC("sender", pkt.XenMAC(1, 0, 0), sw, nil)
+	old := NewNIC("old", pkt.XenMAC(2, 0, 0), sw, nil)
+	fresh := NewNIC("new", pkt.XenMAC(3, 0, 0), sw, nil)
+	defer sender.Close()
+	defer old.Close()
+	defer fresh.Close()
+
+	var mu sync.Mutex
+	var atOld, atNew int
+	// Count only probe frames addressed to the guest, not the initial
+	// learning frame (whose unknown destination floods everywhere).
+	probe := func(f []byte) bool {
+		eth, _, err := pkt.ParseEth(f)
+		return err == nil && eth.Dst == guest
+	}
+	old.Attach(func(f []byte) {
+		if probe(f) {
+			mu.Lock()
+			atOld++
+			mu.Unlock()
+		}
+	})
+	fresh.Attach(func(f []byte) {
+		if probe(f) {
+			mu.Lock()
+			atNew++
+			mu.Unlock()
+		}
+	})
+
+	// The guest transmits through the old machine's NIC; the switch
+	// learns its MAC there.
+	_ = old.Transmit(pkt.BuildFrame(sender.MAC(), guest, pkt.EtherTypeIPv4, []byte("hello")))
+	// The guest migrates to the new machine but its gratuitous ARP is
+	// lost: the switch still holds the stale entry, so a unicast frame
+	// goes to the old port only.
+	if err := sender.Transmit(pkt.BuildFrame(guest, sender.MAC(), pkt.EtherTypeIPv4, []byte("one"))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(cond func() bool, what string) {
+		deadline := time.Now().Add(time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (old=%d new=%d)", what, atOld, atNew)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { mu.Lock(); defer mu.Unlock(); return atOld >= 1 }, "unicast to stale port")
+	mu.Lock()
+	if atNew != 0 {
+		mu.Unlock()
+		t.Fatalf("fresh entry should unicast to the learned port only, new saw %d", atNew)
+	}
+	mu.Unlock()
+
+	// Once the entry ages past fdbAgeLimit the switch must flood again,
+	// so the frame reaches the guest's new port and its reply can
+	// re-teach the switch.
+	sw.mu.Lock()
+	e := sw.fdb[guest]
+	e.seen = e.seen.Add(-2 * fdbAgeLimit)
+	sw.fdb[guest] = e
+	sw.mu.Unlock()
+	if err := sender.Transmit(pkt.BuildFrame(guest, sender.MAC(), pkt.EtherTypeIPv4, []byte("two"))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(func() bool { mu.Lock(); defer mu.Unlock(); return atNew >= 1 }, "flood after aging")
+}
+
 func TestMACTableForgetsClosedPort(t *testing.T) {
 	sw := NewSwitch(nil)
 	a := NewNIC("a", pkt.XenMAC(1, 0, 0), sw, nil)

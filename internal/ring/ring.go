@@ -99,6 +99,11 @@ func (r *Ring) Pop() (Desc, bool) {
 // Pending returns the number of descriptors waiting.
 func (r *Ring) Pending() int { return int(r.prod.Load() - r.cons.Load()) }
 
+// ConsumerIndex returns the free-running consumer index. A watchdog uses
+// it to tell a ring that is merely busy (index advancing) from one whose
+// consumer missed its kick (pending work, index frozen).
+func (r *Ring) ConsumerIndex() uint32 { return r.cons.Load() }
+
 // Free returns the number of free slots.
 func (r *Ring) Free() int { return int(r.size - (r.prod.Load() - r.cons.Load())) }
 

@@ -1,0 +1,117 @@
+package splitdriver_test
+
+// Fallback-under-teardown coverage (external test package so the full
+// testbed — which itself imports splitdriver — can be used): a UDP stream
+// is running over an established XenLoop channel when the module detaches
+// mid-stream. Delivery must continue over the netfront/netback/bridge
+// path with no duplicates, and the accounting must close exactly: every
+// datagram sent is either received or was on a waiting list purged at
+// teardown.
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+func TestFallbackWhenChannelTornDownMidStream(t *testing.T) {
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{})
+	if err != nil {
+		t.Fatalf("BuildPair: %v", err)
+	}
+	defer p.Close()
+	a, b := p.A.VM, p.B.VM
+
+	srv, err := b.Stack.ListenUDP(7200)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer srv.Close()
+	cli, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer cli.Close()
+
+	const total = 2000
+	seen := make([]bool, total)
+	var received, dups atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			data, _, _, err := srv.ReadFrom(time.Second)
+			if err != nil {
+				return
+			}
+			seq := binary.LittleEndian.Uint64(data)
+			if seen[seq] {
+				dups.Add(1)
+			}
+			seen[seq] = true
+			received.Add(1)
+		}
+	}()
+
+	payload := make([]byte, 64)
+	for i := 0; i < total; i++ {
+		binary.LittleEndian.PutUint64(payload, uint64(i))
+		if err := cli.WriteTo(payload, b.IP, 7200); err != nil {
+			t.Fatalf("WriteTo #%d: %v", i, err)
+		}
+		if i == total/2 {
+			// Tear the channel down mid-stream. Later datagrams must take
+			// the standard path transparently.
+			if a.XL.Stats().PktsChannel.Load() == 0 {
+				t.Fatalf("stream never used the XenLoop channel before teardown")
+			}
+			a.XL.Detach()
+		}
+		if i%16 == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	// Senders are done; wait for the tail to drain through the bridge.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		purged := a.XL.Stats().PktsPurged.Load() + b.XL.Stats().PktsPurged.Load()
+		if received.Load()+purged >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounting never closed: received=%d purged=%d sent=%d",
+				received.Load(), purged, total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Close()
+	<-done
+
+	if d := dups.Load(); d != 0 {
+		t.Fatalf("%d duplicate datagrams across the fallback", d)
+	}
+	purged := a.XL.Stats().PktsPurged.Load() + b.XL.Stats().PktsPurged.Load()
+	if got := received.Load() + purged; got != total {
+		t.Fatalf("received(%d) + purged(%d) = %d, want exactly %d",
+			received.Load(), purged, got, total)
+	}
+	// Everything sent after the teardown point had no channel to ride —
+	// it must all have arrived via netfront/netback/bridge.
+	for i := total / 2; i < total; i++ {
+		if !seen[i] {
+			t.Fatalf("post-teardown datagram %d never delivered via the standard path", i)
+		}
+	}
+	// The channel is gone for good: a fresh probe must still work (via
+	// netfront) without XenLoop re-engaging on the detached module.
+	if _, err := a.Stack.Ping(b.IP, 56, 2*time.Second); err != nil {
+		t.Fatalf("ping after detach: %v", err)
+	}
+	if a.XL.HasChannelTo(b.MAC) {
+		t.Fatalf("detached module still reports a channel")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/bridge"
 	"repro/internal/buf"
@@ -76,6 +77,10 @@ type Stats struct {
 	TxPackets, TxBytes uint64
 	RxPackets, RxBytes uint64
 	RxDropped          uint64
+	// TxAbandoned counts frames left on the TX ring at Disconnect: queued
+	// but never processed by the backend (the in-flight loss window a vif
+	// detach opens). Observable loss accounting for failover tests.
+	TxAbandoned uint64
 }
 
 // netback is the driver-domain side of one vif.
@@ -114,6 +119,7 @@ func Connect(guest *hypervisor.Domain, br *bridge.Bridge, mac pkt.MAC) (*Netfron
 		return nil, err
 	}
 	go nf.rxLoop()
+	go nf.watchdog()
 	return nf, nil
 }
 
@@ -398,6 +404,64 @@ func (nf *Netfront) rxLoop() {
 	}
 }
 
+// watchdogTick is the ring-stall scan period. Two consecutive ticks with
+// pending work and a frozen consumer index mark a ring as stuck, so
+// recovery from a lost notification takes at most ~2 ticks.
+const watchdogTick = 2 * time.Millisecond
+
+// stalled reports whether a ring has pending descriptors whose consumer
+// made no progress since the last scan — the signature of a lost event
+// notification (the 1-bit pending protocol retires the kick obligation
+// when the producer observes a parked consumer; if that one kick is
+// lost, nothing ever retries). prev holds the previous scan's state.
+func stalled(r *ring.Ring, prevCons *uint32, prevPending *bool) bool {
+	pending := r.Pending() > 0
+	cons := r.ConsumerIndex()
+	stuck := pending && *prevPending && cons == *prevCons
+	*prevCons, *prevPending = cons, pending
+	return stuck
+}
+
+// watchdog recovers the vif from lost event notifications: when a ring
+// holds work across two scan ticks without consumer progress, the kick
+// is re-issued — NotifyPort toward the backend for the TX request ring,
+// RaiseLocal (a poll-mode rescan in our own event context) for the two
+// completion rings. A healthy vif pays three atomic loads per tick; a
+// stuck one recovers within milliseconds instead of wedging a blocked
+// Transmit forever.
+func (nf *Netfront) watchdog() {
+	t := time.NewTicker(watchdogTick)
+	defer t.Stop()
+	var (
+		txCons, txcCons, rxcCons uint32
+		txPend, txcPend, rxcPend bool
+	)
+	for {
+		select {
+		case <-t.C:
+		case <-nf.quit:
+			return
+		}
+		nf.mu.Lock()
+		sh, closed := nf.sh, nf.closed
+		txPort, rxPort := nf.txPort, nf.rxPort
+		nf.mu.Unlock()
+		if closed || sh == nil {
+			txPend, txcPend, rxcPend = false, false, false
+			continue
+		}
+		if stalled(sh.tx, &txCons, &txPend) {
+			_ = nf.guest.NotifyPort(txPort) // backend missed its TX kick
+		}
+		if stalled(sh.txc, &txcCons, &txcPend) {
+			nf.guest.RaiseLocal(txPort) // we missed the completion kick
+		}
+		if stalled(sh.rxc, &rxcCons, &rxcPend) {
+			nf.guest.RaiseLocal(rxPort) // we missed the receive kick
+		}
+	}
+}
+
 // TxRxCounts returns packet counters (for tests and tools).
 func (nf *Netfront) TxRxCounts() (tx, rx, rxDropped uint64) {
 	nf.stats.mu.Lock()
@@ -425,6 +489,15 @@ func (nf *Netfront) Disconnect() {
 	if nb != nil {
 		nb.close()
 	}
+	// Frames still on the TX ring were queued but never reached the
+	// backend; they are lost with the detach. Keep the loss observable.
+	if sh != nil {
+		if abandoned := sh.tx.Pending(); abandoned > 0 {
+			nf.stats.mu.Lock()
+			nf.stats.TxAbandoned += uint64(abandoned)
+			nf.stats.mu.Unlock()
+		}
+	}
 	_ = nf.guest.ClosePort(txPort)
 	_ = nf.guest.ClosePort(rxPort)
 	if sh != nil {
@@ -448,6 +521,17 @@ func (nf *Netfront) Reattach(br *bridge.Bridge) error {
 func (nf *Netfront) Shutdown() {
 	nf.Disconnect()
 	close(nf.quit)
+	// rxLoop is exiting: return queued receive leases to the pool. The
+	// quiet-period drain (rather than one non-blocking sweep) also
+	// catches a frame an in-flight rxEvent enqueues concurrently.
+	for {
+		select {
+		case frame := <-nf.rxq:
+			frame.Release()
+		case <-time.After(2 * time.Millisecond):
+			return
+		}
+	}
 }
 
 // --- netback side ---
@@ -494,6 +578,7 @@ func (nb *netback) processTx() {
 func (nb *netback) deliverToGuest(frame []byte) {
 	nb.mu.Lock()
 	if nb.closed {
+		nb.rxDrops++ // detach race: frame arrived for a closing vif
 		nb.mu.Unlock()
 		return
 	}
@@ -515,6 +600,7 @@ func (nb *netback) deliverToGuest(frame []byte) {
 	}
 	nb.mu.Lock()
 	if nb.closed {
+		nb.rxDrops++
 		nb.mu.Unlock()
 		return
 	}

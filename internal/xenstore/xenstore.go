@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // Errors returned by store operations.
@@ -127,6 +129,12 @@ func (s *Store) Write(caller uint32, path, value string) error {
 		return err
 	}
 	if err := checkAccess(caller, parts, true); err != nil {
+		return err
+	}
+	// Failpoint: the write is lost before reaching xenstored, leaving a
+	// stale or missing entry (e.g. a xenloop advertisement that never
+	// lands — discovery then treats the guest as unwilling).
+	if err := faultinject.Fire(faultinject.FPStoreWrite); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -281,6 +289,13 @@ func (s *Store) lookupLocked(parts []string) (*node, bool) {
 func (s *Store) fireLocked(ev Event) {
 	for _, w := range s.watches {
 		if ev.Path == w.prefix || strings.HasPrefix(ev.Path, w.prefix+"/") || w.prefix == "/" {
+			// Failpoint: the watch event is lost before delivery. Real
+			// xenstored only promises at-least-once with coalescing;
+			// consumers must reconcile against the store, not trust every
+			// individual event to arrive.
+			if faultinject.Fire(faultinject.FPWatchDrop) != nil {
+				continue
+			}
 			select {
 			case w.C <- ev:
 			default: // coalesce: watcher is behind, drop
