@@ -3,15 +3,18 @@
 //
 // Usage:
 //
+//	xlbench -exp list              # enumerate experiments
 //	xlbench -exp table2            # one experiment
-//	xlbench -exp all               # everything (default)
+//	xlbench -exp all               # every "all" experiment (default)
 //	xlbench -exp fig4 -duration 2s # steadier numbers
 //	xlbench -exp table3 -profile off
+//	xlbench -exp latency           # percentile latency, BENCH_latency.json
+//	xlbench -exp datapath -maxoverhead 0.05  # fail on instrumentation cost
 //
-// Experiments: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 counters datapath scale chaos. The datapath experiment additionally
-// writes its result to BENCH_datapath.json, and scale to BENCH_scale.json,
-// for machine consumption. -short trims the scale sweep for CI smoke runs.
+// Experiments are registered in a table; -exp list prints it. The
+// datapath, scale and latency experiments additionally write their
+// results to BENCH_*.json for machine consumption. -short trims sweeps
+// for CI smoke runs.
 //
 // The chaos experiment (not part of "all") soaks a 4-guest mesh under
 // seeded fault injection: -chaos.seeds sweeps seeds 1..N, -chaos.seed
@@ -33,17 +36,84 @@ import (
 	"repro/internal/testbed"
 )
 
+// runCtx carries the parsed flags into experiment bodies.
+type runCtx struct {
+	opts        bench.ExpOptions
+	short       bool
+	maxOverhead float64
+	chaosSeed   int64
+	chaosSeeds  int
+	chaosDur    time.Duration
+}
+
+// experiment is one row of the registry.
+type experiment struct {
+	name   string
+	desc   string
+	output string // JSON artifact the run writes ("" = none)
+	inAll  bool   // included when -exp all
+	run    func(c *runCtx) error
+}
+
+// experiments is the ordered registry -exp names resolve against.
+var experiments = []experiment{
+	{"table1", "latency + bandwidth motivating snapshot (3 scenarios)", "", true, runTable1},
+	{"table2", "average bandwidth comparison (Mbps)", "", true, runTable2},
+	{"table3", "average latency comparison", "", true, runTable3},
+	{"fig4", "throughput vs UDP message size (netperf)", "", true, runFig4},
+	{"fig5", "throughput vs FIFO size (netperf UDP)", "", true, runFig5},
+	{"fig6", "throughput vs message size (netpipe-mpich)", "", true, runFig6},
+	{"fig7", "latency vs message size (netpipe-mpich)", "", true, runFig7},
+	{"fig8", "OSU MPI uni-directional bandwidth", "", true, runFig8},
+	{"fig9", "OSU MPI bi-directional bandwidth", "", true, runFig9},
+	{"fig10", "OSU MPI latency", "", true, runFig10},
+	{"fig11", "TCP_RR transactions/sec during migration", "", true, runFig11},
+	{"counters", "hypervisor mechanism counters per ping", "", true, runCounters},
+	{"datapath", "FIFO/channel microbenchmarks + instrumentation overhead A/B", "BENCH_datapath.json", true, runDatapath},
+	{"scale", "multi-sender scalability of the lock-free fast path", "BENCH_scale.json", true, runScale},
+	{"latency", "request-response latency percentiles, channel vs netfront", "BENCH_latency.json", true, runLatency},
+	// The chaos soak is deliberately not part of "all": it is a fault
+	// injection stress, not a paper figure, and it runs for seeds*duration.
+	{"chaos", "seeded fault-injection soak of a 4-guest mesh", "", false, runChaosExp},
+}
+
+func lookupExperiment(name string) *experiment {
+	for i := range experiments {
+		if experiments[i].name == name {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1..3, fig4..11, counters, all)")
+	exp := flag.String("exp", "all", `experiment to run (comma-separated), "all", or "list"`)
 	duration := flag.Duration("duration", 400*time.Millisecond, "per-measurement duration")
 	iters := flag.Int("iters", 60, "iterations per message size in sweeps")
 	fifo := flag.Int("fifo", 0, "XenLoop FIFO size in bytes (0 = paper's 64 KiB)")
 	profile := flag.String("profile", "calibrated", "cost profile: calibrated or off")
-	short := flag.Bool("short", false, "trim sweeps for smoke runs (scale: senders {1,8}, 100ms points)")
+	short := flag.Bool("short", false, "trim sweeps for smoke runs (scale: senders {1,8}; latency: 64KiB x 1 sender)")
+	maxOverhead := flag.Float64("maxoverhead", 0, "datapath: fail if hist_overhead_frac exceeds this (0 = report only)")
 	chaosSeed := flag.Int64("chaos.seed", 0, "run the chaos experiment with this single seed (0 = seed sweep)")
 	chaosSeeds := flag.Int("chaos.seeds", 20, "number of seeds (1..N) in the chaos sweep")
 	chaosDur := flag.Duration("chaos.duration", 2*time.Second, "per-seed chaos soak duration")
 	flag.Parse()
+
+	if *exp == "list" {
+		fmt.Printf("%-10s %-22s %s\n", "name", "artifact", "description")
+		for _, e := range experiments {
+			art := e.output
+			if art == "" {
+				art = "-"
+			}
+			extra := ""
+			if !e.inAll {
+				extra = "  (not in \"all\")"
+			}
+			fmt.Printf("%-10s %-22s %s%s\n", e.name, art, e.desc, extra)
+		}
+		return
+	}
 
 	var model *costmodel.Model
 	switch *profile {
@@ -55,74 +125,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
-	opts := bench.ExpOptions{
-		Model:         model,
-		Duration:      *duration,
-		Iters:         *iters,
-		FIFOSizeBytes: *fifo,
+	c := &runCtx{
+		opts: bench.ExpOptions{
+			Model:         model,
+			Duration:      *duration,
+			Iters:         *iters,
+			FIFOSizeBytes: *fifo,
+		},
+		short:       *short,
+		maxOverhead: *maxOverhead,
+		chaosSeed:   *chaosSeed,
+		chaosSeeds:  *chaosSeeds,
+		chaosDur:    *chaosDur,
 	}
 
-	// The chaos soak is deliberately not part of "all": it is a fault
-	// injection stress, not a paper figure, and it runs for seeds*duration.
-	known := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "counters", "datapath", "scale"}
 	var run []string
 	if *exp == "all" {
-		run = known
+		for _, e := range experiments {
+			if e.inAll {
+				run = append(run, e.name)
+			}
+		}
 	} else {
 		for _, e := range strings.Split(*exp, ",") {
 			run = append(run, strings.TrimSpace(e))
 		}
 	}
-	for _, e := range run {
-		if e == "chaos" {
-			if err := runChaos(*chaosSeed, *chaosSeeds, *chaosDur); err != nil {
-				fmt.Fprintf(os.Stderr, "xlbench chaos: %v\n", err)
-				os.Exit(1)
-			}
-			continue
+	for _, name := range run {
+		e := lookupExperiment(name)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "xlbench: unknown experiment %q (try -exp list)\n", name)
+			os.Exit(2)
 		}
-		if err := runExperiment(e, opts, *short); err != nil {
-			fmt.Fprintf(os.Stderr, "xlbench %s: %v\n", e, err)
+		if err := e.run(c); err != nil {
+			fmt.Fprintf(os.Stderr, "xlbench %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 }
 
-// runChaos drives the seeded fault-injection soak. A single seed
-// (-chaos.seed=N) reproduces a failure exactly; otherwise seeds 1..N are
-// swept and the first failing seed is reported with its repro command.
-func runChaos(seed int64, seeds int, dur time.Duration) error {
-	list := []int64{seed}
-	if seed == 0 {
-		list = list[:0]
-		for i := 1; i <= seeds; i++ {
-			list = append(list, int64(i))
-		}
+// writeJSON persists an experiment result artifact.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
 	}
-	fmt.Printf("Chaos soak: %d seed(s), %v each\n", len(list), dur)
-	failed := 0
-	for _, s := range list {
-		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: dur, Log: func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
-		}})
-		if err != nil {
-			return fmt.Errorf("seed %d: %w", s, err)
-		}
-		if len(r.Violations) == 0 {
-			fmt.Printf("  seed %-3d PASS  sent=%d delivered=%d migrations=%d suspends=%d flaps=%d faults=%d\n",
-				s, r.Sent, r.Delivered, r.Migrations, r.SuspendResumes, r.AdFlaps, r.FaultsArmed)
-			continue
-		}
-		failed++
-		for _, v := range r.Violations {
-			fmt.Printf("  seed %-3d FAIL  %s\n", s, v)
-		}
-		fmt.Printf("  reproduce: go run ./cmd/xlbench -exp chaos -chaos.seed=%d -chaos.duration=%v\n", s, dur)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d of %d seeds violated invariants", failed, len(list))
-	}
-	fmt.Println()
+	fmt.Printf("wrote %s\n\n", path)
 	return nil
 }
 
@@ -141,222 +192,315 @@ func scenarioColumns() []string {
 	return cols
 }
 
-func runExperiment(name string, opts bench.ExpOptions, short bool) error {
-	switch name {
-	case "table1":
-		// Table 1 is the motivating snapshot: ping + netperf rows for the
-		// three scenarios the introduction compares.
-		o := opts
-		o.Scenarios = []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop}
-		lat, err := bench.Table3(o)
-		if err != nil {
-			return err
-		}
-		bw, err := bench.Table2(o)
-		if err != nil {
-			return err
-		}
-		t := stats.Table{Title: "Table 1: Latency and bandwidth comparison",
-			Columns: []string{"workload", "Inter Machine", "Netfront/Netback", "XenLoop"}}
-		for _, r := range lat.Rows {
-			if strings.HasPrefix(r.Name, "netpipe") || strings.HasPrefix(r.Name, "lmbench") {
-				continue
-			}
-			addRow(&t, r)
-		}
-		for _, r := range bw.Rows {
-			if strings.HasPrefix(r.Name, "netpipe") {
-				continue
-			}
-			addRow(&t, r)
-		}
-		fmt.Println(t.String())
-
-	case "table2":
-		bw, err := bench.Table2(opts)
-		if err != nil {
-			return err
-		}
-		t := stats.Table{Title: "Table 2: Average bandwidth comparison (Mbps)", Columns: scenarioColumns()}
-		for _, r := range bw.Rows {
-			addRow(&t, r)
-		}
-		fmt.Println(t.String())
-
-	case "table3":
-		lat, err := bench.Table3(opts)
-		if err != nil {
-			return err
-		}
-		t := stats.Table{Title: "Table 3: Average latency comparison", Columns: scenarioColumns()}
-		for _, r := range lat.Rows {
-			addRow(&t, r)
-		}
-		fmt.Println(t.String())
-
-	case "fig4":
-		series, err := bench.Fig4(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats.FormatSeries("Fig 4: Throughput versus UDP message size (netperf)",
-			"message size (bytes)", "throughput (Mbps)", series))
-
-	case "fig5":
-		series, err := bench.Fig5(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats.FormatSeries("Fig 5: Throughput versus FIFO size (netperf UDP)",
-			"FIFO size (bytes)", "throughput (Mbps)", []stats.Series{series}))
-
-	case "fig6", "fig7":
-		bw, lat, err := bench.Fig6and7(opts)
-		if err != nil {
-			return err
-		}
-		if name == "fig6" {
-			fmt.Println(stats.FormatSeries("Fig 6: Throughput versus message size (netpipe-mpich)",
-				"message size (bytes)", "throughput (Mbps)", bw))
-		} else {
-			fmt.Println(stats.FormatSeries("Fig 7: Latency versus message size (netpipe-mpich)",
-				"message size (bytes)", "one-way latency (us)", lat))
-		}
-
-	case "fig8":
-		series, err := bench.Fig8to10(opts, bench.OSUUni)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats.FormatSeries("Fig 8: OSU MPI uni-directional bandwidth",
-			"message size (bytes)", "throughput (Mbps)", series))
-
-	case "fig9":
-		series, err := bench.Fig8to10(opts, bench.OSUBi)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats.FormatSeries("Fig 9: OSU MPI bi-directional bandwidth",
-			"message size (bytes)", "throughput (Mbps)", series))
-
-	case "fig10":
-		series, err := bench.Fig8to10(opts, bench.OSULat)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats.FormatSeries("Fig 10: OSU MPI latency",
-			"message size (bytes)", "one-way latency (us)", series))
-
-	case "fig11":
-		res, err := bench.Fig11(opts, 5, 500*time.Millisecond)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Fig 11: TCP_RR transactions/sec during migration")
-		fmt.Println("# VM migrates together after sample", res.TogetherAt, "and apart after sample", res.ApartAt)
-		for i, pt := range res.Points {
-			marker := ""
-			if i == res.TogetherAt {
-				marker = "  <- co-resident (XenLoop engages)"
-			}
-			if i == res.ApartAt {
-				marker = "  <- separated (standard path)"
-			}
-			fmt.Printf("t=%6.2fs  %10.0f trans/s%s\n", pt.X, pt.Y, marker)
-		}
-		if res.Errors > 0 {
-			fmt.Printf("# %d request-response errors during migration\n", res.Errors)
-		}
-		fmt.Println()
-
-	case "counters":
-		// Mechanism counters for one ping on each path: a diagnostic view
-		// of what each data path costs in hypervisor operations.
-		for _, s := range []testbed.Scenario{testbed.NetfrontNetback, testbed.XenLoop} {
-			p, err := testbed.BuildPair(s, testbed.Options{Model: opts.Model, DiscoveryPeriod: 200 * time.Millisecond})
-			if err != nil {
-				return err
-			}
-			if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
-				p.Close()
-				return err
-			}
-			// Let the channel workers drop out of NAPI polling mode and park:
-			// a ping measured while the consumer is still polling shows zero
-			// hypervisor operations, which is the steady-stream cost, not the
-			// cold-path cost this diagnostic is after.
-			time.Sleep(2 * time.Millisecond)
-			hv := p.A.VM.Machine.HV
-			before := hv.Counters().Snapshot()
-			if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
-				p.Close()
-				return err
-			}
-			diff := hv.Counters().Snapshot().Sub(before)
-			fmt.Printf("%-18s one ping round trip: %s\n", s.String(), diff)
-			p.Close()
-		}
-		fmt.Println()
-
-	case "datapath":
-		res, err := bench.Datapath(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Datapath microbenchmarks:")
-		fmt.Printf("  fifo single push/pop:  %8.1f ns/pkt\n", res.FIFOSingleNsPerPkt)
-		fmt.Printf("  fifo batched (32/op):  %8.1f ns/pkt  (%.1fx speedup)\n", res.FIFOBatchNsPerPkt, res.FIFOBatchSpeedup)
-		fmt.Printf("  channel UDP_RR rtt:    %8.1f us\n", res.ChannelRTTMicros)
-		fmt.Printf("  channel UDP stream:    %8.1f Mbps\n", res.ChannelStreamMbps)
-		fmt.Printf("  buffer pool: %d gets, %d puts, %d oversize\n", res.PoolGets, res.PoolPuts, res.PoolOversize)
-		fmt.Println()
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile("BENCH_datapath.json", append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Println("wrote BENCH_datapath.json")
-		fmt.Println()
-
-	case "scale":
-		o := opts
-		senders := bench.DefaultScaleSenders
-		if short {
-			senders = []int{1, 8}
-			if o.Duration > 100*time.Millisecond {
-				o.Duration = 100 * time.Millisecond
-			}
-		}
-		res, err := bench.Scale(o, senders)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Multi-sender scalability (lock-free fast path):")
-		fmt.Printf("  fifo batched baseline: %8.1f ns/pkt\n", res.FIFOBatchNsPerPkt)
-		fmt.Printf("  single-sender cycle:   %8.1f ns/pkt\n", res.SingleSenderNsPerPkt)
-		for _, pt := range res.Points {
-			fmt.Printf("  %2d senders / %d pairs: %8.3f Mpkts/s  (%8.1f ns/pkt, %d delivered)\n",
-				pt.Senders, pt.Pairs, pt.AggregateMpktsPerSec, pt.NsPerPkt, pt.Delivered)
-		}
-		if res.Speedup8v1 > 0 {
-			fmt.Printf("  8-sender vs 1-sender:  %8.2fx aggregate\n", res.Speedup8v1)
-		}
-		fmt.Println()
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile("BENCH_scale.json", append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Println("wrote BENCH_scale.json")
-		fmt.Println()
-
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
+func runTable1(c *runCtx) error {
+	// Table 1 is the motivating snapshot: ping + netperf rows for the
+	// three scenarios the introduction compares.
+	o := c.opts
+	o.Scenarios = []testbed.Scenario{testbed.InterMachine, testbed.NetfrontNetback, testbed.XenLoop}
+	lat, err := bench.Table3(o)
+	if err != nil {
+		return err
 	}
+	bw, err := bench.Table2(o)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{Title: "Table 1: Latency and bandwidth comparison",
+		Columns: []string{"workload", "Inter Machine", "Netfront/Netback", "XenLoop"}}
+	for _, r := range lat.Rows {
+		if strings.HasPrefix(r.Name, "netpipe") || strings.HasPrefix(r.Name, "lmbench") {
+			continue
+		}
+		addRow(&t, r)
+	}
+	for _, r := range bw.Rows {
+		if strings.HasPrefix(r.Name, "netpipe") {
+			continue
+		}
+		addRow(&t, r)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func runTable2(c *runCtx) error {
+	bw, err := bench.Table2(c.opts)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{Title: "Table 2: Average bandwidth comparison (Mbps)", Columns: scenarioColumns()}
+	for _, r := range bw.Rows {
+		addRow(&t, r)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func runTable3(c *runCtx) error {
+	lat, err := bench.Table3(c.opts)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{Title: "Table 3: Average latency comparison", Columns: scenarioColumns()}
+	for _, r := range lat.Rows {
+		addRow(&t, r)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func runFig4(c *runCtx) error {
+	series, err := bench.Fig4(c.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 4: Throughput versus UDP message size (netperf)",
+		"message size (bytes)", "throughput (Mbps)", series))
+	return nil
+}
+
+func runFig5(c *runCtx) error {
+	series, err := bench.Fig5(c.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 5: Throughput versus FIFO size (netperf UDP)",
+		"FIFO size (bytes)", "throughput (Mbps)", []stats.Series{series}))
+	return nil
+}
+
+func runFig6(c *runCtx) error {
+	bw, _, err := bench.Fig6and7(c.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 6: Throughput versus message size (netpipe-mpich)",
+		"message size (bytes)", "throughput (Mbps)", bw))
+	return nil
+}
+
+func runFig7(c *runCtx) error {
+	_, lat, err := bench.Fig6and7(c.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 7: Latency versus message size (netpipe-mpich)",
+		"message size (bytes)", "one-way latency (us)", lat))
+	return nil
+}
+
+func runFig8(c *runCtx) error {
+	series, err := bench.Fig8to10(c.opts, bench.OSUUni)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 8: OSU MPI uni-directional bandwidth",
+		"message size (bytes)", "throughput (Mbps)", series))
+	return nil
+}
+
+func runFig9(c *runCtx) error {
+	series, err := bench.Fig8to10(c.opts, bench.OSUBi)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 9: OSU MPI bi-directional bandwidth",
+		"message size (bytes)", "throughput (Mbps)", series))
+	return nil
+}
+
+func runFig10(c *runCtx) error {
+	series, err := bench.Fig8to10(c.opts, bench.OSULat)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats.FormatSeries("Fig 10: OSU MPI latency",
+		"message size (bytes)", "one-way latency (us)", series))
+	return nil
+}
+
+func runFig11(c *runCtx) error {
+	res, err := bench.Fig11(c.opts, 5, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 11: TCP_RR transactions/sec during migration")
+	fmt.Println("# VM migrates together after sample", res.TogetherAt, "and apart after sample", res.ApartAt)
+	for i, pt := range res.Points {
+		marker := ""
+		if i == res.TogetherAt {
+			marker = "  <- co-resident (XenLoop engages)"
+		}
+		if i == res.ApartAt {
+			marker = "  <- separated (standard path)"
+		}
+		fmt.Printf("t=%6.2fs  %10.0f trans/s%s\n", pt.X, pt.Y, marker)
+	}
+	if res.Errors > 0 {
+		fmt.Printf("# %d request-response errors during migration\n", res.Errors)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runCounters(c *runCtx) error {
+	// Mechanism counters for one ping on each path: a diagnostic view
+	// of what each data path costs in hypervisor operations.
+	for _, s := range []testbed.Scenario{testbed.NetfrontNetback, testbed.XenLoop} {
+		p, err := testbed.BuildPair(s, testbed.Options{Model: c.opts.Model, DiscoveryPeriod: 200 * time.Millisecond})
+		if err != nil {
+			return err
+		}
+		if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+			p.Close()
+			return err
+		}
+		// Let the channel workers drop out of NAPI polling mode and park:
+		// a ping measured while the consumer is still polling shows zero
+		// hypervisor operations, which is the steady-stream cost, not the
+		// cold-path cost this diagnostic is after.
+		time.Sleep(2 * time.Millisecond)
+		hv := p.A.VM.Machine.HV
+		before := hv.Counters().Snapshot()
+		if _, err := p.A.Stack.Ping(p.B.IP, 56, 2*time.Second); err != nil {
+			p.Close()
+			return err
+		}
+		diff := hv.Counters().Snapshot().Sub(before)
+		fmt.Printf("%-18s one ping round trip: %s\n", s.String(), diff)
+		p.Close()
+	}
+	fmt.Println()
+	return nil
+}
+
+func runDatapath(c *runCtx) error {
+	res, err := bench.Datapath(c.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Datapath microbenchmarks:")
+	fmt.Printf("  fifo single push/pop:  %8.1f ns/pkt\n", res.FIFOSingleNsPerPkt)
+	fmt.Printf("  fifo batched (32/op):  %8.1f ns/pkt  (%.1fx speedup)\n", res.FIFOBatchNsPerPkt, res.FIFOBatchSpeedup)
+	fmt.Printf("  fifo batched + stamp:  %8.1f ns/pkt  (informational)\n", res.FIFOBatchTimedNsPerPkt)
+	fmt.Printf("  channel UDP_RR rtt:    %8.1f us   (metrics off: %8.1f us)\n", res.ChannelRTTMicros, res.ChannelRTTOffMicros)
+	fmt.Printf("  channel UDP stream:    %8.1f Mbps (metrics off: %8.1f Mbps)\n", res.ChannelStreamMbps, res.ChannelStreamOffMbps)
+	fmt.Printf("  instrumentation cost:  %+8.2f%% of the channel path\n", res.HistOverheadFrac*100)
+	fmt.Printf("  buffer pool: %d gets, %d puts, %d oversize\n", res.PoolGets, res.PoolPuts, res.PoolOversize)
+	fmt.Println()
+	if err := writeJSON("BENCH_datapath.json", res); err != nil {
+		return err
+	}
+	if c.maxOverhead > 0 && res.HistOverheadFrac > c.maxOverhead {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds budget %.2f%%",
+			res.HistOverheadFrac*100, c.maxOverhead*100)
+	}
+	return nil
+}
+
+func runScale(c *runCtx) error {
+	o := c.opts
+	senders := bench.DefaultScaleSenders
+	if c.short {
+		senders = []int{1, 8}
+		if o.Duration > 100*time.Millisecond {
+			o.Duration = 100 * time.Millisecond
+		}
+	}
+	res, err := bench.Scale(o, senders)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Multi-sender scalability (lock-free fast path):")
+	fmt.Printf("  fifo batched baseline: %8.1f ns/pkt\n", res.FIFOBatchNsPerPkt)
+	fmt.Printf("  single-sender cycle:   %8.1f ns/pkt\n", res.SingleSenderNsPerPkt)
+	for _, pt := range res.Points {
+		fmt.Printf("  %2d senders / %d pairs: %8.3f Mpkts/s  (%8.1f ns/pkt, %d delivered)\n",
+			pt.Senders, pt.Pairs, pt.AggregateMpktsPerSec, pt.NsPerPkt, pt.Delivered)
+	}
+	if res.Speedup8v1 > 0 {
+		fmt.Printf("  8-sender vs 1-sender:  %8.2fx aggregate\n", res.Speedup8v1)
+	}
+	fmt.Println()
+	return writeJSON("BENCH_scale.json", res)
+}
+
+func runLatency(c *runCtx) error {
+	o := c.opts
+	fifoSizes := bench.DefaultLatencyFIFOSizes
+	senders := bench.DefaultLatencySenders
+	if c.short {
+		fifoSizes = []int{64 << 10}
+		senders = []int{1}
+		if o.Duration > 150*time.Millisecond {
+			o.Duration = 150 * time.Millisecond
+		}
+	}
+	res, err := bench.Latency(o, fifoSizes, senders)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Request-response latency percentiles (UDP 1-byte RR, us):")
+	fmt.Printf("  %-9s %-9s %-7s %8s %8s %8s %8s %8s %8s\n",
+		"path", "fifo", "senders", "samples", "p50", "p95", "p99", "p99.9", "mean")
+	for _, pt := range res.Points {
+		fifoCol := "-"
+		if pt.FIFOSizeBytes > 0 {
+			fifoCol = fmt.Sprintf("%dK", pt.FIFOSizeBytes>>10)
+		}
+		fmt.Printf("  %-9s %-9s %-7d %8d %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			pt.Path, fifoCol, pt.Senders, pt.Samples, pt.P50Us, pt.P95Us, pt.P99Us, pt.P999Us, pt.MeanUs)
+		if pt.Path == "channel" {
+			fmt.Printf("  %-9s   stage p50: hook->push %.1fus, fifo residency %.1fus, drain->deliver %.1fus\n",
+				"", pt.HookToPushP50Us, pt.ResidencyP50Us, pt.DeliverP50Us)
+		}
+	}
+	fmt.Printf("  headline: channel p50 %.1fus vs netfront p50 %.1fus\n\n", res.ChannelP50Us, res.NetfrontP50Us)
+	if err := writeJSON("BENCH_latency.json", res); err != nil {
+		return err
+	}
+	if res.NetfrontP50Us > 0 && res.ChannelP50Us >= res.NetfrontP50Us {
+		return fmt.Errorf("channel p50 %.1fus did not beat netfront p50 %.1fus",
+			res.ChannelP50Us, res.NetfrontP50Us)
+	}
+	return nil
+}
+
+// runChaosExp drives the seeded fault-injection soak. A single seed
+// (-chaos.seed=N) reproduces a failure exactly; otherwise seeds 1..N are
+// swept and the first failing seed is reported with its repro command.
+func runChaosExp(c *runCtx) error {
+	list := []int64{c.chaosSeed}
+	if c.chaosSeed == 0 {
+		list = list[:0]
+		for i := 1; i <= c.chaosSeeds; i++ {
+			list = append(list, int64(i))
+		}
+	}
+	fmt.Printf("Chaos soak: %d seed(s), %v each\n", len(list), c.chaosDur)
+	failed := 0
+	for _, s := range list {
+		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: c.chaosDur, Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		if len(r.Violations) == 0 {
+			fmt.Printf("  seed %-3d PASS  sent=%d delivered=%d migrations=%d suspends=%d flaps=%d faults=%d\n",
+				s, r.Sent, r.Delivered, r.Migrations, r.SuspendResumes, r.AdFlaps, r.FaultsArmed)
+			continue
+		}
+		failed++
+		for _, v := range r.Violations {
+			fmt.Printf("  seed %-3d FAIL  %s\n", s, v)
+		}
+		fmt.Printf("  reproduce: go run ./cmd/xlbench -exp chaos -chaos.seed=%d -chaos.duration=%v\n", s, c.chaosDur)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d seeds violated invariants", failed, len(list))
+	}
+	fmt.Println()
 	return nil
 }
 

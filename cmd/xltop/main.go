@@ -1,7 +1,8 @@
 // Command xltop runs a live multi-VM demo topology and periodically prints
-// a top-style view of it: per-module XenLoop statistics, channel states,
-// hypervisor mechanism counters, and the most recent trace events. It
-// demonstrates the observability surface of the reproduction.
+// a top-style view of it: per-module XenLoop metrics snapshots (counters,
+// latency percentiles, per-channel state), hypervisor mechanism counters,
+// and the most recent channel lifecycle trace events. It demonstrates the
+// observability surface of the reproduction.
 //
 // Usage:
 //
@@ -16,10 +17,18 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
-	"repro/internal/pkt"
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
+
+// quantiles renders a histogram snapshot as p50/p95/p99 in microseconds.
+func quantiles(h metrics.HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f/%.1f/%.1f", h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3)
+}
 
 func main() {
 	nvms := flag.Int("vms", 4, "co-resident VMs (2-8)")
@@ -80,30 +89,45 @@ func main() {
 		time.Sleep(*interval)
 		fmt.Printf("=== xltop round %d (%d VMs on %s, %d heartbeats sent) ===\n",
 			round, len(vms), machine.Name, beats.Load())
-		fmt.Printf("%-8s %-6s %-10s %-10s %-10s %-9s %-8s\n",
-			"guest", "dom", "viaChan", "viaStd", "received", "channels", "waiting")
+		fmt.Printf("%-8s %-6s %-10s %-10s %-10s %-9s %-8s %-16s %-16s\n",
+			"guest", "dom", "viaChan", "viaStd", "received", "channels", "waiting",
+			"hook->push(us)", "residency(us)")
 		for _, vm := range vms {
-			st := vm.XL.Stats()
-			fmt.Printf("%-8s %-6d %-10d %-10d %-10d %-9d %-8d\n",
+			s := vm.XL.Snapshot()
+			fmt.Printf("%-8s %-6d %-10d %-10d %-10d %-9d %-8d %-16s %-16s\n",
 				vm.Name, vm.Dom.ID(),
-				st.PktsChannel.Load(), st.PktsStandard.Load(), st.PktsReceived.Load(),
-				vm.XL.ChannelCount(), st.PktsWaiting.Load())
+				s.PktsChannel, s.PktsStandard, s.PktsReceived,
+				s.ChannelsConnected, s.PktsWaiting,
+				quantiles(s.HookToPush), quantiles(s.FIFOResidency))
 		}
+		// Per-channel breakdown of the first guest, as a worked example of
+		// the ChannelStatus rows every snapshot carries.
+		s0 := vms[0].XL.Snapshot()
+		for _, cs := range s0.Channels {
+			role := "connector"
+			if cs.Listener {
+				role = "listener"
+			}
+			fmt.Printf("  %s channel -> dom%d %s: connected=%v %s fifo=%dB used=%dB waiting=%d\n",
+				vms[0].Name, cs.Peer.Dom, cs.Peer.MAC, cs.Connected, role,
+				cs.FIFOSizeBytes, cs.OutUsedBytes, cs.WaitingLen)
+		}
+		fmt.Printf("%s: bootstrap p50/p95/p99 us: %s  hv hypercall p50/p95/p99 us: %s  resources: %+v\n",
+			vms[0].Name, quantiles(s0.Bootstrap), quantiles(s0.HVCosts.Hypercall), s0.Resources)
 		c := machine.HV.Counters().Snapshot()
 		fmt.Printf("hypervisor: %s\n", c)
 		fmt.Printf("discovery rounds: %d\n", machine.Discovery.Rounds())
 		fmt.Println()
 	}
 
-	fmt.Println("--- recent trace events ---")
-	events := trace.Snapshot()
-	start := 0
-	if len(events) > 15 {
-		start = len(events) - 15
+	// Channel lifecycle history straight from the per-kind trace index —
+	// no scan of the (discovery-dominated) main ring.
+	fmt.Println("--- recent channel events ---")
+	for _, e := range trace.ReadKind(trace.KindChannelUp, 8) {
+		fmt.Println(e.String())
 	}
-	for _, e := range events[start:] {
+	for _, e := range trace.ReadKind(trace.KindChannelDn, 8) {
 		fmt.Println(e.String())
 	}
 	close(stop)
-	_ = pkt.BroadcastMAC
 }

@@ -106,7 +106,7 @@ func main() {
 	time.Sleep(500 * time.Millisecond)
 	report("separate machines again:")
 
-	st := vm1.XL.Stats()
+	st := vm1.XL.Snapshot()
 	fmt.Printf("traveler module: %d channels opened, %d closed, %d saved packets resent\n",
-		st.ChannelsOpened.Load(), st.ChannelsClosed.Load(), st.SavedResent.Load())
+		st.ChannelsOpened, st.ChannelsClosed, st.SavedResent)
 }

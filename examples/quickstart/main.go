@@ -77,7 +77,7 @@ func main() {
 	}
 	fmt.Printf("tcp stream over xenloop:    %8.0f Mbps\n", bw.Mbps)
 
-	st := vm1.XL.Stats()
+	st := vm1.XL.Snapshot()
 	fmt.Printf("guest1 module: %d pkts / %d bytes via channel, %d via standard path\n",
-		st.PktsChannel.Load(), st.BytesChannel.Load(), st.PktsStandard.Load())
+		st.PktsChannel, st.BytesChannel, st.PktsStandard)
 }

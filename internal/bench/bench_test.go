@@ -163,8 +163,8 @@ func TestFig5SweepsFIFOSizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := p.A.VM.XL.Stats(); got == nil {
-			t.Fatal("stats missing")
+		if got := p.A.VM.XL.Metrics(); got == nil {
+			t.Fatal("metrics registry missing")
 		}
 		r, err := UDPStream(p, 1400, 50*time.Millisecond)
 		p.Close()

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/faultinject"
+	"repro/internal/hypervisor"
 	"repro/internal/testbed"
 )
 
@@ -117,22 +118,15 @@ var chaosFaults = []chaosFault{
 	{name: faultinject.FPStoreWrite, maxCount: 20},
 }
 
-// meshResources sums the machine-side resource footprint of every live
-// domain (including both Dom0s). Individual per-machine counts move as
-// guests migrate; the cross-machine sums are invariant and must return to
-// their pre-traffic baseline once all channels are torn down.
-type meshResources struct {
-	grants, ports, maps int
-}
-
-func resourcesOf(machines []*testbed.Machine) meshResources {
-	var r meshResources
+// resourcesOf sums the machine-side resource footprint of every live
+// domain (including both Dom0s) via hypervisor.Introspect. Individual
+// per-machine counts move as guests migrate; the cross-machine sums are
+// invariant and must return to their pre-traffic baseline once all
+// channels are torn down.
+func resourcesOf(machines []*testbed.Machine) hypervisor.ResourceSnapshot {
+	var r hypervisor.ResourceSnapshot
 	for _, m := range machines {
-		for _, d := range m.HV.Domains() {
-			r.grants += d.GrantEntryCount()
-			r.ports += d.OpenPortCount()
-			r.maps += d.ForeignMapCount()
-		}
+		r = r.Add(m.HV.Introspect())
 	}
 	return r
 }
@@ -458,16 +452,16 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 	}
 	if cur := resourcesOf(machines); cur != resBase {
 		violate("resource-leak", "grants/ports/maps %d/%d/%d, baseline %d/%d/%d",
-			cur.grants, cur.ports, cur.maps, resBase.grants, resBase.ports, resBase.maps)
+			cur.Grants, cur.Ports, cur.ForeignMaps, resBase.Grants, resBase.Ports, resBase.ForeignMaps)
 	}
 
 	// Channel conservation: every packet pushed into a FIFO must have been
 	// drained exactly once (teardown drains included).
 	for _, vm := range vms {
-		s := vm.XL.Stats()
-		res.PktsChannel += s.PktsChannel.Load()
-		res.PktsReceived += s.PktsReceived.Load()
-		res.PktsPurged += s.PktsPurged.Load()
+		s := vm.XL.Snapshot()
+		res.PktsChannel += s.PktsChannel
+		res.PktsReceived += s.PktsReceived
+		res.PktsPurged += s.PktsPurged
 	}
 	if res.PktsChannel != res.PktsReceived {
 		violate("channel-conservation", "pushed %d != received %d", res.PktsChannel, res.PktsReceived)

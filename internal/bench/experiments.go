@@ -22,6 +22,9 @@ type ExpOptions struct {
 	Iters int
 	// FIFOSizeBytes for XenLoop channels (0 = paper's 64 KiB).
 	FIFOSizeBytes int
+	// DisableLatencyMetrics turns off the per-packet datapath latency
+	// instrumentation (the overhead A/B in the datapath experiment).
+	DisableLatencyMetrics bool
 	// Scenarios restricts which scenarios run (nil = all four).
 	Scenarios []testbed.Scenario
 }
@@ -46,7 +49,10 @@ func (o ExpOptions) pair(s testbed.Scenario) (*testbed.Pair, error) {
 	return testbed.BuildPair(s, testbed.Options{
 		Model:           o.Model,
 		DiscoveryPeriod: 200 * time.Millisecond,
-		Core:            core.Config{FIFOSizeBytes: o.FIFOSizeBytes},
+		Core: core.Config{
+			FIFOSizeBytes:         o.FIFOSizeBytes,
+			DisableLatencyMetrics: o.DisableLatencyMetrics,
+		},
 	})
 }
 

@@ -1,0 +1,216 @@
+// Latency: request-response latency distributions of the channel versus
+// the netfront/netback path, reported as percentiles rather than the
+// averages the paper's Table 3 uses. Tail latency is where the FIFO size
+// and the notification protocol actually show: a small ring forces
+// producer stalls that an average hides, and the per-stage histograms the
+// datapath instrumentation feeds (send hook -> push, FIFO residency,
+// drain -> delivery) say *where* a slow percentile spent its time.
+//
+// Every transaction is individually timed and the percentiles are exact
+// (sorted samples, stats.Summarize), so the experiment doubles as a
+// cross-check of the log-bucketed histograms the module itself keeps.
+//
+// cmd/xlbench -exp latency writes the result to BENCH_latency.json.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netstack"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// LatencyPoint is one measured configuration.
+type LatencyPoint struct {
+	// Path is "channel" (XenLoop) or "netfront" (netfront/netback).
+	Path string `json:"path"`
+	// FIFOSizeBytes is the per-direction ring capacity (0 on netfront,
+	// where no ring of ours is involved).
+	FIFOSizeBytes int `json:"fifo_size_bytes,omitempty"`
+	// Senders is the number of concurrent request-response clients.
+	Senders int `json:"senders"`
+	// Samples is how many transactions were individually timed.
+	Samples int `json:"samples"`
+	// Round-trip percentiles in microseconds (exact, from sorted samples).
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	// Per-stage medians from the client module's datapath histograms
+	// (channel path only): where a round trip spends its time.
+	HookToPushP50Us float64 `json:"hook_to_push_p50_us,omitempty"`
+	ResidencyP50Us  float64 `json:"fifo_residency_p50_us,omitempty"`
+	DeliverP50Us    float64 `json:"drain_to_deliver_p50_us,omitempty"`
+}
+
+// LatencyExpResult aggregates the latency experiment.
+type LatencyExpResult struct {
+	// Profile names the cost profile the pairs ran under.
+	Profile string `json:"profile"`
+	// Points holds one entry per (path, FIFO size, sender count).
+	Points []LatencyPoint `json:"points"`
+	// ChannelP50Us / NetfrontP50Us are the headline medians: single
+	// sender, default FIFO, channel versus netfront/netback.
+	ChannelP50Us  float64 `json:"channel_p50_us"`
+	NetfrontP50Us float64 `json:"netfront_p50_us"`
+}
+
+// DefaultLatencyFIFOSizes is the ring-capacity sweep of the experiment.
+var DefaultLatencyFIFOSizes = []int{16 << 10, 64 << 10, 256 << 10}
+
+// DefaultLatencySenders is the concurrent-client sweep.
+var DefaultLatencySenders = []int{1, 4}
+
+const latencyPort = 5300
+
+// latencySamples runs `senders` concurrent UDP request-response clients
+// against one echo server for the given duration, timing every
+// transaction. Each client owns a socket, so concurrent transactions ride
+// the channel (or bridge) independently and the tail reflects real
+// contention, not client-side head-of-line blocking.
+func latencySamples(p *testbed.Pair, senders int, dur time.Duration) ([]time.Duration, error) {
+	a, b := endpoints(p)
+	srv, err := b.Stack.ListenUDP(latencyPort)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	go func() {
+		for {
+			data, src, srcPort, err := srv.ReadFrom(0)
+			if err != nil {
+				return
+			}
+			if err := srv.WriteTo(data, src, srcPort); err != nil {
+				return
+			}
+		}
+	}()
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		all    []time.Duration
+		outErr error
+	)
+	for i := 0; i < senders; i++ {
+		cli, err := a.Stack.ListenUDP(0)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(cli *netstack.UDPConn) {
+			defer wg.Done()
+			defer cli.Close()
+			req := []byte{0x42}
+			// Warm-up (resolves ARP, faults in the channel).
+			if err := cli.WriteTo(req, b.IP, latencyPort); err != nil {
+				return
+			}
+			if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+				return
+			}
+			samples := make([]time.Duration, 0, 4096)
+			deadline := time.Now().Add(dur)
+			for len(samples) == 0 || time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := cli.WriteTo(req, b.IP, latencyPort); err != nil {
+					break
+				}
+				if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+					mu.Lock()
+					if outErr == nil {
+						outErr = fmt.Errorf("latency: response lost: %w", err)
+					}
+					mu.Unlock()
+					break
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			mu.Lock()
+			all = append(all, samples...)
+			mu.Unlock()
+		}(cli)
+	}
+	wg.Wait()
+	return all, outErr
+}
+
+// latencyPoint measures one configuration on a fresh pair.
+func latencyPoint(o ExpOptions, scenario testbed.Scenario, fifoBytes, senders int) (LatencyPoint, error) {
+	po := o
+	po.FIFOSizeBytes = fifoBytes
+	p, err := po.pair(scenario)
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	defer p.Close()
+	samples, err := latencySamples(p, senders, o.Duration)
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	s := stats.Summarize(samples)
+	pt := LatencyPoint{
+		Senders: senders,
+		Samples: s.Count,
+		MeanUs:  stats.Micros(s.Mean),
+		P50Us:   stats.Micros(s.P50),
+		P95Us:   stats.Micros(s.P95),
+		P99Us:   stats.Micros(s.P99),
+		P999Us:  stats.Micros(s.P999),
+	}
+	if scenario == testbed.XenLoop {
+		pt.Path = "channel"
+		pt.FIFOSizeBytes = fifoBytes
+		if pt.FIFOSizeBytes == 0 {
+			pt.FIFOSizeBytes = 64 << 10
+		}
+		// Stage medians from the client-side module: its hook->push covers
+		// outbound requests, its residency/delivery the inbound responses.
+		snap := p.A.VM.XL.Snapshot()
+		pt.HookToPushP50Us = snap.HookToPush.Quantile(0.50) / 1e3
+		pt.ResidencyP50Us = snap.FIFOResidency.Quantile(0.50) / 1e3
+		pt.DeliverP50Us = snap.DrainToDeliver.Quantile(0.50) / 1e3
+	} else {
+		pt.Path = "netfront"
+	}
+	return pt, nil
+}
+
+// Latency runs the percentile latency experiment: the channel path across
+// fifoSizes × senders (nil = defaults), plus a single-sender
+// netfront/netback baseline.
+func Latency(o ExpOptions, fifoSizes []int, senders []int) (LatencyExpResult, error) {
+	o = o.withDefaults()
+	if fifoSizes == nil {
+		fifoSizes = DefaultLatencyFIFOSizes
+	}
+	if senders == nil {
+		senders = DefaultLatencySenders
+	}
+	r := LatencyExpResult{Profile: profileName(o)}
+
+	for _, fb := range fifoSizes {
+		for _, n := range senders {
+			pt, err := latencyPoint(o, testbed.XenLoop, fb, n)
+			if err != nil {
+				return r, err
+			}
+			r.Points = append(r.Points, pt)
+			if n == 1 && (r.ChannelP50Us == 0 || fb == 64<<10) {
+				r.ChannelP50Us = pt.P50Us
+			}
+		}
+	}
+	nf, err := latencyPoint(o, testbed.NetfrontNetback, 0, 1)
+	if err != nil {
+		return r, err
+	}
+	r.Points = append(r.Points, nf)
+	r.NetfrontP50Us = nf.P50Us
+	return r, nil
+}

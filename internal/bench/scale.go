@@ -197,15 +197,24 @@ func scalePoint(o ExpOptions, senders int) (ScalePoint, error) {
 
 	// Bind the destination port on every sink so arriving datagrams meet
 	// a socket (and drop there under overload) instead of provoking a
-	// per-packet ICMP port-unreachable on the reverse path.
+	// per-packet ICMP port-unreachable on the reverse path. The received
+	// counter is resolved once per sink as a registry handle: the sender
+	// loop polls it per packet, and a handle read costs only the shard
+	// loads — no snapshot allocation on the hot path.
 	base := make([]uint64, pairs)
+	recvCount := make([]func() uint64, pairs)
 	for i, dst := range star.dsts {
 		srv, err := dst.Stack.ListenUDP(scalePort)
 		if err != nil {
 			return ScalePoint{}, err
 		}
 		defer srv.Close()
-		base[i] = dst.XL.Stats().PktsReceived.Load()
+		fn, ok := dst.XL.Metrics().CounterFunc("xl_pkts_received_total")
+		if !ok {
+			return ScalePoint{}, fmt.Errorf("scale: xl_pkts_received_total not registered")
+		}
+		recvCount[i] = fn
+		base[i] = fn()
 	}
 
 	// pushed[i] counts datagrams all senders of pair i have submitted;
@@ -213,7 +222,7 @@ func scalePoint(o ExpOptions, senders int) (ScalePoint, error) {
 	// in-flight depth, which the window bounds.
 	pushed := make([]atomic.Int64, pairs)
 	received := func(i int) int64 {
-		return int64(star.dsts[i].XL.Stats().PktsReceived.Load() - base[i])
+		return int64(recvCount[i]() - base[i])
 	}
 
 	stop := make(chan struct{})
@@ -267,14 +276,14 @@ func scalePoint(o ExpOptions, senders int) (ScalePoint, error) {
 		n += received(i)
 	}
 	if scaleDebug {
-		st := star.src.XL.Stats()
+		st := star.src.XL.Snapshot()
 		fmt.Printf("  [debug] src: channel=%d standard=%d waiting=%d depthmax=%d toolarge=%d\n",
-			st.PktsChannel.Load(), st.PktsStandard.Load(), st.PktsWaiting.Load(),
-			st.WaitingDepthMax.Load(), st.PktsTooLarge.Load())
+			st.PktsChannel, st.PktsStandard, st.PktsWaiting,
+			st.WaitingDepthMax, st.PktsTooLarge)
 		for i, dst := range star.dsts {
-			ds := dst.XL.Stats()
+			ds := dst.XL.Snapshot()
 			fmt.Printf("  [debug] dst%d: received=%d channel=%d standard=%d\n",
-				i, ds.PktsReceived.Load(), ds.PktsChannel.Load(), ds.PktsStandard.Load())
+				i, ds.PktsReceived, ds.PktsChannel, ds.PktsStandard)
 		}
 	}
 

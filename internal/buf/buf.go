@@ -72,6 +72,12 @@ type Buffer struct {
 	n       int
 	class   int8 // pool index, or -1 for an oversized plain allocation
 	refs    atomic.Int32
+
+	// StampNs carries a caller-defined timestamp across queueing (the
+	// channel waiting list stamps send-hook entry time, the receive drain
+	// stamps the FIFO push time) so latency instrumentation needs no
+	// parallel bookkeeping. Get resets it to 0 with the rest of the lease.
+	StampNs int64
 }
 
 // classFor returns the smallest size class holding n bytes, or -1.
@@ -98,6 +104,7 @@ func Get(n int) *Buffer {
 		b = pools[class].Get().(*Buffer)
 	}
 	b.n = n
+	b.StampNs = 0
 	b.refs.Store(1)
 	return b
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fifo"
 	"repro/internal/hypervisor"
+	"repro/internal/metrics"
 	"repro/internal/netstack"
 	"repro/internal/pkt"
 	"repro/internal/trace"
@@ -50,6 +51,7 @@ type Channel struct {
 	outRef     hypervisor.GrantRef // grants made (listener) or mapped (connector)
 	inRef      hypervisor.GrantRef
 	generation uint32
+	bornNs     int64 // metrics.Now() at channel creation, for the bootstrap histogram
 
 	// released makes releaseChannel idempotent: teardown can arrive from
 	// several directions at once (worker noticing the inactive flag, an
@@ -114,8 +116,15 @@ func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 		m.stats.PktsTooLarge.Add(1)
 		return netstack.VerdictAccept
 	}
+	// t0 doubles as the FIFO entry's push timestamp: the residency
+	// histogram on the receive side measures from FIFO entry, the
+	// hook-to-push one here measures hook entry to push completion.
+	var t0 int64
+	if m.latOn {
+		t0 = metrics.Now()
+	}
 	if ch.nWaiting.Load() == 0 {
-		pushed, err := ch.out.Push(datagram)
+		pushed, err := ch.out.PushAt(datagram, t0)
 		if err != nil {
 			return netstack.VerdictAccept // inactive: teardown under way
 		}
@@ -123,18 +132,23 @@ func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 			m.model.ChargeCopy(len(datagram)) // sender-side copy onto the FIFO
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(len(datagram)))
+			if t0 != 0 {
+				m.lat.hookToPush.Observe(metrics.Now() - t0)
+			}
 			if m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer() {
 				_ = m.dom.NotifyPort(ch.port)
 			}
 			return netstack.VerdictStolen
 		}
 	}
-	return ch.enqueueWaiting(op)
+	return ch.enqueueWaiting(op, t0)
 }
 
 // enqueueWaiting is the slow path: FIFO full, or ordering requires
-// queueing behind earlier waiters. Takes waitMu.
-func (ch *Channel) enqueueWaiting(op *netstack.OutPacket) netstack.Verdict {
+// queueing behind earlier waiters. Takes waitMu. t0 is the send-hook
+// entry timestamp (0 when latency metrics are off); it rides the buffer
+// lease so the eventual FIFO push still measures from hook entry.
+func (ch *Channel) enqueueWaiting(op *netstack.OutPacket, t0 int64) netstack.Verdict {
 	m := ch.mod
 	ch.waitMu.Lock()
 	if ch.out.Descriptor().Inactive.Load() {
@@ -146,7 +160,7 @@ func (ch *Channel) enqueueWaiting(op *netstack.OutPacket) netstack.Verdict {
 	if len(ch.waiting) == 0 {
 		// The worker drained the list between our gate check and here:
 		// retry the direct push rather than queueing unnecessarily.
-		pushed, err := ch.out.Push(op.Datagram)
+		pushed, err := ch.out.PushAt(op.Datagram, t0)
 		if err != nil {
 			ch.waitMu.Unlock()
 			return netstack.VerdictAccept
@@ -156,6 +170,9 @@ func (ch *Channel) enqueueWaiting(op *netstack.OutPacket) netstack.Verdict {
 			m.model.ChargeCopy(len(op.Datagram))
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(len(op.Datagram)))
+			if t0 != 0 {
+				m.lat.hookToPush.Observe(metrics.Now() - t0)
+			}
 			if m.cfg.NotifyEveryPush || ch.out.NeedKickConsumer() {
 				_ = m.dom.NotifyPort(ch.port)
 			}
@@ -167,7 +184,9 @@ func (ch *Channel) enqueueWaiting(op *netstack.OutPacket) netstack.Verdict {
 		m.stats.PktsStandard.Add(1)
 		return netstack.VerdictAccept
 	}
-	ch.waiting = append(ch.waiting, op.TakeLease())
+	lease := op.TakeLease()
+	lease.StampNs = t0
+	ch.waiting = append(ch.waiting, lease)
 	ch.nWaiting.Store(int32(len(ch.waiting)))
 	m.stats.PktsWaiting.Add(1)
 	m.stats.WaitingDepthMax.Observe(uint64(len(ch.waiting)))
@@ -328,8 +347,16 @@ func (ch *Channel) drainIncoming() bool {
 		// it still occupies FIFO space (§3.3's rejected alternative). The
 		// batched drain amortizes the consumer lock and the front-index
 		// publication over the whole backlog instead of paying both per
-		// packet.
-		n = in.DrainInto(func(p []byte) bool {
+		// packet. Only residency is measured here: in-place injection has
+		// no separate delivery step to time.
+		var nowZC int64
+		if m.latOn {
+			nowZC = metrics.Now()
+		}
+		n = in.DrainIntoTS(func(p []byte, pushNs int64) bool {
+			if pushNs != 0 && nowZC != 0 {
+				m.lat.residency.Observe(nowZC - pushNs)
+			}
 			m.stack.InjectIP(p)
 			return true
 		})
@@ -337,16 +364,34 @@ func (ch *Channel) drainIncoming() bool {
 		batch := make([]*buf.Buffer, 0, 32)
 		for {
 			batch = batch[:0]
-			in.DrainInto(func(view []byte) bool {
-				batch = append(batch, buf.FromBytes(view))
+			in.DrainIntoTS(func(view []byte, pushNs int64) bool {
+				b := buf.FromBytes(view)
+				b.StampNs = pushNs
+				batch = append(batch, b)
 				return len(batch) < drainRxBatch
 			})
 			if len(batch) == 0 {
 				break
 			}
+			// drainNow anchors the residency measurement at the moment the
+			// batch left the ring; prev walks forward so each packet's
+			// delivery time covers exactly its own copy + injection.
+			var drainNow int64
+			if m.latOn {
+				drainNow = metrics.Now()
+			}
+			prev := drainNow
 			for i, b := range batch {
 				m.model.ChargeCopy(b.Len()) // receiver-side copy off the FIFO
 				m.stack.InjectIP(b.Bytes())
+				if m.latOn {
+					now := metrics.Now()
+					if b.StampNs != 0 {
+						m.lat.residency.Observe(drainNow - b.StampNs)
+					}
+					m.lat.deliver.Observe(now - prev)
+					prev = now
+				}
 				b.Release()
 				batch[i] = nil
 			}
@@ -395,17 +440,26 @@ func (ch *Channel) drainWaitingLocked() bool {
 	}
 	pushed := 0
 	for len(ch.waiting) > 0 {
+		var now int64
+		if m.latOn {
+			now = metrics.Now()
+		}
 		views := ch.scratch[:0]
 		for _, b := range ch.waiting {
 			views = append(views, b.Bytes())
 		}
-		n, err := ch.out.PushBatch(views)
+		n, err := ch.out.PushBatchAt(views, now)
 		ch.scratch = views[:0]
 		for i := 0; i < n; i++ {
 			b := ch.waiting[i]
 			m.model.ChargeCopy(b.Len())
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(b.Len()))
+			if b.StampNs != 0 && now != 0 {
+				// Hook entry to (batched) FIFO push: the time a packet spent
+				// on the waiting list is part of the send-side latency.
+				m.lat.hookToPush.Observe(now - b.StampNs)
+			}
 			b.Release()
 			ch.waiting[i] = nil
 		}
@@ -488,6 +542,7 @@ func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Ch
 	ch := &Channel{
 		mod:    m,
 		peer:   Identity{Dom: peerDom, MAC: mac},
+		bornNs: metrics.Now(),
 		signal: make(chan struct{}, 1),
 		quit:   make(chan struct{}),
 	}
@@ -624,6 +679,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 		ch = &Channel{
 			mod:    m,
 			peer:   msg.Listener,
+			bornNs: metrics.Now(),
 			signal: make(chan struct{}, 1),
 			quit:   make(chan struct{}),
 		}
@@ -690,6 +746,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 
 	if ch.state.CompareAndSwap(chanBootstrapping, chanConnected) {
 		m.stats.ChannelsOpened.Add(1)
+		m.lat.bootstrap.Observe(metrics.Now() - ch.bornNs)
 		trace.Record(trace.KindChannelUp, m.actor(), "connected to dom%d %s (connector side, fifo %dB)", ch.peer.Dom, ch.peer.MAC, ch.out.SizeBytes())
 		go ch.worker()
 	}
@@ -706,6 +763,7 @@ func (m *Module) handleChannelAck(msg *simpleMsg) {
 	}
 	if ch.state.CompareAndSwap(chanBootstrapping, chanConnected) {
 		m.stats.ChannelsOpened.Add(1)
+		m.lat.bootstrap.Observe(metrics.Now() - ch.bornNs)
 		trace.Record(trace.KindChannelUp, m.actor(), "connected to dom%d %s (listener side)", ch.peer.Dom, ch.peer.MAC)
 		go ch.worker()
 	}
@@ -787,8 +845,10 @@ func (m *Module) releaseChannel(ch *Channel, notifyPeer bool) {
 		// Without this final drain, packets pushed during the teardown
 		// window would silently vanish and the channel's conservation
 		// property (every packet pushed is received exactly once) breaks.
+		t := metrics.Now()
 		in.AwaitQuiesce(quiesceWait)
 		ch.drainIncoming()
+		m.lat.quiesce.Observe(metrics.Now() - t)
 	}
 	// Inactive is set, so no sender can queue a new lease; return the ones
 	// already queued to the pool (migration save takes them earlier via

@@ -50,7 +50,7 @@ func TestTrafficBypassesBridge(t *testing.T) {
 	vm1 := p.A.VM
 	hv := vm1.Machine.HV
 
-	chBefore := vm1.XL.Stats().PktsChannel.Load()
+	chBefore := vm1.XL.Snapshot().PktsChannel
 	brBefore := hv.Counters().Snapshot().FramesBridged
 
 	for i := 0; i < 50; i++ {
@@ -59,7 +59,7 @@ func TestTrafficBypassesBridge(t *testing.T) {
 		}
 	}
 
-	chAfter := vm1.XL.Stats().PktsChannel.Load()
+	chAfter := vm1.XL.Snapshot().PktsChannel
 	brAfter := hv.Counters().Snapshot().FramesBridged
 	if chAfter-chBefore < 50 {
 		t.Fatalf("only %d packets took the channel", chAfter-chBefore)
@@ -104,7 +104,7 @@ func TestLargeDatagramTravelsWholeOverChannel(t *testing.T) {
 	// fragmentation, and ships the whole datagram.
 	msg := make([]byte, 60000)
 	rand.New(rand.NewSource(2)).Read(msg)
-	before := p.A.VM.XL.Stats().PktsChannel.Load()
+	before := p.A.VM.XL.Snapshot().PktsChannel
 	if err := cli.WriteTo(msg, p.B.IP, 4001); err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestLargeDatagramTravelsWholeOverChannel(t *testing.T) {
 	if !bytes.Equal(got, msg) {
 		t.Fatal("large datagram corrupted over channel")
 	}
-	if p.A.VM.XL.Stats().PktsChannel.Load()-before != 1 {
+	if p.A.VM.XL.Snapshot().PktsChannel-before != 1 {
 		t.Fatal("large datagram was fragmented instead of shipped whole")
 	}
 }
@@ -134,7 +134,7 @@ func TestOversizeFallsBackToStandardPath(t *testing.T) {
 	cli, _ := p.A.Stack.ListenUDP(0)
 	msg := make([]byte, 30000) // exceeds the 16 KiB FIFO entirely
 	rand.New(rand.NewSource(4)).Read(msg)
-	tooLargeBefore := p.A.VM.XL.Stats().PktsTooLarge.Load()
+	tooLargeBefore := p.A.VM.XL.Snapshot().PktsTooLarge
 	if err := cli.WriteTo(msg, p.B.IP, 4002); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestOversizeFallsBackToStandardPath(t *testing.T) {
 	if !bytes.Equal(got, msg) {
 		t.Fatal("oversize datagram corrupted on fallback path")
 	}
-	if p.A.VM.XL.Stats().PktsTooLarge.Load() == tooLargeBefore {
+	if p.A.VM.XL.Snapshot().PktsTooLarge == tooLargeBefore {
 		t.Fatal("oversize datagram did not take the fallback branch")
 	}
 }
@@ -193,7 +193,7 @@ func TestTCPBulkOverChannel(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("transfer timed out")
 	}
-	if p.A.VM.XL.Stats().BytesChannel.Load() < total {
+	if p.A.VM.XL.Snapshot().BytesChannel < total {
 		t.Fatal("TCP stream did not travel via the channel")
 	}
 }
@@ -227,7 +227,7 @@ func TestWaitingListDrains(t *testing.T) {
 	if received < n {
 		t.Fatalf("received %d/%d datagrams through tiny FIFO", received, n)
 	}
-	if p.A.VM.XL.Stats().PktsWaiting.Load() == 0 {
+	if p.A.VM.XL.Snapshot().PktsWaiting == 0 {
 		t.Fatal("waiting list never engaged despite tiny FIFO")
 	}
 }

@@ -45,7 +45,8 @@ func faultPair(t *testing.T) (*testbed.Testbed, *testbed.VM, *testbed.VM) {
 
 // domainFootprint is the resource count a leak check compares against.
 func domainFootprint(vm *testbed.VM) (grants, ports, maps int) {
-	return vm.Dom.GrantEntryCount(), vm.Dom.OpenPortCount(), vm.Dom.ForeignMapCount()
+	s := vm.Dom.Introspect()
+	return s.Grants, s.Ports, s.ForeignMaps
 }
 
 func TestBootstrapSurvivesLostControlFrames(t *testing.T) {

@@ -62,15 +62,15 @@ func TestShutdownTearsDownCleanly(t *testing.T) {
 func TestChannelCountersProgress(t *testing.T) {
 	p := buildXenLoopPair(t)
 	vm1 := p.A.VM
-	st := vm1.XL.Stats()
-	if st.ChannelsOpened.Load() != 1 {
-		t.Fatalf("channels opened %d", st.ChannelsOpened.Load())
+	st := vm1.XL.Snapshot()
+	if st.ChannelsOpened != 1 {
+		t.Fatalf("channels opened %d", st.ChannelsOpened)
 	}
-	before := st.PktsChannel.Load()
+	before := st.PktsChannel
 	if _, err := vm1.Stack.Ping(p.B.IP, 56, time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if st.PktsChannel.Load() == before {
+	if vm1.XL.Snapshot().PktsChannel == before {
 		t.Fatal("packet counter did not advance")
 	}
 	if got := vm1.XL.String(); got == "" {

@@ -109,7 +109,7 @@ func TestSendProceedsWhileModuleMuHeld(t *testing.T) {
 	defer b.mod.mu.Unlock()
 	defer a.mod.mu.Unlock()
 
-	before := a.mod.Stats().PktsChannel.Load()
+	before := a.mod.stats.PktsChannel.Load()
 	done := make(chan error, 1)
 	go func() {
 		const n = 50
@@ -133,7 +133,7 @@ func TestSendProceedsWhileModuleMuHeld(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("sends blocked while Module.mu was held: fast path acquires the control-plane lock")
 	}
-	if got := a.mod.Stats().PktsChannel.Load() - before; got < 50 {
+	if got := a.mod.stats.PktsChannel.Load() - before; got < 50 {
 		t.Fatalf("only %d packets took the channel while mu was held", got)
 	}
 }

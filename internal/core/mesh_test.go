@@ -111,9 +111,9 @@ func TestFourVMFullMesh(t *testing.T) {
 
 	// Every module moved its traffic over channels, not the bridge.
 	for i, vm := range vms {
-		st := vm.XL.Stats()
-		if st.PktsChannel.Load() < 100 {
-			t.Fatalf("vm %d only sent %d packets via channels", i, st.PktsChannel.Load())
+		st := vm.XL.Snapshot()
+		if st.PktsChannel < 100 {
+			t.Fatalf("vm %d only sent %d packets via channels", i, st.PktsChannel)
 		}
 	}
 }

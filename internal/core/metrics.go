@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/hypervisor"
+	"repro/internal/metrics"
+)
+
+// latencyHists are the module's datapath and control-plane latency
+// instruments. The per-packet ones (hookToPush, residency, deliver) are
+// fed from the fast path and gated by Config.DisableLatencyMetrics; the
+// control-plane ones (bootstrap, quiesce) are always on.
+type latencyHists struct {
+	hookToPush *metrics.Histogram // send-hook entry -> FIFO push complete
+	residency  *metrics.Histogram // FIFO push -> peer drain (clock rides the entry header)
+	deliver    *metrics.Histogram // drain -> netstack delivery, per packet
+	bootstrap  *metrics.Histogram // channel creation -> connected
+	quiesce    *metrics.Histogram // teardown quiesce + final drain
+}
+
+// initMetrics builds the module's registry and latency instruments.
+// Counters and gauges wrap the existing Stats fields and introspection
+// calls; nothing about their storage changes.
+func (m *Module) initMetrics() {
+	r := metrics.NewRegistry()
+	r.RegisterCounter("xl_pkts_channel_total", "packets sent through a XenLoop channel", m.stats.PktsChannel.Load)
+	r.RegisterCounter("xl_bytes_channel_total", "payload bytes through channels", m.stats.BytesChannel.Load)
+	r.RegisterCounter("xl_pkts_standard_total", "packets to a co-resident peer via netfront", m.stats.PktsStandard.Load)
+	r.RegisterCounter("xl_pkts_waiting_total", "packets queued on a waiting list", m.stats.PktsWaiting.Load)
+	r.RegisterCounter("xl_pkts_too_large_total", "packets exceeding FIFO capacity", m.stats.PktsTooLarge.Load)
+	r.RegisterCounter("xl_pkts_received_total", "packets popped from channels and injected", m.stats.PktsReceived.Load)
+	r.RegisterCounter("xl_channels_opened_total", "channels connected", m.stats.ChannelsOpened.Load)
+	r.RegisterCounter("xl_channels_closed_total", "channels torn down", m.stats.ChannelsClosed.Load)
+	r.RegisterCounter("xl_saved_resent_total", "saved packets resent after migration", m.stats.SavedResent.Load)
+	r.RegisterCounter("xl_pkts_purged_total", "waiting-list packets dropped at teardown", m.stats.PktsPurged.Load)
+
+	r.RegisterGauge("xl_waiting_depth_max", "high-water mark of any channel's waiting list", m.stats.WaitingDepthMax.Load)
+	r.RegisterGauge("xl_channels_connected", "currently connected channels", func() uint64 { return uint64(m.ChannelCount()) })
+	r.RegisterGauge("xl_peers", "co-resident peers in the mapping table", func() uint64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return uint64(len(m.peers))
+	})
+	r.RegisterGauge("xl_saved_packets", "packets saved for post-migration resend", func() uint64 { return uint64(m.SavedCount()) })
+	r.RegisterGauge("xl_grants_outstanding", "live grant-table entries of this domain", func() uint64 { return uint64(m.dom.Introspect().Grants) })
+	r.RegisterGauge("xl_ports_open", "event-channel ports held by this domain", func() uint64 { return uint64(m.dom.Introspect().Ports) })
+	r.RegisterGauge("xl_foreign_maps", "grant mappings held into foreign tables", func() uint64 { return uint64(m.dom.Introspect().ForeignMaps) })
+
+	m.lat.hookToPush = r.NewHistogram("xl_hook_to_push_ns", "send-hook entry to FIFO push complete")
+	m.lat.residency = r.NewHistogram("xl_fifo_residency_ns", "FIFO push to peer drain")
+	m.lat.deliver = r.NewHistogram("xl_drain_to_deliver_ns", "drain to netstack delivery, per packet")
+	m.lat.bootstrap = r.NewHistogram("xl_bootstrap_ns", "channel creation to connected")
+	m.lat.quiesce = r.NewHistogram("xl_teardown_quiesce_ns", "teardown quiesce and final drain")
+
+	// The hypervisor's cost histograms are registered as live views: the
+	// domain can migrate to a different machine, so each read resolves the
+	// current hypervisor rather than pinning the one present at attach.
+	hvHist := func(pick func(*costmodel.Hists) *metrics.Histogram) func() metrics.HistogramSnapshot {
+		return func() metrics.HistogramSnapshot { return pick(m.dom.Hypervisor().CostHists()).Snapshot() }
+	}
+	r.RegisterHistogramFunc("hv_hypercall_ns", "measured cost of one hypercall", hvHist(func(h *costmodel.Hists) *metrics.Histogram { return &h.Hypercall }))
+	r.RegisterHistogramFunc("hv_domain_switch_ns", "measured cost of one domain switch", hvHist(func(h *costmodel.Hists) *metrics.Histogram { return &h.DomainSwitch }))
+	r.RegisterHistogramFunc("hv_event_dispatch_ns", "measured cost of one event-channel upcall", hvHist(func(h *costmodel.Hists) *metrics.Histogram { return &h.EventDispatch }))
+	r.RegisterHistogramFunc("hv_grant_map_ns", "measured cost of one grant map", hvHist(func(h *costmodel.Hists) *metrics.Histogram { return &h.GrantMap }))
+	r.RegisterHistogramFunc("hv_grant_copy_ns", "measured cost of one grant copy", hvHist(func(h *costmodel.Hists) *metrics.Histogram { return &h.GrantCopy }))
+	m.reg = r
+}
+
+// Metrics returns the module's live instrument registry. Unlike Snapshot
+// it allocates nothing: polling loops (the scale benchmark's window
+// accounting) resolve a handle once with CounterFunc and read per
+// iteration at the cost of the underlying atomic loads.
+func (m *Module) Metrics() *metrics.Registry { return m.reg }
+
+// MetricsSnapshot is the typed, plain-value observability surface of one
+// module: every counter and gauge, the latency histograms, the domain's
+// hypervisor resource footprint, the machine's mechanism cost histograms,
+// and a per-channel breakdown. Everything is a copy — holding one costs
+// nothing and never observes later mutation.
+type MetricsSnapshot struct {
+	Self Identity
+
+	// Fast-path and control-plane counters (Stats, internal to the
+	// module, is the storage; this is the read surface).
+	PktsChannel    uint64
+	BytesChannel   uint64
+	PktsStandard   uint64
+	PktsWaiting    uint64
+	PktsTooLarge   uint64
+	PktsReceived   uint64
+	ChannelsOpened uint64
+	ChannelsClosed uint64
+	SavedResent    uint64
+	PktsPurged     uint64
+
+	// Gauges.
+	WaitingDepthMax   uint64
+	ChannelsConnected int
+	Peers             int
+	SavedPackets      int
+
+	// Resources is the domain's outstanding hypervisor resources.
+	Resources hypervisor.ResourceSnapshot
+
+	// Datapath and control-plane latency histograms (nanoseconds).
+	HookToPush      metrics.HistogramSnapshot
+	FIFOResidency   metrics.HistogramSnapshot
+	DrainToDeliver  metrics.HistogramSnapshot
+	Bootstrap       metrics.HistogramSnapshot
+	TeardownQuiesce metrics.HistogramSnapshot
+
+	// HVCosts are the hosting machine's mechanism cost histograms.
+	HVCosts costmodel.HistsSnapshot
+
+	// Channels is the per-channel breakdown, sorted by peer MAC.
+	Channels []ChannelStatus
+}
+
+// ChannelStatus is one channel's row in the snapshot.
+type ChannelStatus struct {
+	Peer          Identity
+	Connected     bool
+	Listener      bool
+	FIFOSizeBytes int
+	OutUsedBytes  int
+	WaitingLen    int
+}
+
+// Snapshot captures the module's full observability state. Control-plane
+// cost (walks every histogram shard, takes the module lock briefly); not
+// for per-packet polling loops — use Metrics for those.
+func (m *Module) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	self := m.self
+	peers := len(m.peers)
+	saved := len(m.saved)
+	chans := make([]*Channel, 0, len(m.channels))
+	for _, ch := range m.channels {
+		chans = append(chans, ch)
+	}
+	m.mu.Unlock()
+
+	s := MetricsSnapshot{
+		Self:            self,
+		PktsChannel:     m.stats.PktsChannel.Load(),
+		BytesChannel:    m.stats.BytesChannel.Load(),
+		PktsStandard:    m.stats.PktsStandard.Load(),
+		PktsWaiting:     m.stats.PktsWaiting.Load(),
+		PktsTooLarge:    m.stats.PktsTooLarge.Load(),
+		PktsReceived:    m.stats.PktsReceived.Load(),
+		ChannelsOpened:  m.stats.ChannelsOpened.Load(),
+		ChannelsClosed:  m.stats.ChannelsClosed.Load(),
+		SavedResent:     m.stats.SavedResent.Load(),
+		PktsPurged:      m.stats.PktsPurged.Load(),
+		WaitingDepthMax: m.stats.WaitingDepthMax.Load(),
+		Peers:           peers,
+		SavedPackets:    saved,
+		Resources:       m.dom.Introspect(),
+		HookToPush:      m.lat.hookToPush.Snapshot(),
+		FIFOResidency:   m.lat.residency.Snapshot(),
+		DrainToDeliver:  m.lat.deliver.Snapshot(),
+		Bootstrap:       m.lat.bootstrap.Snapshot(),
+		TeardownQuiesce: m.lat.quiesce.Snapshot(),
+		HVCosts:         m.dom.Hypervisor().CostHists().Snapshot(),
+	}
+	for _, ch := range chans {
+		cs := ChannelStatus{
+			Peer:       ch.peer,
+			Connected:  ch.Connected(),
+			Listener:   ch.listener,
+			WaitingLen: ch.WaitingLen(),
+		}
+		// out is assigned under resMu during bootstrap; snapshot it the
+		// same way drainIncoming does.
+		ch.resMu.Lock()
+		out := ch.out
+		ch.resMu.Unlock()
+		if out != nil {
+			cs.FIFOSizeBytes = out.SizeBytes()
+			cs.OutUsedBytes = out.UsedBytes()
+		}
+		if cs.Connected {
+			s.ChannelsConnected++
+		}
+		s.Channels = append(s.Channels, cs)
+	}
+	sort.Slice(s.Channels, func(i, j int) bool {
+		return s.Channels[i].Peer.MAC.String() < s.Channels[j].Peer.MAC.String()
+	})
+	return s
+}
+
+// startMetricsServer serves the registry at /metrics (Prometheus text, or
+// JSON via ?format=json) and the full typed snapshot at /metrics.json.
+func (m *Module) startMetricsServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(m.reg.Snapshot))
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+	srv := &http.Server{Handler: mux}
+	m.mu.Lock()
+	m.metricsLn, m.metricsSrv = ln, srv
+	m.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// MetricsAddr returns the listen address of the metrics endpoint ("" when
+// disabled). With Config.MetricsAddr ":0" this is where the kernel put
+// the listener.
+func (m *Module) MetricsAddr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.metricsLn == nil {
+		return ""
+	}
+	return m.metricsLn.Addr().String()
+}
+
+// stopMetricsServer closes the metrics endpoint (idempotent).
+func (m *Module) stopMetricsServer() {
+	m.mu.Lock()
+	srv := m.metricsSrv
+	m.metricsSrv, m.metricsLn = nil, nil
+	m.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}

@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fifo"
 	"repro/internal/hypervisor"
+	"repro/internal/metrics"
 	"repro/internal/netstack"
 	"repro/internal/pkt"
 	"repro/internal/stats"
@@ -48,6 +51,20 @@ type Config struct {
 	// MaxWaitingPackets bounds the waiting list used when the FIFO is
 	// full; beyond it packets fall back to the standard path.
 	MaxWaitingPackets int
+
+	// MetricsAddr, when non-empty, serves the module's metrics over HTTP
+	// on that address (":0" picks a free port; see Module.MetricsAddr):
+	// Prometheus text at /metrics, the typed snapshot at /metrics.json.
+	// Off by default — the in-process Snapshot/Metrics APIs need no
+	// server.
+	MetricsAddr string
+
+	// DisableLatencyMetrics turns off the per-packet latency instruments
+	// (hook-to-push, FIFO residency, drain-to-deliver). Their cost is a
+	// few clock reads and sharded atomic adds per packet; the datapath
+	// benchmark's overhead guard measures exactly this toggle. Counters
+	// and control-plane histograms stay on.
+	DisableLatencyMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +123,16 @@ type Module struct {
 	detached bool
 
 	stats Stats
+
+	// Observability: the instrument registry, the latency histograms the
+	// datapath feeds, and the optional HTTP endpoint. latOn mirrors
+	// !cfg.DisableLatencyMetrics so the fast path pays one predictable
+	// branch, not a config-struct read.
+	reg        *metrics.Registry
+	lat        latencyHists
+	latOn      bool
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 }
 
 // Attach loads the XenLoop module into a guest: it hooks the stack's
@@ -124,7 +151,15 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 		channels: map[pkt.MAC]*Channel{},
 	}
 	m.routes.Store(emptyRoutes)
+	m.latOn = !m.cfg.DisableLatencyMetrics
+	m.initMetrics()
+	if m.cfg.MetricsAddr != "" {
+		if err := m.startMetricsServer(m.cfg.MetricsAddr); err != nil {
+			return nil, err
+		}
+	}
 	if err := m.advertise(); err != nil {
+		m.stopMetricsServer()
 		return nil, err
 	}
 	stack.RegisterOutHook(m.outHook)
@@ -139,9 +174,6 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 func (m *Module) advertise() error {
 	return m.dom.StoreWrite(m.dom.StorePath()+"/xenloop", m.self.MAC.String())
 }
-
-// Stats returns the module's counters.
-func (m *Module) Stats() *Stats { return &m.stats }
 
 // actor names this module in trace events.
 func (m *Module) actor() string {
@@ -308,9 +340,11 @@ func (m *Module) sendControl(dst pkt.MAC, payload []byte) {
 }
 
 // Detach unloads the module: forestall new connections by removing the
-// XenStore advertisement, then tear all channels down cleanly (§3.3).
+// XenStore advertisement, tear all channels down cleanly (§3.3), and
+// close the metrics endpoint if one was serving.
 func (m *Module) Detach() {
 	m.teardownAll(false)
+	m.stopMetricsServer()
 }
 
 // PreMigrate is the pre-migration callback (§3.4): delete the

@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// buildObservedPair builds a XenLoop pair with the metrics endpoint
+// enabled on a kernel-assigned port.
+func buildObservedPair(t *testing.T) *testbed.Pair {
+	t.Helper()
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{
+		DiscoveryPeriod: 100 * time.Millisecond,
+		Core:            core.Config{MetricsAddr: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestSnapshotCoversDatapath: after channel traffic, the typed snapshot's
+// counters and per-stage latency histograms must all have moved, and the
+// per-channel breakdown must describe the live channel.
+func TestSnapshotCoversDatapath(t *testing.T) {
+	p := buildXenLoopPair(t)
+	for i := 0; i < 20; i++ {
+		if _, err := p.A.Stack.Ping(p.B.IP, 56, time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	s := p.A.VM.XL.Snapshot()
+	if s.PktsChannel < 20 || s.PktsReceived < 20 || s.BytesChannel == 0 {
+		t.Fatalf("counters did not move: %+v", s)
+	}
+	if s.HookToPush.Count == 0 {
+		t.Fatal("hook->push histogram empty after traffic")
+	}
+	if s.FIFOResidency.Count == 0 {
+		t.Fatal("residency histogram empty after traffic")
+	}
+	if s.DrainToDeliver.Count == 0 {
+		t.Fatal("drain->deliver histogram empty after traffic")
+	}
+	if s.Bootstrap.Count == 0 {
+		t.Fatal("bootstrap histogram empty despite a connected channel")
+	}
+	// Sanity on magnitudes: a stage median cannot exceed the whole trip's
+	// worst case by construction, and must be positive.
+	if q := s.HookToPush.Quantile(0.5); q <= 0 {
+		t.Fatalf("hook->push p50 = %f", q)
+	}
+	if s.ChannelsConnected != 1 || len(s.Channels) != 1 {
+		t.Fatalf("channel breakdown: connected=%d rows=%d", s.ChannelsConnected, len(s.Channels))
+	}
+	cs := s.Channels[0]
+	if !cs.Connected || cs.Peer.MAC != p.B.VM.MAC || cs.FIFOSizeBytes == 0 {
+		t.Fatalf("channel row %+v", cs)
+	}
+	if s.HVCosts.Hypercall.Count == 0 {
+		t.Fatal("hypervisor cost histograms empty after bootstrap + traffic")
+	}
+	if s.Resources.Grants == 0 {
+		t.Fatal("resource snapshot shows no grants while a channel is up")
+	}
+}
+
+// TestDisableLatencyMetrics: with the fast-path instrumentation off the
+// datapath histograms stay empty, but traffic and control-plane
+// histograms are unaffected.
+func TestDisableLatencyMetrics(t *testing.T) {
+	p, err := testbed.BuildPair(testbed.XenLoop, testbed.Options{
+		DiscoveryPeriod: 100 * time.Millisecond,
+		Core:            core.Config{DisableLatencyMetrics: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	for i := 0; i < 10; i++ {
+		if _, err := p.A.Stack.Ping(p.B.IP, 56, time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	s := p.A.VM.XL.Snapshot()
+	if s.PktsChannel < 10 {
+		t.Fatalf("traffic did not flow: %+v", s)
+	}
+	if s.HookToPush.Count != 0 || s.FIFOResidency.Count != 0 || s.DrainToDeliver.Count != 0 {
+		t.Fatalf("datapath histograms fed while disabled: %d/%d/%d",
+			s.HookToPush.Count, s.FIFOResidency.Count, s.DrainToDeliver.Count)
+	}
+	if s.Bootstrap.Count == 0 {
+		t.Fatal("control-plane bootstrap histogram must stay on")
+	}
+}
+
+// TestMetricsEndpoint: the opt-in HTTP endpoint serves Prometheus text at
+// /metrics and the typed snapshot at /metrics.json, and goes away on
+// Detach.
+func TestMetricsEndpoint(t *testing.T) {
+	p := buildObservedPair(t)
+	for i := 0; i < 5; i++ {
+		if _, err := p.A.Stack.Ping(p.B.IP, 56, time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	addr := p.A.VM.XL.MetricsAddr()
+	if addr == "" {
+		t.Fatal("metrics endpoint not listening despite MetricsAddr config")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	for _, want := range []string{
+		"xl_pkts_channel_total",
+		"xl_channels_connected 1",
+		"xl_hook_to_push_ns_count",
+		"hv_hypercall_ns_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	var snap core.MetricsSnapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json decode: %v", err)
+	}
+	if snap.PktsChannel < 5 || snap.ChannelsConnected != 1 {
+		t.Fatalf("/metrics.json snapshot: pkts=%d connected=%d", snap.PktsChannel, snap.ChannelsConnected)
+	}
+
+	p.A.VM.XL.Detach()
+	if got := p.A.VM.XL.MetricsAddr(); got != "" {
+		t.Fatalf("endpoint still reports %q after Detach", got)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after Detach")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Model holds the per-operation costs of the simulated platform. A zero
@@ -175,6 +177,33 @@ func (m *Model) ChargeExclusive(d time.Duration) {
 	}
 }
 
+// ChargeObserved is Charge recording the measured wall-clock cost of the
+// operation — nominal charge plus whatever scheduling delay the spin
+// absorbed — into h. A nil h charges without measuring.
+func (m *Model) ChargeObserved(d time.Duration, h *metrics.Histogram) {
+	if h == nil {
+		m.Charge(d)
+		return
+	}
+	start := metrics.Now()
+	m.Charge(d)
+	h.Observe(metrics.Now() - start)
+}
+
+// ChargeExclusiveObserved is ChargeExclusive recording the measured
+// wall-clock cost into h. Because exclusive charges model
+// hypervisor-context work, the measured value exceeding the nominal cost
+// is exactly the contention signal the cost histograms exist to surface.
+func (m *Model) ChargeExclusiveObserved(d time.Duration, h *metrics.Histogram) {
+	if h == nil {
+		m.ChargeExclusive(d)
+		return
+	}
+	start := metrics.Now()
+	m.ChargeExclusive(d)
+	h.Observe(metrics.Now() - start)
+}
+
 // ChargeCopy charges the cost of copying n bytes of packet data.
 func (m *Model) ChargeCopy(n int) {
 	if !m.enabled() {
@@ -190,6 +219,12 @@ func (m *Model) ChargeGrantCopy(n int) {
 		return
 	}
 	m.Charge(m.GrantCopyFixed + time.Duration(float64(n)*m.GrantCopyPerByteNS))
+}
+
+// ChargeGrantCopyObserved is ChargeGrantCopy recording the measured cost
+// into h (nil h charges without measuring).
+func (m *Model) ChargeGrantCopyObserved(n int, h *metrics.Histogram) {
+	m.ChargeObserved(m.GrantCopyFixed+time.Duration(float64(n)*m.GrantCopyPerByteNS), h)
 }
 
 // WireDelay returns the serialization time of an n-byte frame on the
@@ -294,4 +329,37 @@ func (s CounterSnapshot) String() string {
 	return fmt.Sprintf("hypercalls=%d switches=%d events=%d grantMaps=%d grantCopies=%d transfers=%d bytesCopied=%d bridged=%d wire=%d",
 		s.Hypercalls, s.DomainSwitches, s.Events, s.GrantMaps, s.GrantCopies,
 		s.GrantTransfers, s.BytesCopied, s.FramesBridged, s.FramesOnWire)
+}
+
+// Hists bundles the per-mechanism cost histograms a machine keeps
+// alongside its Counters: where a counter says how often a mechanism
+// fired, the histogram says what each firing actually cost in wall-clock
+// terms — nominal charge plus queueing/contention. The hypervisor feeds
+// them through the *Observed charge variants.
+type Hists struct {
+	Hypercall     metrics.Histogram
+	DomainSwitch  metrics.Histogram
+	EventDispatch metrics.Histogram
+	GrantMap      metrics.Histogram
+	GrantCopy     metrics.Histogram
+}
+
+// Snapshot returns plain-value copies of every mechanism histogram.
+func (h *Hists) Snapshot() HistsSnapshot {
+	return HistsSnapshot{
+		Hypercall:     h.Hypercall.Snapshot(),
+		DomainSwitch:  h.DomainSwitch.Snapshot(),
+		EventDispatch: h.EventDispatch.Snapshot(),
+		GrantMap:      h.GrantMap.Snapshot(),
+		GrantCopy:     h.GrantCopy.Snapshot(),
+	}
+}
+
+// HistsSnapshot is a point-in-time copy of Hists.
+type HistsSnapshot struct {
+	Hypercall     metrics.HistogramSnapshot
+	DomainSwitch  metrics.HistogramSnapshot
+	EventDispatch metrics.HistogramSnapshot
+	GrantMap      metrics.HistogramSnapshot
+	GrantCopy     metrics.HistogramSnapshot
 }

@@ -1,7 +1,9 @@
 // Package fifo implements XenLoop's lockless inter-VM FIFO (paper §3.3):
 // a producer-consumer circular buffer living in shared memory between two
 // guests, carrying variable-size packets as an 8-byte metadata word
-// followed by the payload padded to 8 bytes.
+// followed by the payload padded to 8 bytes. Timestamped entries (PushAt)
+// insert one extra header word carrying the producer's push clock, which
+// the latency instrumentation reads back on the consumer side.
 //
 // Synchronization-free by construction: the maximum number of 8-byte
 // entries is 2^k (k ≤ 31) while the free-running front and back indices
@@ -35,6 +37,19 @@ const DefaultSizeBytes = 64 * 1024
 
 // entryMagic marks a valid metadata word, guarding against index bugs.
 const entryMagic = 0x584C // "XL"
+
+// entryMagicTS marks a timestamped entry: the metadata word is followed
+// by one extra header word carrying the producer's push timestamp
+// (metrics.Now nanoseconds), which the consumer's drain subtracts to
+// measure FIFO residency. Untimed entries (entryMagic) keep the original
+// one-word header, so the uninstrumented path pays nothing, and a packet
+// so large that the extra word would no longer fit in the ring is pushed
+// untimed rather than rejected — the datapath never loses a packet to
+// observability.
+const entryMagicTS = 0x5854 // "XT"
+
+// tsWords is the extra header footprint of a timestamped entry.
+const tsWords = 1
 
 // tombMagic marks a dead entry: a producer claimed the words, then saw
 // the channel go inactive. The claim cannot be withdrawn (the reservation
@@ -145,7 +160,15 @@ func wordsFor(n int) uint32 { return 1 + uint32((n+WordBytes-1)/WordBytes) }
 // the paper's two-copy data path) and never retains p; the caller keeps
 // ownership and may reuse or release the backing buffer as soon as Push
 // returns, whatever the result.
-func (f *FIFO) Push(p []byte) (bool, error) {
+func (f *FIFO) Push(p []byte) (bool, error) { return f.PushAt(p, 0) }
+
+// PushAt is Push with a producer timestamp: pushNs (a metrics.Now value;
+// 0 means untimed) rides in the entry header and comes back out of
+// DrainIntoTS on the consumer side, giving the residency measurement a
+// clock that crossed the shared memory with the packet. A packet so
+// large that the timestamp word would push it past ring capacity is
+// degraded to an untimed entry instead of being refused.
+func (f *FIFO) PushAt(p []byte, pushNs int64) (bool, error) {
 	d := f.desc
 	if d.Inactive.Load() {
 		return false, ErrInactive
@@ -153,6 +176,13 @@ func (f *FIFO) Push(p []byte) (bool, error) {
 	need := wordsFor(len(p))
 	if need > d.sizeWords {
 		return false, ErrTooLarge
+	}
+	if pushNs != 0 {
+		if need+tsWords <= d.sizeWords {
+			need += tsWords
+		} else {
+			pushNs = 0
+		}
 	}
 	for {
 		res := d.reserve.Load()
@@ -170,7 +200,7 @@ func (f *FIFO) Push(p []byte) (bool, error) {
 			f.publish(res, res+need)
 			return false, ErrInactive
 		}
-		f.writeEntry(res, p)
+		f.writeEntry(res, p, pushNs)
 		f.publish(res, res+need)
 		return true, nil
 	}
@@ -183,10 +213,26 @@ func (f *FIFO) Push(p []byte) (bool, error) {
 // concurrent producers, copies every packet and retains none of them. A
 // packet that can never fit stops the batch with ErrTooLarge (pkts[n] is
 // the offender); ErrInactive reports teardown.
-func (f *FIFO) PushBatch(pkts [][]byte) (int, error) {
+func (f *FIFO) PushBatch(pkts [][]byte) (int, error) { return f.PushBatchAt(pkts, 0) }
+
+// PushBatchAt is PushBatch with one producer timestamp shared by the
+// whole batch (the caller reads the clock once per batch, not per
+// packet). Per-packet degradation matches PushAt: an entry whose
+// timestamped footprint would exceed ring capacity is written untimed.
+func (f *FIFO) PushBatchAt(pkts [][]byte, pushNs int64) (int, error) {
 	d := f.desc
 	if d.Inactive.Load() {
 		return 0, ErrInactive
+	}
+	// entryNeed returns one packet's footprint and whether it carries the
+	// timestamp word; the accounting pass and the write pass below must
+	// agree, so both use it.
+	entryNeed := func(n int) (uint32, int64) {
+		need := wordsFor(n)
+		if pushNs != 0 && need+tsWords <= d.sizeWords {
+			return need + tsWords, pushNs
+		}
+		return need, 0
 	}
 	for {
 		res := d.reserve.Load()
@@ -195,8 +241,8 @@ func (f *FIFO) PushBatch(pkts [][]byte) (int, error) {
 		words := uint32(0)
 		var err error
 		for _, p := range pkts {
-			need := wordsFor(len(p))
-			if need > d.sizeWords {
+			need, _ := entryNeed(len(p))
+			if wordsFor(len(p)) > d.sizeWords {
 				err = ErrTooLarge
 				break
 			}
@@ -222,8 +268,9 @@ func (f *FIFO) PushBatch(pkts [][]byte) (int, error) {
 		}
 		w := res
 		for i := 0; i < n; i++ {
-			f.writeEntry(w, pkts[i])
-			w += wordsFor(len(pkts[i]))
+			need, ts := entryNeed(len(pkts[i]))
+			f.writeEntry(w, pkts[i], ts)
+			w += need
 		}
 		f.publish(res, res+words)
 		return n, err
@@ -251,11 +298,22 @@ func (f *FIFO) writeTombstone(idx, words uint32) {
 	f.writeWords(idx, meta[:])
 }
 
-// writeEntry stores one metadata word plus payload at the claimed index.
-// The caller owns [idx, idx+wordsFor(len(p))) by reservation.
-func (f *FIFO) writeEntry(idx uint32, p []byte) {
+// writeEntry stores the header (one metadata word, plus a timestamp word
+// when pushNs != 0) and payload at the claimed index. The caller owns the
+// entry's full footprint by reservation.
+func (f *FIFO) writeEntry(idx uint32, p []byte, pushNs int64) {
 	// Metadata word: magic | length | sequence-low (diagnostics).
 	var meta [WordBytes]byte
+	if pushNs != 0 {
+		binary.LittleEndian.PutUint16(meta[0:2], entryMagicTS)
+		binary.LittleEndian.PutUint32(meta[2:6], uint32(len(p)))
+		f.writeWords(idx, meta[:])
+		var ts [WordBytes]byte
+		binary.LittleEndian.PutUint64(ts[:], uint64(pushNs))
+		f.writeWords(idx+1, ts[:])
+		f.writeWords(idx+2, p)
+		return
+	}
 	binary.LittleEndian.PutUint16(meta[0:2], entryMagic)
 	binary.LittleEndian.PutUint32(meta[2:6], uint32(len(p)))
 	f.writeWords(idx, meta[:])
@@ -267,10 +325,16 @@ func (f *FIFO) writeEntry(idx uint32, p []byte) {
 // producers count as used). A producer that queued packets and set the
 // waiting flag re-checks with CanFit to close the race where the consumer
 // freed space (and tested the flag) between the failed push and the flag
-// store.
+// store. CanFit reserves headroom for the timestamp word whenever one
+// could be carried, so a positive answer holds for timed and untimed
+// pushes alike.
 func (f *FIFO) CanFit(n int) bool {
 	d := f.desc
-	return wordsFor(n) <= d.sizeWords-(d.reserve.Load()-d.front.Load())
+	need := wordsFor(n)
+	if need+tsWords <= d.sizeWords {
+		need += tsWords
+	}
+	return need <= d.sizeWords-(d.reserve.Load()-d.front.Load())
 }
 
 // Pop removes the next packet into a fresh buffer (the receiver-side copy
@@ -308,6 +372,13 @@ const drainPublishQuarter = 4
 // packet, amortizing the shared atomics. Returns the number of packets
 // drained.
 func (f *FIFO) DrainInto(fn func(view []byte) bool) int {
+	return f.DrainIntoTS(func(view []byte, _ int64) bool { return fn(view) })
+}
+
+// DrainIntoTS is DrainInto handing fn the producer's push timestamp
+// alongside each packet view (0 for untimed entries), so the consumer can
+// measure FIFO residency without any side channel.
+func (f *FIFO) DrainIntoTS(fn func(view []byte, pushNs int64) bool) int {
 	d := f.desc
 	f.consMu.Lock()
 	defer f.consMu.Unlock()
@@ -337,15 +408,22 @@ func (f *FIFO) DrainInto(fn func(view []byte) bool) int {
 			}
 			continue
 		}
-		if magic != entryMagic {
+		hdr := uint32(1)
+		var pushNs int64
+		if magic == entryMagicTS {
+			var ts [WordBytes]byte
+			f.readWords(front+1, ts[:])
+			pushNs = int64(binary.LittleEndian.Uint64(ts[:]))
+			hdr += tsWords
+		} else if magic != entryMagic {
 			// Corrupted entry: resynchronize by draining everything (see pop).
 			front = d.back.Load()
 			break
 		}
 		length := int(binary.LittleEndian.Uint32(meta[2:6]))
-		off := int((front+1)&d.mask) * WordBytes
+		off := int((front+hdr)&d.mask) * WordBytes
 		if off+length <= len(d.data) {
-			cont = fn(d.data[off : off+length])
+			cont = fn(d.data[off:off+length], pushNs)
 		} else {
 			// Wrapped packet: stage through a pooled buffer, not a fresh
 			// allocation.
@@ -353,10 +431,10 @@ func (f *FIFO) DrainInto(fn func(view []byte) bool) int {
 			s := b.Bytes()
 			c := copy(s, d.data[off:])
 			copy(s[c:], d.data)
-			cont = fn(s)
+			cont = fn(s, pushNs)
 			b.Release()
 		}
-		front += wordsFor(length)
+		front += hdr - 1 + wordsFor(length)
 		n++
 		if front-lastPub >= publishQuantum {
 			d.front.Store(front)
@@ -388,15 +466,18 @@ func (f *FIFO) pop(fn func(p []byte)) bool {
 			d.front.Store(front + wordsFor(length))
 			continue
 		}
-		if magic != entryMagic {
+		hdr := uint32(1)
+		if magic == entryMagicTS {
+			hdr += tsWords
+		} else if magic != entryMagic {
 			// Corrupted entry: resynchronize by draining everything. Should
 			// be unreachable; kept as a hard stop for index bugs.
 			d.front.Store(d.back.Load())
 			return false
 		}
 		// Read in place, then free the space.
-		f.withSlice(front+1, length, fn)
-		d.front.Store(front + wordsFor(length))
+		f.withSlice(front+hdr, length, fn)
+		d.front.Store(front + hdr - 1 + wordsFor(length))
 		return true
 	}
 }

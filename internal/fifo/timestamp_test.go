@@ -1,0 +1,160 @@
+package fifo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPushAtTimestampRoundTrip(t *testing.T) {
+	f := Attach(NewDescriptor(4096))
+	msg := []byte("timed packet")
+	ok, err := f.PushAt(msg, 12345)
+	if err != nil || !ok {
+		t.Fatalf("push: %v %v", ok, err)
+	}
+	var gotTS int64
+	var gotPkt []byte
+	n := f.DrainIntoTS(func(view []byte, pushNs int64) bool {
+		gotPkt = append([]byte(nil), view...)
+		gotTS = pushNs
+		return true
+	})
+	if n != 1 || !bytes.Equal(gotPkt, msg) {
+		t.Fatalf("drained %d, pkt %q", n, gotPkt)
+	}
+	if gotTS != 12345 {
+		t.Fatalf("timestamp %d, want 12345", gotTS)
+	}
+}
+
+func TestPushAtUntimedReadsZero(t *testing.T) {
+	f := Attach(NewDescriptor(4096))
+	if ok, err := f.Push([]byte("plain")); err != nil || !ok {
+		t.Fatalf("push: %v %v", ok, err)
+	}
+	f.DrainIntoTS(func(_ []byte, pushNs int64) bool {
+		if pushNs != 0 {
+			t.Fatalf("untimed entry reported timestamp %d", pushNs)
+		}
+		return true
+	})
+}
+
+// TestPushAtPopInterop: timestamped entries must stay readable by the
+// plain consumers, which skip the extra header word.
+func TestPushAtPopInterop(t *testing.T) {
+	f := Attach(NewDescriptor(4096))
+	msg := []byte("timed but popped plainly")
+	if ok, err := f.PushAt(msg, 999); err != nil || !ok {
+		t.Fatalf("push: %v %v", ok, err)
+	}
+	got, ok := f.Pop()
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatalf("pop of timed entry: %q ok=%v", got, ok)
+	}
+}
+
+// TestPushAtMaxPacketDegrades: a packet at MaxPacket has no room for the
+// timestamp word; PushAt must degrade it to an untimed entry rather than
+// refuse it (MaxPacket is a published contract).
+func TestPushAtMaxPacketDegrades(t *testing.T) {
+	f := Attach(NewDescriptor(4096))
+	big := make([]byte, f.MaxPacket())
+	for i := range big {
+		big[i] = byte(i)
+	}
+	ok, err := f.PushAt(big, 777)
+	if err != nil || !ok {
+		t.Fatalf("max packet with timestamp refused: ok=%v err=%v", ok, err)
+	}
+	n := f.DrainIntoTS(func(view []byte, pushNs int64) bool {
+		if pushNs != 0 {
+			t.Fatalf("oversized entry kept its timestamp (%d); should degrade", pushNs)
+		}
+		if !bytes.Equal(view, big) {
+			t.Fatal("payload corrupted by degradation")
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("drained %d entries, want 1", n)
+	}
+	// One word past MaxPacket must still be refused outright.
+	if _, err := f.PushAt(make([]byte, f.MaxPacket()+1), 777); err != ErrTooLarge {
+		t.Fatalf("oversize error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestPushBatchAtMixedDrain(t *testing.T) {
+	f := Attach(NewDescriptor(8192))
+	batch := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	pushed, err := f.PushBatchAt(batch, 4242)
+	if err != nil || pushed != len(batch) {
+		t.Fatalf("batch push: %d %v", pushed, err)
+	}
+	if ok, e := f.Push([]byte("four")); e != nil || !ok {
+		t.Fatalf("plain push: %v %v", ok, e)
+	}
+	var stamps []int64
+	var pkts [][]byte
+	f.DrainIntoTS(func(view []byte, pushNs int64) bool {
+		pkts = append(pkts, append([]byte(nil), view...))
+		stamps = append(stamps, pushNs)
+		return true
+	})
+	if len(pkts) != 4 {
+		t.Fatalf("drained %d, want 4", len(pkts))
+	}
+	for i, want := range []string{"one", "two", "three", "four"} {
+		if string(pkts[i]) != want {
+			t.Fatalf("pkt %d = %q, want %q", i, pkts[i], want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if stamps[i] != 4242 {
+			t.Fatalf("batch entry %d stamp %d, want 4242", i, stamps[i])
+		}
+	}
+	if stamps[3] != 0 {
+		t.Fatalf("plain entry stamp %d, want 0", stamps[3])
+	}
+}
+
+// TestTimestampFillDrainCycles wraps a timestamped stream around the ring
+// several times so header parsing is exercised at every alignment.
+func TestTimestampFillDrainCycles(t *testing.T) {
+	f := Attach(NewDescriptor(1024))
+	pkt := make([]byte, 100)
+	ts := int64(1)
+	for cycle := 0; cycle < 50; cycle++ {
+		pushed := 0
+		for {
+			ok, err := f.PushAt(pkt, ts+int64(pushed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			pushed++
+		}
+		if pushed == 0 {
+			t.Fatal("ring accepted nothing")
+		}
+		want := ts
+		f.DrainIntoTS(func(view []byte, pushNs int64) bool {
+			if len(view) != len(pkt) {
+				t.Fatalf("payload length %d, want %d", len(view), len(pkt))
+			}
+			if pushNs != want {
+				t.Fatalf("stamp %d, want %d", pushNs, want)
+			}
+			want++
+			return true
+		})
+		if want != ts+int64(pushed) {
+			t.Fatalf("drained %d entries, want %d", want-ts, pushed)
+		}
+		ts += int64(pushed)
+	}
+}

@@ -165,7 +165,7 @@ func (d *Domain) NotifyPort(port Port) error {
 		rp.pending.Store(false)
 		rdhv := rd.mi().hv
 		rdhv.schedule(rd)
-		rdhv.model.ChargeExclusive(rdhv.model.EventDispatch)
+		rdhv.model.ChargeExclusiveObserved(rdhv.model.EventDispatch, &rdhv.hists.EventDispatch)
 		handler()
 	})
 	return nil
@@ -215,10 +215,11 @@ func (d *Domain) PortConnected(port Port) bool {
 	return ok && p.state == portInterdomain
 }
 
-// OpenPortCount reports the number of event-channel ports this domain
+// openPortCount reports the number of event-channel ports this domain
 // still holds (any state). ClosePort removes entries, so after full
-// teardown the count returns to its pre-connection baseline.
-func (d *Domain) OpenPortCount() int {
+// teardown the count returns to its pre-connection baseline (surfaced
+// through Introspect).
+func (d *Domain) openPortCount() int {
 	ec := d.mi().events
 	ec.mu.Lock()
 	defer ec.mu.Unlock()

@@ -200,7 +200,7 @@ func (d *Domain) MapGrant(granter DomID, ref GrantRef) (any, error) {
 	t.mu.Unlock()
 	mi.maps.record(granter, ref)
 	hv.counters.GrantMaps.Add(1)
-	hv.model.Charge(hv.model.GrantMap)
+	hv.model.ChargeObserved(hv.model.GrantMap, &hv.hists.GrantMap)
 	return e.obj, nil
 }
 
@@ -229,18 +229,18 @@ func (d *Domain) UnmapGrant(granter DomID, ref GrantRef) error {
 	return nil
 }
 
-// GrantEntryCount reports the number of live grant-table entries (tests
-// and invariant checks: after full teardown it must return to baseline).
-func (d *Domain) GrantEntryCount() int {
+// grantEntryCount reports the number of live grant-table entries
+// (surfaced through Introspect).
+func (d *Domain) grantEntryCount() int {
 	t := d.mi().grants
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.entries)
 }
 
-// ForeignMapCount reports how many grant mappings this domain currently
-// holds into other domains' tables.
-func (d *Domain) ForeignMapCount() int { return d.mi().maps.count() }
+// foreignMapCount reports how many grant mappings this domain currently
+// holds into other domains' tables (surfaced through Introspect).
+func (d *Domain) foreignMapCount() int { return d.mi().maps.count() }
 
 // byteBacked is satisfied by grantable objects exposing raw bytes
 // (mem.Page, ring slot buffers); grant copies operate on them.
@@ -276,7 +276,7 @@ func (d *Domain) GrantCopyIn(granter DomID, ref GrantRef, dst []byte, offset int
 	t.mu.Unlock()
 	hv.counters.GrantCopies.Add(1)
 	hv.counters.BytesCopied.Add(uint64(n))
-	hv.model.ChargeGrantCopy(n)
+	hv.model.ChargeGrantCopyObserved(n, &hv.hists.GrantCopy)
 	return n, nil
 }
 
@@ -299,7 +299,7 @@ func (d *Domain) GrantCopyOut(granter DomID, ref GrantRef, src []byte, offset in
 	t.mu.Unlock()
 	hv.counters.GrantCopies.Add(1)
 	hv.counters.BytesCopied.Add(uint64(n))
-	hv.model.ChargeGrantCopy(n)
+	hv.model.ChargeGrantCopyObserved(n, &hv.hists.GrantCopy)
 	return n, nil
 }
 

@@ -39,6 +39,7 @@ type Hypervisor struct {
 
 	model    *costmodel.Model
 	counters *costmodel.Counters
+	hists    *costmodel.Hists
 	store    *xenstore.Store
 	ncpu     int
 
@@ -81,6 +82,7 @@ func New(cfg Config) *Hypervisor {
 		Machine:  cfg.Machine,
 		model:    cfg.Model,
 		counters: &costmodel.Counters{},
+		hists:    &costmodel.Hists{},
 		store:    xenstore.New(),
 		ncpu:     cfg.NCPU,
 		domains:  map[DomID]*Domain{},
@@ -102,6 +104,9 @@ func (hv *Hypervisor) Model() *costmodel.Model { return hv.model }
 
 // Counters returns the machine's mechanism counters.
 func (hv *Hypervisor) Counters() *costmodel.Counters { return hv.counters }
+
+// CostHists returns the machine's per-mechanism cost histograms.
+func (hv *Hypervisor) CostHists() *costmodel.Hists { return hv.hists }
 
 // Store returns the machine's XenStore.
 func (hv *Hypervisor) Store() *xenstore.Store { return hv.store }
@@ -299,7 +304,7 @@ func (hv *Hypervisor) Resume(d *Domain) error {
 // hypercall charges one guest->hypervisor crossing.
 func (hv *Hypervisor) hypercall() {
 	hv.counters.Hypercalls.Add(1)
-	hv.model.ChargeExclusive(hv.model.Hypercall)
+	hv.model.ChargeExclusiveObserved(hv.model.Hypercall, &hv.hists.Hypercall)
 }
 
 // schedule accounts for domain d running on its CPU, charging a domain
@@ -314,6 +319,6 @@ func (hv *Hypervisor) schedule(d *Domain) {
 	c.mu.Unlock()
 	if switched {
 		hv.counters.DomainSwitches.Add(1)
-		hv.model.ChargeExclusive(hv.model.DomainSwitch)
+		hv.model.ChargeExclusiveObserved(hv.model.DomainSwitch, &hv.hists.DomainSwitch)
 	}
 }

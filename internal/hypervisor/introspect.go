@@ -1,0 +1,63 @@
+package hypervisor
+
+// ResourceSnapshot counts the machine resources a domain (or a whole
+// machine) holds at one instant: live grant-table entries, open
+// event-channel ports, and grant mappings into foreign tables. It is the
+// single introspection surface for leak assertions — after a full
+// channel teardown every field must return to its pre-connection
+// baseline — replacing the per-resource accessors the tests used to poke
+// individually.
+type ResourceSnapshot struct {
+	Grants      int // live entries in the domain's grant table
+	Ports       int // event-channel ports held, any state
+	ForeignMaps int // mappings held into other domains' grant tables
+}
+
+// Add returns the field-wise sum s + o.
+func (s ResourceSnapshot) Add(o ResourceSnapshot) ResourceSnapshot {
+	return ResourceSnapshot{
+		Grants:      s.Grants + o.Grants,
+		Ports:       s.Ports + o.Ports,
+		ForeignMaps: s.ForeignMaps + o.ForeignMaps,
+	}
+}
+
+// Sub returns the field-wise difference s - o (drift since a baseline).
+func (s ResourceSnapshot) Sub(o ResourceSnapshot) ResourceSnapshot {
+	return ResourceSnapshot{
+		Grants:      s.Grants - o.Grants,
+		Ports:       s.Ports - o.Ports,
+		ForeignMaps: s.ForeignMaps - o.ForeignMaps,
+	}
+}
+
+// Total returns the sum of all fields (a scalar leak indicator).
+func (s ResourceSnapshot) Total() int { return s.Grants + s.Ports + s.ForeignMaps }
+
+// IsZero reports whether no resources are held.
+func (s ResourceSnapshot) IsZero() bool { return s == ResourceSnapshot{} }
+
+// Introspect snapshots this domain's outstanding resources.
+func (d *Domain) Introspect() ResourceSnapshot {
+	return ResourceSnapshot{
+		Grants:      d.grantEntryCount(),
+		Ports:       d.openPortCount(),
+		ForeignMaps: d.foreignMapCount(),
+	}
+}
+
+// Introspect snapshots the whole machine: the sum over every domain
+// currently hosted (Domain 0 included).
+func (hv *Hypervisor) Introspect() ResourceSnapshot {
+	hv.mu.Lock()
+	doms := make([]*Domain, 0, len(hv.domains))
+	for _, d := range hv.domains {
+		doms = append(doms, d)
+	}
+	hv.mu.Unlock()
+	var s ResourceSnapshot
+	for _, d := range doms {
+		s = s.Add(d.Introspect())
+	}
+	return s
+}

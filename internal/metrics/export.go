@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (v0.0.4). Histogram buckets are emitted cumulatively with their
+// power-of-two upper bounds; empty buckets are skipped.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if err := writeScalar(w, c, "counter"); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := writeScalar(w, g, "gauge"); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			_, hi := BucketBounds(i)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.Name, hi, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			h.Name, h.Count, h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeScalar(w io.Writer, v Value, typ string) error {
+	if v.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", v.Name, v.Help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", v.Name, typ, v.Name, v.Value)
+	return err
+}
+
+// histogramJSON is the wire form of one histogram: count, sum and the
+// standard latency quantiles, precomputed at snapshot time so a consumer
+// never needs the bucket layout.
+type histogramJSON struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// histJSON converts a snapshot to its wire form.
+func histJSON(h HistogramSnapshot) histogramJSON {
+	return histogramJSON{
+		Count: h.Count,
+		Sum:   h.Sum,
+		Mean:  round3(h.Mean()),
+		P50:   round3(h.Quantile(0.50)),
+		P95:   round3(h.Quantile(0.95)),
+		P99:   round3(h.Quantile(0.99)),
+		P999:  round3(h.Quantile(0.999)),
+	}
+}
+
+// WriteJSON renders the snapshot as one JSON object:
+//
+//	{"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum, mean, p50, p95, p99, p999}}}
+//
+// Map keys are sorted by encoding/json, so the output is deterministic
+// for a given snapshot.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	counters := map[string]uint64{}
+	for _, c := range s.Counters {
+		counters[c.Name] = c.Value
+	}
+	gauges := map[string]uint64{}
+	for _, g := range s.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	hists := map[string]histogramJSON{}
+	for _, h := range s.Histograms {
+		hists[h.Name] = histJSON(h.HistogramSnapshot)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}
+
+// Handler serves snapshots over HTTP: Prometheus text by default, JSON
+// when the request asks for it (?format=json or an Accept header
+// preferring application/json). src is called per request, so every
+// response is a fresh snapshot.
+func Handler(src func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := src()
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = s.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	})
+}

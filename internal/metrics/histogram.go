@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 buckets. Bucket 0 holds the value 0;
+// bucket i (i >= 1) holds values in [2^(i-1), 2^i). Observations are
+// int64, so bits.Len64 of a non-negative value is at most 63 and every
+// observation lands in a bucket.
+const histBuckets = 64
+
+// histShard is one stripe of a histogram: a full bucket array plus the
+// running sum, padded so adjacent shards never share a cache line.
+type histShard struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	_       [cacheLineBytes - 8]byte
+}
+
+// Histogram is a lock-free log-bucketed histogram of non-negative int64
+// samples (latencies in nanoseconds, throughout this repo). Observe is
+// safe for high-frequency concurrent use from the packet fast path: it
+// takes no lock and touches only the calling goroutine's shard — two
+// atomic adds on an (almost always) core-local cache line. Negative
+// samples clamp to zero rather than corrupt a bucket index.
+//
+// The zero value is ready to use. A Histogram must not be copied after
+// first use.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	s := &h.shards[shardIndex()]
+	s.buckets[bits.Len64(uint64(v))].Add(1)
+	s.sum.Add(uint64(v))
+}
+
+// Snapshot merges the shards into a plain value. Like stats.Counter.Load
+// it is not a single atomic cut — observations racing the walk may or may
+// not be included — which is the usual contract for statistics. Intended
+// for the control plane, not the per-packet path.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.buckets {
+			c := sh.buckets[b].Load()
+			s.Buckets[b] += c
+			s.Count += c
+		}
+		s.Sum += sh.sum.Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. It is a plain
+// value: copy it, keep it, subtract two of them — nothing aliases the
+// live histogram.
+type HistogramSnapshot struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Buckets [histBuckets]uint64 `json:"-"`
+}
+
+// BucketBounds returns bucket i's value range [lo, hi): bucket 0 is
+// exactly {0}, bucket i >= 1 is [2^(i-1), 2^i).
+func BucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = float64(uint64(1) << (i - 1))
+	return lo, lo * 2
+}
+
+// Mean returns the average observed value.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by walking the
+// cumulative bucket counts and interpolating linearly inside the target
+// bucket. Log2 buckets bound the error: the estimate lies within the true
+// sample's bucket, so it is off by at most a factor of two in either
+// direction (the property test pins this down).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i := range s.Buckets {
+		c := float64(s.Buckets[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := BucketBounds(i)
+			return lo + (hi-lo)*(target-cum)/c
+		}
+		cum += c
+	}
+	// Floating-point slack put the target past the last sample: report the
+	// upper bound of the highest occupied bucket.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			_, hi := BucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// Sub returns the per-bucket difference s - prev (interval views for
+// tools polling a live histogram).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+// Max returns the upper bound of the highest occupied bucket (a cheap
+// stand-in for the true maximum, exact to a factor of two).
+func (s HistogramSnapshot) Max() float64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			_, hi := BucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// round3 trims a float for JSON output.
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1000) / 1000
+}

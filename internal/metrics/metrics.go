@@ -1,0 +1,54 @@
+// Package metrics is the observability layer of the simulated platform:
+// lock-free latency histograms cheap enough to feed from the per-packet
+// fast path, and a registry of named counters/gauges/histograms with
+// immutable snapshots that tools (cmd/xltop), benchmarks and an optional
+// HTTP endpoint read.
+//
+// Design constraints, in order:
+//
+//   - Observe must be callable from concurrent senders on the packet fast
+//     path without a mutex: histograms stripe across cache-line-padded
+//     shards exactly like stats.Counter, and one observation is two
+//     uncontended atomic adds plus a bits.Len64.
+//   - Snapshots are plain values. Taking one walks every shard (control
+//     plane cost); holding one costs nothing and never observes later
+//     mutation.
+//   - Timestamps are int64 nanoseconds on one process-wide monotonic
+//     base (Now), so a timestamp produced in one simulated VM can be
+//     subtracted in another.
+package metrics
+
+import (
+	"time"
+	"unsafe"
+)
+
+// base anchors Now. time.Since uses the monotonic clock, so timestamps
+// are immune to wall-clock steps and coherent across every simulated VM
+// in the process.
+var base = time.Now()
+
+// Now returns nanoseconds since process start on the monotonic clock.
+// The zero value is reserved to mean "no timestamp" (the FIFO entry
+// header uses it), which Now itself can never return.
+func Now() int64 {
+	return int64(time.Since(base)) + 1
+}
+
+// cacheLineBytes pads shards apart so two cores observing into different
+// shards never ping-pong one line (matches stats.cacheLineBytes).
+const cacheLineBytes = 64
+
+// histShards is the stripe width of a Histogram; a power of two so shard
+// selection is a mask. Eight matches stats.Counter and the sender counts
+// the scale benchmark drives.
+const histShards = 8
+
+// shardIndex picks a stripe for the calling goroutine: goroutine stacks
+// live in distinct allocations, so the page number of a stack local is a
+// cheap stable-per-goroutine hash (same idiom as stats.Counter).
+// Collisions merely share a shard.
+func shardIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>12) & (histShards - 1)
+}

@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// exactRank returns the sorted sample the histogram's Quantile estimate
+// corresponds to. Quantile targets rank q*Count (clamped to at least 1)
+// and interpolates inside the bucket whose cumulative count first reaches
+// it; the sample at 0-based index ceil(target)-1 lies in that same bucket
+// (bucket counts are integers, so cumulative >= target implies cumulative
+// >= ceil(target)). Comparing against this rank makes the factor-of-two
+// bound exact, not statistical.
+func exactRank(q float64, n int) int {
+	target := q * float64(n)
+	if target < 1 {
+		target = 1
+	}
+	idx := int(math.Ceil(target)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// TestHistogramQuantileErrorBounds is the histogram's accuracy contract:
+// with power-of-two buckets an estimated quantile is within a factor of
+// two of the exact sample it targets.
+func TestHistogramQuantileErrorBounds(t *testing.T) {
+	dists := []struct {
+		name string
+		draw func(rng *rand.Rand) int64
+	}{
+		{"uniform", func(rng *rand.Rand) int64 { return rng.Int63n(1_000_000) }},
+		{"exp", func(rng *rand.Rand) int64 { return int64(rng.ExpFloat64() * 50_000) }},
+		{"bimodal", func(rng *rand.Rand) int64 {
+			if rng.Intn(10) == 0 {
+				return 500_000 + rng.Int63n(500_000)
+			}
+			return 1_000 + rng.Int63n(9_000)
+		}},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			var h Histogram
+			samples := make([]int64, 0, 20_000)
+			for i := 0; i < 20_000; i++ {
+				v := d.draw(rng)
+				samples = append(samples, v)
+				h.Observe(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			s := h.Snapshot()
+			if s.Count != uint64(len(samples)) {
+				t.Fatalf("count %d, want %d", s.Count, len(samples))
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+				est := s.Quantile(q)
+				exact := float64(samples[exactRank(q, len(samples))])
+				if exact == 0 {
+					continue
+				}
+				if ratio := est / exact; ratio < 0.49 || ratio > 2.01 {
+					t.Errorf("q%.3f: est %.0f vs exact %.0f (ratio %.2f) outside [0.5, 2]",
+						q, est, exact, ratio)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race) and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines = 16
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.Sum == 0 || s.Mean() <= 0 {
+		t.Fatalf("sum/mean not accumulated: sum=%d mean=%f", s.Sum, s.Mean())
+	}
+}
+
+// TestSnapshotImmutability: a snapshot taken before further Observes must
+// not move.
+func TestSnapshotImmutability(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s1 := h.Snapshot()
+	c1, sum1, q1 := s1.Count, s1.Sum, s1.Quantile(0.5)
+	for i := int64(1); i <= 1_000_000; i *= 2 {
+		h.Observe(i)
+	}
+	if s1.Count != c1 || s1.Sum != sum1 || s1.Quantile(0.5) != q1 {
+		t.Fatal("snapshot mutated by later observes")
+	}
+	if h.Snapshot().Count == c1 {
+		t.Fatal("live histogram did not advance")
+	}
+}
+
+// TestHistogramNegativeClamped: negative durations (clock weirdness) land
+// in bucket zero instead of corrupting state.
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Buckets[0] != 1 {
+		t.Fatalf("negative observe not clamped to bucket 0: %+v", s)
+	}
+}
+
+// TestHistogramSub: windowed deltas subtract bucket-wise.
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	prev := h.Snapshot()
+	h.Observe(1000)
+	h.Observe(1001)
+	d := h.Snapshot().Sub(prev)
+	if d.Count != 2 || d.Sum != 2001 {
+		t.Fatalf("delta = %+v, want count 2 sum 2001", d)
+	}
+}
+
+func TestRegistrySnapshotAndHandles(t *testing.T) {
+	r := NewRegistry()
+	var n uint64 = 41
+	r.RegisterCounter("test_total", "a counter", func() uint64 { return n })
+	r.RegisterGauge("test_depth", "a gauge", func() uint64 { return 7 })
+	h := r.NewHistogram("test_ns", "a histogram")
+	h.Observe(123)
+
+	fn, ok := r.CounterFunc("test_total")
+	if !ok {
+		t.Fatal("CounterFunc lookup failed")
+	}
+	n = 42
+	if got := fn(); got != 42 {
+		t.Fatalf("handle read %d, want 42", got)
+	}
+	if _, ok := r.CounterFunc("missing"); ok {
+		t.Fatal("CounterFunc invented a counter")
+	}
+
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Name != "test_total" || s.Counters[0].Value != 42 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 7 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.RegisterCounter("test_total", "dup", func() uint64 { return 0 })
+}
+
+// TestHTTPExportRoundTrip serves a registry through Handler and checks
+// both wire formats.
+func TestHTTPExportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("rt_total", "round trips", func() uint64 { return 9 })
+	h := r.NewHistogram("rt_ns", "latency")
+	for i := int64(1); i <= 1024; i *= 2 {
+		h.Observe(i)
+	}
+	srv := httptest.NewServer(Handler(r.Snapshot))
+	defer srv.Close()
+
+	get := func(url string) (string, string) {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	text, ctype := get(srv.URL)
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("content type %q", ctype)
+	}
+	for _, want := range []string{"# HELP rt_total", "rt_total 9", `rt_ns_bucket{le="+Inf"} 11`, "rt_ns_count 11"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	jsonBody, ctype := get(srv.URL + "?format=json")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("json content type %q", ctype)
+	}
+	var doc struct {
+		Counters   map[string]uint64         `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(jsonBody), &doc); err != nil {
+		t.Fatalf("json decode: %v\n%s", err, jsonBody)
+	}
+	if doc.Counters["rt_total"] != 9 {
+		t.Fatalf("json counters = %+v", doc.Counters)
+	}
+	if hj := doc.Histograms["rt_ns"]; hj == nil || hj["count"] != float64(11) {
+		t.Fatalf("json histograms = %+v", doc.Histograms)
+	}
+}
+
+// TestNowMonotonicNonZero: Now never returns the 0 sentinel and advances.
+func TestNowMonotonicNonZero(t *testing.T) {
+	a := Now()
+	if a == 0 {
+		t.Fatal("Now returned the no-timestamp sentinel")
+	}
+	for i := 0; i < 1000; i++ {
+		b := Now()
+		if b < a {
+			t.Fatal("Now went backwards")
+		}
+		a = b
+	}
+}

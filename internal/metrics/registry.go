@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is a named collection of instruments. Registration happens on
+// the control plane (module attach, hypervisor boot) and is mutex-
+// guarded; reading happens either instrument-by-instrument through the
+// cheap handles (CounterFunc) or wholesale through Snapshot.
+//
+// Counters and gauges are registered as load functions so existing atomic
+// fields (stats.Counter, atomic.Uint64, derived values) become metrics
+// without changing their storage. Histograms are owned instruments
+// (NewHistogram) or live views onto histograms owned elsewhere
+// (RegisterHistogramFunc — e.g. the hypervisor's cost histograms, which
+// must survive the domain migrating between machines).
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	index   map[string]*entry
+}
+
+type entryKind int
+
+const (
+	kindCounter entryKind = iota
+	kindGauge
+	kindHistogram
+	kindHistogramFunc
+)
+
+type entry struct {
+	name, help string
+	kind       entryKind
+	load       func() uint64
+	hist       *Histogram
+	histFn     func() HistogramSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*entry{}}
+}
+
+func (r *Registry) add(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.index[e.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", e.name))
+	}
+	r.index[e.name] = e
+	r.entries = append(r.entries, e)
+}
+
+// RegisterCounter registers a monotonically increasing value.
+func (r *Registry) RegisterCounter(name, help string, load func() uint64) {
+	r.add(&entry{name: name, help: help, kind: kindCounter, load: load})
+}
+
+// RegisterGauge registers a point-in-time value.
+func (r *Registry) RegisterGauge(name, help string, load func() uint64) {
+	r.add(&entry{name: name, help: help, kind: kindGauge, load: load})
+}
+
+// NewHistogram creates, registers and returns a histogram owned by this
+// registry.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.add(&entry{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// RegisterHistogramFunc registers a histogram whose snapshot is produced
+// by fn at read time (a live view onto a histogram owned elsewhere).
+func (r *Registry) RegisterHistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	r.add(&entry{name: name, help: help, kind: kindHistogramFunc, histFn: fn})
+}
+
+// CounterFunc returns a handle that reads the named counter or gauge.
+// The lookup is done once; the returned function is cheap enough to call
+// from a polling loop (it is the registered load function itself).
+func (r *Registry) CounterFunc(name string) (func() uint64, bool) {
+	r.mu.Lock()
+	e, ok := r.index[name]
+	r.mu.Unlock()
+	if !ok || e.load == nil {
+		return nil, false
+	}
+	return e.load, true
+}
+
+// Snapshot captures every registered instrument into a plain value, in
+// registration order. The result shares no memory with the registry: the
+// slices are fresh and histogram snapshots are merged copies.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, Value{Name: e.name, Help: e.help, Value: e.load()})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, Value{Name: e.name, Help: e.help, Value: e.load()})
+		case kindHistogram:
+			s.Histograms = append(s.Histograms, HistogramValue{Name: e.name, Help: e.help, HistogramSnapshot: e.hist.Snapshot()})
+		case kindHistogramFunc:
+			s.Histograms = append(s.Histograms, HistogramValue{Name: e.name, Help: e.help, HistogramSnapshot: e.histFn()})
+		}
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry: plain values only.
+type Snapshot struct {
+	Counters   []Value
+	Gauges     []Value
+	Histograms []HistogramValue
+}
+
+// Value is one named counter or gauge reading.
+type Value struct {
+	Name  string
+	Help  string
+	Value uint64
+}
+
+// HistogramValue is one named histogram snapshot.
+type HistogramValue struct {
+	Name string
+	Help string
+	HistogramSnapshot
+}

@@ -65,7 +65,7 @@ func TestFallbackWhenChannelTornDownMidStream(t *testing.T) {
 		if i == total/2 {
 			// Tear the channel down mid-stream. Later datagrams must take
 			// the standard path transparently.
-			if a.XL.Stats().PktsChannel.Load() == 0 {
+			if a.XL.Snapshot().PktsChannel == 0 {
 				t.Fatalf("stream never used the XenLoop channel before teardown")
 			}
 			a.XL.Detach()
@@ -78,7 +78,7 @@ func TestFallbackWhenChannelTornDownMidStream(t *testing.T) {
 	// Senders are done; wait for the tail to drain through the bridge.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		purged := a.XL.Stats().PktsPurged.Load() + b.XL.Stats().PktsPurged.Load()
+		purged := a.XL.Snapshot().PktsPurged + b.XL.Snapshot().PktsPurged
 		if received.Load()+purged >= total {
 			break
 		}
@@ -94,7 +94,7 @@ func TestFallbackWhenChannelTornDownMidStream(t *testing.T) {
 	if d := dups.Load(); d != 0 {
 		t.Fatalf("%d duplicate datagrams across the fallback", d)
 	}
-	purged := a.XL.Stats().PktsPurged.Load() + b.XL.Stats().PktsPurged.Load()
+	purged := a.XL.Snapshot().PktsPurged + b.XL.Snapshot().PktsPurged
 	if got := received.Load() + purged; got != total {
 		t.Fatalf("received(%d) + purged(%d) = %d, want exactly %d",
 			received.Load(), purged, got, total)

@@ -12,9 +12,9 @@ import (
 
 // Summary describes a sample of durations.
 type Summary struct {
-	Count          int
-	Mean, Min, Max time.Duration
-	P50, P95, P99  time.Duration
+	Count               int
+	Mean, Min, Max      time.Duration
+	P50, P95, P99, P999 time.Duration
 }
 
 // Summarize computes a Summary (zero value for empty input).
@@ -41,6 +41,7 @@ func Summarize(samples []time.Duration) Summary {
 		P50:   pct(0.50),
 		P95:   pct(0.95),
 		P99:   pct(0.99),
+		P999:  pct(0.999),
 	}
 }
 

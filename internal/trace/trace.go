@@ -40,7 +40,36 @@ func (e Event) String() string {
 		e.At.Format("15:04:05.000000"), e.Seq, e.Kind, e.Actor, e.Detail)
 }
 
-// Buffer is a bounded, concurrency-safe event ring.
+// kindRing is the per-kind secondary index: Record copies each event
+// into its kind's ring, so reading one kind's recent history costs
+// O(events returned) instead of a scan of the whole main ring — which,
+// for rare kinds (migrations among thousands of discovery rounds),
+// mostly returns events that rotated out long ago.
+type kindRing struct {
+	events []Event
+	next   int
+	full   bool
+}
+
+func (k *kindRing) record(e Event) {
+	k.events[k.next] = e
+	k.next++
+	if k.next == len(k.events) {
+		k.next = 0
+		k.full = true
+	}
+}
+
+// oldestFirst appends the retained events, oldest first, to dst.
+func (k *kindRing) oldestFirst(dst []Event) []Event {
+	if k.full {
+		dst = append(dst, k.events[k.next:]...)
+	}
+	return append(dst, k.events[:k.next]...)
+}
+
+// Buffer is a bounded, concurrency-safe event ring with a per-kind
+// secondary index.
 type Buffer struct {
 	mu     sync.Mutex
 	events []Event
@@ -48,9 +77,12 @@ type Buffer struct {
 	full   bool
 	seq    uint64
 	counts map[Kind]uint64
+	byKind map[Kind]*kindRing
 }
 
-// NewBuffer creates a ring holding up to capacity events (min 16).
+// NewBuffer creates a ring holding up to capacity events (min 16). Each
+// kind additionally retains up to capacity of its own events, so a rare
+// kind's history survives rotation pressure from chatty ones.
 func NewBuffer(capacity int) *Buffer {
 	if capacity < 16 {
 		capacity = 16
@@ -58,6 +90,7 @@ func NewBuffer(capacity int) *Buffer {
 	return &Buffer{
 		events: make([]Event, capacity),
 		counts: map[Kind]uint64{},
+		byKind: map[Kind]*kindRing{},
 	}
 }
 
@@ -66,18 +99,25 @@ func (b *Buffer) Record(kind Kind, actor, format string, args ...any) {
 	b.mu.Lock()
 	b.seq++
 	b.counts[kind]++
-	b.events[b.next] = Event{
+	e := Event{
 		Seq:    b.seq,
 		At:     time.Now(),
 		Kind:   kind,
 		Actor:  actor,
 		Detail: fmt.Sprintf(format, args...),
 	}
+	b.events[b.next] = e
 	b.next++
 	if b.next == len(b.events) {
 		b.next = 0
 		b.full = true
 	}
+	kr := b.byKind[kind]
+	if kr == nil {
+		kr = &kindRing{events: make([]Event, len(b.events))}
+		b.byKind[kind] = kr
+	}
+	kr.record(e)
 	b.mu.Unlock()
 }
 
@@ -106,6 +146,25 @@ func (b *Buffer) Count(kind Kind) uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.counts[kind]
+}
+
+// ReadKind returns up to max retained events of one kind, oldest-first
+// (max <= 0 means all retained). It reads the kind's own index, so the
+// cost is proportional to the events returned, and a rare kind's events
+// remain readable even after chattier kinds rotated them out of the
+// main ring.
+func (b *Buffer) ReadKind(kind Kind, max int) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kr := b.byKind[kind]
+	if kr == nil {
+		return nil
+	}
+	out := kr.oldestFirst(nil)
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
 }
 
 // Total reports all events ever recorded.
@@ -144,6 +203,14 @@ func Count(kind Kind) uint64 {
 	b := global
 	globalMu.RUnlock()
 	return b.Count(kind)
+}
+
+// ReadKind reads one kind's retained events from the global buffer.
+func ReadKind(kind Kind, max int) []Event {
+	globalMu.RLock()
+	b := global
+	globalMu.RUnlock()
+	return b.ReadKind(kind, max)
 }
 
 // Swap replaces the global buffer, returning the previous one (tests use

@@ -82,3 +82,49 @@ func TestGlobalSwap(t *testing.T) {
 		t.Fatal("global snapshot wrong")
 	}
 }
+
+func TestReadKind(t *testing.T) {
+	b := NewBuffer(16)
+	// Two rare channel events up front, then enough discovery chatter to
+	// rotate them out of the main ring.
+	b.Record(KindChannelUp, "dom1", "connected")
+	b.Record(KindChannelUp, "dom2", "connected")
+	for i := 0; i < 50; i++ {
+		b.Record(KindDiscovery, "m1", "round %d", i)
+	}
+
+	// The main ring has lost the channel events...
+	for _, e := range b.Snapshot() {
+		if e.Kind == KindChannelUp {
+			t.Fatal("main ring unexpectedly retained the rare kind; bump the chatter")
+		}
+	}
+	// ...but the per-kind index still serves them, oldest-first.
+	ups := b.ReadKind(KindChannelUp, 0)
+	if len(ups) != 2 || ups[0].Actor != "dom1" || ups[1].Actor != "dom2" {
+		t.Fatalf("ReadKind(channel-up) = %+v", ups)
+	}
+
+	// max trims from the oldest side: the newest `max` events survive.
+	disc := b.ReadKind(KindDiscovery, 3)
+	if len(disc) != 3 {
+		t.Fatalf("ReadKind max: got %d events", len(disc))
+	}
+	for i := 1; i < len(disc); i++ {
+		if disc[i].Seq <= disc[i-1].Seq {
+			t.Fatalf("ReadKind not oldest-first: %d then %d", disc[i-1].Seq, disc[i].Seq)
+		}
+	}
+	if disc[2].Seq != 52 { // 2 channel events + 50 rounds
+		t.Fatalf("newest discovery seq %d, want 52", disc[2].Seq)
+	}
+
+	// A kind's index rotates at the buffer capacity like the main ring.
+	all := b.ReadKind(KindDiscovery, 0)
+	if len(all) != 16 {
+		t.Fatalf("per-kind retention %d, want 16", len(all))
+	}
+	if b.ReadKind(KindMigration, 0) != nil {
+		t.Fatal("unknown kind should read empty")
+	}
+}
