@@ -20,13 +20,22 @@
 // seeded fault injection: -chaos.seeds sweeps seeds 1..N, -chaos.seed
 // replays one seed exactly, -chaos.duration sets per-seed soak time.
 // A violated invariant prints the failing seed and exits nonzero.
+//
+// -virtual runs an experiment on the discrete-event clock instead of
+// the wall-charging engine: durations are virtual seconds and the run
+// completes at CPU speed. Supported by the experiments that sample
+// time through the cost model — latency and chaos; -exp list marks
+// them. With -exp latency, -latency.maxdrift additionally gates the
+// virtual channel/netfront p50 ratio against a calibrated reference.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +49,8 @@ import (
 type runCtx struct {
 	opts        bench.ExpOptions
 	short       bool
+	virtual     bool
+	maxDrift    float64
 	maxOverhead float64
 	chaosSeed   int64
 	chaosSeeds  int
@@ -48,33 +59,34 @@ type runCtx struct {
 
 // experiment is one row of the registry.
 type experiment struct {
-	name   string
-	desc   string
-	output string // JSON artifact the run writes ("" = none)
-	inAll  bool   // included when -exp all
-	run    func(c *runCtx) error
+	name    string
+	desc    string
+	output  string // JSON artifact the run writes ("" = none)
+	inAll   bool   // included when -exp all
+	virtual bool   // supports -virtual (runs on the discrete-event clock)
+	run     func(c *runCtx) error
 }
 
 // experiments is the ordered registry -exp names resolve against.
 var experiments = []experiment{
-	{"table1", "latency + bandwidth motivating snapshot (3 scenarios)", "", true, runTable1},
-	{"table2", "average bandwidth comparison (Mbps)", "", true, runTable2},
-	{"table3", "average latency comparison", "", true, runTable3},
-	{"fig4", "throughput vs UDP message size (netperf)", "", true, runFig4},
-	{"fig5", "throughput vs FIFO size (netperf UDP)", "", true, runFig5},
-	{"fig6", "throughput vs message size (netpipe-mpich)", "", true, runFig6},
-	{"fig7", "latency vs message size (netpipe-mpich)", "", true, runFig7},
-	{"fig8", "OSU MPI uni-directional bandwidth", "", true, runFig8},
-	{"fig9", "OSU MPI bi-directional bandwidth", "", true, runFig9},
-	{"fig10", "OSU MPI latency", "", true, runFig10},
-	{"fig11", "TCP_RR transactions/sec during migration", "", true, runFig11},
-	{"counters", "hypervisor mechanism counters per ping", "", true, runCounters},
-	{"datapath", "FIFO/channel microbenchmarks + instrumentation overhead A/B", "BENCH_datapath.json", true, runDatapath},
-	{"scale", "multi-sender scalability of the lock-free fast path", "BENCH_scale.json", true, runScale},
-	{"latency", "request-response latency percentiles, channel vs netfront", "BENCH_latency.json", true, runLatency},
+	{"table1", "latency + bandwidth motivating snapshot (3 scenarios)", "", true, false, runTable1},
+	{"table2", "average bandwidth comparison (Mbps)", "", true, false, runTable2},
+	{"table3", "average latency comparison", "", true, false, runTable3},
+	{"fig4", "throughput vs UDP message size (netperf)", "", true, false, runFig4},
+	{"fig5", "throughput vs FIFO size (netperf UDP)", "", true, false, runFig5},
+	{"fig6", "throughput vs message size (netpipe-mpich)", "", true, false, runFig6},
+	{"fig7", "latency vs message size (netpipe-mpich)", "", true, false, runFig7},
+	{"fig8", "OSU MPI uni-directional bandwidth", "", true, false, runFig8},
+	{"fig9", "OSU MPI bi-directional bandwidth", "", true, false, runFig9},
+	{"fig10", "OSU MPI latency", "", true, false, runFig10},
+	{"fig11", "TCP_RR transactions/sec during migration", "", true, false, runFig11},
+	{"counters", "hypervisor mechanism counters per ping", "", true, false, runCounters},
+	{"datapath", "FIFO/channel microbenchmarks + instrumentation overhead A/B", "BENCH_datapath.json", true, false, runDatapath},
+	{"scale", "multi-sender scalability of the lock-free fast path", "BENCH_scale.json", true, true, runScale},
+	{"latency", "request-response latency percentiles, channel vs netfront", "BENCH_latency.json", true, true, runLatency},
 	// The chaos soak is deliberately not part of "all": it is a fault
 	// injection stress, not a paper figure, and it runs for seeds*duration.
-	{"chaos", "seeded fault-injection soak of a 4-guest mesh", "", false, runChaosExp},
+	{"chaos", "seeded fault-injection soak of a 4-guest mesh", "", false, true, runChaosExp},
 }
 
 func lookupExperiment(name string) *experiment {
@@ -93,6 +105,8 @@ func main() {
 	fifo := flag.Int("fifo", 0, "XenLoop FIFO size in bytes (0 = paper's 64 KiB)")
 	profile := flag.String("profile", "calibrated", "cost profile: calibrated or off")
 	short := flag.Bool("short", false, "trim sweeps for smoke runs (scale: senders {1,8}; latency: 64KiB x 1 sender)")
+	virtual := flag.Bool("virtual", false, "run on the discrete-event clock: durations are virtual seconds, wall time is CPU-bound (latency, chaos)")
+	maxDrift := flag.Float64("latency.maxdrift", 0, "with -virtual: fail if the virtual channel/netfront p50 ratio drifts from a calibrated reference run by more than this fraction (0 = report only)")
 	maxOverhead := flag.Float64("maxoverhead", 0, "datapath: fail if hist_overhead_frac exceeds this (0 = report only)")
 	chaosSeed := flag.Int64("chaos.seed", 0, "run the chaos experiment with this single seed (0 = seed sweep)")
 	chaosSeeds := flag.Int("chaos.seeds", 20, "number of seeds (1..N) in the chaos sweep")
@@ -107,8 +121,11 @@ func main() {
 				art = "-"
 			}
 			extra := ""
+			if e.virtual {
+				extra = "  (supports -virtual)"
+			}
 			if !e.inAll {
-				extra = "  (not in \"all\")"
+				extra += "  (not in \"all\")"
 			}
 			fmt.Printf("%-10s %-22s %s%s\n", e.name, art, e.desc, extra)
 		}
@@ -133,6 +150,8 @@ func main() {
 			FIFOSizeBytes: *fifo,
 		},
 		short:       *short,
+		virtual:     *virtual,
+		maxDrift:    *maxDrift,
 		maxOverhead: *maxOverhead,
 		chaosSeed:   *chaosSeed,
 		chaosSeeds:  *chaosSeeds,
@@ -155,6 +174,10 @@ func main() {
 		e := lookupExperiment(name)
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "xlbench: unknown experiment %q (try -exp list)\n", name)
+			os.Exit(2)
+		}
+		if c.virtual && !e.virtual {
+			fmt.Fprintf(os.Stderr, "xlbench: experiment %q does not support -virtual (try -exp list)\n", name)
 			os.Exit(2)
 		}
 		if err := e.run(c); err != nil {
@@ -400,6 +423,7 @@ func runDatapath(c *runCtx) error {
 
 func runScale(c *runCtx) error {
 	o := c.opts
+	o.Virtual = c.virtual
 	senders := bench.DefaultScaleSenders
 	if c.short {
 		senders = []int{1, 8}
@@ -427,6 +451,7 @@ func runScale(c *runCtx) error {
 
 func runLatency(c *runCtx) error {
 	o := c.opts
+	o.Virtual = c.virtual
 	fifoSizes := bench.DefaultLatencyFIFOSizes
 	senders := bench.DefaultLatencySenders
 	if c.short {
@@ -456,12 +481,61 @@ func runLatency(c *runCtx) error {
 		}
 	}
 	fmt.Printf("  headline: channel p50 %.1fus vs netfront p50 %.1fus\n\n", res.ChannelP50Us, res.NetfrontP50Us)
-	if err := writeJSON("BENCH_latency.json", res); err != nil {
+	artifact := "BENCH_latency.json"
+	if c.virtual {
+		artifact = "BENCH_latency_virtual.json"
+	}
+	if err := writeJSON(artifact, res); err != nil {
 		return err
 	}
 	if res.NetfrontP50Us > 0 && res.ChannelP50Us >= res.NetfrontP50Us {
 		return fmt.Errorf("channel p50 %.1fus did not beat netfront p50 %.1fus",
 			res.ChannelP50Us, res.NetfrontP50Us)
+	}
+	if c.virtual {
+		return latencyDriftGate(c, res)
+	}
+	return nil
+}
+
+// latencyDriftGate checks that the virtual clock reproduces the calibrated
+// profile's headline result: the channel/netfront p50 ratio from a -virtual
+// run must stay within -latency.maxdrift of a calibrated (wall-clock)
+// reference measured in the same process. The ratio, not the absolute
+// latencies, is gated — it is what the paper's comparison turns on, and it
+// cancels the host-speed dependence of the wall reference. The reference is
+// the median of three calibrated runs: a virtual run is deterministic but a
+// wall run rides the host scheduler, and a single reference sample would
+// make the gate flake on a noisy CI machine.
+func latencyDriftGate(c *runCtx, virt bench.LatencyExpResult) error {
+	cal := c.opts
+	cal.Virtual = false
+	if cal.Duration > 150*time.Millisecond {
+		cal.Duration = 150 * time.Millisecond
+	}
+	if virt.NetfrontP50Us == 0 {
+		return fmt.Errorf("drift gate: missing virtual netfront baseline")
+	}
+	var ratios []float64
+	for i := 0; i < 3; i++ {
+		ref, err := bench.Latency(cal, []int{64 << 10}, []int{1})
+		if err != nil {
+			return fmt.Errorf("calibrated reference run: %w", err)
+		}
+		if ref.NetfrontP50Us == 0 {
+			return fmt.Errorf("drift gate: missing calibrated netfront baseline")
+		}
+		ratios = append(ratios, ref.ChannelP50Us/ref.NetfrontP50Us)
+	}
+	sort.Float64s(ratios)
+	cr := ratios[len(ratios)/2]
+	vr := virt.ChannelP50Us / virt.NetfrontP50Us
+	drift := math.Abs(vr-cr) / cr
+	fmt.Printf("  ratio drift: virtual channel/netfront %.3f vs calibrated median %.3f (refs %.3f/%.3f/%.3f, %.1f%% drift)\n\n",
+		vr, cr, ratios[0], ratios[1], ratios[2], drift*100)
+	if c.maxDrift > 0 && drift > c.maxDrift {
+		return fmt.Errorf("virtual/calibrated ratio drift %.1f%% exceeds budget %.1f%%",
+			drift*100, c.maxDrift*100)
 	}
 	return nil
 }
@@ -477,10 +551,14 @@ func runChaosExp(c *runCtx) error {
 			list = append(list, int64(i))
 		}
 	}
-	fmt.Printf("Chaos soak: %d seed(s), %v each\n", len(list), c.chaosDur)
+	mode := ""
+	if c.virtual {
+		mode = " (virtual time)"
+	}
+	fmt.Printf("Chaos soak: %d seed(s), %v each%s\n", len(list), c.chaosDur, mode)
 	failed := 0
 	for _, s := range list {
-		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: c.chaosDur, Log: func(format string, args ...any) {
+		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: c.chaosDur, Virtual: c.virtual, Log: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		}})
 		if err != nil {
@@ -495,7 +573,11 @@ func runChaosExp(c *runCtx) error {
 		for _, v := range r.Violations {
 			fmt.Printf("  seed %-3d FAIL  %s\n", s, v)
 		}
-		fmt.Printf("  reproduce: go run ./cmd/xlbench -exp chaos -chaos.seed=%d -chaos.duration=%v\n", s, c.chaosDur)
+		repro := fmt.Sprintf("go run ./cmd/xlbench -exp chaos -chaos.seed=%d -chaos.duration=%v", s, c.chaosDur)
+		if c.virtual {
+			repro += " -virtual"
+		}
+		fmt.Printf("  reproduce: %s\n", repro)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d seeds violated invariants", failed, len(list))

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/buf"
+	"repro/internal/costmodel"
 	"repro/internal/faultinject"
 	"repro/internal/hypervisor"
 	"repro/internal/testbed"
@@ -46,6 +47,17 @@ type ChaosOptions struct {
 	VMs int
 	// Machines is the number of physical hosts (0 = 2).
 	Machines int
+	// Virtual runs the soak on the discrete-event virtual clock: the
+	// testbed gets a calibrated model bound to a fresh VirtualClock,
+	// every harness sleep and deadline elapses in virtual time, and
+	// Duration means virtual seconds — a 60 s soak completes in however
+	// long the CPU needs to simulate it, not 60 wall seconds.
+	Virtual bool
+	// SendGap is the pause each sender takes every 8 datagrams
+	// (0 = 200µs, the historical rate). Long virtual soaks raise it so
+	// the number of simulated packets — the real CPU cost — stays
+	// bounded while virtual time covers the full duration.
+	SendGap time.Duration
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -59,6 +71,9 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	}
 	if o.Machines <= 0 {
 		o.Machines = 2
+	}
+	if o.SendGap <= 0 {
+		o.SendGap = 200 * time.Microsecond
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -178,7 +193,22 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 
 	leaseBase := buf.Outstanding()
 
-	tb := testbed.New(testbed.Options{DiscoveryPeriod: 25 * time.Millisecond})
+	// The model doubles as the harness's own time source: under the
+	// virtual engine the schedule loop, settle waits and sender pacing
+	// all elapse in virtual time, so one code path serves both modes.
+	model := costmodel.Off()
+	if o.Virtual {
+		vc := costmodel.NewVirtualClock()
+		defer vc.Close()
+		model = costmodel.Calibrated().WithVirtual(vc)
+		// Delay faults must burn virtual time, not stall the run.
+		faultinject.SetSleep(model.Sleep)
+		defer faultinject.SetSleep(nil)
+	}
+	now := model.NowNs
+	sleep := model.Sleep
+
+	tb := testbed.New(testbed.Options{Model: model, DiscoveryPeriod: 25 * time.Millisecond})
 	defer tb.Close()
 	machines := make([]*testbed.Machine, o.Machines)
 	for i := range machines {
@@ -284,11 +314,11 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 					if err := conn.WriteTo(payload, dst.IP, chaosPort); err == nil {
 						sent[flow].Add(1)
 					} else {
-						time.Sleep(time.Millisecond)
+						sleep(time.Millisecond)
 					}
 					seq++
 					if seq%8 == 0 {
-						time.Sleep(200 * time.Microsecond)
+						sleep(o.SendGap)
 					}
 				}
 			}()
@@ -306,9 +336,9 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 			}
 		}
 	}
-	deadline := time.Now().Add(o.Duration)
-	for time.Now().Before(deadline) {
-		time.Sleep(time.Duration(2+rng.Intn(18)) * time.Millisecond)
+	deadline := now() + int64(o.Duration)
+	for now() < deadline {
+		sleep(time.Duration(2+rng.Intn(18)) * time.Millisecond)
 		switch action := rng.Intn(100); {
 		case action < 35:
 			// Toggle a random failpoint.
@@ -341,7 +371,7 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 			for _, m := range machines {
 				m.Discovery.Scan()
 			}
-			time.Sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
+			sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
 			_ = vm.Dom.StoreWrite(path, val)
 			for _, m := range machines {
 				m.Discovery.Scan()
@@ -398,15 +428,15 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 
 	// Wait for in-flight datagrams to settle: delivered count stable for
 	// 200ms (bounded at 5s).
-	stableDeadline := time.Now().Add(5 * time.Second)
+	stableDeadline := now() + int64(5*time.Second)
 	last := delivered.Load()
-	lastChange := time.Now()
-	for time.Now().Before(stableDeadline) {
-		time.Sleep(20 * time.Millisecond)
+	lastChange := now()
+	for now() < stableDeadline {
+		sleep(20 * time.Millisecond)
 		if cur := delivered.Load(); cur != last {
 			last = cur
-			lastChange = time.Now()
-		} else if time.Since(lastChange) > 200*time.Millisecond {
+			lastChange = now()
+		} else if now()-lastChange > int64(200*time.Millisecond) {
 			break
 		}
 	}
@@ -418,8 +448,8 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 				continue
 			}
 			ok := false
-			pingDeadline := time.Now().Add(5 * time.Second)
-			for time.Now().Before(pingDeadline) {
+			pingDeadline := now() + int64(5*time.Second)
+			for now() < pingDeadline {
 				if _, err := vms[i].Stack.Ping(vms[j].IP, 32, 300*time.Millisecond); err == nil {
 					ok = true
 					break
@@ -440,15 +470,15 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 	for _, vm := range vms {
 		vm.XL.Detach()
 	}
-	settle := time.Now().Add(5 * time.Second)
-	for buf.Outstanding() > leaseBase && time.Now().Before(settle) {
-		time.Sleep(5 * time.Millisecond)
+	settle := now() + int64(5*time.Second)
+	for buf.Outstanding() > leaseBase && now() < settle {
+		sleep(5 * time.Millisecond)
 	}
 	if out := buf.Outstanding(); out > leaseBase {
 		violate("lease-leak", "%d buffer leases outstanding (baseline %d)", out, leaseBase)
 	}
-	for resourcesOf(machines) != resBase && time.Now().Before(settle) {
-		time.Sleep(5 * time.Millisecond)
+	for resourcesOf(machines) != resBase && now() < settle {
+		sleep(5 * time.Millisecond)
 	}
 	if cur := resourcesOf(machines); cur != resBase {
 		violate("resource-leak", "grants/ports/maps %d/%d/%d, baseline %d/%d/%d",

@@ -1,0 +1,373 @@
+package bench
+
+// Deterministic chaos: the replayability half of the virtual-time story.
+// The free-running soak (Chaos) asserts safety invariants but its counter
+// totals depend on scheduler interleaving — senders race lifecycle churn,
+// so two runs of the same seed deliver different packet counts. This
+// harness removes every race by construction: it alternates seeded
+// *churn* phases (lifecycle ops and faults, unmeasured) with *measured*
+// phases in which a single driver goroutine sends exactly one datagram at
+// a time and waits for delivery plus event-context quiescence
+// (Domain.UpcallsIdle) before the next. With the mesh quiescent between
+// packets, the per-phase costmodel counter deltas are a pure function of
+// the seed: two runs with the same seed must produce identical measured
+// snapshots and identical sent/delivered accounting, which is exactly
+// what TestChaosVirtualDeterminism asserts.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/faultinject"
+	"repro/internal/testbed"
+)
+
+// DeterministicOptions parameterize one deterministic chaos run. The
+// harness always runs on the virtual clock — wall scheduling noise is
+// the thing it exists to eliminate.
+type DeterministicOptions struct {
+	// Seed drives the churn schedule and every failpoint. Same seed,
+	// same run, bit for bit (in the measured accounting).
+	Seed int64
+	// VMs is the mesh size (0 = 3), Machines the host count (0 = 2).
+	VMs      int
+	Machines int
+	// Rounds is the number of churn+measure phase pairs (0 = 3).
+	Rounds int
+	// Packets is the number of measured datagrams per round (0 = 48),
+	// sent round-robin over all ordered VM pairs.
+	Packets int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o DeterministicOptions) withDefaults() DeterministicOptions {
+	if o.VMs <= 0 {
+		o.VMs = 3
+	}
+	if o.Machines <= 0 {
+		o.Machines = 2
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	if o.Packets <= 0 {
+		o.Packets = 48
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// DeterministicResult is the replay-comparable outcome of one run.
+type DeterministicResult struct {
+	Seed      int64
+	Rounds    int
+	Sent      uint64 // measured datagrams sent
+	Delivered uint64 // measured datagrams delivered
+	// Measured sums the costmodel counter deltas of every measured
+	// window (all machines and the switch). Churn-phase activity is
+	// excluded, so the field is seed-deterministic.
+	Measured costmodel.CounterSnapshot
+	// Migrations/SuspendResumes/AdFlaps/FaultsArmed tally churn ops.
+	Migrations     int
+	SuspendResumes int
+	AdFlaps        int
+	FaultsArmed    int
+	Violations     []ChaosViolation
+}
+
+// addSnap accumulates b into a field-wise.
+func addSnap(a, b costmodel.CounterSnapshot) costmodel.CounterSnapshot {
+	return costmodel.CounterSnapshot{
+		Hypercalls:     a.Hypercalls + b.Hypercalls,
+		DomainSwitches: a.DomainSwitches + b.DomainSwitches,
+		Events:         a.Events + b.Events,
+		GrantMaps:      a.GrantMaps + b.GrantMaps,
+		GrantCopies:    a.GrantCopies + b.GrantCopies,
+		GrantTransfers: a.GrantTransfers + b.GrantTransfers,
+		BytesCopied:    a.BytesCopied + b.BytesCopied,
+		FramesBridged:  a.FramesBridged + b.FramesBridged,
+		FramesOnWire:   a.FramesOnWire + b.FramesOnWire,
+	}
+}
+
+// ChaosDeterministic runs one seeded deterministic chaos soak under the
+// virtual clock and returns its replay-comparable result. A non-nil
+// error means the harness could not run; reproducibility failures show
+// up as differing results between same-seed runs, and setup failures as
+// Violations.
+func ChaosDeterministic(o DeterministicOptions) (DeterministicResult, error) {
+	o = o.withDefaults()
+	res := DeterministicResult{Seed: o.Seed, Rounds: o.Rounds}
+
+	faultinject.DisableAll()
+	faultinject.SetSeed(o.Seed)
+	defer faultinject.DisableAll()
+
+	vc := costmodel.NewVirtualClock()
+	defer vc.Close()
+	model := costmodel.Calibrated().WithVirtual(vc)
+	faultinject.SetSleep(model.Sleep)
+	defer faultinject.SetSleep(nil)
+
+	// A huge discovery period parks the Dom0 scan tickers beyond the
+	// run's horizon: every scan is forced explicitly by the schedule, so
+	// no background announcement can land inside a measured window.
+	// NotifyEveryPush pins the event count per packet: with suppression
+	// on, whether a push finds the consumer parked depends on timing.
+	tb := testbed.New(testbed.Options{
+		Model:           model,
+		DiscoveryPeriod: time.Hour,
+		Core:            core.Config{NotifyEveryPush: true},
+	})
+	defer tb.Close()
+
+	machines := make([]*testbed.Machine, o.Machines)
+	for i := range machines {
+		machines[i] = tb.AddMachine(fmt.Sprintf("det-m%d", i+1))
+	}
+	vms := make([]*testbed.VM, o.VMs)
+	for i := range vms {
+		vm, err := tb.AddVM(machines[i%len(machines)], fmt.Sprintf("det-g%d", i+1))
+		if err != nil {
+			return res, fmt.Errorf("determ: add VM: %w", err)
+		}
+		if err := tb.EnableXenLoop(vm); err != nil {
+			return res, fmt.Errorf("determ: enable xenloop: %w", err)
+		}
+		vms[i] = vm
+	}
+
+	violate := func(invariant, format string, args ...any) {
+		res.Violations = append(res.Violations, ChaosViolation{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	// counters sums every machine's hypervisor counters plus the switch.
+	counters := func() costmodel.CounterSnapshot {
+		s := tb.Switch.Counters().Snapshot()
+		for _, m := range machines {
+			s = addSnap(s, m.HV.Counters().Snapshot())
+		}
+		return s
+	}
+
+	// quiescent reports whether every domain's event context is idle.
+	quiescent := func() bool {
+		for _, m := range machines {
+			for _, d := range m.HV.Domains() {
+				if !d.UpcallsIdle() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	awaitQuiescent := func(budget time.Duration) bool {
+		deadline := model.NowNs() + int64(budget)
+		for !quiescent() {
+			if model.NowNs() >= deadline {
+				return false
+			}
+			model.Sleep(200 * time.Microsecond)
+		}
+		return true
+	}
+
+	// --- receivers: one UDP server per VM, counting measured deliveries ---
+	var delivered atomic.Uint64
+	nFlows := o.VMs * o.VMs
+	closers := make([]func(), 0, o.VMs)
+	for _, vm := range vms {
+		conn, err := vm.Stack.ListenUDP(chaosPort)
+		if err != nil {
+			return res, fmt.Errorf("determ: listen: %w", err)
+		}
+		closers = append(closers, conn.Close)
+		go func() {
+			for {
+				data, _, _, err := conn.ReadFrom(0)
+				if err != nil {
+					return
+				}
+				if flow, _, ok := decodeChaos(data); ok && int(flow) < nFlows {
+					delivered.Add(1)
+				}
+			}
+		}()
+	}
+
+	// ordered VM pairs, fixed iteration order for the round-robin driver.
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := range vms {
+		for j := range vms {
+			if i != j {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	// One sending socket per VM, reused across rounds.
+	send := make([]func(dst *testbed.VM, payload []byte) error, len(vms))
+	for i, vm := range vms {
+		conn, err := vm.Stack.ListenUDP(0)
+		if err != nil {
+			return res, fmt.Errorf("determ: sender socket: %w", err)
+		}
+		closers = append(closers, conn.Close)
+		send[i] = func(dst *testbed.VM, payload []byte) error {
+			return conn.WriteTo(payload, dst.IP, chaosPort)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	armed := map[string]bool{}
+	payload := make([]byte, chaosPayloadLen)
+	var seq uint64
+
+	for round := 0; round < o.Rounds; round++ {
+		// --- churn phase (unmeasured): seeded lifecycle ops + faults ---
+		ops := 2 + rng.Intn(3)
+		for op := 0; op < ops; op++ {
+			switch action := rng.Intn(100); {
+			case action < 30:
+				f := chaosFaults[rng.Intn(len(chaosFaults))]
+				if armed[f.name] {
+					faultinject.Disable(f.name)
+					delete(armed, f.name)
+					break
+				}
+				spec := faultinject.Spec{Probability: 0.05 + 0.45*rng.Float64()}
+				if f.maxCount > 0 {
+					spec.Count = 1 + rng.Intn(f.maxCount)
+				}
+				if f.delay {
+					spec.Delay = time.Duration(1+rng.Intn(2)) * time.Millisecond
+				}
+				faultinject.Enable(f.name, spec)
+				armed[f.name] = true
+				res.FaultsArmed++
+			case action < 55:
+				vm := vms[rng.Intn(len(vms))]
+				path := vm.Dom.StorePath() + "/xenloop"
+				val, err := vm.Dom.StoreRead(path)
+				if err != nil {
+					break
+				}
+				_ = vm.Dom.StoreRemove(path)
+				for _, m := range machines {
+					m.Discovery.Scan()
+				}
+				model.Sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
+				_ = vm.Dom.StoreWrite(path, val)
+				res.AdFlaps++
+			case action < 80:
+				if len(machines) < 2 {
+					break
+				}
+				vm := vms[rng.Intn(len(vms))]
+				target := machines[rng.Intn(len(machines))]
+				if target == vm.Machine {
+					break
+				}
+				if err := tb.Migrate(vm, target); err != nil {
+					violate("lifecycle", "migrate %s: %v", vm.Name, err)
+				}
+				res.Migrations++
+			default:
+				vm := vms[rng.Intn(len(vms))]
+				if err := tb.SuspendResume(vm); err != nil {
+					violate("lifecycle", "suspend/resume %s: %v", vm.Name, err)
+				}
+				res.SuspendResumes++
+			}
+		}
+
+		// --- re-establish: faults off, channels back where co-resident ---
+		faultinject.DisableAll()
+		for f := range armed {
+			delete(armed, f)
+		}
+		for _, vm := range vms {
+			_ = vm.Dom.StoreWrite(vm.Dom.StorePath()+"/xenloop", vm.MAC.String())
+		}
+		setupDeadline := model.NowNs() + int64(20*time.Second)
+		for _, p := range pairs {
+			a, b := vms[p.i], vms[p.j]
+			for model.NowNs() < setupDeadline {
+				if a.Machine == b.Machine {
+					if a.XL.HasChannelTo(b.MAC) && b.XL.HasChannelTo(a.MAC) {
+						break
+					}
+				} else if _, err := a.Stack.Ping(b.IP, 8, 300*time.Millisecond); err == nil {
+					// Cross-machine pair: reachability is enough.
+					break
+				}
+				for _, m := range machines {
+					m.Discovery.Scan()
+				}
+				_, _ = a.Stack.Ping(b.IP, 8, 300*time.Millisecond)
+				model.Sleep(10 * time.Millisecond)
+			}
+		}
+		for _, p := range pairs {
+			a, b := vms[p.i], vms[p.j]
+			if a.Machine == b.Machine && !(a.XL.HasChannelTo(b.MAC) && b.XL.HasChannelTo(a.MAC)) {
+				violate("determinism-setup", "round %d: no channel %s<->%s", round, a.Name, b.Name)
+			}
+		}
+
+		// Settle: outlast every bounded-retry backoff (grant release
+		// retries cap at 32ms x 20) and any lingering delack/RTO timer,
+		// then require full event-context quiescence.
+		model.Sleep(8 * time.Second)
+		if !awaitQuiescent(2 * time.Second) {
+			violate("determinism-setup", "round %d: mesh not quiescent before measure", round)
+		}
+
+		// --- measured phase: one datagram in flight, counters windowed ---
+		base := counters()
+		for p := 0; p < o.Packets; p++ {
+			pr := pairs[p%len(pairs)]
+			encodeChaos(payload, uint32(pr.i*o.VMs+pr.j), seq)
+			seq++
+			want := delivered.Load() + 1
+			if err := send[pr.i](vms[pr.j], payload); err != nil {
+				violate("determinism-send", "round %d pkt %d: %v", round, p, err)
+				continue
+			}
+			res.Sent++
+			pktDeadline := model.NowNs() + int64(5*time.Second)
+			for delivered.Load() < want && model.NowNs() < pktDeadline {
+				model.Sleep(100 * time.Microsecond)
+			}
+			if delivered.Load() < want {
+				violate("determinism-loss", "round %d pkt %d (%s->%s) not delivered",
+					round, p, vms[pr.i].Name, vms[pr.j].Name)
+			}
+			if !awaitQuiescent(2 * time.Second) {
+				violate("determinism-setup", "round %d pkt %d: not quiescent", round, p)
+			}
+		}
+		res.Measured = addSnap(res.Measured, counters().Sub(base))
+		o.Log("determ seed=%d round %d: sent=%d delivered=%d measured=%s",
+			o.Seed, round, res.Sent, delivered.Load(), res.Measured)
+	}
+
+	res.Delivered = delivered.Load()
+	for _, c := range closers {
+		c()
+	}
+	for _, vm := range vms {
+		vm.XL.Detach()
+	}
+	return res, nil
+}

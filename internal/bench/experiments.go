@@ -27,6 +27,23 @@ type ExpOptions struct {
 	DisableLatencyMetrics bool
 	// Scenarios restricts which scenarios run (nil = all four).
 	Scenarios []testbed.Scenario
+	// Virtual runs the experiment on the discrete-event clock: durations
+	// are virtual seconds, costs advance the clock instead of burning CPU,
+	// and the run completes at CPU speed. Supported by experiments that
+	// sample time through the model (latency, chaos).
+	Virtual bool
+}
+
+// virtualize returns options rebound to a fresh discrete-event clock when
+// o.Virtual is set, plus a teardown that fires pending events and restores
+// the wall metrics source. The caller must defer the teardown.
+func (o ExpOptions) virtualize() (ExpOptions, func()) {
+	if !o.Virtual || o.Model.Virtual() {
+		return o, func() {}
+	}
+	vc := costmodel.NewVirtualClock()
+	o.Model = o.Model.WithVirtual(vc)
+	return o, vc.Close
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {

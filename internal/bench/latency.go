@@ -23,6 +23,10 @@ import (
 	"repro/internal/testbed"
 )
 
+// Timestamps below come from the pair's model clock (model.NowNs), not
+// time.Now: under the wall profile both agree, and under -virtual the
+// samples measure virtual nanoseconds so the experiment runs at CPU speed.
+
 // LatencyPoint is one measured configuration.
 type LatencyPoint struct {
 	// Path is "channel" (XenLoop) or "netfront" (netfront/netback).
@@ -115,9 +119,10 @@ func latencySamples(p *testbed.Pair, senders int, dur time.Duration) ([]time.Dur
 				return
 			}
 			samples := make([]time.Duration, 0, 4096)
-			deadline := time.Now().Add(dur)
-			for len(samples) == 0 || time.Now().Before(deadline) {
-				t0 := time.Now()
+			model := a.Stack.Model()
+			deadline := model.NowNs() + int64(dur)
+			for len(samples) == 0 || model.NowNs() < deadline {
+				t0 := model.NowNs()
 				if err := cli.WriteTo(req, b.IP, latencyPort); err != nil {
 					break
 				}
@@ -129,7 +134,7 @@ func latencySamples(p *testbed.Pair, senders int, dur time.Duration) ([]time.Dur
 					mu.Unlock()
 					break
 				}
-				samples = append(samples, time.Since(t0))
+				samples = append(samples, time.Duration(model.NowNs()-t0))
 			}
 			mu.Lock()
 			all = append(all, samples...)
@@ -186,6 +191,8 @@ func latencyPoint(o ExpOptions, scenario testbed.Scenario, fifoBytes, senders in
 // netfront/netback baseline.
 func Latency(o ExpOptions, fifoSizes []int, senders []int) (LatencyExpResult, error) {
 	o = o.withDefaults()
+	o, stop := o.virtualize()
+	defer stop()
 	if fifoSizes == nil {
 		fifoSizes = DefaultLatencyFIFOSizes
 	}

@@ -262,14 +262,18 @@ func scalePoint(o ExpOptions, senders int) (ScalePoint, error) {
 		}(i)
 	}
 
-	start := time.Now()
-	time.Sleep(o.Duration)
+	// Measurement window and rate are model time: identical to wall time
+	// under the calibrated profile, virtual nanoseconds under -virtual
+	// (where the aggregate rate reads as packets per virtual second).
+	model := o.Model
+	start := model.NowNs()
+	model.Sleep(o.Duration)
 	close(stop)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Duration(model.NowNs() - start)
 	// Let the in-flight window land before the final count; it is bounded
 	// by scaleWindow per pair, noise at these packet counts.
-	time.Sleep(20 * time.Millisecond)
+	model.Sleep(20 * time.Millisecond)
 
 	var n int64
 	for i := range star.dsts {
@@ -299,6 +303,8 @@ func scalePoint(o ExpOptions, senders int) (ScalePoint, error) {
 // counts (nil = DefaultScaleSenders).
 func Scale(o ExpOptions, senders []int) (ScaleResult, error) {
 	o = o.withDefaults()
+	o, stop := o.virtualize()
+	defer stop()
 	if senders == nil {
 		senders = DefaultScaleSenders
 	}
@@ -338,6 +344,9 @@ func profileName(o ExpOptions) string {
 	}
 	if o.Model.Hypercall == 0 && o.Model.CopyPerByteNS == 0 && o.Model.StackPerPacket == 0 {
 		return "off"
+	}
+	if o.Virtual || o.Model.Virtual() {
+		return "virtual"
 	}
 	return "calibrated"
 }

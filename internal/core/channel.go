@@ -248,13 +248,13 @@ func (ch *Channel) worker() {
 		if !ch.in.ParkConsumer() {
 			continue // more packets arrived while parking
 		}
-		t := time.NewTimer(parkWatchdog)
+		t := ch.mod.model.NewTimer(parkWatchdog)
 		select {
 		case <-ch.signal:
 		case <-ch.quit:
 			t.Stop()
 			return
-		case <-t.C:
+		case <-t.C():
 			// Lost-notification insurance: event channels carry one bit and
 			// a notification can be lost outright (hypervisor under
 			// pressure, or injected via FPNotifyDrop). Data sitting in the
@@ -281,8 +281,15 @@ const coalescePeriod = 35 * time.Microsecond
 
 // coalescePause yields the processor for one coalescePeriod (aborting
 // early on teardown) so producer and application goroutines run while the
-// ring accumulates the next batch.
+// ring accumulates the next batch. Under the virtual engine the pause
+// parks on the event queue instead of yielding: the ring still
+// accumulates one virtual period of traffic, preserving the Fig. 5
+// capacity-per-period effect.
 func (ch *Channel) coalescePause() {
+	if ch.mod.model.Virtual() {
+		ch.mod.model.Sleep(coalescePeriod)
+		return
+	}
 	start := time.Now()
 	for time.Since(start) < coalescePeriod {
 		if ch.out.Descriptor().Inactive.Load() || ch.in.Descriptor().Inactive.Load() {
@@ -295,7 +302,19 @@ func (ch *Channel) coalescePause() {
 // pollHoldoff busy-polls (yielding the processor each pass, so producer
 // and application goroutines run underneath) for up to rxHoldoff, and
 // reports whether the incoming ring or the waiting list picked up work.
+//
+// Under the virtual engine there is no window to poll: wall-clock
+// spinning would hold virtual time still, and a virtual sleep here
+// would delay every arrival by up to the holdoff (the busy-poll's whole
+// point is that it catches arrivals instantly). The worker goes
+// straight to the parked state instead — senders then notify on first
+// push, which is the event-driven behavior the holdoff exists to
+// mitigate, and the notification costs are charged on the virtual
+// timeline like any other.
 func (ch *Channel) pollHoldoff() bool {
+	if ch.mod.model.Virtual() {
+		return false
+	}
 	start := time.Now()
 	for time.Since(start) < rxHoldoff {
 		if !ch.in.Empty() {
@@ -586,7 +605,12 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 	}
 	ch.port = port
 	_ = m.dom.SetEventHandler(port, ch.event)
-	ch.generation = uint32(time.Now().UnixNano())
+	// Generations distinguish channel incarnations to the same peer (a
+	// stale ack must not connect a new handshake). A per-module
+	// monotonic counter can never collide across fast reconnects —
+	// unlike the truncated wall-clock stamp used previously — and keeps
+	// same-seed runs identical under the virtual clock.
+	ch.generation = m.generation.Add(1)
 
 	msg := (&createChannelMsg{
 		Listener:   m.Self(),
@@ -603,7 +627,7 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 			return
 		}
 		m.sendControl(ch.peer.MAC, msg)
-		deadline := time.After(timeout)
+		deadline := m.model.After(timeout)
 	waitAck:
 		for {
 			select {
@@ -611,7 +635,7 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 				break waitAck
 			case <-ch.quit:
 				return
-			case <-time.After(10 * time.Millisecond):
+			case <-m.model.After(10 * time.Millisecond):
 				if ch.Connected() {
 					return
 				}
@@ -640,7 +664,7 @@ func (m *Module) requestChannel(ch *Channel) {
 		}
 		m.sendControl(ch.peer.MAC, msg)
 		select {
-		case <-time.After(timeout):
+		case <-m.model.After(timeout):
 		case <-ch.quit:
 			return
 		}
@@ -898,7 +922,7 @@ func (m *Module) endAccessEventually(ref hypervisor.GrantRef) {
 	go func() {
 		backoff := time.Millisecond
 		for i := 0; i < releaseRetries; i++ {
-			time.Sleep(backoff)
+			m.model.Sleep(backoff)
 			if backoff < releaseBackoffCap {
 				backoff *= 2
 			}
@@ -931,7 +955,7 @@ func (m *Module) unmapEventually(peer hypervisor.DomID, ref hypervisor.GrantRef)
 	go func() {
 		backoff := time.Millisecond
 		for i := 0; i < releaseRetries; i++ {
-			time.Sleep(backoff)
+			m.model.Sleep(backoff)
 			if backoff < releaseBackoffCap {
 				backoff *= 2
 			}

@@ -1,0 +1,81 @@
+package core_test
+
+// Virtual-time chaos: the same soak as TestChaosSoak, but on the
+// discrete-event clock — 60 virtual seconds of lifecycle churn complete
+// in a few wall seconds, with every safety invariant still asserted.
+// TestChaosVirtualDeterminism is the replay check: the measured-phase
+// harness (bench.ChaosDeterministic) must produce bit-identical counter
+// snapshots and delivery accounting for two runs of one seed.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func TestChaosSoakVirtual(t *testing.T) {
+	dur := 60 * time.Second // virtual seconds
+	if testing.Short() {
+		dur = 10 * time.Second
+	}
+	w0 := time.Now()
+	r, err := bench.Chaos(bench.ChaosOptions{
+		Seed:     1,
+		Duration: dur,
+		Virtual:  true,
+		SendGap:  100 * time.Millisecond,
+		Log:      t.Logf,
+	})
+	wall := time.Since(w0)
+	if err != nil {
+		t.Fatalf("virtual chaos harness: %v", err)
+	}
+	for _, v := range r.Violations {
+		t.Errorf("virtual seed %d: %s", r.Seed, v)
+	}
+	if r.Delivered == 0 {
+		t.Error("virtual soak delivered no datagrams")
+	}
+	t.Logf("%v of virtual chaos in %v wall (sent=%d delivered=%d migrations=%d)",
+		dur, wall, r.Sent, r.Delivered, r.Migrations)
+	// The point of the engine: virtual seconds must be decoupled from
+	// wall seconds. Only assert without the race detector's slowdown.
+	if !raceEnabled && dur == 60*time.Second && wall > 5*time.Second {
+		t.Errorf("60 virtual seconds took %v wall, want < 5s", wall)
+	}
+}
+
+func TestChaosVirtualDeterminism(t *testing.T) {
+	opts := bench.DeterministicOptions{
+		Seed:    7,
+		Rounds:  2,
+		Packets: 24,
+		Log:     t.Logf,
+	}
+	if testing.Short() {
+		opts.Rounds = 1
+	}
+	run := func() bench.DeterministicResult {
+		r, err := bench.ChaosDeterministic(opts)
+		if err != nil {
+			t.Fatalf("deterministic chaos harness: %v", err)
+		}
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: %s", r.Seed, v)
+		}
+		return r
+	}
+	a := run()
+	b := run()
+	if a.Measured != b.Measured {
+		t.Errorf("measured counters differ between same-seed runs:\n  run A: %+v\n  run B: %+v", a.Measured, b.Measured)
+	}
+	if a.Sent != b.Sent || a.Delivered != b.Delivered {
+		t.Errorf("delivery accounting differs: A sent=%d delivered=%d, B sent=%d delivered=%d",
+			a.Sent, a.Delivered, b.Sent, b.Delivered)
+	}
+	if a.Sent == 0 || a.Delivered != a.Sent {
+		t.Errorf("measured phase lost packets: sent=%d delivered=%d", a.Sent, a.Delivered)
+	}
+}

@@ -55,9 +55,11 @@ func StartDiscovery(hv *hypervisor.Hypervisor, br *bridge.Bridge, period time.Du
 }
 
 func (d *Discovery) loop() {
-	// Announce immediately, then on every tick.
+	// Announce immediately, then on every tick. The ticker comes from
+	// the machine's cost model so that under the virtual clock a 5-second
+	// scan period elapses in virtual time, not wall time.
 	d.Scan()
-	ticker := time.NewTicker(d.period)
+	ticker := d.hv.Model().NewTicker(d.period)
 	defer ticker.Stop()
 	for {
 		select {

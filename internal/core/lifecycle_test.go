@@ -7,6 +7,22 @@ import (
 	"repro/internal/testbed"
 )
 
+// waitFor polls cond with a tight interval until it holds or the budget
+// expires, returning the final state. A generous budget with millisecond
+// polls replaces the old fixed-10ms-sleep loops: fast machines stop
+// waiting as soon as the condition flips, loaded CI machines get the
+// full budget instead of a flaky margin.
+func waitFor(budget time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(budget)
+	for !cond() {
+		if !time.Now().Before(deadline) {
+			return cond()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
 // TestSuspendResumeReformsChannel exercises the paper's save-restore
 // handling: channels tear down on suspend and re-form after resume.
 func TestSuspendResumeReformsChannel(t *testing.T) {
@@ -16,14 +32,16 @@ func TestSuspendResumeReformsChannel(t *testing.T) {
 	if err := p.TB.SuspendResume(vm1); err != nil {
 		t.Fatal(err)
 	}
-	// The peer must have disengaged.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && vm2.XL.HasChannelTo(vm1.MAC) {
-		// Suspend marked the shared descriptors inactive; vm2's worker
-		// notices on its next event. Poke it via discovery.
+	// The peer must disengage. Suspend marked the shared descriptors
+	// inactive; vm2's worker notices on its next event, so poke it via
+	// discovery while waiting.
+	waitFor(10*time.Second, func() bool {
+		if !vm2.XL.HasChannelTo(vm1.MAC) {
+			return true
+		}
 		vm1.Machine.Discovery.Scan()
-		time.Sleep(10 * time.Millisecond)
-	}
+		return false
+	})
 	// After resume + discovery, the channel re-establishes on traffic.
 	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
 		t.Fatalf("channel did not re-form after suspend/resume: %v", err)
@@ -43,11 +61,7 @@ func TestShutdownTearsDownCleanly(t *testing.T) {
 	if err := vm1.Machine.HV.DestroyDomain(vm1.Dom); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && vm2.XL.HasChannelTo(vm1.MAC) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if vm2.XL.HasChannelTo(vm1.MAC) {
+	if !waitFor(10*time.Second, func() bool { return !vm2.XL.HasChannelTo(vm1.MAC) }) {
 		t.Fatal("survivor kept a channel to a destroyed guest")
 	}
 	// The dead guest's XenStore advertisement must be gone, so the next

@@ -115,6 +115,12 @@ type Module struct {
 	// published with one atomic store. outHook only ever reads this.
 	routes atomic.Pointer[routeTable]
 
+	// generation seeds Channel.generation: a module-wide monotonic
+	// counter, so two channels created back-to-back (or across a
+	// teardown/re-establish cycle) can never collide the way the old
+	// time.Now()-derived stamp could under a coarse or virtual clock.
+	generation atomic.Uint32
+
 	mu       sync.Mutex
 	self     Identity
 	peers    map[pkt.MAC]hypervisor.DomID // the [guest-ID, MAC] mapping table

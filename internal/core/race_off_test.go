@@ -1,0 +1,7 @@
+//go:build !race
+
+package core_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock speed assertions only hold without its ~10x slowdown.
+const raceEnabled = false

@@ -1,0 +1,615 @@
+// Discrete-event virtual clock: the second engine behind the Model's
+// Charge/Sleep/timer API.
+//
+// The calibrated profile turns every charged duration into a real
+// busy-wait, so a 4-second soak costs 4 wall-clock seconds. The virtual
+// engine removes the wait: charging advances a per-vCPU virtual
+// timestamp (merged into a global virtual "now" by CAS-max), and every
+// blocking operation — NAPI poll windows, handshake timeouts, TCP
+// timers, wire propagation, backoff sleeps — parks on an event queue
+// keyed by virtual deadline. Virtual time then moves in exactly two
+// ways:
+//
+//  1. forward through work: a charge pushes the charging vCPU's
+//     timestamp ahead and lifts the global clock to the maximum over
+//     vCPUs, firing any event whose deadline was crossed;
+//  2. forward through idleness: a background advancer watches for the
+//     simulation to go quiet (no charge or schedule activity for a
+//     short wall-clock grace) and then jumps the clock straight to the
+//     earliest pending event.
+//
+// Wall-clock cost therefore collapses to pure CPU work plus a few
+// microseconds of grace per quiet gap, while modeled time keeps the
+// calibrated ratios: one "virtual second" is one second of the
+// calibrated timeline, it just no longer costs a second to simulate.
+//
+// vCPUs are identified the same way metrics shards are: by the page of
+// a stack local, a cheap stable-per-goroutine hash. Goroutines that
+// collide merely share a vCPU — they serialize against each other, as
+// two threads pinned to one core would.
+package costmodel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"repro/internal/metrics"
+)
+
+// vcpuSlots is the number of modeled vCPUs; a power of two so slot
+// selection is a mask.
+const vcpuSlots = 16
+
+// noWake is the nextWake sentinel when no event is pending.
+const noWake = math.MaxInt64
+
+// advanceGrace is how long the advancer lets the simulation stay quiet
+// before concluding every goroutine is parked and jumping the clock. It
+// bounds the wall cost of one idle gap; a 60-virtual-second soak with
+// hundreds of thousands of gaps still fits in seconds.
+const advanceGrace = 15 * time.Microsecond
+
+type vcpuSlot struct {
+	t atomic.Int64
+	_ [56]byte // cache-line pad, as in metrics/stats shards
+}
+
+// vcpuIndex hashes the calling goroutine onto a vCPU slot via the page
+// number of a stack local (goroutine stacks are distinct allocations).
+func vcpuIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>12) & (vcpuSlots - 1)
+}
+
+// vevent is one entry on the virtual event queue. Exactly one of ch
+// (one-shot wake), fn (callback) or tick (periodic) is used.
+type vevent struct {
+	at      int64
+	seq     uint64
+	heapIx  int
+	period  int64
+	stopped atomic.Bool
+	fn      func()
+	ch      chan struct{}
+	tick    chan struct{}
+}
+
+// VirtualClock is the discrete-event engine. Create one with
+// NewVirtualClock, attach it to a Model with WithVirtual, and Close it
+// when the run ends. Only one virtual clock should be active in a
+// process at a time: it installs itself as the metrics time source so
+// histograms and FIFO timestamps measure virtual nanoseconds.
+type VirtualClock struct {
+	now      atomic.Int64
+	nextWake atomic.Int64
+	activity atomic.Uint64
+	closed   atomic.Bool
+
+	mu   sync.Mutex
+	heap []*vevent
+	seq  uint64
+
+	kick chan struct{}
+	quit chan struct{}
+
+	vcpus [vcpuSlots]vcpuSlot
+}
+
+// NewVirtualClock starts a virtual clock at t=1ns (zero is reserved by
+// metrics.Now to mean "no timestamp") and installs it as the process
+// time source.
+func NewVirtualClock() *VirtualClock {
+	vc := &VirtualClock{
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	vc.now.Store(1)
+	vc.nextWake.Store(noWake)
+	metrics.SetSource(vc.Now)
+	go vc.advancer()
+	return vc
+}
+
+// Close stops the advancer, restores the wall time source, and releases
+// every parked goroutine (their deadlines are treated as reached).
+func (vc *VirtualClock) Close() {
+	if vc.closed.Swap(true) {
+		return
+	}
+	close(vc.quit)
+	metrics.SetSource(nil)
+	vc.mu.Lock()
+	pending := vc.heap
+	vc.heap = nil
+	for _, e := range pending {
+		e.heapIx = -1
+	}
+	vc.nextWake.Store(noWake)
+	vc.mu.Unlock()
+	for _, e := range pending {
+		vc.fire(e)
+	}
+}
+
+// Now returns the current virtual time in nanoseconds. It is strictly
+// positive and monotonic.
+func (vc *VirtualClock) Now() int64 { return vc.now.Load() }
+
+// Charge advances the calling goroutine's vCPU timestamp by d and lifts
+// the global clock to it, firing any event whose deadline was crossed.
+func (vc *VirtualClock) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	vc.activity.Add(1)
+	s := &vc.vcpus[vcpuIndex()]
+	local := s.t.Load()
+	if g := vc.now.Load(); g > local {
+		local = g
+	}
+	local += int64(d)
+	s.t.Store(local)
+	vc.advanceTo(local)
+	// Yield as the busy-wait engine does, so concurrently-charged
+	// goroutines interleave like independent CPUs.
+	runtime.Gosched()
+}
+
+// Sleep parks the caller until virtual time reaches now+d.
+func (vc *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	vc.SleepUntil(vc.now.Load() + int64(d))
+}
+
+// SleepUntil parks the caller until virtual time reaches at.
+func (vc *VirtualClock) SleepUntil(at int64) {
+	if at <= vc.now.Load() {
+		runtime.Gosched()
+		return
+	}
+	e := &vevent{ch: make(chan struct{})}
+	vc.schedule(e, at)
+	<-e.ch
+	// The sleeper's vCPU was idle while parked; pull it forward so its
+	// next charge starts from the wake time.
+	s := &vc.vcpus[vcpuIndex()]
+	if s.t.Load() < at {
+		s.t.Store(at)
+	}
+}
+
+// After returns a channel closed when virtual time reaches now+d.
+func (vc *VirtualClock) After(d time.Duration) <-chan struct{} {
+	e := &vevent{ch: make(chan struct{})}
+	vc.schedule(e, vc.now.Load()+int64(d))
+	return e.ch
+}
+
+// afterFunc schedules fn to run (on the clock's dispatch path) when
+// virtual time reaches now+d.
+func (vc *VirtualClock) afterFunc(d time.Duration, fn func()) *vevent {
+	e := &vevent{fn: fn}
+	vc.schedule(e, vc.now.Load()+int64(d))
+	return e
+}
+
+// schedule inserts e at deadline at, firing immediately if the deadline
+// has already passed (or the clock is closed).
+func (vc *VirtualClock) schedule(e *vevent, at int64) {
+	vc.activity.Add(1)
+	if vc.closed.Load() {
+		e.heapIx = -1
+		vc.fire(e)
+		return
+	}
+	earlier := false
+	vc.mu.Lock()
+	e.at = at
+	vc.seq++
+	e.seq = vc.seq
+	vc.heapPushLocked(e)
+	if at < vc.nextWake.Load() {
+		vc.nextWake.Store(at)
+		earlier = true
+	}
+	vc.mu.Unlock()
+	if at <= vc.now.Load() {
+		vc.dispatchDue()
+		return
+	}
+	if earlier {
+		select {
+		case vc.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// cancel removes a still-pending event, reporting whether it was
+// pending (false means it already fired or was never scheduled).
+func (vc *VirtualClock) cancel(e *vevent) bool {
+	e.stopped.Store(true)
+	vc.mu.Lock()
+	ok := e.heapIx >= 0 && e.heapIx < len(vc.heap) && vc.heap[e.heapIx] == e
+	if ok {
+		vc.heapRemoveLocked(e.heapIx)
+		vc.updateNextWakeLocked()
+	}
+	vc.mu.Unlock()
+	return ok
+}
+
+// advanceTo lifts the global clock to t (CAS-max) and dispatches any
+// event whose deadline was crossed.
+func (vc *VirtualClock) advanceTo(t int64) {
+	for {
+		cur := vc.now.Load()
+		if t <= cur {
+			break
+		}
+		if vc.now.CompareAndSwap(cur, t) {
+			break
+		}
+	}
+	if vc.nextWake.Load() <= vc.now.Load() {
+		vc.dispatchDue()
+	}
+}
+
+// dispatchDue pops and fires every event with deadline <= now.
+// Callbacks run outside the clock lock and may schedule or charge.
+func (vc *VirtualClock) dispatchDue() {
+	var due []*vevent
+	vc.mu.Lock()
+	now := vc.now.Load()
+	for len(vc.heap) > 0 && vc.heap[0].at <= now {
+		due = append(due, vc.heap[0])
+		vc.heapRemoveLocked(0)
+	}
+	vc.updateNextWakeLocked()
+	vc.mu.Unlock()
+	for _, e := range due {
+		vc.fire(e)
+	}
+}
+
+func (vc *VirtualClock) fire(e *vevent) {
+	vc.activity.Add(1)
+	switch {
+	case e.period > 0:
+		select {
+		case e.tick <- struct{}{}:
+		default: // ticker consumer is behind: coalesce, as time.Ticker does
+		}
+		if !e.stopped.Load() && !vc.closed.Load() {
+			at := e.at + e.period
+			if now := vc.now.Load(); at <= now {
+				at = now + e.period // missed ticks collapse into one
+			}
+			vc.schedule(e, at)
+		}
+	case e.fn != nil:
+		if !e.stopped.Load() {
+			e.fn()
+		}
+	default:
+		close(e.ch)
+	}
+}
+
+// advancer is the liveness engine: whenever events are pending and the
+// simulation has been quiet for advanceGrace, it concludes that every
+// goroutine is parked on the queue (or blocked on work that a parked
+// goroutine must produce) and jumps the clock to the earliest deadline.
+func (vc *VirtualClock) advancer() {
+	for {
+		select {
+		case <-vc.quit:
+			return
+		default:
+		}
+		nw := vc.nextWake.Load()
+		if nw == noWake {
+			select {
+			case <-vc.quit:
+				return
+			case <-vc.kick:
+			}
+			continue
+		}
+		if vc.now.Load() >= nw {
+			vc.dispatchDue()
+			continue
+		}
+		a0 := vc.activity.Load()
+		t0 := time.Now()
+		busy := false
+		for time.Since(t0) < advanceGrace {
+			runtime.Gosched()
+			if vc.activity.Load() != a0 {
+				busy = true // simulation is running; charges will cross deadlines
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		vc.advanceTo(nw)
+	}
+}
+
+// --- event min-heap, ordered by (at, seq) ---
+
+func (vc *VirtualClock) heapLess(i, j int) bool {
+	a, b := vc.heap[i], vc.heap[j]
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (vc *VirtualClock) heapSwap(i, j int) {
+	vc.heap[i], vc.heap[j] = vc.heap[j], vc.heap[i]
+	vc.heap[i].heapIx = i
+	vc.heap[j].heapIx = j
+}
+
+func (vc *VirtualClock) heapPushLocked(e *vevent) {
+	e.heapIx = len(vc.heap)
+	vc.heap = append(vc.heap, e)
+	vc.siftUp(e.heapIx)
+}
+
+func (vc *VirtualClock) heapRemoveLocked(i int) {
+	last := len(vc.heap) - 1
+	vc.heap[i].heapIx = -1
+	if i != last {
+		vc.heap[i] = vc.heap[last]
+		vc.heap[i].heapIx = i
+	}
+	vc.heap = vc.heap[:last]
+	if i < last {
+		vc.siftDown(i)
+		vc.siftUp(i)
+	}
+}
+
+func (vc *VirtualClock) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !vc.heapLess(i, parent) {
+			break
+		}
+		vc.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (vc *VirtualClock) siftDown(i int) {
+	n := len(vc.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && vc.heapLess(l, min) {
+			min = l
+		}
+		if r < n && vc.heapLess(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		vc.heapSwap(i, min)
+		i = min
+	}
+}
+
+func (vc *VirtualClock) updateNextWakeLocked() {
+	if len(vc.heap) == 0 {
+		vc.nextWake.Store(noWake)
+		return
+	}
+	vc.nextWake.Store(vc.heap[0].at)
+}
+
+// --- Model clock API ---
+//
+// Components never talk to a VirtualClock directly; they go through the
+// Model they already hold, which routes to the virtual engine when one
+// is attached and to the wall clock otherwise. All methods are safe on
+// a nil Model (wall behavior).
+
+// WithVirtual returns a copy of m driven by vc. The original Model is
+// untouched, so wall-mode and virtual-mode runs can share a profile.
+func (m *Model) WithVirtual(vc *VirtualClock) *Model {
+	cp := *m
+	cp.vclock = vc
+	return &cp
+}
+
+// Virtual reports whether m is driven by a virtual clock.
+func (m *Model) Virtual() bool { return m != nil && m.vclock != nil }
+
+// VClock returns the attached virtual clock, or nil.
+func (m *Model) VClock() *VirtualClock {
+	if m == nil {
+		return nil
+	}
+	return m.vclock
+}
+
+// NowNs returns the current time on m's timeline in nanoseconds:
+// virtual time under the virtual engine, metrics.Now otherwise. The
+// result is always positive.
+func (m *Model) NowNs() int64 {
+	if m != nil && m.vclock != nil {
+		return m.vclock.Now()
+	}
+	return metrics.Now()
+}
+
+// Sleep blocks for d on m's timeline.
+func (m *Model) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if m != nil && m.vclock != nil {
+		m.vclock.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// SleepUntil blocks until m's timeline reaches the NowNs-based
+// timestamp at, with sub-microsecond precision in wall mode.
+func (m *Model) SleepUntil(at int64) {
+	if m != nil && m.vclock != nil {
+		m.vclock.SleepUntil(at)
+		return
+	}
+	SleepPrecise(time.Duration(at - metrics.Now()))
+}
+
+// After returns a channel closed once d has elapsed on m's timeline.
+// The timer cannot be stopped; use NewTimer when early cancellation
+// matters.
+func (m *Model) After(d time.Duration) <-chan struct{} {
+	if m != nil && m.vclock != nil {
+		return m.vclock.After(d)
+	}
+	ch := make(chan struct{})
+	time.AfterFunc(d, func() { close(ch) })
+	return ch
+}
+
+// Timer is a one-shot timer on a Model's timeline: either a channel
+// timer (NewTimer) or a callback timer (AfterFunc).
+type Timer struct {
+	c  chan struct{}
+	wt *time.Timer
+
+	vc *VirtualClock
+	fn func()
+	mu sync.Mutex
+	ev *vevent
+}
+
+// NewTimer returns a timer whose C is closed after d on m's timeline.
+// Channel timers support Stop but not Reset.
+func (m *Model) NewTimer(d time.Duration) *Timer {
+	t := &Timer{c: make(chan struct{})}
+	if m != nil && m.vclock != nil {
+		t.vc = m.vclock
+		e := &vevent{ch: t.c}
+		t.ev = e
+		m.vclock.schedule(e, m.vclock.Now()+int64(d))
+		return t
+	}
+	t.wt = time.AfterFunc(d, func() { close(t.c) })
+	return t
+}
+
+// AfterFunc runs fn after d on m's timeline. The returned timer
+// supports Stop and Reset with time.Timer-like semantics: Stop reports
+// whether it prevented the (next) firing; a callback already in flight
+// still runs.
+func (m *Model) AfterFunc(d time.Duration, fn func()) *Timer {
+	if m != nil && m.vclock != nil {
+		t := &Timer{vc: m.vclock, fn: fn}
+		t.ev = m.vclock.afterFunc(d, fn)
+		return t
+	}
+	return &Timer{wt: time.AfterFunc(d, fn)}
+}
+
+// C is the timer's completion channel (channel timers only).
+func (t *Timer) C() <-chan struct{} { return t.c }
+
+// Stop cancels the timer, reporting whether it was still pending.
+func (t *Timer) Stop() bool {
+	if t.vc != nil {
+		t.mu.Lock()
+		ev := t.ev
+		t.mu.Unlock()
+		return t.vc.cancel(ev)
+	}
+	return t.wt.Stop()
+}
+
+// Reset re-arms a callback timer to fire after d. Not valid on channel
+// timers (their channel can only close once).
+func (t *Timer) Reset(d time.Duration) {
+	if t.vc != nil {
+		if t.fn == nil {
+			panic("costmodel: Reset on a channel timer")
+		}
+		t.mu.Lock()
+		t.vc.cancel(t.ev)
+		t.ev = t.vc.afterFunc(d, t.fn)
+		t.mu.Unlock()
+		return
+	}
+	t.wt.Reset(d)
+}
+
+// Ticker delivers a tick on C every d of m's timeline, coalescing when
+// the consumer falls behind.
+type Ticker struct {
+	C <-chan struct{}
+
+	stop atomic.Bool
+	mu   sync.Mutex
+	wt   *time.Timer
+	vc   *VirtualClock
+	ev   *vevent
+}
+
+// NewTicker starts a ticker with period d on m's timeline.
+func (m *Model) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("costmodel: non-positive ticker period")
+	}
+	ch := make(chan struct{}, 1)
+	t := &Ticker{C: ch}
+	if m != nil && m.vclock != nil {
+		t.vc = m.vclock
+		t.ev = &vevent{period: int64(d), tick: ch}
+		m.vclock.schedule(t.ev, m.vclock.Now()+int64(d))
+		return t
+	}
+	t.mu.Lock()
+	t.wt = time.AfterFunc(d, func() {
+		if t.stop.Load() {
+			return
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+		t.mu.Lock()
+		if !t.stop.Load() {
+			t.wt.Reset(d)
+		}
+		t.mu.Unlock()
+	})
+	t.mu.Unlock()
+	return t
+}
+
+// Stop halts the ticker. It does not drain C.
+func (t *Ticker) Stop() {
+	if t.stop.Swap(true) {
+		return
+	}
+	if t.vc != nil {
+		t.vc.cancel(t.ev)
+		return
+	}
+	t.mu.Lock()
+	t.wt.Stop()
+	t.mu.Unlock()
+}

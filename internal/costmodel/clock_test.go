@@ -1,0 +1,217 @@
+package costmodel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// virtualModel builds a calibrated model on a fresh virtual clock and
+// arranges teardown.
+func virtualModel(t *testing.T) (*Model, *VirtualClock) {
+	t.Helper()
+	vc := NewVirtualClock()
+	t.Cleanup(vc.Close)
+	return Calibrated().WithVirtual(vc), vc
+}
+
+func TestVirtualChargeAdvancesTime(t *testing.T) {
+	m, vc := virtualModel(t)
+	start := vc.Now()
+	m.Charge(5 * time.Millisecond)
+	if got := vc.Now() - start; got < int64(5*time.Millisecond) {
+		t.Fatalf("charge advanced %dns, want >= 5ms", got)
+	}
+}
+
+func TestVirtualChargeIsNotWallBound(t *testing.T) {
+	m, vc := virtualModel(t)
+	w0 := time.Now()
+	for i := 0; i < 100; i++ {
+		m.Charge(100 * time.Millisecond) // 10 virtual seconds total
+	}
+	if wall := time.Since(w0); wall > 2*time.Second {
+		t.Fatalf("10 virtual seconds of charges took %v wall", wall)
+	}
+	if vc.Now() < int64(10*time.Second) {
+		t.Fatalf("virtual now %dns, want >= 10s", vc.Now())
+	}
+}
+
+func TestVirtualSleepWakesViaAdvancer(t *testing.T) {
+	m, vc := virtualModel(t)
+	// Nobody charges: only the idle advancer can move time forward.
+	w0 := time.Now()
+	start := vc.Now()
+	m.Sleep(3 * time.Second)
+	if wall := time.Since(w0); wall > 2*time.Second {
+		t.Fatalf("3 virtual seconds of sleep took %v wall", wall)
+	}
+	if got := vc.Now() - start; got < int64(3*time.Second) {
+		t.Fatalf("sleep advanced %dns, want >= 3s", got)
+	}
+}
+
+func TestVirtualSleepWakesViaCharge(t *testing.T) {
+	m, _ := virtualModel(t)
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(time.Millisecond)
+		close(done)
+	}()
+	// Keep charging: the sleeper must be released by deadline crossing
+	// well before the charges stop.
+	for i := 0; i < 10_000; i++ {
+		m.Charge(10 * time.Microsecond)
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleeper not woken by charge-driven advance")
+	}
+}
+
+func TestVirtualSleepOrdering(t *testing.T) {
+	m, _ := virtualModel(t)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for _, d := range []int{5, 3, 1, 4, 2} {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			m.Sleep(time.Duration(d) * 10 * time.Millisecond)
+			mu.Lock()
+			order = append(order, d)
+			mu.Unlock()
+		}(d)
+	}
+	wg.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("wake order %v not sorted by deadline", order)
+		}
+	}
+}
+
+func TestVirtualAfterFuncStopReset(t *testing.T) {
+	m, _ := virtualModel(t)
+	var fired atomic.Int32
+	tm := m.AfterFunc(10*time.Millisecond, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	m.Sleep(50 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Reset(10 * time.Millisecond)
+	m.Sleep(50 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired.Load())
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on fired timer returned true")
+	}
+}
+
+func TestVirtualTicker(t *testing.T) {
+	m, _ := virtualModel(t)
+	tk := m.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 5; i++ {
+		select {
+		case <-tk.C:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("tick %d never arrived", i)
+		}
+	}
+}
+
+func TestVirtualMetricsNow(t *testing.T) {
+	m, vc := virtualModel(t)
+	n0 := metrics.Now()
+	if n0 <= 0 {
+		t.Fatalf("metrics.Now returned %d under virtual clock", n0)
+	}
+	m.Charge(time.Second)
+	n1 := metrics.Now()
+	if n1-n0 < int64(time.Second) {
+		t.Fatalf("metrics delta %dns, want >= 1s", n1-n0)
+	}
+	if n1 != vc.Now() {
+		t.Fatalf("metrics.Now %d != vc.Now %d", n1, vc.Now())
+	}
+	vc.Close()
+	if w := metrics.Now(); w >= int64(time.Second) {
+		t.Fatalf("wall source not restored after Close: %d", w)
+	}
+}
+
+func TestVirtualTimerChannelMode(t *testing.T) {
+	m, _ := virtualModel(t)
+	tm := m.NewTimer(20 * time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel timer never fired")
+	}
+	tm2 := m.NewTimer(time.Hour)
+	if !tm2.Stop() {
+		t.Fatal("Stop on pending channel timer returned false")
+	}
+}
+
+func TestWallModelTimerAndTicker(t *testing.T) {
+	m := Off() // no virtual clock: wall fallbacks
+	tm := m.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall channel timer never fired")
+	}
+	var fired atomic.Int32
+	af := m.AfterFunc(time.Millisecond, func() { fired.Add(1) })
+	time.Sleep(20 * time.Millisecond)
+	af.Stop()
+	if fired.Load() != 1 {
+		t.Fatalf("wall AfterFunc fired %d times", fired.Load())
+	}
+	tk := m.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tk.C:
+		case <-time.After(5 * time.Second):
+			t.Fatal("wall ticker stalled")
+		}
+	}
+	if m.Virtual() {
+		t.Fatal("Off model claims virtual")
+	}
+}
+
+func TestVirtualCloseReleasesSleepers(t *testing.T) {
+	vc := NewVirtualClock()
+	m := Calibrated().WithVirtual(vc)
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(time.Hour)
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	vc.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left a sleeper parked")
+	}
+}

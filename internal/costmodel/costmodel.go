@@ -106,6 +106,20 @@ type Model struct {
 	// WireBandwidthBps is the physical link rate in bits per second; 0
 	// means unlimited.
 	WireBandwidthBps float64
+
+	// SchedWake is the host-scheduler cost of waking the goroutine behind
+	// a parked consumer when an event upcall is delivered. The wall-clock
+	// engine pays this implicitly — the Go scheduler really parks and
+	// wakes the handler around every upcall — so it is charged only under
+	// the discrete-event engine, which otherwise under-costs event-driven
+	// paths (netfront: ~6 upcalls per round trip) relative to polling
+	// ones (the channel consumer stays in NAPI mode between requests).
+	SchedWake time.Duration
+
+	// vclock, when set (via WithVirtual), selects the discrete-event
+	// engine: charges advance virtual time instead of busy-waiting and
+	// the Model's Sleep/After/timer methods park on the event queue.
+	vclock *VirtualClock
 }
 
 // Off returns the zero-cost profile used by unit and property tests.
@@ -139,7 +153,18 @@ func Calibrated() *Model {
 		NICPerFrame:        2200 * time.Nanosecond,
 		WireLatency:        40 * time.Microsecond,
 		WireBandwidthBps:   1e9,
+		SchedWake:          3500 * time.Nanosecond,
 	}
+}
+
+// UpcallExtra is the additional per-upcall charge owed under the
+// discrete-event engine (zero on the wall engine, where the host
+// scheduler charges it for real). See the SchedWake field.
+func (m *Model) UpcallExtra() time.Duration {
+	if m.Virtual() {
+		return m.SchedWake
+	}
+	return 0
 }
 
 // enabled reports whether the model charges any time at all; a nil model
@@ -152,6 +177,10 @@ func (m *Model) enabled() bool { return m != nil }
 // bulk of longer ones.
 func (m *Model) Charge(d time.Duration) {
 	if !m.enabled() || d <= 0 {
+		return
+	}
+	if m.vclock != nil {
+		m.vclock.Charge(d)
 		return
 	}
 	spinWait(d)
@@ -169,6 +198,13 @@ func (m *Model) Charge(d time.Duration) {
 // 20µs.
 func (m *Model) ChargeExclusive(d time.Duration) {
 	if !m.enabled() || d <= 0 {
+		return
+	}
+	if m.vclock != nil {
+		// Under the virtual engine exclusivity needs no spin: the
+		// charge advances the vCPU's timestamp either way, and no other
+		// goroutine's virtual time can slip into the window.
+		m.vclock.Charge(d)
 		return
 	}
 	start := time.Now()

@@ -51,6 +51,24 @@ const (
 // no explicit Err in its Spec.
 var ErrInjected = errors.New("faultinject: injected fault")
 
+// sleepFn, when set, replaces time.Sleep for Delay faults. Virtual-time
+// harnesses install the model's Sleep here so an injected delay elapses
+// on the virtual clock instead of stalling the run in wall time. Kept as
+// a function hook (not a costmodel dependency) so this package stays
+// leaf-level.
+var sleepFn atomic.Pointer[func(time.Duration)]
+
+// SetSleep installs fn as the Delay-fault sleep implementation (nil
+// restores time.Sleep). Install before arming delay faults; do not swap
+// while a chaos run is in flight.
+func SetSleep(fn func(time.Duration)) {
+	if fn == nil {
+		sleepFn.Store(nil)
+		return
+	}
+	sleepFn.Store(&fn)
+}
+
 // Spec configures one armed failpoint.
 type Spec struct {
 	// Probability of triggering per evaluation in (0,1]; 0 means always.
@@ -225,7 +243,11 @@ func fireSlow(name string) error {
 	fp.mu.Unlock()
 
 	if spec.Delay > 0 {
-		time.Sleep(spec.Delay)
+		if fn := sleepFn.Load(); fn != nil {
+			(*fn)(spec.Delay)
+		} else {
+			time.Sleep(spec.Delay)
+		}
 		if spec.Err == nil {
 			return nil
 		}

@@ -63,6 +63,10 @@ type Domain struct {
 	work chan func()
 	quit chan struct{}
 
+	// upcalls counts event upcalls queued or executing in this domain's
+	// dispatch context; see UpcallsIdle.
+	upcalls atomic.Int32
+
 	cbMu        sync.Mutex
 	preMigrate  []func()
 	postMigrate []func()
@@ -159,12 +163,14 @@ func (d *Domain) dispatch() {
 		select {
 		case fn := <-d.work:
 			fn()
+			d.upcalls.Add(-1)
 		case <-d.quit:
 			// Drain anything already queued, then exit.
 			for {
 				select {
 				case fn := <-d.work:
 					fn()
+					d.upcalls.Add(-1)
 				default:
 					return
 				}
@@ -175,8 +181,10 @@ func (d *Domain) dispatch() {
 
 // exec queues fn to run in the domain's event context.
 func (d *Domain) exec(fn func()) {
+	d.upcalls.Add(1)
 	select {
 	case d.work <- fn:
 	case <-d.quit:
+		d.upcalls.Add(-1)
 	}
 }

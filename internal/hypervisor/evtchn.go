@@ -165,7 +165,7 @@ func (d *Domain) NotifyPort(port Port) error {
 		rp.pending.Store(false)
 		rdhv := rd.mi().hv
 		rdhv.schedule(rd)
-		rdhv.model.ChargeExclusiveObserved(rdhv.model.EventDispatch, &rdhv.hists.EventDispatch)
+		rdhv.model.ChargeExclusiveObserved(rdhv.model.EventDispatch+rdhv.model.UpcallExtra(), &rdhv.hists.EventDispatch)
 		handler()
 	})
 	return nil
@@ -213,6 +213,28 @@ func (d *Domain) PortConnected(port Port) bool {
 	defer ec.mu.Unlock()
 	p, ok := ec.ports[port]
 	return ok && p.state == portInterdomain
+}
+
+// UpcallsIdle reports whether this domain's event context is quiescent:
+// no upcall queued or executing, and no port's pending bit set (a set
+// bit means a notification observed the pending protocol but has not yet
+// been enqueued or consumed). Deterministic harnesses poll this between
+// operations to establish a happens-before edge without wall-clock
+// sleeps. A true result is only meaningful once the caller has stopped
+// producing notifications toward this domain.
+func (d *Domain) UpcallsIdle() bool {
+	if d.upcalls.Load() != 0 {
+		return false
+	}
+	ec := d.mi().events
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	for _, p := range ec.ports {
+		if p.pending.Load() {
+			return false
+		}
+	}
+	return true
 }
 
 // openPortCount reports the number of event-channel ports this domain

@@ -19,6 +19,7 @@
 package metrics
 
 import (
+	"sync/atomic"
 	"time"
 	"unsafe"
 )
@@ -28,10 +29,32 @@ import (
 // in the process.
 var base = time.Now()
 
-// Now returns nanoseconds since process start on the monotonic clock.
-// The zero value is reserved to mean "no timestamp" (the FIFO entry
-// header uses it), which Now itself can never return.
+// source, when non-nil, replaces the monotonic wall clock as the
+// process time source. The virtual-time engine installs itself here so
+// histograms and FIFO timestamps measure virtual nanoseconds on the
+// same code paths that measure wall nanoseconds in calibrated mode.
+var source atomic.Pointer[func() int64]
+
+// SetSource installs fn as the process time source (nil restores the
+// wall clock). fn must return strictly positive, monotonic values —
+// zero is reserved to mean "no timestamp". Only one alternative source
+// can be active at a time; runs that install one must not overlap.
+func SetSource(fn func() int64) {
+	if fn == nil {
+		source.Store(nil)
+		return
+	}
+	source.Store(&fn)
+}
+
+// Now returns nanoseconds since process start on the monotonic clock,
+// or on the installed alternative source (virtual time). The zero value
+// is reserved to mean "no timestamp" (the FIFO entry header uses it),
+// which Now itself can never return.
 func Now() int64 {
+	if fn := source.Load(); fn != nil {
+		return (*fn)()
+	}
 	return int64(time.Since(base)) + 1
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pkt"
 )
 
@@ -73,14 +74,19 @@ func (s *Stack) Ping(dst pkt.IPv4, size int, timeout time.Duration) (time.Durati
 	payload := make([]byte, size)
 	req := pkt.BuildICMPEcho(&pkt.ICMPEcho{Type: pkt.ICMPEchoRequest, ID: id, Seq: seq}, payload)
 	s.model.Charge(s.model.Syscall)
-	start := time.Now()
+	start := metrics.Now()
 	if err := s.ipOutput(pkt.ProtoICMP, pkt.IPv4{}, dst, req); err != nil {
 		return 0, err
 	}
+	// Stoppable timer rather than time.After: a leaked one-shot event
+	// would otherwise linger on the virtual clock's queue and distort
+	// idle-advance jumps long after the ping completed.
+	t := s.model.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-ch:
-		return time.Since(start), nil
-	case <-time.After(timeout):
+		return time.Duration(metrics.Now() - start), nil
+	case <-t.C():
 		return 0, fmt.Errorf("%w: ping %s", ErrTimeout, dst)
 	}
 }

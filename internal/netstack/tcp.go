@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
 	"repro/internal/pkt"
 )
 
@@ -230,7 +232,7 @@ type TCPConn struct {
 	// application response can carry them (vital for request-response
 	// workloads over high-latency virtual paths).
 	ackPending  int
-	delackTimer *time.Timer
+	delackTimer *costmodel.Timer
 
 	// Outbound segments are built under the connection lock but
 	// transmitted by a dedicated sender goroutine, so ACK processing
@@ -246,9 +248,9 @@ type TCPConn struct {
 	srtt      time.Duration
 	rttvar    time.Duration
 	measSeq   uint32
-	measTime  time.Time
+	measTime  int64 // metrics.Now timestamp (wall or virtual ns)
 	measValid bool
-	rtoTimer  *time.Timer
+	rtoTimer  *costmodel.Timer
 	retries   int
 	connErr   error
 	removed   bool
@@ -354,7 +356,7 @@ func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
 
 	select {
 	case <-c.estCh:
-	case <-time.After(10 * time.Second):
+	case <-s.model.After(10 * time.Second):
 		c.Abort()
 		return nil, fmt.Errorf("%w: dial %s:%d", ErrTimeout, dst, port)
 	}
@@ -578,7 +580,7 @@ func (c *TCPConn) trySendLocked() {
 		c.advanceSndNxtLocked(uint32(n))
 		if !c.measValid {
 			c.measSeq = c.sndNxt
-			c.measTime = time.Now()
+			c.measTime = metrics.Now()
 			c.measValid = true
 		}
 	}
@@ -597,7 +599,7 @@ func (c *TCPConn) trySendLocked() {
 
 func (c *TCPConn) armDelayedAckLocked() {
 	if c.delackTimer == nil {
-		c.delackTimer = time.AfterFunc(tcpDelAckDelay, c.delackFire)
+		c.delackTimer = c.stack.model.AfterFunc(tcpDelAckDelay, c.delackFire)
 		return
 	}
 	c.delackTimer.Reset(tcpDelAckDelay)
@@ -614,7 +616,7 @@ func (c *TCPConn) delackFire() {
 
 func (c *TCPConn) armRTOLocked() {
 	if c.rtoTimer == nil {
-		c.rtoTimer = time.AfterFunc(c.rto, c.rtoFire)
+		c.rtoTimer = c.stack.model.AfterFunc(c.rto, c.rtoFire)
 		return
 	}
 	c.rtoTimer.Reset(c.rto)
@@ -700,7 +702,7 @@ func (c *TCPConn) maybeFinishLocked() {
 	if c.finSent && c.finAcked && c.rcvdFin && !c.removed {
 		c.removed = true
 		conn := c
-		time.AfterFunc(tcpLingerPeriod, func() {
+		c.stack.model.AfterFunc(tcpLingerPeriod, func() {
 			conn.mu.Lock()
 			conn.state = tcpClosed
 			conn.stopSenderLocked()
@@ -889,7 +891,7 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 			c.retries = 0
 			if c.measValid && seqLEQ(c.measSeq, ack) {
 				c.measValid = false
-				c.sampleRTTLocked(time.Since(c.measTime))
+				c.sampleRTTLocked(time.Duration(metrics.Now() - c.measTime))
 			}
 			c.dupAcks = 0
 			c.growCwndLocked(acked)

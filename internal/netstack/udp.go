@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/pkt"
 )
 
@@ -178,10 +179,10 @@ func (c *UDPConn) WriteTo(data []byte, dst pkt.IPv4, port uint16) error {
 
 // ReadFrom blocks for the next datagram; timeout <= 0 waits forever.
 func (c *UDPConn) ReadFrom(timeout time.Duration) (data []byte, src pkt.IPv4, srcPort uint16, err error) {
-	var timer *time.Timer
+	var timer *costmodel.Timer
 	timedOut := false
 	if timeout > 0 {
-		timer = time.AfterFunc(timeout, func() {
+		timer = c.stack.model.AfterFunc(timeout, func() {
 			c.mu.Lock()
 			timedOut = true
 			c.cond.Broadcast()

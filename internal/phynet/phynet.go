@@ -29,10 +29,12 @@ type Switch struct {
 }
 
 // fdbEntry is one learned forwarding entry. seen refreshes on every
-// source sighting, so only silent hosts age out.
+// source sighting, so only silent hosts age out. Timestamps are
+// model-timeline nanoseconds (Model.NowNs), so aging follows virtual
+// time when the virtual engine drives the run.
 type fdbEntry struct {
 	port *Port
-	seen time.Time
+	seen int64
 }
 
 // fdbAgeLimit is the forwarding-table aging time. Real switches age
@@ -66,7 +68,7 @@ func NewSwitch(model *costmodel.Model) *Switch {
 func (s *Switch) Counters() *costmodel.Counters { return s.count }
 
 type timedFrame struct {
-	deliverAt time.Time
+	deliverAt int64 // model-timeline ns (Model.NowNs)
 	frame     []byte
 }
 
@@ -79,8 +81,9 @@ type Port struct {
 	recv   func(frame []byte)
 	queue  chan timedFrame
 	closed bool
-	// busyUntil tracks when this port's transmit line frees up.
-	busyUntil time.Time
+	// busyUntil tracks when this port's transmit line frees up
+	// (model-timeline ns).
+	busyUntil int64
 }
 
 // AttachPort creates a port delivering inbound frames to recv.
@@ -134,9 +137,10 @@ func (p *Port) Close() {
 const deliverSlack = 20 * time.Microsecond
 
 func (p *Port) deliverLoop() {
+	model := p.sw.model
 	for tf := range p.queue {
-		if wait := time.Until(tf.deliverAt); wait > deliverSlack {
-			costmodel.SleepPrecise(wait)
+		if wait := tf.deliverAt - model.NowNs(); wait > int64(deliverSlack) {
+			model.SleepUntil(tf.deliverAt)
 		}
 		p.mu.Lock()
 		recv := p.recv
@@ -157,21 +161,22 @@ func (p *Port) deliverLoop() {
 func (p *Port) Send(frame []byte) error {
 	s := p.sw
 	ser := s.model.WireDelay(len(frame))
-	now := time.Now()
+	now := s.model.NowNs()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return ErrPortClosed
 	}
-	if p.busyUntil.Before(now) {
+	if p.busyUntil < now {
 		p.busyUntil = now
 	}
-	p.busyUntil = p.busyUntil.Add(ser)
-	lead := p.busyUntil.Sub(now)
-	deliverAt := p.busyUntil.Add(s.model.WireLatency)
+	p.busyUntil += int64(ser)
+	lead := p.busyUntil - now
+	deliverAt := p.busyUntil + int64(s.model.WireLatency)
+	target := p.busyUntil - int64(maxWireLead)
 	p.mu.Unlock()
-	if lead > maxWireLead {
-		costmodel.SleepPrecise(lead - maxWireLead)
+	if lead > int64(maxWireLead) {
+		s.model.SleepUntil(target)
 	}
 	s.count.FramesOnWire.Add(1)
 
@@ -185,7 +190,7 @@ func (p *Port) Send(frame []byte) error {
 		s.fdb[eth.Src] = fdbEntry{port: p, seen: now}
 	}
 	var targets []*Port
-	if dst, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsBroadcast() && now.Sub(dst.seen) <= fdbAgeLimit {
+	if dst, ok := s.fdb[eth.Dst]; ok && !eth.Dst.IsBroadcast() && now-dst.seen <= int64(fdbAgeLimit) {
 		if dst.port != p {
 			targets = []*Port{dst.port}
 		}

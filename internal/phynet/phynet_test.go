@@ -187,7 +187,7 @@ func TestFDBEntryAgesOut(t *testing.T) {
 	// re-teach the switch.
 	sw.mu.Lock()
 	e := sw.fdb[guest]
-	e.seen = e.seen.Add(-2 * fdbAgeLimit)
+	e.seen -= int64(2 * fdbAgeLimit)
 	sw.fdb[guest] = e
 	sw.mu.Unlock()
 	if err := sender.Transmit(pkt.BuildFrame(guest, sender.MAC(), pkt.EtherTypeIPv4, []byte("two"))); err != nil {

@@ -12,8 +12,10 @@ package splitdriver
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bridge"
@@ -67,6 +69,12 @@ type Netfront struct {
 	recv   func(frame []byte)
 	rxq    chan *buf.Buffer
 	quit   chan struct{}
+
+	// evBusy counts event handlers (txCompleteEvent/rxEvent) still
+	// inside their body. Disconnect waits for it to reach zero before
+	// recycling slot buffers, so no straggling upcall can read a buffer
+	// that a later attach is already reusing.
+	evBusy atomic.Int32
 
 	stats Stats
 }
@@ -317,6 +325,8 @@ func (nf *Netfront) Transmit(frame []byte) error {
 // txCompleteEvent runs in the guest's event context when the backend has
 // consumed TX requests: recycle slot buffers and wake blocked senders.
 func (nf *Netfront) txCompleteEvent() {
+	nf.evBusy.Add(1)
+	defer nf.evBusy.Add(-1)
 	nf.mu.Lock()
 	sh := nf.sh
 	if sh == nil || nf.closed {
@@ -348,6 +358,8 @@ func (nf *Netfront) txCompleteEvent() {
 // processing may block on a full TX ring, whose completions arrive on
 // this very dispatcher.
 func (nf *Netfront) rxEvent() {
+	nf.evBusy.Add(1)
+	defer nf.evBusy.Add(-1)
 	nf.mu.Lock()
 	sh := nf.sh
 	closed := nf.closed
@@ -430,7 +442,7 @@ func stalled(r *ring.Ring, prevCons *uint32, prevPending *bool) bool {
 // stuck one recovers within milliseconds instead of wedging a blocked
 // Transmit forever.
 func (nf *Netfront) watchdog() {
-	t := time.NewTicker(watchdogTick)
+	t := nf.model.NewTicker(watchdogTick)
 	defer t.Stop()
 	var (
 		txCons, txcCons, rxcCons uint32
@@ -501,9 +513,21 @@ func (nf *Netfront) Disconnect() {
 	_ = nf.guest.ClosePort(txPort)
 	_ = nf.guest.ClosePort(rxPort)
 	if sh != nil {
+		// Wait out straggling event handlers (closed is already set, so
+		// new ones return at the top), then release the grants. A buffer
+		// whose EndAccess succeeds is unreachable — no mapping, no copy
+		// in flight (copies hold the grant-table lock), no handler — and
+		// safe to recycle for the next attach.
+		for nf.evBusy.Load() != 0 {
+			runtime.Gosched()
+		}
 		for i := range sh.txRefs {
-			_ = nf.guest.EndAccess(sh.txRefs[i])
-			_ = nf.guest.EndAccess(sh.rxRefs[i])
+			if nf.guest.EndAccess(sh.txRefs[i]) == nil {
+				sh.txBufs[i].Recycle()
+			}
+			if nf.guest.EndAccess(sh.rxRefs[i]) == nil {
+				sh.rxBufs[i].Recycle()
+			}
 		}
 		_ = nf.guest.EndAccess(nf.shRef)
 	}
@@ -528,7 +552,7 @@ func (nf *Netfront) Shutdown() {
 		select {
 		case frame := <-nf.rxq:
 			frame.Release()
-		case <-time.After(2 * time.Millisecond):
+		case <-nf.model.After(2 * time.Millisecond):
 			return
 		}
 	}

@@ -348,8 +348,11 @@ func EstablishChannel(vm1, vm2 *VM) error {
 	if vm1.XL == nil || vm2.XL == nil {
 		return fmt.Errorf("testbed: XenLoop not enabled on both VMs")
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	// Deadline and pacing run on the model timeline so a virtual-clock
+	// testbed establishes channels in virtual milliseconds of wall time.
+	model := vm1.Stack.Model()
+	deadline := model.NowNs() + int64(10*time.Second)
+	for model.NowNs() < deadline {
 		vm1.Machine.Discovery.Scan()
 		// Traffic triggers bootstrap ("when one of the guest VMs detects
 		// the first network traffic destined to a co-resident VM").
@@ -357,7 +360,7 @@ func EstablishChannel(vm1, vm2 *VM) error {
 		if vm1.XL.HasChannelTo(vm2.MAC) && vm2.XL.HasChannelTo(vm1.MAC) {
 			return nil
 		}
-		time.Sleep(20 * time.Millisecond)
+		model.Sleep(20 * time.Millisecond)
 	}
 	return fmt.Errorf("testbed: XenLoop channel did not establish")
 }

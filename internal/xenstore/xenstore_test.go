@@ -3,7 +3,6 @@ package xenstore
 import (
 	"errors"
 	"testing"
-	"time"
 )
 
 func TestWriteReadRemove(t *testing.T) {
@@ -90,13 +89,15 @@ func TestWatchFiresOnWriteAndRemove(t *testing.T) {
 	defer w.Cancel()
 	_ = s.Write(0, "/local/domain/9/xenloop", "adv")
 
+	// Delivery happens under store.mu before Write returns, so the event
+	// is already buffered: assert without a timed wait.
 	select {
 	case ev := <-w.C:
 		if ev.Type != EventWrite || ev.Path != "/local/domain/9/xenloop" {
 			t.Fatalf("event %+v", ev)
 		}
-	case <-time.After(time.Second):
-		t.Fatal("write event not delivered")
+	default:
+		t.Fatal("write event not delivered synchronously")
 	}
 
 	_ = s.Remove(0, "/local/domain/9")
@@ -105,8 +106,8 @@ func TestWatchFiresOnWriteAndRemove(t *testing.T) {
 		if ev.Type != EventRemove {
 			t.Fatalf("event %+v", ev)
 		}
-	case <-time.After(time.Second):
-		t.Fatal("remove event not delivered")
+	default:
+		t.Fatal("remove event not delivered synchronously")
 	}
 }
 
@@ -115,10 +116,13 @@ func TestWatchDoesNotFireOutsideSubtree(t *testing.T) {
 	w, _ := s.Watch(0, "/local/domain/1")
 	defer w.Cancel()
 	_ = s.Write(0, "/local/domain/10/name", "x") // sibling prefix, not descendant
+	// A matching event would have been buffered synchronously by the
+	// Write above; an empty channel now proves it never fired — no
+	// sleep-and-hope window needed.
 	select {
 	case ev := <-w.C:
 		t.Fatalf("unexpected event %+v", ev)
-	case <-time.After(50 * time.Millisecond):
+	default:
 	}
 }
 
