@@ -47,14 +47,16 @@ import (
 
 // runCtx carries the parsed flags into experiment bodies.
 type runCtx struct {
-	opts        bench.ExpOptions
-	short       bool
-	virtual     bool
-	maxDrift    float64
-	maxOverhead float64
-	chaosSeed   int64
-	chaosSeeds  int
-	chaosDur    time.Duration
+	opts          bench.ExpOptions
+	short         bool
+	virtual       bool
+	maxDrift      float64
+	scaleMaxDrift float64
+	maxOverhead   float64
+	meshGuests    int
+	chaosSeed     int64
+	chaosSeeds    int
+	chaosDur      time.Duration
 }
 
 // experiment is one row of the registry.
@@ -84,6 +86,9 @@ var experiments = []experiment{
 	{"datapath", "FIFO/channel microbenchmarks + instrumentation overhead A/B", "BENCH_datapath.json", true, false, runDatapath},
 	{"scale", "multi-sender scalability of the lock-free fast path", "BENCH_scale.json", true, true, runScale},
 	{"latency", "request-response latency percentiles, channel vs netfront", "BENCH_latency.json", true, true, runLatency},
+	// The mesh sweep is not part of "all": at 128 guests it is a lifecycle
+	// stress, always run on the virtual clock (it implies -virtual).
+	{"mesh", "bounded mesh at 16..128 guests: channel lifecycle under budget", "BENCH_mesh.json", false, true, runMesh},
 	// The chaos soak is deliberately not part of "all": it is a fault
 	// injection stress, not a paper figure, and it runs for seeds*duration.
 	{"chaos", "seeded fault-injection soak of a 4-guest mesh", "", false, true, runChaosExp},
@@ -107,7 +112,9 @@ func main() {
 	short := flag.Bool("short", false, "trim sweeps for smoke runs (scale: senders {1,8}; latency: 64KiB x 1 sender)")
 	virtual := flag.Bool("virtual", false, "run on the discrete-event clock: durations are virtual seconds, wall time is CPU-bound (latency, chaos)")
 	maxDrift := flag.Float64("latency.maxdrift", 0, "with -virtual: fail if the virtual channel/netfront p50 ratio drifts from a calibrated reference run by more than this fraction (0 = report only)")
+	scaleMaxDrift := flag.Float64("scale.maxdrift", 0, "with -virtual: fail if the virtual 8-vs-1 sender speedup drifts from a calibrated reference run by more than this fraction (0 = report only)")
 	maxOverhead := flag.Float64("maxoverhead", 0, "datapath: fail if hist_overhead_frac exceeds this (0 = report only)")
+	meshGuests := flag.Int("mesh.guests", 0, "run the mesh experiment at this single guest count (0 = full sweep)")
 	chaosSeed := flag.Int64("chaos.seed", 0, "run the chaos experiment with this single seed (0 = seed sweep)")
 	chaosSeeds := flag.Int("chaos.seeds", 20, "number of seeds (1..N) in the chaos sweep")
 	chaosDur := flag.Duration("chaos.duration", 2*time.Second, "per-seed chaos soak duration")
@@ -149,13 +156,15 @@ func main() {
 			Iters:         *iters,
 			FIFOSizeBytes: *fifo,
 		},
-		short:       *short,
-		virtual:     *virtual,
-		maxDrift:    *maxDrift,
-		maxOverhead: *maxOverhead,
-		chaosSeed:   *chaosSeed,
-		chaosSeeds:  *chaosSeeds,
-		chaosDur:    *chaosDur,
+		short:         *short,
+		virtual:       *virtual,
+		maxDrift:      *maxDrift,
+		scaleMaxDrift: *scaleMaxDrift,
+		maxOverhead:   *maxOverhead,
+		meshGuests:    *meshGuests,
+		chaosSeed:     *chaosSeed,
+		chaosSeeds:    *chaosSeeds,
+		chaosDur:      *chaosDur,
 	}
 
 	var run []string
@@ -446,7 +455,103 @@ func runScale(c *runCtx) error {
 		fmt.Printf("  8-sender vs 1-sender:  %8.2fx aggregate\n", res.Speedup8v1)
 	}
 	fmt.Println()
-	return writeJSON("BENCH_scale.json", res)
+	if err := writeJSON("BENCH_scale.json", res); err != nil {
+		return err
+	}
+	if c.virtual {
+		return scaleDriftGate(c, res)
+	}
+	return nil
+}
+
+// scaleDriftGate checks that the virtual clock's multi-core overlap model
+// reproduces the calibrated profile's headline scaling result: the
+// 8-vs-1-sender aggregate speedup from a -virtual run must stay within
+// -scale.maxdrift of a calibrated (wall-clock) reference measured in the
+// same process. References always run the full 400ms window regardless of
+// -short: a short wall window is dominated by channel warm-up and
+// understates the steady-state speedup, which would make the gate compare
+// two different regimes. Median of three, as in the latency gate.
+func scaleDriftGate(c *runCtx, virt bench.ScaleResult) error {
+	if virt.Speedup8v1 == 0 {
+		return fmt.Errorf("scale drift gate: virtual run has no 8-vs-1 speedup (need sender counts 1 and 8)")
+	}
+	cal := c.opts
+	cal.Virtual = false
+	cal.Duration = 400 * time.Millisecond
+	var refs []float64
+	for i := 0; i < 3; i++ {
+		ref, err := bench.Scale(cal, []int{1, 8})
+		if err != nil {
+			return fmt.Errorf("calibrated reference run: %w", err)
+		}
+		if ref.Speedup8v1 == 0 {
+			return fmt.Errorf("scale drift gate: calibrated reference has no 8-vs-1 speedup")
+		}
+		refs = append(refs, ref.Speedup8v1)
+	}
+	sort.Float64s(refs)
+	cr := refs[len(refs)/2]
+	drift := math.Abs(virt.Speedup8v1-cr) / cr
+	fmt.Printf("  scale drift: virtual 8v1 %.2fx vs calibrated median %.2fx (refs %.2f/%.2f/%.2f, %.1f%% drift)\n\n",
+		virt.Speedup8v1, cr, refs[0], refs[1], refs[2], drift*100)
+	if c.scaleMaxDrift > 0 && drift > c.scaleMaxDrift {
+		return fmt.Errorf("virtual/calibrated 8v1 speedup drift %.1f%% exceeds budget %.1f%%",
+			drift*100, c.scaleMaxDrift*100)
+	}
+	return nil
+}
+
+// runMesh drives the bounded-mesh lifecycle sweep. It always runs on the
+// virtual clock — a 128-guest point simulated against wall time would take
+// minutes for no extra fidelity.
+func runMesh(c *runCtx) error {
+	o := c.opts
+	o.Virtual = true
+	guests := bench.DefaultMeshGuests
+	if c.short {
+		guests = bench.ShortMeshGuests
+		if o.Duration > 150*time.Millisecond {
+			o.Duration = 150 * time.Millisecond
+		}
+	}
+	if c.meshGuests > 0 {
+		guests = []int{c.meshGuests}
+	}
+	res, err := bench.Mesh(o, guests)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Bounded mesh: traffic-frequency channel lifecycle under budget:")
+	fmt.Printf("  config: max %d channels, %d grant pages, admit %d pkts/%.0fms, idle %.0fms\n",
+		res.MaxChannels, res.GrantPageBudget, res.AdmitPkts, res.AdmitWindowMs, res.IdleTimeoutMs)
+	for _, pt := range res.Points {
+		fmt.Printf("  %3d guests: %8.3f Mpkts/s  hot-hit %5.1f%%  evictions %-6d grant peak %d/%d  wall %dms\n",
+			pt.Guests, pt.AggregateMpktsPerSec, pt.HotHitRate*100, pt.Evictions,
+			pt.MaxGrantPeak, res.GrantPageBudget, pt.WallMs)
+		if pt.BudgetExceeded {
+			fmt.Printf("  %3d guests: GRANT BUDGET EXCEEDED (peak %d > %d)\n", pt.Guests, pt.MaxGrantPeak, res.GrantPageBudget)
+		}
+		if pt.ResourceLeak {
+			fmt.Printf("  %3d guests: RESOURCE LEAK after detach\n", pt.Guests)
+		}
+	}
+	fmt.Println()
+	if err := writeJSON("BENCH_mesh.json", res); err != nil {
+		return err
+	}
+	for _, pt := range res.Points {
+		if pt.BudgetExceeded {
+			return fmt.Errorf("%d guests: grant peak %d exceeded budget %d", pt.Guests, pt.MaxGrantPeak, res.GrantPageBudget)
+		}
+		if pt.ResourceLeak {
+			return fmt.Errorf("%d guests: resources leaked after detach", pt.Guests)
+		}
+		if pt.HotHitRate < 0.90 {
+			return fmt.Errorf("%d guests: hot-pair channel hit rate %.1f%% below 90%%", pt.Guests, pt.HotHitRate*100)
+		}
+	}
+	return nil
 }
 
 func runLatency(c *runCtx) error {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/buf"
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/faultinject"
 	"repro/internal/hypervisor"
@@ -58,9 +59,26 @@ type ChaosOptions struct {
 	// the number of simulated packets — the real CPU cost — stays
 	// bounded while virtual time covers the full duration.
 	SendGap time.Duration
+	// BudgetPressure runs every module with a deliberately undersized
+	// channel lifecycle budget (one channel, two grant pages, a short
+	// idle timeout) while the default mesh grows to 6 guests — more
+	// co-resident pairs than any module can hold channels for, so
+	// admission and eviction churn continuously *during* traffic and
+	// every fault lands with teardown in flight. The run must still
+	// satisfy every transparency invariant: evicted flows fall back to
+	// the standard path losslessly.
+	BudgetPressure bool
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
+
+// Budget-pressure lifecycle config: budget < co-resident pairs by
+// construction (6 guests over 2 machines = 2 peers per guest, 1 slot).
+const (
+	pressureMaxChannels = 1
+	pressureGrantPages  = 2 // exactly one created channel's FIFO pages
+	pressureIdle        = 150 * time.Millisecond
+)
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
 	if o.Duration <= 0 {
@@ -68,6 +86,9 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	}
 	if o.VMs <= 0 {
 		o.VMs = 4
+		if o.BudgetPressure {
+			o.VMs = 6
+		}
 	}
 	if o.Machines <= 0 {
 		o.Machines = 2
@@ -105,6 +126,10 @@ type ChaosResult struct {
 	PktsChannel  uint64 // pushed into FIFO channels, summed over modules
 	PktsReceived uint64 // drained from FIFO channels, summed over modules
 	PktsPurged   uint64 // waiting-list packets dropped at teardown
+
+	Evictions    uint64 // lifecycle evictions (budget, grants, idleness)
+	Refusals     uint64 // admissions refused (nothing evictable / holddown)
+	MaxGrantPeak int    // highest per-module grant-page peak observed
 
 	Violations []ChaosViolation
 }
@@ -208,7 +233,15 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 	now := model.NowNs
 	sleep := model.Sleep
 
-	tb := testbed.New(testbed.Options{Model: model, DiscoveryPeriod: 25 * time.Millisecond})
+	tbOpts := testbed.Options{Model: model, DiscoveryPeriod: 25 * time.Millisecond}
+	if o.BudgetPressure {
+		tbOpts.Core = core.Config{
+			MaxChannels:     pressureMaxChannels,
+			GrantPageBudget: pressureGrantPages,
+			IdleTimeout:     pressureIdle,
+		}
+	}
+	tb := testbed.New(tbOpts)
 	defer tb.Close()
 	machines := make([]*testbed.Machine, o.Machines)
 	for i := range machines {
@@ -492,9 +525,25 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 		res.PktsChannel += s.PktsChannel
 		res.PktsReceived += s.PktsReceived
 		res.PktsPurged += s.PktsPurged
+		res.Evictions += s.ChannelsEvicted
+		res.Refusals += s.ChannelsRefused
+		if s.GrantPagesPeak > res.MaxGrantPeak {
+			res.MaxGrantPeak = s.GrantPagesPeak
+		}
 	}
 	if res.PktsChannel != res.PktsReceived {
 		violate("channel-conservation", "pushed %d != received %d", res.PktsChannel, res.PktsReceived)
+	}
+	if o.BudgetPressure {
+		// The schedule exists to force evictions mid-traffic; a run with
+		// none exercised nothing and must not pass silently.
+		if res.Evictions == 0 {
+			violate("budget-pressure", "no evictions despite budget < active pairs")
+		}
+		if res.MaxGrantPeak > pressureGrantPages {
+			violate("grant-budget", "grant-page peak %d exceeds budget %d",
+				res.MaxGrantPeak, pressureGrantPages)
+		}
 	}
 
 	res.Delivered = delivered.Load()
@@ -510,9 +559,10 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 		}
 	}
 
-	o.Log("chaos seed=%d: sent=%d delivered=%d dups=%d migrations=%d suspends=%d flaps=%d faults=%d channel=%d/%d purged=%d violations=%d",
+	o.Log("chaos seed=%d: sent=%d delivered=%d dups=%d migrations=%d suspends=%d flaps=%d faults=%d channel=%d/%d purged=%d evicted=%d refused=%d violations=%d",
 		res.Seed, res.Sent, res.Delivered, res.Duplicates, res.Migrations,
 		res.SuspendResumes, res.AdFlaps, res.FaultsArmed,
-		res.PktsChannel, res.PktsReceived, res.PktsPurged, len(res.Violations))
+		res.PktsChannel, res.PktsReceived, res.PktsPurged,
+		res.Evictions, res.Refusals, len(res.Violations))
 	return res, nil
 }

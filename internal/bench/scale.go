@@ -299,12 +299,26 @@ func scalePoint(o ExpOptions, senders int) (ScalePoint, error) {
 	return pt, nil
 }
 
+// scaleOverlapWindow bounds how far one vCPU may lag the virtual clock in
+// multi-sender runs (see VirtualClock.SetOverlap): wide enough that a
+// just-woken worker overlaps its drain with the senders that fed it,
+// narrow enough that stale goroutines cannot backdate whole batches.
+const scaleOverlapWindow = 200 * time.Microsecond
+
 // Scale runs the multi-sender scalability experiment for the given sender
 // counts (nil = DefaultScaleSenders).
 func Scale(o ExpOptions, senders []int) (ScaleResult, error) {
 	o = o.withDefaults()
 	o, stop := o.virtualize()
 	defer stop()
+	if vc := o.Model.VClock(); vc != nil {
+		// Multi-sender throughput needs the multi-core overlap model:
+		// without it every sender's charges serialize onto one virtual
+		// timeline and the 8-vs-1 aggregate speedup collapses to ~1x,
+		// where the calibrated engine's elapsed-time spins overlap.
+		vc.SetOverlap(scaleOverlapWindow)
+		defer vc.SetOverlap(0)
+	}
 	if senders == nil {
 		senders = DefaultScaleSenders
 	}

@@ -76,6 +76,15 @@ type Channel struct {
 	signal chan struct{}
 	quit   chan struct{}
 	once   sync.Once
+
+	// Lifecycle bookkeeping (read/written only when the module is
+	// flow-controlled). refBit is the CLOCK reference bit: set by send
+	// and receive activity, latched into lastActive and cleared by each
+	// sweep; a channel whose bit stayed clear is the preferred eviction
+	// victim. lastActive is the model-clock time of the last sweep that
+	// found the bit set.
+	refBit     atomic.Bool
+	lastActive atomic.Int64
 }
 
 // Connected reports whether the channel carries data traffic.
@@ -426,6 +435,9 @@ func (ch *Channel) drainIncoming() bool {
 	if n == 0 {
 		return false
 	}
+	if m.flowCtl {
+		ch.refBit.Store(true) // receive traffic also keeps a channel resident
+	}
 	m.stats.PktsReceived.Add(uint64(n))
 	if in.ConsumeProducerWaiting() {
 		_ = m.dom.NotifyPort(port) // space freed: wake the peer's sender
@@ -558,6 +570,9 @@ func (ch *Channel) stop() {
 // When the connector side observes traffic first, it asks the listener to
 // begin via a channel-request message. m.mu must be held.
 func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Channel {
+	if m.flowCtl && !m.admitChannelLocked(mac, m.model.NowNs()) {
+		return nil // over budget or in holddown: flow stays on netfront
+	}
 	ch := &Channel{
 		mod:    m,
 		peer:   Identity{Dom: peerDom, MAC: mac},
@@ -565,6 +580,7 @@ func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Ch
 		signal: make(chan struct{}, 1),
 		quit:   make(chan struct{}),
 	}
+	ch.lastActive.Store(m.model.NowNs())
 	ch.state.Store(chanBootstrapping)
 	m.channels[mac] = ch
 	m.publishRoutesLocked()
@@ -586,17 +602,28 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 	_ = faultinject.Fire(faultinject.FPBootstrapStall)
 	outDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
 	inDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
+	// Acquire the two budgeted grant pages before taking resMu: under
+	// grant-page pressure this can evict a victim and wait for its
+	// teardown (which itself needs resMu ordering) to return pages.
+	outRef, inRef, err := m.grantChannelPages(ch.peer, outDesc, inDesc)
+	if err != nil {
+		trace.Record(trace.KindChannelDn, m.actor(), "bootstrap to %s aborted: %v", ch.peer.MAC, err)
+		m.abortBootstrap(ch)
+		return
+	}
 	ch.resMu.Lock()
 	if ch.state.Load() == chanInactive {
 		// Released before setup (peer vanished from an announcement):
-		// nothing durable allocated yet, just walk away.
+		// return the grants we just took; nothing else durable exists.
 		ch.resMu.Unlock()
+		_ = m.dom.EndAccess(outRef)
+		_ = m.dom.EndAccess(inRef)
 		return
 	}
 	ch.out = fifo.Attach(outDesc)
 	ch.in = fifo.Attach(inDesc)
-	ch.outRef = m.dom.GrantAccess(ch.peer.Dom, outDesc)
-	ch.inRef = m.dom.GrantAccess(ch.peer.Dom, inDesc)
+	ch.outRef = outRef
+	ch.inRef = inRef
 	port, err := m.dom.AllocUnboundPort(ch.peer.Dom)
 	if err != nil {
 		ch.resMu.Unlock()
@@ -700,6 +727,15 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 		return
 	}
 	if ch == nil {
+		// The listener already spent its grant pages on this channel, so
+		// admit if at all possible — evict a victim at the cap — and
+		// refuse only when every slot is pinned or the flow is barred.
+		// A refused listener retransmits and eventually aborts, freeing
+		// its pages.
+		if m.flowCtl && !m.admitChannelLocked(msg.Listener.MAC, m.model.NowNs()) {
+			m.mu.Unlock()
+			return
+		}
 		ch = &Channel{
 			mod:    m,
 			peer:   msg.Listener,
@@ -707,6 +743,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 			signal: make(chan struct{}, 1),
 			quit:   make(chan struct{}),
 		}
+		ch.lastActive.Store(m.model.NowNs())
 		ch.state.Store(chanBootstrapping)
 		m.channels[msg.Listener.MAC] = ch
 		m.publishRoutesLocked()

@@ -1,0 +1,70 @@
+package core_test
+
+// Budget-pressure chaos: the evict-vs-inflight race coverage. The soak
+// runs with ChaosOptions.BudgetPressure — one channel slot and two grant
+// pages per module in a 6-guest mesh, so admission and eviction churn
+// continuously while the fault schedule fires — and must still satisfy
+// every PR 3 invariant: no duplicate delivery, no phantom delivery, zero
+// grant/lease leaks, exact channel conservation, post-quiesce
+// reachability. Runs both wall-clock (under -race in CI) and on the
+// deterministic virtual clock. Bit-replay comparison of counter
+// snapshots (bench.ChaosDeterministic style) is deliberately out of
+// scope here: eviction holddown decisions compare virtual timestamps,
+// and the event clock replays the schedule, not the timestamps.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func runBudgetPressure(t *testing.T, o bench.ChaosOptions) bench.ChaosResult {
+	t.Helper()
+	o.BudgetPressure = true
+	o.Log = t.Logf
+	r, err := bench.Chaos(o)
+	if err != nil {
+		t.Fatalf("budget-pressure chaos harness: %v", err)
+	}
+	for _, v := range r.Violations {
+		t.Errorf("seed %d: %s", r.Seed, v)
+	}
+	if r.Delivered == 0 {
+		t.Errorf("seed %d: no datagrams delivered under budget pressure", r.Seed)
+	}
+	return r
+}
+
+func TestChaosBudgetPressure(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := runBudgetPressure(t, bench.ChaosOptions{
+				Seed:     seed,
+				Duration: 400 * time.Millisecond,
+			})
+			t.Logf("seed %d: evictions=%d refusals=%d grant peak=%d",
+				seed, r.Evictions, r.Refusals, r.MaxGrantPeak)
+		})
+	}
+}
+
+func TestChaosBudgetPressureVirtual(t *testing.T) {
+	dur := 20 * time.Second // virtual seconds
+	if testing.Short() {
+		dur = 5 * time.Second
+	}
+	r := runBudgetPressure(t, bench.ChaosOptions{
+		Seed:     1,
+		Duration: dur,
+		Virtual:  true,
+		SendGap:  50 * time.Millisecond,
+	})
+	t.Logf("virtual: evictions=%d refusals=%d grant peak=%d delivered=%d",
+		r.Evictions, r.Refusals, r.MaxGrantPeak, r.Delivered)
+}

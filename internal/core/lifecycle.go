@@ -1,0 +1,280 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hypervisor"
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+// This file is the traffic-frequency channel lifecycle: which flows earn
+// a channel (admission), which channels lose theirs when the module is
+// over its channel or grant-page budget (eviction), and the sweeper that
+// ages both decisions. All of it is gated behind Module.flowCtl — with
+// the default Config every per-packet branch it adds is a single boolean
+// test and the module behaves exactly as before: first packet toward a
+// co-resident peer bootstraps a channel that lives until discovery or
+// teardown removes it.
+
+// flowStat tracks one peer flow's send rate in a two-epoch sliding
+// window, plus the flow's eviction holddown and pin state. All fields
+// are atomics: the struct is shared by every published route snapshot
+// and bumped from the lock-free fast path.
+type flowStat struct {
+	epoch atomic.Int64  // window index currently accumulating
+	cur   atomic.Uint64 // packets noted in the current window
+	prev  atomic.Uint64 // packets in the immediately preceding window
+
+	// evictedUntil bars re-admission until this model-clock deadline
+	// (ns), so an evicted flow cannot thrash straight back in.
+	evictedUntil atomic.Int64
+
+	// pinned exempts the flow from eviction and holddown (Module.Pin).
+	pinned atomic.Bool
+}
+
+// ageTo rolls the window forward to index w. Benign races: two
+// concurrent agers settle on one winner via the CAS; a lost note lands
+// in the neighboring window, which only blurs the estimate by one
+// packet.
+func (f *flowStat) ageTo(w int64) {
+	e := f.epoch.Load()
+	if w == e {
+		return
+	}
+	if f.epoch.CompareAndSwap(e, w) {
+		c := f.cur.Swap(0)
+		if w == e+1 {
+			f.prev.Store(c)
+		} else {
+			f.prev.Store(0) // window(s) skipped entirely: old rate is gone
+		}
+	}
+}
+
+// note records one packet at model time nowNs and returns the current
+// rate estimate: packets in the live window plus half the previous
+// window (a cheap triangular decay).
+func (f *flowStat) note(nowNs, windowNs int64) uint64 {
+	f.ageTo(nowNs / windowNs)
+	return f.cur.Add(1) + f.prev.Load()/2
+}
+
+// rate reads the estimate without recording a packet.
+func (f *flowStat) rate(nowNs, windowNs int64) uint64 {
+	f.ageTo(nowNs / windowNs)
+	return f.cur.Load() + f.prev.Load()/2
+}
+
+// barred reports whether the flow is in its post-eviction holddown.
+func (f *flowStat) barred(nowNs int64) bool {
+	return nowNs < f.evictedUntil.Load()
+}
+
+// flowLocked returns (creating if needed) the flow tracker for mac.
+// Requires m.mu.
+func (m *Module) flowLocked(mac pkt.MAC) *flowStat {
+	f := m.flows[mac]
+	if f == nil {
+		f = &flowStat{}
+		m.flows[mac] = f
+	}
+	return f
+}
+
+// Pin exempts (or re-subjects) the flow toward mac from eviction and
+// holddown. Hot pairs the operator knows about keep their channel
+// resident no matter what the victim ranking says.
+func (m *Module) Pin(mac pkt.MAC, pinned bool) {
+	m.mu.Lock()
+	m.flowLocked(mac).pinned.Store(pinned)
+	m.mu.Unlock()
+}
+
+// victimLocked picks the channel to evict, or nil if every channel is
+// pinned or excluded. Deterministic ranking: channels whose reference
+// bit is clear (no traffic since the last sweep) come first, then lower
+// estimated rate, then older last-activity, with the peer MAC as the
+// final tiebreak. Requires m.mu.
+func (m *Module) victimLocked(exclude pkt.MAC, nowNs int64) *Channel {
+	windowNs := int64(m.cfg.AdmitWindow)
+	type cand struct {
+		ch   *Channel
+		ref  bool
+		rate uint64
+		last int64
+		mac  string
+	}
+	var cands []cand
+	for mac, ch := range m.channels {
+		if mac == exclude {
+			continue
+		}
+		if f := m.flows[mac]; f != nil && f.pinned.Load() {
+			continue
+		}
+		c := cand{ch: ch, ref: ch.refBit.Load(), last: ch.lastActive.Load(), mac: mac.String()}
+		if f := m.flows[mac]; f != nil {
+			c.rate = f.rate(nowNs, windowNs)
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.ref != b.ref {
+			return !a.ref
+		}
+		if a.rate != b.rate {
+			return a.rate < b.rate
+		}
+		if a.last != b.last {
+			return a.last < b.last
+		}
+		return a.mac < b.mac
+	})
+	return cands[0].ch
+}
+
+// evictLocked removes ch from the active set, arms its flow's holddown,
+// and releases its resources asynchronously through the idempotent
+// teardown path (releaseChannel handles in-flight traffic: quiesce,
+// final drain, purge). Requires m.mu.
+func (m *Module) evictLocked(ch *Channel, nowNs int64, why string) {
+	mac := ch.peer.MAC
+	if m.channels[mac] != ch {
+		return // already gone (concurrent teardown)
+	}
+	delete(m.channels, mac)
+	if f := m.flowLocked(mac); !f.pinned.Load() {
+		f.evictedUntil.Store(nowNs + int64(m.cfg.EvictHolddown))
+	}
+	m.stats.ChannelsEvicted.Add(1)
+	m.publishRoutesLocked()
+	trace.Record(trace.KindChannelDn, m.actor(), "evicting channel to %s (%s)", mac, why)
+	go m.releaseChannel(ch, true)
+}
+
+// admitChannelLocked enforces holddown and the channel-count budget for
+// a prospective channel toward mac, evicting a victim when the budget is
+// full. Returns false when the channel must not be created now (the flow
+// keeps using the standard path). Requires m.mu.
+func (m *Module) admitChannelLocked(mac pkt.MAC, nowNs int64) bool {
+	if !m.flowCtl {
+		return true
+	}
+	if f := m.flows[mac]; f != nil && f.barred(nowNs) && !f.pinned.Load() {
+		return false
+	}
+	if limit := m.cfg.MaxChannels; limit > 0 && len(m.channels) >= limit {
+		v := m.victimLocked(mac, nowNs)
+		if v == nil {
+			m.stats.ChannelsRefused.Add(1)
+			return false
+		}
+		m.evictLocked(v, nowNs, "channel budget")
+	}
+	return true
+}
+
+// evictForGrantsLocked frees grant pages by evicting the lowest-ranked
+// victim; called when TryGrantAccess hits the budget mid-bootstrap.
+// Returns false when nothing was evictable.
+func (m *Module) evictForGrants(exclude pkt.MAC, nowNs int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.victimLocked(exclude, nowNs)
+	if v == nil {
+		return false
+	}
+	m.evictLocked(v, nowNs, "grant budget")
+	return true
+}
+
+// sweepLoop is the lifecycle sweeper: every SweepPeriod it latches each
+// channel's reference bit into lastActive and evicts channels idle past
+// IdleTimeout. Runs only when flowCtl is on; stops at Detach.
+func (m *Module) sweepLoop() {
+	t := m.model.NewTicker(m.cfg.SweepPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.sweepOnce()
+		case <-m.sweepQuit:
+			return
+		}
+	}
+}
+
+func (m *Module) sweepOnce() {
+	now := m.model.NowNs()
+	idle := int64(m.cfg.IdleTimeout)
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return
+	}
+	for mac, ch := range m.channels {
+		if ch.refBit.Swap(false) {
+			ch.lastActive.Store(now)
+			continue
+		}
+		if idle <= 0 || !ch.Connected() {
+			continue
+		}
+		if f := m.flows[mac]; f != nil && f.pinned.Load() {
+			continue
+		}
+		if now-ch.lastActive.Load() > idle {
+			m.evictLocked(ch, now, "idle timeout")
+		}
+	}
+	m.mu.Unlock()
+}
+
+// grantRetries x grantRetryPause bounds how long a listener bootstrap
+// waits for evicted channels to return their grant pages. Eviction
+// quiesces in-flight traffic for up to quiesceWait (50ms) before the
+// peer unmaps, so the window must comfortably exceed that.
+const (
+	grantRetries    = 8
+	grantRetryPause = 15 * time.Millisecond
+)
+
+// grantChannelPages acquires the two budgeted grant entries backing a
+// channel's FIFO descriptor pages. On budget exhaustion it evicts one
+// victim (once) and then polls, giving the evicted channel's teardown
+// time to EndAccess its pages; partial acquisitions are rolled back so
+// failure leaks nothing.
+func (m *Module) grantChannelPages(peer Identity, outObj, inObj any) (outRef, inRef hypervisor.GrantRef, err error) {
+	evicted := false
+	for attempt := 0; attempt < grantRetries; attempt++ {
+		if attempt > 0 {
+			m.model.Sleep(grantRetryPause)
+		}
+		outRef, err = m.dom.TryGrantAccess(peer.Dom, outObj)
+		if err == nil {
+			inRef, err = m.dom.TryGrantAccess(peer.Dom, inObj)
+			if err == nil {
+				return outRef, inRef, nil
+			}
+			_ = m.dom.EndAccess(outRef) // roll back the half-acquisition
+		}
+		if !evicted {
+			evicted = true
+			if !m.evictForGrants(peer.MAC, m.model.NowNs()) {
+				// Nothing evictable: polling cannot help.
+				m.stats.ChannelsRefused.Add(1)
+				return 0, 0, err
+			}
+		}
+	}
+	m.stats.ChannelsRefused.Add(1)
+	return 0, 0, err
+}

@@ -39,6 +39,11 @@ func (m *Module) initMetrics() {
 	r.RegisterCounter("xl_channels_closed_total", "channels torn down", m.stats.ChannelsClosed.Load)
 	r.RegisterCounter("xl_saved_resent_total", "saved packets resent after migration", m.stats.SavedResent.Load)
 	r.RegisterCounter("xl_pkts_purged_total", "waiting-list packets dropped at teardown", m.stats.PktsPurged.Load)
+	r.RegisterCounter("xl_channels_evicted_total", "channels evicted by budget or idleness", m.stats.ChannelsEvicted.Load)
+	r.RegisterCounter("xl_channels_refused_total", "channel admissions refused", m.stats.ChannelsRefused.Load)
+	r.RegisterCounter("xl_ann_full_total", "full-roster announcements applied", m.stats.AnnFull.Load)
+	r.RegisterCounter("xl_ann_delta_total", "delta announcements applied", m.stats.AnnDelta.Load)
+	r.RegisterCounter("xl_ann_dropped_total", "delta announcements dropped", m.stats.AnnDropped.Load)
 
 	r.RegisterGauge("xl_waiting_depth_max", "high-water mark of any channel's waiting list", m.stats.WaitingDepthMax.Load)
 	r.RegisterGauge("xl_channels_connected", "currently connected channels", func() uint64 { return uint64(m.ChannelCount()) })
@@ -49,6 +54,18 @@ func (m *Module) initMetrics() {
 	})
 	r.RegisterGauge("xl_saved_packets", "packets saved for post-migration resend", func() uint64 { return uint64(m.SavedCount()) })
 	r.RegisterGauge("xl_grants_outstanding", "live grant-table entries of this domain", func() uint64 { return uint64(m.dom.Introspect().Grants) })
+	r.RegisterGauge("xl_grant_pages_inuse", "budgeted channel grant pages currently granted", func() uint64 {
+		inUse, _, _ := m.dom.GrantAccounting()
+		return uint64(inUse)
+	})
+	r.RegisterGauge("xl_grant_pages_peak", "high-water mark of budgeted grant pages", func() uint64 {
+		_, peak, _ := m.dom.GrantAccounting()
+		return uint64(peak)
+	})
+	r.RegisterGauge("xl_grant_page_budget", "configured grant-page budget (0 = unlimited)", func() uint64 {
+		_, _, budget := m.dom.GrantAccounting()
+		return uint64(budget)
+	})
 	r.RegisterGauge("xl_ports_open", "event-channel ports held by this domain", func() uint64 { return uint64(m.dom.Introspect().Ports) })
 	r.RegisterGauge("xl_foreign_maps", "grant mappings held into foreign tables", func() uint64 { return uint64(m.dom.Introspect().ForeignMaps) })
 
@@ -99,11 +116,23 @@ type MetricsSnapshot struct {
 	SavedResent    uint64
 	PktsPurged     uint64
 
+	// Lifecycle and announcement-protocol counters.
+	ChannelsEvicted uint64
+	ChannelsRefused uint64
+	AnnFull         uint64
+	AnnDelta        uint64
+	AnnDropped      uint64
+
 	// Gauges.
 	WaitingDepthMax   uint64
 	ChannelsConnected int
 	Peers             int
 	SavedPackets      int
+
+	// Budgeted grant-page accounting (channel descriptor pages).
+	GrantPagesInUse int
+	GrantPagesPeak  int
+	GrantPageBudget int
 
 	// Resources is the domain's outstanding hypervisor resources.
 	Resources hypervisor.ResourceSnapshot
@@ -158,6 +187,11 @@ func (m *Module) Snapshot() MetricsSnapshot {
 		ChannelsClosed:  m.stats.ChannelsClosed.Load(),
 		SavedResent:     m.stats.SavedResent.Load(),
 		PktsPurged:      m.stats.PktsPurged.Load(),
+		ChannelsEvicted: m.stats.ChannelsEvicted.Load(),
+		ChannelsRefused: m.stats.ChannelsRefused.Load(),
+		AnnFull:         m.stats.AnnFull.Load(),
+		AnnDelta:        m.stats.AnnDelta.Load(),
+		AnnDropped:      m.stats.AnnDropped.Load(),
 		WaitingDepthMax: m.stats.WaitingDepthMax.Load(),
 		Peers:           peers,
 		SavedPackets:    saved,
@@ -169,6 +203,7 @@ func (m *Module) Snapshot() MetricsSnapshot {
 		TeardownQuiesce: m.lat.quiesce.Snapshot(),
 		HVCosts:         m.dom.Hypervisor().CostHists().Snapshot(),
 	}
+	s.GrantPagesInUse, s.GrantPagesPeak, s.GrantPageBudget = m.dom.GrantAccounting()
 	for _, ch := range chans {
 		cs := ChannelStatus{
 			Peer:       ch.peer,

@@ -65,6 +65,41 @@ type Config struct {
 	// benchmark's overhead guard measures exactly this toggle. Counters
 	// and control-plane histograms stay on.
 	DisableLatencyMetrics bool
+
+	// AdmitPkts is the traffic-frequency admission threshold: a flow
+	// earns a channel only once its estimated send rate reaches this many
+	// packets per AdmitWindow. The default 1 preserves the paper's
+	// first-packet bootstrap; raising it keeps cold flows on the
+	// netfront path (losslessly) so a 100-guest mesh doesn't burn a
+	// channel on every stray ping.
+	AdmitPkts int
+
+	// AdmitWindow is the sliding-window width for the rate estimate.
+	AdmitWindow time.Duration
+
+	// MaxChannels caps concurrently open channels (0 = unlimited). At
+	// the cap, admitting a new flow evicts the coldest victim — or is
+	// refused when every channel is pinned.
+	MaxChannels int
+
+	// GrantPageBudget caps the grant-table pages this module's channels
+	// may hold granted at once (0 = unlimited), enforced by the
+	// hypervisor's budgeted grant accounting. Each channel the module
+	// listens on grants two pages.
+	GrantPageBudget int
+
+	// IdleTimeout evicts a channel with no traffic in either direction
+	// for this long (0 = never). Requires the sweeper, which runs at
+	// SweepPeriod granularity.
+	IdleTimeout time.Duration
+
+	// EvictHolddown bars an evicted flow from re-admission for this
+	// long, so a flow hovering at the threshold cannot thrash. Default
+	// 2x AdmitWindow.
+	EvictHolddown time.Duration
+
+	// SweepPeriod is the lifecycle sweeper's tick. Default AdmitWindow/2.
+	SweepPeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,7 +115,26 @@ func (c Config) withDefaults() Config {
 	if c.MaxWaitingPackets <= 0 {
 		c.MaxWaitingPackets = 4096
 	}
+	if c.AdmitPkts <= 0 {
+		c.AdmitPkts = 1
+	}
+	if c.AdmitWindow <= 0 {
+		c.AdmitWindow = 100 * time.Millisecond
+	}
+	if c.EvictHolddown <= 0 {
+		c.EvictHolddown = 2 * c.AdmitWindow
+	}
+	if c.SweepPeriod <= 0 {
+		c.SweepPeriod = c.AdmitWindow / 2
+	}
 	return c
+}
+
+// flowControlled reports whether any lifecycle knob departs from the
+// legacy first-packet-forever behavior; it decides whether the fast path
+// pays the per-packet lifecycle bookkeeping at all.
+func (c Config) flowControlled() bool {
+	return c.AdmitPkts > 1 || c.MaxChannels > 0 || c.GrantPageBudget > 0 || c.IdleTimeout > 0
 }
 
 // Stats are the module's always-on counters. Fields bumped from the
@@ -100,6 +154,15 @@ type Stats struct {
 	ChannelsClosed  atomic.Uint64
 	SavedResent     atomic.Uint64 // packets resent after migration
 	PktsPurged      atomic.Uint64 // waiting-list packets dropped at teardown
+
+	// Lifecycle counters (all zero unless flow control is configured).
+	ChannelsEvicted atomic.Uint64 // evicted by budget, grant pressure or idleness
+	ChannelsRefused atomic.Uint64 // admission refused: budget full, nothing evictable
+
+	// Announcement-protocol counters.
+	AnnFull    atomic.Uint64 // full-roster announcements applied
+	AnnDelta   atomic.Uint64 // delta announcements applied
+	AnnDropped atomic.Uint64 // deltas dropped (unsynced or generation gap)
 }
 
 // Module is the XenLoop kernel module of one guest VM.
@@ -128,6 +191,26 @@ type Module struct {
 	saved    [][]byte // outgoing packets saved across migration
 	detached bool
 
+	// flows tracks per-peer traffic frequency for admission/eviction;
+	// entries are shared with route snapshots (all-atomic, so the fast
+	// path reads them lock-free). Guarded by mu for map mutation only.
+	flows map[pkt.MAC]*flowStat
+
+	// Announcement sync state: which discovery instance and generation
+	// this module's roster reflects, and the in-progress chunk
+	// reassembly. A delta applies only when it chains onto annGen.
+	annInstance uint32
+	annGen      uint32
+	annSynced   bool
+	annAsm      *annAssembly
+
+	// flowCtl mirrors cfg.flowControlled(); windowNs caches the admit
+	// window so the fast path divides by a plain int64.
+	flowCtl   bool
+	windowNs  int64
+	sweepQuit chan struct{}
+	sweepStop sync.Once
+
 	stats Stats
 
 	// Observability: the instrument registry, the latency histograms the
@@ -155,9 +238,15 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 		self:     Identity{Dom: dom.ID(), MAC: ifc.MAC()},
 		peers:    map[pkt.MAC]hypervisor.DomID{},
 		channels: map[pkt.MAC]*Channel{},
+		flows:    map[pkt.MAC]*flowStat{},
 	}
 	m.routes.Store(emptyRoutes)
 	m.latOn = !m.cfg.DisableLatencyMetrics
+	m.flowCtl = m.cfg.flowControlled()
+	m.windowNs = int64(m.cfg.AdmitWindow)
+	if m.cfg.GrantPageBudget > 0 {
+		dom.SetGrantBudget(m.cfg.GrantPageBudget)
+	}
 	m.initMetrics()
 	if m.cfg.MetricsAddr != "" {
 		if err := m.startMetricsServer(m.cfg.MetricsAddr); err != nil {
@@ -172,13 +261,24 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 	stack.RegisterEtherHandler(pkt.EtherTypeXenLoop, m.controlInput)
 	dom.OnPreMigrate(m.PreMigrate)
 	dom.OnPreStop(m.Detach)
+	if m.flowCtl {
+		m.sweepQuit = make(chan struct{})
+		go m.sweepLoop()
+	}
 	trace.Record(trace.KindBootstrap, m.actor(), "module attached, advertised %s", m.self.MAC)
 	return m, nil
 }
 
+// adEpochs stamps each advertisement with a process-unique epoch, so the
+// discovery module observes a re-attach (or post-migration re-advertise)
+// as a changed value and re-announces the guest as a join even when its
+// MAC and domain ID are unchanged.
+var adEpochs atomic.Uint64
+
 // advertise writes the XenStore entry the Dom0 discovery module scans for.
 func (m *Module) advertise() error {
-	return m.dom.StoreWrite(m.dom.StorePath()+"/xenloop", m.self.MAC.String())
+	value := fmt.Sprintf("%s#%d", m.self.MAC, adEpochs.Add(1))
+	return m.dom.StoreWrite(m.dom.StorePath()+"/xenloop", value)
 }
 
 // actor names this module in trace events.
@@ -244,11 +344,22 @@ func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
 	}
 	ch := r.ch
 	if ch == nil {
-		// First traffic toward this co-resident guest: bootstrap a
-		// channel on the fly; meanwhile traffic keeps flowing via
-		// netfront-netback. This is the one send-side branch that takes
-		// the control-plane lock, and it stops firing as soon as the
-		// rebuilt snapshot (published by startBootstrapLocked) lands.
+		// Traffic toward a co-resident guest with no channel yet. Under
+		// flow control the packet first feeds the flow's rate estimate,
+		// and only a flow past the admission threshold (and not in
+		// eviction holddown) bootstraps; cold flows keep flowing via
+		// netfront-netback, losslessly. With the default config every
+		// first packet admits, the paper's on-the-fly bootstrap.
+		if m.flowCtl && r.stat != nil {
+			now := m.model.NowNs()
+			if est := r.stat.note(now, m.windowNs); est < uint64(m.cfg.AdmitPkts) || r.stat.barred(now) {
+				m.stats.PktsStandard.Add(1)
+				return netstack.VerdictAccept
+			}
+		}
+		// This is the one send-side branch that takes the control-plane
+		// lock, and it stops firing as soon as the rebuilt snapshot
+		// (published by startBootstrapLocked) lands.
 		m.mu.Lock()
 		if m.detached {
 			m.mu.Unlock()
@@ -263,6 +374,14 @@ func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
 			ch = m.startBootstrapLocked(mac, peerDom)
 		}
 		m.mu.Unlock()
+	} else if m.flowCtl {
+		// Channel-resident flow: keep the rate estimate warm (it ranks
+		// eviction victims) and mark the channel referenced for the
+		// sweeper's CLOCK hand.
+		if r.stat != nil {
+			r.stat.note(m.model.NowNs(), m.windowNs)
+		}
+		ch.refBit.Store(true)
 	}
 
 	if ch == nil || !ch.Connected() {
@@ -300,37 +419,139 @@ func (m *Module) controlInput(_ *netstack.Iface, eth pkt.EthHeader, payload []by
 	_ = eth
 }
 
-// handleAnnounce refreshes the mapping table from a Dom0 announcement.
-// Guests absent from the announcement lose their channels — the
-// soft-state property that makes teardown automatic when a VM dies or
-// migrates away.
-func (m *Module) handleAnnounce(ann *announceMsg) {
+// annAssembly reassembles one multi-chunk announcement. Chunks of a
+// different (instance, gen) arriving mid-assembly restart it — Dom0 only
+// ever has one announcement in flight per guest, so a mismatch means the
+// old one is obsolete.
+type annAssembly struct {
+	instance, gen uint32
+	prevGen       uint32
+	full          bool
+	nchunks       int
+	got           []bool
+	nGot          int
+	joins         [][]Identity
+	leaves        [][]pkt.MAC
+}
+
+// handleAnnounce ingests one announcement chunk from Dom0, reassembling
+// multi-chunk announcements, then applies the roster update: a full
+// announcement replaces the mapping table (guests absent from it lose
+// their channels — the soft-state property that makes teardown automatic
+// when a VM dies or migrates away); a delta applies its joins and leaves
+// only when it chains onto the generation this module last applied, and
+// is dropped otherwise (the periodic full resync re-converges us).
+func (m *Module) handleAnnounce(c *announceChunk) {
 	m.mu.Lock()
 	if m.detached {
 		m.mu.Unlock()
 		return
 	}
-	fresh := map[pkt.MAC]hypervisor.DomID{}
-	for _, g := range ann.Guests {
-		if g.MAC == m.self.MAC {
-			continue // ourselves
-		}
-		fresh[g.MAC] = g.Dom
-	}
 	var stale []*Channel
-	for mac, ch := range m.channels {
-		if _, ok := fresh[mac]; !ok {
-			stale = append(stale, ch)
-			delete(m.channels, mac)
+	if c.NChunks == 1 {
+		stale = m.applyAnnounceLocked(c.Full, c.Instance, c.Gen, c.PrevGen, c.Joins, c.Leaves)
+	} else {
+		a := m.annAsm
+		if a == nil || a.instance != c.Instance || a.gen != c.Gen || a.full != c.Full || a.nchunks != c.NChunks {
+			a = &annAssembly{
+				instance: c.Instance, gen: c.Gen, prevGen: c.PrevGen,
+				full: c.Full, nchunks: c.NChunks,
+				got:   make([]bool, c.NChunks),
+				joins: make([][]Identity, c.NChunks), leaves: make([][]pkt.MAC, c.NChunks),
+			}
+			m.annAsm = a
+		}
+		if !a.got[c.Chunk] {
+			a.got[c.Chunk] = true
+			a.nGot++
+			a.joins[c.Chunk] = c.Joins
+			a.leaves[c.Chunk] = c.Leaves
+		}
+		if a.nGot == a.nchunks {
+			m.annAsm = nil
+			var joins []Identity
+			var leaves []pkt.MAC
+			for i := 0; i < a.nchunks; i++ {
+				joins = append(joins, a.joins[i]...)
+				leaves = append(leaves, a.leaves[i]...)
+			}
+			stale = m.applyAnnounceLocked(a.full, a.instance, a.gen, a.prevGen, joins, leaves)
 		}
 	}
-	m.peers = fresh
-	m.publishRoutesLocked()
 	m.mu.Unlock()
 
 	for _, ch := range stale {
 		m.releaseChannel(ch, true)
 	}
+}
+
+// applyAnnounceLocked applies one complete announcement and returns the
+// channels it obsoleted (released by the caller outside mu). Requires
+// m.mu.
+func (m *Module) applyAnnounceLocked(full bool, instance, gen, prevGen uint32, joins []Identity, leaves []pkt.MAC) []*Channel {
+	var stale []*Channel
+	if full {
+		fresh := map[pkt.MAC]hypervisor.DomID{}
+		for _, g := range joins {
+			if g.MAC == m.self.MAC {
+				continue // ourselves
+			}
+			fresh[g.MAC] = g.Dom
+		}
+		for mac, ch := range m.channels {
+			// A channel is stale when its peer left the roster OR kept
+			// its MAC but came back as a new domain (suspend/resume,
+			// re-create): the grant refs and event port belong to the
+			// dead incarnation.
+			if dom, ok := fresh[mac]; !ok || ch.peer.Dom != dom {
+				stale = append(stale, ch)
+				delete(m.channels, mac)
+			}
+		}
+		m.peers = fresh
+		m.annInstance, m.annGen, m.annSynced = instance, gen, true
+		m.stats.AnnFull.Add(1)
+		m.publishRoutesLocked()
+		return stale
+	}
+
+	// Delta. A duplicate of an already-applied generation is ignored; a
+	// delta that does not chain (unsynced, different instance, or a gap)
+	// marks us unsynced so stray later deltas are ignored too until the
+	// next full roster.
+	if m.annSynced && instance == m.annInstance && gen <= m.annGen {
+		return nil // duplicate or reordered stale delta
+	}
+	if !m.annSynced || instance != m.annInstance || prevGen != m.annGen {
+		m.annSynced = false
+		m.stats.AnnDropped.Add(1)
+		return nil
+	}
+	for _, mac := range leaves {
+		if ch := m.channels[mac]; ch != nil {
+			stale = append(stale, ch)
+			delete(m.channels, mac)
+		}
+		delete(m.peers, mac)
+	}
+	for _, g := range joins {
+		if g.MAC == m.self.MAC {
+			continue
+		}
+		if old, ok := m.peers[g.MAC]; ok && old != g.Dom {
+			// Same MAC, new domain ID: the peer migrated or was
+			// re-created; any channel we hold is to the dead instance.
+			if ch := m.channels[g.MAC]; ch != nil {
+				stale = append(stale, ch)
+				delete(m.channels, g.MAC)
+			}
+		}
+		m.peers[g.MAC] = g.Dom
+	}
+	m.annGen = gen
+	m.stats.AnnDelta.Add(1)
+	m.publishRoutesLocked()
+	return stale
 }
 
 // sendControl emits an out-of-band XenLoop-type message via the standard
@@ -349,6 +570,9 @@ func (m *Module) sendControl(dst pkt.MAC, payload []byte) {
 // XenStore advertisement, tear all channels down cleanly (§3.3), and
 // close the metrics endpoint if one was serving.
 func (m *Module) Detach() {
+	if m.sweepQuit != nil {
+		m.sweepStop.Do(func() { close(m.sweepQuit) })
+	}
 	m.teardownAll(false)
 	m.stopMetricsServer()
 }
@@ -375,6 +599,12 @@ func (m *Module) teardownAll(saving bool) {
 	}
 	m.channels = map[pkt.MAC]*Channel{}
 	m.peers = map[pkt.MAC]hypervisor.DomID{}
+	// Roster sync and flow state are machine-local: holddown deadlines
+	// reference the old machine's clock and the discovery instance over
+	// there no longer announces to us.
+	m.annSynced = false
+	m.annAsm = nil
+	m.flows = map[pkt.MAC]*flowStat{}
 	m.publishRoutesLocked()
 	m.mu.Unlock()
 

@@ -32,45 +32,153 @@ type Identity struct {
 	MAC pkt.MAC
 }
 
-// announceMsg is the Domain Discovery module's announcement: the collated
-// identities of every willing guest on the machine.
-type announceMsg struct {
-	Guests []Identity
+// Announcement flags (byte 2 of an announce frame).
+const (
+	annFull = 1 << 0 // frame carries (a chunk of) the full roster
+	annMore = 1 << 1 // more chunks of this announcement follow
+)
+
+// announceMTU caps one announce frame's payload. The original single-frame
+// format was 4+10n bytes, which silently exceeded the 1500-byte Ethernet
+// MTU past ~149 guests (and the uint16 count capped the roster); large
+// announcements are now chunked across frames instead.
+const announceMTU = 1400
+
+// annHeaderLen is the fixed announce chunk header: version, kind, flags,
+// chunk count/index, reserved byte, instance, gen, prevGen, join and
+// leave counts.
+const annHeaderLen = 22
+
+// announceChunk is one frame of a discovery announcement. An announcement
+// is either a full roster (annFull: Joins holds every willing guest) or a
+// delta — the joins and leaves since the previous generation. Generations
+// are scoped to a discovery instance: a guest applies a delta only when
+// (Instance, PrevGen) chain onto the last announcement it applied, and
+// otherwise waits for the periodic full-roster resync. Announcements
+// larger than announceMTU are split across NChunks frames sharing the
+// same (Instance, Gen) and reassembled by the receiver.
+type announceChunk struct {
+	Full     bool
+	More     bool
+	NChunks  int
+	Chunk    int
+	Instance uint32
+	Gen      uint32
+	PrevGen  uint32
+	Joins    []Identity
+	Leaves   []pkt.MAC
 }
 
-func (m *announceMsg) marshal() []byte {
-	b := make([]byte, 0, 4+len(m.Guests)*10)
-	b = append(b, protoVersion, msgAnnounce)
-	var n [2]byte
-	binary.BigEndian.PutUint16(n[:], uint16(len(m.Guests)))
-	b = append(b, n[:]...)
-	for _, g := range m.Guests {
+func (c *announceChunk) marshal() []byte {
+	b := make([]byte, annHeaderLen, annHeaderLen+len(c.Joins)*10+len(c.Leaves)*6)
+	b[0], b[1] = protoVersion, msgAnnounce
+	var flags byte
+	if c.Full {
+		flags |= annFull
+	}
+	if c.More {
+		flags |= annMore
+	}
+	b[2] = flags
+	b[3] = byte(c.NChunks)
+	b[4] = byte(c.Chunk)
+	binary.BigEndian.PutUint32(b[6:10], c.Instance)
+	binary.BigEndian.PutUint32(b[10:14], c.Gen)
+	binary.BigEndian.PutUint32(b[14:18], c.PrevGen)
+	binary.BigEndian.PutUint16(b[18:20], uint16(len(c.Joins)))
+	binary.BigEndian.PutUint16(b[20:22], uint16(len(c.Leaves)))
+	for _, g := range c.Joins {
 		var id [4]byte
 		binary.BigEndian.PutUint32(id[:], uint32(g.Dom))
 		b = append(b, id[:]...)
 		b = append(b, g.MAC[:]...)
 	}
+	for _, mac := range c.Leaves {
+		b = append(b, mac[:]...)
+	}
 	return b
 }
 
-func parseAnnounce(b []byte) (*announceMsg, error) {
-	if len(b) < 4 {
+func parseAnnounce(b []byte) (*announceChunk, error) {
+	if len(b) < annHeaderLen {
 		return nil, fmt.Errorf("%w: announce %d bytes", ErrBadMessage, len(b))
 	}
-	count := int(binary.BigEndian.Uint16(b[2:4]))
-	if len(b) < 4+count*10 {
+	c := &announceChunk{
+		Full:     b[2]&annFull != 0,
+		More:     b[2]&annMore != 0,
+		NChunks:  int(b[3]),
+		Chunk:    int(b[4]),
+		Instance: binary.BigEndian.Uint32(b[6:10]),
+		Gen:      binary.BigEndian.Uint32(b[10:14]),
+		PrevGen:  binary.BigEndian.Uint32(b[14:18]),
+	}
+	if c.NChunks < 1 || c.Chunk >= c.NChunks {
+		return nil, fmt.Errorf("%w: announce chunk %d of %d", ErrBadMessage, c.Chunk, c.NChunks)
+	}
+	nj := int(binary.BigEndian.Uint16(b[18:20]))
+	nl := int(binary.BigEndian.Uint16(b[20:22]))
+	if len(b) < annHeaderLen+nj*10+nl*6 {
 		return nil, fmt.Errorf("%w: announce truncated", ErrBadMessage)
 	}
-	m := &announceMsg{Guests: make([]Identity, 0, count)}
-	off := 4
-	for i := 0; i < count; i++ {
+	off := annHeaderLen
+	c.Joins = make([]Identity, 0, nj)
+	for i := 0; i < nj; i++ {
 		var g Identity
 		g.Dom = hypervisor.DomID(binary.BigEndian.Uint32(b[off : off+4]))
 		copy(g.MAC[:], b[off+4:off+10])
-		m.Guests = append(m.Guests, g)
+		c.Joins = append(c.Joins, g)
 		off += 10
 	}
-	return m, nil
+	c.Leaves = make([]pkt.MAC, 0, nl)
+	for i := 0; i < nl; i++ {
+		var mac pkt.MAC
+		copy(mac[:], b[off:off+6])
+		c.Leaves = append(c.Leaves, mac)
+		off += 6
+	}
+	return c, nil
+}
+
+// announceFrames marshals one announcement into MTU-sized chunk frames.
+// The byte-wide NChunks bounds an announcement at 255 chunks — ~35k
+// joins, far past any roster this testbed can host.
+func announceFrames(full bool, instance, gen, prevGen uint32, joins []Identity, leaves []pkt.MAC) [][]byte {
+	type part struct {
+		joins  []Identity
+		leaves []pkt.MAC
+	}
+	var parts []part
+	j, l := joins, leaves
+	for {
+		budget := announceMTU - annHeaderLen
+		var p part
+		if nj := budget / 10; nj >= len(j) {
+			p.joins, j = j, nil
+		} else {
+			p.joins, j = j[:nj], j[nj:]
+		}
+		budget -= len(p.joins) * 10
+		if nl := budget / 6; nl >= len(l) {
+			p.leaves, l = l, nil
+		} else {
+			p.leaves, l = l[:nl], l[nl:]
+		}
+		parts = append(parts, p)
+		if len(j) == 0 && len(l) == 0 {
+			break
+		}
+	}
+	frames := make([][]byte, 0, len(parts))
+	for i, p := range parts {
+		c := &announceChunk{
+			Full: full, More: i < len(parts)-1,
+			NChunks: len(parts), Chunk: i,
+			Instance: instance, Gen: gen, PrevGen: prevGen,
+			Joins: p.joins, Leaves: p.leaves,
+		}
+		frames = append(frames, c.marshal())
+	}
+	return frames
 }
 
 // createChannelMsg carries "three pieces of information — two grant

@@ -9,11 +9,19 @@ import (
 )
 
 func TestAnnounceRoundTrip(t *testing.T) {
-	in := &announceMsg{Guests: []Identity{
-		{Dom: 1, MAC: pkt.XenMAC(0, 1, 0)},
-		{Dom: 7, MAC: pkt.XenMAC(0, 7, 0)},
-		{Dom: 300, MAC: pkt.XenMAC(1, 44, 0)},
-	}}
+	in := &announceChunk{
+		Full:     true,
+		NChunks:  1,
+		Instance: 3,
+		Gen:      17,
+		PrevGen:  16,
+		Joins: []Identity{
+			{Dom: 1, MAC: pkt.XenMAC(0, 1, 0)},
+			{Dom: 7, MAC: pkt.XenMAC(0, 7, 0)},
+			{Dom: 300, MAC: pkt.XenMAC(1, 44, 0)},
+		},
+		Leaves: []pkt.MAC{pkt.XenMAC(0, 9, 0)},
+	}
 	b := in.marshal()
 	kind, err := msgKind(b)
 	if err != nil || kind != msgAnnounce {
@@ -23,13 +31,109 @@ func TestAnnounceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Guests) != 3 {
-		t.Fatalf("guests %v", out.Guests)
+	if !out.Full || out.More || out.NChunks != 1 || out.Chunk != 0 {
+		t.Fatalf("header %+v", out)
 	}
-	for i := range in.Guests {
-		if out.Guests[i] != in.Guests[i] {
-			t.Fatalf("guest %d: %+v != %+v", i, out.Guests[i], in.Guests[i])
+	if out.Instance != 3 || out.Gen != 17 || out.PrevGen != 16 {
+		t.Fatalf("generations %+v", out)
+	}
+	if len(out.Joins) != 3 || len(out.Leaves) != 1 {
+		t.Fatalf("joins %v leaves %v", out.Joins, out.Leaves)
+	}
+	for i := range in.Joins {
+		if out.Joins[i] != in.Joins[i] {
+			t.Fatalf("join %d: %+v != %+v", i, out.Joins[i], in.Joins[i])
 		}
+	}
+	if out.Leaves[0] != in.Leaves[0] {
+		t.Fatalf("leave: %v != %v", out.Leaves[0], in.Leaves[0])
+	}
+}
+
+// A 200-guest roster must chunk: the old single-frame format (4+10n
+// bytes, uint16 count) silently blew the 1500-byte MTU past ~149 guests.
+// Every chunk must fit the MTU and reassembly must recover the roster
+// exactly, independent of delivery order.
+func TestAnnounceChunked200Guests(t *testing.T) {
+	const nGuests = 200
+	joins := make([]Identity, nGuests)
+	for i := range joins {
+		joins[i] = Identity{
+			Dom: hypervisor.DomID(i + 1),
+			MAC: pkt.XenMAC(byte(i>>8), byte(i), 0),
+		}
+	}
+	leaves := []pkt.MAC{pkt.XenMAC(9, 9, 9), pkt.XenMAC(9, 9, 10)}
+	frames := announceFrames(true, 5, 42, 41, joins, leaves)
+	if len(frames) < 2 {
+		t.Fatalf("expected multiple chunks for %d guests, got %d frame(s)", nGuests, len(frames))
+	}
+	var chunks []*announceChunk
+	for i, f := range frames {
+		if len(f) > announceMTU {
+			t.Fatalf("frame %d is %dB, exceeds MTU %d", i, len(f), announceMTU)
+		}
+		c, err := parseAnnounce(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if c.NChunks != len(frames) || c.Chunk != i {
+			t.Fatalf("frame %d: chunk %d of %d", i, c.Chunk, c.NChunks)
+		}
+		if c.More != (i < len(frames)-1) {
+			t.Fatalf("frame %d: More=%v", i, c.More)
+		}
+		if !c.Full || c.Instance != 5 || c.Gen != 42 || c.PrevGen != 41 {
+			t.Fatalf("frame %d header %+v", i, c)
+		}
+		chunks = append(chunks, c)
+	}
+	// Reassemble in reverse delivery order: chunk indices, not arrival
+	// order, define the merge.
+	gotJoins := make([][]Identity, len(frames))
+	gotLeaves := make([][]pkt.MAC, len(frames))
+	for i := len(chunks) - 1; i >= 0; i-- {
+		gotJoins[chunks[i].Chunk] = chunks[i].Joins
+		gotLeaves[chunks[i].Chunk] = chunks[i].Leaves
+	}
+	var allJoins []Identity
+	var allLeaves []pkt.MAC
+	for i := range gotJoins {
+		allJoins = append(allJoins, gotJoins[i]...)
+		allLeaves = append(allLeaves, gotLeaves[i]...)
+	}
+	if len(allJoins) != nGuests {
+		t.Fatalf("reassembled %d joins, want %d", len(allJoins), nGuests)
+	}
+	for i, g := range allJoins {
+		if g != joins[i] {
+			t.Fatalf("join %d: %+v != %+v", i, g, joins[i])
+		}
+	}
+	if len(allLeaves) != len(leaves) {
+		t.Fatalf("reassembled %d leaves, want %d", len(allLeaves), len(leaves))
+	}
+	for i, mac := range allLeaves {
+		if mac != leaves[i] {
+			t.Fatalf("leave %d: %v != %v", i, mac, leaves[i])
+		}
+	}
+}
+
+// An empty announcement (quiet roster handed to announceFrames) still
+// produces exactly one valid frame, so "no guests changed" resyncs are
+// representable.
+func TestAnnounceEmptyIsOneFrame(t *testing.T) {
+	frames := announceFrames(false, 1, 2, 1, nil, nil)
+	if len(frames) != 1 {
+		t.Fatalf("frames %d", len(frames))
+	}
+	c, err := parseAnnounce(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Full || c.More || len(c.Joins) != 0 || len(c.Leaves) != 0 {
+		t.Fatalf("%+v", c)
 	}
 }
 
@@ -88,9 +192,22 @@ func TestParsersRobustAgainstGarbage(t *testing.T) {
 }
 
 func TestAnnounceTruncationDetected(t *testing.T) {
-	in := &announceMsg{Guests: []Identity{{Dom: 1, MAC: pkt.XenMAC(0, 1, 0)}}}
+	in := &announceChunk{Full: true, NChunks: 1, Joins: []Identity{{Dom: 1, MAC: pkt.XenMAC(0, 1, 0)}}}
 	b := in.marshal()
 	if _, err := parseAnnounce(b[:len(b)-3]); err == nil {
 		t.Fatal("truncated announce accepted")
+	}
+	if _, err := parseAnnounce(b[:annHeaderLen-1]); err == nil {
+		t.Fatal("short header accepted")
+	}
+	bad := in.marshal()
+	bad[3] = 0 // NChunks = 0
+	if _, err := parseAnnounce(bad); err == nil {
+		t.Fatal("zero chunk count accepted")
+	}
+	bad = in.marshal()
+	bad[4] = bad[3] // Chunk == NChunks
+	if _, err := parseAnnounce(bad); err == nil {
+		t.Fatal("out-of-range chunk index accepted")
 	}
 }

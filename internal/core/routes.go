@@ -5,11 +5,13 @@ import (
 	"repro/internal/pkt"
 )
 
-// route is one fast-path routing entry: the co-resident peer's domain ID
-// and, once bootstrap has started, its channel.
+// route is one fast-path routing entry: the co-resident peer's domain ID,
+// once bootstrap has started its channel, and under flow control the
+// flow's rate/holddown tracker (shared across snapshots; all-atomic).
 type route struct {
-	dom hypervisor.DomID
-	ch  *Channel // nil until first traffic triggers bootstrap
+	dom  hypervisor.DomID
+	ch   *Channel  // nil until traffic triggers bootstrap
+	stat *flowStat // nil unless the module is flow-controlled
 }
 
 // routeTable is the RCU-style snapshot of the [guest-ID, MAC] mapping
@@ -48,7 +50,11 @@ func (m *Module) publishRoutesLocked() {
 	}
 	t := &routeTable{entries: make(map[pkt.MAC]route, len(m.peers))}
 	for mac, dom := range m.peers {
-		t.entries[mac] = route{dom: dom, ch: m.channels[mac]}
+		r := route{dom: dom, ch: m.channels[mac]}
+		if m.flowCtl {
+			r.stat = m.flowLocked(mac)
+		}
+		t.entries[mac] = r
 	}
 	m.routes.Store(t)
 }

@@ -96,6 +96,10 @@ type VirtualClock struct {
 	kick chan struct{}
 	quit chan struct{}
 
+	// overlap is the multi-core overlap window in nanoseconds; see
+	// SetOverlap. 0 = fully serialized (the default).
+	overlap atomic.Int64
+
 	vcpus [vcpuSlots]vcpuSlot
 }
 
@@ -139,6 +143,23 @@ func (vc *VirtualClock) Close() {
 // positive and monotonic.
 func (vc *VirtualClock) Now() int64 { return vc.now.Load() }
 
+// SetOverlap sets the multi-core overlap window. With w == 0 (the
+// default) every charge starts from the global clock, so concurrent
+// goroutines serialize onto a single timeline — the mode PR 5's
+// determinism and latency-drift gates are built on. With w > 0 a slot is
+// only pulled up to (global now − w): goroutines on distinct vCPU slots
+// charge concurrently in virtual time, modeling the parallelism the
+// calibrated busy-wait engine gets for free (its spins measure elapsed
+// wall time, which passes for all spinners at once). The window bounds
+// how far a freshly-woken goroutine may backdate its work. Multi-sender
+// experiments (scale, mesh) turn this on; single-flow ones must not.
+func (vc *VirtualClock) SetOverlap(w time.Duration) {
+	if w < 0 {
+		w = 0
+	}
+	vc.overlap.Store(int64(w))
+}
+
 // Charge advances the calling goroutine's vCPU timestamp by d and lifts
 // the global clock to it, firing any event whose deadline was crossed.
 func (vc *VirtualClock) Charge(d time.Duration) {
@@ -148,7 +169,7 @@ func (vc *VirtualClock) Charge(d time.Duration) {
 	vc.activity.Add(1)
 	s := &vc.vcpus[vcpuIndex()]
 	local := s.t.Load()
-	if g := vc.now.Load(); g > local {
+	if g := vc.now.Load() - vc.overlap.Load(); g > local {
 		local = g
 	}
 	local += int64(d)

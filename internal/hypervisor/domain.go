@@ -67,6 +67,11 @@ type Domain struct {
 	// dispatch context; see UpcallsIdle.
 	upcalls atomic.Int32
 
+	// grantBudget caps budgeted grant entries (TryGrantAccess); 0 =
+	// unlimited. Guest policy, so it travels with the domain across
+	// migration rather than living in the machine-local grant table.
+	grantBudget atomic.Int64
+
 	cbMu        sync.Mutex
 	preMigrate  []func()
 	postMigrate []func()

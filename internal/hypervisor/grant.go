@@ -21,6 +21,7 @@ type grantEntry struct {
 	mapped   int
 	transfer bool
 	done     bool
+	budgeted bool
 }
 
 // grantTable is a domain's grant table. Per the paper (§3.3), the table is
@@ -32,6 +33,11 @@ type grantTable struct {
 	owner   *Domain
 	entries map[GrantRef]*grantEntry
 	next    GrantRef
+
+	// Budgeted-entry accounting (see TryGrantAccess). budgetPeak is the
+	// high-water mark of budgeted entries live at once on this machine.
+	budgeted   int
+	budgetPeak int
 }
 
 func newGrantTable(d *Domain) *grantTable {
@@ -129,6 +135,53 @@ func (d *Domain) GrantAccess(to DomID, obj any) GrantRef {
 	return ref
 }
 
+// SetGrantBudget caps the number of budgeted grant entries (those created
+// with TryGrantAccess) this domain may hold live at once; 0 means
+// unlimited. The budget survives migration — it is policy attached to the
+// guest, not to the machine-local table — while the in-use and peak
+// counts are per machine instance, like the table itself.
+func (d *Domain) SetGrantBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.grantBudget.Store(int64(n))
+}
+
+// GrantAccounting reports the budgeted grant entries currently live, the
+// high-water mark since this machine instance's table was created, and
+// the configured budget (0 = unlimited).
+func (d *Domain) GrantAccounting() (inUse, peak, budget int) {
+	t := d.mi().grants
+	t.mu.Lock()
+	inUse, peak = t.budgeted, t.budgetPeak
+	t.mu.Unlock()
+	return inUse, peak, int(d.grantBudget.Load())
+}
+
+// TryGrantAccess is GrantAccess under the domain's grant budget: the entry
+// is marked budgeted and counted against SetGrantBudget's cap, failing
+// with ErrGrantBudget when the cap is reached. XenLoop channel pages go
+// through here so a module-level page budget is enforced at the grant
+// table, the authoritative ledger; split-driver grants (vif slots, shared
+// rings) use plain GrantAccess and are exempt.
+func (d *Domain) TryGrantAccess(to DomID, obj any) (GrantRef, error) {
+	budget := int(d.grantBudget.Load())
+	t := d.mi().grants
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if budget > 0 && t.budgeted >= budget {
+		return 0, fmt.Errorf("%w: %d pages live, budget %d", ErrGrantBudget, t.budgeted, budget)
+	}
+	t.budgeted++
+	if t.budgeted > t.budgetPeak {
+		t.budgetPeak = t.budgeted
+	}
+	t.next++
+	ref := t.next
+	t.entries[ref] = &grantEntry{to: to, obj: obj, budgeted: true}
+	return ref, nil
+}
+
 // GrantTransferable marks a page as offered for transfer to domain `to`
 // (gnttab_grant_foreign_transfer). The page is zeroed first to avoid
 // leaking data, a cost the paper calls out as a reason to prefer copying.
@@ -156,6 +209,9 @@ func (d *Domain) EndAccess(ref GrantRef) error {
 	}
 	if e.mapped > 0 {
 		return fmt.Errorf("%w: ref %d has %d mappings", ErrGrantInUse, ref, e.mapped)
+	}
+	if e.budgeted && t.budgeted > 0 {
+		t.budgeted--
 	}
 	delete(t.entries, ref)
 	return nil

@@ -1,0 +1,107 @@
+package hypervisor
+
+import (
+	"errors"
+	"testing"
+)
+
+// The grant-page budget is the hypervisor half of the channel lifecycle:
+// TryGrantAccess entries count against SetGrantBudget's cap, EndAccess
+// returns them, and GrantAccounting exposes the in-use/peak/budget
+// triple the core module's eviction policy keys off.
+
+func TestGrantBudgetEnforced(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	a.SetGrantBudget(2)
+
+	p1, _ := a.Memory().Alloc()
+	p2, _ := a.Memory().Alloc()
+	p3, _ := a.Memory().Alloc()
+
+	r1, err := a.TryGrantAccess(b.ID(), p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.TryGrantAccess(b.ID(), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TryGrantAccess(b.ID(), p3); !errors.Is(err, ErrGrantBudget) {
+		t.Fatalf("third grant under budget 2: err=%v, want ErrGrantBudget", err)
+	}
+	if inUse, peak, budget := a.GrantAccounting(); inUse != 2 || peak != 2 || budget != 2 {
+		t.Fatalf("accounting after exhaustion: inUse=%d peak=%d budget=%d", inUse, peak, budget)
+	}
+
+	// Returning a page frees a budget slot; peak stays at the high-water mark.
+	if err := a.EndAccess(r1); err != nil {
+		t.Fatal(err)
+	}
+	if inUse, peak, _ := a.GrantAccounting(); inUse != 1 || peak != 2 {
+		t.Fatalf("accounting after EndAccess: inUse=%d peak=%d", inUse, peak)
+	}
+	if _, err := a.TryGrantAccess(b.ID(), p3); err != nil {
+		t.Fatalf("grant after freeing a slot: %v", err)
+	}
+
+	_ = r2
+}
+
+func TestGrantBudgetZeroIsUnlimited(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	for i := 0; i < 16; i++ {
+		page, _ := a.Memory().Alloc()
+		if _, err := a.TryGrantAccess(b.ID(), page); err != nil {
+			t.Fatalf("grant %d with no budget: %v", i, err)
+		}
+	}
+	if inUse, peak, budget := a.GrantAccounting(); inUse != 16 || peak != 16 || budget != 0 {
+		t.Fatalf("accounting: inUse=%d peak=%d budget=%d", inUse, peak, budget)
+	}
+}
+
+func TestGrantBudgetExemptsPlainGrants(t *testing.T) {
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	a.SetGrantBudget(1)
+
+	// Split-driver grants (plain GrantAccess) never count against the
+	// budget, and EndAccess on them never returns budget slots.
+	for i := 0; i < 4; i++ {
+		page, _ := a.Memory().Alloc()
+		_ = a.GrantAccess(b.ID(), page)
+	}
+	if inUse, _, _ := a.GrantAccounting(); inUse != 0 {
+		t.Fatalf("plain grants consumed budget: inUse=%d", inUse)
+	}
+	page, _ := a.Memory().Alloc()
+	if _, err := a.TryGrantAccess(b.ID(), page); err != nil {
+		t.Fatalf("budgeted grant alongside plain grants: %v", err)
+	}
+}
+
+func TestGrantBudgetSurvivesMigrationAccountingResets(t *testing.T) {
+	// The budget is guest policy; the in-use/peak counts belong to the
+	// machine-local table. Destroying the machine instance (as migration
+	// does) must not carry peak across, while SetGrantBudget persists on
+	// the Domain.
+	hv := newTestMachine(t)
+	a := hv.CreateDomain("a", 0)
+	b := hv.CreateDomain("b", 0)
+	a.SetGrantBudget(3)
+	page, _ := a.Memory().Alloc()
+	if _, err := a.TryGrantAccess(b.ID(), page); err != nil {
+		t.Fatal(err)
+	}
+	if _, peak, budget := a.GrantAccounting(); peak != 1 || budget != 3 {
+		t.Fatalf("pre-check: peak=%d budget=%d", peak, budget)
+	}
+	if got := a.grantBudget.Load(); got != 3 {
+		t.Fatalf("stored budget %d, want 3", got)
+	}
+}

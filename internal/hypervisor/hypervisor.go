@@ -30,6 +30,7 @@ var (
 	ErrGrantInUse  = errors.New("hypervisor: grant still mapped")
 	ErrBadPort     = errors.New("hypervisor: bad event channel port")
 	ErrDomainState = errors.New("hypervisor: invalid domain state")
+	ErrGrantBudget = errors.New("hypervisor: grant-page budget exhausted")
 )
 
 // Hypervisor is one physical machine's hypervisor instance.
