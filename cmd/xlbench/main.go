@@ -86,6 +86,7 @@ var experiments = []experiment{
 	{"datapath", "FIFO/channel microbenchmarks + instrumentation overhead A/B", "BENCH_datapath.json", true, false, runDatapath},
 	{"scale", "multi-sender scalability of the lock-free fast path", "BENCH_scale.json", true, true, runScale},
 	{"latency", "request-response latency percentiles, channel vs netfront", "BENCH_latency.json", true, true, runLatency},
+	{"tcpstream", "TCP stream throughput vs segment cap, channel vs netfront", "BENCH_tcpstream.json", true, true, runTCPStream},
 	// The mesh sweep is not part of "all": at 128 guests it is a lifecycle
 	// stress, always run on the virtual clock (it implies -virtual).
 	{"mesh", "bounded mesh at 16..128 guests: channel lifecycle under budget", "BENCH_mesh.json", false, true, runMesh},
@@ -599,6 +600,44 @@ func runLatency(c *runCtx) error {
 	}
 	if c.virtual {
 		return latencyDriftGate(c, res)
+	}
+	return nil
+}
+
+// runTCPStream sweeps TCP segment-size caps on the channel and netfront
+// paths. The coalescing win (full 64 KiB segments vs wire-MSS segments
+// per FIFO entry) must be a speedup, and the coalesced channel path must
+// beat netfront — otherwise SACK/coalescing regressed.
+func runTCPStream(c *runCtx) error {
+	o := c.opts
+	o.Virtual = c.virtual
+	segCaps := bench.DefaultTCPStreamSegCaps
+	var totalBytes int64
+	if c.short {
+		segCaps = bench.ShortTCPStreamSegCaps
+		totalBytes = 2 << 20
+	}
+	res, err := bench.TCPStreamExp(o, segCaps, totalBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Println("TCP stream throughput versus segment cap (coalescing A/B):")
+	fmt.Printf("  %-9s %-8s %10s %10s %10s %12s\n", "path", "segcap", "Mbps", "ms", "retrans B", "jumbo pkts")
+	for _, pt := range res.Points {
+		fmt.Printf("  %-9s %-8d %10.1f %10.2f %10d %12d\n",
+			pt.Path, pt.SegCap, pt.Mbps, pt.ElapsedMs, pt.RetransBytes, pt.JumboPkts)
+	}
+	fmt.Printf("  headline: channel coalesced %.1f Mbps, wire-MSS %.1f Mbps (%.2fx), netfront %.1f Mbps\n\n",
+		res.ChannelCoalescedMbps, res.ChannelWireMbps, res.CoalesceSpeedup, res.NetfrontMbps)
+	if err := writeJSON("BENCH_tcpstream.json", res); err != nil {
+		return err
+	}
+	if res.CoalesceSpeedup > 0 && res.CoalesceSpeedup < 1.0 {
+		return fmt.Errorf("segment coalescing slowed the channel path: %.2fx", res.CoalesceSpeedup)
+	}
+	if res.NetfrontMbps > 0 && res.ChannelCoalescedMbps <= res.NetfrontMbps {
+		return fmt.Errorf("coalesced channel path %.1f Mbps did not beat netfront %.1f Mbps",
+			res.ChannelCoalescedMbps, res.NetfrontMbps)
 	}
 	return nil
 }

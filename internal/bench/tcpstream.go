@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// The tcpstream experiment measures TCP streaming throughput across
+// segment-size caps on the channel (XenLoop) and netfront paths. It is
+// the acceptance harness for segment coalescing: with the cap at wire
+// MSS every FIFO entry carries one MTU's worth of TCP, with the cap
+// open one entry carries a coalesced segment of up to 64 KiB, and the
+// ratio between the two is what coalescing buys. Transfers move a fixed
+// byte count and are timed on the pair's model clock, so the experiment
+// runs unchanged on the wall and virtual engines.
+
+// DefaultTCPStreamSegCaps is the segment-cap sweep: wire MSS, two
+// intermediate coalescing levels, and the full 64 KiB coalesce budget.
+var DefaultTCPStreamSegCaps = []int{1460, 8192, 24576, 65280}
+
+// ShortTCPStreamSegCaps trims the sweep for CI smoke runs.
+var ShortTCPStreamSegCaps = []int{1460, 65280}
+
+// TCPStreamPoint is one cell of the tcpstream sweep.
+type TCPStreamPoint struct {
+	Path         string  // "channel" or "netfront"
+	SegCap       int     // TCP segment-size cap in bytes
+	Mbps         float64 // receiver-measured goodput
+	Bytes        int64   // bytes moved
+	ElapsedMs    float64 // model-clock transfer time
+	JumboPkts    uint64  // channel packets above one standard MTU frame
+	RetransBytes uint64  // sender bytes retransmitted during the run
+}
+
+// TCPStreamExpResult is the BENCH_tcpstream.json artifact.
+type TCPStreamExpResult struct {
+	Virtual    bool  // measured on the discrete-event clock
+	TotalBytes int64 // per-point transfer size
+
+	Points []TCPStreamPoint
+
+	// Headlines: the channel path at full coalescing and at wire MSS,
+	// the netfront path at full coalescing (its device GSO still splits
+	// to the virtual-device MSS on the wire), and the coalescing
+	// speedup channel_coalesced / channel_wire.
+	ChannelCoalescedMbps float64
+	ChannelWireMbps      float64
+	NetfrontMbps         float64
+	CoalesceSpeedup      float64
+}
+
+// tcpStreamTimed moves totalBytes through a fresh TCP connection on the
+// pair and times the transfer on the pair's model clock (virtual-safe).
+func tcpStreamTimed(p *testbed.Pair, msgSize int, totalBytes int64) (TCPStreamPoint, error) {
+	a, b := endpoints(p)
+	model := p.A.VM.Machine.HV.Model()
+	port := nextPort()
+	ln, err := b.Stack.ListenTCP(port)
+	if err != nil {
+		return TCPStreamPoint{}, err
+	}
+	defer ln.Close()
+
+	type recvResult struct {
+		bytes int64
+		endNs int64
+		err   error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- recvResult{err: err}
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 256<<10)
+		var total int64
+		for {
+			n, err := conn.Read(buf)
+			total += int64(n)
+			if err != nil {
+				break
+			}
+		}
+		done <- recvResult{bytes: total, endNs: model.NowNs()}
+	}()
+
+	conn, err := a.Stack.DialTCP(b.IP, port)
+	if err != nil {
+		return TCPStreamPoint{}, err
+	}
+	msg := make([]byte, msgSize)
+	start := model.NowNs()
+	for sent := int64(0); sent < totalBytes; sent += int64(msgSize) {
+		if _, err := conn.Write(msg); err != nil {
+			return TCPStreamPoint{}, err
+		}
+	}
+	retrans := conn.RetransmittedBytes()
+	conn.Close()
+	r := <-done
+	if r.err != nil {
+		return TCPStreamPoint{}, r.err
+	}
+	elapsed := time.Duration(r.endNs - start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return TCPStreamPoint{
+		Bytes:        r.bytes,
+		ElapsedMs:    float64(elapsed) / float64(time.Millisecond),
+		Mbps:         stats.Mbps(r.bytes, elapsed),
+		RetransBytes: retrans,
+	}, nil
+}
+
+// TCPStreamExp runs the sweep. segCaps nil selects the default sweep;
+// totalBytes 0 selects 8 MiB per point.
+func TCPStreamExp(o ExpOptions, segCaps []int, totalBytes int64) (TCPStreamExpResult, error) {
+	o = o.withDefaults()
+	o, cleanup := o.virtualize()
+	defer cleanup()
+	if segCaps == nil {
+		segCaps = DefaultTCPStreamSegCaps
+	}
+	if totalBytes == 0 {
+		totalBytes = 8 << 20
+	}
+	res := TCPStreamExpResult{Virtual: o.Virtual, TotalBytes: totalBytes}
+
+	paths := []struct {
+		name     string
+		scenario testbed.Scenario
+	}{
+		{"channel", testbed.XenLoop},
+		{"netfront", testbed.NetfrontNetback},
+	}
+	for _, path := range paths {
+		for _, cap := range segCaps {
+			p, err := o.pair(path.scenario)
+			if err != nil {
+				return res, fmt.Errorf("build %v: %w", path.scenario, err)
+			}
+			p.A.Stack.SetTCPSegCap(cap)
+			p.B.Stack.SetTCPSegCap(cap)
+			// Write in chunks of the cap (min 16 KiB) so the sweep
+			// varies wire segmentation, not syscall batching.
+			msg := max(cap, 16<<10)
+			pt, err := tcpStreamTimed(p, msg, totalBytes)
+			if err == nil && path.name == "channel" && p.A.VM != nil && p.A.VM.XL != nil {
+				pt.JumboPkts = p.A.VM.XL.Snapshot().PktsJumbo
+			}
+			p.Close()
+			if err != nil {
+				return res, fmt.Errorf("%s segcap %d: %w", path.name, cap, err)
+			}
+			pt.Path = path.name
+			pt.SegCap = cap
+			res.Points = append(res.Points, pt)
+
+			switch {
+			case path.name == "channel" && cap == 1460:
+				res.ChannelWireMbps = pt.Mbps
+			case path.name == "channel" && cap == 65280:
+				res.ChannelCoalescedMbps = pt.Mbps
+			case path.name == "netfront" && cap == 65280:
+				res.NetfrontMbps = pt.Mbps
+			}
+		}
+	}
+	if res.ChannelWireMbps > 0 && res.ChannelCoalescedMbps > 0 {
+		res.CoalesceSpeedup = res.ChannelCoalescedMbps / res.ChannelWireMbps
+	}
+	return res, nil
+}

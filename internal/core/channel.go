@@ -141,6 +141,7 @@ func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 			m.model.ChargeCopy(len(datagram)) // sender-side copy onto the FIFO
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(len(datagram)))
+			m.countJumbo(len(datagram))
 			if t0 != 0 {
 				m.lat.hookToPush.Observe(metrics.Now() - t0)
 			}
@@ -179,6 +180,7 @@ func (ch *Channel) enqueueWaiting(op *netstack.OutPacket, t0 int64) netstack.Ver
 			m.model.ChargeCopy(len(op.Datagram))
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(len(op.Datagram)))
+			m.countJumbo(len(op.Datagram))
 			if t0 != 0 {
 				m.lat.hookToPush.Observe(metrics.Now() - t0)
 			}
@@ -486,6 +488,7 @@ func (ch *Channel) drainWaitingLocked() bool {
 			m.model.ChargeCopy(b.Len())
 			m.stats.PktsChannel.Add(1)
 			m.stats.BytesChannel.Add(uint64(b.Len()))
+			m.countJumbo(b.Len())
 			if b.StampNs != 0 && now != 0 {
 				// Hook entry to (batched) FIFO push: the time a packet spent
 				// on the waiting list is part of the send-side latency.
@@ -1017,4 +1020,17 @@ func (m *Module) peerDisengaged(ch *Channel) {
 	}
 	m.mu.Unlock()
 	m.releaseChannel(ch, false)
+}
+
+// stdMTUDatagram is the largest IP datagram one standard Ethernet frame
+// carries. Channel packets above it are "jumbo": coalesced (GSO) TCP
+// segments that travel the FIFO whole but would be split back to wire
+// MSS on the netfront path.
+const stdMTUDatagram = 1500
+
+// countJumbo bumps the jumbo counter for a channel packet of n bytes.
+func (m *Module) countJumbo(n int) {
+	if n > stdMTUDatagram {
+		m.stats.PktsJumbo.Add(1)
+	}
 }

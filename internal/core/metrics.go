@@ -31,6 +31,7 @@ func (m *Module) initMetrics() {
 	r := metrics.NewRegistry()
 	r.RegisterCounter("xl_pkts_channel_total", "packets sent through a XenLoop channel", m.stats.PktsChannel.Load)
 	r.RegisterCounter("xl_bytes_channel_total", "payload bytes through channels", m.stats.BytesChannel.Load)
+	r.RegisterCounter("xl_pkts_jumbo_total", "channel packets larger than one standard MTU frame", m.stats.PktsJumbo.Load)
 	r.RegisterCounter("xl_pkts_standard_total", "packets to a co-resident peer via netfront", m.stats.PktsStandard.Load)
 	r.RegisterCounter("xl_pkts_waiting_total", "packets queued on a waiting list", m.stats.PktsWaiting.Load)
 	r.RegisterCounter("xl_pkts_too_large_total", "packets exceeding FIFO capacity", m.stats.PktsTooLarge.Load)
@@ -107,6 +108,7 @@ type MetricsSnapshot struct {
 	// module, is the storage; this is the read surface).
 	PktsChannel    uint64
 	BytesChannel   uint64
+	PktsJumbo      uint64
 	PktsStandard   uint64
 	PktsWaiting    uint64
 	PktsTooLarge   uint64
@@ -179,6 +181,7 @@ func (m *Module) Snapshot() MetricsSnapshot {
 		Self:            self,
 		PktsChannel:     m.stats.PktsChannel.Load(),
 		BytesChannel:    m.stats.BytesChannel.Load(),
+		PktsJumbo:       m.stats.PktsJumbo.Load(),
 		PktsStandard:    m.stats.PktsStandard.Load(),
 		PktsWaiting:     m.stats.PktsWaiting.Load(),
 		PktsTooLarge:    m.stats.PktsTooLarge.Load(),

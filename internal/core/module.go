@@ -145,6 +145,7 @@ func (c Config) flowControlled() bool {
 type Stats struct {
 	PktsChannel     stats.Counter  // sent through a XenLoop channel
 	BytesChannel    stats.Counter  // payload bytes through channels
+	PktsJumbo       stats.Counter  // channel packets too large for one standard MTU frame (coalesced TCP)
 	PktsStandard    stats.Counter  // to a co-resident peer but via netfront
 	PktsWaiting     stats.Counter  // queued on a waiting list
 	WaitingDepthMax stats.MaxGauge // high-water mark of any channel's waiting list

@@ -89,7 +89,24 @@ func (s *Stack) transmitDatagram(ifc *Iface, nextHop pkt.IPv4, hdr pkt.IPv4Heade
 		return nil
 	}
 	if lease != nil {
-		lease.Release() // fragments are rebuilt below from the payload
+		lease.Release() // fragments/sub-segments are rebuilt from the payload
+	}
+
+	// Software GSO: a coalesced TCP segment too large for this device —
+	// the netfront fallback path when the XenLoop channel declined it —
+	// is split back into self-contained wire segments rather than IP
+	// fragments, so a single lost piece costs one MSS, not the datagram.
+	if hdr.Proto == pkt.ProtoTCP {
+		subs, err := pkt.SegmentTCP(hdr.Src, hdr.Dst, payload, maxPayload)
+		if err != nil {
+			return err
+		}
+		for _, sub := range subs {
+			sh := hdr
+			sh.ID = uint16(s.ipID.Add(1))
+			s.arp.resolveAndSend(ifc, nextHop, pkt.BuildIPv4(&sh, sub))
+		}
+		return nil
 	}
 
 	// Fragment: offsets must be multiples of 8.

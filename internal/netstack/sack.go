@@ -1,0 +1,319 @@
+package netstack
+
+// Selective acknowledgment (RFC 2018) for the TCP stack: the receiver's
+// out-of-order reassembly queue doubles as the source of SACK blocks, and
+// the sender keeps a scoreboard of peer-sacked ranges so loss recovery
+// retransmits only the holes instead of rewinding sndNxt (go-back-N).
+// All methods run under TCPConn.mu.
+
+import "repro/internal/pkt"
+
+// oooSeg is one out-of-order segment held for reassembly. Queue entries
+// are disjoint and ascend in sequence order; data is always a private
+// copy (inbound bytes may alias a FIFO view, see Stack.InjectIP).
+type oooSeg struct {
+	seq  uint32
+	data []byte
+}
+
+// insertOOOLocked stashes the bytes of [seq, seq+len(data)) that the
+// reassembly queue does not already hold, keeping the queue disjoint and
+// sorted. Bytes the queue holds are never replaced or dropped — the
+// peer's scoreboard trusts our SACKs, so reneging would deadlock
+// recovery. When the queue is full, new bytes are refused instead (the
+// unreported range stays a hole and is retransmitted normally).
+func (c *TCPConn) insertOOOLocked(seq uint32, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	orig := seq
+	end := seq + uint32(len(data))
+	out := make([]oooSeg, 0, len(c.oooQ)+2)
+	add := func(s, e uint32) {
+		if seqLT(s, e) && len(out) < tcpMaxOOO {
+			b := make([]byte, e-s)
+			copy(b, data[s-orig:e-orig])
+			out = append(out, oooSeg{seq: s, data: b})
+		}
+	}
+	for _, q := range c.oooQ {
+		qEnd := q.seq + uint32(len(q.data))
+		if seqLT(seq, q.seq) {
+			e := end
+			if seqLT(q.seq, e) {
+				e = q.seq
+			}
+			add(seq, e) // new bytes in the gap before this entry
+		}
+		if seqLT(seq, qEnd) {
+			seq = qEnd // skip bytes the queue already holds
+			if seqLT(end, seq) {
+				seq = end
+			}
+		}
+		out = append(out, q)
+	}
+	add(seq, end)
+	c.oooQ = out
+}
+
+// drainOOOLocked appends now-in-order queue entries to the receive
+// buffer, advancing rcvNxt past each one.
+func (c *TCPConn) drainOOOLocked() {
+	for len(c.oooQ) > 0 {
+		q := c.oooQ[0]
+		if seqLT(c.rcvNxt, q.seq) {
+			return // still a hole before the first entry
+		}
+		qEnd := q.seq + uint32(len(q.data))
+		if seqLT(c.rcvNxt, qEnd) {
+			c.rcvBuf = append(c.rcvBuf, q.data[c.rcvNxt-q.seq:]...)
+			c.rcvNxt = qEnd
+		}
+		c.oooQ = c.oooQ[1:]
+	}
+}
+
+// oooRangesLocked returns the queue as maximal contiguous sequence
+// ranges (adjacent entries coalesced).
+func (c *TCPConn) oooRangesLocked() []pkt.SACKBlock {
+	var rs []pkt.SACKBlock
+	for _, q := range c.oooQ {
+		qEnd := q.seq + uint32(len(q.data))
+		if n := len(rs); n > 0 && rs[n-1].End == q.seq {
+			rs[n-1].End = qEnd
+		} else {
+			rs = append(rs, pkt.SACKBlock{Start: q.seq, End: qEnd})
+		}
+	}
+	return rs
+}
+
+// sackBlocksLocked builds the SACK option for an outgoing ACK: the range
+// containing the most recently arrived segment first (RFC 2018, so the
+// newest information survives the four-block limit), then the remaining
+// ranges in ascending order.
+func (c *TCPConn) sackBlocksLocked() []pkt.SACKBlock {
+	rs := c.oooRangesLocked()
+	if len(rs) == 0 {
+		return nil
+	}
+	first := -1
+	for i, r := range rs {
+		if seqLEQ(r.Start, c.oooLast) && seqLT(c.oooLast, r.End) {
+			first = i
+			break
+		}
+	}
+	blocks := make([]pkt.SACKBlock, 0, pkt.MaxSACKBlocks)
+	if first >= 0 {
+		blocks = append(blocks, rs[first])
+	}
+	for i, r := range rs {
+		if len(blocks) >= pkt.MaxSACKBlocks {
+			break
+		}
+		if i != first {
+			blocks = append(blocks, r)
+		}
+	}
+	return blocks
+}
+
+// mergeSACKLocked folds the blocks of an incoming ACK into the sender
+// scoreboard. Blocks outside (sndUna, sndMax] — stale, malicious, or
+// wrapped — are discarded; the rest are clamped and merged so the
+// scoreboard stays disjoint and ascending. Reports whether any block
+// added sequence space the scoreboard did not already cover: RFC 6675
+// counts an ACK as a duplicate only when it carries new SACK
+// information, so ACKs echoing duplicated or stale segments must not
+// clock loss recovery.
+func (c *TCPConn) mergeSACKLocked(blocks []pkt.SACKBlock) bool {
+	advanced := false
+	for _, b := range blocks {
+		start, end := b.Start, b.End
+		if !seqLT(start, end) {
+			continue
+		}
+		if seqLEQ(end, c.sndUna) || seqLT(c.sndMax, end) {
+			continue
+		}
+		if seqLT(start, c.sndUna) {
+			start = c.sndUna
+		}
+		if c.insertScoreLocked(start, end) {
+			advanced = true
+		}
+	}
+	return advanced
+}
+
+// insertScoreLocked merges [start, end) into the scoreboard (interval
+// insert with overlap/adjacency coalescing). Reports whether the range
+// added sequence space not already covered.
+func (c *TCPConn) insertScoreLocked(start, end uint32) bool {
+	for _, b := range c.scoreboard {
+		if seqLEQ(b.Start, start) && seqLEQ(end, b.End) {
+			return false // already fully covered
+		}
+	}
+	sb := c.scoreboard
+	out := make([]pkt.SACKBlock, 0, len(sb)+1)
+	i := 0
+	for ; i < len(sb) && seqLT(sb[i].End, start); i++ {
+		out = append(out, sb[i])
+	}
+	for ; i < len(sb) && seqLEQ(sb[i].Start, end); i++ {
+		if seqLT(sb[i].Start, start) {
+			start = sb[i].Start
+		}
+		if seqLT(end, sb[i].End) {
+			end = sb[i].End
+		}
+	}
+	out = append(out, pkt.SACKBlock{Start: start, End: end})
+	out = append(out, sb[i:]...)
+	c.scoreboard = out
+	return true
+}
+
+// advanceScoreLocked drops scoreboard ranges a cumulative ACK covers.
+func (c *TCPConn) advanceScoreLocked(una uint32) {
+	i := 0
+	for i < len(c.scoreboard) && seqLEQ(c.scoreboard[i].End, una) {
+		i++
+	}
+	c.scoreboard = c.scoreboard[i:]
+	if len(c.scoreboard) > 0 && seqLT(c.scoreboard[0].Start, una) {
+		c.scoreboard[0].Start = una
+	}
+}
+
+// nextHoleLocked finds the first unsacked range within [from, limit).
+func (c *TCPConn) nextHoleLocked(from, limit uint32) (start, end uint32, ok bool) {
+	for _, r := range c.scoreboard {
+		if seqLEQ(r.End, from) {
+			continue
+		}
+		if seqLEQ(r.Start, from) {
+			from = r.End
+			continue
+		}
+		if seqLEQ(limit, from) {
+			return 0, 0, false
+		}
+		end = r.Start
+		if seqLT(limit, end) {
+			end = limit
+		}
+		return from, end, true
+	}
+	if seqLT(from, limit) {
+		return from, limit, true
+	}
+	return 0, 0, false
+}
+
+// tcpDupThresh is the classic three-duplicate-ACK loss threshold, reused
+// as RFC 6675's IsLost rule: a hole counts as lost only once at least
+// this many MSS of data are sacked above it.
+const tcpDupThresh = 3
+
+// enterSACKRecoveryLocked starts hole-only loss recovery after three
+// duplicate ACKs — but only if the scoreboard actually marks a hole as
+// lost. Plain reordering produces duplicate ACKs with a thin sacked band
+// above the hole; backing off the window for it would concede exactly
+// the throughput SACK is meant to protect. On entry the first lost hole
+// is retransmitted and the window halved; further ACKs clock out the
+// remaining holes (segArrives).
+func (c *TCPConn) enterSACKRecoveryLocked() {
+	if c.state != tcpEstablished || c.inRecovery {
+		return
+	}
+	inFlight := int(c.sndNxt - c.sndUna)
+	c.recoverUntil = c.sndMax
+	c.sackHint = c.sndUna
+	c.inRecovery = true
+	if !c.retransmitHoleLocked() {
+		c.inRecovery = false // nothing provably lost yet
+		return
+	}
+	c.ssthresh = max(inFlight/2, 2*c.mss)
+	c.cwnd = c.ssthresh
+	c.measValid = false
+	c.armRTOLocked()
+}
+
+// sackedAboveLocked returns how many bytes the scoreboard holds at or
+// above seq.
+func (c *TCPConn) sackedAboveLocked(seq uint32) int {
+	total := 0
+	for _, r := range c.scoreboard {
+		s := r.Start
+		if seqLT(s, seq) {
+			s = seq
+		}
+		if seqLT(s, r.End) {
+			total += int(r.End - s)
+		}
+	}
+	return total
+}
+
+// retransmitHoleLocked resends up to one MSS of the first *lost* hole at
+// or after sackHint and advances the hint past it. Reports whether a
+// segment went out. A hole is lost per RFC 6675's IsLost: at least
+// tcpDupThresh segments' worth of data sacked above it. Sacked coverage
+// only shrinks as sequence grows, so if the first hole is not lost, no
+// later hole is either.
+func (c *TCPConn) retransmitHoleLocked() bool {
+	if len(c.scoreboard) == 0 {
+		return false
+	}
+	highest := c.scoreboard[len(c.scoreboard)-1].End
+	start, end, ok := c.nextHoleLocked(c.sackHint, c.recoverUntil)
+	if !ok || !seqLT(start, highest) {
+		return false
+	}
+	if c.sackedAboveLocked(start) < tcpDupThresh*c.mss {
+		return false
+	}
+	return c.retransmitRangeLocked(start, end)
+}
+
+// retransmitRangeLocked rebuilds and resends up to one MSS of
+// [start, end) — stream data or, past the data, the FIN — and advances
+// sackHint beyond what it sent. sndNxt is never rewound: the segment is
+// built at the range's sequence via the saved-nxt dance so sndMax and
+// the FIN state stay intact.
+func (c *TCPConn) retransmitRangeLocked(start, end uint32) bool {
+	n := min(int(end-start), c.mss)
+	off := int(start - c.sndUna)
+	dataLen := len(c.sndBuf)
+	switch {
+	case off < dataLen:
+		n = min(n, dataLen-off)
+		saved := c.sndNxt
+		c.sndNxt = start
+		c.sendSegmentLocked(pkt.TCPAck|pkt.TCPPsh, c.sndBuf[off:off+n], 0)
+		c.sndNxt = saved
+		c.retrans++
+		c.retransBytes += uint64(n)
+		if seqLT(c.sackHint, start+uint32(n)) {
+			c.sackHint = start + uint32(n)
+		}
+		return true
+	case c.finSent && start == c.sndUna+uint32(dataLen):
+		// The hole is the FIN itself.
+		saved := c.sndNxt
+		c.sndNxt = start
+		c.sendSegmentLocked(pkt.TCPFin|pkt.TCPAck, nil, 0)
+		c.sndNxt = saved
+		c.retrans++
+		if seqLT(c.sackHint, start+1) {
+			c.sackHint = start + 1
+		}
+		return true
+	}
+	return false
+}

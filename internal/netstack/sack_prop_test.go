@@ -1,0 +1,162 @@
+package netstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// Property tests for the SACK machinery: the sender scoreboard under
+// random block merges and cumulative advances, and the receiver
+// reassembly queue under random segment interleavings with loss-free
+// eventual delivery. Both sides are pure data structures guarded by
+// TCPConn.mu, so they are driven here directly on a bare connection.
+
+// checkScoreboard asserts the scoreboard invariants: nonempty ranges,
+// strictly ascending and disjoint (no overlap, no adjacency — adjacent
+// ranges must have been coalesced), all inside (sndUna, sndMax].
+func checkScoreboard(t *testing.T, c *TCPConn) {
+	t.Helper()
+	prevEnd := uint32(0)
+	for i, b := range c.scoreboard {
+		if !seqLT(b.Start, b.End) {
+			t.Fatalf("scoreboard[%d] empty or inverted: [%d,%d)", i, b.Start, b.End)
+		}
+		if i > 0 && !seqLT(prevEnd, b.Start) {
+			t.Fatalf("scoreboard[%d] [%d,%d) overlaps or touches previous end %d",
+				i, b.Start, b.End, prevEnd)
+		}
+		if seqLT(b.Start, c.sndUna) {
+			t.Fatalf("scoreboard[%d] start %d below sndUna %d", i, b.Start, c.sndUna)
+		}
+		if seqLT(c.sndMax, b.End) {
+			t.Fatalf("scoreboard[%d] end %d above sndMax %d", i, b.End, c.sndMax)
+		}
+		prevEnd = b.End
+	}
+}
+
+func TestSACKScoreboardProperties(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		// Sequence space deliberately near the uint32 wrap point on odd
+		// trials so the mod-2^32 comparisons are exercised.
+		base := uint32(1 << 20)
+		if trial%2 == 1 {
+			base = ^uint32(0) - 50000
+		}
+		c := &TCPConn{sndUna: base, sndMax: base + 100000}
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // merge a random (possibly bogus) block batch
+				blocks := make([]pkt.SACKBlock, rng.Intn(pkt.MaxSACKBlocks)+1)
+				for i := range blocks {
+					s := base + uint32(rng.Intn(120000)) - 10000
+					blocks[i] = pkt.SACKBlock{Start: s, End: s + uint32(rng.Intn(5000))}
+				}
+				c.mergeSACKLocked(blocks)
+			case 2: // cumulative ACK advances the window front
+				if seqLT(c.sndUna, c.sndMax) {
+					c.sndUna += uint32(rng.Intn(int(c.sndMax-c.sndUna))) + 1
+					c.advanceScoreLocked(c.sndUna)
+				}
+			case 3: // more data transmitted
+				c.sndMax += uint32(rng.Intn(3000))
+			}
+			checkScoreboard(t, c)
+		}
+	}
+}
+
+// checkOOOQueue asserts the reassembly-queue invariants: entries are
+// nonempty, strictly ascending, disjoint, and entirely above rcvNxt; and
+// no generated SACK block ever covers rcvNxt (covering it would claim
+// data the cumulative ACK already acknowledges — reneging territory).
+func checkOOOQueue(t *testing.T, c *TCPConn) {
+	t.Helper()
+	prevEnd := c.rcvNxt
+	for i, q := range c.oooQ {
+		if len(q.data) == 0 {
+			t.Fatalf("oooQ[%d] empty at seq %d", i, q.seq)
+		}
+		if !seqLEQ(prevEnd, q.seq) || (i == 0 && !seqLT(c.rcvNxt, q.seq)) {
+			t.Fatalf("oooQ[%d] seq %d not above previous end %d (rcvNxt %d)",
+				i, q.seq, prevEnd, c.rcvNxt)
+		}
+		prevEnd = q.seq + uint32(len(q.data))
+	}
+	blocks := c.sackBlocksLocked()
+	if len(blocks) > pkt.MaxSACKBlocks {
+		t.Fatalf("%d SACK blocks, max %d", len(blocks), pkt.MaxSACKBlocks)
+	}
+	for _, b := range blocks {
+		if !seqLT(b.Start, b.End) {
+			t.Fatalf("SACK block empty or inverted: [%d,%d)", b.Start, b.End)
+		}
+		if seqLEQ(b.Start, c.rcvNxt) && seqLT(c.rcvNxt, b.End) {
+			t.Fatalf("SACK block [%d,%d) covers rcvNxt %d", b.Start, b.End, c.rcvNxt)
+		}
+	}
+}
+
+// deliver mirrors the receive path's data acceptance: in-order bytes go
+// straight to the receive buffer and pull the queue behind them;
+// everything else is stashed for reassembly.
+func deliver(c *TCPConn, seq uint32, data []byte) {
+	end := seq + uint32(len(data))
+	if seqLEQ(seq, c.rcvNxt) && seqLT(c.rcvNxt, end) {
+		c.rcvBuf = append(c.rcvBuf, data[c.rcvNxt-seq:]...)
+		c.rcvNxt = end
+		c.drainOOOLocked()
+		return
+	}
+	if seqLT(c.rcvNxt, seq) {
+		c.insertOOOLocked(seq, data)
+		c.oooLast = seq
+	}
+}
+
+func TestTCPReassemblyProperties(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		isn := uint32(rng.Uint32()) // anywhere, including near wrap
+		stream := make([]byte, 16384+rng.Intn(16384))
+		rng.Read(stream)
+
+		// Cut the stream into random segments, then deliver them in a
+		// random interleaving with duplicates mixed in. Every segment
+		// is eventually delivered, so the stream must come out exact.
+		type segment struct {
+			seq  uint32
+			data []byte
+		}
+		var segs []segment
+		for off := 0; off < len(stream); {
+			n := min(1+rng.Intn(2900), len(stream)-off)
+			segs = append(segs, segment{seq: isn + uint32(off), data: stream[off : off+n]})
+			off += n
+		}
+		order := rng.Perm(len(segs))
+		c := &TCPConn{rcvNxt: isn}
+		for _, i := range order {
+			deliver(c, segs[i].seq, segs[i].data)
+			checkOOOQueue(t, c)
+			if rng.Intn(3) == 0 { // redeliver a random duplicate
+				d := segs[rng.Intn(len(segs))]
+				deliver(c, d.seq, d.data)
+				checkOOOQueue(t, c)
+			}
+		}
+		if len(c.oooQ) != 0 {
+			t.Fatalf("trial %d: %d segments still queued after full delivery", trial, len(c.oooQ))
+		}
+		if c.rcvNxt != isn+uint32(len(stream)) {
+			t.Fatalf("trial %d: rcvNxt %d, want %d", trial, c.rcvNxt, isn+uint32(len(stream)))
+		}
+		if !bytes.Equal(c.rcvBuf, stream) {
+			t.Fatalf("trial %d: delivered stream differs from original", trial)
+		}
+	}
+}

@@ -144,6 +144,30 @@ type Stack struct {
 
 	ipID      atomic.Uint32
 	ephemeral atomic.Uint32
+
+	// TCP tuning knobs (A/B benchmarking; defaults are the fast path).
+	tcpNoSACK atomic.Bool  // true disables SACK negotiation on new connections
+	tcpSegCap atomic.Int32 // >0 caps the coalesced segment payload (bytes)
+}
+
+// SetTCPSACK enables or disables SACK negotiation for connections opened
+// after the call (default on). Established connections keep whatever they
+// negotiated. The off position is the go-back-N baseline the loss-matrix
+// tests and the tcpstream experiment compare against.
+func (s *Stack) SetTCPSACK(on bool) { s.tcpNoSACK.Store(!on) }
+
+// TCPSACKEnabled reports whether new connections will offer SACK.
+func (s *Stack) TCPSACKEnabled() bool { return !s.tcpNoSACK.Load() }
+
+// SetTCPSegCap bounds the payload of coalesced TCP segments offered on
+// GSO-capable paths, for sweeping segment size in benchmarks. 0 restores
+// the default (tcpMaxCoalesce). Applies to connections opened after the
+// call; the cap never lifts the MSS above what the path supports.
+func (s *Stack) SetTCPSegCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.tcpSegCap.Store(int32(n))
 }
 
 // publishSendLocked rebuilds the transmit-path snapshot from the

@@ -49,6 +49,13 @@ const (
 	tcpSynRetries   = 6
 	tcpLingerPeriod = 200 * time.Millisecond
 	tcpMaxOOO       = 256
+
+	// tcpMaxCoalesce is the largest segment payload offered on GSO-capable
+	// paths: one coalesced segment per FIFO entry on the channel path.
+	// 64 KiB minus slack so the worst-case datagram (IP header + TCP
+	// header with a full SACK option) stays under both the IPv4 total
+	// length limit and the default 64 KiB FIFO's max packet size.
+	tcpMaxCoalesce = 65280
 )
 
 // Sequence-number comparisons (mod 2^32).
@@ -204,7 +211,23 @@ type TCPConn struct {
 	cwnd     int
 	ssthresh int
 	dupAcks  int
-	retrans  uint64 // retransmitted segments (diagnostics)
+	retrans  uint64 // loss-recovery transmissions (diagnostics)
+	// retransBytes counts every payload byte sent at a sequence number
+	// that had already been transmitted — the quantity the loss-matrix
+	// tests compare between SACK and go-back-N recovery.
+	retransBytes uint64
+
+	// SACK (RFC 2018). wantSACK is what we offer on SYN; sackOK is the
+	// negotiated result. The scoreboard holds peer-sacked ranges, kept
+	// disjoint, ascending, and inside (sndUna, sndMax]. During recovery
+	// sackHint walks the holes so each ACK retransmits the next one
+	// instead of rewinding sndNxt.
+	wantSACK     bool
+	sackOK       bool
+	scoreboard   []pkt.SACKBlock
+	inRecovery   bool
+	recoverUntil uint32
+	sackHint     uint32
 
 	// Send side. sndBuf holds unacknowledged plus unsent data; the
 	// sequence number of sndBuf[0] is sndUna. sndMax is the highest
@@ -226,7 +249,14 @@ type TCPConn struct {
 	rcvBuf  []byte
 	rcvdFin bool
 	lastAdv int
-	ooo     map[uint32][]byte
+	// oooQ is the out-of-order reassembly queue: disjoint segments in
+	// ascending sequence order, the source of outgoing SACK blocks.
+	// Stashed bytes are never discarded (no reneging — the peer's
+	// scoreboard will not retransmit them); overflow refuses new
+	// segments instead. oooLast is the left edge of the most recently
+	// stashed segment, reported first in SACK blocks per RFC 2018.
+	oooQ    []oooSeg
+	oooLast uint32
 
 	// Delayed-ACK state: pure ACKs are deferred briefly so a prompt
 	// application response can carry them (vital for request-response
@@ -262,14 +292,14 @@ type TCPConn struct {
 
 func newTCPConn(s *Stack, tuple fourTuple, state tcpState) *TCPConn {
 	c := &TCPConn{
-		stack: s,
-		tuple: tuple,
-		state: state,
-		mss:   536,
-		iss:   rand.Uint32(),
-		rto:   tcpInitialRTO,
-		ooo:   map[uint32][]byte{},
-		estCh: make(chan struct{}),
+		stack:    s,
+		tuple:    tuple,
+		state:    state,
+		mss:      536,
+		iss:      rand.Uint32(),
+		rto:      tcpInitialRTO,
+		wantSACK: s.TCPSACKEnabled(),
+		estCh:    make(chan struct{}),
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
@@ -323,6 +353,24 @@ func deviceMSS(ifc *Iface) int {
 	return ifc.dev.MTU() - pkt.IPv4HeaderLen - pkt.TCPHeaderLen
 }
 
+// coalesceMSS is the MSS a connection through ifc negotiates. On a
+// GSO-capable path it is raised to tcpMaxCoalesce regardless of the
+// device's own offload limit: the XenLoop channel carries the whole
+// coalesced segment in one FIFO entry, and when the channel declines
+// (fallback to netfront) transmitDatagram splits the segment back down
+// in software. Non-offload paths keep the MTU-derived MSS. SetTCPSegCap
+// lowers the result for benchmark sweeps.
+func (s *Stack) coalesceMSS(ifc *Iface) int {
+	m := deviceMSS(ifc)
+	if ifc.dev.GSOMaxSize() > 0 && m < tcpMaxCoalesce {
+		m = tcpMaxCoalesce
+	}
+	if cap := int(s.tcpSegCap.Load()); cap > 0 && m > cap {
+		m = cap
+	}
+	return max(m, 536)
+}
+
 // DialTCP opens a connection to (dst, port), blocking until established.
 func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
 	ifc, _, err := s.route(dst)
@@ -343,7 +391,7 @@ func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
 		}
 	}
 	c := newTCPConn(s, tuple, tcpSynSent)
-	c.mss = deviceMSS(ifc)
+	c.mss = s.coalesceMSS(ifc)
 	l.conns[tuple] = c
 	l.mu.Unlock()
 
@@ -523,9 +571,13 @@ func (c *TCPConn) sendSegmentLocked(flags uint8, payload []byte, mssOpt uint16) 
 	}
 	if flags&pkt.TCPSyn != 0 {
 		hdr.WScale = tcpWScaleShift + 1
+		hdr.SACKPermitted = c.wantSACK
 	}
 	if flags&pkt.TCPAck != 0 {
 		hdr.Ack = c.rcvNxt
+		if c.sackOK && len(c.oooQ) > 0 {
+			hdr.SACK = c.sackBlocksLocked()
+		}
 	}
 	if flags&pkt.TCPSyn != 0 {
 		hdr.Seq = c.iss
@@ -576,6 +628,10 @@ func (c *TCPConn) trySendLocked() {
 			flags |= pkt.TCPPsh
 		}
 		payload := c.sndBuf[inFlight : inFlight+n]
+		if seqLT(c.sndNxt, c.sndMax) {
+			// Go-back-N rewound sndNxt: these bytes are on the wire again.
+			c.retransBytes += uint64(min(n, int(c.sndMax-c.sndNxt)))
+		}
 		c.sendSegmentLocked(flags, payload, 0)
 		c.advanceSndNxtLocked(uint32(n))
 		if !c.measValid {
@@ -668,13 +724,35 @@ func (c *TCPConn) rtoFire() {
 		c.cwnd = c.mss
 		c.retrans++
 		c.measValid = false
-		c.sndNxt = c.sndUna
-		c.finSent = false
-		if c.sndWnd == 0 && len(c.sndBuf) > 0 {
+		switch {
+		case c.sndWnd == 0 && len(c.sndBuf) > 0:
 			// Window probe: force one byte through a closed window.
+			saved := c.sndNxt
+			c.sndNxt = c.sndUna
+			if seqLT(c.sndNxt, c.sndMax) {
+				c.retransBytes++
+			}
 			c.sendSegmentLocked(pkt.TCPAck|pkt.TCPPsh, c.sndBuf[:1], 0)
-			c.advanceSndNxtLocked(1)
-		} else {
+			c.sndNxt = saved
+			if seqLT(c.sndNxt, c.sndUna+1) {
+				c.sndNxt = c.sndUna + 1
+			}
+			c.advanceSndNxtLocked(0)
+		case c.sackOK:
+			// Hole-only recovery: no sndNxt rewind, no FIN state reset.
+			// RFC 2018 discards SACK information on timeout — incoming
+			// ACKs rebuild the scoreboard (the receiver never reneges)
+			// and clock out any further holes; here only the oldest
+			// outstanding segment goes back on the wire.
+			c.scoreboard = c.scoreboard[:0]
+			c.inRecovery = true
+			c.recoverUntil = c.sndMax
+			c.sackHint = c.sndUna
+			c.retransmitRangeLocked(c.sndUna, c.sndMax)
+		default:
+			// Go-back-N: rewind and resend everything outstanding.
+			c.sndNxt = c.sndUna
+			c.finSent = false
 			c.trySendLocked()
 		}
 	}
@@ -768,7 +846,7 @@ func (l *tcpLayer) handleSyn(ln *TCPListener, tuple fourTuple, th *pkt.TCPHeader
 	}
 	c := newTCPConn(s, tuple, tcpSynRcvd)
 	c.listener = ln
-	c.mss = deviceMSS(ifc)
+	c.mss = s.coalesceMSS(ifc)
 	if th.MSS != 0 {
 		c.mss = min(c.mss, int(th.MSS))
 	}
@@ -788,7 +866,10 @@ func (l *tcpLayer) handleSyn(ln *TCPListener, tuple fourTuple, th *pkt.TCPHeader
 		c.rcvScale = tcpWScaleShift
 		c.rcvLimit = tcpRcvBufScaled
 	}
-	c.sendSegmentLocked(pkt.TCPSyn|pkt.TCPAck, nil, uint16(deviceMSS(ifc)))
+	// Offer SACK back only if the peer offered it and the knob allows.
+	c.wantSACK = c.wantSACK && th.SACKPermitted
+	c.sackOK = c.wantSACK
+	c.sendSegmentLocked(pkt.TCPSyn|pkt.TCPAck, nil, uint16(s.coalesceMSS(ifc)))
 	c.sndNxt = c.iss + 1
 	c.sndMax = c.sndNxt
 	c.armRTOLocked()
@@ -846,6 +927,7 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 			c.rcvScale = tcpWScaleShift
 			c.rcvLimit = tcpRcvBufScaled
 		}
+		c.sackOK = c.wantSACK && th.SACKPermitted
 		c.state = tcpEstablished
 		c.cwnd = tcpInitialCwndSegs * c.mss
 		c.disarmRTOLocked()
@@ -875,6 +957,10 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 	// ACK processing.
 	if th.HasFlag(pkt.TCPAck) {
 		ack := th.Ack
+		sackAdvanced := false
+		if c.sackOK && len(th.SACK) > 0 {
+			sackAdvanced = c.mergeSACKLocked(th.SACK)
+		}
 		if seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndMax) {
 			if seqLT(c.sndNxt, ack) {
 				// Go-back-N rewound sndNxt below data the peer now
@@ -885,6 +971,7 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 			dataAcked := min(acked, len(c.sndBuf))
 			c.sndBuf = c.sndBuf[dataAcked:]
 			c.sndUna = ack
+			c.advanceScoreLocked(ack)
 			if c.finSent && ack == c.sndMax {
 				c.finAcked = true
 			}
@@ -894,14 +981,44 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 				c.sampleRTTLocked(time.Duration(metrics.Now() - c.measTime))
 			}
 			c.dupAcks = 0
-			c.growCwndLocked(acked)
+			if c.inRecovery {
+				if seqLT(ack, c.recoverUntil) {
+					// Partial ACK: probe the scoreboard again from the
+					// new window front. The hint never rewinds inside
+					// one episode — a hole already resent may still be
+					// in flight; if that retransmission also died the
+					// rearmed RTO is the backstop.
+					if seqLT(c.sackHint, ack) {
+						c.sackHint = ack
+					}
+					c.retransmitHoleLocked()
+					c.armRTOLocked()
+				} else {
+					c.inRecovery = false
+					c.cwnd = c.ssthresh
+				}
+			} else {
+				c.growCwndLocked(acked)
+			}
 			c.wcond.Broadcast()
 		} else if ack == c.sndUna && len(data) == 0 && !th.HasFlag(pkt.TCPSyn) &&
 			!th.HasFlag(pkt.TCPFin) && c.sndNxt != c.sndUna {
-			// Duplicate ACK for outstanding data.
-			c.dupAcks++
-			if c.dupAcks == 3 {
-				c.fastRetransmitLocked()
+			// Duplicate ACK for outstanding data. With SACK negotiated,
+			// RFC 6675 counts only ACKs that carried new SACK
+			// information — duplicated segments echo ACKs with none,
+			// and letting them clock recovery retransmits data that
+			// was never lost.
+			if !c.sackOK || sackAdvanced {
+				c.dupAcks++
+				switch {
+				case c.sackOK && c.inRecovery:
+					// Each returning ACK clocks out one more hole.
+					c.retransmitHoleLocked()
+				case c.sackOK && c.dupAcks >= 3:
+					c.enterSACKRecoveryLocked()
+				case !c.sackOK && c.dupAcks == 3:
+					c.fastRetransmitLocked()
+				}
 			}
 		}
 		if seqLEQ(ack, c.sndMax) {
@@ -932,7 +1049,7 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 
 	if ackNeeded {
 		c.ackPending++
-		urgent := th.HasFlag(pkt.TCPFin) || c.ackPending >= 2 || outOfOrder || len(c.ooo) > 0
+		urgent := th.HasFlag(pkt.TCPFin) || c.ackPending >= 2 || outOfOrder || len(c.oooQ) > 0
 		// Piggyback the ACK on pending data when possible.
 		before := c.sndNxt
 		c.trySendLocked()
@@ -953,14 +1070,9 @@ func (c *TCPConn) segArrives(th *pkt.TCPHeader, data []byte) {
 // acceptDataLocked merges segment data at seq into the receive stream.
 func (c *TCPConn) acceptDataLocked(seq uint32, data []byte) {
 	if seqLT(c.rcvNxt, seq) {
-		// Future segment: stash for later (bounded).
-		if len(c.ooo) < tcpMaxOOO {
-			if _, ok := c.ooo[seq]; !ok {
-				buf := make([]byte, len(data))
-				copy(buf, data)
-				c.ooo[seq] = buf
-			}
-		}
+		// Future segment: stash in the reassembly queue.
+		c.insertOOOLocked(seq, data)
+		c.oooLast = seq
 		return
 	}
 	// Trim the already-received prefix.
@@ -981,16 +1093,7 @@ func (c *TCPConn) acceptDataLocked(seq uint32, data []byte) {
 	c.rcvBuf = append(c.rcvBuf, data...)
 	c.rcvNxt += uint32(len(data))
 	c.rcond.Broadcast()
-	// Drain any out-of-order segments that are now in order.
-	for {
-		next, ok := c.ooo[c.rcvNxt]
-		if !ok {
-			break
-		}
-		delete(c.ooo, c.rcvNxt)
-		c.rcvBuf = append(c.rcvBuf, next...)
-		c.rcvNxt += uint32(len(next))
-	}
+	c.drainOOOLocked()
 }
 
 // tcpInitialCwndSegs is the initial congestion window in segments.
@@ -1022,6 +1125,7 @@ func (c *TCPConn) fastRetransmitLocked() {
 	c.ssthresh = max(inFlight/2, 2*c.mss)
 	c.cwnd = c.ssthresh + 3*c.mss
 	c.retrans++
+	c.retransBytes += uint64(min(c.mss, len(c.sndBuf)))
 	c.measValid = false
 	n := min(c.mss, len(c.sndBuf))
 	// Rebuild the first outstanding segment without disturbing sndNxt.
@@ -1040,16 +1144,34 @@ func (c *TCPConn) Retransmissions() uint64 {
 	return c.retrans
 }
 
+// RetransmittedBytes reports the total payload bytes this connection has
+// sent more than once (go-back-N resends, fast retransmits, SACK hole
+// fills, window probes). The loss-matrix tests gate the SACK path on
+// this number staying below the go-back-N baseline.
+func (c *TCPConn) RetransmittedBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retransBytes
+}
+
+// SACKEnabled reports whether the connection negotiated SACK.
+func (c *TCPConn) SACKEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sackOK
+}
+
 // DebugString summarizes the connection state for diagnostics.
 func (c *TCPConn) DebugString() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return fmt.Sprintf("%s %s snd[una=%d nxt=%d buf=%d wnd=%d cwnd=%d ssthresh=%d] rcv[nxt=%d buf=%d ooo=%d adv=%d] fin[snt=%v ack=%v rcvd=%v closed=%v] retrans=%d retries=%d rto=%v txq=%d err=%v",
+	return fmt.Sprintf("%s %s snd[una=%d nxt=%d buf=%d wnd=%d cwnd=%d ssthresh=%d] rcv[nxt=%d buf=%d ooo=%d adv=%d] sack[ok=%v sb=%d rec=%v] fin[snt=%v ack=%v rcvd=%v closed=%v] retrans=%d/%dB retries=%d rto=%v txq=%d err=%v",
 		c.tuple, c.state,
 		c.sndUna-c.iss, c.sndNxt-c.iss, len(c.sndBuf), c.sndWnd, c.cwnd, c.ssthresh,
-		c.rcvNxt, len(c.rcvBuf), len(c.ooo), c.lastAdv,
+		c.rcvNxt, len(c.rcvBuf), len(c.oooQ), c.lastAdv,
+		c.sackOK, len(c.scoreboard), c.inRecovery,
 		c.finSent, c.finAcked, c.rcvdFin, c.sndClosed,
-		c.retrans, c.retries, c.rto, len(c.txq), c.connErr)
+		c.retrans, c.retransBytes, c.retries, c.rto, len(c.txq), c.connErr)
 }
 
 // TCPConns snapshots the stack's live TCP connections (diagnostics).

@@ -17,8 +17,30 @@ const (
 	TCPAck uint8 = 1 << 4
 )
 
+// TCP option kinds the stack understands.
+const (
+	tcpOptEnd           = 0
+	tcpOptNop           = 1
+	tcpOptMSS           = 2
+	tcpOptWScale        = 3
+	tcpOptSACKPermitted = 4
+	tcpOptSACK          = 5
+)
+
+// MaxSACKBlocks is the most SACK blocks one segment can carry (RFC 2018:
+// the 40-byte option space holds at most four 8-byte blocks).
+const MaxSACKBlocks = 4
+
+// SACKBlock is one selective-acknowledgment range [Start, End) in
+// sequence space (RFC 2018: left edge inclusive, right edge exclusive).
+type SACKBlock struct {
+	Start uint32
+	End   uint32
+}
+
 // TCPHeader is a parsed TCP header. The options the simulated stack uses
-// are MSS and window scale (RFC 1323), both on SYN segments only.
+// are MSS, window scale (RFC 1323) and SACK-permitted (RFC 2018) on SYN
+// segments, plus SACK blocks on established-connection ACKs.
 type TCPHeader struct {
 	SrcPort uint16
 	DstPort uint16
@@ -30,6 +52,11 @@ type TCPHeader struct {
 	// WScale is the window-scale shift plus one (0 = option absent), so
 	// a present option with shift 0 is distinguishable.
 	WScale uint8
+	// SACKPermitted marks the RFC 2018 option on SYN segments.
+	SACKPermitted bool
+	// SACK carries the selective-acknowledgment blocks of an ACK
+	// (at most MaxSACKBlocks; extras are dropped when building).
+	SACK []SACKBlock
 }
 
 // HasFlag reports whether flag f is set.
@@ -65,15 +92,26 @@ func (h *TCPHeader) FlagString() string {
 	return s
 }
 
-// BuildTCP assembles a TCP segment (header [+MSS option on SYN] + payload)
-// with a valid checksum over the IPv4 pseudo header.
+// BuildTCP assembles a TCP segment (header + options + payload) with a
+// valid checksum over the IPv4 pseudo header. Options stay 4-byte aligned:
+// MSS (4), NOP+WScale (4), SACK-permitted+2 NOPs (4), 2 NOPs+SACK (4+8n).
 func BuildTCP(src, dst IPv4, h *TCPHeader, payload []byte) []byte {
+	sack := h.SACK
+	if len(sack) > MaxSACKBlocks {
+		sack = sack[:MaxSACKBlocks]
+	}
 	hdrLen := TCPHeaderLen
 	if h.MSS != 0 {
 		hdrLen += 4
 	}
 	if h.WScale != 0 {
 		hdrLen += 4 // NOP + 3-byte window scale keeps 4-byte alignment
+	}
+	if h.SACKPermitted {
+		hdrLen += 4 // 2-byte option + 2 NOPs
+	}
+	if len(sack) > 0 {
+		hdrLen += 4 + 8*len(sack) // 2 NOPs + kind/len + 8 bytes per block
 	}
 	seg := make([]byte, hdrLen+len(payload))
 	binary.BigEndian.PutUint16(seg[0:2], h.SrcPort)
@@ -85,17 +123,36 @@ func BuildTCP(src, dst IPv4, h *TCPHeader, payload []byte) []byte {
 	binary.BigEndian.PutUint16(seg[14:16], h.Window)
 	opt := TCPHeaderLen
 	if h.MSS != 0 {
-		seg[opt] = 2 // MSS option kind
+		seg[opt] = tcpOptMSS
 		seg[opt+1] = 4
 		binary.BigEndian.PutUint16(seg[opt+2:opt+4], h.MSS)
 		opt += 4
 	}
 	if h.WScale != 0 {
-		seg[opt] = 1 // NOP pad
+		seg[opt] = tcpOptNop
 		seg[opt+1] = 3
-		seg[opt+2] = 3 // window-scale option kind
+		seg[opt+2] = tcpOptWScale
 		seg[opt+3] = h.WScale - 1
 		opt += 4
+	}
+	if h.SACKPermitted {
+		seg[opt] = tcpOptSACKPermitted
+		seg[opt+1] = 2
+		seg[opt+2] = tcpOptNop
+		seg[opt+3] = tcpOptNop
+		opt += 4
+	}
+	if len(sack) > 0 {
+		seg[opt] = tcpOptNop
+		seg[opt+1] = tcpOptNop
+		seg[opt+2] = tcpOptSACK
+		seg[opt+3] = uint8(2 + 8*len(sack))
+		opt += 4
+		for _, b := range sack {
+			binary.BigEndian.PutUint32(seg[opt:opt+4], b.Start)
+			binary.BigEndian.PutUint32(seg[opt+4:opt+8], b.End)
+			opt += 8
+		}
 	}
 	copy(seg[hdrLen:], payload)
 	binary.BigEndian.PutUint16(seg[16:18], TransportChecksum(src, dst, ProtoTCP, seg))
@@ -121,27 +178,90 @@ func ParseTCP(src, dst IPv4, seg []byte) (TCPHeader, []byte, error) {
 	h.Ack = binary.BigEndian.Uint32(seg[8:12])
 	h.Flags = seg[13]
 	h.Window = binary.BigEndian.Uint16(seg[14:16])
-	// Scan options for MSS.
+	// Scan the option space. A malformed option (zero/short length, or a
+	// length running past the header) terminates the scan: everything
+	// decoded so far stands, nothing past the declared bytes is read.
 	opts := seg[TCPHeaderLen:dataOff]
 	for len(opts) > 0 {
 		switch opts[0] {
-		case 0: // end of options
+		case tcpOptEnd:
 			opts = nil
-		case 1: // no-op
+		case tcpOptNop:
 			opts = opts[1:]
 		default:
 			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
 				opts = nil
 				break
 			}
-			if opts[0] == 2 && opts[1] == 4 {
+			optLen := int(opts[1])
+			switch {
+			case opts[0] == tcpOptMSS && optLen == 4:
 				h.MSS = binary.BigEndian.Uint16(opts[2:4])
-			}
-			if opts[0] == 3 && opts[1] == 3 {
+			case opts[0] == tcpOptWScale && optLen == 3:
 				h.WScale = opts[2] + 1
+			case opts[0] == tcpOptSACKPermitted && optLen == 2:
+				h.SACKPermitted = true
+			case opts[0] == tcpOptSACK && optLen >= 10 && (optLen-2)%8 == 0:
+				n := (optLen - 2) / 8
+				if n > MaxSACKBlocks {
+					n = MaxSACKBlocks // ignore the out-of-spec tail
+				}
+				h.SACK = make([]SACKBlock, 0, n)
+				for i := 0; i < n; i++ {
+					h.SACK = append(h.SACK, SACKBlock{
+						Start: binary.BigEndian.Uint32(opts[2+8*i : 6+8*i]),
+						End:   binary.BigEndian.Uint32(opts[6+8*i : 10+8*i]),
+					})
+				}
 			}
-			opts = opts[opts[1]:]
+			opts = opts[optLen:]
 		}
 	}
 	return h, seg[dataOff:], nil
+}
+
+// SegmentTCP splits one large TCP segment into wire-sized segments of at
+// most maxSeg bytes each (header + payload), as a device's segmentation
+// offload would: options are preserved, sequence numbers advance by the
+// carried payload, FIN and PSH ride only the last piece, and each piece
+// gets a fresh checksum. The input checksum is not re-verified — the
+// caller owns a segment it just built. Returns an error when seg cannot
+// be split (malformed header, or maxSeg too small to carry any payload).
+func SegmentTCP(src, dst IPv4, seg []byte, maxSeg int) ([][]byte, error) {
+	if len(seg) < TCPHeaderLen {
+		return nil, fmt.Errorf("%w: tcp segment %d bytes", ErrTruncated, len(seg))
+	}
+	dataOff := int(seg[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(seg) {
+		return nil, fmt.Errorf("pkt: bad tcp data offset %d", dataOff)
+	}
+	if len(seg) <= maxSeg {
+		return [][]byte{seg}, nil
+	}
+	chunk := maxSeg - dataOff
+	if chunk <= 0 {
+		return nil, fmt.Errorf("pkt: gso max %d cannot carry payload under a %d-byte header", maxSeg, dataOff)
+	}
+	payload := seg[dataOff:]
+	seq := binary.BigEndian.Uint32(seg[4:8])
+	flags := seg[13]
+	out := make([][]byte, 0, (len(payload)+chunk-1)/chunk)
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		last := end >= len(payload)
+		if last {
+			end = len(payload)
+		}
+		sub := make([]byte, dataOff+end-off)
+		copy(sub, seg[:dataOff])
+		copy(sub[dataOff:], payload[off:end])
+		binary.BigEndian.PutUint32(sub[4:8], seq+uint32(off))
+		if !last {
+			sub[13] = flags &^ (TCPFin | TCPPsh)
+		}
+		binary.BigEndian.PutUint16(sub[16:18], 0)
+		binary.BigEndian.PutUint16(sub[16:18], TransportChecksum(src, dst, ProtoTCP, sub))
+		out = append(out, sub)
+	}
+	return out, nil
 }
