@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/metrics"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
@@ -77,7 +78,7 @@ func main() {
 					return
 				default:
 				}
-				_ = conn.WriteTo([]byte("heartbeat"), dst.IP, 9)
+				_, _ = conn.WriteTo([]byte("heartbeat"), netstack.Addr{IP: dst.IP, Port: 9})
 				beats.Add(1)
 				time.Sleep(2 * time.Millisecond)
 			}

@@ -6,11 +6,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -38,7 +40,7 @@ func main() {
 	}
 
 	// A continuous request-response conversation.
-	ln, err := vm2.Stack.ListenTCP(7000)
+	ln, err := vm2.Stack.ListenTCP(netstack.Addr{Port: 7000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 			}
 		}
 	}()
-	conn, err := vm1.Stack.DialTCP(vm2.IP, 7000)
+	conn, err := vm1.Stack.DialTCP(netstack.Addr{IP: vm2.IP, Port: 7000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func main() {
 			if _, err := conn.Write(msg); err != nil {
 				return
 			}
-			if _, err := conn.ReadFull(buf); err != nil {
+			if _, err := io.ReadFull(conn, buf); err != nil {
 				return
 			}
 			count.Add(1)

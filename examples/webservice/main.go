@@ -4,13 +4,20 @@
 //
 // A web-frontend VM serves request/response transactions that each require
 // a lookup on a database VM co-resident on the same machine. The example
-// measures end-to-end transaction throughput with and without XenLoop.
+// measures end-to-end transaction throughput with and without XenLoop,
+// using the net.Conn-shaped socket surface: Addr endpoints, io.ReadFull
+// over the conformant Read, and a per-lookup read deadline on the model
+// clock so a stuck backend turns into a timeout instead of a hang.
+// (The benchmarked version with SLO gates is `xlbench -exp webservice`.)
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/costmodel"
@@ -22,11 +29,16 @@ import (
 const (
 	dbPort  = 5432
 	webPort = 8080
+
+	// lookupTimeout bounds one DB round trip; generous against the
+	// measured path (tens of microseconds) so it only fires on real
+	// trouble.
+	lookupTimeout = 250 * time.Millisecond
 )
 
 // runDB serves lookups: 4-byte key in, 128-byte value out.
 func runDB(stack *netstack.Stack) error {
-	ln, err := stack.ListenTCP(dbPort)
+	ln, err := stack.ListenTCP(netstack.Addr{Port: dbPort})
 	if err != nil {
 		return err
 	}
@@ -37,10 +49,11 @@ func runDB(stack *netstack.Stack) error {
 				return
 			}
 			go func() {
+				defer conn.Close()
 				key := make([]byte, 4)
 				value := make([]byte, 128)
 				for {
-					if _, err := conn.ReadFull(key); err != nil {
+					if _, err := io.ReadFull(conn, key); err != nil {
 						return
 					}
 					// "Query": derive the value from the key.
@@ -57,12 +70,14 @@ func runDB(stack *netstack.Stack) error {
 	return nil
 }
 
-// runWeb serves client transactions, each backed by one DB lookup.
+// runWeb serves client transactions, each backed by one DB lookup with a
+// deadline.
 func runWeb(stack *netstack.Stack, dbIP pkt.IPv4) error {
-	ln, err := stack.ListenTCP(webPort)
+	ln, err := stack.ListenTCP(netstack.Addr{Port: webPort})
 	if err != nil {
 		return err
 	}
+	model := stack.Model()
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -70,7 +85,8 @@ func runWeb(stack *netstack.Stack, dbIP pkt.IPv4) error {
 				return
 			}
 			go func() {
-				db, err := stack.DialTCP(dbIP, dbPort)
+				defer conn.Close()
+				db, err := stack.DialTCP(netstack.Addr{IP: dbIP, Port: dbPort})
 				if err != nil {
 					return
 				}
@@ -78,13 +94,17 @@ func runWeb(stack *netstack.Stack, dbIP pkt.IPv4) error {
 				req := make([]byte, 4)
 				val := make([]byte, 128)
 				for {
-					if _, err := conn.ReadFull(req); err != nil {
+					if _, err := io.ReadFull(conn, req); err != nil {
 						return
 					}
 					if _, err := db.Write(req); err != nil {
 						return
 					}
-					if _, err := db.ReadFull(val); err != nil {
+					_ = db.SetReadDeadline(model.Now().Add(lookupTimeout))
+					if _, err := io.ReadFull(db, val); err != nil {
+						if errors.Is(err, os.ErrDeadlineExceeded) {
+							log.Printf("web: db lookup via %s timed out", db.RemoteAddr())
+						}
 						return
 					}
 					if _, err := conn.Write(val); err != nil {
@@ -99,7 +119,7 @@ func runWeb(stack *netstack.Stack, dbIP pkt.IPv4) error {
 
 // measure drives transactions from a client host for the given duration.
 func measure(client *netstack.Stack, webIP pkt.IPv4, d time.Duration) (float64, error) {
-	conn, err := client.DialTCP(webIP, webPort)
+	conn, err := client.DialTCP(netstack.Addr{IP: webIP, Port: webPort})
 	if err != nil {
 		return 0, err
 	}
@@ -113,7 +133,7 @@ func measure(client *netstack.Stack, webIP pkt.IPv4, d time.Duration) (float64, 
 		if _, err := conn.Write(req); err != nil {
 			return 0, err
 		}
-		if _, err := conn.ReadFull(val); err != nil {
+		if _, err := io.ReadFull(conn, val); err != nil {
 			return 0, err
 		}
 		count++

@@ -25,6 +25,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/faultinject"
 	"repro/internal/hypervisor"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -283,16 +284,18 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("chaos: listen: %w", err)
 		}
-		recvConns = append(recvConns, conn.Close)
+		recvConns = append(recvConns, func() { conn.Close() })
 		wgRecv.Add(1)
 		go func() {
 			defer wgRecv.Done()
 			flows := map[uint32]*flowBits{}
+			buf := make([]byte, chaosPayloadLen)
 			for {
-				data, _, _, err := conn.ReadFrom(0)
+				n, _, err := conn.ReadFrom(buf)
 				if err != nil {
 					return
 				}
+				data := buf[:n]
 				flow, seq, ok := decodeChaos(data)
 				if !ok || int(flow) >= nFlows {
 					continue
@@ -344,7 +347,7 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 					// sequence number and retry later. On success the stack
 					// owns the packet — it may still be dropped (that is
 					// chaos working), but never duplicated.
-					if err := conn.WriteTo(payload, dst.IP, chaosPort); err == nil {
+					if _, err := conn.WriteTo(payload, netstack.Addr{IP: dst.IP, Port: chaosPort}); err == nil {
 						sent[flow].Add(1)
 					} else {
 						sleep(time.Millisecond)

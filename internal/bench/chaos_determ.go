@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/faultinject"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -191,13 +192,15 @@ func ChaosDeterministic(o DeterministicOptions) (DeterministicResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("determ: listen: %w", err)
 		}
-		closers = append(closers, conn.Close)
+		closers = append(closers, func() { conn.Close() })
 		go func() {
+			buf := make([]byte, chaosPayloadLen)
 			for {
-				data, _, _, err := conn.ReadFrom(0)
+				n, _, err := conn.ReadFrom(buf)
 				if err != nil {
 					return
 				}
+				data := buf[:n]
 				if flow, _, ok := decodeChaos(data); ok && int(flow) < nFlows {
 					delivered.Add(1)
 				}
@@ -222,9 +225,10 @@ func ChaosDeterministic(o DeterministicOptions) (DeterministicResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("determ: sender socket: %w", err)
 		}
-		closers = append(closers, conn.Close)
+		closers = append(closers, func() { conn.Close() })
 		send[i] = func(dst *testbed.VM, payload []byte) error {
-			return conn.WriteTo(payload, dst.IP, chaosPort)
+			_, err := conn.WriteTo(payload, netstack.Addr{IP: dst.IP, Port: chaosPort})
+			return err
 		}
 	}
 

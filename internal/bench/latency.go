@@ -84,12 +84,13 @@ func latencySamples(p *testbed.Pair, senders int, dur time.Duration) ([]time.Dur
 	}
 	defer srv.Close()
 	go func() {
+		buf := make([]byte, 64)
 		for {
-			data, src, srcPort, err := srv.ReadFrom(0)
+			n, src, err := srv.ReadFrom(buf)
 			if err != nil {
 				return
 			}
-			if err := srv.WriteTo(data, src, srcPort); err != nil {
+			if _, err := srv.WriteTo(buf[:n], src); err != nil {
 				return
 			}
 		}
@@ -111,22 +112,26 @@ func latencySamples(p *testbed.Pair, senders int, dur time.Duration) ([]time.Dur
 			defer wg.Done()
 			defer cli.Close()
 			req := []byte{0x42}
+			resp := make([]byte, 64)
+			srvAddr := netstack.Addr{IP: b.IP, Port: latencyPort}
+			model := a.Stack.Model()
 			// Warm-up (resolves ARP, faults in the channel).
-			if err := cli.WriteTo(req, b.IP, latencyPort); err != nil {
+			if _, err := cli.WriteTo(req, srvAddr); err != nil {
 				return
 			}
-			if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+			_ = cli.SetReadDeadline(model.Now().Add(2 * time.Second))
+			if _, _, err := cli.ReadFrom(resp); err != nil {
 				return
 			}
 			samples := make([]time.Duration, 0, 4096)
-			model := a.Stack.Model()
 			deadline := model.NowNs() + int64(dur)
 			for len(samples) == 0 || model.NowNs() < deadline {
 				t0 := model.NowNs()
-				if err := cli.WriteTo(req, b.IP, latencyPort); err != nil {
+				if _, err := cli.WriteTo(req, srvAddr); err != nil {
 					break
 				}
-				if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+				_ = cli.SetReadDeadline(model.Now().Add(2 * time.Second))
+				if _, _, err := cli.ReadFrom(resp); err != nil {
 					mu.Lock()
 					if outErr == nil {
 						outErr = fmt.Errorf("latency: response lost: %w", err)

@@ -238,8 +238,9 @@ func meshPoint(o ExpOptions, guests int) (MeshPoint, error) {
 		wgRecv.Add(1)
 		go func() {
 			defer wgRecv.Done()
+			buf := make([]byte, meshPktSize)
 			for {
-				if _, _, _, err := srv.ReadFrom(0); err != nil {
+				if _, _, err := srv.ReadFrom(buf); err != nil {
 					return
 				}
 			}

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"io"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/netstack"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -49,7 +51,7 @@ func MigrationTimeline(opts testbed.Options, samplesPerPhase int, interval time.
 
 	// Server on vm2.
 	port := nextPort()
-	ln, err := vm2.Stack.ListenTCP(port)
+	ln, err := vm2.Stack.ListenTCP(netstack.Addr{Port: port})
 	if err != nil {
 		return TimelineResult{}, err
 	}
@@ -62,7 +64,7 @@ func MigrationTimeline(opts testbed.Options, samplesPerPhase int, interval time.
 		defer conn.Close()
 		buf := make([]byte, 1)
 		for {
-			if _, err := conn.ReadFull(buf); err != nil {
+			if _, err := io.ReadFull(conn, buf); err != nil {
 				return
 			}
 			if _, err := conn.Write(buf); err != nil {
@@ -71,7 +73,7 @@ func MigrationTimeline(opts testbed.Options, samplesPerPhase int, interval time.
 		}
 	}()
 
-	conn, err := vm1.Stack.DialTCP(vm2.IP, port)
+	conn, err := vm1.Stack.DialTCP(netstack.Addr{IP: vm2.IP, Port: port})
 	if err != nil {
 		return TimelineResult{}, err
 	}
@@ -93,7 +95,7 @@ func MigrationTimeline(opts testbed.Options, samplesPerPhase int, interval time.
 				rrErrs.Add(1)
 				return
 			}
-			if _, err := conn.ReadFull(resp); err != nil {
+			if _, err := io.ReadFull(conn, resp); err != nil {
 				rrErrs.Add(1)
 				return
 			}

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"time"
 
+	"repro/internal/netstack"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -22,7 +24,7 @@ func TCPRR(p *testbed.Pair, duration time.Duration) (LatencyResult, error) {
 func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error) {
 	a, b := endpoints(p)
 	port := nextPort()
-	ln, err := b.Stack.ListenTCP(port)
+	ln, err := b.Stack.ListenTCP(netstack.Addr{Port: port})
 	if err != nil {
 		return LatencyResult{}, err
 	}
@@ -37,7 +39,7 @@ func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 		defer conn.Close()
 		buf := make([]byte, 1)
 		for {
-			if _, err := conn.ReadFull(buf); err != nil {
+			if _, err := io.ReadFull(conn, buf); err != nil {
 				srvErr <- nil
 				return
 			}
@@ -48,7 +50,7 @@ func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 		}
 	}()
 
-	conn, err := a.Stack.DialTCP(b.IP, port)
+	conn, err := a.Stack.DialTCP(netstack.Addr{IP: b.IP, Port: port})
 	if err != nil {
 		return LatencyResult{}, err
 	}
@@ -58,7 +60,7 @@ func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 	if _, err := conn.Write(req); err != nil {
 		return LatencyResult{}, err
 	}
-	if _, err := conn.ReadFull(resp); err != nil {
+	if _, err := io.ReadFull(conn, resp); err != nil {
 		return LatencyResult{}, err
 	}
 
@@ -69,7 +71,7 @@ func tcpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 		if _, err := conn.Write(req); err != nil {
 			return LatencyResult{}, err
 		}
-		if _, err := conn.ReadFull(resp); err != nil {
+		if _, err := io.ReadFull(conn, resp); err != nil {
 			return LatencyResult{}, err
 		}
 		transactions++
@@ -110,12 +112,13 @@ func udpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 	}
 	defer srv.Close()
 	go func() {
+		buf := make([]byte, 64<<10)
 		for {
-			data, src, srcPort, err := srv.ReadFrom(0)
+			n, src, err := srv.ReadFrom(buf)
 			if err != nil {
 				return
 			}
-			if err := srv.WriteTo(data, src, srcPort); err != nil {
+			if _, err := srv.WriteTo(buf[:n], src); err != nil {
 				return
 			}
 		}
@@ -126,12 +129,16 @@ func udpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 		return LatencyResult{}, err
 	}
 	defer cli.Close()
+	model := a.Stack.Model()
+	srvAddr := netstack.Addr{IP: b.IP, Port: port}
 	req := []byte{0x42}
+	resp := make([]byte, 64)
 	// Warm-up (also resolves ARP).
-	if err := cli.WriteTo(req, b.IP, port); err != nil {
+	if _, err := cli.WriteTo(req, srvAddr); err != nil {
 		return LatencyResult{}, err
 	}
-	if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+	_ = cli.SetReadDeadline(model.Now().Add(2 * time.Second))
+	if _, _, err := cli.ReadFrom(resp); err != nil {
 		return LatencyResult{}, err
 	}
 
@@ -139,10 +146,11 @@ func udpRR(p *testbed.Pair, duration time.Duration, n int) (LatencyResult, error
 	start := time.Now()
 	deadline := start.Add(duration)
 	for more(transactions, n, deadline) {
-		if err := cli.WriteTo(req, b.IP, port); err != nil {
+		if _, err := cli.WriteTo(req, srvAddr); err != nil {
 			return LatencyResult{}, err
 		}
-		if _, _, _, err := cli.ReadFrom(2 * time.Second); err != nil {
+		_ = cli.SetReadDeadline(model.Now().Add(2 * time.Second))
+		if _, _, err := cli.ReadFrom(resp); err != nil {
 			return LatencyResult{}, fmt.Errorf("udp_rr response lost: %w", err)
 		}
 		transactions++
@@ -166,7 +174,7 @@ func TCPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthR
 func tcpStream(p *testbed.Pair, msgSize int, duration time.Duration, totalBytes int64) (BandwidthResult, error) {
 	a, b := endpoints(p)
 	port := nextPort()
-	ln, err := b.Stack.ListenTCP(port)
+	ln, err := b.Stack.ListenTCP(netstack.Addr{Port: port})
 	if err != nil {
 		return BandwidthResult{}, err
 	}
@@ -198,7 +206,7 @@ func tcpStream(p *testbed.Pair, msgSize int, duration time.Duration, totalBytes 
 		done <- recvResult{bytes: total, elapsed: time.Since(start)}
 	}()
 
-	conn, err := a.Stack.DialTCP(b.IP, port)
+	conn, err := a.Stack.DialTCP(netstack.Addr{IP: b.IP, Port: port})
 	if err != nil {
 		return BandwidthResult{}, err
 	}
@@ -259,11 +267,15 @@ func UDPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthR
 	go func() {
 		var total, msgs int64
 		var start time.Time
+		model := b.Stack.Model()
+		buf := make([]byte, 64<<10)
 		for {
-			data, _, _, err := srv.ReadFrom(2 * time.Second)
+			_ = srv.SetReadDeadline(model.Now().Add(2 * time.Second))
+			n, _, err := srv.ReadFrom(buf)
 			if err != nil {
 				break // idle: sender finished and marker was lost
 			}
+			data := buf[:n]
 			if len(data) == len(udpEndMarker) && string(data) == string(udpEndMarker) {
 				break
 			}
@@ -289,7 +301,7 @@ func UDPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthR
 	}
 	defer cli.Close()
 	// Resolve ARP before the timed run.
-	if err := cli.WriteTo(udpPrimeMarker, b.IP, port); err != nil {
+	if _, err := cli.WriteTo(udpPrimeMarker, netstack.Addr{IP: b.IP, Port: port}); err != nil {
 		return BandwidthResult{}, err
 	}
 	time.Sleep(10 * time.Millisecond)
@@ -298,7 +310,7 @@ func UDPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthR
 	var sent int64
 	deadline := time.Now().Add(duration)
 	for sent == 0 || time.Now().Before(deadline) {
-		if err := cli.WriteTo(msg, b.IP, port); err != nil {
+		if _, err := cli.WriteTo(msg, netstack.Addr{IP: b.IP, Port: port}); err != nil {
 			return BandwidthResult{}, err
 		}
 		sent++
@@ -306,7 +318,7 @@ func UDPStream(p *testbed.Pair, msgSize int, duration time.Duration) (BandwidthR
 	// Give in-flight datagrams a moment, then end the measurement.
 	time.Sleep(20 * time.Millisecond)
 	for i := 0; i < 8; i++ {
-		_ = cli.WriteTo(udpEndMarker, b.IP, port)
+		_, _ = cli.WriteTo(udpEndMarker, netstack.Addr{IP: b.IP, Port: port})
 		time.Sleep(2 * time.Millisecond)
 	}
 	r := <-done

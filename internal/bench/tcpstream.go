@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/netstack"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -58,7 +59,7 @@ func tcpStreamTimed(p *testbed.Pair, msgSize int, totalBytes int64) (TCPStreamPo
 	a, b := endpoints(p)
 	model := p.A.VM.Machine.HV.Model()
 	port := nextPort()
-	ln, err := b.Stack.ListenTCP(port)
+	ln, err := b.Stack.ListenTCP(netstack.Addr{Port: port})
 	if err != nil {
 		return TCPStreamPoint{}, err
 	}
@@ -89,7 +90,7 @@ func tcpStreamTimed(p *testbed.Pair, msgSize int, totalBytes int64) (TCPStreamPo
 		done <- recvResult{bytes: total, endNs: model.NowNs()}
 	}()
 
-	conn, err := a.Stack.DialTCP(b.IP, port)
+	conn, err := a.Stack.DialTCP(netstack.Addr{IP: b.IP, Port: port})
 	if err != nil {
 		return TCPStreamPoint{}, err
 	}

@@ -1,0 +1,926 @@
+// Webservice: the paper's motivating multi-tier scenario (§1) as a
+// self-gating benchmark. A front tier in one guest serves client
+// transactions by fanning out lookups to a KV tier in other co-resident
+// guests over TCP; the web<->KV hop rides the XenLoop channel path or the
+// netfront/netback path, and the experiment's SLO assertion is that the
+// channel keeps the p99 transaction latency under an objective the
+// standard path misses.
+//
+// The load is open loop: each tenant's arrivals are scheduled at a fixed
+// rate on the model clock (so -virtual runs at CPU speed), and latency is
+// measured from the scheduled arrival — queueing delay counts, as it does
+// for a real SLO. The front tier applies per-tenant admission control: a
+// tenant over its in-flight quota is shed immediately with a 503-style
+// reply, so one abusive tenant cannot take the KV tier down for everyone
+// else.
+//
+// Transaction latencies are both recorded exactly (stats.Summarize over
+// per-transaction samples) and observed into a metrics.Registry histogram;
+// the JSON artifact reports the registry-snapshot percentiles next to the
+// exact ones, cross-checking the log-bucketed pipeline end to end.
+//
+// cmd/xlbench -exp webservice writes BENCH_webservice.json and applies
+// the SLO gates; the chaos variant migrates a KV guest away and back
+// mid-load and asserts the SLO holds again once the channel re-forms.
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/netstack"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// Front-tier reply status bytes (wsStatusShed is the 503 of the protocol).
+const (
+	wsStatusOK   = 0
+	wsStatusShed = 1
+	wsStatusErr  = 2
+)
+
+const (
+	// wsKVTimeout bounds one KV lookup; generous against the measured
+	// path so it fires only on real trouble (a suspended guest mid-
+	// migration still answers within it via TCP retransmission).
+	wsKVTimeout = 2 * time.Second
+	// wsTxnTimeout bounds one whole client transaction.
+	wsTxnTimeout = 5 * time.Second
+	// wsChaosSettle is how long after the migrate-back the tier is given
+	// to recover before "recovered" samples are collected: the channel
+	// must re-form (a discovery period plus bootstrap) and the arrival
+	// backlog that piled up behind migration-stalled transactions (TCP
+	// retransmission timeouts reach hundreds of ms) must drain.
+	wsChaosSettle = 300 * time.Millisecond
+)
+
+// wsValueSizes is the mixed KV value-size population; lookups cycle
+// through it so every transaction mixes small and page-sized replies.
+var wsValueSizes = []int{64, 1024, 4096}
+
+// TenantSpec describes one tenant of the front tier.
+type TenantSpec struct {
+	// Name labels the tenant in results.
+	Name string `json:"name"`
+	// RPS is the open-loop arrival rate of the tenant's transactions.
+	RPS float64 `json:"rps"`
+	// Quota is the front tier's in-flight admission limit: arrivals
+	// beyond it are shed with wsStatusShed.
+	Quota int `json:"quota"`
+	// Workers is the tenant's client concurrency: persistent connections
+	// draining the open-loop arrival queue (wrk2-style — arrivals are
+	// scheduled at RPS regardless, and time spent waiting for a worker
+	// counts against the transaction's latency). A well-behaved tenant
+	// keeps Workers under its Quota; an abusive one exceeds it.
+	Workers int `json:"workers"`
+	// Abusive marks the tenant whose offered load is meant to exceed its
+	// quota: its latency is reported but not held to the SLO, and the
+	// netfront path must shed it.
+	Abusive bool `json:"abusive,omitempty"`
+}
+
+// WebserviceConfig parameterizes the experiment.
+type WebserviceConfig struct {
+	// KVGuests is the number of KV-tier guests (0 = 2).
+	KVGuests int
+	// Fanout is the number of KV lookups per transaction (0 = 2).
+	Fanout int
+	// Tenants is the tenant population (nil = two well-behaved tenants
+	// plus one abusive tenant whose rate exceeds its quota's capacity).
+	Tenants []TenantSpec
+	// SLOObjectiveUs is the p99 transaction-latency objective in
+	// microseconds (0 = DefaultWebserviceSLOUs).
+	SLOObjectiveUs float64
+	// SkipChaos skips the mid-load migration variant.
+	SkipChaos bool
+}
+
+// DefaultWebserviceSLOUs is the default p99 objective: between the
+// channel path's well-behaved p99 (~7-8ms under the calibrated profile,
+// dominated by sharing the client link with the abusive tenant) and the
+// netfront/netback path's (~250ms, the shared bridge saturated by the
+// same load), so the gate separates the two datapaths with >3x margin on
+// either side.
+const DefaultWebserviceSLOUs = 25000.0
+
+func (c WebserviceConfig) withDefaults() WebserviceConfig {
+	if c.KVGuests == 0 {
+		c.KVGuests = 2
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 2
+	}
+	if c.Tenants == nil {
+		c.Tenants = []TenantSpec{
+			{Name: "tenant-a", RPS: 500, Quota: 32, Workers: 8},
+			{Name: "tenant-b", RPS: 500, Quota: 32, Workers: 8},
+			// Open-loop at 20k rps with 16 connections against an in-flight
+			// quota of 2: concurrency at the front far outruns the quota by
+			// design, so admission control must shed.
+			{Name: "abusive", RPS: 20000, Quota: 2, Workers: 16, Abusive: true},
+		}
+	}
+	if c.SLOObjectiveUs == 0 {
+		c.SLOObjectiveUs = DefaultWebserviceSLOUs
+	}
+	return c
+}
+
+// WebserviceTenantResult is one tenant's view of a run.
+type WebserviceTenantResult struct {
+	Tenant     string  `json:"tenant"`
+	OfferedRPS float64 `json:"offered_rps"`
+	Quota      int     `json:"quota"`
+	Abusive    bool    `json:"abusive,omitempty"`
+	Sent       int     `json:"sent"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	// ShedRate = Shed / Sent.
+	ShedRate float64 `json:"shed_rate"`
+	// Exact percentiles over admitted (OK) transactions, microseconds.
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+// WebservicePoint is one datapath's aggregate result.
+type WebservicePoint struct {
+	// Path is "channel" (XenLoop) or "netfront" (netfront/netback).
+	Path string `json:"path"`
+	// Samples is the number of admitted transactions timed.
+	Samples    int     `json:"samples"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	// Exact percentiles (sorted samples), microseconds.
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	// The same quantiles pulled from the metrics.Registry snapshot of the
+	// run's transaction-latency histogram (log2 buckets: bounded by a
+	// factor-2 error against the exact values above).
+	HistP50Us  float64 `json:"hist_p50_us"`
+	HistP99Us  float64 `json:"hist_p99_us"`
+	HistP999Us float64 `json:"hist_p999_us"`
+	// WellBehavedP99Us is the worst p99 across the non-abusive tenants:
+	// the number the SLO is held against. The abusive tenant's open-loop
+	// queueing (its arrivals outrun every path by design) would otherwise
+	// dominate the aggregate and measure the generator, not the tier.
+	WellBehavedP99Us float64 `json:"well_behaved_p99_us"`
+	// Tenants breaks the run down per tenant (admission control view).
+	Tenants []WebserviceTenantResult `json:"tenants"`
+}
+
+// WebserviceMigrationResult is the chaos variant: a KV guest migrates
+// away and back under load.
+type WebserviceMigrationResult struct {
+	// Samples timed across all three phases (admitted transactions).
+	Samples int `json:"samples"`
+	Sent    int `json:"sent"`
+	Shed    int `json:"shed"`
+	Errors  int `json:"errors"`
+	// ErrorRate = Errors / admitted (sent - shed): transactions that were
+	// admitted must complete even across the migrations.
+	ErrorRate float64 `json:"error_rate"`
+	// P99BeforeUs / P99DuringUs / P99AfterUs split the well-behaved
+	// tenants' timeline: before the first migration, between the two (KV
+	// guest remote), and after the migrate-back once the channel had
+	// wsChaosSettle to re-form.
+	P99BeforeUs float64 `json:"p99_before_us"`
+	P99DuringUs float64 `json:"p99_during_us"`
+	P99AfterUs  float64 `json:"p99_after_us"`
+}
+
+// WebserviceExpResult is the experiment artifact (BENCH_webservice.json).
+type WebserviceExpResult struct {
+	Profile        string            `json:"profile"`
+	KVGuests       int               `json:"kv_guests"`
+	Fanout         int               `json:"fanout"`
+	Tenants        []TenantSpec      `json:"tenant_specs"`
+	SLOObjectiveUs float64           `json:"slo_objective_us"`
+	Points         []WebservicePoint `json:"points"`
+	// Headline: worst well-behaved-tenant p99 per path. The SLO gate is
+	// ChannelP99Us < SLOObjectiveUs < NetfrontP99Us.
+	ChannelP99Us  float64                    `json:"channel_p99_us"`
+	NetfrontP99Us float64                    `json:"netfront_p99_us"`
+	Migration     *WebserviceMigrationResult `json:"migration,omitempty"`
+}
+
+// wsConnPool is a free-list of persistent TCP connections. get dials when
+// the list is empty, so the pool grows to the peak in-flight demand;
+// discard retires a connection that saw an error.
+type wsConnPool struct {
+	dial func() (*netstack.TCPConn, error)
+	mu   sync.Mutex
+	free []*netstack.TCPConn
+	all  []*netstack.TCPConn
+}
+
+func (p *wsConnPool) get() (*netstack.TCPConn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := p.dial()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.all = append(p.all, c)
+	p.mu.Unlock()
+	return c, nil
+}
+
+func (p *wsConnPool) put(c *netstack.TCPConn)     { p.mu.Lock(); p.free = append(p.free, c); p.mu.Unlock() }
+func (p *wsConnPool) discard(c *netstack.TCPConn) { c.Close() }
+
+func (p *wsConnPool) closeAll() {
+	p.mu.Lock()
+	all := p.all
+	p.all, p.free = nil, nil
+	p.mu.Unlock()
+	for _, c := range all {
+		c.Close()
+	}
+}
+
+// wsServeKV runs the KV tier on one guest: 8-byte request (key, size) in,
+// size bytes out. The value derives from the key so corruption would show.
+func wsServeKV(stack *netstack.Stack, port uint16) (*netstack.TCPListener, error) {
+	ln, err := stack.ListenTCP(netstack.Addr{Port: port})
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				req := make([]byte, 8)
+				value := make([]byte, wsValueSizes[len(wsValueSizes)-1])
+				for {
+					if _, err := io.ReadFull(conn, req); err != nil {
+						return
+					}
+					key := binary.BigEndian.Uint32(req[0:4])
+					size := int(binary.BigEndian.Uint32(req[4:8]))
+					if size > len(value) {
+						return
+					}
+					for i := 0; i < size; i += 64 {
+						value[i] = byte(key)
+					}
+					if _, err := conn.Write(value[:size]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln, nil
+}
+
+// wsFront is the front tier: it accepts client transactions, applies
+// per-tenant admission control, and fans lookups out to the KV guests
+// over pooled channel-path connections.
+type wsFront struct {
+	stack    *netstack.Stack
+	ln       *netstack.TCPListener
+	pools    []*wsConnPool // one per KV guest
+	inflight []atomic.Int64
+	quotas   []int64
+	sheds    []atomic.Uint64
+	fanout   int
+}
+
+// wsStartFront launches the front tier on stack, dialing the KV guests at
+// kvAddrs. Per-tenant shed counters are registered into reg.
+func wsStartFront(stack *netstack.Stack, port uint16, kvAddrs []netstack.Addr,
+	tenants []TenantSpec, fanout int, reg *metrics.Registry) (*wsFront, error) {
+	f := &wsFront{
+		stack:    stack,
+		pools:    make([]*wsConnPool, len(kvAddrs)),
+		inflight: make([]atomic.Int64, len(tenants)),
+		quotas:   make([]int64, len(tenants)),
+		sheds:    make([]atomic.Uint64, len(tenants)),
+		fanout:   fanout,
+	}
+	for i, addr := range kvAddrs {
+		addr := addr
+		f.pools[i] = &wsConnPool{dial: func() (*netstack.TCPConn, error) {
+			return stack.DialTCP(addr)
+		}}
+	}
+	for i, t := range tenants {
+		f.quotas[i] = int64(t.Quota)
+		i := i
+		reg.RegisterCounter(
+			fmt.Sprintf("webservice_shed_total_%s", t.Name),
+			fmt.Sprintf("transactions shed by admission control for tenant %s", t.Name),
+			func() uint64 { return f.sheds[i].Load() })
+	}
+	ln, err := stack.ListenTCP(netstack.Addr{Port: port})
+	if err != nil {
+		return nil, err
+	}
+	f.ln = ln
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go f.handle(conn)
+		}
+	}()
+	return f, nil
+}
+
+func (f *wsFront) close() {
+	f.ln.Close()
+	for _, p := range f.pools {
+		p.closeAll()
+	}
+}
+
+// kvCall performs one lookup against guest g with a per-call read
+// deadline on the model clock.
+func (f *wsFront) kvCall(g int, key uint32, size int, buf []byte) error {
+	pool := f.pools[g]
+	conn, err := pool.get()
+	if err != nil {
+		return err
+	}
+	req := make([]byte, 8)
+	binary.BigEndian.PutUint32(req[0:4], key)
+	binary.BigEndian.PutUint32(req[4:8], uint32(size))
+	if _, err := conn.Write(req); err != nil {
+		pool.discard(conn)
+		return err
+	}
+	_ = conn.SetReadDeadline(f.stack.Model().Now().Add(wsKVTimeout))
+	if _, err := io.ReadFull(conn, buf[:size]); err != nil {
+		pool.discard(conn)
+		return err
+	}
+	pool.put(conn)
+	return nil
+}
+
+// handle serves one client connection: 8-byte transaction requests in,
+// [status, len, payload] replies out. Transactions on one connection are
+// served synchronously; clients pool connections for concurrency.
+func (f *wsFront) handle(conn *netstack.TCPConn) {
+	defer conn.Close()
+	req := make([]byte, 8)
+	hdr := make([]byte, 5)
+	payload := make([]byte, f.fanout*wsValueSizes[len(wsValueSizes)-1])
+	reply := func(status byte, n int) bool {
+		hdr[0] = status
+		binary.BigEndian.PutUint32(hdr[1:5], uint32(n))
+		if _, err := conn.Write(hdr); err != nil {
+			return false
+		}
+		if n > 0 {
+			if _, err := conn.Write(payload[:n]); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		if _, err := io.ReadFull(conn, req); err != nil {
+			return
+		}
+		tenant := int(req[0])
+		fanout := int(req[1])
+		seq := binary.BigEndian.Uint32(req[4:8])
+		if tenant >= len(f.inflight) || fanout > f.fanout {
+			return
+		}
+		if n := f.inflight[tenant].Add(1); n > f.quotas[tenant] {
+			f.inflight[tenant].Add(-1)
+			f.sheds[tenant].Add(1)
+			if !reply(wsStatusShed, 0) {
+				return
+			}
+			continue
+		}
+		total, ok := f.fanOut(seq, fanout, payload)
+		f.inflight[tenant].Add(-1)
+		if !ok {
+			if !reply(wsStatusErr, 0) {
+				return
+			}
+			continue
+		}
+		if !reply(wsStatusOK, total) {
+			return
+		}
+	}
+}
+
+// fanOut issues the transaction's lookups in parallel across the KV
+// guests and concatenates the values into payload.
+func (f *wsFront) fanOut(seq uint32, fanout int, payload []byte) (int, bool) {
+	offsets := make([]int, fanout+1)
+	sizes := make([]int, fanout)
+	for j := 0; j < fanout; j++ {
+		sizes[j] = wsValueSizes[(int(seq)+j)%len(wsValueSizes)]
+		offsets[j+1] = offsets[j] + sizes[j]
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for j := 0; j < fanout; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := (int(seq) + j) % len(f.pools)
+			key := seq*8 + uint32(j)
+			if err := f.kvCall(g, key, sizes[j], payload[offsets[j]:offsets[j+1]]); err != nil {
+				failed.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	return offsets[fanout], !failed.Load()
+}
+
+// wsSample is one admitted transaction: when it was scheduled to arrive
+// (model clock) and how long it took from that instant.
+type wsSample struct {
+	atNs  int64
+	latNs int64
+}
+
+// wsTenantRun accumulates one tenant's outcomes.
+type wsTenantRun struct {
+	mu      sync.Mutex
+	samples []wsSample
+	sent    int
+	ok      int
+	shed    int
+	errs    int
+}
+
+// wsArrival is one scheduled open-loop arrival.
+type wsArrival struct {
+	atNs int64
+	seq  uint32
+}
+
+// wsLoad drives the open-loop generators for every tenant from the client
+// stack against the front tier at frontAddr for dur (model time) and
+// returns per-tenant outcomes. Arrivals are scheduled at each tenant's
+// fixed rate and drained by a fixed pool of persistent worker connections
+// (wrk2-style): latency is measured from the scheduled arrival, so time
+// queued waiting for a worker counts, but client-side concurrency — and
+// with it the connection count at the front — stays bounded. Every
+// admitted transaction's latency is also observed into txnHist.
+func wsLoad(cli *netstack.Stack, frontAddr netstack.Addr, tenants []TenantSpec,
+	fanout int, dur time.Duration, txnHist *metrics.Histogram) ([]*wsTenantRun, error) {
+	model := cli.Model()
+	runs := make([]*wsTenantRun, len(tenants))
+	queues := make([]chan wsArrival, len(tenants))
+	totals := make([]int, len(tenants))
+	intervals := make([]int64, len(tenants))
+	for i, spec := range tenants {
+		runs[i] = &wsTenantRun{}
+		intervals[i] = int64(float64(time.Second) / spec.RPS)
+		totals[i] = int(float64(dur) / float64(intervals[i]))
+		// The queue holds every arrival of the run: the generator never
+		// blocks, keeping the load open loop even when workers fall behind.
+		queues[i] = make(chan wsArrival, totals[i])
+	}
+
+	// Dial and warm every worker connection before the timed window, so no
+	// timed transaction pays for a TCP handshake or a cold channel.
+	var workers sync.WaitGroup
+	var warm sync.WaitGroup
+	warmErr := make(chan error, 1)
+	for i, spec := range tenants {
+		i := i
+		for w := 0; w < spec.Workers; w++ {
+			w := w
+			warm.Add(1)
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				run := runs[i]
+				conn, err := cli.DialTCP(frontAddr)
+				if err == nil {
+					_, _, err = wsTxn(model, conn, byte(i), byte(fanout), uint32(w), nil, nil)
+				}
+				if err != nil {
+					select {
+					case warmErr <- fmt.Errorf("tenant %d worker warm-up: %w", i, err):
+					default:
+					}
+					warm.Done()
+					return
+				}
+				warm.Done()
+				hdr := make([]byte, 5)
+				payload := make([]byte, fanout*wsValueSizes[len(wsValueSizes)-1])
+				for a := range queues[i] {
+					run.mu.Lock()
+					run.sent++
+					run.mu.Unlock()
+					if conn == nil {
+						if conn, err = cli.DialTCP(frontAddr); err != nil {
+							conn = nil
+							run.mu.Lock()
+							run.errs++
+							run.mu.Unlock()
+							continue
+						}
+					}
+					status, _, err := wsTxn(model, conn, byte(i), byte(fanout), a.seq, hdr, payload)
+					lat := model.NowNs() - a.atNs
+					if err != nil {
+						conn.Close()
+						conn = nil
+					}
+					run.mu.Lock()
+					switch {
+					case err != nil || status == wsStatusErr:
+						run.errs++
+					case status == wsStatusShed:
+						run.shed++
+					default:
+						run.ok++
+						run.samples = append(run.samples, wsSample{atNs: a.atNs, latNs: lat})
+					}
+					run.mu.Unlock()
+					if err == nil && status == wsStatusOK && txnHist != nil {
+						txnHist.Observe(lat)
+					}
+				}
+				if conn != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}
+	warm.Wait()
+	select {
+	case err := <-warmErr:
+		for _, q := range queues {
+			close(q)
+		}
+		workers.Wait()
+		return nil, err
+	default:
+	}
+
+	var gens sync.WaitGroup
+	startNs := model.NowNs()
+	for i := range tenants {
+		i := i
+		gens.Add(1)
+		go func() {
+			defer gens.Done()
+			for n := 0; n < totals[i]; n++ {
+				at := startNs + int64(n)*intervals[i]
+				model.SleepUntil(at)
+				queues[i] <- wsArrival{atNs: at, seq: uint32(i)<<24 | uint32(n)}
+			}
+			close(queues[i])
+		}()
+	}
+	gens.Wait()
+	workers.Wait()
+	return runs, nil
+}
+
+// wsTxn performs one transaction on conn: request out, status + payload
+// back, bounded by a read deadline on the model clock. hdr and payload
+// buffers are optional scratch space.
+func wsTxn(model *costmodel.Model, conn *netstack.TCPConn, tenant, fanout byte,
+	seq uint32, hdr, payload []byte) (byte, int, error) {
+	if hdr == nil {
+		hdr = make([]byte, 5)
+	}
+	req := make([]byte, 8)
+	req[0] = tenant
+	req[1] = fanout
+	binary.BigEndian.PutUint32(req[4:8], seq)
+	if _, err := conn.Write(req); err != nil {
+		return 0, 0, err
+	}
+	_ = conn.SetReadDeadline(model.Now().Add(wsTxnTimeout))
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return 0, 0, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if n > 0 {
+		if payload == nil || len(payload) < n {
+			payload = make([]byte, n)
+		}
+		if _, err := io.ReadFull(conn, payload[:n]); err != nil {
+			return hdr[0], 0, err
+		}
+	}
+	return hdr[0], n, nil
+}
+
+// wsTier is one built topology: front guest + KV guests on a machine,
+// client host, optional spare machine for the migration variant.
+type wsTier struct {
+	tb     *testbed.Testbed
+	front  *testbed.VM
+	kvs    []*testbed.VM
+	client *testbed.Host
+	m1, m2 *testbed.Machine
+	f      *wsFront
+	reg    *metrics.Registry
+	hist   *metrics.Histogram
+	addr   netstack.Addr // front tier address, from the client host
+}
+
+func (w *wsTier) close() {
+	w.f.close()
+	w.tb.Close()
+}
+
+// wsBuild assembles the tier. With channel=true the guests get XenLoop
+// modules and pre-established channels front<->KV; otherwise the same
+// traffic takes the netfront/netback path through the bridge.
+func wsBuild(o ExpOptions, cfg WebserviceConfig, channel bool) (*wsTier, error) {
+	tb := testbed.New(testbed.Options{
+		Model:           o.Model,
+		DiscoveryPeriod: 100 * time.Millisecond,
+		Core:            core.Config{FIFOSizeBytes: o.FIFOSizeBytes},
+	})
+	w := &wsTier{tb: tb, reg: metrics.NewRegistry()}
+	w.hist = w.reg.NewHistogram("webservice_txn_latency_ns",
+		"end-to-end transaction latency from scheduled arrival, admitted transactions")
+	w.m1 = tb.AddMachine("ws-m1")
+	w.m2 = tb.AddMachine("ws-m2") // migration target (idle otherwise)
+	var err error
+	if w.front, err = tb.AddVM(w.m1, "front"); err != nil {
+		tb.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.KVGuests; i++ {
+		kv, err := tb.AddVM(w.m1, fmt.Sprintf("kv%d", i))
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		w.kvs = append(w.kvs, kv)
+	}
+	w.client = tb.AddHost("gen")
+	if channel {
+		if err := tb.EnableXenLoop(w.front); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		for _, kv := range w.kvs {
+			if err := tb.EnableXenLoop(kv); err != nil {
+				tb.Close()
+				return nil, err
+			}
+			if err := testbed.EstablishChannel(w.front, kv); err != nil {
+				tb.Close()
+				return nil, err
+			}
+		}
+	}
+
+	kvPort := nextPort()
+	kvAddrs := make([]netstack.Addr, len(w.kvs))
+	for i, kv := range w.kvs {
+		if _, err := wsServeKV(kv.Stack, kvPort); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		kvAddrs[i] = netstack.Addr{IP: kv.IP, Port: kvPort}
+	}
+	frontPort := nextPort()
+	f, err := wsStartFront(w.front.Stack, frontPort, kvAddrs, cfg.Tenants, cfg.Fanout, w.reg)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	w.f = f
+	w.addr = netstack.Addr{IP: w.front.IP, Port: frontPort}
+	return w, nil
+}
+
+// wsHistQuantiles pulls the transaction-latency percentiles back out of
+// the registry snapshot (microseconds).
+func wsHistQuantiles(reg *metrics.Registry) (p50, p99, p999 float64) {
+	snap := reg.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Name == "webservice_txn_latency_ns" {
+			return h.Quantile(0.50) / 1e3, h.Quantile(0.99) / 1e3, h.Quantile(0.999) / 1e3
+		}
+	}
+	return 0, 0, 0
+}
+
+// webservicePoint measures one datapath.
+func webservicePoint(o ExpOptions, cfg WebserviceConfig, channel bool) (WebservicePoint, error) {
+	w, err := wsBuild(o, cfg, channel)
+	if err != nil {
+		return WebservicePoint{}, err
+	}
+	defer w.close()
+	runs, err := wsLoad(w.client.Stack, w.addr, cfg.Tenants, cfg.Fanout, o.Duration, w.hist)
+	if err != nil {
+		return WebservicePoint{}, err
+	}
+	pt := WebservicePoint{Path: "netfront"}
+	if channel {
+		pt.Path = "channel"
+	}
+	var all []time.Duration
+	for i, run := range runs {
+		spec := cfg.Tenants[i]
+		var lats []time.Duration
+		for _, s := range run.samples {
+			lats = append(lats, time.Duration(s.latNs))
+		}
+		sum := stats.Summarize(lats)
+		tr := WebserviceTenantResult{
+			Tenant:     spec.Name,
+			OfferedRPS: spec.RPS,
+			Quota:      spec.Quota,
+			Abusive:    spec.Abusive,
+			Sent:       run.sent,
+			OK:         run.ok,
+			Shed:       run.shed,
+			Errors:     run.errs,
+			P50Us:      stats.Micros(sum.P50),
+			P99Us:      stats.Micros(sum.P99),
+			MeanUs:     stats.Micros(sum.Mean),
+		}
+		if run.sent > 0 {
+			tr.ShedRate = float64(run.shed) / float64(run.sent)
+		}
+		if !spec.Abusive && tr.P99Us > pt.WellBehavedP99Us {
+			pt.WellBehavedP99Us = tr.P99Us
+		}
+		pt.Tenants = append(pt.Tenants, tr)
+		all = append(all, lats...)
+	}
+	sum := stats.Summarize(all)
+	pt.Samples = sum.Count
+	pt.MeanUs = stats.Micros(sum.Mean)
+	pt.P50Us = stats.Micros(sum.P50)
+	pt.P99Us = stats.Micros(sum.P99)
+	pt.P999Us = stats.Micros(sum.P999)
+	pt.TxnsPerSec = float64(sum.Count) / o.Duration.Seconds()
+	pt.HistP50Us, pt.HistP99Us, pt.HistP999Us = wsHistQuantiles(w.reg)
+	return pt, nil
+}
+
+// webserviceChaos reruns the channel-path tier with a mid-load migration:
+// one KV guest moves to the spare machine after a third of the run and
+// returns after two thirds. Admitted transactions must complete across
+// both moves, and once the channel re-forms the SLO must hold again.
+//
+// Only the well-behaved tenants run here: the abusive tenant's open-loop
+// arrival backlog (its queue grows without bound while the KV guest is
+// remote) would still be draining through the shared client link long
+// after the migrate-back, and the recovery phase would measure that drain
+// instead of the re-formed channel. Admission control has its own gates
+// on the main points.
+func webserviceChaos(o ExpOptions, cfg WebserviceConfig) (WebserviceMigrationResult, error) {
+	var wellBehaved []TenantSpec
+	for _, t := range cfg.Tenants {
+		if !t.Abusive {
+			wellBehaved = append(wellBehaved, t)
+		}
+	}
+	cfg.Tenants = wellBehaved
+	w, err := wsBuild(o, cfg, true)
+	if err != nil {
+		return WebserviceMigrationResult{}, err
+	}
+	defer w.close()
+	model := o.Model
+	phase := o.Duration
+	if phase < 500*time.Millisecond {
+		// Each phase needs room for re-discovery, channel bootstrap and
+		// backlog drain; the recovered window is phase minus wsChaosSettle.
+		phase = 500 * time.Millisecond
+	}
+
+	type loadOut struct {
+		runs []*wsTenantRun
+		err  error
+	}
+	done := make(chan loadOut, 1)
+	startNs := model.NowNs()
+	go func() {
+		runs, err := wsLoad(w.client.Stack, w.addr, cfg.Tenants, cfg.Fanout, 3*phase, w.hist)
+		done <- loadOut{runs, err}
+	}()
+
+	model.SleepUntil(startNs + int64(phase))
+	if err := w.tb.Migrate(w.kvs[0], w.m2); err != nil {
+		return WebserviceMigrationResult{}, fmt.Errorf("migrate away: %w", err)
+	}
+	migNs := model.NowNs()
+	model.SleepUntil(startNs + 2*int64(phase))
+	if err := w.tb.Migrate(w.kvs[0], w.m1); err != nil {
+		return WebserviceMigrationResult{}, fmt.Errorf("migrate back: %w", err)
+	}
+	backNs := model.NowNs()
+
+	out := <-done
+	if out.err != nil {
+		return WebserviceMigrationResult{}, out.err
+	}
+	var before, during, after []time.Duration
+	res := WebserviceMigrationResult{}
+	for i, run := range out.runs {
+		res.Sent += run.sent
+		res.Shed += run.shed
+		res.Errors += run.errs
+		res.Samples += len(run.samples)
+		if cfg.Tenants[i].Abusive {
+			continue // reported in the main points; not held to the SLO
+		}
+		for _, s := range run.samples {
+			switch {
+			case s.atNs < migNs:
+				before = append(before, time.Duration(s.latNs))
+			case s.atNs < backNs+int64(wsChaosSettle):
+				during = append(during, time.Duration(s.latNs))
+			default:
+				after = append(after, time.Duration(s.latNs))
+			}
+		}
+	}
+	if admitted := res.Sent - res.Shed; admitted > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(admitted)
+	}
+	res.P99BeforeUs = stats.Micros(stats.Summarize(before).P99)
+	res.P99DuringUs = stats.Micros(stats.Summarize(during).P99)
+	res.P99AfterUs = stats.Micros(stats.Summarize(after).P99)
+	return res, nil
+}
+
+// Webservice runs the full experiment: channel and netfront points under
+// identical offered load, plus the migration chaos variant on the channel
+// path unless cfg.SkipChaos.
+func Webservice(o ExpOptions, cfg WebserviceConfig) (WebserviceExpResult, error) {
+	o = o.withDefaults()
+	o, stop := o.virtualize()
+	defer stop()
+	if vc := o.Model.VClock(); vc != nil {
+		// Concurrent tenants, fan-out workers and the front tier all
+		// charge the model in parallel: without the overlap window their
+		// costs serialize onto one virtual timeline and open-loop
+		// queueing is wildly overstated.
+		vc.SetOverlap(scaleOverlapWindow)
+		defer vc.SetOverlap(0)
+	}
+	cfg = cfg.withDefaults()
+	res := WebserviceExpResult{
+		Profile:        profileName(o),
+		KVGuests:       cfg.KVGuests,
+		Fanout:         cfg.Fanout,
+		Tenants:        cfg.Tenants,
+		SLOObjectiveUs: cfg.SLOObjectiveUs,
+	}
+	for _, channel := range []bool{true, false} {
+		pt, err := webservicePoint(o, cfg, channel)
+		if err != nil {
+			return res, fmt.Errorf("%s path: %w", map[bool]string{true: "channel", false: "netfront"}[channel], err)
+		}
+		res.Points = append(res.Points, pt)
+		if channel {
+			res.ChannelP99Us = pt.WellBehavedP99Us
+		} else {
+			res.NetfrontP99Us = pt.WellBehavedP99Us
+		}
+	}
+	if !cfg.SkipChaos {
+		mig, err := webserviceChaos(o, cfg)
+		if err != nil {
+			return res, fmt.Errorf("migration variant: %w", err)
+		}
+		res.Migration = &mig
+	}
+	return res, nil
+}

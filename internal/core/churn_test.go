@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/buf"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -60,7 +61,7 @@ func blast(p *testbed.Pair, stop <-chan struct{}, wg *sync.WaitGroup, senders in
 					return
 				default:
 				}
-				_ = cli.WriteTo(msg, p.B.IP, 5000)
+				_, _ = cli.WriteTo(msg, netstack.Addr{IP: p.B.IP, Port: 5000})
 			}
 		}()
 	}
@@ -81,8 +82,9 @@ func churnPair(t *testing.T) *testbed.Pair {
 	}
 	t.Cleanup(func() { srv.Close() })
 	go func() {
+		buf := make([]byte, 2048)
 		for {
-			if _, _, _, err := srv.ReadFrom(0); err != nil {
+			if _, _, err := srv.ReadFrom(buf); err != nil {
 				return
 			}
 		}

@@ -2,11 +2,13 @@ package core_test
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -79,18 +81,20 @@ func TestUDPOverChannelIntegrity(t *testing.T) {
 	}
 	cli, _ := p.A.Stack.ListenUDP(0)
 	r := rand.New(rand.NewSource(11))
+	buf := make([]byte, 16384)
 	for i := 0; i < 50; i++ {
 		msg := make([]byte, 1+r.Intn(8000))
 		r.Read(msg)
-		if err := cli.WriteTo(msg, p.B.IP, 4000); err != nil {
+		if _, err := cli.WriteTo(msg, netstack.Addr{IP: p.B.IP, Port: 4000}); err != nil {
 			t.Fatal(err)
 		}
-		got, _, _, err := srv.ReadFrom(2 * time.Second)
+		_ = srv.SetReadDeadline(p.B.Stack.Model().Now().Add(2 * time.Second))
+		n, _, err := srv.ReadFrom(buf)
 		if err != nil {
 			t.Fatalf("datagram %d: %v", i, err)
 		}
-		if !bytes.Equal(got, msg) {
-			t.Fatalf("datagram %d corrupted (%d vs %d bytes)", i, len(got), len(msg))
+		if !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("datagram %d corrupted (%d vs %d bytes)", i, n, len(msg))
 		}
 	}
 }
@@ -105,14 +109,16 @@ func TestLargeDatagramTravelsWholeOverChannel(t *testing.T) {
 	msg := make([]byte, 60000)
 	rand.New(rand.NewSource(2)).Read(msg)
 	before := p.A.VM.XL.Snapshot().PktsChannel
-	if err := cli.WriteTo(msg, p.B.IP, 4001); err != nil {
+	if _, err := cli.WriteTo(msg, netstack.Addr{IP: p.B.IP, Port: 4001}); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err := srv.ReadFrom(3 * time.Second)
+	buf := make([]byte, 65536)
+	_ = srv.SetReadDeadline(p.B.Stack.Model().Now().Add(3 * time.Second))
+	n, _, err := srv.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, msg) {
+	if !bytes.Equal(buf[:n], msg) {
 		t.Fatal("large datagram corrupted over channel")
 	}
 	if p.A.VM.XL.Snapshot().PktsChannel-before != 1 {
@@ -135,14 +141,16 @@ func TestOversizeFallsBackToStandardPath(t *testing.T) {
 	msg := make([]byte, 30000) // exceeds the 16 KiB FIFO entirely
 	rand.New(rand.NewSource(4)).Read(msg)
 	tooLargeBefore := p.A.VM.XL.Snapshot().PktsTooLarge
-	if err := cli.WriteTo(msg, p.B.IP, 4002); err != nil {
+	if _, err := cli.WriteTo(msg, netstack.Addr{IP: p.B.IP, Port: 4002}); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err := srv.ReadFrom(3 * time.Second)
+	buf := make([]byte, 65536)
+	_ = srv.SetReadDeadline(p.B.Stack.Model().Now().Add(3 * time.Second))
+	n, _, err := srv.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, msg) {
+	if !bytes.Equal(buf[:n], msg) {
 		t.Fatal("oversize datagram corrupted on fallback path")
 	}
 	if p.A.VM.XL.Snapshot().PktsTooLarge == tooLargeBefore {
@@ -152,7 +160,7 @@ func TestOversizeFallsBackToStandardPath(t *testing.T) {
 
 func TestTCPBulkOverChannel(t *testing.T) {
 	p := buildXenLoopPair(t)
-	ln, err := p.B.Stack.ListenTCP(4500)
+	ln, err := p.B.Stack.ListenTCP(netstack.Addr{Port: 4500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +185,7 @@ func TestTCPBulkOverChannel(t *testing.T) {
 		}
 		done <- all
 	}()
-	conn, err := p.A.Stack.DialTCP(p.B.IP, 4500)
+	conn, err := p.A.Stack.DialTCP(netstack.Addr{IP: p.B.IP, Port: 4500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,12 +222,14 @@ func TestWaitingListDrains(t *testing.T) {
 	const n = 400
 	go func() {
 		for i := 0; i < n; i++ {
-			_ = cli.WriteTo(bytes.Repeat([]byte{byte(i)}, 512), p.B.IP, 4003)
+			_, _ = cli.WriteTo(bytes.Repeat([]byte{byte(i)}, 512), netstack.Addr{IP: p.B.IP, Port: 4003})
 		}
 	}()
 	received := 0
+	buf := make([]byte, 1024)
 	for received < n {
-		if _, _, _, err := srv.ReadFrom(2 * time.Second); err != nil {
+		_ = srv.SetReadDeadline(p.B.Stack.Model().Now().Add(2 * time.Second))
+		if _, _, err := srv.ReadFrom(buf); err != nil {
 			break
 		}
 		received++
@@ -332,7 +342,7 @@ func TestMigrationApartAndBack(t *testing.T) {
 	}
 
 	// Keep a TCP connection alive across the whole journey.
-	ln, err := vm2.Stack.ListenTCP(7700)
+	ln, err := vm2.Stack.ListenTCP(netstack.Addr{Port: 7700})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +364,7 @@ func TestMigrationApartAndBack(t *testing.T) {
 			}
 		}
 	}()
-	conn, err := vm1.Stack.DialTCP(vm2.IP, 7700)
+	conn, err := vm1.Stack.DialTCP(netstack.Addr{IP: vm2.IP, Port: 7700})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +374,7 @@ func TestMigrationApartAndBack(t *testing.T) {
 			t.Fatalf("%s write: %v", tag, err)
 		}
 		got := make([]byte, len(msg))
-		if _, err := conn.ReadFull(got); err != nil {
+		if _, err := io.ReadFull(conn, got); err != nil {
 			t.Fatalf("%s read: %v", tag, err)
 		}
 		if !bytes.Equal(got, msg) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -171,7 +172,7 @@ func TestNotifyDropRecovery(t *testing.T) {
 	const sends = 50
 	payload := make([]byte, 128)
 	for i := 0; i < sends; i++ {
-		if err := cli.WriteTo(payload, vm2.IP, 7100); err != nil {
+		if _, err := cli.WriteTo(payload, netstack.Addr{IP: vm2.IP, Port: 7100}); err != nil {
 			t.Fatalf("WriteTo #%d: %v", i, err)
 		}
 		// Space the sends out so notifications are not coalesced into a

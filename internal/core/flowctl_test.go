@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -62,12 +63,13 @@ func listenAll(t *testing.T, vms []*testbed.VM) func(i int) int {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(conn.Close)
+		t.Cleanup(func() { conn.Close() })
 		ch := make(chan struct{}, 4096)
 		counts[i] = ch
 		go func() {
+			buf := make([]byte, 256)
 			for {
-				if _, _, _, err := conn.ReadFrom(0); err != nil {
+				if _, _, err := conn.ReadFrom(buf); err != nil {
 					return
 				}
 				ch <- struct{}{}
@@ -101,12 +103,12 @@ func sendN(t *testing.T, src, dst *testbed.VM, n int, recvd func() int) {
 		}
 	}
 	base := recvd()
-	if err := conn.WriteTo(payload, dst.IP, flowPort); err != nil {
+	if _, err := conn.WriteTo(payload, netstack.Addr{IP: dst.IP, Port: flowPort}); err != nil {
 		t.Fatalf("send 0: %v", err)
 	}
 	await(base + 1)
 	for i := 1; i < n; i++ {
-		if err := conn.WriteTo(payload, dst.IP, flowPort); err != nil {
+		if _, err := conn.WriteTo(payload, netstack.Addr{IP: dst.IP, Port: flowPort}); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 		time.Sleep(100 * time.Microsecond)

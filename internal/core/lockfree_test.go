@@ -95,10 +95,13 @@ func TestSendProceedsWhileModuleMuHeld(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Prime the path once so ARP and the channel are warm.
-	if err := cli.WriteTo([]byte("warm"), b.ip, 7777); err != nil {
+	buf := make([]byte, 64)
+	model := b.stack.Model()
+	if _, err := cli.WriteTo([]byte("warm"), netstack.Addr{IP: b.ip, Port: 7777}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := srv.ReadFrom(2 * time.Second); err != nil {
+	_ = srv.SetReadDeadline(model.Now().Add(2 * time.Second))
+	if _, _, err := srv.ReadFrom(buf); err != nil {
 		t.Fatal(err)
 	}
 
@@ -114,11 +117,12 @@ func TestSendProceedsWhileModuleMuHeld(t *testing.T) {
 	go func() {
 		const n = 50
 		for i := 0; i < n; i++ {
-			if err := cli.WriteTo([]byte("locked"), b.ip, 7777); err != nil {
+			if _, err := cli.WriteTo([]byte("locked"), netstack.Addr{IP: b.ip, Port: 7777}); err != nil {
 				done <- err
 				return
 			}
-			if _, _, _, err := srv.ReadFrom(2 * time.Second); err != nil {
+			_ = srv.SetReadDeadline(model.Now().Add(2 * time.Second))
+			if _, _, err := srv.ReadFrom(buf); err != nil {
 				done <- err
 				return
 			}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -51,15 +52,16 @@ func TestFourVMFullMesh(t *testing.T) {
 			t.Fatal(err)
 		}
 		go func() {
+			buf := make([]byte, 2048)
 			for {
-				data, src, port, err := srv.ReadFrom(0)
+				n, src, err := srv.ReadFrom(buf)
 				if err != nil {
 					return
 				}
-				_ = srv.WriteTo(data, src, port)
+				_, _ = srv.WriteTo(buf[:n], src)
 			}
 		}()
-		servers = append(servers, srv.Close)
+		servers = append(servers, func() { srv.Close() })
 		_ = i
 	}
 	defer func() {
@@ -85,17 +87,20 @@ func TestFourVMFullMesh(t *testing.T) {
 				}
 				defer cli.Close()
 				msg := []byte(fmt.Sprintf("from %d to %d", i, j))
+				buf := make([]byte, 256)
+				model := vms[i].Stack.Model()
 				for k := 0; k < 20; k++ {
-					if err := cli.WriteTo(msg, vms[j].IP, 6000); err != nil {
+					if _, err := cli.WriteTo(msg, netstack.Addr{IP: vms[j].IP, Port: 6000}); err != nil {
 						errCh <- err
 						return
 					}
-					got, _, _, err := cli.ReadFrom(2 * time.Second)
+					_ = cli.SetReadDeadline(model.Now().Add(2 * time.Second))
+					nr, _, err := cli.ReadFrom(buf)
 					if err != nil {
 						errCh <- fmt.Errorf("pair %d->%d iter %d: %w", i, j, k, err)
 						return
 					}
-					if !bytes.Equal(got, msg) {
+					if !bytes.Equal(buf[:nr], msg) {
 						errCh <- fmt.Errorf("pair %d->%d corrupted", i, j)
 						return
 					}

@@ -473,6 +473,19 @@ func (m *Model) NowNs() int64 {
 	return metrics.Now()
 }
 
+// Now returns the current instant on m's timeline as a time.Time
+// anchored at the Unix epoch: time.Unix(0, m.NowNs()). The netstack's
+// net.Conn-shaped deadlines live on this timeline — compute them as
+// Model.Now().Add(d), never from time.Now() (in wall mode NowNs counts
+// nanoseconds since process start, not since 1970).
+func (m *Model) Now() time.Time { return time.Unix(0, m.NowNs()) }
+
+// Until returns the duration from m's current instant until t, negative
+// if t is already past on the timeline.
+func (m *Model) Until(t time.Time) time.Duration {
+	return time.Duration(t.UnixNano() - m.NowNs())
+}
+
 // Sleep blocks for d on m's timeline.
 func (m *Model) Sleep(d time.Duration) {
 	if d <= 0 {

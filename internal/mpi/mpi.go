@@ -8,6 +8,7 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"repro/internal/netstack"
 	"repro/internal/pkt"
@@ -30,7 +31,7 @@ type Listener struct {
 
 // Listen binds an MPI endpoint to a TCP port.
 func Listen(stack *netstack.Stack, port uint16) (*Listener, error) {
-	ln, err := stack.ListenTCP(port)
+	ln, err := stack.ListenTCP(netstack.Addr{Port: port})
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +52,7 @@ func (l *Listener) Close() { l.ln.Close() }
 
 // Dial connects to a listening MPI endpoint.
 func Dial(stack *netstack.Stack, ip pkt.IPv4, port uint16) (*Conn, error) {
-	tcp, err := stack.DialTCP(ip, port)
+	tcp, err := stack.DialTCP(netstack.Addr{IP: ip, Port: port})
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +83,7 @@ func (c *Conn) Recv() ([]byte, error) {
 	if n == 0 {
 		return buf, nil
 	}
-	if _, err := c.tcp.ReadFull(buf); err != nil {
+	if _, err := io.ReadFull(c.tcp, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -102,14 +103,14 @@ func (c *Conn) RecvInto(buf []byte) (int, error) {
 	if n == 0 {
 		return 0, nil
 	}
-	if _, err := c.tcp.ReadFull(buf[:n]); err != nil {
+	if _, err := io.ReadFull(c.tcp, buf[:n]); err != nil {
 		return 0, err
 	}
 	return n, nil
 }
 
 func (c *Conn) recvHeader() (int, error) {
-	if _, err := c.tcp.ReadFull(c.hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.tcp, c.hdr[:]); err != nil {
 		return 0, err
 	}
 	n := int(binary.BigEndian.Uint32(c.hdr[:]))

@@ -1,0 +1,49 @@
+package netstack
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// Addr is a transport endpoint on the simulated network: an IPv4
+// address and a port. The zero IP means unspecified (wildcard binds,
+// unknown sources).
+type Addr struct {
+	IP   pkt.IPv4
+	Port uint16
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// Conn is the net.Conn-shaped surface of a stream socket: blocking
+// reads and writes, endpoint addresses, and deadline control on the
+// owning stack's cost-model timeline. Deadlines are time.Time values on
+// that timeline (Model.Now().Add(d)); a zero time clears the deadline,
+// and I/O past an expired deadline fails with os.ErrDeadlineExceeded
+// until the deadline is reset.
+type Conn interface {
+	io.ReadWriteCloser
+	LocalAddr() Addr
+	RemoteAddr() Addr
+	SetDeadline(t time.Time) error
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// DeadlineSetter is the deadline half of Conn on its own; listeners and
+// datagram sockets satisfy it without the byte-stream methods.
+type DeadlineSetter interface {
+	SetDeadline(t time.Time) error
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+var (
+	_ Conn           = (*TCPConn)(nil)
+	_ DeadlineSetter = (*UDPConn)(nil)
+	_ io.Closer      = (*TCPListener)(nil)
+	_ io.Closer      = (*UDPConn)(nil)
+)

@@ -1,0 +1,67 @@
+package netstack
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// deadline is one direction's I/O deadline, guarded by the owning
+// socket's mutex. It carries net.Conn semantics: set re-arms or clears
+// it, expiry is sticky until the next set, and blocked or future I/O in
+// that direction fails with os.ErrDeadlineExceeded while expired. The
+// timer runs on the stack's cost-model timeline, so deadlines fire in
+// virtual time under the discrete-event clock.
+type deadline struct {
+	seq     uint64
+	expired bool
+	timer   *costmodel.Timer
+}
+
+// set arms d to expire at t (zero t clears it). mu is the mutex guarding
+// d; wake is invoked with mu held when the deadline trips, and must wake
+// every goroutine blocked on the guarded direction. The caller must not
+// hold mu: the timer is armed outside the lock so a deadline that fires
+// during arming (virtual clocks can dispatch inline) cannot deadlock.
+func (d *deadline) set(mu *sync.Mutex, model *costmodel.Model, t time.Time, wake func()) {
+	mu.Lock()
+	d.seq++
+	seq := d.seq
+	old := d.timer
+	d.timer = nil
+	d.expired = false
+	var wait time.Duration
+	if !t.IsZero() {
+		wait = model.Until(t)
+		if wait <= 0 {
+			d.expired = true
+			wake()
+			t = time.Time{} // already past: nothing to arm
+		}
+	}
+	mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+	if t.IsZero() {
+		return
+	}
+	tm := model.AfterFunc(wait, func() {
+		mu.Lock()
+		if d.seq == seq && !d.expired {
+			d.expired = true
+			wake()
+		}
+		mu.Unlock()
+	})
+	mu.Lock()
+	if d.seq == seq && !d.expired {
+		d.timer = tm
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+	// A concurrent set (or an inline fire) superseded this arming.
+	tm.Stop()
+}

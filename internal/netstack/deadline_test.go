@@ -1,0 +1,364 @@
+package netstack
+
+// Deadline semantics of the net.Conn-shaped socket surface: expiry on the
+// wall and virtual model clocks, stickiness, clearing, deadline-vs-close
+// races (run with -race), and io.ReadFull over the conformant Read as the
+// replacement for the removed bespoke ReadFull.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/pkt"
+)
+
+// newVirtualStack builds a loopback stack on a discrete-event clock so
+// deadline tests can cover both engines.
+func newVirtualStack(t *testing.T) *Stack {
+	t.Helper()
+	vc := costmodel.NewVirtualClock()
+	t.Cleanup(vc.Close)
+	s := New("vtest", costmodel.Off().WithVirtual(vc))
+	t.Cleanup(s.Close)
+	return s
+}
+
+// eachClock runs the test body once on the wall clock and once on the
+// virtual clock — deadline timers must fire identically on both engines.
+func eachClock(t *testing.T, body func(t *testing.T, s *Stack)) {
+	t.Run("wall", func(t *testing.T) { body(t, newTestStack(t)) })
+	t.Run("virtual", func(t *testing.T) { body(t, newVirtualStack(t)) })
+}
+
+// echoPair dials a loopback TCP connection with an echo server behind it
+// and returns the client side.
+func echoPair(t *testing.T, s *Stack, port uint16) *TCPConn {
+	t.Helper()
+	ln, err := s.ListenTCP(Addr{Port: port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close() // answer the client's FIN so its reads see EOF
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if n > 0 {
+				if _, werr := conn.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestTCPReadDeadlineExpires(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		conn := echoPair(t, s, 8100)
+		defer conn.Close()
+		if err := conn.SetReadDeadline(s.Model().Now().Add(20 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 8)
+		if _, err := conn.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Read past deadline: err=%v, want os.ErrDeadlineExceeded", err)
+		}
+		// Expiry is sticky: the next Read fails immediately too.
+		if _, err := conn.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("second Read: err=%v, want sticky os.ErrDeadlineExceeded", err)
+		}
+		// Clearing the deadline restores service.
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("after-clear")
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			t.Fatalf("Read after clearing deadline: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("echo corrupted: %q", got)
+		}
+	})
+}
+
+func TestTCPReadDeadlineAlreadyPast(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		conn := echoPair(t, s, 8101)
+		defer conn.Close()
+		// A deadline in the past fails reads without blocking at all.
+		_ = conn.SetReadDeadline(s.Model().Now().Add(-time.Second))
+		if _, err := conn.Read(make([]byte, 4)); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("err=%v, want os.ErrDeadlineExceeded", err)
+		}
+	})
+}
+
+func TestTCPDeadlineFailsEvenWithBufferedData(t *testing.T) {
+	// net.Conn semantics: once the deadline has expired, I/O fails even if
+	// data is already buffered and a Read could succeed without blocking.
+	eachClock(t, func(t *testing.T, s *Stack) {
+		conn := echoPair(t, s, 8102)
+		defer conn.Close()
+		if _, err := conn.Write([]byte("buffered")); err != nil {
+			t.Fatal(err)
+		}
+		// Let the echo land in our receive buffer.
+		time.Sleep(50 * time.Millisecond)
+		_ = conn.SetReadDeadline(s.Model().Now().Add(-time.Millisecond))
+		if _, err := conn.Read(make([]byte, 16)); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("expired deadline with buffered data: err=%v", err)
+		}
+		// Reset: the buffered bytes are still there, undamaged.
+		_ = conn.SetReadDeadline(time.Time{})
+		got := make([]byte, len("buffered"))
+		if _, err := io.ReadFull(conn, got); err != nil || string(got) != "buffered" {
+			t.Fatalf("buffered data lost across expiry: %q err=%v", got, err)
+		}
+	})
+}
+
+func TestTCPWriteDeadlineExpires(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		ln, err := s.ListenTCP(Addr{Port: 8103})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acceptCh := make(chan *TCPConn, 1)
+		go func() {
+			c, _ := ln.Accept()
+			acceptCh <- c
+		}()
+		conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8103})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		srv := <-acceptCh
+		if srv == nil {
+			t.Fatal("accept failed")
+		}
+		defer srv.Close()
+
+		// The peer never reads: a write larger than the receive window
+		// plus our send buffer must block, then fail on the deadline.
+		_ = conn.SetWriteDeadline(s.Model().Now().Add(50 * time.Millisecond))
+		payload := make([]byte, tcpRcvBufScaled+tcpSndBufLimit+8192)
+		n, err := conn.Write(payload)
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Write: n=%d err=%v, want os.ErrDeadlineExceeded", n, err)
+		}
+		if n <= 0 || n >= len(payload) {
+			t.Fatalf("partial write n=%d, want 0 < n < %d", n, len(payload))
+		}
+	})
+}
+
+func TestTCPAcceptDeadlineExpires(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		ln, err := s.ListenTCP(Addr{Port: 8104})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		_ = ln.SetDeadline(s.Model().Now().Add(20 * time.Millisecond))
+		if _, err := ln.Accept(); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Accept: err=%v, want os.ErrDeadlineExceeded", err)
+		}
+		// Clearing revives the listener.
+		_ = ln.SetDeadline(time.Time{})
+		go func() {
+			c, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8104})
+			if err == nil {
+				c.Close()
+			}
+		}()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Fatalf("Accept after clearing deadline: %v", err)
+		}
+		conn.Close()
+	})
+}
+
+func TestUDPReadDeadlineExpires(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		srv, err := s.ListenUDP(8105)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		_ = srv.SetReadDeadline(s.Model().Now().Add(20 * time.Millisecond))
+		if _, _, err := srv.ReadFrom(make([]byte, 16)); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("ReadFrom: err=%v, want os.ErrDeadlineExceeded", err)
+		}
+		// Sticky until reset, including for WriteTo via SetDeadline.
+		if _, _, err := srv.ReadFrom(make([]byte, 16)); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("second ReadFrom: err=%v, want sticky expiry", err)
+		}
+		cli, _ := s.ListenUDP(0)
+		defer cli.Close()
+		_ = cli.SetDeadline(s.Model().Now().Add(-time.Millisecond))
+		if _, err := cli.WriteTo([]byte("x"), Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8105}); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("WriteTo past write deadline: err=%v", err)
+		}
+		// Clear both; the pair works again.
+		_ = srv.SetReadDeadline(time.Time{})
+		_ = cli.SetDeadline(time.Time{})
+		if _, err := cli.WriteTo([]byte("ok"), Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8105}); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 16)
+		n, src, err := srv.ReadFrom(buf)
+		if err != nil || string(buf[:n]) != "ok" {
+			t.Fatalf("ReadFrom after clear: %q err=%v", buf[:n], err)
+		}
+		if src.Port != cli.LocalPort() {
+			t.Fatalf("source %s, want port %d", src, cli.LocalPort())
+		}
+	})
+}
+
+// TestDeadlineVsCloseRace hammers SetReadDeadline against Close and
+// blocked readers; under -race this exercises the timer-vs-socket-mutex
+// ordering in deadline.set.
+func TestDeadlineVsCloseRace(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		for i := 0; i < 20; i++ {
+			conn := echoPair(t, s, uint16(8200+i))
+			var wg sync.WaitGroup
+			wg.Add(3)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, 16)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					_ = conn.SetReadDeadline(s.Model().Now().Add(time.Duration(j%3) * time.Millisecond))
+					_ = conn.SetWriteDeadline(s.Model().Now().Add(time.Duration(j%5) * time.Millisecond))
+				}
+				_ = conn.SetDeadline(time.Time{})
+			}()
+			go func() {
+				defer wg.Done()
+				time.Sleep(time.Duration(i%4) * time.Millisecond)
+				conn.Close()
+			}()
+			wg.Wait()
+		}
+	})
+}
+
+// TestListenerDeadlineVsCloseRace races SetDeadline, Accept, and Close on
+// a listener.
+func TestListenerDeadlineVsCloseRace(t *testing.T) {
+	eachClock(t, func(t *testing.T, s *Stack) {
+		for i := 0; i < 20; i++ {
+			ln, err := s.ListenTCP(Addr{Port: uint16(8300 + i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(3)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := ln.Accept(); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					_ = ln.SetDeadline(s.Model().Now().Add(time.Duration(j%3) * time.Millisecond))
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				time.Sleep(time.Duration(i%4) * time.Millisecond)
+				ln.Close()
+			}()
+			wg.Wait()
+		}
+	})
+}
+
+// TestReadFullEquivalence checks io.ReadFull over the conformant Read
+// matches the removed bespoke ReadFull: it fills the buffer exactly across
+// arbitrary segmentation, and reports an error on a short stream.
+func TestReadFullEquivalence(t *testing.T) {
+	s := newTestStack(t)
+	ln, err := s.ListenTCP(Addr{Port: 8400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100 << 10
+	src := make([]byte, total)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Dribble the stream in odd-sized chunks to force short Reads.
+		rem := src
+		for len(rem) > 0 {
+			n := 777
+			if n > len(rem) {
+				n = len(rem)
+			}
+			if _, err := conn.Write(rem[:n]); err != nil {
+				return
+			}
+			rem = rem[n:]
+		}
+		conn.Close()
+	}()
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got := make([]byte, total)
+	if n, err := io.ReadFull(conn, got); err != nil || n != total {
+		t.Fatalf("io.ReadFull: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stream corrupted through io.ReadFull")
+	}
+	// The stream is closed: a further ReadFull must fail like the old
+	// ReadFull did on a short stream (EOF surfaced as an error).
+	if _, err := io.ReadFull(conn, make([]byte, 8)); !errors.Is(err, io.EOF) {
+		t.Fatalf("ReadFull on closed stream: err=%v, want io.EOF", err)
+	}
+}

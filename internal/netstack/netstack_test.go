@@ -2,7 +2,10 @@ package netstack
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -47,26 +50,29 @@ func TestUDPLoopbackRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("hello over loopback")
-	if err := cli.WriteTo(msg, pkt.IP(127, 0, 0, 1), 7000); err != nil {
+	if _, err := cli.WriteTo(msg, Addr{IP: pkt.IP(127, 0, 0, 1), Port: 7000}); err != nil {
 		t.Fatal(err)
 	}
-	data, src, srcPort, err := srv.ReadFrom(time.Second)
+	buf := make([]byte, 2048)
+	_ = srv.SetReadDeadline(s.Model().Now().Add(time.Second))
+	n, src, err := srv.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(data, msg) {
-		t.Fatalf("got %q want %q", data, msg)
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("got %q want %q", buf[:n], msg)
 	}
-	if src != pkt.IP(127, 0, 0, 1) || srcPort != cli.LocalPort() {
-		t.Fatalf("wrong source %s:%d", src, srcPort)
+	if src.IP != pkt.IP(127, 0, 0, 1) || src.Port != cli.LocalPort() {
+		t.Fatalf("wrong source %s", src)
 	}
 	// Reply.
-	if err := srv.WriteTo([]byte("pong"), src, srcPort); err != nil {
+	if _, err := srv.WriteTo([]byte("pong"), src); err != nil {
 		t.Fatal(err)
 	}
-	data, _, _, err = cli.ReadFrom(time.Second)
-	if err != nil || string(data) != "pong" {
-		t.Fatalf("reply: %q err %v", data, err)
+	_ = cli.SetReadDeadline(s.Model().Now().Add(time.Second))
+	n, _, err = cli.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("reply: %q err %v", buf[:n], err)
 	}
 }
 
@@ -76,22 +82,24 @@ func TestUDPLargeDatagramFragmentsOnLoopback(t *testing.T) {
 	cli, _ := s.ListenUDP(0)
 	msg := make([]byte, 60000) // > loopback MTU, must fragment+reassemble
 	rand.New(rand.NewSource(1)).Read(msg)
-	if err := cli.WriteTo(msg, pkt.IP(127, 0, 0, 1), 7001); err != nil {
+	if _, err := cli.WriteTo(msg, Addr{IP: pkt.IP(127, 0, 0, 1), Port: 7001}); err != nil {
 		t.Fatal(err)
 	}
-	data, _, _, err := srv.ReadFrom(2 * time.Second)
+	buf := make([]byte, 65536)
+	_ = srv.SetReadDeadline(s.Model().Now().Add(2 * time.Second))
+	n, _, err := srv.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(data, msg) {
-		t.Fatalf("reassembled datagram differs: %d vs %d bytes", len(data), len(msg))
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("reassembled datagram differs: %d vs %d bytes", n, len(msg))
 	}
 }
 
 func TestUDPOversizeRejected(t *testing.T) {
 	s := newTestStack(t)
 	cli, _ := s.ListenUDP(0)
-	if err := cli.WriteTo(make([]byte, maxUDPPayload+1), pkt.IP(127, 0, 0, 1), 9); err == nil {
+	if _, err := cli.WriteTo(make([]byte, maxUDPPayload+1), Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9}); err == nil {
 		t.Fatal("expected oversize datagram to be rejected")
 	}
 }
@@ -100,9 +108,10 @@ func TestUDPReadTimeout(t *testing.T) {
 	s := newTestStack(t)
 	srv, _ := s.ListenUDP(7002)
 	start := time.Now()
-	_, _, _, err := srv.ReadFrom(50 * time.Millisecond)
-	if err == nil {
-		t.Fatal("expected timeout")
+	_ = srv.SetReadDeadline(s.Model().Now().Add(50 * time.Millisecond))
+	_, _, err := srv.ReadFrom(make([]byte, 16))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected os.ErrDeadlineExceeded, got %v", err)
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("timeout took too long")
@@ -121,7 +130,7 @@ func TestUDPPortConflict(t *testing.T) {
 
 func TestTCPLoopbackEcho(t *testing.T) {
 	s := newTestStack(t)
-	ln, err := s.ListenTCP(8000)
+	ln, err := s.ListenTCP(Addr{Port: 8000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +158,7 @@ func TestTCPLoopbackEcho(t *testing.T) {
 		}
 	}()
 
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8000)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +167,7 @@ func TestTCPLoopbackEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(msg))
-	if _, err := conn.ReadFull(got); err != nil {
+	if _, err := io.ReadFull(conn, got); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, msg) {
@@ -172,7 +181,7 @@ func TestTCPLoopbackEcho(t *testing.T) {
 
 func TestTCPBulkTransferIntegrity(t *testing.T) {
 	s := newTestStack(t)
-	ln, err := s.ListenTCP(8001)
+	ln, err := s.ListenTCP(Addr{Port: 8001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +208,7 @@ func TestTCPBulkTransferIntegrity(t *testing.T) {
 		recvDone <- got
 	}()
 
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8001)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,14 +228,14 @@ func TestTCPBulkTransferIntegrity(t *testing.T) {
 
 func TestTCPDialRefused(t *testing.T) {
 	s := newTestStack(t)
-	if _, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9999); err == nil {
+	if _, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9999}); err == nil {
 		t.Fatal("expected connection refused")
 	}
 }
 
 func TestTCPManyConnections(t *testing.T) {
 	s := newTestStack(t)
-	ln, err := s.ListenTCP(8002)
+	ln, err := s.ListenTCP(Addr{Port: 8002})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +260,7 @@ func TestTCPManyConnections(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8002)
+			conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8002})
 			if err != nil {
 				errs <- err
 				return
@@ -263,7 +272,7 @@ func TestTCPManyConnections(t *testing.T) {
 				return
 			}
 			got := make([]byte, len(msg))
-			if _, err := conn.ReadFull(got); err != nil {
+			if _, err := io.ReadFull(conn, got); err != nil {
 				errs <- err
 				return
 			}
@@ -281,7 +290,7 @@ func TestTCPManyConnections(t *testing.T) {
 
 func TestTCPEOFAfterPeerClose(t *testing.T) {
 	s := newTestStack(t)
-	ln, _ := s.ListenTCP(8003)
+	ln, _ := s.ListenTCP(Addr{Port: 8003})
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -290,16 +299,16 @@ func TestTCPEOFAfterPeerClose(t *testing.T) {
 		_, _ = conn.Write([]byte("bye"))
 		conn.Close()
 	}()
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 8003)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 8003})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 3)
-	if _, err := conn.ReadFull(got); err != nil {
+	if _, err := io.ReadFull(conn, got); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := conn.Read(got); n != 0 || err == nil {
-		t.Fatalf("expected EOF, got n=%d err=%v", n, err)
+	if n, err := conn.Read(got); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("expected io.EOF, got n=%d err=%v", n, err)
 	}
 	conn.Close()
 }
@@ -345,19 +354,22 @@ func TestUDPPortUnreachable(t *testing.T) {
 	// Nothing listens on port 4444: the stack answers with ICMP port
 	// unreachable and the socket surfaces ErrRefused instead of hanging
 	// until timeout.
-	if err := cli.WriteTo([]byte("anyone there?"), pkt.IP(127, 0, 0, 1), 4444); err != nil {
+	if _, err := cli.WriteTo([]byte("anyone there?"), Addr{IP: pkt.IP(127, 0, 0, 1), Port: 4444}); err != nil {
 		t.Fatal(err)
 	}
-	_, _, _, err = cli.ReadFrom(2 * time.Second)
+	buf := make([]byte, 64)
+	_ = cli.SetReadDeadline(s.Model().Now().Add(2 * time.Second))
+	_, _, err = cli.ReadFrom(buf)
 	if err != ErrRefused {
 		t.Fatalf("expected ErrRefused, got %v", err)
 	}
 	// The error is delivered once; the socket keeps working afterwards.
 	srv, _ := s.ListenUDP(4445)
-	if err := cli.WriteTo([]byte("ok"), pkt.IP(127, 0, 0, 1), 4445); err != nil {
+	if _, err := cli.WriteTo([]byte("ok"), Addr{IP: pkt.IP(127, 0, 0, 1), Port: 4445}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := srv.ReadFrom(time.Second); err != nil {
+	_ = srv.SetReadDeadline(s.Model().Now().Add(time.Second))
+	if _, _, err := srv.ReadFrom(buf); err != nil {
 		t.Fatal(err)
 	}
 }

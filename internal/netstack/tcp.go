@@ -2,7 +2,9 @@ package netstack
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -117,10 +119,14 @@ type TCPListener struct {
 	cond    *sync.Cond
 	backlog []*TCPConn
 	closed  bool
+	dl      deadline // Accept deadline (SetDeadline)
 }
 
-// ListenTCP binds a listener to port (0 = ephemeral).
-func (s *Stack) ListenTCP(port uint16) (*TCPListener, error) {
+// ListenTCP binds a listener to addr.Port (0 = ephemeral). The stack
+// accepts on all local addresses; a non-zero addr.IP is recorded for
+// Addr() but does not restrict the bind.
+func (s *Stack) ListenTCP(addr Addr) (*TCPListener, error) {
+	port := addr.Port
 	l := s.tcp
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -143,12 +149,29 @@ func (s *Stack) ListenTCP(port uint16) (*TCPListener, error) {
 // Port returns the listening port.
 func (ln *TCPListener) Port() uint16 { return ln.port }
 
+// Addr returns the bound address (wildcard IP).
+func (ln *TCPListener) Addr() Addr { return Addr{Port: ln.port} }
+
+// SetDeadline sets the Accept deadline on the stack's model timeline
+// (zero t clears it). An expired deadline makes Accept fail with
+// os.ErrDeadlineExceeded until reset.
+func (ln *TCPListener) SetDeadline(t time.Time) error {
+	ln.dl.set(&ln.mu, ln.stack.model, t, ln.cond.Broadcast)
+	return nil
+}
+
 // Accept blocks for the next established connection.
 func (ln *TCPListener) Accept() (*TCPConn, error) {
 	ln.mu.Lock()
 	defer ln.mu.Unlock()
-	for len(ln.backlog) == 0 && !ln.closed {
+	for len(ln.backlog) == 0 && !ln.closed && !ln.dl.expired {
 		ln.cond.Wait()
+	}
+	if ln.closed && len(ln.backlog) == 0 {
+		return nil, ErrClosed
+	}
+	if ln.dl.expired {
+		return nil, os.ErrDeadlineExceeded
 	}
 	if len(ln.backlog) == 0 {
 		return nil, ErrClosed
@@ -159,11 +182,11 @@ func (ln *TCPListener) Accept() (*TCPConn, error) {
 }
 
 // Close stops the listener.
-func (ln *TCPListener) Close() {
+func (ln *TCPListener) Close() error {
 	ln.mu.Lock()
 	if ln.closed {
 		ln.mu.Unlock()
-		return
+		return nil
 	}
 	ln.closed = true
 	ln.cond.Broadcast()
@@ -174,6 +197,7 @@ func (ln *TCPListener) Close() {
 		delete(l.listeners, ln.port)
 	}
 	l.mu.Unlock()
+	return nil
 }
 
 func (ln *TCPListener) deliver(c *TCPConn) {
@@ -285,6 +309,10 @@ type TCPConn struct {
 	connErr   error
 	removed   bool
 
+	// I/O deadlines (net.Conn semantics, on the model timeline).
+	rdl deadline
+	wdl deadline
+
 	listener *TCPListener // SYN_RCVD only
 	estOnce  sync.Once
 	estCh    chan struct{}
@@ -371,8 +399,9 @@ func (s *Stack) coalesceMSS(ifc *Iface) int {
 	return max(m, 536)
 }
 
-// DialTCP opens a connection to (dst, port), blocking until established.
-func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
+// DialTCP opens a connection to addr, blocking until established.
+func (s *Stack) DialTCP(addr Addr) (*TCPConn, error) {
+	dst, port := addr.IP, addr.Port
 	ifc, _, err := s.route(dst)
 	if err != nil {
 		return nil, err
@@ -417,11 +446,35 @@ func (s *Stack) DialTCP(dst pkt.IPv4, port uint16) (*TCPConn, error) {
 	return c, nil
 }
 
-// LocalAddr returns the local (IP, port).
-func (c *TCPConn) LocalAddr() (pkt.IPv4, uint16) { return c.tuple.localIP, c.tuple.localPort }
+// LocalAddr returns the local endpoint address.
+func (c *TCPConn) LocalAddr() Addr { return Addr{IP: c.tuple.localIP, Port: c.tuple.localPort} }
 
-// RemoteAddr returns the remote (IP, port).
-func (c *TCPConn) RemoteAddr() (pkt.IPv4, uint16) { return c.tuple.remoteIP, c.tuple.remotePort }
+// RemoteAddr returns the remote endpoint address.
+func (c *TCPConn) RemoteAddr() Addr { return Addr{IP: c.tuple.remoteIP, Port: c.tuple.remotePort} }
+
+// SetDeadline sets both the read and write deadlines (zero t clears).
+func (c *TCPConn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline sets the deadline for Read calls on the stack's model
+// timeline (compute it as stack.Model().Now().Add(d)). A zero t clears
+// it; once it expires, blocked and future Reads fail with
+// os.ErrDeadlineExceeded until the deadline is reset.
+func (c *TCPConn) SetReadDeadline(t time.Time) error {
+	c.rdl.set(&c.mu, c.stack.model, t, c.rcond.Broadcast)
+	return nil
+}
+
+// SetWriteDeadline sets the deadline for Write calls; see
+// SetReadDeadline for semantics.
+func (c *TCPConn) SetWriteDeadline(t time.Time) error {
+	c.wdl.set(&c.mu, c.stack.model, t, c.wcond.Broadcast)
+	return nil
+}
 
 // MSS returns the negotiated maximum segment size.
 func (c *TCPConn) MSS() int {
@@ -440,6 +493,9 @@ func (c *TCPConn) Write(b []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for written < len(b) {
+		if c.wdl.expired {
+			return written, os.ErrDeadlineExceeded
+		}
 		if c.connErr != nil {
 			return written, c.connErr
 		}
@@ -460,20 +516,25 @@ func (c *TCPConn) Write(b []byte) (int, error) {
 }
 
 // Read copies received stream data into b, blocking until at least one
-// byte (or EOF/error) is available. EOF is reported as (0, ErrClosed)
-// after the peer's FIN has been consumed.
+// byte (or EOF/error) is available. A cleanly closed peer (FIN consumed)
+// reads as (0, io.EOF), so io.ReadFull and friends compose; an expired
+// read deadline reads as (0, os.ErrDeadlineExceeded) until reset.
 func (c *TCPConn) Read(b []byte) (int, error) {
 	c.mu.Lock()
 	waited := false
-	for len(c.rcvBuf) == 0 && !c.rcvdFin && c.connErr == nil && c.state != tcpClosed {
+	for len(c.rcvBuf) == 0 && !c.rcvdFin && c.connErr == nil && c.state != tcpClosed && !c.rdl.expired {
 		waited = true
 		c.rcond.Wait()
+	}
+	if c.rdl.expired {
+		c.mu.Unlock()
+		return 0, os.ErrDeadlineExceeded
 	}
 	if len(c.rcvBuf) == 0 {
 		err := c.connErr
 		c.mu.Unlock()
 		if err == nil {
-			err = ErrClosed // clean EOF
+			err = io.EOF // clean EOF
 		}
 		return 0, err
 	}
@@ -496,28 +557,16 @@ func (c *TCPConn) Read(b []byte) (int, error) {
 	return n, nil
 }
 
-// ReadFull reads exactly len(b) bytes or fails.
-func (c *TCPConn) ReadFull(b []byte) (int, error) {
-	total := 0
-	for total < len(b) {
-		n, err := c.Read(b[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
-}
-
 // Close half-closes the send direction: buffered data is still delivered,
 // then a FIN. Read continues to work until the peer closes.
-func (c *TCPConn) Close() {
+func (c *TCPConn) Close() error {
 	c.mu.Lock()
 	if !c.sndClosed && c.state != tcpClosed {
 		c.sndClosed = true
 		c.trySendLocked()
 	}
 	c.mu.Unlock()
+	return nil
 }
 
 // Abort resets the connection immediately.

@@ -183,7 +183,7 @@ func TestTCPSurvivesPacketLoss(t *testing.T) {
 	// Drop every 13th frame in both directions: retransmission must make
 	// the stream reliable anyway.
 	sa, sb := lossyTestbed(t, 13, 0)
-	ln, err := sb.ListenTCP(9200)
+	ln, err := sb.ListenTCP(Addr{Port: 9200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestTCPSurvivesPacketLoss(t *testing.T) {
 		}
 		got <- all
 	}()
-	conn, err := sa.DialTCP(pkt.IP(10, 9, 0, 2), 9200)
+	conn, err := sa.DialTCP(Addr{IP: pkt.IP(10, 9, 0, 2), Port: 9200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestTCPSurvivesPacketLoss(t *testing.T) {
 
 func TestTCPSurvivesReordering(t *testing.T) {
 	sa, sb := lossyTestbed(t, 0, 5) // swap every 5th frame with the next
-	ln, _ := sb.ListenTCP(9201)
+	ln, _ := sb.ListenTCP(Addr{Port: 9201})
 	const total = 128 << 10
 	src := make([]byte, total)
 	rand.New(rand.NewSource(22)).Read(src)
@@ -250,7 +250,7 @@ func TestTCPSurvivesReordering(t *testing.T) {
 		}
 		got <- all
 	}()
-	conn, err := sa.DialTCP(pkt.IP(10, 9, 0, 2), 9201)
+	conn, err := sa.DialTCP(Addr{IP: pkt.IP(10, 9, 0, 2), Port: 9201})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func runScheduledTransfer(t *testing.T, seed int64, dropP, dupP, reorderP float6
 	sa.SetTCPSACK(sack)
 	sb.SetTCPSACK(sack)
 
-	ln, err := sb.ListenTCP(9400)
+	ln, err := sb.ListenTCP(Addr{Port: 9400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func runScheduledTransfer(t *testing.T, seed int64, dropP, dupP, reorderP float6
 		}
 		got <- all
 	}()
-	conn, err := sa.DialTCP(pkt.IP(10, 9, 0, 2), 9400)
+	conn, err := sa.DialTCP(Addr{IP: pkt.IP(10, 9, 0, 2), Port: 9400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestTCPLossMatrix(t *testing.T) {
 
 func TestTCPWindowScalingNegotiated(t *testing.T) {
 	s := newTestStack(t)
-	ln, _ := s.ListenTCP(9300)
+	ln, _ := s.ListenTCP(Addr{Port: 9300})
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -387,7 +387,7 @@ func TestTCPWindowScalingNegotiated(t *testing.T) {
 		_, _ = conn.Read(buf)
 		conn.Close()
 	}()
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9300)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestTCPZeroWindowAndProbe(t *testing.T) {
 	// The receiver never reads: the sender must fill the window, stall
 	// without failing, then finish after the reader drains.
 	s := newTestStack(t)
-	ln, _ := s.ListenTCP(9301)
+	ln, _ := s.ListenTCP(Addr{Port: 9301})
 	acceptCh := make(chan *TCPConn, 1)
 	go func() {
 		conn, err := ln.Accept()
@@ -419,7 +419,7 @@ func TestTCPZeroWindowAndProbe(t *testing.T) {
 		}
 		acceptCh <- conn
 	}()
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9301)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9301})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,13 +473,13 @@ func TestTCPZeroWindowAndProbe(t *testing.T) {
 
 func TestTCPAbortResetsPeer(t *testing.T) {
 	s := newTestStack(t)
-	ln, _ := s.ListenTCP(9302)
+	ln, _ := s.ListenTCP(Addr{Port: 9302})
 	acceptCh := make(chan *TCPConn, 1)
 	go func() {
 		conn, _ := ln.Accept()
 		acceptCh <- conn
 	}()
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9302)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9302})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestTCPAbortResetsPeer(t *testing.T) {
 
 func TestTCPSimultaneousBidirectionalTransfer(t *testing.T) {
 	s := newTestStack(t)
-	ln, _ := s.ListenTCP(9303)
+	ln, _ := s.ListenTCP(Addr{Port: 9303})
 	const total = 512 << 10
 	up := make([]byte, total)
 	down := make([]byte, total)
@@ -534,7 +534,7 @@ func TestTCPSimultaneousBidirectionalTransfer(t *testing.T) {
 		srvDone <- got
 	}()
 
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9303)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9303})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -571,7 +571,7 @@ func TestTCPSimultaneousBidirectionalTransfer(t *testing.T) {
 // byte stream.
 func TestTCPStreamIntegrityProperty(t *testing.T) {
 	s := newTestStack(t)
-	ln, _ := s.ListenTCP(9304)
+	ln, _ := s.ListenTCP(Addr{Port: 9304})
 	r := rand.New(rand.NewSource(77))
 	src := make([]byte, 200<<10)
 	r.Read(src)
@@ -594,7 +594,7 @@ func TestTCPStreamIntegrityProperty(t *testing.T) {
 		}
 		got <- all
 	}()
-	conn, err := s.DialTCP(pkt.IP(127, 0, 0, 1), 9304)
+	conn, err := s.DialTCP(Addr{IP: pkt.IP(127, 0, 0, 1), Port: 9304})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,10 +2,10 @@ package netstack
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
-	"repro/internal/costmodel"
 	"repro/internal/pkt"
 )
 
@@ -36,6 +36,10 @@ type UDPConn struct {
 	refused  bool // ICMP port-unreachable received for our traffic
 	received uint64
 	dropped  uint64
+
+	// I/O deadlines (net.Conn semantics, on the model timeline).
+	rdl deadline
+	wdl deadline
 }
 
 // handleUnreachable routes an ICMP destination-unreachable back to the
@@ -148,6 +152,33 @@ func (l *udpLayer) input(h pkt.IPv4Header, payload []byte) {
 // LocalPort returns the bound port.
 func (c *UDPConn) LocalPort() uint16 { return c.localPort }
 
+// LocalAddr returns the bound address (zero IP = wildcard).
+func (c *UDPConn) LocalAddr() Addr { return Addr{IP: c.localIP, Port: c.localPort} }
+
+// SetDeadline sets both the read and write deadlines (zero t clears).
+func (c *UDPConn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline sets the deadline for ReadFrom calls on the stack's
+// model timeline (compute it as stack.Model().Now().Add(d)). A zero t
+// clears it; once it expires, blocked and future ReadFroms fail with
+// os.ErrDeadlineExceeded until the deadline is reset.
+func (c *UDPConn) SetReadDeadline(t time.Time) error {
+	c.rdl.set(&c.mu, c.stack.model, t, c.cond.Broadcast)
+	return nil
+}
+
+// SetWriteDeadline sets the deadline for WriteTo calls; WriteTo never
+// blocks, so this only gates calls made after expiry.
+func (c *UDPConn) SetWriteDeadline(t time.Time) error {
+	c.wdl.set(&c.mu, c.stack.model, t, func() {})
+	return nil
+}
+
 // Stats returns the datagrams delivered to and dropped at this socket.
 func (c *UDPConn) Stats() (received, dropped uint64) {
 	c.mu.Lock()
@@ -155,80 +186,80 @@ func (c *UDPConn) Stats() (received, dropped uint64) {
 	return c.received, c.dropped
 }
 
-// WriteTo sends one datagram to (dst, port).
-func (c *UDPConn) WriteTo(data []byte, dst pkt.IPv4, port uint16) error {
+// WriteTo sends one datagram to dst.
+func (c *UDPConn) WriteTo(data []byte, dst Addr) (int, error) {
 	if len(data) > maxUDPPayload {
-		return fmt.Errorf("%w: %d bytes", ErrMsgTooLarge, len(data))
+		return 0, fmt.Errorf("%w: %d bytes", ErrMsgTooLarge, len(data))
 	}
 	c.mu.Lock()
-	closed := c.closed
+	closed, expired := c.closed, c.wdl.expired
 	c.mu.Unlock()
 	if closed {
-		return ErrClosed
+		return 0, ErrClosed
+	}
+	if expired {
+		return 0, os.ErrDeadlineExceeded
 	}
 	s := c.stack
 	s.model.Charge(s.model.Syscall)
 	s.model.ChargeCopy(len(data)) // user -> kernel
-	src, err := s.localIPFor(dst)
+	src, err := s.localIPFor(dst.IP)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	seg := pkt.BuildUDP(src, dst, &pkt.UDPHeader{SrcPort: c.localPort, DstPort: port}, data)
-	return s.ipOutput(pkt.ProtoUDP, src, dst, seg)
+	seg := pkt.BuildUDP(src, dst.IP, &pkt.UDPHeader{SrcPort: c.localPort, DstPort: dst.Port}, data)
+	if err := s.ipOutput(pkt.ProtoUDP, src, dst.IP, seg); err != nil {
+		return 0, err
+	}
+	return len(data), nil
 }
 
-// ReadFrom blocks for the next datagram; timeout <= 0 waits forever.
-func (c *UDPConn) ReadFrom(timeout time.Duration) (data []byte, src pkt.IPv4, srcPort uint16, err error) {
-	var timer *costmodel.Timer
-	timedOut := false
-	if timeout > 0 {
-		timer = c.stack.model.AfterFunc(timeout, func() {
-			c.mu.Lock()
-			timedOut = true
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		})
-		defer timer.Stop()
-	}
+// ReadFrom blocks for the next datagram, copies its payload into b, and
+// returns the byte count and source address. A datagram longer than b is
+// truncated, as recvfrom does. An expired read deadline (SetReadDeadline
+// on the stack's model timeline) fails with os.ErrDeadlineExceeded until
+// the deadline is reset.
+func (c *UDPConn) ReadFrom(b []byte) (int, Addr, error) {
 	c.mu.Lock()
 	waited := false
-	for len(c.queue) == 0 && !c.closed && !c.refused && !timedOut {
+	for len(c.queue) == 0 && !c.closed && !c.refused && !c.rdl.expired {
 		waited = true
 		c.cond.Wait()
 	}
+	if c.rdl.expired {
+		c.mu.Unlock()
+		return 0, Addr{}, os.ErrDeadlineExceeded
+	}
 	if len(c.queue) == 0 {
-		closed, refused := c.closed, c.refused
+		refused := c.refused
 		c.refused = false // sticky error delivered once
 		c.mu.Unlock()
-		switch {
-		case refused:
-			return nil, pkt.IPv4{}, 0, ErrRefused
-		case closed:
-			return nil, pkt.IPv4{}, 0, ErrClosed
-		default:
-			return nil, pkt.IPv4{}, 0, ErrTimeout
+		if refused {
+			return 0, Addr{}, ErrRefused
 		}
+		return 0, Addr{}, ErrClosed
 	}
 	d := c.queue[0]
 	c.queue = c.queue[1:]
 	c.mu.Unlock()
 
+	n := copy(b, d.data)
 	s := c.stack
 	if waited && s.isLocalIP(d.srcIP) {
 		// Same-host sender woke a blocked reader: process context switch.
 		s.model.Charge(s.model.LocalWakeup)
 	}
 	s.model.Charge(s.model.Syscall)
-	s.model.ChargeCopy(len(d.data)) // kernel -> user
-	return d.data, d.srcIP, d.srcPort, nil
+	s.model.ChargeCopy(n) // kernel -> user
+	return n, Addr{IP: d.srcIP, Port: d.srcPort}, nil
 }
 
 // Close releases the socket.
-func (c *UDPConn) Close() {
+func (c *UDPConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return
+		return nil
 	}
 	c.closed = true
 	c.cond.Broadcast()
@@ -239,4 +270,5 @@ func (c *UDPConn) Close() {
 		delete(l.conns, c.localPort)
 	}
 	l.mu.Unlock()
+	return nil
 }

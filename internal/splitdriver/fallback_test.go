@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netstack"
 	"repro/internal/testbed"
 )
 
@@ -42,12 +43,15 @@ func TestFallbackWhenChannelTornDownMidStream(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		model := b.Stack.Model()
+		buf := make([]byte, 128)
 		for {
-			data, _, _, err := srv.ReadFrom(time.Second)
+			_ = srv.SetReadDeadline(model.Now().Add(time.Second))
+			n, _, err := srv.ReadFrom(buf)
 			if err != nil {
 				return
 			}
-			seq := binary.LittleEndian.Uint64(data)
+			seq := binary.LittleEndian.Uint64(buf[:n])
 			if seen[seq] {
 				dups.Add(1)
 			}
@@ -59,7 +63,7 @@ func TestFallbackWhenChannelTornDownMidStream(t *testing.T) {
 	payload := make([]byte, 64)
 	for i := 0; i < total; i++ {
 		binary.LittleEndian.PutUint64(payload, uint64(i))
-		if err := cli.WriteTo(payload, b.IP, 7200); err != nil {
+		if _, err := cli.WriteTo(payload, netstack.Addr{IP: b.IP, Port: 7200}); err != nil {
 			t.Fatalf("WriteTo #%d: %v", i, err)
 		}
 		if i == total/2 {

@@ -88,15 +88,17 @@ func TestUDPAcrossSplitDriver(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("via netfront and netback")
-	if err := cli.WriteTo(msg, pkt.IP(10, 0, 0, 2), 5000); err != nil {
+	if _, err := cli.WriteTo(msg, netstack.Addr{IP: pkt.IP(10, 0, 0, 2), Port: 5000}); err != nil {
 		t.Fatal(err)
 	}
-	data, src, _, err := srv.ReadFrom(2 * time.Second)
+	buf := make([]byte, 256)
+	_ = srv.SetReadDeadline(h.s2.Model().Now().Add(2 * time.Second))
+	n, src, err := srv.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(data, msg) || src != pkt.IP(10, 0, 0, 1) {
-		t.Fatalf("got %q from %s", data, src)
+	if !bytes.Equal(buf[:n], msg) || src.IP != pkt.IP(10, 0, 0, 1) {
+		t.Fatalf("got %q from %s", buf[:n], src)
 	}
 }
 
@@ -106,21 +108,23 @@ func TestUDPFragmentationAcrossSplitDriver(t *testing.T) {
 	cli, _ := h.s1.ListenUDP(0)
 	msg := make([]byte, 20000) // > vif MTU 1500: fragments cross the rings
 	rand.New(rand.NewSource(3)).Read(msg)
-	if err := cli.WriteTo(msg, pkt.IP(10, 0, 0, 2), 5001); err != nil {
+	if _, err := cli.WriteTo(msg, netstack.Addr{IP: pkt.IP(10, 0, 0, 2), Port: 5001}); err != nil {
 		t.Fatal(err)
 	}
-	data, _, _, err := srv.ReadFrom(3 * time.Second)
+	buf := make([]byte, 32000)
+	_ = srv.SetReadDeadline(h.s2.Model().Now().Add(3 * time.Second))
+	n, _, err := srv.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(data, msg) {
+	if !bytes.Equal(buf[:n], msg) {
 		t.Fatal("fragmented datagram corrupted across split driver")
 	}
 }
 
 func TestTCPBulkAcrossSplitDriver(t *testing.T) {
 	h := newTestHost(t)
-	ln, err := h.s2.ListenTCP(6000)
+	ln, err := h.s2.ListenTCP(netstack.Addr{Port: 6000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +150,7 @@ func TestTCPBulkAcrossSplitDriver(t *testing.T) {
 		got <- all
 	}()
 
-	conn, err := h.s1.DialTCP(pkt.IP(10, 0, 0, 2), 6000)
+	conn, err := h.s1.DialTCP(netstack.Addr{IP: pkt.IP(10, 0, 0, 2), Port: 6000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +213,11 @@ func TestManySmallPacketsNoLeakage(t *testing.T) {
 	cli, _ := h.s1.ListenUDP(0)
 	// Prime the neighbor cache; a cold burst would overflow the ARP
 	// pending queue, which is correct UDP behavior but not under test.
-	_ = cli.WriteTo([]byte{0xff}, pkt.IP(10, 0, 0, 2), 5002)
-	if _, _, _, err := srv.ReadFrom(2 * time.Second); err != nil {
+	model := h.s2.Model()
+	buf := make([]byte, 64)
+	_, _ = cli.WriteTo([]byte{0xff}, netstack.Addr{IP: pkt.IP(10, 0, 0, 2), Port: 5002})
+	_ = srv.SetReadDeadline(model.Now().Add(2 * time.Second))
+	if _, _, err := srv.ReadFrom(buf); err != nil {
 		t.Fatal(err)
 	}
 	const n = 2000 // several times the ring size
@@ -218,7 +225,8 @@ func TestManySmallPacketsNoLeakage(t *testing.T) {
 	go func() {
 		received := 0
 		for received < n {
-			if _, _, _, err := srv.ReadFrom(2 * time.Second); err != nil {
+			_ = srv.SetReadDeadline(model.Now().Add(2 * time.Second))
+			if _, _, err := srv.ReadFrom(buf); err != nil {
 				break
 			}
 			received++
@@ -226,7 +234,7 @@ func TestManySmallPacketsNoLeakage(t *testing.T) {
 		done <- received
 	}()
 	for i := 0; i < n; i++ {
-		_ = cli.WriteTo([]byte{byte(i), byte(i >> 8)}, pkt.IP(10, 0, 0, 2), 5002)
+		_, _ = cli.WriteTo([]byte{byte(i), byte(i >> 8)}, netstack.Addr{IP: pkt.IP(10, 0, 0, 2), Port: 5002})
 		if i%32 == 0 {
 			time.Sleep(time.Millisecond) // pace below the reader's drain rate
 		}
