@@ -57,6 +57,7 @@ type runCtx struct {
 	chaosSeed     int64
 	chaosSeeds    int
 	chaosDur      time.Duration
+	chaosTuning   bool
 	wsSLO         float64
 	wsFanout      int
 }
@@ -90,6 +91,7 @@ var experiments = []experiment{
 	{"latency", "request-response latency percentiles, channel vs netfront", "BENCH_latency.json", true, true, runLatency},
 	{"tcpstream", "TCP stream throughput vs segment cap, channel vs netfront", "BENCH_tcpstream.json", true, true, runTCPStream},
 	{"webservice", "web/KV tier transactions under SLO gates, channel vs netfront", "BENCH_webservice.json", true, true, runWebservice},
+	{"autotune", "adaptive knob controller vs static pins A/B + FIFO relearn", "BENCH_autotune.json", true, true, runAutotune},
 	// The mesh sweep is not part of "all": at 128 guests it is a lifecycle
 	// stress, always run on the virtual clock (it implies -virtual).
 	{"mesh", "bounded mesh at 16..128 guests: channel lifecycle under budget", "BENCH_mesh.json", false, true, runMesh},
@@ -122,6 +124,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos.seed", 0, "run the chaos experiment with this single seed (0 = seed sweep)")
 	chaosSeeds := flag.Int("chaos.seeds", 20, "number of seeds (1..N) in the chaos sweep")
 	chaosDur := flag.Duration("chaos.duration", 2*time.Second, "per-seed chaos soak duration")
+	chaosTuning := flag.Bool("chaos.tuning", false, "chaos: run with the autotune controller live and assert it stays active")
 	wsSLO := flag.Float64("ws.slo", 0, "webservice: p99 transaction-latency objective in us (0 = default)")
 	wsFanout := flag.Int("ws.fanout", 0, "webservice: KV lookups per transaction (0 = default 2)")
 	flag.Parse()
@@ -171,6 +174,7 @@ func main() {
 		chaosSeed:     *chaosSeed,
 		chaosSeeds:    *chaosSeeds,
 		chaosDur:      *chaosDur,
+		chaosTuning:   *chaosTuning,
 		wsSLO:         *wsSLO,
 		wsFanout:      *wsFanout,
 	}
@@ -722,6 +726,54 @@ func webserviceGates(res bench.WebserviceExpResult, virtual bool) error {
 	return nil
 }
 
+// runAutotune drives the adaptive-vs-static A/B matrix. The gate is
+// no-harm: at every workload point the adaptive run must match or beat
+// the controller-off baseline (the paper's static defaults) within the
+// tolerance, and a hot flow whose channel is flapped must re-form with
+// a rate-sized FIFO. The best static pin per point is reported for the
+// record.
+func runAutotune(c *runCtx) error {
+	o := c.opts
+	o.Virtual = c.virtual
+	if c.short && o.Duration > 150*time.Millisecond {
+		o.Duration = 150 * time.Millisecond
+	}
+	res, err := bench.AutotuneAB(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Self-tuning datapath: adaptive controller vs static knob pins:")
+	for _, pt := range res.Points {
+		status := "PASS"
+		if !pt.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  %-12s %-12s adaptive %8.1f vs default %8.1f (%+.1f%%)  %s   [best static: %s %.1f, %+.1f%%]\n",
+			pt.Name, pt.Metric, pt.AdaptiveValue, pt.BaselineValue, pt.DeltaVsDefaultPct, status,
+			pt.BestStatic, pt.BestStaticValue, pt.DeltaPct)
+		fmt.Printf("  %-12s   mid-window knobs: holdoff %.0fus pace %.0fus batch %d  (epochs %d, changes %d)\n",
+			"", pt.AdaptiveHoldoffUs, pt.AdaptivePaceUs, pt.AdaptiveBatch, pt.TuneEpochs, pt.TuneChanges)
+	}
+	frStatus := "PASS"
+	if !res.FIFORelearn.Pass {
+		frStatus = "FAIL"
+	}
+	fmt.Printf("  fifo-relearn: cold %d KiB -> warm %d KiB  %s\n\n",
+		res.FIFORelearn.ColdFIFOBytes>>10, res.FIFORelearn.WarmFIFOBytes>>10, frStatus)
+	artifact := "BENCH_autotune.json"
+	if c.virtual {
+		artifact = "BENCH_autotune_virtual.json"
+	}
+	if err := writeJSON(artifact, res); err != nil {
+		return err
+	}
+	if !res.Pass {
+		return fmt.Errorf("autotune gate failed: adaptive lost to the controller-off baseline beyond %.0f%% tolerance, or the FIFO relearn regressed (see %s)",
+			res.TolerancePct, artifact)
+	}
+	return nil
+}
+
 // runTCPStream sweeps TCP segment-size caps on the channel and netfront
 // paths. The coalescing win (full 64 KiB segments vs wire-MSS segments
 // per FIFO entry) must be a speedup, and the coalesced channel path must
@@ -820,7 +872,7 @@ func runChaosExp(c *runCtx) error {
 	fmt.Printf("Chaos soak: %d seed(s), %v each%s\n", len(list), c.chaosDur, mode)
 	failed := 0
 	for _, s := range list {
-		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: c.chaosDur, Virtual: c.virtual, Log: func(format string, args ...any) {
+		r, err := bench.Chaos(bench.ChaosOptions{Seed: s, Duration: c.chaosDur, Virtual: c.virtual, Tuning: c.chaosTuning, Log: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		}})
 		if err != nil {
@@ -838,6 +890,9 @@ func runChaosExp(c *runCtx) error {
 		repro := fmt.Sprintf("go run ./cmd/xlbench -exp chaos -chaos.seed=%d -chaos.duration=%v", s, c.chaosDur)
 		if c.virtual {
 			repro += " -virtual"
+		}
+		if c.chaosTuning {
+			repro += " -chaos.tuning"
 		}
 		fmt.Printf("  reproduce: %s\n", repro)
 	}

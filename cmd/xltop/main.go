@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	xltop -vms 4 -duration 5s -interval 1s
+//	xltop -vms 4 -duration 5s -interval 1s [-tune]
 package main
 
 import (
@@ -16,6 +16,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/metrics"
 	"repro/internal/netstack"
@@ -35,15 +37,21 @@ func main() {
 	nvms := flag.Int("vms", 4, "co-resident VMs (2-8)")
 	duration := flag.Duration("duration", 5*time.Second, "how long to run")
 	interval := flag.Duration("interval", time.Second, "refresh interval")
+	tune := flag.Bool("tune", false, "enable the autotune knob controller on every module")
 	flag.Parse()
 	if *nvms < 2 || *nvms > 8 {
 		fmt.Fprintln(os.Stderr, "xltop: -vms must be between 2 and 8")
 		os.Exit(2)
 	}
 
+	var coreCfg core.Config
+	if *tune {
+		coreCfg.Autotune = &autotune.Config{}
+	}
 	tb := testbed.New(testbed.Options{
 		Model:           costmodel.Calibrated(),
 		DiscoveryPeriod: 500 * time.Millisecond,
+		Core:            coreCfg,
 	})
 	defer tb.Close()
 	machine := tb.AddMachine("machine1")
@@ -109,9 +117,13 @@ func main() {
 			if cs.Listener {
 				role = "listener"
 			}
-			fmt.Printf("  %s channel -> dom%d %s: connected=%v %s fifo=%dB used=%dB waiting=%d\n",
+			fmt.Printf("  %s channel -> dom%d %s: connected=%v %s fifo=%dB used=%dB waiting=%d holdoff=%v pace=%v batch=%d\n",
 				vms[0].Name, cs.Peer.Dom, cs.Peer.MAC, cs.Connected, role,
-				cs.FIFOSizeBytes, cs.OutUsedBytes, cs.WaitingLen)
+				cs.FIFOSizeBytes, cs.OutUsedBytes, cs.WaitingLen,
+				cs.Holdoff, cs.Pace, cs.Batch)
+		}
+		if *tune {
+			fmt.Printf("%s: tuner epochs=%d knob changes=%d\n", vms[0].Name, s0.TuneEpochs, s0.TuneChanges)
 		}
 		fmt.Printf("%s: bootstrap p50/p95/p99 us: %s  hv hypercall p50/p95/p99 us: %s  resources: %+v\n",
 			vms[0].Name, quantiles(s0.Bootstrap), quantiles(s0.HVCosts.Hypercall), s0.Resources)

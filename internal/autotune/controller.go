@@ -1,0 +1,409 @@
+// Package autotune is the per-channel feedback controller that closes
+// the loop from the datapath's live measurements (flow rate, FIFO
+// occupancy, residency, drain batch occupancy) to the receive-scheduling
+// knobs that are otherwise compile-time constants: the NAPI poll window
+// (holdoff), the softirq pacing period (pace), the drain batch bound,
+// and — at channel creation only — the FIFO size class.
+//
+// The controller is deliberately boring: every decision is a pure
+// function of the controller's own prior decisions and one Observation
+// struct of plain numbers. No clocks, no randomness, no goroutines. That
+// is what makes the whole tuning layer replayable — the same observation
+// sequence produces the same knob trajectory on the wall clock, on the
+// virtual clock, and in a property test that never built a channel at
+// all — and it is what the test harness in controller_test.go exploits
+// to prove convergence, stability and monotonicity rather than hoping
+// for them.
+//
+// Knobs move along quantized ladders, one notch per epoch, toward a
+// target selected by a rate-regime classifier with a deadband. Three
+// mechanisms rule out oscillation:
+//
+//   - regime deadband: once in a regime, the rate must fall below
+//     leaveFrac of the entry threshold to drop back, so noise around a
+//     boundary cannot flip the regime every epoch;
+//   - one-notch stepping: a regime change moves knobs gradually, so a
+//     transient misclassification costs one notch, not a cliff;
+//   - reversal hysteresis: reversing the direction of the previous
+//     movement requires the new direction to persist for Hysteresis
+//     consecutive epochs.
+package autotune
+
+import "time"
+
+// Config declares the controller's bounds and ladders. The zero value
+// selects the defaults below; every ladder is clamped to at least one
+// rung and defaults always contain the paper's static settings (25µs
+// holdoff, 35µs pace, 256 batch, 64 KiB FIFO) so an idle controller
+// reproduces the untuned module exactly.
+type Config struct {
+	// Epoch is the controller's decision period on the model clock.
+	Epoch time.Duration
+
+	// HoldoffLadder / PaceLadder / BatchLadder are the permitted knob
+	// values, ascending. Decisions only ever return ladder values, so
+	// the declared bounds are the first and last rungs.
+	HoldoffLadder []time.Duration
+	PaceLadder    []time.Duration
+	BatchLadder   []int
+
+	// FIFOClasses are the permitted FIFO sizes (bytes, ascending) for
+	// the creation-time pick; FIFORates[i] is the minimum observed rate
+	// (pkts/s) that selects FIFOClasses[i+1] over FIFOClasses[i].
+	FIFOClasses []int
+	FIFORates   []float64
+
+	// SparseRate / StreamRate (pkts/s) split the rate axis into the
+	// three regimes: below SparseRate is request-response traffic,
+	// above StreamRate is a saturating stream, between is mixed.
+	SparseRate float64
+	StreamRate float64
+
+	// LeaveFrac is the regime deadband: a regime entered at threshold T
+	// is left only when the rate falls below LeaveFrac*T. (0,1].
+	LeaveFrac float64
+
+	// Hysteresis is how many consecutive epochs a direction reversal
+	// must persist before a knob actually reverses.
+	Hysteresis int
+
+	// PressureOccupancy is the outgoing-FIFO used fraction above which
+	// the controller treats the channel as backlogged and steps pacing
+	// down / batch up regardless of regime.
+	PressureOccupancy float64
+}
+
+// Default knob values: the module's historical compile-time constants.
+// The core package asserts (in its default-drift test) that a disabled
+// controller leaves channels at exactly these values.
+const (
+	DefaultHoldoff = 25 * time.Microsecond
+	DefaultPace    = 35 * time.Microsecond
+	DefaultBatch   = 256
+	DefaultFIFO    = 64 * 1024
+)
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 5 * time.Millisecond
+	}
+	if len(c.HoldoffLadder) == 0 {
+		c.HoldoffLadder = []time.Duration{
+			5 * time.Microsecond, 10 * time.Microsecond, DefaultHoldoff,
+			50 * time.Microsecond, 100 * time.Microsecond,
+		}
+	}
+	if len(c.PaceLadder) == 0 {
+		c.PaceLadder = []time.Duration{
+			5 * time.Microsecond, 10 * time.Microsecond, 20 * time.Microsecond,
+			DefaultPace, 70 * time.Microsecond,
+		}
+	}
+	if len(c.BatchLadder) == 0 {
+		c.BatchLadder = []int{64, 128, DefaultBatch, 512, 1024}
+	}
+	if len(c.FIFOClasses) == 0 {
+		c.FIFOClasses = []int{DefaultFIFO, 128 * 1024, 256 * 1024}
+	}
+	if len(c.FIFORates) == 0 {
+		c.FIFORates = []float64{25_000, 100_000}
+	}
+	if c.SparseRate <= 0 {
+		c.SparseRate = 5_000
+	}
+	if c.StreamRate <= 0 {
+		c.StreamRate = 50_000
+	}
+	if c.LeaveFrac <= 0 || c.LeaveFrac > 1 {
+		c.LeaveFrac = 0.6
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	if c.PressureOccupancy <= 0 {
+		c.PressureOccupancy = 0.75
+	}
+	return c
+}
+
+// Knobs is one decision: the receive-scheduling settings a channel
+// should run with. Values are always rungs of the configured ladders.
+type Knobs struct {
+	Holdoff time.Duration // NAPI poll window after the queues run dry
+	Pace    time.Duration // softirq pacing between polling-mode drains
+	Batch   int           // drain batch bound, packets per staging pass
+}
+
+// Observation is one epoch's input: plain numbers assembled by the
+// caller from whatever instruments it has. The controller never reads a
+// clock or a histogram itself.
+type Observation struct {
+	// RatePPS is the channel's observed packet rate (sent + received)
+	// over the epoch, in packets per second.
+	RatePPS float64
+	// FIFOUsedFrac is the outgoing FIFO's used fraction at observation
+	// time, 0..1.
+	FIFOUsedFrac float64
+	// WaitingLen is the channel's waiting-list depth (packets queued
+	// because the FIFO was full).
+	WaitingLen int
+	// ResidencyP50Ns is the epoch's median FIFO residency (push to
+	// drain) in nanoseconds; 0 when no packet was timed this epoch.
+	ResidencyP50Ns float64
+	// DrainBatchP50 is the epoch's median drain batch occupancy
+	// (packets staged per drain pass); 0 when no drain ran.
+	DrainBatchP50 float64
+}
+
+// Traffic regimes.
+const (
+	regimeSparse = iota // request-response: optimize turnaround latency
+	regimeMixed         // in between: stay near the paper's defaults
+	regimeStream        // saturating stream: optimize batching
+)
+
+// Controller is the per-channel feedback controller. Not safe for
+// concurrent use: the tuner calls Step from one goroutine per module.
+type Controller struct {
+	cfg    Config
+	regime int
+	idx    [3]int // current ladder index per knob (holdoff, pace, batch)
+	// Reversal hysteresis state per knob: the direction of the last
+	// actual movement and how many consecutive epochs a reversal has
+	// been requested.
+	lastDir [3]int
+	pend    [3]int
+	epochs  uint64
+}
+
+// Knob axes.
+const (
+	knobHoldoff = iota
+	knobPace
+	knobBatch
+)
+
+// New returns a controller at the defaults (or the nearest ladder rungs
+// to them), in the mixed regime.
+func New(cfg Config) *Controller {
+	cfg = cfg.WithDefaults()
+	c := &Controller{cfg: cfg, regime: regimeMixed}
+	c.idx[knobHoldoff] = nearestDur(cfg.HoldoffLadder, DefaultHoldoff)
+	c.idx[knobPace] = nearestDur(cfg.PaceLadder, DefaultPace)
+	c.idx[knobBatch] = nearestInt(cfg.BatchLadder, DefaultBatch)
+	return c
+}
+
+// Knobs returns the current decision without stepping.
+func (c *Controller) Knobs() Knobs {
+	return Knobs{
+		Holdoff: c.cfg.HoldoffLadder[c.idx[knobHoldoff]],
+		Pace:    c.cfg.PaceLadder[c.idx[knobPace]],
+		Batch:   c.cfg.BatchLadder[c.idx[knobBatch]],
+	}
+}
+
+// Epochs returns how many observations the controller has consumed.
+func (c *Controller) Epochs() uint64 { return c.epochs }
+
+// Step consumes one epoch's observation and returns the knobs to apply
+// until the next epoch. Pure: the result depends only on the controller
+// state and o.
+func (c *Controller) Step(o Observation) Knobs {
+	c.epochs++
+	c.classify(o.RatePPS)
+	tgt := c.targets(o)
+	for k := 0; k < 3; k++ {
+		c.stepKnob(k, tgt[k])
+	}
+	return c.Knobs()
+}
+
+// classify updates the rate regime with the deadband: entering a higher
+// regime needs the rate above its threshold; dropping back needs it
+// below LeaveFrac of that same threshold.
+func (c *Controller) classify(rate float64) {
+	switch c.regime {
+	case regimeSparse:
+		if rate >= c.cfg.StreamRate {
+			c.regime = regimeStream
+		} else if rate >= c.cfg.SparseRate {
+			c.regime = regimeMixed
+		}
+	case regimeMixed:
+		if rate >= c.cfg.StreamRate {
+			c.regime = regimeStream
+		} else if rate < c.cfg.SparseRate*c.cfg.LeaveFrac {
+			c.regime = regimeSparse
+		}
+	case regimeStream:
+		if rate < c.cfg.StreamRate*c.cfg.LeaveFrac {
+			if rate < c.cfg.SparseRate*c.cfg.LeaveFrac {
+				c.regime = regimeSparse
+			} else {
+				c.regime = regimeMixed
+			}
+		}
+	}
+}
+
+// targets maps (regime, pressure) to a target ladder index per knob.
+//
+//   - sparse: long holdoff (the poll window is what catches a reply
+//     instantly), minimal pacing (nothing to batch, don't sit on a lone
+//     packet), small batch;
+//   - mixed: the paper's defaults — deliberately conservative: moving
+//     off the defaults in the mixed band needs evidence (the pressure
+//     and saturation rules below), not a rate reading alone;
+//   - stream: defaults for holdoff/pace (35µs pacing is what fills a
+//     ring per pass), maximal batch so one pass drains the backlog.
+//
+// Backpressure (FIFO filling up, waiting list nonempty, or residency
+// beyond 4 pace periods) overrides the pace target downward one rung
+// and the batch target to max: drain sooner and drain more.
+func (c *Controller) targets(o Observation) [3]int {
+	var t [3]int
+	ladH, ladP, ladB := c.cfg.HoldoffLadder, c.cfg.PaceLadder, c.cfg.BatchLadder
+	switch c.regime {
+	case regimeSparse:
+		t[knobHoldoff] = min(nearestDur(ladH, DefaultHoldoff)+1, len(ladH)-1)
+		t[knobPace] = 0
+		t[knobBatch] = 0
+	case regimeStream:
+		t[knobHoldoff] = nearestDur(ladH, DefaultHoldoff)
+		t[knobPace] = nearestDur(ladP, DefaultPace)
+		t[knobBatch] = len(ladB) - 1
+	default:
+		t[knobHoldoff] = nearestDur(ladH, DefaultHoldoff)
+		t[knobPace] = nearestDur(ladP, DefaultPace)
+		t[knobBatch] = nearestInt(ladB, DefaultBatch)
+	}
+	// A drain batch median pinned at the current bound means the bound —
+	// not the traffic — is what's limiting a pass: raise the target. When
+	// the bound is already the top rung and drains still come out full,
+	// the consumer is falling behind the producer — the only lever left
+	// is draining more often, so pace steps down from wherever it is.
+	// This is the receiver-side backpressure signal: inbound pressure is
+	// invisible to the occupancy test below, which watches the channel's
+	// own outgoing FIFO.
+	if o.DrainBatchP50 >= float64(c.cfg.BatchLadder[c.idx[knobBatch]]) && o.DrainBatchP50 > 0 {
+		t[knobBatch] = min(c.idx[knobBatch]+1, len(ladB)-1)
+		if c.idx[knobBatch] == len(ladB)-1 {
+			t[knobPace] = max(c.idx[knobPace]-1, 0)
+		}
+	}
+	pace := float64(c.cfg.PaceLadder[c.idx[knobPace]])
+	if o.FIFOUsedFrac > c.cfg.PressureOccupancy || o.WaitingLen > 0 ||
+		(o.ResidencyP50Ns > 0 && o.ResidencyP50Ns > 4*pace) {
+		// Relative to the current rung, not the regime target: sustained
+		// pressure keeps walking pace down until it clears or hits the
+		// floor.
+		t[knobPace] = max(c.idx[knobPace]-1, 0)
+		t[knobBatch] = len(ladB) - 1
+	}
+	return t
+}
+
+// stepKnob moves knob k one notch toward target, honoring reversal
+// hysteresis.
+func (c *Controller) stepKnob(k, target int) {
+	cur := c.idx[k]
+	dir := 0
+	if target > cur {
+		dir = 1
+	} else if target < cur {
+		dir = -1
+	}
+	if dir == 0 {
+		c.pend[k] = 0
+		return
+	}
+	if c.lastDir[k] != 0 && dir != c.lastDir[k] {
+		// Reversal: require the request to persist.
+		c.pend[k]++
+		if c.pend[k] < c.cfg.Hysteresis {
+			return
+		}
+	}
+	c.pend[k] = 0
+	c.idx[k] = cur + dir
+	c.lastDir[k] = dir
+}
+
+// PickFIFOSizeBytes maps an observed flow rate (pkts/s) at channel
+// creation to a FIFO size class. Monotone by construction: a higher
+// rate can never select a smaller class. A rate of 0 (cold flow,
+// nothing observed yet) selects the first class — the paper's default —
+// so unknown flows cost exactly what they always did.
+func (c *Controller) PickFIFOSizeBytes(ratePPS float64) int {
+	return PickFIFOSizeBytes(c.cfg, ratePPS)
+}
+
+// PickFIFOSizeBytes is the package-level form of the creation-time FIFO
+// class pick, usable without a controller.
+func PickFIFOSizeBytes(cfg Config, ratePPS float64) int {
+	cfg = cfg.WithDefaults()
+	i := 0
+	for i < len(cfg.FIFORates) && i+1 < len(cfg.FIFOClasses) && ratePPS >= cfg.FIFORates[i] {
+		i++
+	}
+	return cfg.FIFOClasses[i]
+}
+
+// Bounds returns the declared knob bounds: the first and last rungs of
+// each ladder. Property tests assert every decision stays inside them.
+func (c *Controller) Bounds() (minK, maxK Knobs) {
+	cfg := c.cfg
+	minK = Knobs{Holdoff: cfg.HoldoffLadder[0], Pace: cfg.PaceLadder[0], Batch: cfg.BatchLadder[0]}
+	maxK = Knobs{
+		Holdoff: cfg.HoldoffLadder[len(cfg.HoldoffLadder)-1],
+		Pace:    cfg.PaceLadder[len(cfg.PaceLadder)-1],
+		Batch:   cfg.BatchLadder[len(cfg.BatchLadder)-1],
+	}
+	return minK, maxK
+}
+
+// nearestDur returns the index of the ladder rung closest to v.
+func nearestDur(lad []time.Duration, v time.Duration) int {
+	best, bestd := 0, time.Duration(1<<62)
+	for i, r := range lad {
+		d := r - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestd {
+			best, bestd = i, d
+		}
+	}
+	return best
+}
+
+// nearestInt returns the index of the ladder rung closest to v.
+func nearestInt(lad []int, v int) int {
+	best, bestd := 0, int(^uint(0)>>1)
+	for i, r := range lad {
+		d := r - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestd {
+			best, bestd = i, d
+		}
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,373 @@
+package autotune
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/autotune/testshape"
+)
+
+// obsAt builds a clean observation for a given rate: no backpressure.
+func obsAt(rate float64) Observation {
+	return Observation{RatePPS: rate}
+}
+
+// withinBounds fails the test if k is outside c's declared bounds or
+// off-ladder.
+func withinBounds(t *testing.T, c *Controller, k Knobs) {
+	t.Helper()
+	lo, hi := c.Bounds()
+	if k.Holdoff < lo.Holdoff || k.Holdoff > hi.Holdoff {
+		t.Fatalf("holdoff %v outside [%v, %v]", k.Holdoff, lo.Holdoff, hi.Holdoff)
+	}
+	if k.Pace < lo.Pace || k.Pace > hi.Pace {
+		t.Fatalf("pace %v outside [%v, %v]", k.Pace, lo.Pace, hi.Pace)
+	}
+	if k.Batch < lo.Batch || k.Batch > hi.Batch {
+		t.Fatalf("batch %d outside [%d, %d]", k.Batch, lo.Batch, hi.Batch)
+	}
+	onLadderDur(t, c.cfg.HoldoffLadder, k.Holdoff)
+	onLadderDur(t, c.cfg.PaceLadder, k.Pace)
+	onLadderInt(t, c.cfg.BatchLadder, k.Batch)
+}
+
+func onLadderDur(t *testing.T, lad []time.Duration, v time.Duration) {
+	t.Helper()
+	for _, r := range lad {
+		if r == v {
+			return
+		}
+	}
+	t.Fatalf("value %v not a ladder rung %v", v, lad)
+}
+
+func onLadderInt(t *testing.T, lad []int, v int) {
+	t.Helper()
+	for _, r := range lad {
+		if r == v {
+			return
+		}
+	}
+	t.Fatalf("value %d not a ladder rung %v", v, lad)
+}
+
+// TestDefaultsAreTheStaticConstants: a fresh controller that has seen
+// nothing decides exactly the paper's static settings.
+func TestDefaultsAreTheStaticConstants(t *testing.T) {
+	c := New(Config{})
+	k := c.Knobs()
+	if k.Holdoff != DefaultHoldoff || k.Pace != DefaultPace || k.Batch != DefaultBatch {
+		t.Fatalf("fresh controller decides %+v, want %v/%v/%d", k, DefaultHoldoff, DefaultPace, DefaultBatch)
+	}
+	if got := PickFIFOSizeBytes(Config{}, 0); got != DefaultFIFO {
+		t.Fatalf("cold FIFO pick = %d, want %d", got, DefaultFIFO)
+	}
+}
+
+// TestConvergence: under any constant offered load, from any reachable
+// starting state, the controller reaches a fixed point within
+// ladder-length + hysteresis epochs and never moves again.
+func TestConvergence(t *testing.T) {
+	rates := []float64{0, 100, 2_000, 4_999, 5_001, 20_000, 49_999, 60_000, 250_000, 2_000_000}
+	rng := rand.New(rand.NewSource(42))
+	for _, r := range rates {
+		for trial := 0; trial < 20; trial++ {
+			c := New(Config{})
+			// Scramble the starting state with a random prefix of
+			// observations, then hold the rate constant.
+			for i := 0; i < 30; i++ {
+				c.Step(obsAt(rng.Float64() * 300_000))
+			}
+			o := obsAt(r)
+			// Worst case: walk the longest ladder end to end, paying the
+			// hysteresis once, plus one regime transition.
+			settle := len(c.cfg.PaceLadder) + len(c.cfg.HoldoffLadder) +
+				len(c.cfg.BatchLadder) + 3*c.cfg.Hysteresis + 2
+			for i := 0; i < settle; i++ {
+				withinBounds(t, c, c.Step(o))
+			}
+			fixed := c.Knobs()
+			for i := 0; i < 50; i++ {
+				if got := c.Step(o); got != fixed {
+					t.Fatalf("rate %.0f trial %d: moved after convergence: %+v -> %+v (epoch %d)",
+						r, trial, fixed, got, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStabilityUnderNoise: a constant load with ±10% multiplicative
+// noise (seeded) converges and then stays put — noise well inside a
+// regime must not wiggle the knobs.
+func TestStabilityUnderNoise(t *testing.T) {
+	for _, base := range []float64{1_000, 20_000, 200_000} {
+		rng := rand.New(rand.NewSource(7))
+		c := New(Config{})
+		for i := 0; i < 40; i++ {
+			noisy := base * (0.9 + 0.2*rng.Float64())
+			withinBounds(t, c, c.Step(obsAt(noisy)))
+		}
+		fixed := c.Knobs()
+		for i := 0; i < 500; i++ {
+			noisy := base * (0.9 + 0.2*rng.Float64())
+			if got := c.Step(obsAt(noisy)); got != fixed {
+				t.Fatalf("base %.0f: knobs moved under ±10%% noise: %+v -> %+v", base, fixed, got)
+			}
+		}
+	}
+}
+
+// TestNoOscillationAtRegimeBoundary: offered load alternating every
+// epoch across a regime threshold (the classic ping-pong input) must
+// not ping-pong the knobs: after a settling window the trajectory
+// changes at most once more, ever.
+func TestNoOscillationAtRegimeBoundary(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	for _, thr := range []float64{cfg.SparseRate, cfg.StreamRate} {
+		c := New(Config{})
+		hi, lo := thr*1.05, thr*0.95
+		settle := 40
+		for i := 0; i < settle; i++ {
+			r := lo
+			if i%2 == 0 {
+				r = hi
+			}
+			withinBounds(t, c, c.Step(obsAt(r)))
+		}
+		changes := 0
+		prev := c.Knobs()
+		for i := 0; i < 1000; i++ {
+			r := lo
+			if i%2 == 0 {
+				r = hi
+			}
+			got := c.Step(obsAt(r))
+			if got != prev {
+				changes++
+				prev = got
+			}
+		}
+		if changes > 1 {
+			t.Fatalf("threshold %.0f: %d knob changes under alternating load, want <=1", thr, changes)
+		}
+	}
+}
+
+// TestReversalHysteresis: a single contradictory epoch in an otherwise
+// steady stream must not reverse a knob.
+func TestReversalHysteresis(t *testing.T) {
+	c := New(Config{})
+	// Drive to the stream regime (batch walks up).
+	for i := 0; i < 20; i++ {
+		c.Step(obsAt(500_000))
+	}
+	k0 := c.Knobs()
+	// One sparse epoch: regime deadband keeps the regime; even if it
+	// didn't, reversal hysteresis requires persistence.
+	k1 := c.Step(obsAt(400_000))
+	if k1 != k0 {
+		t.Fatalf("one dip reversed knobs: %+v -> %+v", k0, k1)
+	}
+}
+
+// TestMonotoneFIFOPick: a higher observed rate never selects a smaller
+// FIFO class, over random rate pairs and random (valid) configs.
+func TestMonotoneFIFOPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfgs := []Config{
+		{},
+		{FIFOClasses: []int{16 << 10, 64 << 10, 256 << 10, 1 << 20}, FIFORates: []float64{1_000, 30_000, 90_000}},
+		{FIFOClasses: []int{64 << 10}},
+	}
+	for ci, cfg := range cfgs {
+		for i := 0; i < 5_000; i++ {
+			a := rng.Float64() * 1e6
+			b := rng.Float64() * 1e6
+			if a > b {
+				a, b = b, a
+			}
+			sa := PickFIFOSizeBytes(cfg, a)
+			sb := PickFIFOSizeBytes(cfg, b)
+			if sb < sa {
+				t.Fatalf("cfg %d: rate %.0f picked %d but higher rate %.0f picked %d", ci, a, sa, b, sb)
+			}
+		}
+		// The pick is always a declared class.
+		full := cfg.WithDefaults()
+		for i := 0; i < 100; i++ {
+			got := PickFIFOSizeBytes(cfg, rng.Float64()*1e6)
+			found := false
+			for _, cl := range full.FIFOClasses {
+				if cl == got {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cfg %d: pick %d not a declared class %v", ci, got, full.FIFOClasses)
+			}
+		}
+	}
+}
+
+// TestPressureLowersPace: sustained backpressure (full FIFO, queued
+// waiters) steps pacing down and batch to max — drain sooner, drain
+// more.
+func TestPressureLowersPace(t *testing.T) {
+	c := New(Config{})
+	o := Observation{RatePPS: 20_000, FIFOUsedFrac: 0.95, WaitingLen: 12}
+	var k Knobs
+	for i := 0; i < 20; i++ {
+		k = c.Step(o)
+	}
+	if k.Pace >= DefaultPace {
+		t.Fatalf("pace %v did not drop under sustained backpressure", k.Pace)
+	}
+	if k.Batch != c.cfg.BatchLadder[len(c.cfg.BatchLadder)-1] {
+		t.Fatalf("batch %d did not max out under sustained backpressure", k.Batch)
+	}
+}
+
+// TestSaturatedDrainBatchRaisesBound: a drain-batch median pinned at
+// the current bound raises the bound.
+func TestSaturatedDrainBatchRaisesBound(t *testing.T) {
+	c := New(Config{})
+	o := Observation{RatePPS: 20_000}
+	o.DrainBatchP50 = float64(c.Knobs().Batch)
+	var k Knobs
+	for i := 0; i < 4; i++ {
+		k = c.Step(o)
+		o.DrainBatchP50 = float64(k.Batch)
+	}
+	if k.Batch <= DefaultBatch {
+		t.Fatalf("batch %d did not rise with a saturated drain median", k.Batch)
+	}
+}
+
+// TestSaturatedConsumerWalksPaceToFloor: when even the top batch rung
+// drains full — the receiver-side backpressure signal — pace must keep
+// stepping down until the floor, and stay there while the saturation
+// persists.
+func TestSaturatedConsumerWalksPaceToFloor(t *testing.T) {
+	c := New(Config{})
+	o := Observation{RatePPS: 200_000}
+	var k Knobs
+	for i := 0; i < 30; i++ {
+		o.DrainBatchP50 = float64(c.Knobs().Batch) // drains always come out full
+		k = c.Step(o)
+		withinBounds(t, c, k)
+	}
+	if k.Batch != c.cfg.BatchLadder[len(c.cfg.BatchLadder)-1] {
+		t.Fatalf("batch %d did not max out under a saturated consumer", k.Batch)
+	}
+	if k.Pace != c.cfg.PaceLadder[0] {
+		t.Fatalf("pace %v did not reach the floor under a saturated consumer", k.Pace)
+	}
+	fixed := k
+	for i := 0; i < 50; i++ {
+		o.DrainBatchP50 = float64(c.Knobs().Batch)
+		if got := c.Step(o); got != fixed {
+			t.Fatalf("saturated-consumer end state is not a fixed point: %+v -> %+v", fixed, got)
+		}
+	}
+}
+
+// TestMixedRegimeKeepsDefaults: rates between the sparse and stream
+// thresholds keep the paper's default knobs regardless of the drain
+// median — the mixed band is deliberately conservative, and only the
+// evidence-driven pressure/saturation rules move knobs off the
+// defaults there.
+func TestMixedRegimeKeepsDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	mixedRate := (cfg.SparseRate + cfg.StreamRate) / 2
+	for _, drain := range []float64{1, 32} {
+		c := New(Config{})
+		var k Knobs
+		for i := 0; i < 30; i++ {
+			k = c.Step(Observation{RatePPS: mixedRate, DrainBatchP50: drain})
+			withinBounds(t, c, k)
+		}
+		if k.Holdoff != DefaultHoldoff || k.Pace != DefaultPace || k.Batch != DefaultBatch {
+			t.Fatalf("mixed rate (drain %v) left the defaults: %+v", drain, k)
+		}
+	}
+}
+
+// TestReplayDeterminism: two controllers fed the same seeded random
+// observation sequence produce bit-identical knob trajectories; a
+// different seed produces a different sequence (sanity that the test
+// can distinguish trajectories at all).
+func TestReplayDeterminism(t *testing.T) {
+	seq := func(seed int64) []Knobs {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{})
+		out := make([]Knobs, 0, 2_000)
+		for i := 0; i < 2_000; i++ {
+			o := Observation{
+				RatePPS:       rng.Float64() * 400_000,
+				FIFOUsedFrac:  rng.Float64(),
+				WaitingLen:    rng.Intn(3),
+				DrainBatchP50: rng.Float64() * 256,
+			}
+			out = append(out, c.Step(o))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(1), seq(1)) {
+		t.Fatal("same seed produced different knob trajectories")
+	}
+	if reflect.DeepEqual(seq(1), seq(2)) {
+		t.Fatal("different seeds produced identical trajectories — test has no power")
+	}
+}
+
+// TestShapeDrivenConvergence: sampling the shared testshape generators
+// into observation sequences drives the expected regime transitions —
+// the property-test view of the same schedules the benchmark offers.
+func TestShapeDrivenConvergence(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	epochNs := int64(cfg.Epoch)
+
+	// Step: sparse -> stream. Batch must end at max, and end-state must
+	// be a fixed point.
+	step := testshape.Step{Before: 500, After: 300_000, AtNs: 50 * epochNs}
+	c := New(Config{})
+	for _, r := range testshape.SampleRates(step, epochNs, 120) {
+		withinBounds(t, c, c.Step(obsAt(r)))
+	}
+	if got := c.Knobs().Batch; got != cfg.BatchLadder[len(cfg.BatchLadder)-1] {
+		t.Fatalf("after sparse->stream step, batch = %d, want max", got)
+	}
+
+	// Ramp up then hold: same end state as the step.
+	ramp := testshape.Ramp{From: 500, To: 300_000, StartNs: 10 * epochNs, DurNs: 60 * epochNs}
+	c2 := New(Config{})
+	for _, r := range testshape.SampleRates(ramp, epochNs, 120) {
+		c2.Step(obsAt(r))
+	}
+	if c2.Knobs() != c.Knobs() {
+		t.Fatalf("ramp end state %+v != step end state %+v", c2.Knobs(), c.Knobs())
+	}
+
+	// Burst around the stream threshold: the deadband must keep the
+	// post-settle trajectory nearly still (at most one change).
+	burst := testshape.Burst{Base: cfg.StreamRate * 0.8, Peak: cfg.StreamRate * 1.2,
+		PeriodNs: 4 * epochNs, BurstNs: 2 * epochNs}
+	c3 := New(Config{})
+	rates := testshape.SampleRates(burst, epochNs, 1_000)
+	for _, r := range rates[:100] {
+		c3.Step(obsAt(r))
+	}
+	changes, prev := 0, c3.Knobs()
+	for _, r := range rates[100:] {
+		if got := c3.Step(obsAt(r)); got != prev {
+			changes++
+			prev = got
+		}
+	}
+	if changes > 1 {
+		t.Fatalf("bursty load around the stream threshold: %d knob changes, want <=1", changes)
+	}
+}

@@ -1,0 +1,109 @@
+// Package testshape defines offered-load shapes on the model-clock
+// timeline: deterministic functions from elapsed time to an offered
+// packet rate. The autotune property tests sample a shape into per-epoch
+// observations; the xlbench autotune experiment paces real senders with
+// the same shape — so "the load the controller was proven against" and
+// "the load the benchmark offers" are one definition, not two that
+// drift apart.
+//
+// Shapes are pure (no clocks, no randomness) so a seeded test that
+// samples one is replayable bit-for-bit.
+package testshape
+
+import "time"
+
+// Shape is an offered-load schedule: RateAt returns the offered rate in
+// packets per second at elapsed ns t (t=0 is the schedule start).
+// Implementations are pure functions of t.
+type Shape interface {
+	RateAt(tNs int64) float64
+}
+
+// Const offers a fixed rate forever.
+type Const struct {
+	PPS float64
+}
+
+// RateAt implements Shape.
+func (c Const) RateAt(int64) float64 { return c.PPS }
+
+// Step offers Before until AtNs, then After: the canonical regime-change
+// input for convergence tests.
+type Step struct {
+	Before, After float64
+	AtNs          int64
+}
+
+// RateAt implements Shape.
+func (s Step) RateAt(tNs int64) float64 {
+	if tNs < s.AtNs {
+		return s.Before
+	}
+	return s.After
+}
+
+// Ramp interpolates linearly from From to To over [StartNs,
+// StartNs+DurNs], holding the endpoints outside the window.
+type Ramp struct {
+	From, To float64
+	StartNs  int64
+	DurNs    int64
+}
+
+// RateAt implements Shape.
+func (r Ramp) RateAt(tNs int64) float64 {
+	if tNs <= r.StartNs || r.DurNs <= 0 {
+		return r.From
+	}
+	if tNs >= r.StartNs+r.DurNs {
+		return r.To
+	}
+	frac := float64(tNs-r.StartNs) / float64(r.DurNs)
+	return r.From + (r.To-r.From)*frac
+}
+
+// Burst alternates Base and Peak: each period of PeriodNs starts with
+// BurstNs at Peak and spends the rest at Base. PeriodNs must be > 0.
+type Burst struct {
+	Base, Peak float64
+	PeriodNs   int64
+	BurstNs    int64
+}
+
+// RateAt implements Shape.
+func (b Burst) RateAt(tNs int64) float64 {
+	if b.PeriodNs <= 0 {
+		return b.Base
+	}
+	if tNs%b.PeriodNs < b.BurstNs {
+		return b.Peak
+	}
+	return b.Base
+}
+
+// Gap returns the inter-packet gap a sender should sleep to offer the
+// shape's rate at time t; 0 when the shape offers no traffic (the
+// caller should idle for IdleStep instead of dividing by zero).
+func Gap(s Shape, tNs int64) time.Duration {
+	r := s.RateAt(tNs)
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(1e9 / r)
+}
+
+// IdleStep is how long a sender should wait before re-sampling a shape
+// that currently offers zero rate.
+const IdleStep = time.Millisecond
+
+// SampleRates evaluates the shape at each epoch midpoint over n epochs
+// of epochNs: the per-epoch offered rate a controller fed from this
+// schedule would observe under perfect measurement. Property tests use
+// this to turn a Shape into an Observation sequence.
+func SampleRates(s Shape, epochNs int64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.RateAt(int64(i)*epochNs + epochNs/2)
+	}
+	return out
+}

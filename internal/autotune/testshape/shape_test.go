@@ -1,0 +1,81 @@
+package testshape
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStep(t *testing.T) {
+	s := Step{Before: 100, After: 9_000, AtNs: 1_000}
+	if got := s.RateAt(0); got != 100 {
+		t.Fatalf("before = %v", got)
+	}
+	if got := s.RateAt(999); got != 100 {
+		t.Fatalf("just before = %v", got)
+	}
+	if got := s.RateAt(1_000); got != 9_000 {
+		t.Fatalf("at = %v", got)
+	}
+}
+
+func TestRampEndpointsAndMonotonicity(t *testing.T) {
+	r := Ramp{From: 10, To: 1_010, StartNs: 100, DurNs: 1_000}
+	if got := r.RateAt(0); got != 10 {
+		t.Fatalf("before start = %v", got)
+	}
+	if got := r.RateAt(5_000); got != 1_010 {
+		t.Fatalf("after end = %v", got)
+	}
+	if got := r.RateAt(600); got != 510 {
+		t.Fatalf("midpoint = %v, want 510", got)
+	}
+	prev := -1.0
+	for tn := int64(0); tn <= 2_000; tn += 50 {
+		v := r.RateAt(tn)
+		if v < prev {
+			t.Fatalf("ramp not monotone at t=%d: %v < %v", tn, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBurstDutyCycle(t *testing.T) {
+	b := Burst{Base: 100, Peak: 10_000, PeriodNs: 1_000, BurstNs: 250}
+	peaks, bases := 0, 0
+	for tn := int64(0); tn < 10_000; tn += 50 {
+		switch b.RateAt(tn) {
+		case 10_000:
+			peaks++
+		case 100:
+			bases++
+		default:
+			t.Fatalf("burst produced a rate that is neither base nor peak")
+		}
+	}
+	if peaks == 0 || bases == 0 {
+		t.Fatalf("burst never alternated: peaks=%d bases=%d", peaks, bases)
+	}
+	if peaks*3 > bases*2 {
+		t.Fatalf("duty cycle off: peaks=%d bases=%d for a 25%% burst", peaks, bases)
+	}
+}
+
+func TestGap(t *testing.T) {
+	if got := Gap(Const{PPS: 1_000_000}, 0); got != time.Microsecond {
+		t.Fatalf("gap at 1Mpps = %v, want 1µs", got)
+	}
+	if got := Gap(Const{PPS: 0}, 0); got != 0 {
+		t.Fatalf("gap at zero rate = %v, want 0", got)
+	}
+}
+
+func TestSampleRatesIsDeterministic(t *testing.T) {
+	s := Burst{Base: 10, Peak: 100, PeriodNs: 7, BurstNs: 3}
+	a := SampleRates(s, 13, 100)
+	b := SampleRates(s, 13, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

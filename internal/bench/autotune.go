@@ -1,0 +1,676 @@
+// Autotune A/B: the self-gating experiment behind `xlbench -exp
+// autotune`. For each workload point (sparse request-response at one and
+// four clients, a saturating stream, and a bursty mix generated from
+// testshape) it measures the adaptive controller against a panel of
+// static knob pins — the paper's defaults plus the controller's own
+// sparse and stream regime targets pinned as single-rung ladders.
+//
+// The enforced gate is no-harm: at every point the adaptive run must
+// match or beat the static-default baseline (controller off, the
+// paper's shipped constants) within a tolerance — turning the
+// controller on may never cost a workload its performance. The best
+// static pin and the adaptive run's margin against it are reported
+// alongside, but are informational: which pin wins a point depends on
+// how the execution environment prices receiver wakeups (on the
+// discrete-event clock every wake charges modeled CPU; on a wall host
+// with idle cores polling is nearly free), so "beat every pin on every
+// clock" is not a property any fixed policy can have. A second
+// sub-experiment exercises the creation-time FIFO class pick — a hot
+// flow whose channel is torn down by an advertisement flap must re-form
+// with a larger ring than it was born with — and that one must pass
+// outright on both clocks.
+//
+// cmd/xlbench -exp autotune writes the result to BENCH_autotune.json.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/autotune/testshape"
+	"repro/internal/netstack"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// autotuneVariant is one column of the A/B: a knob policy.
+type autotuneVariant struct {
+	name string
+	cfg  *autotune.Config // nil = controller off (paper static defaults)
+}
+
+// pinKnobs builds a config whose ladders have a single rung: the
+// controller is live but can never move, so the variant measures a pure
+// static knob setting through the exact same code path the adaptive run
+// uses. FIFO classes are pinned to the default so only datapath knobs
+// differ between variants.
+func pinKnobs(holdoff, pace time.Duration, batch int) *autotune.Config {
+	return &autotune.Config{
+		HoldoffLadder: []time.Duration{holdoff},
+		PaceLadder:    []time.Duration{pace},
+		BatchLadder:   []int{batch},
+		FIFOClasses:   []int{autotune.DefaultFIFO},
+	}
+}
+
+// autotuneVariants is the static panel plus the adaptive controller. The
+// pins are the controller's own regime targets: "best static" is then
+// exactly the setting the controller is trying to converge to, measured
+// without the convergence transient.
+func autotuneVariants() []autotuneVariant {
+	return []autotuneVariant{
+		{name: "static-default", cfg: nil},
+		{name: "static-sparse", cfg: pinKnobs(50*time.Microsecond, 5*time.Microsecond, 64)},
+		{name: "static-stream", cfg: pinKnobs(autotune.DefaultHoldoff, autotune.DefaultPace, 1024)},
+		{name: "adaptive", cfg: &autotune.Config{}},
+	}
+}
+
+// adaptiveVariantName is the row the gate compares against the
+// baselineVariantName (controller off) column.
+const adaptiveVariantName = "adaptive"
+const baselineVariantName = "static-default"
+
+// AutotunePoint is one workload's A/B row.
+type AutotunePoint struct {
+	Name         string             `json:"name"`
+	Metric       string             `json:"metric"`
+	HigherBetter bool               `json:"higher_better"`
+	// Values maps variant name -> measured value: the single deterministic
+	// trial on the virtual clock, the best of autotuneWallIters alternated
+	// trials on the wall clock.
+	Values map[string]float64 `json:"values"`
+
+	// BestStatic / BestStaticValue / DeltaPct report the strongest pin of
+	// the panel and the adaptive run's signed margin against it (positive
+	// is better). Informational — see the package comment.
+	BestStatic      string  `json:"best_static"`
+	BestStaticValue float64 `json:"best_static_value"`
+	AdaptiveValue   float64 `json:"adaptive_value"`
+	DeltaPct        float64 `json:"delta_pct"`
+
+	// BaselineValue is the static-default (controller off) measurement and
+	// DeltaVsDefaultPct the adaptive margin against it; the Pass gate is
+	// adaptive-within-tolerance-of-baseline.
+	BaselineValue     float64 `json:"baseline_value"`
+	DeltaVsDefaultPct float64 `json:"delta_vs_default_pct"`
+	Pass              bool    `json:"pass"`
+
+	// Controller state sampled mid-measurement-window during the adaptive
+	// run (falling back to the end-of-run state if the run finished
+	// first), plus that run's epoch/change counters.
+	AdaptiveHoldoffUs float64 `json:"adaptive_holdoff_us"`
+	AdaptivePaceUs    float64 `json:"adaptive_pace_us"`
+	AdaptiveBatch     int     `json:"adaptive_batch"`
+	TuneEpochs        uint64  `json:"tune_epochs"`
+	TuneChanges       uint64  `json:"tune_changes"`
+}
+
+// FIFORelearnResult is the creation-time FIFO pick sub-experiment.
+type FIFORelearnResult struct {
+	ColdFIFOBytes int  `json:"cold_fifo_bytes"` // first channel, no rate observed
+	WarmFIFOBytes int  `json:"warm_fifo_bytes"` // re-formed channel of a hot flow
+	Pass          bool `json:"pass"`
+}
+
+// AutotuneResult aggregates the experiment; Pass is the overall gate.
+type AutotuneResult struct {
+	Profile      string            `json:"profile"`
+	Virtual      bool              `json:"virtual"`
+	TolerancePct float64           `json:"tolerance_pct"`
+	Points       []AutotunePoint   `json:"points"`
+	FIFORelearn  FIFORelearnResult `json:"fifo_relearn"`
+	Pass         bool              `json:"pass"`
+}
+
+// autotuneTolerance is the gate's relative tolerance (the ISSUE's 5%).
+const autotuneTolerance = 0.05
+
+// autotuneLatencySlackUs is an absolute slack floor for microsecond-scale
+// latency gates: 5% of a 10µs median is far below scheduler noise, and a
+// gate that flakes on 0.5µs teaches nothing.
+const autotuneLatencySlackUs = 5.0
+
+// autotuneWallIters is the trial count per variant on the wall clock.
+// Same idiom as the datapath overhead guard: wall numbers on a shared
+// box swing several percent run to run (contention noise is one-sided —
+// it only ever slows a run down), so each variant is measured best-of-3
+// with the variants alternated between trials. The virtual clock is
+// deterministic, so one trial suffices there.
+const autotuneWallIters = 3
+
+const autotuneBgPort = 5601
+
+// autotunePacedRR runs `senders` request-response clients, each pacing
+// one transaction every `gap`, and returns all measured round-trip
+// samples taken after the warmup window. Pacing and timestamps ride the
+// pair's model clock, so the point runs under both wall and virtual time.
+func autotunePacedRR(p *testbed.Pair, senders int, gap, warmup, dur time.Duration) ([]time.Duration, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	srv, err := b.Stack.ListenUDP(port)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, src, err := srv.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if _, err := srv.WriteTo(buf[:n], src); err != nil {
+				return
+			}
+		}
+	}()
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		all    []time.Duration
+		outErr error
+	)
+	model := a.Stack.Model()
+	measureStart := model.NowNs() + int64(warmup)
+	end := measureStart + int64(dur)
+	for i := 0; i < senders; i++ {
+		cli, err := a.Stack.ListenUDP(0)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(cli *netstack.UDPConn) {
+			defer wg.Done()
+			defer cli.Close()
+			req := []byte{0x7a}
+			resp := make([]byte, 256)
+			srvAddr := netstack.Addr{IP: b.IP, Port: port}
+			samples := make([]time.Duration, 0, 4096)
+			for model.NowNs() < end {
+				t0 := model.NowNs()
+				if _, err := cli.WriteTo(req, srvAddr); err != nil {
+					break
+				}
+				_ = cli.SetReadDeadline(model.Now().Add(2 * time.Second))
+				if _, _, err := cli.ReadFrom(resp); err != nil {
+					mu.Lock()
+					if outErr == nil {
+						outErr = fmt.Errorf("autotune rr: response lost: %w", err)
+					}
+					mu.Unlock()
+					break
+				}
+				if t0 >= measureStart {
+					samples = append(samples, time.Duration(model.NowNs()-t0))
+				}
+				model.Sleep(gap)
+			}
+			mu.Lock()
+			all = append(all, samples...)
+			mu.Unlock()
+		}(cli)
+	}
+	wg.Wait()
+	if outErr == nil && len(all) == 0 {
+		outErr = fmt.Errorf("autotune rr: no samples measured")
+	}
+	return all, outErr
+}
+
+var autotuneEndMarker = []byte("XLTUNE_END")
+
+// autotuneStreamMbps saturates the channel with msgSize datagrams and
+// returns the goodput measured at the receiver over the post-warmup
+// window, on the model clock.
+func autotuneStreamMbps(p *testbed.Pair, msgSize int, warmup, dur time.Duration) (float64, error) {
+	a, b := endpoints(p)
+	port := nextPort()
+	srv, err := b.Stack.ListenUDP(port)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	model := a.Stack.Model()
+	t0 := model.NowNs() + int64(warmup)
+	t1 := t0 + int64(dur)
+	done := make(chan int64, 1)
+	go func() {
+		var total int64
+		buf := make([]byte, 64<<10)
+		for {
+			_ = srv.SetReadDeadline(model.Now().Add(2 * time.Second))
+			n, _, err := srv.ReadFrom(buf)
+			if err != nil {
+				break
+			}
+			if n == len(autotuneEndMarker) && string(buf[:n]) == string(autotuneEndMarker) {
+				break
+			}
+			if now := model.NowNs(); now >= t0 && now < t1 {
+				total += int64(n)
+			}
+		}
+		done <- total
+	}()
+
+	cli, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		return 0, err
+	}
+	defer cli.Close()
+	msg := make([]byte, msgSize)
+	addr := netstack.Addr{IP: b.IP, Port: port}
+	var sent int
+	for model.NowNs() < t1 {
+		if _, err := cli.WriteTo(msg, addr); err != nil {
+			return 0, err
+		}
+		sent++
+		if model.Virtual() && sent%32 == 0 {
+			// Let virtual consumers run; an unpaced producer would grow the
+			// waiting list faster than virtual time advances.
+			model.Sleep(2 * time.Microsecond)
+		}
+	}
+	model.Sleep(20 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		_, _ = cli.WriteTo(autotuneEndMarker, addr)
+		model.Sleep(2 * time.Millisecond)
+	}
+	total := <-done
+	if total == 0 {
+		return 0, fmt.Errorf("autotune stream: nothing delivered in the measured window")
+	}
+	return float64(total) * 8 / (float64(dur) / float64(time.Second)) / 1e6, nil
+}
+
+// autotuneBurstP95 runs a background sender paced by a testshape schedule
+// while a single paced probe client measures round trips; returns the
+// probe's post-warmup P95 in microseconds. The shape alternates sparse
+// and streaming regimes, which is the case static pins cannot serve with
+// one setting.
+func autotuneBurstP95(p *testbed.Pair, shape testshape.Shape, warmup, dur time.Duration) (float64, error) {
+	a, b := endpoints(p)
+	sink, err := b.Stack.ListenUDP(autotuneBgPort)
+	if err != nil {
+		return 0, err
+	}
+	defer sink.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, _, err := sink.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	model := a.Stack.Model()
+	base := model.NowNs()
+	end := base + int64(warmup) + int64(dur)
+	bg, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		return 0, err
+	}
+	stop := make(chan struct{})
+	var bgWg sync.WaitGroup
+	bgWg.Add(1)
+	go func() {
+		defer bgWg.Done()
+		defer bg.Close()
+		msg := make([]byte, 1024)
+		addr := netstack.Addr{IP: b.IP, Port: autotuneBgPort}
+		var credit time.Duration
+		for model.NowNs() < end {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := bg.WriteTo(msg, addr); err != nil {
+				model.Sleep(time.Millisecond)
+				continue
+			}
+			g := testshape.Gap(shape, model.NowNs()-base)
+			if g == 0 {
+				g = testshape.IdleStep
+			}
+			// Credit pacing: accumulate per-packet gaps and sleep in chunks
+			// the clock can actually resolve.
+			credit += g
+			if credit >= 200*time.Microsecond {
+				model.Sleep(credit)
+				credit = 0
+			}
+		}
+	}()
+
+	samples, err := autotunePacedRR(p, 1, time.Millisecond, warmup, dur)
+	close(stop)
+	bgWg.Wait()
+	if err != nil {
+		return 0, err
+	}
+	return stats.Micros(stats.Summarize(samples).P95), nil
+}
+
+// autotunePointSpec is one workload point of the matrix.
+type autotunePointSpec struct {
+	name         string
+	metric       string
+	higherBetter bool
+	slack        float64 // absolute gate slack in the metric's unit
+	run          func(p *testbed.Pair, warmup, dur time.Duration) (float64, error)
+}
+
+func autotunePointSpecs() []autotunePointSpec {
+	rrP50 := func(senders int) func(p *testbed.Pair, warmup, dur time.Duration) (float64, error) {
+		return func(p *testbed.Pair, warmup, dur time.Duration) (float64, error) {
+			samples, err := autotunePacedRR(p, senders, time.Millisecond, warmup, dur)
+			if err != nil {
+				return 0, err
+			}
+			return stats.Micros(stats.Summarize(samples).P50), nil
+		}
+	}
+	burstShape := testshape.Burst{
+		Base:     500,
+		Peak:     80_000,
+		PeriodNs: int64(40 * time.Millisecond),
+		BurstNs:  int64(10 * time.Millisecond),
+	}
+	return []autotunePointSpec{
+		{
+			name: "rr_sparse_1", metric: "p50_us", higherBetter: false,
+			slack: autotuneLatencySlackUs, run: rrP50(1),
+		},
+		{
+			name: "rr_sparse_4", metric: "p50_us", higherBetter: false,
+			slack: autotuneLatencySlackUs, run: rrP50(4),
+		},
+		{
+			name: "stream_16k", metric: "mbps", higherBetter: true,
+			run: func(p *testbed.Pair, warmup, dur time.Duration) (float64, error) {
+				return autotuneStreamMbps(p, 16*1024, warmup, dur)
+			},
+		},
+		{
+			name: "burst_mix", metric: "probe_p95_us", higherBetter: false,
+			slack: 4 * autotuneLatencySlackUs, // tail metric: noisier than a median
+			run: func(p *testbed.Pair, warmup, dur time.Duration) (float64, error) {
+				return autotuneBurstP95(p, burstShape, warmup, dur)
+			},
+		},
+	}
+}
+
+// autotuneGatePass applies the tolerance-with-slack gate.
+func autotuneGatePass(higherBetter bool, adaptive, best, slack float64) bool {
+	if higherBetter {
+		return adaptive >= best*(1-autotuneTolerance)-slack
+	}
+	return adaptive <= best*(1+autotuneTolerance)+slack
+}
+
+// AutotuneAB runs the adaptive-versus-static matrix and the FIFO relearn
+// sub-experiment. The returned result's Pass field is the gate; the
+// caller (xlbench) turns a false into a non-zero exit.
+func AutotuneAB(o ExpOptions) (AutotuneResult, error) {
+	o = o.withDefaults()
+	o, stopVirtual := o.virtualize()
+	defer stopVirtual()
+	r := AutotuneResult{
+		Profile:      profileName(o),
+		Virtual:      o.Virtual,
+		TolerancePct: autotuneTolerance * 100,
+		Pass:         true,
+	}
+	warmup := o.Duration / 2
+
+	for _, spec := range autotunePointSpecs() {
+		pt := AutotunePoint{
+			Name:         spec.name,
+			Metric:       spec.metric,
+			HigherBetter: spec.higherBetter,
+			Values:       map[string]float64{},
+		}
+		iters := 1
+		if !o.Virtual {
+			iters = autotuneWallIters
+		}
+		for trial := 0; trial < iters; trial++ {
+			for _, v := range autotuneVariants() {
+				po := o
+				po.Autotune = v.cfg
+				p, err := po.pair(testbed.XenLoop)
+				if err != nil {
+					return r, fmt.Errorf("autotune %s/%s: build pair: %w", spec.name, v.name, err)
+				}
+				// Sample the adaptive run's knobs mid-measurement-window: the
+				// end-of-run state is misleading (the sender has stopped, the
+				// regime has already decayed toward sparse by the time the
+				// snapshot runs).
+				var midKnobs chan [3]float64
+				if v.name == adaptiveVariantName {
+					midKnobs = make(chan [3]float64, 1)
+					ep, _ := endpoints(p)
+					go func() {
+						ep.Stack.Model().Sleep(warmup + o.Duration/2)
+						s := p.A.VM.XL.Snapshot()
+						if len(s.Channels) == 1 {
+							midKnobs <- [3]float64{
+								float64(s.Channels[0].Holdoff) / float64(time.Microsecond),
+								float64(s.Channels[0].Pace) / float64(time.Microsecond),
+								float64(s.Channels[0].Batch),
+							}
+						}
+					}()
+				}
+				val, err := spec.run(p, warmup, o.Duration)
+				if err == nil && v.name == adaptiveVariantName {
+					s := p.A.VM.XL.Snapshot()
+					pt.TuneEpochs, pt.TuneChanges = s.TuneEpochs, s.TuneChanges
+					if len(s.Channels) == 1 {
+						pt.AdaptiveHoldoffUs = float64(s.Channels[0].Holdoff) / float64(time.Microsecond)
+						pt.AdaptivePaceUs = float64(s.Channels[0].Pace) / float64(time.Microsecond)
+						pt.AdaptiveBatch = s.Channels[0].Batch
+					}
+					select {
+					case k := <-midKnobs:
+						pt.AdaptiveHoldoffUs, pt.AdaptivePaceUs, pt.AdaptiveBatch = k[0], k[1], int(k[2])
+					default:
+					}
+				}
+				p.Close()
+				if err != nil {
+					return r, fmt.Errorf("autotune %s/%s: %w", spec.name, v.name, err)
+				}
+				cur, seen := pt.Values[v.name]
+				if !seen || (spec.higherBetter && val > cur) || (!spec.higherBetter && val < cur) {
+					pt.Values[v.name] = val
+				}
+			}
+		}
+
+		pt.AdaptiveValue = pt.Values[adaptiveVariantName]
+		first := true
+		for _, v := range autotuneVariants() {
+			if v.name == adaptiveVariantName {
+				continue
+			}
+			val := pt.Values[v.name]
+			better := val > pt.BestStaticValue
+			if !spec.higherBetter {
+				better = val < pt.BestStaticValue
+			}
+			if first || better {
+				pt.BestStatic, pt.BestStaticValue = v.name, val
+				first = false
+			}
+		}
+		if pt.BestStaticValue != 0 {
+			pt.DeltaPct = (pt.AdaptiveValue/pt.BestStaticValue - 1) * 100
+			if !spec.higherBetter {
+				pt.DeltaPct = -pt.DeltaPct
+			}
+		}
+		pt.BaselineValue = pt.Values[baselineVariantName]
+		if pt.BaselineValue != 0 {
+			pt.DeltaVsDefaultPct = (pt.AdaptiveValue/pt.BaselineValue - 1) * 100
+			if !spec.higherBetter {
+				pt.DeltaVsDefaultPct = -pt.DeltaVsDefaultPct
+			}
+		}
+		pt.Pass = autotuneGatePass(spec.higherBetter, pt.AdaptiveValue, pt.BaselineValue, spec.slack)
+		if !pt.Pass {
+			r.Pass = false
+		}
+		r.Points = append(r.Points, pt)
+	}
+
+	fr, err := autotuneFIFORelearn(o)
+	if err != nil {
+		return r, err
+	}
+	r.FIFORelearn = fr
+	if !fr.Pass {
+		r.Pass = false
+	}
+	return r, nil
+}
+
+// autotuneFIFORelearn drives a flow hot, tears its channel down with an
+// advertisement flap, and checks that the re-formed channel's FIFO was
+// sized from the observed rate class rather than the cold default. The
+// rate thresholds are scaled down so the test flow's demonstrated rate
+// clears the top class under both clocks.
+func autotuneFIFORelearn(o ExpOptions) (FIFORelearnResult, error) {
+	res := FIFORelearnResult{}
+	po := o
+	po.Autotune = &autotune.Config{FIFORates: []float64{500, 2000}}
+	p, err := po.pair(testbed.XenLoop)
+	if err != nil {
+		return res, fmt.Errorf("autotune relearn: build pair: %w", err)
+	}
+	defer p.Close()
+	a, b := endpoints(p)
+	model := a.Stack.Model()
+
+	snap := p.A.VM.XL.Snapshot()
+	if len(snap.Channels) != 1 {
+		return res, fmt.Errorf("autotune relearn: %d channels after build", len(snap.Channels))
+	}
+	res.ColdFIFOBytes = snap.Channels[0].FIFOSizeBytes
+
+	// Echo load A<->B, running through the flap so the flow's rate window
+	// stays warm while the channel is away.
+	port := nextPort()
+	srv, err := b.Stack.ListenUDP(port)
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, src, err := srv.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if _, err := srv.WriteTo(buf[:n], src); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		return res, err
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer cli.Close()
+		req := []byte{0x7b}
+		resp := make([]byte, 256)
+		addr := netstack.Addr{IP: b.IP, Port: port}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := cli.WriteTo(req, addr); err != nil {
+				model.Sleep(time.Millisecond)
+				continue
+			}
+			_ = cli.SetReadDeadline(model.Now().Add(500 * time.Millisecond))
+			_, _, _ = cli.ReadFrom(resp)
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	// Let the flow demonstrate its rate.
+	model.Sleep(300 * time.Millisecond)
+
+	// Flap B's advertisement. A's next roster apply tears the channel
+	// down — but the echo traffic is still running, so B re-requests the
+	// channel immediately and A accepts the handshake ("trust the
+	// handshake" re-adds the peer even though the ad is gone). The down
+	// state is therefore too brief to observe; instead the opened/closed
+	// counters prove a teardown-and-rebuild happened, and the rebuilt
+	// channel's FIFO size proves the listener's pick saw the hot rate.
+	vmB := p.B.VM
+	path := vmB.Dom.StorePath() + "/xenloop"
+	val, err := vmB.Dom.StoreRead(path)
+	if err != nil {
+		return res, fmt.Errorf("autotune relearn: read advertisement: %w", err)
+	}
+	if err := vmB.Dom.StoreRemove(path); err != nil {
+		return res, fmt.Errorf("autotune relearn: flap advertisement: %w", err)
+	}
+	closed0, opened0 := snap.ChannelsClosed, snap.ChannelsOpened
+	// Force rounds while waiting: a periodic scan that read the store
+	// just before the remove can apply its stale roster after our manual
+	// one, and only a fresh round supersedes it.
+	gone := model.NowNs() + int64(5*time.Second)
+	for model.NowNs() < gone {
+		p.A.VM.Machine.Discovery.Scan()
+		s := p.A.VM.XL.Snapshot()
+		if s.ChannelsClosed > closed0 && s.ChannelsOpened > opened0 {
+			break
+		}
+		model.Sleep(5 * time.Millisecond)
+	}
+	if err := vmB.Dom.StoreWrite(path, val); err != nil {
+		return res, fmt.Errorf("autotune relearn: restore advertisement: %w", err)
+	}
+	back := model.NowNs() + int64(10*time.Second)
+	for !p.A.VM.XL.HasChannelTo(vmB.MAC) && model.NowNs() < back {
+		p.A.VM.Machine.Discovery.Scan()
+		model.Sleep(5 * time.Millisecond)
+	}
+	finalSnap := p.A.VM.XL.Snapshot()
+	if finalSnap.ChannelsClosed == closed0 || finalSnap.ChannelsOpened == opened0 {
+		return res, fmt.Errorf("autotune relearn: flap did not rebuild the channel (closed %d->%d, opened %d->%d)",
+			closed0, finalSnap.ChannelsClosed, opened0, finalSnap.ChannelsOpened)
+	}
+	if !p.A.VM.XL.HasChannelTo(vmB.MAC) {
+		return res, fmt.Errorf("autotune relearn: channel did not re-form")
+	}
+
+	snap = p.A.VM.XL.Snapshot()
+	for _, cs := range snap.Channels {
+		if cs.Peer.MAC == vmB.MAC {
+			res.WarmFIFOBytes = cs.FIFOSizeBytes
+		}
+	}
+	res.Pass = res.WarmFIFOBytes > res.ColdFIFOBytes
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// vopts builds virtual-clock options. The calibrated profile is what
+// gives the virtual engine its costs: with the "off" profile nothing
+// ever charges, so virtual time cannot move through work and a virtual
+// run would stall.
+func vopts(dur time.Duration) ExpOptions {
+	return ExpOptions{Model: costmodel.Calibrated(), Duration: dur, Iters: 10, Virtual: true}
+}
+
+// TestAutotuneFIFORelearn: the creation-time FIFO pick sub-experiment
+// must re-form a hot flow's channel with a larger ring after an
+// advertisement flap. Run on the virtual clock so CI timing does not
+// leak into the rate the pick observes.
+func TestAutotuneFIFORelearn(t *testing.T) {
+	o, stop := vopts(80 * time.Millisecond).withDefaults().virtualize()
+	defer stop()
+	res, err := autotuneFIFORelearn(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("relearn did not grow the FIFO: cold %d -> warm %d", res.ColdFIFOBytes, res.WarmFIFOBytes)
+	}
+	if res.ColdFIFOBytes != 64*1024 {
+		t.Fatalf("cold pick = %d, want the 64 KiB default", res.ColdFIFOBytes)
+	}
+}
+
+// TestAutotuneABShortVirtual: one short full A/B matrix on the virtual
+// clock — every variant and point must produce a measurement and the
+// adaptive run must report controller activity. The performance gate
+// itself is xlbench's job; this test proves the harness works.
+func TestAutotuneABShortVirtual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full A/B matrix in -short")
+	}
+	res, err := AutotuneAB(vopts(100 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if len(pt.Values) != 4 {
+			t.Fatalf("%s: %d variant values, want 4", pt.Name, len(pt.Values))
+		}
+		for v, val := range pt.Values {
+			if val <= 0 {
+				t.Fatalf("%s/%s: non-positive measurement %v", pt.Name, v, val)
+			}
+		}
+		if pt.TuneEpochs == 0 {
+			t.Fatalf("%s: adaptive run observed zero controller epochs", pt.Name)
+		}
+	}
+	if !res.FIFORelearn.Pass {
+		t.Fatalf("fifo relearn failed: %+v", res.FIFORelearn)
+	}
+}

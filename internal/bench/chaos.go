@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/buf"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -69,6 +70,13 @@ type ChaosOptions struct {
 	// satisfy every transparency invariant: evicted flows fall back to
 	// the standard path losslessly.
 	BudgetPressure bool
+	// Tuning runs every module with the autotune controller enabled
+	// (rate thresholds scaled down so the soak's traffic actually moves
+	// knobs), asserting the same transparency invariants while the
+	// controller re-schedules the datapath mid-migration and
+	// mid-eviction. A run in which the controller never ran an epoch or
+	// never changed a knob exercised nothing and is itself a violation.
+	Tuning bool
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -80,6 +88,18 @@ const (
 	pressureGrantPages  = 2 // exactly one created channel's FIFO pages
 	pressureIdle        = 150 * time.Millisecond
 )
+
+// chaosTuneConfig is the controller config tuning soaks run under: the
+// default knob ladders, but rate thresholds scaled down to the soak's
+// paced senders so the schedule's bursts and lulls actually cross regime
+// boundaries, and a short epoch so decisions land mid-churn.
+func chaosTuneConfig() *autotune.Config {
+	return &autotune.Config{
+		Epoch:      5 * time.Millisecond,
+		SparseRate: 50,
+		StreamRate: 500,
+	}
+}
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
 	if o.Duration <= 0 {
@@ -131,6 +151,9 @@ type ChaosResult struct {
 	Evictions    uint64 // lifecycle evictions (budget, grants, idleness)
 	Refusals     uint64 // admissions refused (nothing evictable / holddown)
 	MaxGrantPeak int    // highest per-module grant-page peak observed
+
+	TuneEpochs  uint64 // controller epochs, summed over modules (Tuning runs)
+	TuneChanges uint64 // knob changes applied, summed over modules
 
 	Violations []ChaosViolation
 }
@@ -241,6 +264,9 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 			GrantPageBudget: pressureGrantPages,
 			IdleTimeout:     pressureIdle,
 		}
+	}
+	if o.Tuning {
+		tbOpts.Core.Autotune = chaosTuneConfig()
 	}
 	tb := testbed.New(tbOpts)
 	defer tb.Close()
@@ -530,6 +556,8 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 		res.PktsPurged += s.PktsPurged
 		res.Evictions += s.ChannelsEvicted
 		res.Refusals += s.ChannelsRefused
+		res.TuneEpochs += s.TuneEpochs
+		res.TuneChanges += s.TuneChanges
 		if s.GrantPagesPeak > res.MaxGrantPeak {
 			res.MaxGrantPeak = s.GrantPagesPeak
 		}
@@ -546,6 +574,16 @@ func Chaos(o ChaosOptions) (ChaosResult, error) {
 		if res.MaxGrantPeak > pressureGrantPages {
 			violate("grant-budget", "grant-page peak %d exceeds budget %d",
 				res.MaxGrantPeak, pressureGrantPages)
+		}
+	}
+	if o.Tuning {
+		// Same anti-vacuity rule: a tuning soak whose controller never ran
+		// or never moved a knob asserted nothing about knob churn.
+		if res.TuneEpochs == 0 {
+			violate("tuning-inactive", "no controller epochs ran during the soak")
+		}
+		if res.TuneChanges == 0 {
+			violate("tuning-inactive", "controller ran %d epochs but never changed a knob", res.TuneEpochs)
 		}
 	}
 

@@ -42,6 +42,14 @@ type DeterministicOptions struct {
 	// Packets is the number of measured datagrams per round (0 = 48),
 	// sent round-robin over all ordered VM pairs.
 	Packets int
+	// Tuning enables the autotune controller on every module (the chaos
+	// soak's scaled-down thresholds). The result then carries every
+	// module's knob-change trajectory, which must replay bit-identically
+	// for the same seed: controller epochs fire at deterministic virtual
+	// times, channels are visited in MAC order, and each decision is a
+	// pure function of the observation — so the trajectory is as
+	// replayable as the counter snapshot.
+	Tuning bool
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -81,6 +89,17 @@ type DeterministicResult struct {
 	AdFlaps        int
 	FaultsArmed    int
 	Violations     []ChaosViolation
+	// KnobTrajectories is each module's recorded knob-change sequence
+	// (Tuning runs only), one entry per VM in name order. Two same-seed
+	// runs must produce deeply equal slices.
+	KnobTrajectories []VMTrajectory
+}
+
+// VMTrajectory is one module's applied knob-change decisions, in order.
+type VMTrajectory struct {
+	VM        string
+	Decisions []core.TuneDecision
+	Dropped   uint64 // decisions not recorded past the trajectory cap
 }
 
 // addSnap accumulates b into a field-wise.
@@ -122,10 +141,14 @@ func ChaosDeterministic(o DeterministicOptions) (DeterministicResult, error) {
 	// no background announcement can land inside a measured window.
 	// NotifyEveryPush pins the event count per packet: with suppression
 	// on, whether a push finds the consumer parked depends on timing.
+	coreCfg := core.Config{NotifyEveryPush: true}
+	if o.Tuning {
+		coreCfg.Autotune = chaosTuneConfig()
+	}
 	tb := testbed.New(testbed.Options{
 		Model:           model,
 		DiscoveryPeriod: time.Hour,
-		Core:            core.Config{NotifyEveryPush: true},
+		Core:            coreCfg,
 	})
 	defer tb.Close()
 
@@ -367,6 +390,18 @@ func ChaosDeterministic(o DeterministicOptions) (DeterministicResult, error) {
 	}
 
 	res.Delivered = delivered.Load()
+	if o.Tuning {
+		// Collect before Detach (which stops the tuner); vms is already in
+		// creation order, which is name order.
+		for _, vm := range vms {
+			traj, dropped := vm.XL.TuneTrajectory()
+			res.KnobTrajectories = append(res.KnobTrajectories, VMTrajectory{
+				VM:        vm.Name,
+				Decisions: traj,
+				Dropped:   dropped,
+			})
+		}
+	}
 	for _, c := range closers {
 		c()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/stats"
@@ -25,6 +26,10 @@ type ExpOptions struct {
 	// DisableLatencyMetrics turns off the per-packet datapath latency
 	// instrumentation (the overhead A/B in the datapath experiment).
 	DisableLatencyMetrics bool
+	// Autotune enables the per-channel feedback controller on every
+	// module the experiment builds (nil = static knobs, the paper
+	// baseline). The autotune experiment sets this per variant.
+	Autotune *autotune.Config
 	// Scenarios restricts which scenarios run (nil = all four).
 	Scenarios []testbed.Scenario
 	// Virtual runs the experiment on the discrete-event clock: durations
@@ -69,6 +74,7 @@ func (o ExpOptions) pair(s testbed.Scenario) (*testbed.Pair, error) {
 		Core: core.Config{
 			FIFOSizeBytes:         o.FIFOSizeBytes,
 			DisableLatencyMetrics: o.DisableLatencyMetrics,
+			Autotune:              o.Autotune,
 		},
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/buf"
 	"repro/internal/faultinject"
 	"repro/internal/fifo"
@@ -85,6 +86,36 @@ type Channel struct {
 	// found the bit set.
 	refBit     atomic.Bool
 	lastActive atomic.Int64
+
+	// Receive-scheduling knobs. Historically the compile-time constants
+	// below; now per-channel atomics initialized to those constants and
+	// rewritten only by the autotune epoch loop (module.tuneOnce), so a
+	// module without a controller behaves bit-for-bit as before. The
+	// worker reads them once per loop pass, never per packet.
+	knobHoldoffNs atomic.Int64
+	knobPaceNs    atomic.Int64
+	knobBatch     atomic.Int32
+
+	// Per-epoch traffic counters for the controller's rate estimate,
+	// swapped to zero by each tuning epoch. Bumped only when tuning is
+	// enabled (Module.tuneOn), so the default datapath pays one
+	// predictable branch.
+	txEpoch atomic.Uint64
+	rxEpoch atomic.Uint64
+
+	// tuner is this channel's feedback controller (nil unless the module
+	// enables autotuning). Only the module's tuning goroutine calls it.
+	tuner *autotune.Controller
+}
+
+// holdoff / pace / drainBatch read the channel's current knob settings.
+func (ch *Channel) holdoff() time.Duration { return time.Duration(ch.knobHoldoffNs.Load()) }
+func (ch *Channel) pace() time.Duration    { return time.Duration(ch.knobPaceNs.Load()) }
+func (ch *Channel) drainBatch() int        { return int(ch.knobBatch.Load()) }
+
+// Knobs returns the channel's live receive-scheduling settings.
+func (ch *Channel) Knobs() autotune.Knobs {
+	return autotune.Knobs{Holdoff: ch.holdoff(), Pace: ch.pace(), Batch: ch.drainBatch()}
 }
 
 // Connected reports whether the channel carries data traffic.
@@ -140,6 +171,9 @@ func (ch *Channel) send(op *netstack.OutPacket) netstack.Verdict {
 		if pushed {
 			m.model.ChargeCopy(len(datagram)) // sender-side copy onto the FIFO
 			m.stats.PktsChannel.Add(1)
+			if m.tuneOn {
+				ch.txEpoch.Add(1)
+			}
 			m.stats.BytesChannel.Add(uint64(len(datagram)))
 			m.countJumbo(len(datagram))
 			if t0 != 0 {
@@ -179,6 +213,9 @@ func (ch *Channel) enqueueWaiting(op *netstack.OutPacket, t0 int64) netstack.Ver
 			ch.waitMu.Unlock()
 			m.model.ChargeCopy(len(op.Datagram))
 			m.stats.PktsChannel.Add(1)
+			if m.tuneOn {
+				ch.txEpoch.Add(1)
+			}
 			m.stats.BytesChannel.Add(uint64(len(op.Datagram)))
 			m.countJumbo(len(op.Datagram))
 			if t0 != 0 {
@@ -227,12 +264,14 @@ func (ch *Channel) event() {
 	}
 }
 
-// rxHoldoff is how long the worker stays in polling mode after its queues
-// run dry before re-arming event notification (NAPI-style interrupt
-// mitigation). The window comfortably exceeds a saturating sender's
-// inter-packet gap, so steady streams are served entirely by polling —
-// event-channel traffic then only signals genuine transitions: first
-// packet after idle, and ring-full producer stalls.
+// rxHoldoff is the default NAPI poll window: how long the worker stays
+// in polling mode after its queues run dry before re-arming event
+// notification (NAPI-style interrupt mitigation). The window comfortably
+// exceeds a saturating sender's inter-packet gap, so steady streams are
+// served entirely by polling — event-channel traffic then only signals
+// genuine transitions: first packet after idle, and ring-full producer
+// stalls. Per-channel knob since the autotune controller; the
+// default-drift test pins this value to autotune.DefaultHoldoff.
 const rxHoldoff = 25 * time.Microsecond
 
 // worker is the channel's receive/waiting-list goroutine.
@@ -282,27 +321,30 @@ func (ch *Channel) worker() {
 // difference between 2ms and forever.
 const parkWatchdog = 2 * time.Millisecond
 
-// coalescePeriod is the pacing of a polling-mode consumer. A real
-// receiving VM's softirq runs when the scheduler gets to it, not the
+// coalescePeriod is the default pacing of a polling-mode consumer. A
+// real receiving VM's softirq runs when the scheduler gets to it, not the
 // instant each packet lands; modeling that granularity is what lets a
 // saturating sender actually fill a small ring between passes. Packets
 // arriving while the consumer is parked are still dispatched immediately
 // via the event channel, so request/response latency never pays this.
+// Per-channel knob since the autotune controller; pinned to
+// autotune.DefaultPace by the default-drift test.
 const coalescePeriod = 35 * time.Microsecond
 
-// coalescePause yields the processor for one coalescePeriod (aborting
+// coalescePause yields the processor for one pacing period (aborting
 // early on teardown) so producer and application goroutines run while the
 // ring accumulates the next batch. Under the virtual engine the pause
 // parks on the event queue instead of yielding: the ring still
 // accumulates one virtual period of traffic, preserving the Fig. 5
 // capacity-per-period effect.
 func (ch *Channel) coalescePause() {
+	period := ch.pace()
 	if ch.mod.model.Virtual() {
-		ch.mod.model.Sleep(coalescePeriod)
+		ch.mod.model.Sleep(period)
 		return
 	}
 	start := time.Now()
-	for time.Since(start) < coalescePeriod {
+	for time.Since(start) < period {
 		if ch.out.Descriptor().Inactive.Load() || ch.in.Descriptor().Inactive.Load() {
 			return
 		}
@@ -311,8 +353,9 @@ func (ch *Channel) coalescePause() {
 }
 
 // pollHoldoff busy-polls (yielding the processor each pass, so producer
-// and application goroutines run underneath) for up to rxHoldoff, and
-// reports whether the incoming ring or the waiting list picked up work.
+// and application goroutines run underneath) for up to the channel's
+// holdoff knob, and reports whether the incoming ring or the waiting
+// list picked up work.
 //
 // Under the virtual engine there is no window to poll: wall-clock
 // spinning would hold virtual time still, and a virtual sleep here
@@ -326,8 +369,9 @@ func (ch *Channel) pollHoldoff() bool {
 	if ch.mod.model.Virtual() {
 		return false
 	}
+	window := ch.holdoff()
 	start := time.Now()
-	for time.Since(start) < rxHoldoff {
+	for time.Since(start) < window {
 		if !ch.in.Empty() {
 			return true
 		}
@@ -348,9 +392,11 @@ func (ch *Channel) pollHoldoff() bool {
 	return false
 }
 
-// drainRxBatch bounds how many packets one drainIncoming pass stages
-// before processing them, so a saturating sender cannot keep the worker
-// inside the drain loop forever.
+// drainRxBatch is the default bound on how many packets one
+// drainIncoming pass stages before processing them, so a saturating
+// sender cannot keep the worker inside the drain loop forever.
+// Per-channel knob since the autotune controller; pinned to
+// autotune.DefaultBatch by the default-drift test.
 const drainRxBatch = 256
 
 // drainIncoming drains pending packets in batched passes. Each pass
@@ -390,7 +436,11 @@ func (ch *Channel) drainIncoming() bool {
 			m.stack.InjectIP(p)
 			return true
 		})
+		if n > 0 {
+			m.lat.drainBatch.Observe(int64(n))
+		}
 	} else {
+		limit := ch.drainBatch()
 		batch := make([]*buf.Buffer, 0, 32)
 		for {
 			batch = batch[:0]
@@ -398,11 +448,14 @@ func (ch *Channel) drainIncoming() bool {
 				b := buf.FromBytes(view)
 				b.StampNs = pushNs
 				batch = append(batch, b)
-				return len(batch) < drainRxBatch
+				return len(batch) < limit
 			})
 			if len(batch) == 0 {
 				break
 			}
+			// Batch occupancy feeds the controller: a median pinned at
+			// the limit means the bound, not the traffic, ended the pass.
+			m.lat.drainBatch.Observe(int64(len(batch)))
 			// drainNow anchors the residency measurement at the moment the
 			// batch left the ring; prev walks forward so each packet's
 			// delivery time covers exactly its own copy + injection.
@@ -439,6 +492,9 @@ func (ch *Channel) drainIncoming() bool {
 	}
 	if m.flowCtl {
 		ch.refBit.Store(true) // receive traffic also keeps a channel resident
+	}
+	if m.tuneOn {
+		ch.rxEpoch.Add(uint64(n)) // controller rate input, swapped per epoch
 	}
 	m.stats.PktsReceived.Add(uint64(n))
 	if in.ConsumeProducerWaiting() {
@@ -499,6 +555,9 @@ func (ch *Channel) drainWaitingLocked() bool {
 		}
 		ch.waiting = ch.waiting[n:]
 		pushed += n
+		if m.tuneOn && n > 0 {
+			ch.txEpoch.Add(uint64(n))
+		}
 		if err == fifo.ErrTooLarge {
 			// Cannot ever fit (FIFO shrank across migration?): drop it
 			// rather than wedge the queue.
@@ -567,6 +626,33 @@ func (ch *Channel) stop() {
 
 // --- bootstrap ---
 
+// newChannel builds a channel object in the bootstrapping state with
+// the knob atomics at their defaults (the historical constants) and,
+// when the module tunes, a fresh per-channel controller. Every creation
+// site goes through here so a channel can never run with zero knobs.
+func (m *Module) newChannel(peer Identity) *Channel {
+	ch := &Channel{
+		mod:    m,
+		peer:   peer,
+		bornNs: metrics.Now(),
+		signal: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	ch.knobHoldoffNs.Store(int64(rxHoldoff))
+	ch.knobPaceNs.Store(int64(coalescePeriod))
+	ch.knobBatch.Store(drainRxBatch)
+	if m.tuneOn {
+		ch.tuner = m.tune.hooks.NewController()
+		k := ch.tuner.Knobs()
+		ch.knobHoldoffNs.Store(int64(k.Holdoff))
+		ch.knobPaceNs.Store(int64(k.Pace))
+		ch.knobBatch.Store(int32(k.Batch))
+	}
+	ch.lastActive.Store(m.model.NowNs())
+	ch.state.Store(chanBootstrapping)
+	return ch
+}
+
 // startBootstrapLocked creates the channel object and kicks off the
 // handshake. The guest with the smaller ID acts as listener (it creates
 // the FIFOs and the event channel); the larger-ID guest is the connector.
@@ -576,15 +662,7 @@ func (m *Module) startBootstrapLocked(mac pkt.MAC, peerDom hypervisor.DomID) *Ch
 	if m.flowCtl && !m.admitChannelLocked(mac, m.model.NowNs()) {
 		return nil // over budget or in holddown: flow stays on netfront
 	}
-	ch := &Channel{
-		mod:    m,
-		peer:   Identity{Dom: peerDom, MAC: mac},
-		bornNs: metrics.Now(),
-		signal: make(chan struct{}, 1),
-		quit:   make(chan struct{}),
-	}
-	ch.lastActive.Store(m.model.NowNs())
-	ch.state.Store(chanBootstrapping)
+	ch := m.newChannel(Identity{Dom: peerDom, MAC: mac})
 	m.channels[mac] = ch
 	m.publishRoutesLocked()
 	if m.self.Dom < peerDom {
@@ -603,8 +681,15 @@ func (m *Module) listenerBootstrap(ch *Channel) {
 	// descheduled or dying peer from the connector's point of view. The
 	// connector's request retries and timeout must cover the gap.
 	_ = faultinject.Fire(faultinject.FPBootstrapStall)
-	outDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
-	inDesc := fifo.NewDescriptor(m.cfg.FIFOSizeBytes)
+	// The FIFO size is the one knob that cannot move after creation (the
+	// descriptor pages are granted to the peer), so it is picked here,
+	// once, from the flow's observed rate class — a hot flow re-forming
+	// its channel (migration, eviction/re-admission) gets a ring sized
+	// for the traffic it already demonstrated. Without tuning this is
+	// exactly cfg.FIFOSizeBytes.
+	fifoBytes := m.tuneFIFOSize(ch.peer.MAC)
+	outDesc := fifo.NewDescriptor(fifoBytes)
+	inDesc := fifo.NewDescriptor(fifoBytes)
 	// Acquire the two budgeted grant pages before taking resMu: under
 	// grant-page pressure this can evict a victim and wait for its
 	// teardown (which itself needs resMu ordering) to return pages.
@@ -739,15 +824,7 @@ func (m *Module) handleCreateChannel(msg *createChannelMsg) {
 			m.mu.Unlock()
 			return
 		}
-		ch = &Channel{
-			mod:    m,
-			peer:   msg.Listener,
-			bornNs: metrics.Now(),
-			signal: make(chan struct{}, 1),
-			quit:   make(chan struct{}),
-		}
-		ch.lastActive.Store(m.model.NowNs())
-		ch.state.Store(chanBootstrapping)
+		ch = m.newChannel(msg.Listener)
 		m.channels[msg.Listener.MAC] = ch
 		m.publishRoutesLocked()
 	}

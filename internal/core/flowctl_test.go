@@ -264,8 +264,11 @@ func TestIdleSweepEvictsAndReleasesPages(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if s := a.XL.Snapshot(); s.ChannelsEvicted == 0 {
-		t.Fatal("idle eviction not recorded")
+	// Both modules run the idle sweeper; whichever side's fires first
+	// records the eviction and the peer tears down cooperatively, so the
+	// counter may land on either end.
+	if a.XL.Snapshot().ChannelsEvicted+b.XL.Snapshot().ChannelsEvicted == 0 {
+		t.Fatal("idle eviction not recorded on either end")
 	}
 
 	// New traffic re-forms the channel: idleness is not a ban — but the

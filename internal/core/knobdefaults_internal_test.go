@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/fifo"
+)
+
+// TestKnobConstantsMatchAutotuneDefaults pins the datapath's compile-time
+// scheduling constants to the controller package's declared defaults. If
+// either side drifts, a default-config module would no longer reproduce
+// the paper's static behavior (25µs holdoff, 35µs pacing, 256-packet
+// drain batches, 64 KiB FIFOs) — the companion test in tuning_test.go
+// checks the same thing end to end through a built pair.
+func TestKnobConstantsMatchAutotuneDefaults(t *testing.T) {
+	if rxHoldoff != autotune.DefaultHoldoff {
+		t.Fatalf("rxHoldoff = %v, autotune.DefaultHoldoff = %v", time.Duration(rxHoldoff), autotune.DefaultHoldoff)
+	}
+	if coalescePeriod != autotune.DefaultPace {
+		t.Fatalf("coalescePeriod = %v, autotune.DefaultPace = %v", time.Duration(coalescePeriod), autotune.DefaultPace)
+	}
+	if drainRxBatch != autotune.DefaultBatch {
+		t.Fatalf("drainRxBatch = %d, autotune.DefaultBatch = %d", drainRxBatch, autotune.DefaultBatch)
+	}
+	if fifo.DefaultSizeBytes != autotune.DefaultFIFO {
+		t.Fatalf("fifo.DefaultSizeBytes = %d, autotune.DefaultFIFO = %d", fifo.DefaultSizeBytes, autotune.DefaultFIFO)
+	}
+	// The default autotune ladders must contain the static constants, so
+	// an enabled-but-idle controller starts exactly at paper behavior.
+	cfg := autotune.Config{}.WithDefaults()
+	k := autotune.New(cfg).Knobs()
+	if k.Holdoff != autotune.DefaultHoldoff || k.Pace != autotune.DefaultPace || k.Batch != autotune.DefaultBatch {
+		t.Fatalf("fresh controller starts at %+v, want the static constants", k)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/hypervisor"
@@ -22,6 +23,7 @@ type latencyHists struct {
 	deliver    *metrics.Histogram // drain -> netstack delivery, per packet
 	bootstrap  *metrics.Histogram // channel creation -> connected
 	quiesce    *metrics.Histogram // teardown quiesce + final drain
+	drainBatch *metrics.Histogram // packets drained per softirq pass (controller input)
 }
 
 // initMetrics builds the module's registry and latency instruments.
@@ -75,6 +77,7 @@ func (m *Module) initMetrics() {
 	m.lat.deliver = r.NewHistogram("xl_drain_to_deliver_ns", "drain to netstack delivery, per packet")
 	m.lat.bootstrap = r.NewHistogram("xl_bootstrap_ns", "channel creation to connected")
 	m.lat.quiesce = r.NewHistogram("xl_teardown_quiesce_ns", "teardown quiesce and final drain")
+	m.lat.drainBatch = r.NewHistogram("xl_drain_batch_pkts", "packets drained per softirq pass")
 
 	// The hypervisor's cost histograms are registered as live views: the
 	// domain can migrate to a different machine, so each read resolves the
@@ -139,12 +142,18 @@ type MetricsSnapshot struct {
 	// Resources is the domain's outstanding hypervisor resources.
 	Resources hypervisor.ResourceSnapshot
 
-	// Datapath and control-plane latency histograms (nanoseconds).
+	// Datapath and control-plane latency histograms (nanoseconds), plus
+	// the drain-batch occupancy histogram (packets per softirq pass).
 	HookToPush      metrics.HistogramSnapshot
 	FIFOResidency   metrics.HistogramSnapshot
 	DrainToDeliver  metrics.HistogramSnapshot
 	Bootstrap       metrics.HistogramSnapshot
 	TeardownQuiesce metrics.HistogramSnapshot
+	DrainBatch      metrics.HistogramSnapshot
+
+	// Autotune controller progress (zero when tuning is off).
+	TuneEpochs  uint64
+	TuneChanges uint64
 
 	// HVCosts are the hosting machine's mechanism cost histograms.
 	HVCosts costmodel.HistsSnapshot
@@ -161,6 +170,12 @@ type ChannelStatus struct {
 	FIFOSizeBytes int
 	OutUsedBytes  int
 	WaitingLen    int
+
+	// Effective receive-scheduling knobs: the compile-time defaults on an
+	// untuned module, the controller's last decision under autotuning.
+	Holdoff time.Duration
+	Pace    time.Duration
+	Batch   int
 }
 
 // Snapshot captures the module's full observability state. Control-plane
@@ -204,15 +219,22 @@ func (m *Module) Snapshot() MetricsSnapshot {
 		DrainToDeliver:  m.lat.deliver.Snapshot(),
 		Bootstrap:       m.lat.bootstrap.Snapshot(),
 		TeardownQuiesce: m.lat.quiesce.Snapshot(),
+		DrainBatch:      m.lat.drainBatch.Snapshot(),
+		TuneEpochs:      m.stats.TuneEpochs.Load(),
+		TuneChanges:     m.stats.TuneChanges.Load(),
 		HVCosts:         m.dom.Hypervisor().CostHists().Snapshot(),
 	}
 	s.GrantPagesInUse, s.GrantPagesPeak, s.GrantPageBudget = m.dom.GrantAccounting()
 	for _, ch := range chans {
+		k := ch.Knobs()
 		cs := ChannelStatus{
 			Peer:       ch.peer,
 			Connected:  ch.Connected(),
 			Listener:   ch.listener,
 			WaitingLen: ch.WaitingLen(),
+			Holdoff:    k.Holdoff,
+			Pace:       k.Pace,
+			Batch:      k.Batch,
 		}
 		// out is assigned under resMu during bootstrap; snapshot it the
 		// same way drainIncoming does.

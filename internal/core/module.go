@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/costmodel"
 	"repro/internal/faultinject"
 	"repro/internal/fifo"
@@ -100,6 +101,22 @@ type Config struct {
 
 	// SweepPeriod is the lifecycle sweeper's tick. Default AdmitWindow/2.
 	SweepPeriod time.Duration
+
+	// Autotune enables the per-channel feedback controller: the
+	// receive-scheduling knobs (poll holdoff, softirq pacing, drain
+	// batch) adapt per channel on an epoch ticker, and the FIFO size is
+	// picked at channel creation from the flow's observed rate class.
+	// nil disables tuning entirely — every knob stays at the paper's
+	// static defaults and the datapath pays one boolean branch, the same
+	// gating pattern the flow-control knobs use. The pointed-to Config's
+	// zero value selects the autotune package defaults.
+	Autotune *autotune.Config
+
+	// Tuning overrides the controller seam (TuningHooks): how per-channel
+	// controllers are built, how the creation-time FIFO class is picked,
+	// and an observer for applied decisions. nil uses the defaults
+	// derived from Autotune. Ignored unless Autotune is set.
+	Tuning *TuningHooks
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +177,10 @@ type Stats struct {
 	ChannelsEvicted atomic.Uint64 // evicted by budget, grant pressure or idleness
 	ChannelsRefused atomic.Uint64 // admission refused: budget full, nothing evictable
 
+	// Autotune counters (all zero unless Config.Autotune is set).
+	TuneEpochs  atomic.Uint64 // controller epochs completed
+	TuneChanges atomic.Uint64 // knob decisions that changed a setting
+
 	// Announcement-protocol counters.
 	AnnFull    atomic.Uint64 // full-roster announcements applied
 	AnnDelta   atomic.Uint64 // delta announcements applied
@@ -212,6 +233,13 @@ type Module struct {
 	sweepQuit chan struct{}
 	sweepStop sync.Once
 
+	// tuneOn mirrors cfg.Autotune != nil (same single-branch gating as
+	// flowCtl); tune holds the controller state (tuning.go).
+	tuneOn   bool
+	tune     *tuneState
+	tuneQuit chan struct{}
+	tuneStop sync.Once
+
 	stats Stats
 
 	// Observability: the instrument registry, the latency histograms the
@@ -249,6 +277,7 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 		dom.SetGrantBudget(m.cfg.GrantPageBudget)
 	}
 	m.initMetrics()
+	m.initTuning()
 	if m.cfg.MetricsAddr != "" {
 		if err := m.startMetricsServer(m.cfg.MetricsAddr); err != nil {
 			return nil, err
@@ -265,6 +294,10 @@ func Attach(dom *hypervisor.Domain, stack *netstack.Stack, ifc *netstack.Iface, 
 	if m.flowCtl {
 		m.sweepQuit = make(chan struct{})
 		go m.sweepLoop()
+	}
+	if m.tuneOn {
+		m.tuneQuit = make(chan struct{})
+		go m.tuneLoop()
 	}
 	trace.Record(trace.KindBootstrap, m.actor(), "module attached, advertised %s", m.self.MAC)
 	return m, nil
@@ -351,9 +384,13 @@ func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
 		// eviction holddown) bootstraps; cold flows keep flowing via
 		// netfront-netback, losslessly. With the default config every
 		// first packet admits, the paper's on-the-fly bootstrap.
-		if m.flowCtl && r.stat != nil {
+		if r.stat != nil {
+			// The estimate also feeds the autotuner's creation-time FIFO
+			// class pick, so it is kept warm whenever a stat is published
+			// (flow control or tuning); only flow control gates on it.
 			now := m.model.NowNs()
-			if est := r.stat.note(now, m.windowNs); est < uint64(m.cfg.AdmitPkts) || r.stat.barred(now) {
+			est := r.stat.note(now, m.windowNs)
+			if m.flowCtl && (est < uint64(m.cfg.AdmitPkts) || r.stat.barred(now)) {
 				m.stats.PktsStandard.Add(1)
 				return netstack.VerdictAccept
 			}
@@ -375,14 +412,17 @@ func (m *Module) outHook(op *netstack.OutPacket) netstack.Verdict {
 			ch = m.startBootstrapLocked(mac, peerDom)
 		}
 		m.mu.Unlock()
-	} else if m.flowCtl {
+	} else if m.flowCtl || m.tuneOn {
 		// Channel-resident flow: keep the rate estimate warm (it ranks
-		// eviction victims) and mark the channel referenced for the
-		// sweeper's CLOCK hand.
+		// eviction victims and classes re-created FIFOs) and, under flow
+		// control, mark the channel referenced for the sweeper's CLOCK
+		// hand.
 		if r.stat != nil {
 			r.stat.note(m.model.NowNs(), m.windowNs)
 		}
-		ch.refBit.Store(true)
+		if m.flowCtl {
+			ch.refBit.Store(true)
+		}
 	}
 
 	if ch == nil || !ch.Connected() {
@@ -573,6 +613,9 @@ func (m *Module) sendControl(dst pkt.MAC, payload []byte) {
 func (m *Module) Detach() {
 	if m.sweepQuit != nil {
 		m.sweepStop.Do(func() { close(m.sweepQuit) })
+	}
+	if m.tuneQuit != nil {
+		m.tuneStop.Do(func() { close(m.tuneQuit) })
 	}
 	m.teardownAll(false)
 	m.stopMetricsServer()

@@ -6,12 +6,13 @@ import (
 )
 
 // route is one fast-path routing entry: the co-resident peer's domain ID,
-// once bootstrap has started its channel, and under flow control the
-// flow's rate/holddown tracker (shared across snapshots; all-atomic).
+// once bootstrap has started its channel, and under flow control or
+// autotuning the flow's rate/holddown tracker (shared across snapshots;
+// all-atomic).
 type route struct {
 	dom  hypervisor.DomID
 	ch   *Channel  // nil until traffic triggers bootstrap
-	stat *flowStat // nil unless the module is flow-controlled
+	stat *flowStat // nil unless the module is flow-controlled or tuning
 }
 
 // routeTable is the RCU-style snapshot of the [guest-ID, MAC] mapping
@@ -51,7 +52,9 @@ func (m *Module) publishRoutesLocked() {
 	t := &routeTable{entries: make(map[pkt.MAC]route, len(m.peers))}
 	for mac, dom := range m.peers {
 		r := route{dom: dom, ch: m.channels[mac]}
-		if m.flowCtl {
+		if m.flowCtl || m.tuneOn {
+			// The tuner needs the rate estimate too (creation-time FIFO
+			// class), so stats are published whenever either layer is on.
 			r.stat = m.flowLocked(mac)
 		}
 		t.entries[mac] = r

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/metrics"
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+// This file is the module side of the autotune loop: the epoch ticker
+// that assembles per-channel observations from the instruments the
+// datapath already feeds (epoch packet counters, FIFO occupancy, the
+// residency and drain-batch histograms, the waiting list) and hands them
+// to each channel's controller, applying the returned knobs to the
+// channel's atomics. The controller itself (internal/autotune) is pure;
+// everything impure — clocks, histograms, channel iteration — lives
+// here, in one goroutine per module, with the channel walk sorted by
+// peer MAC so a virtual-clock replay visits channels in the same order
+// every run.
+
+// TuningHooks is the seam between the module and the controller layer.
+// The defaults (nil hooks) build autotune controllers from
+// Config.Autotune; tests and experiments install their own to observe
+// or replace decisions.
+type TuningHooks struct {
+	// NewController builds the controller for a newly created channel.
+	NewController func() *autotune.Controller
+
+	// PickFIFOSize maps an observed flow rate (pkts/s) to the FIFO size
+	// for a channel being created; returning <= 0 keeps the configured
+	// default.
+	PickFIFOSize func(ratePPS float64) int
+
+	// OnDecision, when non-nil, observes every applied decision (after
+	// the knob atomics are written). Called from the tuning goroutine.
+	OnDecision func(d TuneDecision)
+}
+
+// TuneDecision is one applied controller decision, as recorded in the
+// module's bounded trajectory log.
+type TuneDecision struct {
+	Epoch   uint64  // model-clock epoch index (costmodel.EpochIndex)
+	Peer    pkt.MAC // channel the decision applied to
+	Knobs   autotune.Knobs
+	Changed bool // whether any knob moved vs. the channel's previous setting
+}
+
+// tuneTrajCap bounds the trajectory log. Recording stops (and
+// TrajDropped counts) beyond it; a controller that converged records a
+// handful of entries, so hitting the cap itself signals instability.
+const tuneTrajCap = 16384
+
+// tuneState is the module's tuning-loop state, touched only by the
+// tuning goroutine (histogram cursors) or under its own mutex
+// (trajectory, read by TuneTrajectory).
+type tuneState struct {
+	cfg     autotune.Config
+	hooks   TuningHooks
+	epochNs int64
+
+	// Interval cursors into the module-wide histograms: the per-epoch
+	// observation is the delta quantile since the previous epoch.
+	lastResid metrics.HistogramSnapshot
+	lastBatch metrics.HistogramSnapshot
+
+	// Last-applied-decision gauges (registry-owned).
+	gHold, gPace, gBatch *metrics.Gauge
+
+	mu          sync.Mutex
+	traj        []TuneDecision
+	trajDropped uint64
+}
+
+// initTuning validates the tuning config, fills default hooks, and
+// registers the tuning instruments. Called from Attach after
+// initMetrics; cheap no-op path when tuning is off (the counters still
+// register, reading zero, so the metrics surface is uniform).
+func (m *Module) initTuning() {
+	m.reg.RegisterCounter("xl_tune_epochs_total", "autotune controller epochs completed", m.stats.TuneEpochs.Load)
+	m.reg.RegisterCounter("xl_tune_changes_total", "autotune decisions that changed a knob", m.stats.TuneChanges.Load)
+	gHold := m.reg.NewGauge("xl_tune_holdoff_ns", "last applied poll-holdoff decision")
+	gPace := m.reg.NewGauge("xl_tune_pace_ns", "last applied softirq-pacing decision")
+	gBatch := m.reg.NewGauge("xl_tune_batch", "last applied drain-batch decision")
+	gHold.Set(uint64(rxHoldoff))
+	gPace.Set(uint64(coalescePeriod))
+	gBatch.Set(drainRxBatch)
+	if m.cfg.Autotune == nil {
+		return
+	}
+	m.tuneOn = true
+	cfg := m.cfg.Autotune.WithDefaults()
+	st := &tuneState{cfg: cfg, epochNs: int64(cfg.Epoch), gHold: gHold, gPace: gPace, gBatch: gBatch}
+	if m.cfg.Tuning != nil {
+		st.hooks = *m.cfg.Tuning
+	}
+	if st.hooks.NewController == nil {
+		st.hooks.NewController = func() *autotune.Controller { return autotune.New(cfg) }
+	}
+	if st.hooks.PickFIFOSize == nil {
+		st.hooks.PickFIFOSize = func(ratePPS float64) int { return autotune.PickFIFOSizeBytes(cfg, ratePPS) }
+	}
+	m.tune = st
+}
+
+// tuneLoop runs the controller epoch ticker on the model clock: wall
+// time normally, virtual time under the discrete-event engine — the
+// epoch cadence, and therefore the decision sequence, is identical on
+// both for the same traffic schedule.
+func (m *Module) tuneLoop() {
+	t := m.model.NewTicker(time.Duration(m.tune.epochNs))
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.tuneOnce()
+		case <-m.tuneQuit:
+			return
+		}
+	}
+}
+
+// tuneOnce is one controller epoch: assemble observations, step every
+// connected channel's controller, apply the decisions.
+func (m *Module) tuneOnce() {
+	st := m.tune
+	epoch := m.model.EpochIndex(time.Duration(st.epochNs))
+
+	// Module-wide histogram deltas: what the datapath measured since the
+	// previous epoch. These instruments are shared across channels (the
+	// histograms are module-level), so every channel sees the same
+	// residency/batch medians this epoch — documented, deterministic.
+	resid := m.lat.residency.Snapshot()
+	residP50 := resid.Sub(st.lastResid).Quantile(0.50)
+	st.lastResid = resid
+	batchH := m.lat.drainBatch.Snapshot()
+	batchP50 := batchH.Sub(st.lastBatch).Quantile(0.50)
+	st.lastBatch = batchH
+
+	m.mu.Lock()
+	if m.detached {
+		m.mu.Unlock()
+		return
+	}
+	chans := make([]*Channel, 0, len(m.channels))
+	for _, ch := range m.channels {
+		if ch.Connected() && ch.tuner != nil {
+			chans = append(chans, ch)
+		}
+	}
+	m.mu.Unlock()
+	// Deterministic visit order: map iteration order must never reach
+	// the controllers, or a same-seed virtual replay could diverge.
+	sort.Slice(chans, func(i, j int) bool {
+		return chans[i].peer.MAC.String() < chans[j].peer.MAC.String()
+	})
+
+	for _, ch := range chans {
+		tx := ch.txEpoch.Swap(0)
+		rx := ch.rxEpoch.Swap(0)
+		o := autotune.Observation{
+			RatePPS:        float64(tx+rx) * 1e9 / float64(st.epochNs),
+			WaitingLen:     ch.WaitingLen(),
+			ResidencyP50Ns: residP50,
+			DrainBatchP50:  batchP50,
+		}
+		ch.resMu.Lock()
+		out := ch.out
+		ch.resMu.Unlock()
+		if out != nil {
+			if size := out.SizeBytes(); size > 0 {
+				o.FIFOUsedFrac = float64(out.UsedBytes()) / float64(size)
+			}
+		}
+		k := ch.tuner.Step(o)
+		changed := ch.applyKnobs(k)
+		if changed {
+			m.stats.TuneChanges.Add(1)
+			st.gHold.Set(uint64(k.Holdoff))
+			st.gPace.Set(uint64(k.Pace))
+			st.gBatch.Set(uint64(k.Batch))
+			trace.Record(trace.KindChannelUp, m.actor(),
+				"tune %s: holdoff=%v pace=%v batch=%d (rate %.0f pps)",
+				ch.peer.MAC, k.Holdoff, k.Pace, k.Batch, o.RatePPS)
+		}
+		d := TuneDecision{Epoch: epoch, Peer: ch.peer.MAC, Knobs: k, Changed: changed}
+		if changed {
+			st.mu.Lock()
+			if len(st.traj) < tuneTrajCap {
+				st.traj = append(st.traj, d)
+			} else {
+				st.trajDropped++
+			}
+			st.mu.Unlock()
+		}
+		if st.hooks.OnDecision != nil {
+			st.hooks.OnDecision(d)
+		}
+	}
+	m.stats.TuneEpochs.Add(1)
+}
+
+// applyKnobs writes a decision into the channel's knob atomics and
+// reports whether anything moved.
+func (ch *Channel) applyKnobs(k autotune.Knobs) bool {
+	changed := false
+	if ch.knobHoldoffNs.Swap(int64(k.Holdoff)) != int64(k.Holdoff) {
+		changed = true
+	}
+	if ch.knobPaceNs.Swap(int64(k.Pace)) != int64(k.Pace) {
+		changed = true
+	}
+	if ch.knobBatch.Swap(int32(k.Batch)) != int32(k.Batch) {
+		changed = true
+	}
+	return changed
+}
+
+// tuneFIFOSize picks the FIFO size for a channel about to be created
+// toward mac: the flow's observed rate class under tuning, the
+// configured size otherwise.
+func (m *Module) tuneFIFOSize(mac pkt.MAC) int {
+	if !m.tuneOn {
+		return m.cfg.FIFOSizeBytes
+	}
+	m.mu.Lock()
+	f := m.flows[mac]
+	m.mu.Unlock()
+	var ratePPS float64
+	if f != nil && m.windowNs > 0 {
+		// flowStat counts packets per admit window; scale to per-second.
+		ratePPS = float64(f.rate(m.model.NowNs(), m.windowNs)) * 1e9 / float64(m.windowNs)
+	}
+	if picked := m.tune.hooks.PickFIFOSize(ratePPS); picked > 0 {
+		return picked
+	}
+	return m.cfg.FIFOSizeBytes
+}
+
+// TuneTrajectory returns a copy of the recorded knob-change decisions,
+// in application order, plus how many were dropped at the cap. The
+// determinism harness compares two same-seed virtual runs' trajectories
+// bit for bit.
+func (m *Module) TuneTrajectory() ([]TuneDecision, uint64) {
+	if !m.tuneOn {
+		return nil, 0
+	}
+	st := m.tune
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TuneDecision, len(st.traj))
+	copy(out, st.traj)
+	return out, st.trajDropped
+}

@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/netstack"
+	"repro/internal/pkt"
+	"repro/internal/testbed"
+)
+
+// TestDefaultConfigReproducesStaticKnobs is the default-drift gate: a
+// module built with a zero Config (autotune off) must expose exactly the
+// paper's static datapath — 25µs poll holdoff, 35µs softirq pacing,
+// 256-packet drain batches, 64 KiB FIFOs — and must run zero controller
+// epochs. The companion in-package test pins the constants themselves.
+func TestDefaultConfigReproducesStaticKnobs(t *testing.T) {
+	p := buildXenLoopPair(t)
+	for _, vm := range []*testbed.VM{p.A.VM, p.B.VM} {
+		s := vm.XL.Snapshot()
+		if s.TuneEpochs != 0 || s.TuneChanges != 0 {
+			t.Fatalf("%s: untuned module ran %d epochs / %d changes", vm.Name, s.TuneEpochs, s.TuneChanges)
+		}
+		if len(s.Channels) != 1 {
+			t.Fatalf("%s: %d channels", vm.Name, len(s.Channels))
+		}
+		cs := s.Channels[0]
+		if cs.Holdoff != 25*time.Microsecond {
+			t.Fatalf("%s: holdoff = %v, want 25µs", vm.Name, cs.Holdoff)
+		}
+		if cs.Pace != 35*time.Microsecond {
+			t.Fatalf("%s: pace = %v, want 35µs", vm.Name, cs.Pace)
+		}
+		if cs.Batch != 256 {
+			t.Fatalf("%s: batch = %d, want 256", vm.Name, cs.Batch)
+		}
+		if cs.FIFOSizeBytes != 64*1024 {
+			t.Fatalf("%s: FIFO = %d bytes, want 64 KiB", vm.Name, cs.FIFOSizeBytes)
+		}
+	}
+}
+
+// tunedTestConfig is an autotune config with rate thresholds scaled down
+// so modest test traffic registers as streaming, and a short epoch so
+// wall-clock tests converge in well under a second.
+func tunedTestConfig() *autotune.Config {
+	return &autotune.Config{
+		Epoch:      20 * time.Millisecond,
+		SparseRate: 1,
+		StreamRate: 10,
+	}
+}
+
+// driveUntil sends UDP bursts from a to b until pred(a's snapshot) holds.
+func driveUntil(t *testing.T, a, b *testbed.VM, bIP pkt.IPv4, pred func(core.MetricsSnapshot) bool) core.MetricsSnapshot {
+	t.Helper()
+	cli, err := a.Stack.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	msg := make([]byte, 512)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			if _, err := cli.WriteTo(msg, netstack.Addr{IP: bIP, Port: 4100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := a.XL.Snapshot()
+		if pred(s) {
+			return s
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within deadline; last snapshot: epochs=%d changes=%d channels=%+v",
+		a.XL.Snapshot().TuneEpochs, a.XL.Snapshot().TuneChanges, a.XL.Snapshot().Channels)
+	return core.MetricsSnapshot{}
+}
+
+// batchOf returns the drain-batch knob of the (single) channel row.
+func batchOf(s core.MetricsSnapshot) int {
+	if len(s.Channels) != 1 {
+		return -1
+	}
+	return s.Channels[0].Batch
+}
+
+// TestTunedChannelReconvergesAfterMigration drives a tuned channel into
+// the streaming regime (drain batch grows past the 256 default), migrates
+// the VM away — destroying the channel and its controller — brings it
+// back, and requires the fresh channel to start at the static defaults
+// and then re-converge under the same load. This is the regression gate
+// for controller state not leaking across channel incarnations.
+func TestTunedChannelReconvergesAfterMigration(t *testing.T) {
+	tb := testbed.New(testbed.Options{
+		DiscoveryPeriod: 100 * time.Millisecond,
+		Core:            core.Config{Autotune: tunedTestConfig()},
+	})
+	defer tb.Close()
+	m1 := tb.AddMachine("m1")
+	m2 := tb.AddMachine("m2")
+	vm1, err := tb.AddVM(m1, "vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := tb.AddVM(m1, "vm2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableXenLoop(vm1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableXenLoop(vm2); err != nil {
+		t.Fatal(err)
+	}
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: sustained send load classifies as streaming; the batch
+	// knob must climb off its 256 default.
+	s := driveUntil(t, vm1, vm2, vm2.IP, func(s core.MetricsSnapshot) bool {
+		return s.TuneEpochs > 0 && batchOf(s) > 256
+	})
+	if s.TuneChanges == 0 {
+		t.Fatal("knobs moved but TuneChanges is zero")
+	}
+
+	// Phase 2: migrate away. The channel (and its controller) must go.
+	if err := tb.Migrate(vm1, m2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && vm1.XL.HasChannelTo(vm2.MAC) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if vm1.XL.HasChannelTo(vm2.MAC) {
+		t.Fatal("vm1 kept its channel after migrating away")
+	}
+
+	// Phase 3: migrate back. The re-formed channel is a fresh incarnation:
+	// it restarts from the static defaults (idle epochs before we look may
+	// already have stepped it *down* toward the sparse regime, so the
+	// precise assertion is that phase 1's converged above-default state
+	// did not carry over).
+	if err := tb.Migrate(vm1, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := testbed.EstablishChannel(vm1, vm2); err != nil {
+		t.Fatal("channel did not re-form after migration back")
+	}
+	fresh := vm1.XL.Snapshot()
+	if b := batchOf(fresh); b > 256 {
+		t.Fatalf("re-formed channel batch = %d, want <= 256 default (controller state leaked)", b)
+	}
+
+	// Phase 4: the same load must re-converge the fresh controller.
+	driveUntil(t, vm1, vm2, vm2.IP, func(s core.MetricsSnapshot) bool {
+		return batchOf(s) > 256
+	})
+}

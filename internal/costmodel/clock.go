@@ -520,6 +520,20 @@ func (m *Model) After(d time.Duration) <-chan struct{} {
 	return ch
 }
 
+// EpochIndex returns the index of the fixed-width epoch containing the
+// current instant on m's timeline: NowNs / period. Controller loops
+// (the autotune epoch ticker) use it to stamp decisions with an epoch
+// number that is reproducible across wall and virtual runs of the same
+// schedule — both clocks route through NowNs, so the same virtual
+// timeline always yields the same indices, and an epoch is never
+// double-counted when a ticker coalesces under load.
+func (m *Model) EpochIndex(period time.Duration) uint64 {
+	if period <= 0 {
+		return 0
+	}
+	return uint64(m.NowNs() / int64(period))
+}
+
 // Timer is a one-shot timer on a Model's timeline: either a channel
 // timer (NewTimer) or a callback timer (AfterFunc).
 type Timer struct {

@@ -1,0 +1,44 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// EpochIndex must advance with the timeline on both clocks, and the
+// virtual clock must make the indices exactly reproducible.
+func TestEpochIndexVirtual(t *testing.T) {
+	vc := NewVirtualClock()
+	defer vc.Close()
+	m := Calibrated().WithVirtual(vc)
+
+	const period = 5 * time.Millisecond
+	start := m.EpochIndex(period)
+	m.Sleep(3 * period)
+	if got := m.EpochIndex(period); got != start+3 {
+		t.Fatalf("after 3 periods: epoch %d, want %d", got, start+3)
+	}
+	// Sub-period advance: same epoch until the boundary.
+	m.Sleep(period / 2)
+	if got := m.EpochIndex(period); got != start+3 {
+		t.Fatalf("mid-period: epoch %d, want %d", got, start+3)
+	}
+	m.Sleep(period / 2)
+	if got := m.EpochIndex(period); got != start+4 {
+		t.Fatalf("at boundary: epoch %d, want %d", got, start+4)
+	}
+}
+
+func TestEpochIndexWall(t *testing.T) {
+	m := Calibrated()
+	const period = time.Millisecond
+	a := m.EpochIndex(period)
+	time.Sleep(3 * period)
+	b := m.EpochIndex(period)
+	if b < a+2 {
+		t.Fatalf("wall epoch index did not advance: %d -> %d", a, b)
+	}
+	if m.EpochIndex(0) != 0 {
+		t.Fatal("zero period must yield epoch 0, not divide by zero")
+	}
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetLoadAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g_test", "a settable gauge")
+	if g.Load() != 0 {
+		t.Fatalf("fresh gauge = %d, want 0", g.Load())
+	}
+	g.Set(41)
+	g.Set(42)
+	if g.Load() != 42 {
+		t.Fatalf("gauge = %d, want 42", g.Load())
+	}
+	s := r.Snapshot()
+	found := false
+	for _, v := range s.Gauges {
+		if v.Name == "g_test" {
+			found = true
+			if v.Value != 42 {
+				t.Fatalf("snapshot value = %d, want 42", v.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("gauge missing from registry snapshot")
+	}
+	// CounterFunc resolves gauges too (it is the generic load-handle).
+	load, ok := r.CounterFunc("g_test")
+	if !ok || load() != 42 {
+		t.Fatalf("CounterFunc handle: ok=%v val=%d", ok, load())
+	}
+}
+
+func TestGaugeConcurrentSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g_race", "raced gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(v uint64) {
+			defer wg.Done()
+			for j := 0; j < 1_000; j++ {
+				g.Set(v)
+				_ = g.Load()
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if g.Load() > 7 {
+		t.Fatalf("gauge ended at %d, want one of the written values", g.Load())
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is a named collection of instruments. Registration happens on
@@ -62,6 +63,29 @@ func (r *Registry) RegisterCounter(name, help string, load func() uint64) {
 // RegisterGauge registers a point-in-time value.
 func (r *Registry) RegisterGauge(name, help string, load func() uint64) {
 	r.add(&entry{name: name, help: help, kind: kindGauge, load: load})
+}
+
+// Gauge is a settable point-in-time instrument: one atomic word the
+// owner stores into and the registry reads. It exists for values that
+// are *decisions* rather than views of existing state — the autotune
+// controller's last applied knob settings, for instance — where there
+// is no pre-existing atomic field to register a load function over.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v uint64) { g.v.Store(v) }
+
+// Load returns the gauge's current value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
+// NewGauge creates, registers and returns a settable gauge owned by
+// this registry.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&entry{name: name, help: help, kind: kindGauge, load: g.Load})
+	return g
 }
 
 // NewHistogram creates, registers and returns a histogram owned by this
